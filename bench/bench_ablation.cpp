@@ -1,0 +1,76 @@
+// Ablation / calibration harness (not a paper table): sweeps one axis at a
+// time — learning rate, momentum, sparsity ratio, straggler factor — and
+// prints final accuracy per method. Used to pick the operating point where
+// the substitute task reproduces the paper's method ordering, and to expose
+// the sensitivity the paper discusses in §5.4 (momentum vs worker count).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace dgs;
+using benchkit::RunSpec;
+using core::Method;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  benchkit::HarnessOptions options;
+  const std::string axis =
+      flags.str("axis", "lr", "sweep axis: lr | momentum | ratio | workers");
+  const std::string task_name =
+      flags.str("task", "cifar", "task: cifar | imagenet");
+  const auto workers = static_cast<std::size_t>(
+      flags.i64("workers", 8, "worker count for non-worker sweeps"));
+  if (benchkit::parse_harness_options(flags, options)) return 0;
+
+  const benchkit::Task task =
+      task_name == "imagenet"
+          ? benchkit::make_imagenet_task(options.epoch_scale(), 1337)
+          : benchkit::make_cifar_task(options.epoch_scale(), 42);
+  const auto data = benchkit::load(task);
+
+  const Method methods[] = {Method::kASGD, Method::kGDAsync, Method::kDGCAsync,
+                            Method::kDGS};
+
+  util::Table table({axis, "ASGD", "GD-async", "DGC-async", "DGS"});
+  auto run_row = [&](const std::string& label, auto mutate) {
+    std::vector<std::string> row{label};
+    for (Method m : methods) {
+      RunSpec spec;
+      spec.method = m;
+      spec.workers = workers;
+      spec.record_curve = false;
+      mutate(spec);
+      const auto r = benchkit::run_one(task, data, spec);
+      row.push_back(util::Table::pct(100.0 * r.final_test_accuracy, 2, false));
+      std::fprintf(stderr, ".");
+    }
+    table.add_row(row);
+  };
+
+  if (axis == "lr") {
+    for (double lr : {0.01, 0.02, 0.05, 0.1, 0.2})
+      run_row(util::Table::num(lr, 3), [&](RunSpec& s) { s.lr = lr; });
+  } else if (axis == "momentum") {
+    for (double m : {0.3, 0.45, 0.6, 0.7, 0.9})
+      run_row(util::Table::num(m, 2), [&](RunSpec& s) { s.momentum = m; });
+  } else if (axis == "ratio") {
+    for (double r : {0.5, 1.0, 5.0, 10.0, 100.0})
+      run_row(util::Table::num(r, 1), [&](RunSpec& s) { s.ratio = r; });
+  } else if (axis == "workers") {
+    for (std::size_t w : {2u, 4u, 8u, 16u, 32u})
+      run_row(std::to_string(w), [&](RunSpec& s) { s.workers = w; });
+  } else {
+    std::fprintf(stderr, "unknown axis %s\n", axis.c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr, "\n");
+  std::printf("== Ablation: %s sweep on %s (%zu workers unless swept) ==\n",
+              axis.c_str(), task.name.c_str(), workers);
+  table.print(std::cout);
+  const std::string csv = benchkit::csv_path(options, "ablation_" + axis);
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dgs::benchkit {
+
+namespace {
+
+/// Heterogeneous compute model shared by both tasks: the paper's cluster had
+/// half physical V100s and half "virtual GPUs", so odd-numbered workers run
+/// 2.5x slower; jitter makes staleness bursty rather than lock-step.
+core::ComputeModel heterogeneous_compute(std::size_t max_workers) {
+  core::ComputeModel compute;
+  compute.base_seconds = 5e-3;
+  compute.jitter_frac = 0.3;
+  compute.worker_speed.assign(max_workers, 1.0);
+  for (std::size_t k = 1; k < max_workers; k += 2) compute.worker_speed[k] = 2.5;
+  return compute;
+}
+
+}  // namespace
+
+Task make_cifar_task(double epoch_scale, std::uint64_t seed) {
+  Task task;
+  task.name = "SynthCIFAR";
+  task.data_spec = data::SyntheticSpec::synth_cifar(seed);
+  // Harden the default recipe so the task does not saturate within the
+  // training horizon (method differences stay visible, as on real CIFAR-10).
+  task.data_spec.latent_jitter = 1.15f;
+  task.data_spec.feature_noise = 0.32f;
+  task.model_width = 96;
+  task.model_blocks = 2;
+
+  core::TrainConfig& config = task.config;
+  config.epochs = std::max<std::size_t>(4, static_cast<std::size_t>(
+                                               std::lround(30 * epoch_scale)));
+  config.batch_size = 32;
+  config.lr = 0.05;
+  config.momentum = 0.7;
+  config.lr_decay_at = {0.6, 0.8};  // paper: epochs 30 & 40 of 50
+  config.lr_decay_factor = 0.1;
+  // The paper runs 99% sparsity (R=1) over ~5k server iterations; our
+  // horizon is ~10x shorter, so R=10 keeps the send-interval-to-horizon
+  // ratio comparable (see DESIGN.md / EXPERIMENTS.md).
+  config.compression.ratio_percent = 10.0;
+  config.compression.min_sparsify_size = 512;  // biases/BN ship dense
+  config.network = comm::NetworkModel::ten_gbps();
+  config.compute = heterogeneous_compute(64);
+  config.seed = seed * 1000003ULL + 7;
+  return task;
+}
+
+Task make_imagenet_task(double epoch_scale, std::uint64_t seed) {
+  Task task;
+  task.name = "SynthImageNet";
+  task.data_spec = data::SyntheticSpec::synth_imagenet(seed);
+  task.model_width = 128;
+  task.model_blocks = 2;
+
+  core::TrainConfig& config = task.config;
+  config.epochs = std::max<std::size_t>(4, static_cast<std::size_t>(
+                                               std::lround(30 * epoch_scale)));
+  config.batch_size = 32;
+  config.lr = 0.05;
+  config.momentum = 0.7;
+  config.lr_decay_at = {1.0 / 3.0, 2.0 / 3.0};  // paper: epochs 30 & 60 of 90
+  config.lr_decay_factor = 0.1;
+  config.compression.ratio_percent = 10.0;  // horizon-scaled, see above
+  config.compression.min_sparsify_size = 512;  // biases/BN ship dense
+  config.network = comm::NetworkModel::ten_gbps();
+  config.compute = heterogeneous_compute(64);
+  config.seed = seed * 998244353ULL + 13;
+  return task;
+}
+
+nn::ModelSpec model_of(const Task& task, const data::SyntheticDataset& data) {
+  nn::ModelSpec spec =
+      nn::ModelSpec::res_mlp(data.train->feature_dim(), task.model_width,
+                             task.model_blocks, data.train->num_classes());
+  spec.batch_norm = true;  // ResNet-style normalization (see DESIGN.md)
+  return spec;
+}
+
+data::SyntheticDataset load(const Task& task) {
+  return data::make_synthetic(task.data_spec);
+}
+
+core::TrainConfig resolve(const Task& task, const RunSpec& run) {
+  core::TrainConfig config = task.config;
+  config.method = run.method;
+  config.num_workers = run.method == core::Method::kMSGD ? 1 : run.workers;
+  if (run.batch > 0) config.batch_size = run.batch;
+  if (run.momentum >= 0.0) config.momentum = run.momentum;
+  if (run.lr >= 0.0) config.lr = run.lr;
+  if (run.ratio >= 0.0) config.compression.ratio_percent = run.ratio;
+  if (run.seed != 0) config.seed = run.seed;
+  if (run.epochs > 0) config.epochs = run.epochs;
+  if (run.compute_seconds > 0.0) config.compute.base_seconds = run.compute_seconds;
+  if (run.homogeneous) {
+    config.compute.worker_speed.clear();
+    config.compute.jitter_frac = 0.0;
+  }
+  if (run.min_sparsify >= 0)
+    config.compression.min_sparsify_size =
+        static_cast<std::size_t>(run.min_sparsify);
+  if (!run.network.is_ideal()) config.network = run.network;
+  config.record_curve = run.record_curve;
+  config.compression.secondary = run.secondary_compression;
+  config.compression.secondary_ratio_percent = run.secondary_ratio;
+  // The paper lets DGC keep its own training tricks (§5): sparsity warmup
+  // over the first epochs; other methods run bare.
+  config.compression.warmup_epochs =
+      run.method == core::Method::kDGCAsync
+          ? std::min<std::size_t>(4, config.epochs / 3)
+          : 0;
+  config.compute.worker_speed.resize(config.num_workers >
+                                             config.compute.worker_speed.size()
+                                         ? config.num_workers
+                                         : config.compute.worker_speed.size(),
+                                     1.0);
+  return config;
+}
+
+core::RunResult run_one(const Task& task, const data::SyntheticDataset& data,
+                        const RunSpec& run) {
+  const core::TrainConfig config = resolve(task, run);
+  const nn::ModelSpec spec = model_of(task, data);
+  return core::SimEngine(spec, data.train, data.test, config).run();
+}
+
+bool parse_harness_options(util::Flags& flags, HarnessOptions& options) {
+  options.full = flags.boolean("full", false,
+                               "run the full paper-scale schedule (slower)");
+  options.seed = static_cast<std::uint64_t>(
+      flags.i64("seed", 0, "experiment seed (0 = task default)"));
+  options.out_dir = flags.str("out-dir", "", "directory for CSV output");
+  return flags.finish();
+}
+
+std::string csv_path(const HarnessOptions& options, const std::string& name) {
+  if (options.out_dir.empty()) return {};
+  return options.out_dir + "/" + name + ".csv";
+}
+
+}  // namespace dgs::benchkit

@@ -1,0 +1,95 @@
+// Shared experiment kit for the per-table / per-figure benchmark harnesses.
+//
+// A Task bundles the synthetic dataset recipe, the model architecture and
+// the training-config template used by the paper's evaluation section; the
+// harnesses override method / worker count / batch / network per experiment.
+// `epoch_scale` shrinks training for --quick runs (CI smoke) while keeping
+// the schedule shape (LR decay points are fractions of total epochs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/session.h"
+#include "data/synthetic.h"
+#include "util/flags.h"
+
+namespace dgs::benchkit {
+
+struct Task {
+  std::string name;
+  data::SyntheticSpec data_spec;
+  std::size_t model_width = 96;
+  std::size_t model_blocks = 2;
+  core::TrainConfig config;  ///< Template; method/workers set per run.
+};
+
+/// The paper's Cifar10 stand-in: 10 classes, moderate difficulty,
+/// 50-epoch-style schedule with decay at 60%/80%.
+[[nodiscard]] Task make_cifar_task(double epoch_scale = 1.0,
+                                   std::uint64_t seed = 42);
+
+/// The paper's ImageNet stand-in: 50 classes, higher dimension, harder
+/// separation, 90-epoch-style schedule with decay at 33%/67%.
+[[nodiscard]] Task make_imagenet_task(double epoch_scale = 1.0,
+                                      std::uint64_t seed = 1337);
+
+/// Build the model spec for a task given its generated dataset.
+[[nodiscard]] nn::ModelSpec model_of(const Task& task,
+                                     const data::SyntheticDataset& data);
+
+/// Generate the task's dataset (deterministic).
+[[nodiscard]] data::SyntheticDataset load(const Task& task);
+
+/// Per-run overrides applied on top of the task's config template.
+struct RunSpec {
+  core::Method method = core::Method::kDGS;
+  std::size_t workers = 4;
+  std::size_t batch = 0;          ///< 0 = keep the task default.
+  double momentum = -1.0;         ///< <0 = keep the task default.
+  double lr = -1.0;               ///< <0 = keep the task default.
+  double ratio = -1.0;            ///< Top-R%% kept; <0 = keep task default.
+  bool secondary_compression = false;
+  double secondary_ratio = 1.0;
+  comm::NetworkModel network{0.0, 0.0};  ///< ideal = keep the task default.
+  bool record_curve = true;
+  std::uint64_t seed = 0;         ///< 0 = keep the task default.
+  std::size_t epochs = 0;         ///< 0 = keep the task default.
+  double compute_seconds = 0.0;   ///< <=0 = keep the task default. Used by the
+                                  ///< network figures to match the paper's
+                                  ///< transfer/compute ratio (ResNet-18 over
+                                  ///< 1 Gbps is ~3.3x comm-bound).
+  bool homogeneous = false;       ///< Equal-speed, jitter-free workers (used
+                                  ///< by the throughput figure).
+  std::ptrdiff_t min_sparsify = -1;  ///< Override min_sparsify_size; -1 keeps
+                                     ///< the task default, 0 sparsifies all
+                                     ///< layers (paper's Fig. 5/6 setting).
+};
+
+/// Materialize the full TrainConfig for a run (applies method conventions:
+/// MSGD forces workers=1; DGC-async enables sparsity warmup).
+[[nodiscard]] core::TrainConfig resolve(const Task& task, const RunSpec& run);
+
+/// Run one configuration on the deterministic simulation engine.
+[[nodiscard]] core::RunResult run_one(const Task& task,
+                                      const data::SyntheticDataset& data,
+                                      const RunSpec& run);
+
+/// Standard harness flags: --full (longer runs), --seed, --out-dir for CSVs.
+struct HarnessOptions {
+  bool full = false;
+  std::uint64_t seed = 0;  ///< 0 = task default.
+  std::string out_dir;     ///< empty = no CSV output.
+
+  [[nodiscard]] double epoch_scale() const noexcept { return full ? 1.0 : 0.25; }
+};
+
+/// Parses the standard flags; returns true if --help was printed (caller
+/// should exit 0).
+bool parse_harness_options(util::Flags& flags, HarnessOptions& options);
+
+/// "<out_dir>/<name>.csv" or empty when CSV output is disabled.
+[[nodiscard]] std::string csv_path(const HarnessOptions& options,
+                                   const std::string& name);
+
+}  // namespace dgs::benchkit

@@ -1,0 +1,80 @@
+// Figure 3: learning curves of ResNet-18 on ImageNet with 4 workers.
+//
+// Reproduced on the SynthImageNet task. Expected shape: DGS converges
+// smoothly and stays closest to MSGD; DGC-async next; GD-async and ASGD
+// clearly below.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace dgs;
+using core::Method;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  benchkit::HarnessOptions options;
+  const auto workers = static_cast<std::size_t>(
+      flags.i64("workers", 4, "asynchronous worker count"));
+  if (benchkit::parse_harness_options(flags, options)) return 0;
+
+  const benchkit::Task task = benchkit::make_imagenet_task(
+      options.epoch_scale(), options.seed ? options.seed : 1337);
+  const auto data = benchkit::load(task);
+
+  const std::pair<Method, const char*> methods[] = {
+      {Method::kMSGD, "MSGD"},         {Method::kASGD, "ASGD"},
+      {Method::kGDAsync, "GD-async"},  {Method::kDGCAsync, "DGC-async"},
+      {Method::kDGS, "DGS"},
+  };
+
+  std::printf("== Figure 3: ResNet-18 on ImageNet, %zu workers ==\n", workers);
+  std::printf("   (SynthImageNet substitute, %zu epochs%s)\n\n",
+              task.config.epochs,
+              options.full ? "" : "; use --full for the paper-length schedule");
+
+  std::map<Method, core::RunResult> results;
+  for (const auto& [method, name] : methods) {
+    benchkit::RunSpec spec;
+    spec.method = method;
+    spec.workers = workers;
+    results[method] = benchkit::run_one(task, data, spec);
+    std::fprintf(stderr, "%s done (final %.2f%%)\n", name,
+                 100.0 * results[method].final_test_accuracy);
+  }
+
+  util::CurveSet acc("epoch", {"MSGD", "ASGD", "GD-async", "DGC-async", "DGS"});
+  util::CurveSet loss("epoch", {"MSGD", "ASGD", "GD-async", "DGC-async", "DGS"});
+  for (std::size_t e = 1; e <= task.config.epochs; ++e) {
+    std::vector<double> accs, losses;
+    for (const auto& [method, name] : methods) {
+      double a = std::nan(""), l = std::nan("");
+      for (const auto& p : results[method].curve)
+        if (p.epoch == e) {
+          a = 100.0 * p.test_accuracy;
+          l = p.train_loss;
+        }
+      accs.push_back(a);
+      losses.push_back(l);
+    }
+    acc.add_point(static_cast<double>(e), accs);
+    loss.add_point(static_cast<double>(e), losses);
+  }
+
+  std::printf("--- Top-1 accuracy (%%) vs epoch ---\n");
+  acc.print(std::cout);
+  acc.print_ascii_chart(std::cout);
+  std::printf("\n--- Training loss vs epoch ---\n");
+  loss.print(std::cout);
+  loss.print_ascii_chart(std::cout, 72, 20, /*log_y=*/true);
+
+  const std::string acc_csv = benchkit::csv_path(options, "fig3_accuracy");
+  if (!acc_csv.empty()) {
+    acc.write_csv(acc_csv);
+    loss.write_csv(benchkit::csv_path(options, "fig3_loss"));
+  }
+  return 0;
+}

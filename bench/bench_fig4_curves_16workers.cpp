@@ -1,0 +1,77 @@
+// Figure 4: learning curves of ResNet-18 on ImageNet with 16 workers
+// (momentum 0.45 per the paper's ImageNet protocol).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace dgs;
+using core::Method;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  benchkit::HarnessOptions options;
+  const auto workers = static_cast<std::size_t>(
+      flags.i64("workers", 16, "asynchronous worker count"));
+  if (benchkit::parse_harness_options(flags, options)) return 0;
+
+  const benchkit::Task task = benchkit::make_imagenet_task(
+      options.epoch_scale(), options.seed ? options.seed : 1337);
+  const auto data = benchkit::load(task);
+
+  const std::pair<Method, const char*> methods[] = {
+      {Method::kASGD, "ASGD"},
+      {Method::kGDAsync, "GD-async"},
+      {Method::kDGCAsync, "DGC-async"},
+      {Method::kDGS, "DGS"},
+  };
+
+  std::printf("== Figure 4: ResNet-18 on ImageNet, %zu workers (m=0.45) ==\n\n",
+              workers);
+
+  std::map<Method, core::RunResult> results;
+  for (const auto& [method, name] : methods) {
+    benchkit::RunSpec spec;
+    spec.method = method;
+    spec.workers = workers;
+    spec.momentum = 0.45;
+    results[method] = benchkit::run_one(task, data, spec);
+    std::fprintf(stderr, "%s done (final %.2f%%)\n", name,
+                 100.0 * results[method].final_test_accuracy);
+  }
+
+  util::CurveSet acc("epoch", {"ASGD", "GD-async", "DGC-async", "DGS"});
+  util::CurveSet loss("epoch", {"ASGD", "GD-async", "DGC-async", "DGS"});
+  for (std::size_t e = 1; e <= task.config.epochs; ++e) {
+    std::vector<double> accs, losses;
+    for (const auto& [method, name] : methods) {
+      double a = std::nan(""), l = std::nan("");
+      for (const auto& p : results[method].curve)
+        if (p.epoch == e) {
+          a = 100.0 * p.test_accuracy;
+          l = p.train_loss;
+        }
+      accs.push_back(a);
+      losses.push_back(l);
+    }
+    acc.add_point(static_cast<double>(e), accs);
+    loss.add_point(static_cast<double>(e), losses);
+  }
+
+  std::printf("--- Top-1 accuracy (%%) vs epoch ---\n");
+  acc.print(std::cout);
+  acc.print_ascii_chart(std::cout);
+  std::printf("\n--- Training loss vs epoch ---\n");
+  loss.print(std::cout);
+  loss.print_ascii_chart(std::cout, 72, 20, /*log_y=*/true);
+
+  const std::string csv = benchkit::csv_path(options, "fig4_accuracy");
+  if (!csv.empty()) {
+    acc.write_csv(csv);
+    loss.write_csv(benchkit::csv_path(options, "fig4_loss"));
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 5: training loss vs wall-clock time on 8 workers over 1 Gbps
+// Ethernet, ASGD vs DGS (secondary compression on, 99% ratio).
+//
+// The paper reports DGS finishing in 88 minutes vs 506 minutes for ASGD —
+// a 5.7x speedup — because ASGD's downward direction ships the whole model
+// through the server's single NIC. We reproduce the shape with the DES
+// network model: the compute time is calibrated so that the
+// transfer/compute ratio matches the paper's ResNet-18-over-1Gbps regime
+// (a 46 MB model takes ~3.3x longer to download at 1 Gbps than a
+// forward/backward pass takes to compute).
+//
+// This figure uses the paper's actual sparsity (R=1, i.e. 99%) since the
+// wall-clock effect is driven by bytes on the wire, not by accuracy.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "nn/model.h"
+#include "util/table.h"
+
+using namespace dgs;
+using core::Method;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  benchkit::HarnessOptions options;
+  const auto workers = static_cast<std::size_t>(
+      flags.i64("workers", 8, "asynchronous worker count"));
+  const double ratio = flags.f64("ratio", 1.0, "top-R% kept (paper: 1)");
+  if (benchkit::parse_harness_options(flags, options)) return 0;
+
+  const benchkit::Task task = benchkit::make_cifar_task(
+      options.epoch_scale(), options.seed ? options.seed : 42);
+  const auto data = benchkit::load(task);
+
+  // Calibrate compute so transfer(model)/compute == 3.3 at 1 Gbps, as for
+  // ResNet-18 on a V100 in the paper's testbed.
+  const nn::ModelSpec spec = benchkit::model_of(task, data);
+  nn::ModulePtr probe = spec.build();
+  const std::size_t model_bytes =
+      nn::param_numel(probe->parameters()) * sizeof(float);
+  const double transfer_1g = static_cast<double>(model_bytes) * 8.0 / 1e9;
+  const double compute_seconds = transfer_1g / 3.3;
+  // Latency scaled with compute (see bench_fig6_speedup.cpp).
+  const comm::NetworkModel one_g{1e9, compute_seconds * 5e-4};
+
+  auto run = [&](Method method, bool secondary) {
+    benchkit::RunSpec run_spec;
+    run_spec.method = method;
+    run_spec.workers = workers;
+    run_spec.ratio = ratio;
+    run_spec.network = one_g;
+    run_spec.compute_seconds = compute_seconds;
+    run_spec.secondary_compression = secondary;
+    run_spec.secondary_ratio = ratio;
+    run_spec.min_sparsify = 0;  // sparsify every layer, as in the paper
+    return benchkit::run_one(task, data, run_spec);
+  };
+
+  std::printf("== Figure 5: time vs training loss, %zu workers @ 1 Gbps ==\n",
+              workers);
+  std::printf("   model %.1f KB, compute %.3f ms/iter (transfer/compute=3.3)\n\n",
+              model_bytes / 1e3, compute_seconds * 1e3);
+
+  const core::RunResult asgd = run(Method::kASGD, false);
+  std::fprintf(stderr, "ASGD done: %.1f sim-s\n", asgd.sim_seconds);
+  const core::RunResult dgs = run(Method::kDGS, true);
+  std::fprintf(stderr, "DGS  done: %.1f sim-s\n", dgs.sim_seconds);
+
+  // Emit the two loss-vs-time curves on their own time grids.
+  util::Table curves({"series", "sim_time_s", "train_loss"});
+  for (const auto& p : asgd.curve)
+    curves.add_row({"ASGD", util::Table::num(p.sim_seconds, 2),
+                    util::Table::num(p.train_loss, 4)});
+  for (const auto& p : dgs.curve)
+    curves.add_row({"DGS", util::Table::num(p.sim_seconds, 2),
+                    util::Table::num(p.train_loss, 4)});
+  curves.print(std::cout);
+
+  const double speedup = asgd.sim_seconds / dgs.sim_seconds;
+  std::printf("\ncompletion time : ASGD %.1f s, DGS %.1f s -> DGS %.2fx faster"
+              " (paper: 506 min vs 88 min = 5.7x)\n",
+              asgd.sim_seconds, dgs.sim_seconds, speedup);
+  std::printf("final loss      : ASGD %.4f, DGS %.4f\n", asgd.final_train_loss,
+              dgs.final_train_loss);
+  std::printf("downward bytes  : ASGD %.1f MB, DGS %.1f MB\n",
+              asgd.bytes.downward_bytes / 1e6, dgs.bytes.downward_bytes / 1e6);
+
+  const std::string csv = benchkit::csv_path(options, "fig5_lowbandwidth");
+  if (!csv.empty()) curves.write_csv(csv);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) for the kernels on the training hot
+// path: top-k threshold selection (exact and sampled), COO extraction, the
+// wire codec, scatter-add, and the GEMM kernels. Not a paper table; used to
+// keep the substrate costs visible when tuning.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sparse/codec.h"
+#include "sparse/coo.h"
+#include "sparse/topk.h"
+#include "util/math_kernels.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dgs;
+
+std::vector<float> random_values(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.normal(0, 1);
+  return v;
+}
+
+void BM_TopkThresholdExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto v = random_values(n, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sparse::topk_threshold(v, 1.0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TopkThresholdExact)->Range(1 << 10, 1 << 20);
+
+void BM_TopkThresholdSampled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto v = random_values(n, 2);
+  util::Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sparse::sampled_topk_threshold(v, 1.0, 4096, rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TopkThresholdSampled)->Range(1 << 14, 1 << 20);
+
+void BM_ExtractCopy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto v = random_values(n, 4);
+  const float thr = sparse::topk_threshold(v, 1.0);
+  for (auto _ : state) {
+    auto chunk = sparse::extract_copy(0, v, thr);
+    benchmark::DoNotOptimize(chunk);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ExtractCopy)->Range(1 << 12, 1 << 20);
+
+void BM_CodecEncodeDecode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto values = random_values(n, 5);
+  const float thr = sparse::topk_threshold(values, 1.0);
+  sparse::SparseUpdate update;
+  update.layers.push_back(sparse::extract_copy(0, values, thr));
+  for (auto _ : state) {
+    const auto bytes = sparse::encode(update);
+    auto decoded = sparse::decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(sparse::encoded_size(update)));
+}
+BENCHMARK(BM_CodecEncodeDecode)->Range(1 << 12, 1 << 20);
+
+void BM_ScatterAdd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto values = random_values(n, 6);
+  const float thr = sparse::topk_threshold(values, 1.0);
+  const auto chunk = sparse::extract_copy(0, values, thr);
+  std::vector<float> dst(n, 0.0f);
+  for (auto _ : state) {
+    sparse::scatter_add(chunk, 1.0f, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk.nnz()));
+}
+BENCHMARK(BM_ScatterAdd)->Range(1 << 12, 1 << 20);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_values(n * n, 7);
+  const auto b = random_values(n * n, 8);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    util::gemm(n, n, n, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_values(n, 9);
+  std::vector<float> y(n, 1.0f);
+  for (auto _ : state) {
+    util::axpy(0.5f, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 8);
+}
+BENCHMARK(BM_Axpy)->Range(1 << 12, 1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

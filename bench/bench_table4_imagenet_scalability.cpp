@@ -1,0 +1,85 @@
+// Table 4: ResNet-18 on ImageNet with 4 and 16 workers.
+//
+// Follows the paper's momentum protocol for ImageNet: m = 0.7 for the
+// single-node baseline and 4 workers, m = 0.45 for 16 workers (§5.1).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace dgs;
+using core::Method;
+
+namespace {
+
+struct PaperEntry {
+  std::size_t workers;
+  Method method;
+  double top1;
+};
+
+constexpr PaperEntry kPaper[] = {
+    {1, Method::kMSGD, 69.40},      {4, Method::kASGD, 66.68},
+    {4, Method::kGDAsync, 66.26},   {4, Method::kDGCAsync, 68.37},
+    {4, Method::kDGS, 69.00},       {16, Method::kASGD, 66.25},
+    {16, Method::kGDAsync, 66.19},  {16, Method::kDGCAsync, 67.62},
+    {16, Method::kDGS, 68.25},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  benchkit::HarnessOptions options;
+  const auto worker_list =
+      flags.i64_list("workers", {4, 16}, "worker counts to run");
+  if (benchkit::parse_harness_options(flags, options)) return 0;
+
+  const benchkit::Task task = benchkit::make_imagenet_task(
+      options.epoch_scale(), options.seed ? options.seed : 1337);
+  const auto data = benchkit::load(task);
+
+  benchkit::RunSpec baseline;
+  baseline.method = Method::kMSGD;
+  baseline.workers = 1;
+  baseline.momentum = 0.7;
+  baseline.record_curve = false;
+  const double msgd = benchkit::run_one(task, data, baseline).final_test_accuracy;
+  std::fprintf(stderr, "MSGD baseline: %.2f%%\n", 100.0 * msgd);
+
+  util::Table table({"Workers", "Method", "Paper Top-1", "Paper Delta",
+                     "Ours Top-1", "Ours Delta"});
+  table.add_row({"1", "MSGD", "69.40%", "-",
+                 util::Table::pct(100.0 * msgd, 2, false), "-"});
+
+  for (std::int64_t w : worker_list) {
+    for (Method method : {Method::kASGD, Method::kGDAsync, Method::kDGCAsync,
+                          Method::kDGS}) {
+      benchkit::RunSpec spec;
+      spec.method = method;
+      spec.workers = static_cast<std::size_t>(w);
+      spec.momentum = w >= 16 ? 0.45 : 0.7;  // paper's §5.1 protocol
+      spec.record_curve = false;
+      const auto result = benchkit::run_one(task, data, spec);
+      double paper_top1 = 0.0;
+      for (const auto& e : kPaper)
+        if (e.workers == static_cast<std::size_t>(w) && e.method == method)
+          paper_top1 = e.top1;
+      const double ours = 100.0 * result.final_test_accuracy;
+      table.add_row({std::to_string(w), core::method_name(method),
+                     util::Table::pct(paper_top1, 2, false),
+                     util::Table::pct(paper_top1 - 69.40, 2),
+                     util::Table::pct(ours, 2, false),
+                     util::Table::pct(ours - 100.0 * msgd, 2)});
+      std::fprintf(stderr, "w=%lld %s done (%.2f%%)\n",
+                   static_cast<long long>(w), core::method_name(method), ours);
+    }
+  }
+
+  std::printf("== Table 4: ImageNet scalability ==\n");
+  table.print(std::cout);
+  const std::string csv = benchkit::csv_path(options, "table4_scalability");
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

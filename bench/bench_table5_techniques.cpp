@@ -1,0 +1,24 @@
+// Table 5: the technique matrix of all evaluated methods, printed from the
+// method-traits registry (so the table cannot drift from the code).
+#include <iostream>
+
+#include "core/method.h"
+#include "util/table.h"
+
+using namespace dgs;
+using core::Method;
+
+int main() {
+  util::Table table({"Method", "Gradient Sparsification", "Momentum",
+                     "Momentum Correction", "Remaining Gradients Accumulation"});
+  for (Method method : {Method::kASGD, Method::kGDAsync, Method::kDGCAsync,
+                        Method::kDGS, Method::kMSGD}) {
+    const auto& traits = core::method_traits(method);
+    table.add_row({traits.name, traits.sparsification, traits.momentum,
+                   traits.momentum_correction ? "Y" : "N",
+                   traits.residual_accumulation ? "Y" : "N"});
+  }
+  std::cout << "== Table 5: techniques in the evaluated methods ==\n\n";
+  table.print(std::cout);
+  return 0;
+}

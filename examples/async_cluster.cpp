@@ -1,0 +1,59 @@
+// Example: a real multi-threaded parameter-server cluster.
+//
+// Runs DGS on actual std::thread workers (the ThreadEngine) — OS-scheduled
+// asynchrony rather than the simulated clock — and contrasts the measured
+// wall-clock, staleness and traffic against dense ASGD on the same machine.
+//
+//   ./examples/async_cluster [--workers N] [--epochs E]
+#include <cstdio>
+
+#include "core/session.h"
+#include "data/synthetic.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace dgs;
+
+  util::Flags flags(argc, argv);
+  const auto workers = static_cast<std::size_t>(
+      flags.i64("workers", 4, "number of worker threads"));
+  const auto epochs =
+      static_cast<std::size_t>(flags.i64("epochs", 8, "training epochs"));
+  const auto seed = static_cast<std::uint64_t>(flags.i64("seed", 7, "seed"));
+  if (flags.finish()) return 0;
+
+  const auto data = data::make_synthetic(data::SyntheticSpec::synth_cifar(seed));
+  auto spec = nn::ModelSpec::res_mlp(data.train->feature_dim(), 96, 2,
+                                     data.train->num_classes());
+  spec.batch_norm = true;
+
+  core::TrainConfig config;
+  config.num_workers = workers;
+  config.batch_size = 32;
+  config.epochs = epochs;
+  config.lr = 0.05;
+  config.momentum = 0.7;
+  config.compression.ratio_percent = 10.0;
+  config.compression.min_sparsify_size = 512;
+  config.seed = seed;
+
+  std::printf("== ThreadEngine cluster: %zu worker threads, %zu epochs ==\n\n",
+              workers, epochs);
+
+  for (core::Method method : {core::Method::kASGD, core::Method::kDGS}) {
+    config.method = method;
+    core::TrainingSession session(spec, data.train, data.test, config,
+                                  core::EngineKind::kThreaded);
+    const core::RunResult result = session.run();
+    std::printf("%-10s wall %.2fs | top-1 %.2f%% | staleness mean %.2f max %llu"
+                " | up %.2f MB down %.2f MB\n",
+                core::method_name(method), result.wall_seconds,
+                100.0 * result.final_test_accuracy, result.staleness.mean,
+                static_cast<unsigned long long>(result.staleness.max),
+                result.bytes.upward_bytes / 1e6,
+                result.bytes.downward_bytes / 1e6);
+  }
+  std::printf("\nThe DGS rows move ~10-50x less data for comparable accuracy;\n"
+              "staleness comes from genuine OS thread scheduling here.\n");
+  return 0;
+}

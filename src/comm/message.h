@@ -1,0 +1,37 @@
+// Messages exchanged between workers and the parameter server.
+//
+// The payload is always a serialized sparse or dense update (see
+// sparse/codec.h); wire_size() includes a fixed header charge so that even
+// empty messages cost something on the modeled network, as they would with
+// TCP/IP + framing in the paper's gloo deployment.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/codec.h"
+
+namespace dgs::comm {
+
+enum class MessageKind : std::uint8_t {
+  kGradientPush,  ///< worker -> server: encoded g_{k,t}
+  kModelDiff,     ///< server -> worker: encoded G_{k,t+1}
+  kShutdown,      ///< server -> worker: stop training
+};
+
+/// Fixed per-message overhead charged by the network model (Ethernet + IP +
+/// TCP headers and framing, amortized): 64 bytes.
+inline constexpr std::size_t kMessageHeaderBytes = 64;
+
+struct Message {
+  MessageKind kind = MessageKind::kGradientPush;
+  std::int32_t worker_id = -1;
+  std::uint64_t worker_step = 0;  ///< Worker-local iteration c.
+  std::uint64_t server_step = 0;  ///< Server timestamp t known to the sender.
+  sparse::Bytes payload;
+
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return payload.size() + kMessageHeaderBytes;
+  }
+};
+
+}  // namespace dgs::comm

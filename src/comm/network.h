@@ -1,0 +1,68 @@
+// Network timing model for the discrete-event engine.
+//
+// Reproduces the paper's two environments (10 Gbps and 1 Gbps Ethernet LAN,
+// §5.2 / §5.5) without hardware: a message of b bytes occupies a link for
+// latency + b*8/bandwidth seconds. The parameter server hangs off a single
+// NIC, so all worker<->server transfers in one direction serialize through a
+// SharedLink FIFO — this is what makes dense ASGD stop scaling in Fig. 6.
+#pragma once
+
+#include <cstdint>
+
+namespace dgs::comm {
+
+struct NetworkModel {
+  double bandwidth_bps = 10e9;  ///< Link bandwidth, bits per second.
+  double latency_s = 50e-6;     ///< One-way latency per message.
+
+  [[nodiscard]] static NetworkModel ten_gbps() { return {10e9, 50e-6}; }
+  [[nodiscard]] static NetworkModel one_gbps() { return {1e9, 50e-6}; }
+  /// Infinite bandwidth / zero latency — isolates compute in ablations.
+  [[nodiscard]] static NetworkModel ideal() { return {0.0, 0.0}; }
+
+  [[nodiscard]] bool is_ideal() const noexcept { return bandwidth_bps <= 0.0; }
+
+  /// End-to-end time of one message on an idle link: serialization +
+  /// propagation.
+  [[nodiscard]] double transfer_seconds(std::size_t bytes) const noexcept {
+    if (is_ideal()) return 0.0;
+    return latency_s + serialization_seconds(bytes);
+  }
+
+  /// Time the message occupies the link (what serializes through a shared
+  /// NIC). Propagation latency overlaps with other transfers and is added
+  /// after the link releases the message.
+  [[nodiscard]] double serialization_seconds(std::size_t bytes) const noexcept {
+    if (is_ideal()) return 0.0;
+    return static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  }
+};
+
+/// FIFO link resource for the DES: transfers serialize; begin(now, duration)
+/// returns the completion time and advances the link clock.
+class SharedLink {
+ public:
+  /// Schedule a transfer arriving at `now` lasting `duration`; returns the
+  /// completion time (start may be delayed by earlier transfers).
+  double begin(double now, double duration) noexcept {
+    const double start = now > next_free_ ? now : next_free_;
+    next_free_ = start + duration;
+    busy_ += duration;
+    return next_free_;
+  }
+
+  void reset() noexcept {
+    next_free_ = 0.0;
+    busy_ = 0.0;
+  }
+
+  [[nodiscard]] double next_free_time() const noexcept { return next_free_; }
+  /// Total seconds the link spent transferring (utilization numerator).
+  [[nodiscard]] double busy_seconds() const noexcept { return busy_; }
+
+ private:
+  double next_free_ = 0.0;
+  double busy_ = 0.0;
+};
+
+}  // namespace dgs::comm

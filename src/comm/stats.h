@@ -1,0 +1,36 @@
+// Communication accounting: bytes and messages per direction.
+#pragma once
+
+#include <cstdint>
+
+namespace dgs::comm {
+
+struct ByteCounter {
+  std::uint64_t upward_bytes = 0;    ///< worker -> server
+  std::uint64_t downward_bytes = 0;  ///< server -> worker
+  std::uint64_t upward_messages = 0;
+  std::uint64_t downward_messages = 0;
+
+  void count_up(std::size_t bytes) noexcept {
+    upward_bytes += bytes;
+    ++upward_messages;
+  }
+  void count_down(std::size_t bytes) noexcept {
+    downward_bytes += bytes;
+    ++downward_messages;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return upward_bytes + downward_bytes;
+  }
+
+  ByteCounter& operator+=(const ByteCounter& other) noexcept {
+    upward_bytes += other.upward_bytes;
+    downward_bytes += other.downward_bytes;
+    upward_messages += other.upward_messages;
+    downward_messages += other.downward_messages;
+    return *this;
+  }
+};
+
+}  // namespace dgs::comm

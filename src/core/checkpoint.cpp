@@ -1,0 +1,105 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace dgs::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44475343;  // 'DGSC'
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_raw(std::FILE* f, const void* p, std::size_t n, const std::string& path) {
+  if (std::fwrite(p, 1, n, f) != n)
+    throw std::runtime_error("checkpoint: write failed: " + path);
+}
+
+void read_raw(std::FILE* f, void* p, std::size_t n, const std::string& path) {
+  if (std::fread(p, 1, n, f) != n)
+    throw std::runtime_error("checkpoint: truncated file: " + path);
+}
+
+}  // namespace
+
+std::vector<float> Checkpoint::flat() const {
+  std::vector<float> out;
+  for (const auto& layer : layers) out.insert(out.end(), layer.begin(), layer.end());
+  return out;
+}
+
+Checkpoint Checkpoint::from_flat(const std::vector<float>& theta,
+                                 const std::vector<std::size_t>& sizes,
+                                 std::uint64_t step, double accuracy) {
+  std::size_t total = 0;
+  for (std::size_t s : sizes) total += s;
+  if (theta.size() != total)
+    throw std::invalid_argument("checkpoint: flat size mismatch");
+  Checkpoint checkpoint;
+  checkpoint.step = step;
+  checkpoint.accuracy = accuracy;
+  std::size_t at = 0;
+  for (std::size_t s : sizes) {
+    checkpoint.layers.emplace_back(theta.begin() + static_cast<std::ptrdiff_t>(at),
+                                   theta.begin() + static_cast<std::ptrdiff_t>(at + s));
+    at += s;
+  }
+  return checkpoint;
+}
+
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("checkpoint: cannot open for write: " + path);
+  write_raw(f.get(), &kMagic, 4, path);
+  write_raw(f.get(), &kVersion, 4, path);
+  write_raw(f.get(), &checkpoint.step, 8, path);
+  write_raw(f.get(), &checkpoint.accuracy, 8, path);
+  const auto num_layers = static_cast<std::uint32_t>(checkpoint.layers.size());
+  write_raw(f.get(), &num_layers, 4, path);
+  for (const auto& layer : checkpoint.layers) {
+    const auto size = static_cast<std::uint32_t>(layer.size());
+    write_raw(f.get(), &size, 4, path);
+    write_raw(f.get(), layer.data(), layer.size() * sizeof(float), path);
+  }
+  if (std::fflush(f.get()) != 0)
+    throw std::runtime_error("checkpoint: flush failed: " + path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("checkpoint: cannot open: " + path);
+  std::uint32_t magic = 0, version = 0;
+  read_raw(f.get(), &magic, 4, path);
+  if (magic != kMagic) throw std::runtime_error("checkpoint: bad magic: " + path);
+  read_raw(f.get(), &version, 4, path);
+  if (version != kVersion)
+    throw std::runtime_error("checkpoint: unsupported version: " + path);
+  Checkpoint checkpoint;
+  read_raw(f.get(), &checkpoint.step, 8, path);
+  read_raw(f.get(), &checkpoint.accuracy, 8, path);
+  std::uint32_t num_layers = 0;
+  read_raw(f.get(), &num_layers, 4, path);
+  checkpoint.layers.resize(num_layers);
+  for (auto& layer : checkpoint.layers) {
+    std::uint32_t size = 0;
+    read_raw(f.get(), &size, 4, path);
+    layer.resize(size);
+    read_raw(f.get(), layer.data(), size * sizeof(float), path);
+  }
+  // Reject trailing garbage.
+  char extra;
+  if (std::fread(&extra, 1, 1, f.get()) == 1)
+    throw std::runtime_error("checkpoint: trailing bytes: " + path);
+  return checkpoint;
+}
+
+}  // namespace dgs::core

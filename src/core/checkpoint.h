@@ -1,0 +1,35 @@
+// Model checkpointing: save / load a parameter snapshot (plus metadata) to
+// a binary file, so long training jobs can resume and the best evaluated
+// model can be kept. Format:
+//   u32 magic 'DGSC' | u32 version | u64 step | f64 accuracy |
+//   u32 num_layers | per layer: u32 dense_size | dense_size * f32
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dgs::core {
+
+struct Checkpoint {
+  std::uint64_t step = 0;     ///< Server step (or epoch) at save time.
+  double accuracy = 0.0;      ///< Evaluation metric at save time.
+  std::vector<std::vector<float>> layers;
+
+  /// Flattened view of all layers (layer order).
+  [[nodiscard]] std::vector<float> flat() const;
+
+  /// Split a flat parameter vector by layer sizes.
+  [[nodiscard]] static Checkpoint from_flat(const std::vector<float>& theta,
+                                            const std::vector<std::size_t>& sizes,
+                                            std::uint64_t step = 0,
+                                            double accuracy = 0.0);
+};
+
+/// Write a checkpoint; throws std::runtime_error on I/O failure.
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path);
+
+/// Read a checkpoint; throws std::runtime_error on I/O or format errors.
+[[nodiscard]] Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace dgs::core

@@ -1,0 +1,98 @@
+// Experiment configuration shared by both engines and all benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/network.h"
+#include "core/method.h"
+
+namespace dgs::core {
+
+/// Sparsification knobs. `ratio_percent` is R in the paper's notation:
+/// R = 1 keeps the top 1% of magnitudes per layer (99% sparsity).
+struct CompressionConfig {
+  double ratio_percent = 1.0;
+  bool secondary = false;  ///< Server-side secondary compression (Alg. 2 l.5-11).
+  double secondary_ratio_percent = 1.0;
+  /// Sparsity warmup (a DGC training trick): during the first N epochs the
+  /// keep-ratio decays 25% -> 6.25% -> 1.56% -> ... per epoch until it
+  /// reaches ratio_percent. 0 disables warmup.
+  std::size_t warmup_epochs = 0;
+  /// Gradient clipping by global L2 norm (another DGC trick); 0 disables.
+  double clip_norm = 0.0;
+  /// Layers with fewer elements than this are always sent densely (the
+  /// common practice of exempting biases and BatchNorm parameters from
+  /// sparsification -- top-1%% of a 128-element gamma would deliver huge,
+  /// badly delayed multiplicative lumps). 0 sparsifies everything.
+  std::size_t min_sparsify_size = 0;
+
+  /// Keep-ratio in effect during the given worker epoch.
+  [[nodiscard]] double ratio_at_epoch(std::size_t epoch) const noexcept {
+    if (epoch >= warmup_epochs) return ratio_percent;
+    double r = 25.0;
+    for (std::size_t e = 0; e < epoch; ++e) r *= 0.25;
+    return r > ratio_percent ? r : ratio_percent;
+  }
+
+  /// Keep-ratio for one layer: small layers are exempt from sparsification.
+  [[nodiscard]] double layer_ratio(std::size_t layer_size,
+                                   std::size_t epoch) const noexcept {
+    if (layer_size < min_sparsify_size) return 100.0;
+    return ratio_at_epoch(epoch);
+  }
+};
+
+/// Per-iteration compute time model for the discrete-event engine. The paper
+/// trained on V100 GPUs; we model a forward-backward pass as base_seconds
+/// (scaled per worker for heterogeneity) with multiplicative uniform jitter,
+/// which is what creates realistic staleness distributions.
+struct ComputeModel {
+  double base_seconds = 5e-3;
+  double jitter_frac = 0.10;                ///< time *= 1 + U(-j, +j)
+  std::vector<double> worker_speed;         ///< Optional multipliers, size N.
+
+  [[nodiscard]] double speed_of(std::size_t worker) const noexcept {
+    return worker < worker_speed.size() ? worker_speed[worker] : 1.0;
+  }
+};
+
+struct TrainConfig {
+  Method method = Method::kDGS;
+  std::size_t num_workers = 4;
+  std::size_t batch_size = 32;   ///< Per-worker batch size.
+  std::size_t epochs = 10;       ///< Global epochs over the training set.
+  double lr = 0.1;
+  double momentum = 0.7;
+  /// LR decays by lr_decay_factor at these fractions of total epochs
+  /// (the paper decays at 30/50 & 40/50 for Cifar10, 30/90 & 60/90 for
+  /// ImageNet).
+  std::vector<double> lr_decay_at = {0.6, 0.8};
+  double lr_decay_factor = 0.1;
+
+  CompressionConfig compression;
+  comm::NetworkModel network = comm::NetworkModel::ten_gbps();
+  ComputeModel compute;
+
+  std::uint64_t seed = 123;
+  /// Optional warm start: when non-empty, training begins from these
+  /// flattened parameters (e.g. a loaded Checkpoint) instead of a fresh
+  /// seed-derived initialization.
+  std::vector<float> warm_start;
+  bool record_curve = true;
+  /// Evaluate on the test set every this many epochs (0 = final only).
+  std::size_t eval_every_epochs = 1;
+  std::size_t eval_batch = 256;
+
+  /// Learning rate in effect during the given (0-based) global epoch.
+  [[nodiscard]] double lr_at_epoch(std::size_t epoch) const noexcept {
+    double rate = lr;
+    for (double frac : lr_decay_at)
+      if (static_cast<double>(epoch) >=
+          frac * static_cast<double>(epochs) - 1e-9)
+        rate *= lr_decay_factor;
+    return rate;
+  }
+};
+
+}  // namespace dgs::core

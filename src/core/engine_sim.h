@@ -1,0 +1,46 @@
+// Discrete-event simulation engine.
+//
+// Replays the asynchronous PS protocol on a simulated clock: workers take
+// compute_model time per forward/backward, messages occupy the server's
+// shared up/down links for latency + bytes/bandwidth seconds (FIFO), and the
+// server processes pushes strictly in simulated arrival order. All training
+// math is executed for real at event time, so staleness, sparsification and
+// convergence are genuine — only *time* is modeled. Deterministic given the
+// config seed.
+//
+// This is the engine behind every accuracy table and both of the paper's
+// wall-clock figures (Fig. 5, Fig. 6): byte counts come from the real
+// encoded message sizes crossing the codec.
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+#include "nn/model.h"
+
+namespace dgs::core {
+
+class SimEngine {
+ public:
+  SimEngine(nn::ModelSpec spec, std::shared_ptr<const data::Dataset> train,
+            std::shared_ptr<const data::Dataset> test, TrainConfig config);
+
+  /// Run the full training job and return metrics. Callable once.
+  [[nodiscard]] RunResult run();
+
+ private:
+  nn::ModelSpec spec_;
+  std::shared_ptr<const data::Dataset> train_;
+  std::shared_ptr<const data::Dataset> test_;
+  TrainConfig config_;
+  bool used_ = false;
+};
+
+/// Build theta_0 for a spec deterministically from a seed (the same initial
+/// model all replicas start from).
+[[nodiscard]] std::vector<float> initial_parameters(const nn::ModelSpec& spec,
+                                                    std::uint64_t seed);
+
+}  // namespace dgs::core

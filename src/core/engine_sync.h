@@ -1,0 +1,38 @@
+// Synchronous SSGD engine (the setting Gradient Dropping and DGC were
+// originally designed for, §3.1 of the paper).
+//
+// Each round every worker computes a gradient on the SAME global model,
+// runs its per-method compression (residuals stay worker-local), and the
+// server applies the AVERAGE of the N updates before broadcasting the new
+// model to everyone. The simulated round time is the synchronization
+// barrier: max over workers of (compute + upload through the shared server
+// NIC) plus the broadcast — which is exactly why stragglers hurt SSGD and
+// motivate the asynchronous training DGS targets.
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace dgs::core {
+
+class SyncEngine {
+ public:
+  SyncEngine(nn::ModelSpec spec, std::shared_ptr<const data::Dataset> train,
+             std::shared_ptr<const data::Dataset> test, TrainConfig config);
+
+  /// Run the full training job and return metrics. Callable once.
+  [[nodiscard]] RunResult run();
+
+ private:
+  nn::ModelSpec spec_;
+  std::shared_ptr<const data::Dataset> train_;
+  std::shared_ptr<const data::Dataset> test_;
+  TrainConfig config_;
+  bool used_ = false;
+};
+
+}  // namespace dgs::core

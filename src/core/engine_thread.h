@@ -1,0 +1,37 @@
+// Real-thread engine: one std::thread per worker plus a server thread,
+// connected by comm::Channel queues.
+//
+// This engine provides genuine OS-scheduled asynchrony (no modeled clock):
+// workers race, the server applies pushes in true arrival order, and all
+// state crosses the same codec boundary as in the simulation engine. It is
+// used for thread-safety validation, wall-clock throughput measurements and
+// the cluster examples; the DES engine is used when deterministic curves or
+// modeled bandwidth are needed.
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace dgs::core {
+
+class ThreadEngine {
+ public:
+  ThreadEngine(nn::ModelSpec spec, std::shared_ptr<const data::Dataset> train,
+               std::shared_ptr<const data::Dataset> test, TrainConfig config);
+
+  /// Run the full training job on real threads; blocks until completion.
+  [[nodiscard]] RunResult run();
+
+ private:
+  nn::ModelSpec spec_;
+  std::shared_ptr<const data::Dataset> train_;
+  std::shared_ptr<const data::Dataset> test_;
+  TrainConfig config_;
+  bool used_ = false;
+};
+
+}  // namespace dgs::core

@@ -1,0 +1,50 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/loss.h"
+
+namespace dgs::core {
+
+Evaluator::Evaluator(const nn::ModelSpec& spec,
+                     std::shared_ptr<const data::Dataset> test_data,
+                     std::size_t eval_batch)
+    : spec_(spec),
+      data_(std::move(test_data)),
+      eval_batch_(eval_batch),
+      model_(spec.build()),
+      params_(model_->parameters()) {}
+
+EvalResult Evaluator::evaluate(const std::vector<float>& theta_flat) {
+  nn::param_scatter_values(theta_flat, params_);
+
+  const std::size_t n = data_->size();
+  const std::size_t dim = data_->feature_dim();
+  std::vector<std::size_t> indices(eval_batch_);
+  std::vector<float> features(eval_batch_ * dim);
+  std::vector<std::int32_t> labels(eval_batch_);
+
+  std::size_t correct = 0;
+  double loss_sum = 0.0;
+  for (std::size_t start = 0; start < n; start += eval_batch_) {
+    const std::size_t count = std::min(eval_batch_, n - start);
+    indices.resize(count);
+    std::iota(indices.begin(), indices.end(), start);
+    labels.resize(count);
+    data_->fill_batch(indices, features.data(), labels.data());
+    nn::Tensor input = nn::Tensor::from(
+        spec_.input_shape(count),
+        std::vector<float>(features.begin(),
+                           features.begin() + static_cast<std::ptrdiff_t>(count * dim)));
+    nn::Tensor logits = model_->forward(input, /*train=*/false);
+    correct += nn::count_correct(logits, labels);
+    loss_sum += nn::softmax_loss_only(logits, labels) * static_cast<double>(count);
+  }
+  EvalResult result;
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  result.loss = loss_sum / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace dgs::core

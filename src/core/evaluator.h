@@ -1,0 +1,34 @@
+// Held-out evaluation of a parameter snapshot (the server's global model).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace dgs::core {
+
+struct EvalResult {
+  double accuracy = 0.0;
+  double loss = 0.0;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const nn::ModelSpec& spec,
+            std::shared_ptr<const data::Dataset> test_data,
+            std::size_t eval_batch = 256);
+
+  /// Evaluate the model defined by the flattened parameter vector.
+  [[nodiscard]] EvalResult evaluate(const std::vector<float>& theta_flat);
+
+ private:
+  nn::ModelSpec spec_;
+  std::shared_ptr<const data::Dataset> data_;
+  std::size_t eval_batch_;
+  nn::ModulePtr model_;
+  std::vector<nn::Parameter*> params_;
+};
+
+}  // namespace dgs::core

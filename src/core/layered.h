@@ -1,0 +1,49 @@
+// Per-layer float state ("layered vectors") shared by the server and the
+// worker-side optimizers. Layer j corresponds to parameter j of the model,
+// matching the per-layer loop of Algorithms 1-3.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dgs::core {
+
+using LayeredVec = std::vector<std::vector<float>>;
+
+/// Zero-initialized layered vector with the given per-layer sizes.
+[[nodiscard]] inline LayeredVec make_layered(const std::vector<std::size_t>& sizes) {
+  LayeredVec v;
+  v.reserve(sizes.size());
+  for (std::size_t s : sizes) v.emplace_back(s, 0.0f);
+  return v;
+}
+
+[[nodiscard]] inline std::size_t layered_numel(const LayeredVec& v) noexcept {
+  std::size_t n = 0;
+  for (const auto& layer : v) n += layer.size();
+  return n;
+}
+
+/// Concatenate into one flat vector (layer order).
+[[nodiscard]] inline std::vector<float> layered_flatten(const LayeredVec& v) {
+  std::vector<float> flat;
+  flat.reserve(layered_numel(v));
+  for (const auto& layer : v) flat.insert(flat.end(), layer.begin(), layer.end());
+  return flat;
+}
+
+/// Split a flat vector by per-layer sizes.
+[[nodiscard]] inline LayeredVec layered_split(std::span<const float> flat,
+                                              const std::vector<std::size_t>& sizes) {
+  LayeredVec v;
+  v.reserve(sizes.size());
+  std::size_t at = 0;
+  for (std::size_t s : sizes) {
+    v.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(at),
+                   flat.begin() + static_cast<std::ptrdiff_t>(at + s));
+    at += s;
+  }
+  return v;
+}
+
+}  // namespace dgs::core

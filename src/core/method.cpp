@@ -1,0 +1,45 @@
+#include "core/method.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dgs::core {
+
+const MethodTraits& method_traits(Method method) noexcept {
+  static const MethodTraits kTraits[] = {
+      {"MSGD", "N", "vanilla momentum", false, false},
+      {"ASGD", "N", "N", false, false},
+      {"GD-async", "model-difference dual-way top-k", "N", false, true},
+      {"DGC-async", "model-difference dual-way top-k", "vanilla momentum", true,
+       true},
+      {"DGS", "model-difference dual-way top-k", "SAMomentum", false, false},
+      {"TernGrad-async", "ternary quantization", "N", false, false},
+      {"RandomDrop-async", "random coordinate dropping", "N", false, false},
+      {"DGS+Tern", "dual-way top-k + ternary values", "SAMomentum", false,
+       false},
+  };
+  return kTraits[static_cast<std::size_t>(method)];
+}
+
+Method parse_method(const std::string& text) {
+  std::string t = text;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (t == "msgd") return Method::kMSGD;
+  if (t == "asgd") return Method::kASGD;
+  if (t == "gd" || t == "gd-async" || t == "gdasync") return Method::kGDAsync;
+  if (t == "dgc" || t == "dgc-async" || t == "dgcasync") return Method::kDGCAsync;
+  if (t == "dgs") return Method::kDGS;
+  if (t == "terngrad" || t == "tern") return Method::kTernGrad;
+  if (t == "randomdrop" || t == "rdrop") return Method::kRandomDrop;
+  if (t == "dgs+tern" || t == "dgstern") return Method::kDgsTernary;
+  throw std::invalid_argument("unknown method: " + text);
+}
+
+bool method_sparsifies(Method method) noexcept {
+  return method == Method::kGDAsync || method == Method::kDGCAsync ||
+         method == Method::kDGS || method == Method::kRandomDrop ||
+         method == Method::kDgsTernary;
+}
+
+}  // namespace dgs::core

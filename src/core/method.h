@@ -1,0 +1,46 @@
+// The five training methods of the paper's evaluation (§5, Table 5) and
+// their technique traits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dgs::core {
+
+enum class Method : std::uint8_t {
+  kMSGD,      ///< Single-node SGD with vanilla momentum (the baseline).
+  kASGD,      ///< Dense asynchronous SGD (no sparsification, no momentum).
+  kGDAsync,   ///< Gradient Dropping + model-difference downward compression.
+  kDGCAsync,  ///< Deep Gradient Compression (momentum correction + factor
+              ///< masking), made async via model-difference compression.
+  kDGS,       ///< This paper: dual-way sparsification + SAMomentum.
+
+  // Extensions from the paper's future-work section (§6): combinations of
+  // DGS-style training with other compression families.
+  kTernGrad,    ///< TernGrad-async: ternary-quantized dense gradients.
+  kRandomDrop,  ///< Random coordinate dropping (unbiased 1/p rescaling).
+  kDgsTernary,  ///< DGS + ternary quantization of the sent sparse values.
+};
+
+/// Technique matrix exactly as laid out in Table 5 of the paper.
+struct MethodTraits {
+  const char* name;
+  const char* sparsification;  ///< Upward gradient sparsification scheme.
+  const char* momentum;        ///< Momentum variant, or "N".
+  bool momentum_correction;    ///< DGC-style velocity accumulation.
+  bool residual_accumulation;  ///< Keeps unsent gradients in a residual.
+};
+
+[[nodiscard]] const MethodTraits& method_traits(Method method) noexcept;
+
+[[nodiscard]] inline const char* method_name(Method method) noexcept {
+  return method_traits(method).name;
+}
+
+/// Parse "msgd" | "asgd" | "gd" | "dgc" | "dgs" (case-insensitive).
+[[nodiscard]] Method parse_method(const std::string& text);
+
+/// True for methods that sparsify the upward direction.
+[[nodiscard]] bool method_sparsifies(Method method) noexcept;
+
+}  // namespace dgs::core

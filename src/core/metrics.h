@@ -1,0 +1,59 @@
+// Run results: learning curves, byte accounting, timing and staleness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/stats.h"
+
+namespace dgs::core {
+
+/// One evaluation point on the learning curve.
+struct EpochPoint {
+  std::size_t epoch = 0;       ///< Global epoch just completed (1-based).
+  double sim_seconds = 0.0;    ///< Simulated (or wall) time at evaluation.
+  double train_loss = 0.0;     ///< Mean training batch loss over the epoch.
+  double test_accuracy = 0.0;  ///< Top-1 on the held-out set.
+  double test_loss = 0.0;
+};
+
+struct StalenessStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t max = 0;
+
+  void record(std::uint64_t staleness) noexcept {
+    mean = (mean * static_cast<double>(count) + static_cast<double>(staleness)) /
+           static_cast<double>(count + 1);
+    ++count;
+    if (staleness > max) max = staleness;
+  }
+};
+
+struct RunResult {
+  std::vector<EpochPoint> curve;
+  /// Final global model (flattened, layer order) — checkpointable via
+  /// core/checkpoint.h.
+  std::vector<float> final_model;
+  double final_test_accuracy = 0.0;
+  double final_train_loss = 0.0;
+  double sim_seconds = 0.0;          ///< Simulated completion time (DES).
+  double wall_seconds = 0.0;         ///< Real time the run took to execute.
+  std::uint64_t server_steps = 0;    ///< Total updates applied at the server.
+  std::uint64_t samples_processed = 0;
+  comm::ByteCounter bytes;
+  StalenessStats staleness;
+  std::size_t server_state_bytes = 0;
+  std::size_t worker_state_bytes = 0;  ///< Max optimizer state over workers.
+  double mean_upward_density = 0.0;    ///< Mean nnz/dense of pushed updates.
+  double mean_downward_density = 0.0;  ///< Mean nnz/dense of model-diff replies.
+
+  /// Training throughput in samples per simulated second.
+  [[nodiscard]] double samples_per_second() const noexcept {
+    return sim_seconds > 0.0
+               ? static_cast<double>(samples_processed) / sim_seconds
+               : 0.0;
+  }
+};
+
+}  // namespace dgs::core

@@ -1,0 +1,253 @@
+#include "core/optimizer.h"
+
+#include "core/optimizer_ext.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/topk.h"
+#include "util/math_kernels.h"
+
+namespace dgs::core {
+
+namespace {
+
+void check_grads(const GradViews& grads, const LayeredVec& state) {
+  if (grads.size() != state.size())
+    throw std::invalid_argument("optimizer: layer count mismatch");
+  for (std::size_t j = 0; j < grads.size(); ++j)
+    if (grads[j].size() != state[j].size())
+      throw std::invalid_argument("optimizer: layer size mismatch");
+}
+
+void check_grads(const GradViews& grads, const std::vector<std::size_t>& sizes) {
+  if (grads.size() != sizes.size())
+    throw std::invalid_argument("optimizer: layer count mismatch");
+  for (std::size_t j = 0; j < grads.size(); ++j)
+    if (grads[j].size() != sizes[j])
+      throw std::invalid_argument("optimizer: layer size mismatch");
+}
+
+/// Chunk holding an entire layer densely (idx = 0..n-1, val = values).
+sparse::LayerChunk full_chunk(std::uint32_t layer, std::span<const float> values) {
+  sparse::LayerChunk chunk;
+  chunk.layer = layer;
+  chunk.dense_size = static_cast<std::uint32_t>(values.size());
+  chunk.idx.resize(values.size());
+  chunk.val.assign(values.begin(), values.end());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    chunk.idx[i] = static_cast<std::uint32_t>(i);
+  return chunk;
+}
+
+}  // namespace
+
+sparse::Bytes WorkerAlgorithm::encode_update(
+    const sparse::SparseUpdate& update) const {
+  if (prefers_dense_encoding()) {
+    sparse::DenseUpdate dense;
+    dense.layers.resize(update.layers.size());
+    for (std::size_t j = 0; j < update.layers.size(); ++j) {
+      dense.layers[j].layer = update.layers[j].layer;
+      dense.layers[j].values = sparse::densify(update.layers[j]);
+    }
+    return sparse::encode(dense);
+  }
+  return sparse::encode(update);
+}
+
+// ------------------------------------------------------------------ DenseSgd
+
+DenseSgd::DenseSgd(const std::vector<std::size_t>& layer_sizes)
+    : WorkerAlgorithm(Method::kASGD), sizes_(layer_sizes) {}
+
+sparse::SparseUpdate DenseSgd::step(const GradViews& grads, float lr,
+                                    std::size_t /*epoch*/) {
+  check_grads(grads, sizes_);
+  sparse::SparseUpdate update;
+  update.layers.reserve(grads.size());
+  std::vector<float> scaled;
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    scaled.assign(grads[j].begin(), grads[j].end());
+    util::scale(lr, {scaled.data(), scaled.size()});
+    update.layers.push_back(
+        full_chunk(static_cast<std::uint32_t>(j), {scaled.data(), scaled.size()}));
+  }
+  return update;
+}
+
+// -------------------------------------------------------------- DenseMomentum
+
+DenseMomentum::DenseMomentum(const std::vector<std::size_t>& layer_sizes,
+                             float momentum)
+    : WorkerAlgorithm(Method::kMSGD), m_(momentum), u_(make_layered(layer_sizes)) {}
+
+sparse::SparseUpdate DenseMomentum::step(const GradViews& grads, float lr,
+                                         std::size_t /*epoch*/) {
+  check_grads(grads, u_);
+  sparse::SparseUpdate update;
+  update.layers.reserve(grads.size());
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    auto& u = u_[j];
+    // u = m*u + lr*grad (Eq. 8 with eta folded in)
+    util::axpby(lr, grads[j], m_, {u.data(), u.size()});
+    update.layers.push_back(
+        full_chunk(static_cast<std::uint32_t>(j), {u.data(), u.size()}));
+  }
+  return update;
+}
+
+std::size_t DenseMomentum::state_bytes() const noexcept {
+  return layered_numel(u_) * sizeof(float);
+}
+
+// ----------------------------------------------------------- GradientDropping
+
+GradientDropping::GradientDropping(const std::vector<std::size_t>& layer_sizes,
+                                   CompressionConfig compression)
+    : WorkerAlgorithm(Method::kGDAsync),
+      compression_(compression),
+      r_(make_layered(layer_sizes)) {}
+
+sparse::SparseUpdate GradientDropping::step(const GradViews& grads, float lr,
+                                            std::size_t epoch) {
+  check_grads(grads, r_);
+  sparse::SparseUpdate update;
+  update.layers.reserve(grads.size());
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    auto& r = r_[j];
+    std::span<float> rs{r.data(), r.size()};
+    // r = r + lr*grad (Algorithm 1 line 6)
+    util::axpy(lr, grads[j], rs);
+    // thr <- R% of |r|; send top entries, keep the rest as residual.
+    const float thr = sparse::topk_threshold(
+        {r.data(), r.size()}, compression_.layer_ratio(r.size(), epoch));
+    update.layers.push_back(
+        sparse::extract_and_zero(static_cast<std::uint32_t>(j), rs, thr));
+  }
+  return update;
+}
+
+std::size_t GradientDropping::state_bytes() const noexcept {
+  return layered_numel(r_) * sizeof(float);
+}
+
+// ---------------------------------------------------- DeepGradientCompression
+
+DeepGradientCompression::DeepGradientCompression(
+    const std::vector<std::size_t>& layer_sizes, CompressionConfig compression,
+    float momentum)
+    : WorkerAlgorithm(Method::kDGCAsync),
+      compression_(compression),
+      m_(momentum),
+      u_(make_layered(layer_sizes)),
+      v_(make_layered(layer_sizes)) {}
+
+sparse::SparseUpdate DeepGradientCompression::step(const GradViews& grads,
+                                                   float lr, std::size_t epoch) {
+  check_grads(grads, u_);
+  // Optional gradient clipping by global L2 norm (a DGC training trick).
+  float scale = 1.0f;
+  const auto clip = static_cast<float>(compression_.clip_norm);
+  if (clip > 0.0f) {
+    double sq = 0.0;
+    for (const auto& g : grads) sq += util::dot(g, g);
+    const auto norm = static_cast<float>(std::sqrt(sq));
+    if (norm > clip) scale = clip / norm;
+  }
+
+  sparse::SparseUpdate update;
+  update.layers.reserve(grads.size());
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    auto& u = u_[j];
+    auto& v = v_[j];
+    // Momentum correction: u = m*u + lr*grad; v = v + u  (Lin et al. Eq. 4)
+    util::axpby(lr * scale, grads[j], m_, {u.data(), u.size()});
+    util::axpy(1.0f, {u.data(), u.size()}, {v.data(), v.size()});
+    const float thr = sparse::topk_threshold(
+        {v.data(), v.size()}, compression_.layer_ratio(v.size(), epoch));
+    // Send top entries of the corrected velocity; factor masking zeroes the
+    // velocity where sent so stale momentum does not double-fire.
+    auto chunk = sparse::extract_and_zero(static_cast<std::uint32_t>(j),
+                                          {v.data(), v.size()}, thr);
+    for (std::uint32_t idx : chunk.idx) u[idx] = 0.0f;
+    update.layers.push_back(std::move(chunk));
+  }
+  return update;
+}
+
+std::size_t DeepGradientCompression::state_bytes() const noexcept {
+  return (layered_numel(u_) + layered_numel(v_)) * sizeof(float);
+}
+
+// ---------------------------------------------------------------- SAMomentum
+
+SAMomentum::SAMomentum(const std::vector<std::size_t>& layer_sizes,
+                       CompressionConfig compression, float momentum)
+    : WorkerAlgorithm(Method::kDGS),
+      compression_(compression),
+      m_(momentum),
+      u_(make_layered(layer_sizes)) {
+  if (!(momentum > 0.0f && momentum < 1.0f))
+    throw std::invalid_argument("SAMomentum requires 0 < m < 1");
+}
+
+sparse::SparseUpdate SAMomentum::step(const GradViews& grads, float lr,
+                                      std::size_t epoch) {
+  check_grads(grads, u_);
+  sparse::SparseUpdate update;
+  update.layers.reserve(grads.size());
+  const float rescale = 1.0f / m_;
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    auto& u = u_[j];
+    std::span<float> us{u.data(), u.size()};
+    // u = m*u + lr*grad (Alg. 3 line 6)
+    util::axpby(lr, grads[j], m_, us);
+    // thr <- R% of |u|; g = top entries, which stay resident in u
+    const float thr = sparse::topk_threshold(
+        {u.data(), u.size()}, compression_.layer_ratio(u.size(), epoch));
+    update.layers.push_back(
+        sparse::extract_copy(static_cast<std::uint32_t>(j), us, thr));
+    // Unsent entries are scaled by 1/m: u += (1/m - 1) * u .* !Mask
+    // (Alg. 3 line 11) so the eventual send telescopes to m*u_c + lr*sum(grad).
+    sparse::scale_below(us, thr, rescale);
+  }
+  return update;
+}
+
+std::size_t SAMomentum::state_bytes() const noexcept {
+  return layered_numel(u_) * sizeof(float);
+}
+
+// ------------------------------------------------------------------- factory
+
+std::unique_ptr<WorkerAlgorithm> make_worker_algorithm(
+    Method method, const std::vector<std::size_t>& layer_sizes,
+    const TrainConfig& config, std::uint64_t rng_seed) {
+  const auto momentum = static_cast<float>(config.momentum);
+  switch (method) {
+    case Method::kMSGD:
+      return std::make_unique<DenseMomentum>(layer_sizes, momentum);
+    case Method::kASGD:
+      return std::make_unique<DenseSgd>(layer_sizes);
+    case Method::kGDAsync:
+      return std::make_unique<GradientDropping>(layer_sizes, config.compression);
+    case Method::kDGCAsync:
+      return std::make_unique<DeepGradientCompression>(
+          layer_sizes, config.compression, momentum);
+    case Method::kDGS:
+      return std::make_unique<SAMomentum>(layer_sizes, config.compression,
+                                          momentum);
+    case Method::kTernGrad:
+      return std::make_unique<TernGradAsync>(layer_sizes, rng_seed);
+    case Method::kRandomDrop:
+      return std::make_unique<RandomDropping>(layer_sizes, config.compression,
+                                              rng_seed);
+    case Method::kDgsTernary:
+      return std::make_unique<DgsTernary>(layer_sizes, config.compression,
+                                          momentum, rng_seed);
+  }
+  throw std::logic_error("make_worker_algorithm: unknown method");
+}
+
+}  // namespace dgs::core

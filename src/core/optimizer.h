@@ -1,0 +1,161 @@
+// Worker-side update algorithms: the per-iteration transformation from a
+// fresh stochastic gradient to the (possibly sparse) update g_{k,t} pushed
+// to the server. One subclass per method of the paper's evaluation.
+//
+// Sign convention: the server applies M_{t+1} = M_t - g (Eq. 1), i.e. g is
+// a *descent step* already scaled by the learning rate (and momentum where
+// applicable).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/layered.h"
+#include "core/method.h"
+#include "sparse/codec.h"
+#include "sparse/coo.h"
+
+namespace dgs::core {
+
+/// Per-layer gradient views handed to the algorithm each iteration.
+using GradViews = std::vector<std::span<const float>>;
+
+class WorkerAlgorithm {
+ public:
+  virtual ~WorkerAlgorithm() = default;
+  WorkerAlgorithm(const WorkerAlgorithm&) = delete;
+  WorkerAlgorithm& operator=(const WorkerAlgorithm&) = delete;
+
+  /// Consume this iteration's gradients and produce the update to push.
+  /// `lr` is the learning rate in effect for this iteration; `epoch` is the
+  /// worker-local epoch (used by sparsity-warmup schedules).
+  [[nodiscard]] virtual sparse::SparseUpdate step(const GradViews& grads,
+                                                  float lr,
+                                                  std::size_t epoch = 0) = 0;
+
+  /// Bytes of optimizer state resident at the worker (velocity/residual),
+  /// for the §5.6.2 memory-usage accounting.
+  [[nodiscard]] virtual std::size_t state_bytes() const noexcept = 0;
+
+  /// True if the update should be wire-encoded densely (ASGD/MSGD).
+  [[nodiscard]] virtual bool prefers_dense_encoding() const noexcept {
+    return false;
+  }
+
+  /// Wire-encode the update produced by step(). The default uses the COO
+  /// codec (or the dense codec when prefers_dense_encoding()); quantizing
+  /// algorithms override this with bit-packed formats.
+  [[nodiscard]] virtual sparse::Bytes encode_update(
+      const sparse::SparseUpdate& update) const;
+
+  [[nodiscard]] Method method() const noexcept { return method_; }
+
+ protected:
+  explicit WorkerAlgorithm(Method method) : method_(method) {}
+
+ private:
+  Method method_;
+};
+
+/// Factory: builds the worker algorithm for `method` with per-layer sizes.
+/// `rng_seed` seeds stochastic algorithms (quantizers, random dropping).
+[[nodiscard]] std::unique_ptr<WorkerAlgorithm> make_worker_algorithm(
+    Method method, const std::vector<std::size_t>& layer_sizes,
+    const TrainConfig& config, std::uint64_t rng_seed = 0);
+
+// ---------------------------------------------------------------------------
+// Concrete algorithms (exposed for unit tests).
+// ---------------------------------------------------------------------------
+
+/// Dense SGD push: g = lr * grad. Used by ASGD.
+class DenseSgd final : public WorkerAlgorithm {
+ public:
+  explicit DenseSgd(const std::vector<std::size_t>& layer_sizes);
+  sparse::SparseUpdate step(const GradViews& grads, float lr,
+                            std::size_t epoch) override;
+  [[nodiscard]] std::size_t state_bytes() const noexcept override { return 0; }
+  [[nodiscard]] bool prefers_dense_encoding() const noexcept override {
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> sizes_;
+};
+
+/// Dense momentum push: u = m*u + lr*grad; g = u. Used by single-node MSGD.
+class DenseMomentum final : public WorkerAlgorithm {
+ public:
+  DenseMomentum(const std::vector<std::size_t>& layer_sizes, float momentum);
+  sparse::SparseUpdate step(const GradViews& grads, float lr,
+                            std::size_t epoch) override;
+  [[nodiscard]] std::size_t state_bytes() const noexcept override;
+  [[nodiscard]] bool prefers_dense_encoding() const noexcept override {
+    return true;
+  }
+
+  [[nodiscard]] const LayeredVec& velocity() const noexcept { return u_; }
+
+ private:
+  float m_;
+  LayeredVec u_;
+};
+
+/// Gradient Dropping (Algorithm 1): residual accumulation + top-R% push.
+class GradientDropping final : public WorkerAlgorithm {
+ public:
+  GradientDropping(const std::vector<std::size_t>& layer_sizes,
+                   CompressionConfig compression);
+  sparse::SparseUpdate step(const GradViews& grads, float lr,
+                            std::size_t epoch) override;
+  [[nodiscard]] std::size_t state_bytes() const noexcept override;
+
+  [[nodiscard]] const LayeredVec& residual() const noexcept { return r_; }
+
+ private:
+  CompressionConfig compression_;
+  LayeredVec r_;
+};
+
+/// Deep Gradient Compression: momentum correction (velocity accumulated into
+/// the residual) and momentum factor masking (velocity zeroed where sent).
+class DeepGradientCompression final : public WorkerAlgorithm {
+ public:
+  DeepGradientCompression(const std::vector<std::size_t>& layer_sizes,
+                          CompressionConfig compression, float momentum);
+  sparse::SparseUpdate step(const GradViews& grads, float lr,
+                            std::size_t epoch) override;
+  [[nodiscard]] std::size_t state_bytes() const noexcept override;
+
+  [[nodiscard]] const LayeredVec& velocity() const noexcept { return u_; }
+  [[nodiscard]] const LayeredVec& residual() const noexcept { return v_; }
+
+ private:
+  CompressionConfig compression_;
+  float m_;
+  LayeredVec u_;  // velocity
+  LayeredVec v_;  // accumulated (corrected) velocity / residual
+};
+
+/// DGS with SAMomentum (Algorithm 3 / Eq. 14-15): a single velocity buffer;
+/// entries above the threshold are sent and kept, entries below are scaled
+/// by 1/m so momentum never disappears (Eq. 16).
+class SAMomentum final : public WorkerAlgorithm {
+ public:
+  SAMomentum(const std::vector<std::size_t>& layer_sizes,
+             CompressionConfig compression, float momentum);
+  sparse::SparseUpdate step(const GradViews& grads, float lr,
+                            std::size_t epoch) override;
+  [[nodiscard]] std::size_t state_bytes() const noexcept override;
+
+  [[nodiscard]] const LayeredVec& velocity() const noexcept { return u_; }
+
+ private:
+  CompressionConfig compression_;
+  float m_;
+  LayeredVec u_;
+};
+
+}  // namespace dgs::core

@@ -1,0 +1,160 @@
+#include "core/optimizer_ext.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sparse/quantize.h"
+#include "sparse/topk.h"
+#include "util/math_kernels.h"
+
+namespace dgs::core {
+
+namespace {
+
+void check_sizes(const GradViews& grads, const std::vector<std::size_t>& sizes) {
+  if (grads.size() != sizes.size())
+    throw std::invalid_argument("optimizer_ext: layer count mismatch");
+  for (std::size_t j = 0; j < grads.size(); ++j)
+    if (grads[j].size() != sizes[j])
+      throw std::invalid_argument("optimizer_ext: layer size mismatch");
+}
+
+sparse::LayerChunk nonzero_chunk(std::uint32_t layer,
+                                 std::span<const float> values) {
+  sparse::LayerChunk chunk;
+  chunk.layer = layer;
+  chunk.dense_size = static_cast<std::uint32_t>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] != 0.0f) {
+      chunk.idx.push_back(static_cast<std::uint32_t>(i));
+      chunk.val.push_back(values[i]);
+    }
+  return chunk;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- TernGrad
+
+TernGradAsync::TernGradAsync(const std::vector<std::size_t>& layer_sizes,
+                             std::uint64_t rng_seed)
+    : WorkerAlgorithm(Method::kTernGrad), sizes_(layer_sizes), rng_(rng_seed) {}
+
+sparse::SparseUpdate TernGradAsync::step(const GradViews& grads, float lr,
+                                         std::size_t /*epoch*/) {
+  check_sizes(grads, sizes_);
+  last_quantized_.layers.clear();
+  sparse::SparseUpdate update;
+  std::vector<float> scaled;
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    scaled.assign(grads[j].begin(), grads[j].end());
+    util::scale(lr, {scaled.data(), scaled.size()});
+    sparse::TernaryLayer quantized = sparse::ternary_quantize(
+        static_cast<std::uint32_t>(j), {scaled.data(), scaled.size()}, rng_);
+    // The server applies exactly what crosses the wire, so the returned
+    // update is the dequantized view of the ternary payload.
+    const std::vector<float> applied = sparse::ternary_dequantize(quantized);
+    update.layers.push_back(nonzero_chunk(static_cast<std::uint32_t>(j),
+                                          {applied.data(), applied.size()}));
+    last_quantized_.layers.push_back(std::move(quantized));
+  }
+  return update;
+}
+
+sparse::Bytes TernGradAsync::encode_update(
+    const sparse::SparseUpdate& /*update*/) const {
+  return sparse::encode(last_quantized_);
+}
+
+// ---------------------------------------------------------- RandomDropping
+
+RandomDropping::RandomDropping(const std::vector<std::size_t>& layer_sizes,
+                               CompressionConfig compression,
+                               std::uint64_t rng_seed)
+    : WorkerAlgorithm(Method::kRandomDrop),
+      sizes_(layer_sizes),
+      compression_(compression),
+      rng_(rng_seed) {}
+
+sparse::SparseUpdate RandomDropping::step(const GradViews& grads, float lr,
+                                          std::size_t epoch) {
+  check_sizes(grads, sizes_);
+  sparse::SparseUpdate update;
+  std::vector<float> scaled;
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    scaled.assign(grads[j].begin(), grads[j].end());
+    util::scale(lr, {scaled.data(), scaled.size()});
+    const double keep =
+        compression_.layer_ratio(scaled.size(), epoch) / 100.0;
+    update.layers.push_back(sparse::random_drop(
+        static_cast<std::uint32_t>(j), {scaled.data(), scaled.size()},
+        std::min(keep, 1.0), rng_));
+  }
+  return update;
+}
+
+// -------------------------------------------------------------- DgsTernary
+
+DgsTernary::DgsTernary(const std::vector<std::size_t>& layer_sizes,
+                       CompressionConfig compression, float momentum,
+                       std::uint64_t rng_seed)
+    : WorkerAlgorithm(Method::kDgsTernary),
+      compression_(compression),
+      m_(momentum),
+      u_(make_layered(layer_sizes)),
+      rng_(rng_seed) {
+  if (!(momentum > 0.0f && momentum < 1.0f))
+    throw std::invalid_argument("DgsTernary requires 0 < m < 1");
+}
+
+sparse::SparseUpdate DgsTernary::step(const GradViews& grads, float lr,
+                                      std::size_t epoch) {
+  if (grads.size() != u_.size())
+    throw std::invalid_argument("DgsTernary: layer count mismatch");
+  sparse::SparseUpdate update;
+  const float rescale = 1.0f / m_;
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    auto& u = u_[j];
+    std::span<float> us{u.data(), u.size()};
+    // SAMomentum step: u = m*u + lr*grad (Alg. 3 line 6).
+    util::axpby(lr, grads[j], m_, us);
+    const float thr = sparse::topk_threshold(
+        {u.data(), u.size()}, compression_.layer_ratio(u.size(), epoch));
+    sparse::LayerChunk candidates =
+        sparse::extract_copy(static_cast<std::uint32_t>(j), us, thr);
+    // Quantize the sent values to {-s, +s}; entries rounded to zero drop
+    // out of the update entirely.
+    sparse::LayerChunk quantized = sparse::ternary_quantize_chunk(candidates, rng_);
+    // Unsent (below-threshold) entries get the usual 1/m rescale.
+    sparse::scale_below(us, thr, rescale);
+    // Candidates that quantization zeroed behave as unsent: rescale them.
+    // Candidates that shipped keep the candidate plus the signed
+    // quantization error (cheap error feedback, discounted by m next step).
+    std::unordered_map<std::uint32_t, float> applied;
+    applied.reserve(quantized.nnz());
+    for (std::size_t i = 0; i < quantized.nnz(); ++i)
+      applied.emplace(quantized.idx[i], quantized.val[i]);
+    for (std::size_t i = 0; i < candidates.nnz(); ++i) {
+      const std::uint32_t idx = candidates.idx[i];
+      const auto it = applied.find(idx);
+      if (it == applied.end())
+        u[idx] *= rescale;
+      else
+        u[idx] += candidates.val[i] - it->second;
+    }
+    update.layers.push_back(std::move(quantized));
+  }
+  return update;
+}
+
+std::size_t DgsTernary::state_bytes() const noexcept {
+  return layered_numel(u_) * sizeof(float);
+}
+
+sparse::Bytes DgsTernary::encode_update(
+    const sparse::SparseUpdate& update) const {
+  return sparse::encode_sparse_ternary(update);
+}
+
+}  // namespace dgs::core

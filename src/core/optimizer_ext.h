@@ -1,0 +1,80 @@
+// Extension worker algorithms from the paper's future-work section (§6):
+// combining asynchronous model-difference training with other compression
+// families — TernGrad quantization, random coordinate dropping, and the
+// DGS + ternary hybrid.
+//
+// Each algorithm still pushes a descent step g (the server applies
+// M_{t+1} = M_t - g), but the wire encoding is overridden to the bit-packed
+// formats from sparse/quantize.h. To keep the server math identical to what
+// crossed the wire, step() returns the *dequantized* values.
+#pragma once
+
+#include "core/optimizer.h"
+#include "sparse/quantize.h"
+#include "util/rng.h"
+
+namespace dgs::core {
+
+/// TernGrad-async: g = dequantize(ternary_quantize(lr * grad)).
+/// Wire cost: ~2 bits/element + one f32 scale per layer (vs 32 bits dense).
+class TernGradAsync final : public WorkerAlgorithm {
+ public:
+  TernGradAsync(const std::vector<std::size_t>& layer_sizes,
+                std::uint64_t rng_seed);
+
+  sparse::SparseUpdate step(const GradViews& grads, float lr,
+                            std::size_t epoch) override;
+  [[nodiscard]] std::size_t state_bytes() const noexcept override { return 0; }
+  [[nodiscard]] sparse::Bytes encode_update(
+      const sparse::SparseUpdate& update) const override;
+
+ private:
+  std::vector<std::size_t> sizes_;
+  util::Rng rng_;
+  sparse::TernaryUpdate last_quantized_;  ///< What encode_update() ships.
+};
+
+/// Random coordinate dropping (Wangni et al. 2018): keep each coordinate of
+/// lr*grad with probability p = R/100 and rescale kept values by 1/p
+/// (unbiased; no residual state).
+class RandomDropping final : public WorkerAlgorithm {
+ public:
+  RandomDropping(const std::vector<std::size_t>& layer_sizes,
+                 CompressionConfig compression, std::uint64_t rng_seed);
+
+  sparse::SparseUpdate step(const GradViews& grads, float lr,
+                            std::size_t epoch) override;
+  [[nodiscard]] std::size_t state_bytes() const noexcept override { return 0; }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  CompressionConfig compression_;
+  util::Rng rng_;
+};
+
+/// DGS + TernGrad hybrid: the SAMomentum top-k update's *values* are
+/// ternary-quantized, shipping at ~4.1 bytes/entry instead of COO's 8.
+/// The quantization error on sent entries is fed back into the velocity so
+/// no update mass is lost (error feedback).
+class DgsTernary final : public WorkerAlgorithm {
+ public:
+  DgsTernary(const std::vector<std::size_t>& layer_sizes,
+             CompressionConfig compression, float momentum,
+             std::uint64_t rng_seed);
+
+  sparse::SparseUpdate step(const GradViews& grads, float lr,
+                            std::size_t epoch) override;
+  [[nodiscard]] std::size_t state_bytes() const noexcept override;
+  [[nodiscard]] sparse::Bytes encode_update(
+      const sparse::SparseUpdate& update) const override;
+
+  [[nodiscard]] const LayeredVec& velocity() const noexcept { return u_; }
+
+ private:
+  CompressionConfig compression_;
+  float m_;
+  LayeredVec u_;
+  util::Rng rng_;
+};
+
+}  // namespace dgs::core

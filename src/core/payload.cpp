@@ -1,0 +1,59 @@
+#include "core/payload.h"
+
+#include <stdexcept>
+
+#include "sparse/quantize.h"
+#include "util/math_kernels.h"
+
+namespace dgs::core {
+
+namespace {
+
+void check_layer(std::size_t layer, std::size_t dense, const LayeredVec& target) {
+  if (layer >= target.size() || dense != target[layer].size())
+    throw std::runtime_error("apply_update_payload: layer shape mismatch");
+}
+
+}  // namespace
+
+void apply_update_payload(const sparse::Bytes& payload, LayeredVec& target,
+                          float scale) {
+  if (sparse::is_ternary_payload(payload)) {
+    const sparse::TernaryUpdate update = sparse::decode_ternary(payload);
+    for (const auto& tl : update.layers) {
+      check_layer(tl.layer, tl.dense_size, target);
+      const std::vector<float> dense = sparse::ternary_dequantize(tl);
+      auto& layer = target[tl.layer];
+      util::axpy(scale, {dense.data(), dense.size()},
+                 {layer.data(), layer.size()});
+    }
+    return;
+  }
+  if (sparse::is_sparse_ternary_payload(payload)) {
+    const sparse::SparseUpdate update = sparse::decode_sparse_ternary(payload);
+    for (const auto& chunk : update.layers) {
+      check_layer(chunk.layer, chunk.dense_size, target);
+      auto& layer = target[chunk.layer];
+      sparse::scatter_add(chunk, scale, {layer.data(), layer.size()});
+    }
+    return;
+  }
+  if (sparse::is_sparse_payload(payload)) {
+    const sparse::SparseUpdate update = sparse::decode(payload);
+    for (const auto& chunk : update.layers) {
+      check_layer(chunk.layer, chunk.dense_size, target);
+      auto& layer = target[chunk.layer];
+      sparse::scatter_add(chunk, scale, {layer.data(), layer.size()});
+    }
+    return;
+  }
+  const sparse::DenseUpdate update = sparse::decode_dense(payload);
+  for (const auto& l : update.layers) {
+    check_layer(l.layer, l.values.size(), target);
+    auto& layer = target[l.layer];
+    util::axpy(scale, {l.values.data(), l.values.size()},
+               {layer.data(), layer.size()});
+  }
+}
+
+}  // namespace dgs::core

@@ -1,0 +1,16 @@
+// Decoding and applying wire payloads onto layered state. Shared by the
+// parameter server (async engines) and the synchronous SSGD engine.
+#pragma once
+
+#include "core/layered.h"
+#include "sparse/codec.h"
+
+namespace dgs::core {
+
+/// Apply an encoded update payload (COO sparse, dense, ternary or
+/// sparse-ternary) onto layered state: target[layer] += scale * update.
+/// Throws on shape mismatch or unknown format.
+void apply_update_payload(const sparse::Bytes& payload, LayeredVec& target,
+                          float scale);
+
+}  // namespace dgs::core

@@ -1,0 +1,97 @@
+// The DGS parameter server: Model Difference Tracking (§4.2.1, Eq. 1-6) and
+// the server side of dual-way sparsification (Algorithm 2).
+//
+// The server does not store the global model theta directly; it stores the
+// accumulation of updates M_t (theta_t = theta_0 + M_t, Eq. 2) plus one
+// vector v_k per worker recording what that worker has already been sent.
+// On every push it returns the model difference G_k = M_{t+1} - v_k,
+// optionally secondarily compressed (Eq. 6a/6b).
+//
+// Note on paper errata (see DESIGN.md §7): Algorithm 2 line 14 prints
+// "v <- v - G" but Eq. 3/6b require "v <- v + G"; we implement "+", which is
+// what makes the Eq. 5 identity (worker model == server model) hold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/message.h"
+#include "core/config.h"
+#include "core/layered.h"
+#include "sparse/codec.h"
+
+namespace dgs::core {
+
+struct ServerOptions {
+  std::size_t num_workers = 1;
+  bool secondary_compression = false;
+  double secondary_ratio_percent = 1.0;
+  /// Layers smaller than this are exempt from secondary compression,
+  /// mirroring CompressionConfig::min_sparsify_size on the worker side.
+  std::size_t min_sparsify_size = 0;
+};
+
+class ParameterServer {
+ public:
+  ParameterServer(std::vector<std::size_t> layer_sizes,
+                  std::vector<float> theta0_flat, ServerOptions options);
+
+  /// Process one gradient push (Algorithm 2 body): applies the update to M,
+  /// computes and returns the encoded model-difference reply for the pushing
+  /// worker, and advances the server timestamp.
+  [[nodiscard]] comm::Message handle_push(const comm::Message& push);
+
+  /// Server timestamp t (number of updates applied).
+  [[nodiscard]] std::uint64_t step() const noexcept { return step_; }
+
+  /// theta_t = theta_0 + M_t, flattened (for evaluation snapshots).
+  [[nodiscard]] std::vector<float> global_model_flat() const;
+
+  /// Accumulated update M_t (per layer), for tests.
+  [[nodiscard]] const LayeredVec& accumulated_updates() const noexcept {
+    return m_;
+  }
+  /// v_k for worker k, for tests.
+  [[nodiscard]] const LayeredVec& sent_accumulator(std::size_t worker) const {
+    return v_.at(worker);
+  }
+
+  /// Resident state in bytes: M plus N per-worker trackers (the §5.6.2
+  /// "NumOfWorkers x ParameterMemOfModel" cost).
+  [[nodiscard]] std::size_t state_bytes() const noexcept;
+
+  /// Staleness of the last processed push: t_now - prev(k) at arrival.
+  [[nodiscard]] std::uint64_t last_staleness() const noexcept {
+    return last_staleness_;
+  }
+
+  /// Cumulative nnz and dense element counts over all replies built, for
+  /// downward-density accounting.
+  [[nodiscard]] std::uint64_t total_reply_nnz() const noexcept {
+    return total_reply_nnz_;
+  }
+  [[nodiscard]] std::uint64_t total_reply_dense() const noexcept {
+    return total_reply_dense_;
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& layer_sizes() const noexcept {
+    return layer_sizes_;
+  }
+
+ private:
+  void apply_update_to_m(const sparse::Bytes& payload);
+  [[nodiscard]] comm::Message build_reply(std::size_t worker);
+
+  std::vector<std::size_t> layer_sizes_;
+  std::vector<float> theta0_;
+  LayeredVec m_;                     ///< M_t, accumulation of updates.
+  std::vector<LayeredVec> v_;        ///< v_k per worker.
+  std::vector<std::uint64_t> prev_;  ///< prev(k): last server step sent to k.
+  ServerOptions options_;
+  std::uint64_t step_ = 0;
+  std::uint64_t last_staleness_ = 0;
+  std::uint64_t total_reply_nnz_ = 0;
+  std::uint64_t total_reply_dense_ = 0;
+};
+
+}  // namespace dgs::core

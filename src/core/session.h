@@ -1,0 +1,57 @@
+// Top-level public API: configure a training job, run it, get metrics.
+//
+// Quickstart:
+//   auto data = dgs::data::make_synthetic(dgs::data::SyntheticSpec::synth_cifar());
+//   dgs::core::TrainConfig cfg;
+//   cfg.method = dgs::core::Method::kDGS;
+//   cfg.num_workers = 4;
+//   auto spec = dgs::nn::ModelSpec::mlp(64, {128, 64}, 10);
+//   auto result = dgs::core::TrainingSession(spec, data.train, data.test, cfg).run();
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/engine_sim.h"
+#include "core/engine_sync.h"
+#include "core/engine_thread.h"
+#include "core/metrics.h"
+
+namespace dgs::core {
+
+enum class EngineKind : std::uint8_t {
+  kSimulated,    ///< Deterministic discrete-event simulation (default).
+  kThreaded,     ///< Real std::thread asynchrony, wall-clock timing.
+  kSynchronous,  ///< Barrier-per-round SSGD (see engine_sync.h).
+};
+
+class TrainingSession {
+ public:
+  TrainingSession(nn::ModelSpec spec, std::shared_ptr<const data::Dataset> train,
+                  std::shared_ptr<const data::Dataset> test, TrainConfig config,
+                  EngineKind engine = EngineKind::kSimulated)
+      : spec_(std::move(spec)),
+        train_(std::move(train)),
+        test_(std::move(test)),
+        config_(std::move(config)),
+        engine_(engine) {}
+
+  [[nodiscard]] RunResult run() {
+    if (engine_ == EngineKind::kThreaded)
+      return ThreadEngine(spec_, train_, test_, config_).run();
+    if (engine_ == EngineKind::kSynchronous)
+      return SyncEngine(spec_, train_, test_, config_).run();
+    return SimEngine(spec_, train_, test_, config_).run();
+  }
+
+  [[nodiscard]] const TrainConfig& config() const noexcept { return config_; }
+
+ private:
+  nn::ModelSpec spec_;
+  std::shared_ptr<const data::Dataset> train_;
+  std::shared_ptr<const data::Dataset> test_;
+  TrainConfig config_;
+  EngineKind engine_;
+};
+
+}  // namespace dgs::core

@@ -1,0 +1,89 @@
+#include "core/worker.h"
+
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "util/math_kernels.h"
+
+namespace dgs::core {
+
+Worker::Worker(std::size_t id, const nn::ModelSpec& spec,
+               std::shared_ptr<const data::Dataset> train_data,
+               const TrainConfig& config, const std::vector<float>& theta0_flat)
+    : id_(id),
+      spec_(spec),
+      data_(std::move(train_data)),
+      config_(config),
+      model_(spec.build()),
+      params_(model_->parameters()),
+      sampler_(data_->size(), id, config.num_workers, config.batch_size,
+               config.seed * 0x9E3779B9ULL + id + 1) {
+  nn::param_scatter_values(theta0_flat, params_);
+  algorithm_ = make_worker_algorithm(config.method,
+                                     nn::param_layer_sizes(params_), config,
+                                     config.seed * 0x2545F491ULL + id * 31 + 17);
+  batch_features_.resize(config.batch_size * data_->feature_dim());
+  batch_labels_.resize(config.batch_size);
+  if (data_->feature_dim() != spec.feature_dim())
+    throw std::invalid_argument("worker: dataset/model feature dim mismatch");
+}
+
+IterationResult Worker::compute_and_pack(float lr,
+                                         std::size_t schedule_epoch) {
+  IterationResult result;
+  result.epoch = sampler_.next_batch(batch_indices_);
+  result.batch = batch_indices_.size();
+  data_->fill_batch(batch_indices_, batch_features_.data(), batch_labels_.data());
+
+  // Forward/backward against the *local* model theta_{k,prev(k)}.
+  nn::Tensor input = nn::Tensor::from(spec_.input_shape(result.batch),
+                                      batch_features_);
+  nn::param_zero_grads(params_);
+  nn::Tensor logits = model_->forward(input, /*train=*/true);
+  nn::LossResult loss = nn::softmax_cross_entropy(logits, batch_labels_);
+  (void)model_->backward(loss.grad);
+  result.loss = loss.loss;
+
+  // Method-specific transformation of the gradient into g_{k,t}.
+  GradViews views;
+  views.reserve(params_.size());
+  for (nn::Parameter* p : params_) views.push_back(p->grad.flat());
+  sparse::SparseUpdate update = algorithm_->step(views, lr, schedule_epoch);
+
+  result.push.kind = comm::MessageKind::kGradientPush;
+  result.push.worker_id = static_cast<std::int32_t>(id_);
+  result.push.worker_step = step_;
+  result.push.server_step = known_server_step_;
+  result.update_density = update.density();
+  result.push.payload = algorithm_->encode_update(update);
+  ++step_;
+  return result;
+}
+
+void Worker::apply_model_diff(const comm::Message& reply) {
+  if (reply.kind != comm::MessageKind::kModelDiff)
+    throw std::invalid_argument("worker: expected model diff");
+  known_server_step_ = reply.server_step;
+
+  // theta_{k} += G (Eq. 4/5; SGD() in Algorithm 1/3 applies the decoded
+  // difference directly — the learning rate is already inside G).
+  if (sparse::is_sparse_payload(reply.payload)) {
+    const sparse::SparseUpdate g = sparse::decode(reply.payload);
+    for (const auto& chunk : g.layers) {
+      if (chunk.layer >= params_.size())
+        throw std::runtime_error("worker: reply layer out of range");
+      auto values = params_[chunk.layer]->value.flat();
+      sparse::scatter_add(chunk, 1.0f, values);
+    }
+  } else {
+    const sparse::DenseUpdate g = sparse::decode_dense(reply.payload);
+    for (const auto& l : g.layers) {
+      if (l.layer >= params_.size())
+        throw std::runtime_error("worker: reply layer out of range");
+      auto values = params_[l.layer]->value.flat();
+      util::axpy(1.0f, {l.values.data(), l.values.size()}, values);
+    }
+  }
+}
+
+}  // namespace dgs::core

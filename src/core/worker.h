@@ -1,0 +1,101 @@
+// Worker-side training context: local model replica, data shard, and the
+// per-method update algorithm. Used identically by the discrete-event and
+// real-thread engines; the engines only decide *when* each step happens.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/message.h"
+#include "core/config.h"
+#include "core/optimizer.h"
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "nn/model.h"
+
+namespace dgs::core {
+
+struct IterationResult {
+  comm::Message push;     ///< Encoded g_{k,t} ready for the server.
+  double loss = 0.0;      ///< Mean batch loss before the update.
+  std::size_t batch = 0;  ///< Samples consumed.
+  std::size_t epoch = 0;  ///< Worker-local epoch the batch came from.
+  double update_density = 0.0;  ///< nnz/dense of the pushed update.
+};
+
+class Worker {
+ public:
+  Worker(std::size_t id, const nn::ModelSpec& spec,
+         std::shared_ptr<const data::Dataset> train_data,
+         const TrainConfig& config, const std::vector<float>& theta0_flat);
+
+  /// One training iteration (Algorithm 1/3 lines 4-13): sample a batch,
+  /// forward/backward on the *local* (possibly stale) model, run the method's
+  /// update algorithm and pack the push message. `lr` and `schedule_epoch`
+  /// come from the engine's global schedule (the server-side epoch), so that
+  /// heterogeneous workers advancing at different speeds still share one
+  /// learning-rate and warmup schedule.
+  [[nodiscard]] IterationResult compute_and_pack(float lr,
+                                                 std::size_t schedule_epoch);
+
+  /// Convenience overload using the worker-local epoch for the schedule
+  /// (unit tests and single-worker flows).
+  [[nodiscard]] IterationResult compute_and_pack() {
+    const std::size_t epoch = sampler_.epoch();
+    return compute_and_pack(static_cast<float>(config_.lr_at_epoch(epoch)),
+                            epoch);
+  }
+
+  /// Apply a model-difference reply (Algorithm 1/3 lines 14-15):
+  /// theta_k += G.
+  void apply_model_diff(const comm::Message& reply);
+
+  [[nodiscard]] std::size_t id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t local_step() const noexcept { return step_; }
+  /// Worker-local epoch (how often this worker's shard has been consumed).
+  [[nodiscard]] std::size_t epoch() const noexcept { return sampler_.epoch(); }
+  [[nodiscard]] std::size_t batches_per_epoch() const noexcept {
+    return sampler_.batches_per_epoch();
+  }
+  /// Server step of the last received reply (prev(k) from the paper).
+  [[nodiscard]] std::uint64_t known_server_step() const noexcept {
+    return known_server_step_;
+  }
+
+  /// Worker-resident optimizer state (for §5.6.2 memory accounting).
+  [[nodiscard]] std::size_t optimizer_state_bytes() const noexcept {
+    return algorithm_->state_bytes();
+  }
+
+  /// Local model parameters, flattened (tests verify Eq. 5 with this).
+  [[nodiscard]] std::vector<float> model_flat() const {
+    return nn::param_gather_values(params_);
+  }
+
+  /// Overwrite the local model (used by the synchronous engine, which
+  /// broadcasts the aggregated global model every round).
+  void set_model(const std::vector<float>& theta_flat) {
+    nn::param_scatter_values(theta_flat, params_);
+  }
+
+ private:
+  std::size_t id_;
+  nn::ModelSpec spec_;
+  std::shared_ptr<const data::Dataset> data_;
+  TrainConfig config_;
+
+  nn::ModulePtr model_;
+  std::vector<nn::Parameter*> params_;
+  std::unique_ptr<WorkerAlgorithm> algorithm_;
+  data::ShardSampler sampler_;
+
+  std::vector<std::size_t> batch_indices_;
+  std::vector<float> batch_features_;
+  std::vector<std::int32_t> batch_labels_;
+
+  std::uint64_t step_ = 0;
+  std::uint64_t known_server_step_ = 0;
+};
+
+}  // namespace dgs::core

@@ -1,0 +1,35 @@
+#include "data/dataset.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dgs::data {
+
+InMemoryDataset::InMemoryDataset(std::size_t feature_dim, std::size_t num_classes,
+                                 std::vector<float> features,
+                                 std::vector<std::int32_t> labels)
+    : feature_dim_(feature_dim),
+      num_classes_(num_classes),
+      features_(std::move(features)),
+      labels_(std::move(labels)) {
+  if (feature_dim_ == 0) throw std::invalid_argument("dataset: feature_dim == 0");
+  if (features_.size() != labels_.size() * feature_dim_)
+    throw std::invalid_argument("dataset: features/labels size mismatch");
+  for (std::int32_t label : labels_)
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes_)
+      throw std::invalid_argument("dataset: label out of range");
+}
+
+void InMemoryDataset::fill_batch(std::span<const std::size_t> indices,
+                                 float* features_out,
+                                 std::int32_t* labels_out) const {
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const std::size_t i = indices[b];
+    if (i >= size()) throw std::out_of_range("dataset: index out of range");
+    std::memcpy(features_out + b * feature_dim_,
+                features_.data() + i * feature_dim_, feature_dim_ * sizeof(float));
+    labels_out[b] = labels_[i];
+  }
+}
+
+}  // namespace dgs::data

@@ -1,0 +1,54 @@
+// Dataset interface and the in-memory implementation backing all synthetic
+// datasets. Features are flat float vectors; models reshape per ModelSpec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dgs::data {
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t feature_dim() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t num_classes() const noexcept = 0;
+
+  /// Copy the samples at `indices` into caller-provided storage.
+  /// `features_out` must hold indices.size() * feature_dim() floats.
+  virtual void fill_batch(std::span<const std::size_t> indices,
+                          float* features_out,
+                          std::int32_t* labels_out) const = 0;
+};
+
+class InMemoryDataset final : public Dataset {
+ public:
+  InMemoryDataset(std::size_t feature_dim, std::size_t num_classes,
+                  std::vector<float> features, std::vector<std::int32_t> labels);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return labels_.size(); }
+  [[nodiscard]] std::size_t feature_dim() const noexcept override {
+    return feature_dim_;
+  }
+  [[nodiscard]] std::size_t num_classes() const noexcept override {
+    return num_classes_;
+  }
+
+  void fill_batch(std::span<const std::size_t> indices, float* features_out,
+                  std::int32_t* labels_out) const override;
+
+  [[nodiscard]] std::span<const float> features_of(std::size_t i) const {
+    return {features_.data() + i * feature_dim_, feature_dim_};
+  }
+  [[nodiscard]] std::int32_t label_of(std::size_t i) const { return labels_.at(i); }
+
+ private:
+  std::size_t feature_dim_;
+  std::size_t num_classes_;
+  std::vector<float> features_;
+  std::vector<std::int32_t> labels_;
+};
+
+}  // namespace dgs::data

@@ -1,0 +1,51 @@
+#include "data/sampler.h"
+
+#include <stdexcept>
+
+namespace dgs::data {
+
+ShardSampler::ShardSampler(std::size_t dataset_size, std::size_t shard,
+                           std::size_t num_shards, std::size_t batch_size,
+                           std::uint64_t seed)
+    : batch_size_(batch_size), rng_(seed) {
+  if (num_shards == 0 || shard >= num_shards)
+    throw std::invalid_argument("ShardSampler: bad shard index");
+  if (batch_size == 0) throw std::invalid_argument("ShardSampler: batch_size == 0");
+  for (std::size_t i = shard; i < dataset_size; i += num_shards)
+    indices_.push_back(i);
+  if (indices_.empty())
+    throw std::invalid_argument("ShardSampler: empty shard");
+  reshuffle();
+}
+
+std::size_t ShardSampler::batches_per_epoch() const noexcept {
+  return (indices_.size() + batch_size_ - 1) / batch_size_;
+}
+
+std::size_t ShardSampler::next_batch(std::vector<std::size_t>& out) {
+  out.clear();
+  out.reserve(batch_size_);
+  // Wrap before recording the epoch so a batch that begins exactly at the
+  // shard boundary is attributed to the new epoch.
+  if (cursor_ == indices_.size()) {
+    cursor_ = 0;
+    ++epoch_;
+    reshuffle();
+  }
+  const std::size_t start_epoch = epoch_;
+  while (out.size() < batch_size_) {
+    if (cursor_ == indices_.size()) {
+      cursor_ = 0;
+      ++epoch_;
+      reshuffle();
+    }
+    out.push_back(indices_[cursor_++]);
+  }
+  return start_epoch;
+}
+
+void ShardSampler::reshuffle() {
+  util::shuffle(indices_.data(), indices_.size(), rng_);
+}
+
+}  // namespace dgs::data

@@ -1,0 +1,61 @@
+// Mini-batch samplers. Each asynchronous worker owns one sampler over its
+// shard of the training set, mirroring the per-GPU data loaders of the
+// paper's PyTorch setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dgs::data {
+
+/// Epoch-shuffled sampler over a contiguous shard of dataset indices.
+/// Worker w of N gets indices {i : i % N == w}; each epoch the shard is
+/// reshuffled deterministically from the seed.
+class ShardSampler {
+ public:
+  ShardSampler(std::size_t dataset_size, std::size_t shard, std::size_t num_shards,
+               std::size_t batch_size, std::uint64_t seed);
+
+  /// Fill `out` with the next batch of dataset indices; reshuffles and wraps
+  /// at epoch boundaries. Returns the (0-based) epoch the batch starts in.
+  std::size_t next_batch(std::vector<std::size_t>& out);
+
+  [[nodiscard]] std::size_t shard_size() const noexcept { return indices_.size(); }
+  [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
+  /// Batches per epoch (ceiling division; last batch may wrap).
+  [[nodiscard]] std::size_t batches_per_epoch() const noexcept;
+  [[nodiscard]] std::size_t epoch() const noexcept { return epoch_; }
+
+ private:
+  void reshuffle();
+
+  std::vector<std::size_t> indices_;
+  std::size_t batch_size_;
+  std::size_t cursor_ = 0;
+  std::size_t epoch_ = 0;
+  util::Rng rng_;
+};
+
+/// Uniform with-replacement sampler (used by some tests and the stress
+/// benches where epoch boundaries are irrelevant).
+class UniformSampler {
+ public:
+  UniformSampler(std::size_t dataset_size, std::size_t batch_size,
+                 std::uint64_t seed)
+      : dataset_size_(dataset_size), batch_size_(batch_size), rng_(seed) {}
+
+  void next_batch(std::vector<std::size_t>& out) {
+    out.resize(batch_size_);
+    for (auto& i : out)
+      i = static_cast<std::size_t>(rng_.below(dataset_size_));
+  }
+
+ private:
+  std::size_t dataset_size_;
+  std::size_t batch_size_;
+  util::Rng rng_;
+};
+
+}  // namespace dgs::data

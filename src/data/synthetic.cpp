@@ -1,0 +1,124 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dgs::data {
+
+SyntheticSpec SyntheticSpec::synth_cifar(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_train = 4096;
+  spec.num_test = 2048;
+  spec.feature_dim = 64;
+  spec.num_classes = 10;
+  spec.latent_dim = 16;
+  spec.teacher_width = 48;
+  spec.latent_jitter = 0.9f;
+  spec.feature_noise = 0.25f;
+  spec.label_noise = 0.05f;
+  spec.seed = seed;
+  return spec;
+}
+
+SyntheticSpec SyntheticSpec::synth_imagenet(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_train = 8192;
+  spec.num_test = 2048;
+  spec.feature_dim = 128;
+  spec.num_classes = 50;
+  spec.latent_dim = 24;
+  spec.teacher_width = 96;
+  spec.latent_jitter = 1.4f;
+  spec.feature_noise = 0.35f;
+  spec.label_noise = 0.12f;
+  spec.seed = seed;
+  return spec;
+}
+
+namespace {
+
+/// Frozen two-layer tanh teacher: features = W2 tanh(W1 z + b1) + b2,
+/// where z = [one_hot(class) * margin ; jitter].
+class Teacher {
+ public:
+  Teacher(const SyntheticSpec& spec, util::Rng& rng)
+      : classes_(spec.num_classes),
+        latent_(spec.num_classes + spec.latent_dim),
+        width_(spec.teacher_width),
+        dim_(spec.feature_dim),
+        w1_(width_ * latent_),
+        b1_(width_),
+        w2_(dim_ * width_),
+        b2_(dim_) {
+    const float s1 = 1.0f / std::sqrt(static_cast<float>(latent_));
+    const float s2 = 1.0f / std::sqrt(static_cast<float>(width_));
+    for (auto& v : w1_) v = rng.normal(0.0f, s1 * 2.0f);
+    for (auto& v : b1_) v = rng.normal(0.0f, 0.3f);
+    for (auto& v : w2_) v = rng.normal(0.0f, s2 * 2.0f);
+    for (auto& v : b2_) v = rng.normal(0.0f, 0.3f);
+  }
+
+  void sample(std::size_t label, float jitter_std, float noise_std,
+              util::Rng& rng, float* out) const {
+    std::vector<float> z(latent_, 0.0f);
+    z[label] = 2.0f;  // class margin in latent space
+    for (std::size_t i = classes_; i < latent_; ++i)
+      z[i] = rng.normal(0.0f, jitter_std);
+    std::vector<float> h(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
+      double acc = b1_[i];
+      const float* row = w1_.data() + i * latent_;
+      for (std::size_t j = 0; j < latent_; ++j) acc += static_cast<double>(row[j]) * z[j];
+      h[i] = std::tanh(static_cast<float>(acc));
+    }
+    for (std::size_t i = 0; i < dim_; ++i) {
+      double acc = b2_[i];
+      const float* row = w2_.data() + i * width_;
+      for (std::size_t j = 0; j < width_; ++j) acc += static_cast<double>(row[j]) * h[j];
+      out[i] = static_cast<float>(acc) + rng.normal(0.0f, noise_std);
+    }
+  }
+
+ private:
+  std::size_t classes_, latent_, width_, dim_;
+  std::vector<float> w1_, b1_, w2_, b2_;
+};
+
+std::shared_ptr<const InMemoryDataset> make_split(const SyntheticSpec& spec,
+                                                  const Teacher& teacher,
+                                                  std::size_t count,
+                                                  util::Rng& rng) {
+  std::vector<float> features(count * spec.feature_dim);
+  std::vector<std::int32_t> labels(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto true_label =
+        static_cast<std::size_t>(rng.below(spec.num_classes));
+    teacher.sample(true_label, spec.latent_jitter, spec.feature_noise, rng,
+                   features.data() + i * spec.feature_dim);
+    // Label noise: with probability rho the recorded label is re-drawn
+    // uniformly, capping achievable top-1 at ~ (1-rho) + rho/classes.
+    std::size_t label = true_label;
+    if (rng.uniform() < spec.label_noise)
+      label = static_cast<std::size_t>(rng.below(spec.num_classes));
+    labels[i] = static_cast<std::int32_t>(label);
+  }
+  return std::make_shared<InMemoryDataset>(spec.feature_dim, spec.num_classes,
+                                           std::move(features), std::move(labels));
+}
+
+}  // namespace
+
+SyntheticDataset make_synthetic(const SyntheticSpec& spec) {
+  util::Rng teacher_rng(spec.seed);
+  Teacher teacher(spec, teacher_rng);
+  util::Rng train_rng = teacher_rng.fork(1);
+  util::Rng test_rng = teacher_rng.fork(2);
+  SyntheticDataset out;
+  out.train = make_split(spec, teacher, spec.num_train, train_rng);
+  out.test = make_split(spec, teacher, spec.num_test, test_rng);
+  return out;
+}
+
+}  // namespace dgs::data

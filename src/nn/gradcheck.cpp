@@ -1,0 +1,91 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nn/model.h"
+#include "util/math_kernels.h"
+
+namespace dgs::nn {
+
+namespace {
+
+double weighted_sum(const Tensor& t, const std::vector<float>& weights) {
+  double acc = 0.0;
+  auto flat = t.flat();
+  for (std::size_t i = 0; i < flat.size(); ++i)
+    acc += static_cast<double>(flat[i]) * weights[i];
+  return acc;
+}
+
+}  // namespace
+
+GradCheckResult gradient_check(Module& module, const Tensor& input,
+                               util::Rng& rng, const GradCheckOptions& options) {
+  GradCheckResult result;
+
+  // Fixed random linear functional over the output: loss = <w, out>.
+  Tensor probe_out = module.forward(input, /*train=*/true);
+  std::vector<float> w(probe_out.numel());
+  for (auto& v : w) v = rng.normal(0.0f, 1.0f);
+
+  auto loss_at = [&](const Tensor& x) {
+    return weighted_sum(module.forward(x, /*train=*/true), w);
+  };
+
+  // Analytic gradients.
+  auto params = module.parameters();
+  param_zero_grads(params);
+  Tensor out = module.forward(input, /*train=*/true);
+  Tensor dloss(out.shape());
+  util::copy({w.data(), w.size()}, dloss.flat());
+  Tensor input_grad = module.backward(dloss);
+
+  auto record = [&](double analytic, double numeric) {
+    const double abs_err = std::fabs(analytic - numeric);
+    const double denom =
+        std::max({std::fabs(analytic), std::fabs(numeric), 1e-8});
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    if (abs_err > options.abs_tolerance)
+      result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    ++result.checked;
+  };
+
+  const double h = options.step;
+  for (Parameter* p : params) {
+    const std::size_t n = p->value.numel();
+    const std::size_t samples = std::min(options.samples_per_param, n);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const auto i = static_cast<std::size_t>(rng.below(n));
+      const float saved = p->value[i];
+      p->value[i] = saved + static_cast<float>(h);
+      const double up = loss_at(input);
+      p->value[i] = saved - static_cast<float>(h);
+      const double down = loss_at(input);
+      p->value[i] = saved;
+      record(p->grad[i], (up - down) / (2.0 * h));
+    }
+  }
+
+  if (options.check_input_grad && input.numel() > 0) {
+    Tensor x = input;
+    const std::size_t n = x.numel();
+    const std::size_t samples = std::min(options.input_samples, n);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const auto i = static_cast<std::size_t>(rng.below(n));
+      const float saved = x[i];
+      x[i] = saved + static_cast<float>(h);
+      const double up = loss_at(x);
+      x[i] = saved - static_cast<float>(h);
+      const double down = loss_at(x);
+      x[i] = saved;
+      record(input_grad[i], (up - down) / (2.0 * h));
+    }
+  }
+
+  result.ok = result.max_rel_error <= options.rel_tolerance;
+  return result;
+}
+
+}  // namespace dgs::nn

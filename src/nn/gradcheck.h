@@ -1,0 +1,38 @@
+// Central-difference gradient checking for Module implementations.
+//
+// For each sampled parameter (and optionally input) coordinate, compares the
+// analytic gradient against (L(x+h) - L(x-h)) / 2h on a scalar loss.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace dgs::nn {
+
+struct GradCheckResult {
+  double max_rel_error = 0.0;
+  double max_abs_error = 0.0;
+  std::size_t checked = 0;
+  bool ok = false;
+};
+
+struct GradCheckOptions {
+  double step = 1e-3;            ///< finite-difference step h
+  double rel_tolerance = 5e-2;   ///< |analytic-numeric| / max(|a|,|n|,eps)
+  double abs_tolerance = 1e-4;   ///< absolute floor below which errors pass
+  std::size_t samples_per_param = 12;
+  bool check_input_grad = true;
+  std::size_t input_samples = 12;
+};
+
+/// Runs the module on `input`, reduces the output with a fixed random linear
+/// functional (so the loss is scalar and smooth), and checks parameter and
+/// input gradients at randomly sampled coordinates.
+GradCheckResult gradient_check(Module& module, const Tensor& input,
+                               util::Rng& rng,
+                               const GradCheckOptions& options = {});
+
+}  // namespace dgs::nn

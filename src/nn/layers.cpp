@@ -1,0 +1,477 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "util/math_kernels.h"
+
+namespace dgs::nn {
+
+namespace {
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Sequential
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& child : children_) x = child->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& child : children_)
+    for (Parameter* p : child->parameters()) out.push_back(p);
+  return out;
+}
+
+void Sequential::init(util::Rng& rng) {
+  for (auto& child : children_) child->init(rng);
+}
+
+// ------------------------------------------------------------------ Residual
+
+Tensor Residual::forward(const Tensor& input, bool train) {
+  Tensor body_out = body_->forward(input, train);
+  Tensor shortcut = projection_ ? projection_->forward(input, train) : input;
+  require(body_out.shape() == shortcut.shape(), "Residual: shape mismatch");
+  util::axpy(1.0f, shortcut.flat(), body_out.flat());
+  return body_out;
+}
+
+Tensor Residual::backward(const Tensor& grad_output) {
+  Tensor grad_in = body_->backward(grad_output);
+  if (projection_) {
+    Tensor grad_proj = projection_->backward(grad_output);
+    util::axpy(1.0f, grad_proj.flat(), grad_in.flat());
+  } else {
+    util::axpy(1.0f, grad_output.flat(), grad_in.flat());
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> Residual::parameters() {
+  std::vector<Parameter*> out = body_->parameters();
+  if (projection_)
+    for (Parameter* p : projection_->parameters()) out.push_back(p);
+  return out;
+}
+
+void Residual::init(util::Rng& rng) {
+  body_->init(rng);
+  if (projection_) projection_->init(rng);
+}
+
+// -------------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias)
+    : in_(in_features),
+      out_(out_features),
+      weight_("linear.weight", Shape{out_features, in_features}),
+      bias_("linear.bias", Shape{out_features}),
+      has_bias_(bias) {}
+
+Tensor Linear::forward(const Tensor& input, bool /*train*/) {
+  require(input.shape().rank() == 2 && input.shape()[1] == in_,
+          "Linear: bad input shape");
+  cached_input_ = input;
+  const std::size_t batch = input.shape()[0];
+  Tensor out(Shape{batch, out_});
+  // out[N, out] = input[N, in] * W^T (W stored [out, in]).
+  util::gemm_bt(batch, in_, out_, input.data(), weight_.value.data(), out.data(),
+                /*accumulate=*/false);
+  if (has_bias_) {
+    for (std::size_t n = 0; n < batch; ++n)
+      util::axpy(1.0f, bias_.value.flat(), out.flat().subspan(n * out_, out_));
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  require(grad_output.shape().rank() == 2 && grad_output.shape()[1] == out_,
+          "Linear: bad grad shape");
+  const std::size_t batch = grad_output.shape()[0];
+  require(cached_input_.shape().rank() == 2 && cached_input_.shape()[0] == batch,
+          "Linear: backward without matching forward");
+
+  // dW[out, in] += dY^T[out, N] * X[N, in]
+  util::gemm_at(out_, batch, in_, grad_output.data(), cached_input_.data(),
+                weight_.grad.data(), /*accumulate=*/true);
+  if (has_bias_) {
+    for (std::size_t n = 0; n < batch; ++n)
+      util::axpy(1.0f, grad_output.flat().subspan(n * out_, out_),
+                 bias_.grad.flat());
+  }
+  // dX[N, in] = dY[N, out] * W[out, in]
+  Tensor grad_in(Shape{batch, in_});
+  util::gemm(batch, out_, in_, grad_output.data(), weight_.value.data(),
+             grad_in.data(), /*accumulate=*/false);
+  return grad_in;
+}
+
+std::vector<Parameter*> Linear::local_parameters() {
+  std::vector<Parameter*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+void Linear::init(util::Rng& rng) {
+  weight_.value.init_he(rng, in_);
+  bias_.value.zero();
+}
+
+// ---------------------------------------------------------------------- ReLU
+
+Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& v : out.flat())
+    if (v < 0.0f) v = 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  require(grad_output.shape() == cached_input_.shape(), "ReLU: bad grad shape");
+  Tensor grad_in = grad_output;
+  auto gi = grad_in.flat();
+  auto xi = cached_input_.flat();
+  for (std::size_t i = 0; i < gi.size(); ++i)
+    if (xi[i] <= 0.0f) gi[i] = 0.0f;
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------- Tanh
+
+Tensor Tanh::forward(const Tensor& input, bool /*train*/) {
+  Tensor out = input;
+  for (auto& v : out.flat()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  require(grad_output.shape() == cached_output_.shape(), "Tanh: bad grad shape");
+  Tensor grad_in = grad_output;
+  auto gi = grad_in.flat();
+  auto yo = cached_output_.flat();
+  for (std::size_t i = 0; i < gi.size(); ++i) gi[i] *= 1.0f - yo[i] * yo[i];
+  return grad_in;
+}
+
+// -------------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad, bool bias)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_("conv.weight", Shape{out_channels, in_channels * kernel * kernel}),
+      bias_("conv.bias", Shape{out_channels}),
+      has_bias_(bias) {}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+  require(input.shape().rank() == 4 && input.shape()[1] == in_c_,
+          "Conv2d: bad input shape");
+  cached_input_ = input;
+  const std::size_t batch = input.shape()[0];
+  const std::size_t h = input.shape()[2];
+  const std::size_t w = input.shape()[3];
+  const std::size_t oh = tensor::conv_out_size(h, kernel_, stride_, pad_);
+  const std::size_t ow = tensor::conv_out_size(w, kernel_, stride_, pad_);
+  const std::size_t col_rows = in_c_ * kernel_ * kernel_;
+  const std::size_t col_cols = oh * ow;
+
+  cached_columns_ = Tensor(Shape{batch, col_rows, col_cols});
+  Tensor out(Shape{batch, out_c_, oh, ow});
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* cols = cached_columns_.data() + n * col_rows * col_cols;
+    tensor::im2col(input.data() + n * in_c_ * h * w, in_c_, h, w, kernel_,
+                   kernel_, stride_, pad_, cols);
+    // out[n] = W[out_c, col_rows] * cols[col_rows, col_cols]
+    util::gemm(out_c_, col_rows, col_cols, weight_.value.data(), cols,
+               out.data() + n * out_c_ * col_cols, /*accumulate=*/false);
+    if (has_bias_) {
+      for (std::size_t c = 0; c < out_c_; ++c) {
+        float* plane = out.data() + (n * out_c_ + c) * col_cols;
+        const float b = bias_.value[c];
+        for (std::size_t i = 0; i < col_cols; ++i) plane[i] += b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_input_.shape()[0];
+  const std::size_t h = cached_input_.shape()[2];
+  const std::size_t w = cached_input_.shape()[3];
+  const std::size_t oh = tensor::conv_out_size(h, kernel_, stride_, pad_);
+  const std::size_t ow = tensor::conv_out_size(w, kernel_, stride_, pad_);
+  require(grad_output.shape() == Shape{batch, out_c_, oh, ow},
+          "Conv2d: bad grad shape");
+  const std::size_t col_rows = in_c_ * kernel_ * kernel_;
+  const std::size_t col_cols = oh * ow;
+
+  Tensor grad_in(cached_input_.shape());
+  std::vector<float> grad_cols(col_rows * col_cols);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* gout = grad_output.data() + n * out_c_ * col_cols;
+    const float* cols = cached_columns_.data() + n * col_rows * col_cols;
+    // dW[out_c, col_rows] += dY[out_c, col_cols] * cols^T
+    util::gemm_bt(out_c_, col_cols, col_rows, gout, cols, weight_.grad.data(),
+                  /*accumulate=*/true);
+    if (has_bias_) {
+      for (std::size_t c = 0; c < out_c_; ++c) {
+        double acc = 0.0;
+        const float* plane = gout + c * col_cols;
+        for (std::size_t i = 0; i < col_cols; ++i) acc += plane[i];
+        bias_.grad[c] += static_cast<float>(acc);
+      }
+    }
+    // dcols[col_rows, col_cols] = W^T[col_rows, out_c] * dY[out_c, col_cols]
+    util::gemm_at(col_rows, out_c_, col_cols, weight_.value.data(), gout,
+                  grad_cols.data(), /*accumulate=*/false);
+    tensor::col2im(grad_cols.data(), in_c_, h, w, kernel_, kernel_, stride_,
+                   pad_, grad_in.data() + n * in_c_ * h * w);
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> Conv2d::local_parameters() {
+  std::vector<Parameter*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+void Conv2d::init(util::Rng& rng) {
+  weight_.value.init_he(rng, in_c_ * kernel_ * kernel_);
+  bias_.value.zero();
+}
+
+// ----------------------------------------------------------------- BatchNorm
+
+BatchNorm::BatchNorm(std::size_t channels, float epsilon)
+    : channels_(channels),
+      eps_(epsilon),
+      gamma_("bn.gamma", Shape{channels}),
+      beta_("bn.beta", Shape{channels}) {}
+
+Tensor BatchNorm::forward(const Tensor& input, bool /*train*/) {
+  const auto& shape = input.shape();
+  require(shape.rank() == 2 || shape.rank() == 4, "BatchNorm: rank must be 2 or 4");
+  require(shape[1] == channels_, "BatchNorm: channel mismatch");
+  cached_shape_ = shape;
+  const std::size_t batch = shape[0];
+  const std::size_t spatial = shape.rank() == 4 ? shape[2] * shape[3] : 1;
+  const std::size_t per_channel = batch * spatial;
+  require(per_channel > 0, "BatchNorm: empty batch");
+
+  cached_xhat_ = Tensor(shape);
+  cached_inv_std_.assign(channels_, 0.0f);
+  Tensor out(shape);
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double mean = 0.0;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* src = input.data() + (n * channels_ + c) * spatial;
+      for (std::size_t i = 0; i < spatial; ++i) mean += src[i];
+    }
+    mean /= static_cast<double>(per_channel);
+    double var = 0.0;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* src = input.data() + (n * channels_ + c) * spatial;
+      for (std::size_t i = 0; i < spatial; ++i) {
+        const double d = src[i] - mean;
+        var += d * d;
+      }
+    }
+    var /= static_cast<double>(per_channel);
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    cached_inv_std_[c] = inv_std;
+    const float g = gamma_.value[c];
+    const float b = beta_.value[c];
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* src = input.data() + (n * channels_ + c) * spatial;
+      float* xh = cached_xhat_.data() + (n * channels_ + c) * spatial;
+      float* dst = out.data() + (n * channels_ + c) * spatial;
+      for (std::size_t i = 0; i < spatial; ++i) {
+        xh[i] = (src[i] - static_cast<float>(mean)) * inv_std;
+        dst[i] = g * xh[i] + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  require(grad_output.shape() == cached_shape_, "BatchNorm: bad grad shape");
+  const std::size_t batch = cached_shape_[0];
+  const std::size_t spatial = cached_shape_.rank() == 4
+                                  ? cached_shape_[2] * cached_shape_[3]
+                                  : 1;
+  const auto per_channel = static_cast<double>(batch * spatial);
+
+  Tensor grad_in(cached_shape_);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * spatial;
+      const float* xh = cached_xhat_.data() + (n * channels_ + c) * spatial;
+      for (std::size_t i = 0; i < spatial; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+
+    const float g = gamma_.value[c];
+    const float inv_std = cached_inv_std_[c];
+    const auto mean_dy = static_cast<float>(sum_dy / per_channel);
+    const auto mean_dy_xhat = static_cast<float>(sum_dy_xhat / per_channel);
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * spatial;
+      const float* xh = cached_xhat_.data() + (n * channels_ + c) * spatial;
+      float* dx = grad_in.data() + (n * channels_ + c) * spatial;
+      for (std::size_t i = 0; i < spatial; ++i)
+        dx[i] = g * inv_std * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> BatchNorm::local_parameters() { return {&gamma_, &beta_}; }
+
+void BatchNorm::init(util::Rng& /*rng*/) {
+  gamma_.value.fill(1.0f);
+  beta_.value.zero();
+}
+
+// ----------------------------------------------------------------- MaxPool2d
+
+MaxPool2d::MaxPool2d(std::size_t window) : window_(window) {
+  require(window >= 1, "MaxPool2d: window must be >= 1");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
+  const auto& shape = input.shape();
+  require(shape.rank() == 4, "MaxPool2d: input must be NCHW");
+  cached_in_shape_ = shape;
+  const std::size_t batch = shape[0], channels = shape[1];
+  const std::size_t h = shape[2], w = shape[3];
+  const std::size_t oh = h / window_, ow = w / window_;
+  require(oh >= 1 && ow >= 1, "MaxPool2d: window larger than input");
+
+  Tensor out(Shape{batch, channels, oh, ow});
+  argmax_.assign(out.numel(), 0);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float* plane = input.data() + (n * channels + c) * h * w;
+      float* dst = out.data() + (n * channels + c) * oh * ow;
+      std::uint32_t* arg = argmax_.data() + (n * channels + c) * oh * ow;
+      for (std::size_t i = 0; i < oh; ++i) {
+        for (std::size_t j = 0; j < ow; ++j) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::uint32_t best_at = 0;
+          for (std::size_t di = 0; di < window_; ++di) {
+            for (std::size_t dj = 0; dj < window_; ++dj) {
+              const std::size_t at = (i * window_ + di) * w + (j * window_ + dj);
+              if (plane[at] > best) {
+                best = plane[at];
+                best_at = static_cast<std::uint32_t>(at);
+              }
+            }
+          }
+          dst[i * ow + j] = best;
+          arg[i * ow + j] = best_at;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_in_shape_[0], channels = cached_in_shape_[1];
+  const std::size_t h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const std::size_t oh = h / window_, ow = w / window_;
+  require(grad_output.shape() == Shape{batch, channels, oh, ow},
+          "MaxPool2d: bad grad shape");
+  Tensor grad_in(cached_in_shape_);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float* gy = grad_output.data() + (n * channels + c) * oh * ow;
+      const std::uint32_t* arg = argmax_.data() + (n * channels + c) * oh * ow;
+      float* gx = grad_in.data() + (n * channels + c) * h * w;
+      for (std::size_t i = 0; i < oh * ow; ++i) gx[arg[i]] += gy[i];
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------- GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*train*/) {
+  const auto& shape = input.shape();
+  require(shape.rank() == 4, "GlobalAvgPool: input must be NCHW");
+  cached_in_shape_ = shape;
+  const std::size_t batch = shape[0], channels = shape[1];
+  const std::size_t spatial = shape[2] * shape[3];
+  Tensor out(Shape{batch, channels});
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float* plane = input.data() + (n * channels + c) * spatial;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < spatial; ++i) acc += plane[i];
+      out.at2(n, c) = static_cast<float>(acc / static_cast<double>(spatial));
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  const std::size_t batch = cached_in_shape_[0], channels = cached_in_shape_[1];
+  const std::size_t spatial = cached_in_shape_[2] * cached_in_shape_[3];
+  require(grad_output.shape() == Shape{batch, channels},
+          "GlobalAvgPool: bad grad shape");
+  Tensor grad_in(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float g = grad_output.at2(n, c) * inv;
+      float* plane = grad_in.data() + (n * channels + c) * spatial;
+      for (std::size_t i = 0; i < spatial; ++i) plane[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
+  cached_in_shape_ = input.shape();
+  require(cached_in_shape_.rank() >= 2, "Flatten: rank must be >= 2");
+  const std::size_t batch = cached_in_shape_[0];
+  return input.reshaped(Shape{batch, input.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(cached_in_shape_);
+}
+
+}  // namespace dgs::nn

@@ -1,0 +1,136 @@
+// Concrete layers: Linear, ReLU, Conv2d (im2col), BatchNorm (batch-stats),
+// MaxPool2d, GlobalAvgPool, Flatten.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/module.h"
+
+namespace dgs::nn {
+
+/// Fully connected layer: y = x W^T + b. Input [N, in], output [N, out].
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> local_parameters() override;
+  void init(util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+  bool has_bias_;
+  Tensor cached_input_;
+};
+
+/// Elementwise max(0, x).
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Elementwise tanh (used by gradient-check tests for smooth nonlinearity).
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// 2D convolution via im2col + GEMM. Input [N, C, H, W].
+class Conv2d : public Module {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride = 1, std::size_t pad = 0, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> local_parameters() override;
+  void init(util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+
+ private:
+  std::size_t in_c_, out_c_, kernel_, stride_, pad_;
+  Parameter weight_;  // [out_c, in_c * k * k]
+  Parameter bias_;    // [out_c]
+  bool has_bias_;
+  Tensor cached_input_;
+  Tensor cached_columns_;  // [N * (C*k*k) * (oh*ow)] concatenated per image
+};
+
+/// Batch normalization over the channel axis using batch statistics in both
+/// train and eval (no running buffers: all trainable state lives in
+/// Parameters, which keeps worker/server state transfer complete).
+/// Works on [N, C, H, W] (per-channel) and [N, F] (per-feature).
+class BatchNorm : public Module {
+ public:
+  explicit BatchNorm(std::size_t channels, float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> local_parameters() override;
+  void init(util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "BatchNorm"; }
+
+ private:
+  std::size_t channels_;
+  float eps_;
+  Parameter gamma_, beta_;
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  Shape cached_shape_;
+};
+
+/// Max pooling with square window, stride == window. Input [N, C, H, W].
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::size_t window);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t window_;
+  Shape cached_in_shape_;
+  std::vector<std::uint32_t> argmax_;
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+/// [N, ...] -> [N, prod(...)].
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace dgs::nn

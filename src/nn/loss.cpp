@@ -1,0 +1,89 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dgs::nn {
+
+namespace {
+
+/// Writes softmax probabilities of one row and returns log(sum exp) shift
+/// pieces needed for the loss; `probs` may alias nothing.
+void row_softmax(const float* logits, std::size_t classes, float* probs) {
+  float maxv = logits[0];
+  for (std::size_t c = 1; c < classes; ++c) maxv = std::max(maxv, logits[c]);
+  double denom = 0.0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    probs[c] = std::exp(logits[c] - maxv);
+    denom += probs[c];
+  }
+  const auto inv = static_cast<float>(1.0 / denom);
+  for (std::size_t c = 0; c < classes; ++c) probs[c] *= inv;
+}
+
+std::size_t row_argmax(const float* logits, std::size_t classes) {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < classes; ++c)
+    if (logits[c] > logits[best]) best = c;
+  return best;
+}
+
+}  // namespace
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::int32_t>& labels) {
+  if (logits.shape().rank() != 2)
+    throw std::invalid_argument("softmax_cross_entropy: logits must be [N, C]");
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  if (labels.size() != batch)
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+
+  LossResult result;
+  result.grad = tensor::Tensor(logits.shape());
+  double total = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    float* grow = result.grad.data() + n * classes;
+    row_softmax(row, classes, grow);
+    const auto label = static_cast<std::size_t>(labels[n]);
+    if (label >= classes)
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    total += -std::log(std::max(grow[label], 1e-30f));
+    if (row_argmax(row, classes) == label) ++result.correct;
+    // grad = (softmax - onehot) / N
+    grow[label] -= 1.0f;
+    for (std::size_t c = 0; c < classes; ++c) grow[c] *= inv_batch;
+  }
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+std::size_t count_correct(const tensor::Tensor& logits,
+                          const std::vector<std::int32_t>& labels) {
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < batch; ++n)
+    if (row_argmax(logits.data() + n * classes, classes) ==
+        static_cast<std::size_t>(labels[n]))
+      ++correct;
+  return correct;
+}
+
+double softmax_loss_only(const tensor::Tensor& logits,
+                         const std::vector<std::int32_t>& labels) {
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  std::vector<float> probs(classes);
+  double total = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    row_softmax(logits.data() + n * classes, classes, probs.data());
+    total += -std::log(
+        std::max(probs[static_cast<std::size_t>(labels[n])], 1e-30f));
+  }
+  return total / static_cast<double>(batch);
+}
+
+}  // namespace dgs::nn

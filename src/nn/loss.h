@@ -1,0 +1,29 @@
+// Softmax cross-entropy loss with integer labels, plus accuracy helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dgs::nn {
+
+struct LossResult {
+  double loss = 0.0;         ///< Mean loss over the batch.
+  tensor::Tensor grad;       ///< d(mean loss)/d(logits), same shape as logits.
+  std::size_t correct = 0;   ///< Top-1 correct predictions in the batch.
+};
+
+/// Numerically stable softmax cross-entropy. logits: [N, classes].
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const tensor::Tensor& logits, const std::vector<std::int32_t>& labels);
+
+/// Top-1 accuracy only (no gradient); cheaper for evaluation passes.
+[[nodiscard]] std::size_t count_correct(const tensor::Tensor& logits,
+                                        const std::vector<std::int32_t>& labels);
+
+/// Mean softmax cross-entropy without gradient.
+[[nodiscard]] double softmax_loss_only(const tensor::Tensor& logits,
+                                       const std::vector<std::int32_t>& labels);
+
+}  // namespace dgs::nn

@@ -1,0 +1,226 @@
+#include "nn/model.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "util/math_kernels.h"
+
+namespace dgs::nn {
+
+ModelSpec ModelSpec::mlp(std::size_t input_dim, std::vector<std::size_t> hidden,
+                         std::size_t classes) {
+  ModelSpec spec;
+  spec.kind = Kind::kMlp;
+  spec.input_dim = input_dim;
+  spec.hidden = std::move(hidden);
+  spec.classes = classes;
+  return spec;
+}
+
+ModelSpec ModelSpec::res_mlp(std::size_t input_dim, std::size_t width,
+                             std::size_t blocks, std::size_t classes) {
+  ModelSpec spec;
+  spec.kind = Kind::kResMlp;
+  spec.input_dim = input_dim;
+  spec.hidden = {width};
+  spec.blocks = blocks;
+  spec.classes = classes;
+  return spec;
+}
+
+ModelSpec ModelSpec::cnn(std::size_t channels, std::size_t height,
+                         std::size_t width, std::size_t base_channels,
+                         std::size_t classes) {
+  ModelSpec spec;
+  spec.kind = Kind::kCnn;
+  spec.channels = channels;
+  spec.height = height;
+  spec.width = width;
+  spec.base_channels = base_channels;
+  spec.classes = classes;
+  return spec;
+}
+
+ModelSpec ModelSpec::resnet_lite(std::size_t channels, std::size_t height,
+                                 std::size_t width, std::size_t base_channels,
+                                 std::size_t blocks, std::size_t classes) {
+  ModelSpec spec;
+  spec.kind = Kind::kResNetLite;
+  spec.channels = channels;
+  spec.height = height;
+  spec.width = width;
+  spec.base_channels = base_channels;
+  spec.blocks = blocks;
+  spec.classes = classes;
+  return spec;
+}
+
+namespace {
+
+ModulePtr build_mlp(const ModelSpec& spec) {
+  auto seq = std::make_unique<Sequential>();
+  std::size_t in = spec.input_dim;
+  for (std::size_t h : spec.hidden) {
+    seq->add(std::make_unique<Linear>(in, h, /*bias=*/!spec.batch_norm));
+    if (spec.batch_norm) seq->add(std::make_unique<BatchNorm>(h));
+    seq->add(std::make_unique<ReLU>());
+    in = h;
+  }
+  seq->add(std::make_unique<Linear>(in, spec.classes));
+  return seq;
+}
+
+ModulePtr build_res_mlp(const ModelSpec& spec) {
+  const std::size_t width = spec.hidden.empty() ? 64 : spec.hidden[0];
+  const bool bn = spec.batch_norm;
+  auto seq = std::make_unique<Sequential>();
+  seq->add(std::make_unique<Linear>(spec.input_dim, width, /*bias=*/!bn));
+  if (bn) seq->add(std::make_unique<BatchNorm>(width));
+  seq->add(std::make_unique<ReLU>());
+  for (std::size_t b = 0; b < spec.blocks; ++b) {
+    auto body = std::make_unique<Sequential>();
+    body->add(std::make_unique<Linear>(width, width, /*bias=*/!bn));
+    if (bn) body->add(std::make_unique<BatchNorm>(width));
+    body->add(std::make_unique<ReLU>());
+    body->add(std::make_unique<Linear>(width, width, /*bias=*/!bn));
+    if (bn) body->add(std::make_unique<BatchNorm>(width));
+    seq->add(std::make_unique<Residual>(std::move(body)));
+    seq->add(std::make_unique<ReLU>());
+  }
+  seq->add(std::make_unique<Linear>(width, spec.classes));
+  return seq;
+}
+
+ModulePtr build_cnn(const ModelSpec& spec) {
+  const std::size_t c1 = spec.base_channels;
+  const std::size_t c2 = spec.base_channels * 2;
+  auto seq = std::make_unique<Sequential>();
+  seq->add(std::make_unique<Conv2d>(spec.channels, c1, 3, 1, 1));
+  seq->add(std::make_unique<ReLU>());
+  seq->add(std::make_unique<MaxPool2d>(2));
+  seq->add(std::make_unique<Conv2d>(c1, c2, 3, 1, 1));
+  seq->add(std::make_unique<ReLU>());
+  // Flatten head (rather than global average pooling) so spatially
+  // unstructured features remain classifiable.
+  seq->add(std::make_unique<Flatten>());
+  seq->add(std::make_unique<Linear>(c2 * (spec.height / 2) * (spec.width / 2),
+                                    spec.classes));
+  return seq;
+}
+
+ModulePtr build_resnet_lite(const ModelSpec& spec) {
+  const std::size_t c = spec.base_channels;
+  auto seq = std::make_unique<Sequential>();
+  seq->add(std::make_unique<Conv2d>(spec.channels, c, 3, 1, 1, /*bias=*/false));
+  seq->add(std::make_unique<BatchNorm>(c));
+  seq->add(std::make_unique<ReLU>());
+  for (std::size_t b = 0; b < spec.blocks; ++b) {
+    auto body = std::make_unique<Sequential>();
+    body->add(std::make_unique<Conv2d>(c, c, 3, 1, 1, /*bias=*/false));
+    body->add(std::make_unique<BatchNorm>(c));
+    body->add(std::make_unique<ReLU>());
+    body->add(std::make_unique<Conv2d>(c, c, 3, 1, 1, /*bias=*/false));
+    body->add(std::make_unique<BatchNorm>(c));
+    seq->add(std::make_unique<Residual>(std::move(body)));
+    seq->add(std::make_unique<ReLU>());
+  }
+  seq->add(std::make_unique<GlobalAvgPool>());
+  seq->add(std::make_unique<Linear>(c, spec.classes));
+  return seq;
+}
+
+}  // namespace
+
+ModulePtr ModelSpec::build() const {
+  switch (kind) {
+    case Kind::kMlp: return build_mlp(*this);
+    case Kind::kResMlp: return build_res_mlp(*this);
+    case Kind::kCnn: return build_cnn(*this);
+    case Kind::kResNetLite: return build_resnet_lite(*this);
+  }
+  throw std::logic_error("ModelSpec: unknown kind");
+}
+
+Shape ModelSpec::input_shape(std::size_t batch) const {
+  switch (kind) {
+    case Kind::kMlp:
+    case Kind::kResMlp:
+      return Shape{batch, input_dim};
+    case Kind::kCnn:
+    case Kind::kResNetLite:
+      return Shape{batch, channels, height, width};
+  }
+  throw std::logic_error("ModelSpec: unknown kind");
+}
+
+std::size_t ModelSpec::feature_dim() const noexcept {
+  switch (kind) {
+    case Kind::kMlp:
+    case Kind::kResMlp:
+      return input_dim;
+    case Kind::kCnn:
+    case Kind::kResNetLite:
+      return channels * height * width;
+  }
+  return 0;
+}
+
+std::string ModelSpec::name() const {
+  switch (kind) {
+    case Kind::kMlp: return "MLP";
+    case Kind::kResMlp: return "ResMLP";
+    case Kind::kCnn: return "CifarNet";
+    case Kind::kResNetLite: return "ResNetLite";
+  }
+  return "?";
+}
+
+std::size_t param_numel(const std::vector<Parameter*>& params) {
+  std::size_t n = 0;
+  for (const Parameter* p : params) n += p->value.numel();
+  return n;
+}
+
+std::vector<std::size_t> param_layer_sizes(const std::vector<Parameter*>& params) {
+  std::vector<std::size_t> out;
+  out.reserve(params.size());
+  for (const Parameter* p : params) out.push_back(p->value.numel());
+  return out;
+}
+
+std::vector<float> param_gather_values(const std::vector<Parameter*>& params) {
+  std::vector<float> flat(param_numel(params));
+  std::size_t at = 0;
+  for (const Parameter* p : params) {
+    util::copy(p->value.flat(), {flat.data() + at, p->value.numel()});
+    at += p->value.numel();
+  }
+  return flat;
+}
+
+std::vector<float> param_gather_grads(const std::vector<Parameter*>& params) {
+  std::vector<float> flat(param_numel(params));
+  std::size_t at = 0;
+  for (const Parameter* p : params) {
+    util::copy(p->grad.flat(), {flat.data() + at, p->grad.numel()});
+    at += p->grad.numel();
+  }
+  return flat;
+}
+
+void param_scatter_values(const std::vector<float>& flat,
+                          const std::vector<Parameter*>& params) {
+  if (flat.size() != param_numel(params))
+    throw std::invalid_argument("param_scatter_values: size mismatch");
+  std::size_t at = 0;
+  for (Parameter* p : params) {
+    util::copy({flat.data() + at, p->value.numel()}, p->value.flat());
+    at += p->value.numel();
+  }
+}
+
+void param_zero_grads(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->grad.zero();
+}
+
+}  // namespace dgs::nn

@@ -1,0 +1,91 @@
+// Model zoo and parameter-vector utilities.
+//
+// Every worker and the evaluation harness must be able to build an identical
+// model structure and exchange parameter/gradient state layer-by-layer; the
+// ModelSpec (a cheap value type) is the blueprint they share, and the
+// param_* helpers give flat per-layer access to a built model's state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace dgs::nn {
+
+/// Declarative model description, buildable anywhere (worker threads, the
+/// evaluator, tests) so all replicas agree on structure and layer order.
+struct ModelSpec {
+  enum class Kind : std::uint8_t {
+    kMlp,         ///< Flatten -> [Linear+ReLU]* -> Linear
+    kResMlp,      ///< MLP with residual blocks (Linear-ReLU-Linear + skip)
+    kCnn,         ///< Conv stack + pool + classifier head ("CifarNet")
+    kResNetLite,  ///< Small residual conv net (BatchNorm + skips)
+  };
+
+  Kind kind = Kind::kMlp;
+  std::size_t input_dim = 0;   ///< For MLP kinds: feature dimension.
+  std::size_t channels = 3;    ///< For conv kinds.
+  std::size_t height = 16;
+  std::size_t width = 16;
+  std::size_t classes = 10;
+  std::vector<std::size_t> hidden;  ///< MLP hidden widths / ResMlp block widths.
+  std::size_t base_channels = 8;    ///< Conv width multiplier.
+  std::size_t blocks = 2;           ///< Residual block count for kResNetLite.
+  bool batch_norm = false;          ///< Insert BatchNorm in MLP/ResMLP blocks
+                                    ///< (ResNet-style training stability).
+
+  [[nodiscard]] static ModelSpec mlp(std::size_t input_dim,
+                                     std::vector<std::size_t> hidden,
+                                     std::size_t classes);
+  [[nodiscard]] static ModelSpec res_mlp(std::size_t input_dim, std::size_t width,
+                                         std::size_t blocks, std::size_t classes);
+  [[nodiscard]] static ModelSpec cnn(std::size_t channels, std::size_t height,
+                                     std::size_t width, std::size_t base_channels,
+                                     std::size_t classes);
+  [[nodiscard]] static ModelSpec resnet_lite(std::size_t channels,
+                                             std::size_t height, std::size_t width,
+                                             std::size_t base_channels,
+                                             std::size_t blocks,
+                                             std::size_t classes);
+
+  /// Instantiate the module graph (uninitialized weights).
+  [[nodiscard]] ModulePtr build() const;
+
+  /// Shape a flat feature batch must be reshaped to before forward().
+  [[nodiscard]] Shape input_shape(std::size_t batch) const;
+
+  /// Flat feature dimension the datasets must produce.
+  [[nodiscard]] std::size_t feature_dim() const noexcept;
+
+  [[nodiscard]] std::string name() const;
+};
+
+// ---------------------------------------------------------------------------
+// Flat parameter access. "Layer j" in the paper == parameter index j here.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::size_t param_numel(const std::vector<Parameter*>& params);
+
+/// Per-layer dense sizes, in layer order.
+[[nodiscard]] std::vector<std::size_t> param_layer_sizes(
+    const std::vector<Parameter*>& params);
+
+/// Concatenate all parameter values into one flat vector (layer order).
+[[nodiscard]] std::vector<float> param_gather_values(
+    const std::vector<Parameter*>& params);
+
+/// Concatenate all gradients into one flat vector (layer order).
+[[nodiscard]] std::vector<float> param_gather_grads(
+    const std::vector<Parameter*>& params);
+
+/// Scatter a flat vector back into parameter values.
+void param_scatter_values(const std::vector<float>& flat,
+                          const std::vector<Parameter*>& params);
+
+/// Zero all gradients.
+void param_zero_grads(const std::vector<Parameter*>& params);
+
+}  // namespace dgs::nn

@@ -1,0 +1,108 @@
+// Neural-network module graph with exact reverse-mode gradients.
+//
+// The contract is deliberately minimal: a Module maps a batch tensor to a
+// batch tensor in forward(), and maps the loss gradient w.r.t. its output to
+// the gradient w.r.t. its input in backward(), accumulating parameter
+// gradients into Parameter::grad along the way. Each Parameter tensor is one
+// "layer" in the sense of the paper's per-layer sparsification (the j index
+// in Algorithms 1-3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dgs::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A trainable tensor plus its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Shape shape)
+      : name(std::move(n)), value(shape), grad(std::move(shape)) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Forward pass. `train` selects training behaviour (e.g. batch-stat
+  /// normalization). Implementations cache activations needed by backward.
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Backward pass for the most recent forward() call. Accumulates into
+  /// parameter gradients and returns d(loss)/d(input).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Parameters owned directly by this module (not recursive).
+  virtual std::vector<Parameter*> local_parameters() { return {}; }
+
+  /// All parameters, depth-first (recursive).
+  virtual std::vector<Parameter*> parameters() { return local_parameters(); }
+
+  /// Weight initialization; default initializes nothing.
+  virtual void init(util::Rng& /*rng*/) {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  Module() = default;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+/// Composite module applying children in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<ModulePtr> children)
+      : children_(std::move(children)) {}
+
+  Sequential& add(ModulePtr child) {
+    children_.push_back(std::move(child));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  void init(util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Sequential"; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return children_.size(); }
+  Module& child(std::size_t i) { return *children_.at(i); }
+
+ private:
+  std::vector<ModulePtr> children_;
+};
+
+/// Residual wrapper: output = body(x) + projection(x) (projection defaults
+/// to identity and must produce the body's output shape).
+class Residual : public Module {
+ public:
+  explicit Residual(ModulePtr body, ModulePtr projection = nullptr)
+      : body_(std::move(body)), projection_(std::move(projection)) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  void init(util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Residual"; }
+
+ private:
+  ModulePtr body_;
+  ModulePtr projection_;  // may be null (identity)
+};
+
+}  // namespace dgs::nn

@@ -1,0 +1,158 @@
+#include "sparse/codec.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dgs::sparse {
+
+namespace {
+
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void f32s(std::span<const float> v) { raw(v.data(), v.size() * sizeof(float)); }
+  void u32s(std::span<const std::uint32_t> v) {
+    raw(v.data(), v.size() * sizeof(std::uint32_t));
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  Bytes& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  void f32s(std::span<float> v) { raw(v.data(), v.size() * sizeof(float)); }
+  void u32s(std::span<std::uint32_t> v) {
+    raw(v.data(), v.size() * sizeof(std::uint32_t));
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == in_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return in_.size() - pos_;
+  }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    if (pos_ + n > in_.size()) throw std::runtime_error("codec: truncated payload");
+    std::memcpy(p, in_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t encoded_size(const SparseUpdate& update) noexcept {
+  std::size_t n = 8;  // magic + num_layers
+  for (const auto& c : update.layers)
+    n += 12 + c.nnz() * (sizeof(std::uint32_t) + sizeof(float));
+  return n;
+}
+
+Bytes encode(const SparseUpdate& update) {
+  Bytes out;
+  out.reserve(encoded_size(update));
+  Writer w(out);
+  w.u32(kSparseMagic);
+  w.u32(static_cast<std::uint32_t>(update.layers.size()));
+  for (const auto& c : update.layers) {
+    if (c.idx.size() != c.val.size())
+      throw std::invalid_argument("codec: idx/val size mismatch");
+    w.u32(c.layer);
+    w.u32(c.dense_size);
+    w.u32(static_cast<std::uint32_t>(c.nnz()));
+    w.u32s(c.idx);
+    w.f32s(c.val);
+  }
+  return out;
+}
+
+SparseUpdate decode(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (r.u32() != kSparseMagic) throw std::runtime_error("codec: bad sparse magic");
+  SparseUpdate update;
+  const std::uint32_t num_layers = r.u32();
+  // Each layer needs at least a 12-byte header; reject inflated counts
+  // before allocating.
+  if (static_cast<std::size_t>(num_layers) * 12 > r.remaining())
+    throw std::runtime_error("codec: truncated payload");
+  update.layers.resize(num_layers);
+  for (auto& c : update.layers) {
+    c.layer = r.u32();
+    c.dense_size = r.u32();
+    const std::uint32_t nnz = r.u32();
+    if (nnz > c.dense_size) throw std::runtime_error("codec: nnz > dense_size");
+    // Bound allocations by the bytes actually present (a corrupted header
+    // must not trigger a multi-gigabyte resize).
+    if (static_cast<std::size_t>(nnz) * 8 > r.remaining())
+      throw std::runtime_error("codec: truncated payload");
+    c.idx.resize(nnz);
+    c.val.resize(nnz);
+    r.u32s(c.idx);
+    r.f32s(c.val);
+    for (std::uint32_t i : c.idx)
+      if (i >= c.dense_size) throw std::runtime_error("codec: index out of range");
+  }
+  if (!r.exhausted()) throw std::runtime_error("codec: trailing bytes");
+  return update;
+}
+
+std::size_t encoded_size(const DenseUpdate& update) noexcept {
+  std::size_t n = 8;
+  for (const auto& l : update.layers) n += 8 + l.values.size() * sizeof(float);
+  return n;
+}
+
+Bytes encode(const DenseUpdate& update) {
+  Bytes out;
+  out.reserve(encoded_size(update));
+  Writer w(out);
+  w.u32(kDenseMagic);
+  w.u32(static_cast<std::uint32_t>(update.layers.size()));
+  for (const auto& l : update.layers) {
+    w.u32(l.layer);
+    w.u32(static_cast<std::uint32_t>(l.values.size()));
+    w.f32s(l.values);
+  }
+  return out;
+}
+
+DenseUpdate decode_dense(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  if (r.u32() != kDenseMagic) throw std::runtime_error("codec: bad dense magic");
+  DenseUpdate update;
+  const std::uint32_t num_layers = r.u32();
+  if (static_cast<std::size_t>(num_layers) * 8 > r.remaining())
+    throw std::runtime_error("codec: truncated payload");
+  update.layers.resize(num_layers);
+  for (auto& l : update.layers) {
+    l.layer = r.u32();
+    const std::uint32_t size = r.u32();
+    if (static_cast<std::size_t>(size) * 4 > r.remaining())
+      throw std::runtime_error("codec: truncated payload");
+    l.values.resize(size);
+    r.f32s(l.values);
+  }
+  if (!r.exhausted()) throw std::runtime_error("codec: trailing bytes");
+  return update;
+}
+
+bool is_sparse_payload(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), 4);
+  return magic == kSparseMagic;
+}
+
+}  // namespace dgs::sparse

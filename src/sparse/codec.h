@@ -1,0 +1,57 @@
+// Binary wire codec for sparse and dense updates.
+//
+// Everything exchanged between workers and the parameter server crosses this
+// serialization boundary, so the byte counts used by the network model are
+// the real encoded sizes, not analytic estimates.
+//
+// Sparse payload layout (little-endian):
+//   u32 magic 'DGSS' | u32 num_layers
+//   per layer: u32 layer | u32 dense_size | u32 nnz | nnz*u32 idx | nnz*f32 val
+//
+// Dense payload layout:
+//   u32 magic 'DGSD' | u32 num_layers
+//   per layer: u32 layer | u32 dense_size | dense_size * f32
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/coo.h"
+
+namespace dgs::sparse {
+
+using Bytes = std::vector<std::uint8_t>;
+
+inline constexpr std::uint32_t kSparseMagic = 0x44475353;  // 'DGSS'
+inline constexpr std::uint32_t kDenseMagic = 0x44475344;   // 'DGSD'
+
+/// Exact encoded size in bytes of a sparse update.
+[[nodiscard]] std::size_t encoded_size(const SparseUpdate& update) noexcept;
+
+[[nodiscard]] Bytes encode(const SparseUpdate& update);
+[[nodiscard]] SparseUpdate decode(std::span<const std::uint8_t> bytes);
+
+/// Dense update: one contiguous float block per layer.
+struct DenseUpdate {
+  struct Layer {
+    std::uint32_t layer = 0;
+    std::vector<float> values;
+  };
+  std::vector<Layer> layers;
+
+  [[nodiscard]] std::size_t total_dense() const noexcept {
+    std::size_t n = 0;
+    for (const auto& l : layers) n += l.values.size();
+    return n;
+  }
+};
+
+[[nodiscard]] std::size_t encoded_size(const DenseUpdate& update) noexcept;
+[[nodiscard]] Bytes encode(const DenseUpdate& update);
+[[nodiscard]] DenseUpdate decode_dense(std::span<const std::uint8_t> bytes);
+
+/// Peek at the magic word to distinguish payload kinds.
+[[nodiscard]] bool is_sparse_payload(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace dgs::sparse

@@ -1,0 +1,61 @@
+#include "sparse/coo.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dgs::sparse {
+
+LayerChunk extract_and_zero(std::uint32_t layer, std::span<float> values,
+                            float thr) {
+  LayerChunk chunk;
+  chunk.layer = layer;
+  chunk.dense_size = static_cast<std::uint32_t>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float v = values[i];
+    if (v != 0.0f && std::fabs(v) >= thr) {
+      chunk.idx.push_back(static_cast<std::uint32_t>(i));
+      chunk.val.push_back(v);
+      values[i] = 0.0f;
+    }
+  }
+  return chunk;
+}
+
+LayerChunk extract_copy(std::uint32_t layer, std::span<const float> values,
+                        float thr) {
+  LayerChunk chunk;
+  chunk.layer = layer;
+  chunk.dense_size = static_cast<std::uint32_t>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float v = values[i];
+    if (v != 0.0f && std::fabs(v) >= thr) {
+      chunk.idx.push_back(static_cast<std::uint32_t>(i));
+      chunk.val.push_back(v);
+    }
+  }
+  return chunk;
+}
+
+void scale_below(std::span<float> values, float thr, float factor) noexcept {
+  for (auto& v : values)
+    if (std::fabs(v) < thr) v *= factor;
+}
+
+void scatter_add(const LayerChunk& chunk, float scale, std::span<float> dst) {
+  if (dst.size() != chunk.dense_size)
+    throw std::invalid_argument("scatter_add: dense size mismatch");
+  for (std::size_t i = 0; i < chunk.idx.size(); ++i) {
+    assert(chunk.idx[i] < dst.size());
+    dst[chunk.idx[i]] += scale * chunk.val[i];
+  }
+}
+
+std::vector<float> densify(const LayerChunk& chunk) {
+  std::vector<float> out(chunk.dense_size, 0.0f);
+  for (std::size_t i = 0; i < chunk.idx.size(); ++i)
+    out[chunk.idx[i]] = chunk.val[i];
+  return out;
+}
+
+}  // namespace dgs::sparse

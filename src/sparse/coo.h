@@ -1,0 +1,66 @@
+// COO-format sparse vectors and the sparsify / unsparsify primitives from
+// the paper (Algorithms 1-3).
+//
+// A LayerChunk is one layer's sparse content: parallel index/value arrays
+// plus the dense length. A SparseUpdate is the per-message collection of
+// chunks (one per layer), which is what crosses the wire between worker and
+// server.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dgs::sparse {
+
+struct LayerChunk {
+  std::uint32_t layer = 0;       ///< Layer index within the model.
+  std::uint32_t dense_size = 0;  ///< Dense length of this layer.
+  std::vector<std::uint32_t> idx;
+  std::vector<float> val;
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return idx.size(); }
+};
+
+struct SparseUpdate {
+  std::vector<LayerChunk> layers;
+
+  [[nodiscard]] std::size_t total_nnz() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : layers) n += c.nnz();
+    return n;
+  }
+  [[nodiscard]] std::size_t total_dense() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : layers) n += c.dense_size;
+    return n;
+  }
+  /// nnz / dense, in [0, 1]; 0 for an empty update.
+  [[nodiscard]] double density() const noexcept {
+    const auto d = total_dense();
+    return d == 0 ? 0.0 : static_cast<double>(total_nnz()) / static_cast<double>(d);
+  }
+};
+
+/// Extract entries with |v| >= thr into a chunk and ZERO them in `values`
+/// (the "sparsify + keep residual" move of Algorithm 1 / Algorithm 2).
+/// Exact zeros are never extracted; they carry no update.
+LayerChunk extract_and_zero(std::uint32_t layer, std::span<float> values,
+                            float thr);
+
+/// Extract entries with |v| >= thr into a chunk WITHOUT modifying `values`
+/// (DGS keeps sent velocity entries resident; Algorithm 3).
+LayerChunk extract_copy(std::uint32_t layer, std::span<const float> values,
+                        float thr);
+
+/// Scale entries with |v| < thr by `factor`, leave the rest untouched
+/// (the SAMomentum 1/m rescaling of unsent entries, Eq. 14a / Alg. 3 l.11).
+void scale_below(std::span<float> values, float thr, float factor) noexcept;
+
+/// dst[idx[i]] += scale * val[i] for every entry of the chunk.
+void scatter_add(const LayerChunk& chunk, float scale, std::span<float> dst);
+
+/// Densify the chunk into a zero-initialized buffer of chunk.dense_size.
+[[nodiscard]] std::vector<float> densify(const LayerChunk& chunk);
+
+}  // namespace dgs::sparse

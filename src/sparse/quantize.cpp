@@ -1,0 +1,316 @@
+#include "sparse/quantize.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "sparse/coo.h"
+
+namespace dgs::sparse {
+
+namespace {
+
+/// 2-bit codes for ternary values.
+constexpr std::uint8_t kZero = 0b00;
+constexpr std::uint8_t kPlus = 0b01;
+constexpr std::uint8_t kMinus = 0b10;
+
+void pack2(std::vector<std::uint8_t>& out, std::size_t index, std::uint8_t code) {
+  const std::size_t byte = index / 4;
+  const std::size_t shift = (index % 4) * 2;
+  out[byte] |= static_cast<std::uint8_t>(code << shift);
+}
+
+std::uint8_t unpack2(const std::vector<std::uint8_t>& in, std::size_t index) {
+  const std::size_t byte = index / 4;
+  const std::size_t shift = (index % 4) * 2;
+  return static_cast<std::uint8_t>((in[byte] >> shift) & 0b11);
+}
+
+}  // namespace
+
+TernaryLayer ternary_quantize(std::uint32_t layer, std::span<const float> values,
+                              util::Rng& rng) {
+  TernaryLayer out;
+  out.layer = layer;
+  out.dense_size = static_cast<std::uint32_t>(values.size());
+  float scale = 0.0f;
+  for (float v : values) scale = std::max(scale, std::fabs(v));
+  out.scale = scale;
+  out.packed.assign((values.size() + 3) / 4, 0);
+  if (scale == 0.0f) return out;  // all-zero layer stays all-zero
+
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float v = values[i];
+    // b ~ Bernoulli(|v|/s): E[s * sign(v) * b] = v (unbiased).
+    const double p = std::fabs(v) / scale;
+    if (rng.uniform() < p)
+      pack2(out.packed, i, v > 0.0f ? kPlus : kMinus);
+    // else kZero (already zero-initialized)
+  }
+  return out;
+}
+
+std::vector<float> ternary_dequantize(const TernaryLayer& layer) {
+  std::vector<float> out(layer.dense_size, 0.0f);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    switch (unpack2(layer.packed, i)) {
+      case kPlus: out[i] = layer.scale; break;
+      case kMinus: out[i] = -layer.scale; break;
+      default: break;
+    }
+  }
+  return out;
+}
+
+std::size_t encoded_size(const TernaryUpdate& update) noexcept {
+  std::size_t n = 8;  // magic + num_layers
+  for (const auto& layer : update.layers) n += layer.wire_bytes();
+  return n;
+}
+
+std::vector<std::uint8_t> encode(const TernaryUpdate& update) {
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(update));
+  auto put_u32 = [&](std::uint32_t v) {
+    const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
+    out.insert(out.end(), b, b + 4);
+  };
+  put_u32(kTernaryMagic);
+  put_u32(static_cast<std::uint32_t>(update.layers.size()));
+  for (const auto& layer : update.layers) {
+    if (layer.packed.size() != (layer.dense_size + 3) / 4)
+      throw std::invalid_argument("ternary encode: packed size mismatch");
+    put_u32(layer.layer);
+    put_u32(layer.dense_size);
+    std::uint32_t scale_bits;
+    std::memcpy(&scale_bits, &layer.scale, 4);
+    put_u32(scale_bits);
+    out.insert(out.end(), layer.packed.begin(), layer.packed.end());
+  }
+  return out;
+}
+
+TernaryUpdate decode_ternary(std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  auto get_u32 = [&]() {
+    if (pos + 4 > bytes.size())
+      throw std::runtime_error("ternary decode: truncated");
+    std::uint32_t v;
+    std::memcpy(&v, bytes.data() + pos, 4);
+    pos += 4;
+    return v;
+  };
+  if (get_u32() != kTernaryMagic)
+    throw std::runtime_error("ternary decode: bad magic");
+  TernaryUpdate update;
+  const std::uint32_t num_layers = get_u32();
+  if (static_cast<std::size_t>(num_layers) * 12 > bytes.size() - pos)
+    throw std::runtime_error("ternary decode: truncated");
+  update.layers.resize(num_layers);
+  for (auto& layer : update.layers) {
+    layer.layer = get_u32();
+    layer.dense_size = get_u32();
+    const std::uint32_t scale_bits = get_u32();
+    std::memcpy(&layer.scale, &scale_bits, 4);
+    const std::size_t packed_size =
+        (static_cast<std::size_t>(layer.dense_size) + 3) / 4;
+    if (pos + packed_size > bytes.size())
+      throw std::runtime_error("ternary decode: truncated payload");
+    layer.packed.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                        bytes.begin() + static_cast<std::ptrdiff_t>(pos + packed_size));
+    pos += packed_size;
+  }
+  if (pos != bytes.size())
+    throw std::runtime_error("ternary decode: trailing bytes");
+  return update;
+}
+
+bool is_ternary_payload(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), 4);
+  return magic == kTernaryMagic;
+}
+
+QsgdLayer qsgd_quantize(std::uint32_t layer, std::span<const float> values,
+                        util::Rng& rng) {
+  QsgdLayer out;
+  out.layer = layer;
+  out.dense_size = static_cast<std::uint32_t>(values.size());
+  double norm_sq = 0.0;
+  for (float v : values) norm_sq += static_cast<double>(v) * v;
+  out.norm = static_cast<float>(std::sqrt(norm_sq));
+  // 5 bits per element: 1 sign bit + 4 level bits (levels = 15).
+  out.packed.assign((values.size() * 5 + 7) / 8, 0);
+  if (out.norm == 0.0f) return out;
+
+  auto put_bits = [&](std::size_t bit_pos, std::uint8_t value, int bits) {
+    for (int b = 0; b < bits; ++b) {
+      if (value & (1u << b))
+        out.packed[(bit_pos + static_cast<std::size_t>(b)) / 8] |=
+            static_cast<std::uint8_t>(1u << ((bit_pos + static_cast<std::size_t>(b)) % 8));
+    }
+  };
+
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float v = values[i];
+    const double ratio = std::fabs(v) / out.norm * kQsgdLevels;
+    auto level = static_cast<std::uint32_t>(ratio);  // floor
+    const double frac = ratio - level;
+    if (rng.uniform() < frac) ++level;  // stochastic rounding (unbiased)
+    if (level > kQsgdLevels) level = kQsgdLevels;
+    const std::uint8_t sign = v < 0.0f ? 1 : 0;
+    put_bits(i * 5, static_cast<std::uint8_t>(sign | (level << 1)), 5);
+  }
+  return out;
+}
+
+std::vector<float> qsgd_dequantize(const QsgdLayer& layer) {
+  std::vector<float> out(layer.dense_size, 0.0f);
+  auto get_bits = [&](std::size_t bit_pos, int bits) {
+    std::uint8_t value = 0;
+    for (int b = 0; b < bits; ++b) {
+      const std::size_t at = bit_pos + static_cast<std::size_t>(b);
+      if (layer.packed[at / 8] & (1u << (at % 8)))
+        value |= static_cast<std::uint8_t>(1u << b);
+    }
+    return value;
+  };
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint8_t bits = get_bits(i * 5, 5);
+    const bool negative = bits & 1;
+    const auto level = static_cast<float>(bits >> 1);
+    const float magnitude = layer.norm * level / static_cast<float>(kQsgdLevels);
+    out[i] = negative ? -magnitude : magnitude;
+  }
+  return out;
+}
+
+LayerChunk random_drop(std::uint32_t layer, std::span<const float> values,
+                       double keep_probability, util::Rng& rng) {
+  if (!(keep_probability > 0.0 && keep_probability <= 1.0))
+    throw std::invalid_argument("random_drop: keep probability in (0, 1]");
+  LayerChunk chunk;
+  chunk.layer = layer;
+  chunk.dense_size = static_cast<std::uint32_t>(values.size());
+  const auto inv_p = static_cast<float>(1.0 / keep_probability);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] == 0.0f) continue;
+    if (rng.uniform() < keep_probability) {
+      chunk.idx.push_back(static_cast<std::uint32_t>(i));
+      chunk.val.push_back(values[i] * inv_p);  // unbiased rescaling
+    }
+  }
+  return chunk;
+}
+
+}  // namespace dgs::sparse
+
+namespace dgs::sparse {
+
+std::vector<std::uint8_t> encode_sparse_ternary(const SparseUpdate& update) {
+  std::vector<std::uint8_t> out;
+  auto put_u32 = [&](std::uint32_t v) {
+    const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
+    out.insert(out.end(), b, b + 4);
+  };
+  put_u32(kSparseTernaryMagic);
+  put_u32(static_cast<std::uint32_t>(update.layers.size()));
+  for (const auto& chunk : update.layers) {
+    float scale = 0.0f;
+    for (float v : chunk.val) scale = std::max(scale, std::fabs(v));
+    put_u32(chunk.layer);
+    put_u32(chunk.dense_size);
+    put_u32(static_cast<std::uint32_t>(chunk.nnz()));
+    std::uint32_t scale_bits;
+    std::memcpy(&scale_bits, &scale, 4);
+    put_u32(scale_bits);
+    for (std::uint32_t idx : chunk.idx) put_u32(idx);
+    std::vector<std::uint8_t> signs((chunk.nnz() + 7) / 8, 0);
+    for (std::size_t i = 0; i < chunk.nnz(); ++i) {
+      const float v = chunk.val[i];
+      if (std::fabs(std::fabs(v) - scale) > 1e-6f * std::max(scale, 1e-20f))
+        throw std::invalid_argument(
+            "encode_sparse_ternary: value is not +/- the layer scale");
+      if (v < 0.0f) signs[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+    out.insert(out.end(), signs.begin(), signs.end());
+  }
+  return out;
+}
+
+SparseUpdate decode_sparse_ternary(std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  auto get_u32 = [&]() {
+    if (pos + 4 > bytes.size())
+      throw std::runtime_error("sparse-ternary decode: truncated");
+    std::uint32_t v;
+    std::memcpy(&v, bytes.data() + pos, 4);
+    pos += 4;
+    return v;
+  };
+  if (get_u32() != kSparseTernaryMagic)
+    throw std::runtime_error("sparse-ternary decode: bad magic");
+  SparseUpdate update;
+  const std::uint32_t num_layers = get_u32();
+  if (static_cast<std::size_t>(num_layers) * 16 > bytes.size() - pos)
+    throw std::runtime_error("sparse-ternary decode: truncated");
+  update.layers.resize(num_layers);
+  for (auto& chunk : update.layers) {
+    chunk.layer = get_u32();
+    chunk.dense_size = get_u32();
+    const std::uint32_t nnz = get_u32();
+    if (nnz > chunk.dense_size)
+      throw std::runtime_error("sparse-ternary decode: nnz > dense_size");
+    if (static_cast<std::size_t>(nnz) * 4 > bytes.size() - pos)
+      throw std::runtime_error("sparse-ternary decode: truncated");
+    float scale;
+    const std::uint32_t scale_bits = get_u32();
+    std::memcpy(&scale, &scale_bits, 4);
+    chunk.idx.resize(nnz);
+    for (auto& idx : chunk.idx) {
+      idx = get_u32();
+      if (idx >= chunk.dense_size)
+        throw std::runtime_error("sparse-ternary decode: index out of range");
+    }
+    const std::size_t sign_bytes = (nnz + 7) / 8;
+    if (pos + sign_bytes > bytes.size())
+      throw std::runtime_error("sparse-ternary decode: truncated signs");
+    chunk.val.resize(nnz);
+    for (std::size_t i = 0; i < nnz; ++i) {
+      const bool negative = bytes[pos + i / 8] & (1u << (i % 8));
+      chunk.val[i] = negative ? -scale : scale;
+    }
+    pos += sign_bytes;
+  }
+  if (pos != bytes.size())
+    throw std::runtime_error("sparse-ternary decode: trailing bytes");
+  return update;
+}
+
+bool is_sparse_ternary_payload(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), 4);
+  return magic == kSparseTernaryMagic;
+}
+
+LayerChunk ternary_quantize_chunk(const LayerChunk& chunk, util::Rng& rng) {
+  LayerChunk out;
+  out.layer = chunk.layer;
+  out.dense_size = chunk.dense_size;
+  float scale = 0.0f;
+  for (float v : chunk.val) scale = std::max(scale, std::fabs(v));
+  if (scale == 0.0f) return out;
+  for (std::size_t i = 0; i < chunk.nnz(); ++i) {
+    const float v = chunk.val[i];
+    if (rng.uniform() < std::fabs(v) / scale) {
+      out.idx.push_back(chunk.idx[i]);
+      out.val.push_back(v > 0.0f ? scale : -scale);
+    }
+  }
+  return out;
+}
+
+}  // namespace dgs::sparse

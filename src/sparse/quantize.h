@@ -1,0 +1,121 @@
+// Gradient quantization: TernGrad-style ternary quantization and QSGD-style
+// stochastic uniform quantization, with bit-packed wire formats.
+//
+// The paper's future-work section proposes combining DGS with compression
+// approaches such as TernGrad [Wen et al. 2017] and random coordinate
+// dropping [Wangni et al. 2018]; this module provides the quantizers (the
+// combined worker algorithms live in core/optimizer_ext.h).
+//
+// Both quantizers are unbiased: E[dequantize(quantize(x))] == x, which is
+// what keeps SGD convergent under quantization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dgs::sparse {
+
+// ---------------------------------------------------------------------------
+// TernGrad: x -> s * sign(x) * b, b ~ Bernoulli(|x|/s), s = max |x|.
+// Wire format: f32 scale + 2 bits per element ({-1, 0, +1}).
+// ---------------------------------------------------------------------------
+
+struct TernaryLayer {
+  std::uint32_t layer = 0;
+  std::uint32_t dense_size = 0;
+  float scale = 0.0f;                 ///< s = max |x| at quantization time.
+  std::vector<std::uint8_t> packed;   ///< 2 bits/element, 4 elements/byte.
+
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return 12 + packed.size();  // layer + dense_size + scale + payload
+  }
+};
+
+struct TernaryUpdate {
+  std::vector<TernaryLayer> layers;
+};
+
+/// Stochastic ternary quantization of one dense layer.
+[[nodiscard]] TernaryLayer ternary_quantize(std::uint32_t layer,
+                                            std::span<const float> values,
+                                            util::Rng& rng);
+
+/// Dequantize into a dense float vector (length dense_size).
+[[nodiscard]] std::vector<float> ternary_dequantize(const TernaryLayer& layer);
+
+/// Exact encoded size and codec for the full update.
+[[nodiscard]] std::size_t encoded_size(const TernaryUpdate& update) noexcept;
+[[nodiscard]] std::vector<std::uint8_t> encode(const TernaryUpdate& update);
+[[nodiscard]] TernaryUpdate decode_ternary(std::span<const std::uint8_t> bytes);
+
+inline constexpr std::uint32_t kTernaryMagic = 0x44475354;  // 'DGST'
+
+/// True if the payload carries a ternary update.
+[[nodiscard]] bool is_ternary_payload(std::span<const std::uint8_t> bytes) noexcept;
+
+// ---------------------------------------------------------------------------
+// QSGD: stochastic uniform quantization with `levels` buckets per unit of
+// the layer L2 norm. Stored as f32 norm + per-element (sign, level) pairs
+// packed into ceil(log2(levels+1))+1 bits. We fix levels=15 -> 5 bits/elem.
+// ---------------------------------------------------------------------------
+
+struct QsgdLayer {
+  std::uint32_t layer = 0;
+  std::uint32_t dense_size = 0;
+  float norm = 0.0f;
+  std::vector<std::uint8_t> packed;  ///< 5 bits/element.
+};
+
+inline constexpr std::uint32_t kQsgdLevels = 15;
+
+[[nodiscard]] QsgdLayer qsgd_quantize(std::uint32_t layer,
+                                      std::span<const float> values,
+                                      util::Rng& rng);
+[[nodiscard]] std::vector<float> qsgd_dequantize(const QsgdLayer& layer);
+
+// ---------------------------------------------------------------------------
+// Random coordinate dropping (Wangni et al.): keep each coordinate with
+// probability p, scale kept values by 1/p (unbiased). Returns a COO chunk.
+// ---------------------------------------------------------------------------
+
+struct LayerChunk;  // from coo.h
+struct SparseUpdate;
+
+[[nodiscard]] LayerChunk random_drop(std::uint32_t layer,
+                                     std::span<const float> values,
+                                     double keep_probability, util::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Sparse-ternary wire format (the paper's future-work combination of DGS
+// with TernGrad): a COO update whose values are all in {-s, 0, +s} per layer
+// is shipped as indices + one sign bit per entry + one f32 scale, i.e.
+// ~4.1 bytes/entry instead of COO's 8.
+//
+// Layout: u32 magic 'DGSU' | u32 num_layers | per layer:
+//   u32 layer | u32 dense_size | u32 nnz | f32 scale |
+//   nnz * u32 idx | ceil(nnz/8) sign bytes (bit set = negative)
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kSparseTernaryMagic = 0x44475355;  // 'DGSU'
+
+/// Encode a SparseUpdate whose chunk values are all +/- one scale per layer
+/// (zero-valued entries are dropped). Throws if a value is not +/-scale.
+[[nodiscard]] std::vector<std::uint8_t> encode_sparse_ternary(
+    const SparseUpdate& update);
+
+[[nodiscard]] SparseUpdate decode_sparse_ternary(
+    std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] bool is_sparse_ternary_payload(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+/// Quantize a COO chunk's values to {-s, 0, +s} with s = max |val|
+/// (stochastic, unbiased). Entries rounded to zero are removed. The
+/// returned chunk is valid input to encode_sparse_ternary.
+[[nodiscard]] LayerChunk ternary_quantize_chunk(const LayerChunk& chunk,
+                                                util::Rng& rng);
+
+}  // namespace dgs::sparse

@@ -1,0 +1,48 @@
+#include "sparse/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dgs::sparse {
+
+std::size_t keep_count(std::size_t n, double ratio_percent) noexcept {
+  if (n == 0) return 0;
+  const double frac = ratio_percent / 100.0;
+  auto k = static_cast<std::size_t>(std::ceil(frac * static_cast<double>(n)));
+  return std::clamp<std::size_t>(k, 1, n);
+}
+
+float kth_largest_magnitude(std::span<const float> values, std::size_t k) {
+  if (values.empty()) return 0.0f;
+  k = std::clamp<std::size_t>(k, 1, values.size());
+  std::vector<float> mags(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) mags[i] = std::fabs(values[i]);
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   mags.end(), std::greater<float>());
+  return mags[k - 1];
+}
+
+float topk_threshold(std::span<const float> values, double ratio_percent) {
+  if (values.empty()) return 0.0f;
+  return kth_largest_magnitude(values, keep_count(values.size(), ratio_percent));
+}
+
+float sampled_topk_threshold(std::span<const float> values, double ratio_percent,
+                             std::size_t sample_size, util::Rng& rng) {
+  if (values.size() <= sample_size || sample_size == 0)
+    return topk_threshold(values, ratio_percent);
+  std::vector<float> sample(sample_size);
+  for (auto& s : sample)
+    s = values[static_cast<std::size_t>(rng.below(values.size()))];
+  return topk_threshold({sample.data(), sample.size()}, ratio_percent);
+}
+
+std::size_t count_above(std::span<const float> values, float thr) noexcept {
+  std::size_t n = 0;
+  for (float v : values)
+    if (std::fabs(v) >= thr) ++n;
+  return n;
+}
+
+}  // namespace dgs::sparse

@@ -1,0 +1,46 @@
+// Top-k magnitude threshold selection.
+//
+// The paper (Algorithms 1-3) sparsifies per layer: "thr <- R% of |u[j]|;
+// Mask <- |u[j]| > thr". We define the threshold as the k-th largest
+// magnitude with k = ceil(R/100 * n), and keep entries with |v| >= thr.
+// With R=100 the threshold is the minimum magnitude, so everything is kept
+// and the sparsified path degenerates to the dense one (needed for the
+// Eq. 5 "DGS without sparsification == ASGD" identity). Ties at the
+// threshold may keep slightly more than k entries; this is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/rng.h"
+
+namespace dgs::sparse {
+
+/// Number of entries kept at ratio R (in percent) of n: ceil(R/100 * n),
+/// clamped to [1, n] for non-empty input (we always send at least one value
+/// so progress is guaranteed even for tiny layers).
+[[nodiscard]] std::size_t keep_count(std::size_t n, double ratio_percent) noexcept;
+
+/// Exact k-th largest magnitude of `values` (k in [1, n]). O(n) average via
+/// nth_element on a scratch copy.
+[[nodiscard]] float kth_largest_magnitude(std::span<const float> values,
+                                          std::size_t k);
+
+/// Threshold for keeping the top R% magnitudes of `values`.
+/// Returns 0 for empty input (mask keeps everything).
+[[nodiscard]] float topk_threshold(std::span<const float> values,
+                                   double ratio_percent);
+
+/// Approximate threshold estimated from a uniform sample, as used by DGC for
+/// very large layers: samples `sample_size` entries, takes their top-R%
+/// threshold. Falls back to the exact method when n <= sample_size.
+[[nodiscard]] float sampled_topk_threshold(std::span<const float> values,
+                                           double ratio_percent,
+                                           std::size_t sample_size,
+                                           util::Rng& rng);
+
+/// Count of entries with |v| >= thr.
+[[nodiscard]] std::size_t count_above(std::span<const float> values,
+                                      float thr) noexcept;
+
+}  // namespace dgs::sparse

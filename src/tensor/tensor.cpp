@@ -1,0 +1,161 @@
+#include "tensor/tensor.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/math_kernels.h"
+
+namespace dgs::tensor {
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) os << (i ? "x" : "") << dims_[i];
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape, float fill_value)
+    : shape_(std::move(shape)), data_(shape_.numel(), fill_value) {}
+
+Tensor Tensor::from(Shape shape, std::vector<float> values) {
+  if (shape.numel() != values.size())
+    throw std::invalid_argument("Tensor::from: size mismatch " + shape.str());
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+float& Tensor::at2(std::size_t i, std::size_t j) {
+  assert(shape_.rank() == 2);
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at2(std::size_t i, std::size_t j) const {
+  assert(shape_.rank() == 2);
+  return data_[i * shape_[1] + j];
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  assert(shape_.rank() == 4);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) const {
+  assert(shape_.rank() == 4);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+void Tensor::fill(float value) noexcept { util::fill(value, flat()); }
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != numel())
+    throw std::invalid_argument("reshape numel mismatch: " + shape_.str() +
+                                " -> " + new_shape.str());
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+void Tensor::init_uniform(util::Rng& rng, float lo, float hi) {
+  for (auto& v : data_) v = rng.uniform(lo, hi);
+}
+
+void Tensor::init_normal(util::Rng& rng, float mean, float stddev) {
+  for (auto& v : data_) v = rng.normal(mean, stddev);
+}
+
+void Tensor::init_he(util::Rng& rng, std::size_t fan_in) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in ? fan_in : 1));
+  init_normal(rng, 0.0f, stddev);
+}
+
+void Tensor::init_xavier(util::Rng& rng, std::size_t fan_in, std::size_t fan_out) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out ? fan_in + fan_out : 1));
+  init_uniform(rng, -limit, limit);
+}
+
+std::string Tensor::str(std::size_t max_items) const {
+  std::ostringstream os;
+  os << shape_.str() << " {";
+  const std::size_t n = std::min(max_items, data_.size());
+  for (std::size_t i = 0; i < n; ++i) os << (i ? ", " : "") << data_[i];
+  if (data_.size() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+void im2col(const float* image, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t stride, std::size_t pad, float* columns) {
+  const std::size_t out_h = conv_out_size(height, kernel_h, stride, pad);
+  const std::size_t out_w = conv_out_size(width, kernel_w, stride, pad);
+  const std::size_t cols = out_h * out_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float* img = image + c * height * width;
+    for (std::size_t kh = 0; kh < kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < kernel_w; ++kw, ++row) {
+        float* out = columns + row * cols;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * stride + kh) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(height)) {
+            std::memset(out + oh * out_w, 0, out_w * sizeof(float));
+            continue;
+          }
+          const float* src = img + static_cast<std::size_t>(ih) * width;
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * stride + kw) -
+                static_cast<std::ptrdiff_t>(pad);
+            out[oh * out_w + ow] =
+                (iw < 0 || iw >= static_cast<std::ptrdiff_t>(width))
+                    ? 0.0f
+                    : src[static_cast<std::size_t>(iw)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t stride, std::size_t pad, float* image) {
+  const std::size_t out_h = conv_out_size(height, kernel_h, stride, pad);
+  const std::size_t out_w = conv_out_size(width, kernel_w, stride, pad);
+  const std::size_t cols = out_h * out_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* img = image + c * height * width;
+    for (std::size_t kh = 0; kh < kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < kernel_w; ++kw, ++row) {
+        const float* in = columns + row * cols;
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * stride + kh) -
+              static_cast<std::ptrdiff_t>(pad);
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(height)) continue;
+          float* dst = img + static_cast<std::size_t>(ih) * width;
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * stride + kw) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(width)) continue;
+            dst[static_cast<std::size_t>(iw)] += in[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dgs::tensor

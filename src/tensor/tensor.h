@@ -1,0 +1,117 @@
+// A small dense float32 tensor used throughout the repository.
+//
+// Design: a Tensor is a shape plus a contiguous std::vector<float>. All
+// heavy math goes through util::math_kernels; Tensor adds shape checking,
+// views and initializers. There is no broadcasting and no strides — layers
+// that need reshaped access use flat spans, which is all the optimizers and
+// sparsifiers ever touch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dgs::tensor {
+
+/// Shape of a tensor; up to 4 dimensions (N, C, H, W) is all we need.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] std::size_t rank() const noexcept { return dims_.size(); }
+  [[nodiscard]] std::size_t operator[](std::size_t i) const { return dims_.at(i); }
+  [[nodiscard]] std::size_t numel() const noexcept {
+    std::size_t n = 1;
+    for (std::size_t d : dims_) n *= d;
+    return dims_.empty() ? 0 : n;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& dims() const noexcept {
+    return dims_;
+  }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) noexcept {
+    return a.dims_ == b.dims_;
+  }
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill_value = 0.0f);
+
+  [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  [[nodiscard]] static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  [[nodiscard]] static Tensor from(Shape shape, std::vector<float> values);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t numel() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> flat() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_.at(i); }
+  float operator[](std::size_t i) const { return data_.at(i); }
+
+  /// Index helpers for 2D / 4D tensors (row-major).
+  float& at2(std::size_t i, std::size_t j);
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  [[nodiscard]] float at2(std::size_t i, std::size_t j) const;
+  [[nodiscard]] float at4(std::size_t n, std::size_t c, std::size_t h,
+                          std::size_t w) const;
+
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// Reinterpret with a new shape of equal numel.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// Initializers. fan_in/fan_out follow the usual conventions.
+  void init_uniform(util::Rng& rng, float lo, float hi);
+  void init_normal(util::Rng& rng, float mean, float stddev);
+  void init_he(util::Rng& rng, std::size_t fan_in);
+  void init_xavier(util::Rng& rng, std::size_t fan_in, std::size_t fan_out);
+
+  [[nodiscard]] std::string str(std::size_t max_items = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// im2col for 2D convolution (NCHW, row-major).
+/// Input: one image [C, H, W]; output columns [C*kh*kw, out_h*out_w].
+void im2col(const float* image, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t stride, std::size_t pad, float* columns);
+
+/// col2im: scatter-add the columns back into an image-shaped gradient.
+void col2im(const float* columns, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t stride, std::size_t pad, float* image);
+
+/// Output spatial size of a convolution/pool along one axis.
+[[nodiscard]] constexpr std::size_t conv_out_size(std::size_t in, std::size_t kernel,
+                                                  std::size_t stride,
+                                                  std::size_t pad) noexcept {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace dgs::tensor

@@ -1,0 +1,90 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace dgs::util {
+
+Flags::Flags(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw std::runtime_error("positional arguments are not supported: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else if (arg.rfind("no-", 0) == 0) {
+      values_[arg.substr(3)] = "false";
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::string Flags::str(const std::string& name, std::string def,
+                       const std::string& help) {
+  decls_[name] = {help, def};
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::int64_t Flags::i64(const std::string& name, std::int64_t def,
+                        const std::string& help) {
+  const std::string v = str(name, std::to_string(def), help);
+  return std::stoll(v);
+}
+
+double Flags::f64(const std::string& name, double def, const std::string& help) {
+  const std::string v = str(name, std::to_string(def), help);
+  return std::stod(v);
+}
+
+bool Flags::boolean(const std::string& name, bool def, const std::string& help) {
+  const std::string v = str(name, def ? "true" : "false", help);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::runtime_error("bad boolean for --" + name + ": " + v);
+}
+
+std::vector<std::int64_t> Flags::i64_list(const std::string& name,
+                                          std::vector<std::int64_t> def,
+                                          const std::string& help) {
+  std::ostringstream d;
+  for (std::size_t i = 0; i < def.size(); ++i) d << (i ? "," : "") << def[i];
+  const std::string v = str(name, d.str(), help);
+  std::vector<std::int64_t> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(std::stoll(item));
+  return out;
+}
+
+bool Flags::finish() const {
+  if (help_) {
+    std::printf("usage: %s [flags]\n", program_.c_str());
+    for (const auto& [name, decl] : decls_)
+      std::printf("  --%-28s %s (default: %s)\n", name.c_str(),
+                  decl.help.c_str(), decl.default_repr.c_str());
+    return true;
+  }
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!decls_.count(name))
+      throw std::runtime_error("unknown flag --" + name + " (see --help)");
+  }
+  return false;
+}
+
+}  // namespace dgs::util

@@ -1,0 +1,52 @@
+// Minimal command-line flag parser for the bench harnesses and examples.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are an error so that typos in experiment sweeps fail loudly
+// instead of silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dgs::util {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// Declare a flag with a default; returns the parsed (or default) value.
+  /// Declaration also whitelists the flag for the final unknown-flag check.
+  std::string str(const std::string& name, std::string def,
+                  const std::string& help = "");
+  std::int64_t i64(const std::string& name, std::int64_t def,
+                   const std::string& help = "");
+  double f64(const std::string& name, double def, const std::string& help = "");
+  bool boolean(const std::string& name, bool def, const std::string& help = "");
+
+  /// Comma-separated int list, e.g. --workers=1,4,8.
+  std::vector<std::int64_t> i64_list(const std::string& name,
+                                     std::vector<std::int64_t> def,
+                                     const std::string& help = "");
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+
+  /// Throws std::runtime_error if any provided flag was never declared.
+  /// Prints usage and returns true if --help was given.
+  bool finish() const;
+
+ private:
+  struct Decl {
+    std::string help;
+    std::string default_repr;
+  };
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, Decl> decls_;
+  mutable std::map<std::string, bool> consumed_;
+  bool help_ = false;
+};
+
+}  // namespace dgs::util

@@ -1,0 +1,42 @@
+// Tiny leveled logger. Single free function API, thread-safe line emission.
+// Off by default above INFO; benches raise verbosity with --verbose.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dgs::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global threshold; messages above it are dropped. Not synchronized —
+/// set once at startup before spawning threads.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits "[level] message\n" to stderr atomically (single write call).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+
+}  // namespace dgs::util

@@ -1,0 +1,160 @@
+#include "util/math_kernels.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace dgs::util {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  const float* __restrict xp = x.data();
+  float* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+void axpby(float alpha, std::span<const float> x, float beta,
+           std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  const float* __restrict xp = x.data();
+  float* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) yp[i] = alpha * xp[i] + beta * yp[i];
+}
+
+void scale(float alpha, std::span<float> x) noexcept {
+  float* __restrict xp = x.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) xp[i] *= alpha;
+}
+
+void copy(std::span<const float> src, std::span<float> dst) noexcept {
+  assert(src.size() == dst.size());
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
+}
+
+void fill(float value, std::span<float> x) noexcept {
+  float* __restrict xp = x.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) xp[i] = value;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) noexcept {
+  assert(x.size() == y.size());
+  const float* __restrict xp = x.data();
+  const float* __restrict yp = y.data();
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) acc += static_cast<double>(xp[i]) * yp[i];
+  return acc;
+}
+
+double nrm2(std::span<const float> x) noexcept { return std::sqrt(dot(x, x)); }
+
+double sum(std::span<const float> x) noexcept {
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return acc;
+}
+
+double asum(std::span<const float> x) noexcept {
+  double acc = 0.0;
+  for (float v : x) acc += std::fabs(v);
+  return acc;
+}
+
+float amax(std::span<const float> x) noexcept {
+  float best = 0.0f;
+  for (float v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+void add(std::span<const float> x, std::span<const float> y,
+         std::span<float> z) noexcept {
+  assert(x.size() == y.size() && x.size() == z.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] + y[i];
+}
+
+void sub(std::span<const float> x, std::span<const float> y,
+         std::span<float> z) noexcept {
+  assert(x.size() == y.size() && x.size() == z.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] - y[i];
+}
+
+void mul(std::span<const float> x, std::span<const float> y,
+         std::span<float> z) noexcept {
+  assert(x.size() == y.size() && x.size() == z.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] * y[i];
+}
+
+namespace {
+
+// Blocked row-major kernel: accumulates into c. The (i,k)-outer, j-inner
+// loop order keeps the innermost loop contiguous over both b and c so the
+// compiler can vectorize it.
+void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
+                     const float* __restrict a, const float* __restrict b,
+                     float* __restrict c) noexcept {
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t i1 = std::min(i0 + kBlock, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+      const std::size_t p1 = std::min(p0 + kBlock, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* __restrict crow = c + i * n;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const float aip = a[i * k + p];
+          if (aip == 0.0f) continue;
+          const float* __restrict brow = b + p * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c, bool accumulate) noexcept {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  gemm_accumulate(m, k, n, a, b, c);
+}
+
+void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) noexcept {
+  // C[m x n] (+)= A^T[m x k] * B[k x n] with A stored [k x m].
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* __restrict arow = a + p * m;
+    const float* __restrict brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aip = arow[i];
+      if (aip == 0.0f) continue;
+      float* __restrict crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) noexcept {
+  // C[m x n] (+)= A[m x k] * B^T with B stored [n x k].
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* __restrict arow = a + i * k;
+    float* __restrict crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* __restrict brow = b + j * k;
+      double acc = accumulate ? static_cast<double>(crow[j]) : 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += static_cast<double>(arow[p]) * brow[p];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace dgs::util

@@ -1,0 +1,71 @@
+// Dense float32 math kernels used by the tensor library and the optimizers.
+//
+// These are the hot loops of the whole system: every optimizer step, every
+// sparsification pass and every matmul bottoms out here. They are written as
+// plain restrict-qualified loops so the compiler can vectorize them; no
+// external BLAS dependency is assumed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dgs::util {
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept;
+
+/// y = alpha * x + beta * y
+void axpby(float alpha, std::span<const float> x, float beta,
+           std::span<float> y) noexcept;
+
+/// x *= alpha
+void scale(float alpha, std::span<float> x) noexcept;
+
+/// dst = src
+void copy(std::span<const float> src, std::span<float> dst) noexcept;
+
+/// x = value
+void fill(float value, std::span<float> x) noexcept;
+
+/// sum_i x[i] * y[i]
+[[nodiscard]] double dot(std::span<const float> x,
+                         std::span<const float> y) noexcept;
+
+/// sqrt(sum x^2) accumulated in double.
+[[nodiscard]] double nrm2(std::span<const float> x) noexcept;
+
+/// sum_i x[i], accumulated in double.
+[[nodiscard]] double sum(std::span<const float> x) noexcept;
+
+/// sum_i |x[i]|, accumulated in double.
+[[nodiscard]] double asum(std::span<const float> x) noexcept;
+
+/// max_i |x[i]|; 0 for empty input.
+[[nodiscard]] float amax(std::span<const float> x) noexcept;
+
+/// Elementwise z = x + y (z may alias x or y).
+void add(std::span<const float> x, std::span<const float> y,
+         std::span<float> z) noexcept;
+
+/// Elementwise z = x - y (z may alias x or y).
+void sub(std::span<const float> x, std::span<const float> y,
+         std::span<float> z) noexcept;
+
+/// Elementwise z = x * y (z may alias x or y).
+void mul(std::span<const float> x, std::span<const float> y,
+         std::span<float> z) noexcept;
+
+/// Row-major GEMM: C[m x n] (+)= A[m x k] * B[k x n].
+/// If accumulate is false C is overwritten.
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c, bool accumulate) noexcept;
+
+/// Row-major GEMM with A transposed: C[m x n] (+)= A^T where A is [k x m].
+void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) noexcept;
+
+/// Row-major GEMM with B transposed: C[m x n] (+)= A[m x k] * B^T, B is [n x k].
+void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) noexcept;
+
+}  // namespace dgs::util

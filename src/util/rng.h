@@ -1,0 +1,135 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic behaviour in this repository (weight init, data synthesis,
+// shuffling, compute-time jitter) flows through Rng so that every experiment
+// is bit-reproducible given a seed. The generator is xoshiro256**, seeded via
+// SplitMix64 so that small consecutive seeds yield independent streams.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace dgs::util {
+
+/// SplitMix64 step; used for seeding and for cheap stateless hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+    has_gauss_ = false;
+  }
+
+  /// A decorrelated child stream, e.g. one per worker thread.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept {
+    std::uint64_t sm = state_[0] ^ (0x9E3779B97F4A7C15ULL * (stream_id + 1));
+    return Rng(splitmix64(sm));
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) noexcept {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double normal() noexcept {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return gauss_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    gauss_ = v * f;
+    has_gauss_ = true;
+    return u * f;
+  }
+
+  float normal(float mean, float stddev) noexcept {
+    return mean + stddev * static_cast<float>(normal());
+  }
+
+  /// Exponential with the given mean (for compute-time jitter models).
+  double exponential(double mean) noexcept {
+    return -mean * std::log1p(-uniform());
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double gauss_ = 0.0;
+  bool has_gauss_ = false;
+};
+
+/// Fisher-Yates shuffle of [first, first+n) using rng.
+template <typename T>
+void shuffle(T* first, std::size_t n, Rng& rng) {
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    T tmp = first[i - 1];
+    first[i - 1] = first[j];
+    first[j] = tmp;
+  }
+}
+
+}  // namespace dgs::util

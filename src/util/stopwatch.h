@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for the real-thread engine and the micro-benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace dgs::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dgs::util

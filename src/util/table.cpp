@@ -1,0 +1,176 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace dgs::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Table row width mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double v, int precision, bool forced_sign) {
+  std::ostringstream os;
+  if (forced_sign) os << std::showpos;
+  os << std::fixed << std::setprecision(precision) << v << "%";
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+         << " |";
+    os << "\n";
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) f << ",";
+      f << csv_escape(row[c]);
+    }
+    f << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+CurveSet::CurveSet(std::string x_label, std::vector<std::string> series_names)
+    : x_label_(std::move(x_label)), series_(std::move(series_names)) {}
+
+void CurveSet::add_point(double x, const std::vector<double>& ys) {
+  if (ys.size() != series_.size())
+    throw std::invalid_argument("CurveSet point width mismatch");
+  xs_.push_back(x);
+  ys_.push_back(ys);
+}
+
+void CurveSet::print(std::ostream& os, int max_rows) const {
+  os << "# " << x_label_;
+  for (const auto& s : series_) os << "  " << s;
+  os << "\n";
+  const std::size_t n = xs_.size();
+  std::size_t stride = 1;
+  if (max_rows > 0 && n > static_cast<std::size_t>(max_rows))
+    stride = (n + max_rows - 1) / max_rows;
+  for (std::size_t i = 0; i < n; i += stride) {
+    os << std::setw(10) << xs_[i];
+    for (double y : ys_[i]) {
+      if (std::isnan(y))
+        os << "  " << std::setw(10) << "-";
+      else
+        os << "  " << std::setw(10) << std::setprecision(5) << y;
+    }
+    os << "\n";
+  }
+}
+
+void CurveSet::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  f << x_label_;
+  for (const auto& s : series_) f << "," << csv_escape(s);
+  f << "\n";
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    f << xs_[i];
+    for (double y : ys_[i]) {
+      f << ",";
+      if (!std::isnan(y)) f << y;
+    }
+    f << "\n";
+  }
+}
+
+void CurveSet::print_ascii_chart(std::ostream& os, int width, int height,
+                                 bool log_y) const {
+  if (xs_.empty()) return;
+  double xmin = xs_.front(), xmax = xs_.back();
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -ymin;
+  for (const auto& row : ys_)
+    for (double y : row) {
+      if (std::isnan(y)) continue;
+      if (log_y && y <= 0) continue;
+      const double v = log_y ? std::log10(y) : y;
+      ymin = std::min(ymin, v);
+      ymax = std::max(ymax, v);
+    }
+  if (!(ymax > ymin)) ymax = ymin + 1.0;
+  if (!(xmax > xmin)) xmax = xmin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const char* marks = "*o+x#@%&";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const char mark = marks[s % 8];
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      double y = ys_[i][s];
+      if (std::isnan(y) || (log_y && y <= 0)) continue;
+      const double v = log_y ? std::log10(y) : y;
+      int col = static_cast<int>((xs_[i] - xmin) / (xmax - xmin) * (width - 1));
+      int row = static_cast<int>((v - ymin) / (ymax - ymin) * (height - 1));
+      row = height - 1 - row;
+      col = std::clamp(col, 0, width - 1);
+      row = std::clamp(row, 0, height - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+    }
+  }
+  os << "  y" << (log_y ? " (log10)" : "") << " in ["
+     << (log_y ? std::pow(10.0, ymin) : ymin) << ", "
+     << (log_y ? std::pow(10.0, ymax) : ymax) << "], x in [" << xmin << ", "
+     << xmax << "]  (" << x_label_ << ")\n";
+  for (const auto& line : grid) os << "  |" << line << "\n";
+  os << "  +" << std::string(static_cast<std::size_t>(width), '-') << "\n  legend:";
+  for (std::size_t s = 0; s < series_.size(); ++s)
+    os << " " << marks[s % 8] << "=" << series_[s];
+  os << "\n";
+}
+
+}  // namespace dgs::util

@@ -1,0 +1,57 @@
+// Plain-text table and CSV emitters used by the benchmark harnesses to print
+// rows in the same shape as the paper's tables and figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dgs::util {
+
+/// Column-aligned ASCII table. Collects rows of strings, prints with a
+/// header rule, and can also be dumped as CSV for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Percent with sign, e.g. "-0.40%".
+  static std::string pct(double v, int precision = 2, bool forced_sign = true);
+
+  void print(std::ostream& os) const;
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Simple (x, series...) curve recorder for figure-style output. Prints a
+/// gnuplot-ready whitespace table and CSV.
+class CurveSet {
+ public:
+  CurveSet(std::string x_label, std::vector<std::string> series_names);
+
+  void add_point(double x, const std::vector<double>& ys);
+
+  void print(std::ostream& os, int max_rows = 0) const;
+  void write_csv(const std::string& path) const;
+
+  /// Render a crude ASCII chart of all series (log-or-linear y), for eyeball
+  /// verification of curve shapes in terminal output.
+  void print_ascii_chart(std::ostream& os, int width = 72, int height = 20,
+                         bool log_y = false) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<double> xs_;
+  std::vector<std::vector<double>> ys_;  // ys_[row][series]
+};
+
+}  // namespace dgs::util

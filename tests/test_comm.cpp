@@ -1,0 +1,169 @@
+// Tests for the comm substrate: channels under real threads, the network
+// timing model, shared-link FIFO semantics, byte accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/message.h"
+#include "comm/network.h"
+#include "comm/stats.h"
+
+namespace {
+
+using namespace dgs::comm;
+
+// ---------------------------------------------------------------- Channel
+
+TEST(Channel, SendReceiveSingleThread) {
+  Channel<int> ch;
+  EXPECT_TRUE(ch.send(42));
+  EXPECT_EQ(ch.size(), 1u);
+  const auto v = ch.receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(Channel, TryReceiveEmptyReturnsNullopt) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+  ch.send(1);
+  EXPECT_TRUE(ch.try_receive().has_value());
+}
+
+TEST(Channel, FifoOrder) {
+  Channel<int> ch;
+  for (int i = 0; i < 10; ++i) ch.send(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(*ch.receive(), i);
+}
+
+TEST(Channel, CloseUnblocksReceivers) {
+  Channel<int> ch;
+  std::thread t([&] {
+    const auto v = ch.receive();
+    EXPECT_FALSE(v.has_value());
+  });
+  ch.close();
+  t.join();
+  EXPECT_TRUE(ch.closed());
+  EXPECT_FALSE(ch.send(1));
+}
+
+TEST(Channel, DrainsQueuedValuesAfterClose) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  ch.close();
+  EXPECT_EQ(*ch.receive(), 1);
+  EXPECT_EQ(*ch.receive(), 2);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Channel<int> ch;
+  constexpr int kProducers = 8, kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) ch.send(p * kPerProducer + i);
+    });
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    const auto v = ch.receive();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_FALSE(seen[static_cast<std::size_t>(*v)]);
+    seen[static_cast<std::size_t>(*v)] = true;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  Channel<std::unique_ptr<int>> ch;
+  ch.send(std::make_unique<int>(5));
+  auto v = ch.receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+// ------------------------------------------------------------ NetworkModel
+
+TEST(NetworkModel, TransferTimeMatchesClosedForm) {
+  const NetworkModel net{1e9, 1e-3};  // 1 Gbps, 1 ms latency
+  // 1 MB at 1 Gbps = 8e6 bits / 1e9 bps = 8 ms, plus latency.
+  EXPECT_NEAR(net.transfer_seconds(1'000'000), 0.009, 1e-9);
+}
+
+TEST(NetworkModel, TenGbpsTenTimesFasterThanOneGbps) {
+  const auto fast = NetworkModel::ten_gbps();
+  const auto slow = NetworkModel::one_gbps();
+  const std::size_t bytes = 10'000'000;
+  const double ratio = (slow.transfer_seconds(bytes) - slow.latency_s) /
+                       (fast.transfer_seconds(bytes) - fast.latency_s);
+  EXPECT_NEAR(ratio, 10.0, 1e-9);
+}
+
+TEST(NetworkModel, IdealIsFree) {
+  const auto net = NetworkModel::ideal();
+  EXPECT_TRUE(net.is_ideal());
+  EXPECT_EQ(net.transfer_seconds(123456789), 0.0);
+}
+
+// -------------------------------------------------------------- SharedLink
+
+TEST(SharedLink, SerializesOverlappingTransfers) {
+  SharedLink link;
+  // Transfer A arrives at t=0 and takes 2s; B arrives at t=1 and takes 1s.
+  EXPECT_DOUBLE_EQ(link.begin(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(link.begin(1.0, 1.0), 3.0);  // queued behind A
+  EXPECT_DOUBLE_EQ(link.busy_seconds(), 3.0);
+}
+
+TEST(SharedLink, IdleGapsDoNotAccumulate) {
+  SharedLink link;
+  EXPECT_DOUBLE_EQ(link.begin(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(link.begin(10.0, 1.0), 11.0);  // starts fresh at t=10
+  EXPECT_DOUBLE_EQ(link.busy_seconds(), 2.0);
+}
+
+TEST(SharedLink, ResetClearsState) {
+  SharedLink link;
+  link.begin(0.0, 5.0);
+  link.reset();
+  EXPECT_DOUBLE_EQ(link.next_free_time(), 0.0);
+  EXPECT_DOUBLE_EQ(link.begin(0.0, 1.0), 1.0);
+}
+
+// ------------------------------------------------------------- ByteCounter
+
+TEST(ByteCounter, AccumulatesDirections) {
+  ByteCounter c;
+  c.count_up(100);
+  c.count_up(50);
+  c.count_down(10);
+  EXPECT_EQ(c.upward_bytes, 150u);
+  EXPECT_EQ(c.upward_messages, 2u);
+  EXPECT_EQ(c.downward_bytes, 10u);
+  EXPECT_EQ(c.total_bytes(), 160u);
+}
+
+TEST(ByteCounter, PlusEqualsMerges) {
+  ByteCounter a, b;
+  a.count_up(5);
+  b.count_down(7);
+  a += b;
+  EXPECT_EQ(a.total_bytes(), 12u);
+  EXPECT_EQ(a.downward_messages, 1u);
+}
+
+// ---------------------------------------------------------------- Message
+
+TEST(Message, WireSizeIncludesHeader) {
+  Message m;
+  m.payload.resize(100);
+  EXPECT_EQ(m.wire_size(), 100u + kMessageHeaderBytes);
+}
+
+}  // namespace

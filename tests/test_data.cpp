@@ -1,0 +1,223 @@
+// Tests for the data substrate: dataset invariants, synthetic generation
+// determinism and learnability knobs, samplers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "data/sampler.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace dgs::data;
+
+TEST(InMemoryDataset, BasicInvariants) {
+  InMemoryDataset ds(2, 3, {1, 2, 3, 4}, {0, 2});
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.feature_dim(), 2u);
+  EXPECT_EQ(ds.num_classes(), 3u);
+  EXPECT_EQ(ds.label_of(1), 2);
+  EXPECT_FLOAT_EQ(ds.features_of(1)[0], 3.0f);
+}
+
+TEST(InMemoryDataset, RejectsBadConstruction) {
+  EXPECT_THROW(InMemoryDataset(2, 3, {1, 2, 3}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(InMemoryDataset(2, 3, {1, 2}, {5}), std::invalid_argument);
+  EXPECT_THROW(InMemoryDataset(0, 3, {}, {}), std::invalid_argument);
+}
+
+TEST(InMemoryDataset, FillBatchCopiesRequestedRows) {
+  InMemoryDataset ds(2, 2, {1, 2, 3, 4, 5, 6}, {0, 1, 0});
+  std::vector<std::size_t> idx{2, 0};
+  std::vector<float> feats(4);
+  std::vector<std::int32_t> labels(2);
+  ds.fill_batch(idx, feats.data(), labels.data());
+  EXPECT_FLOAT_EQ(feats[0], 5.0f);
+  EXPECT_FLOAT_EQ(feats[2], 1.0f);
+  EXPECT_EQ(labels[0], 0);
+  std::vector<std::size_t> bad{9};
+  EXPECT_THROW(ds.fill_batch(bad, feats.data(), labels.data()),
+               std::out_of_range);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const auto spec = SyntheticSpec::synth_cifar(7);
+  const auto a = make_synthetic(spec);
+  const auto b = make_synthetic(spec);
+  ASSERT_EQ(a.train->size(), b.train->size());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.train->label_of(i), b.train->label_of(i));
+    const auto fa = a.train->features_of(i);
+    const auto fb = b.train->features_of(i);
+    for (std::size_t d = 0; d < fa.size(); ++d) EXPECT_EQ(fa[d], fb[d]);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsProduceDifferentData) {
+  const auto a = make_synthetic(SyntheticSpec::synth_cifar(1));
+  const auto b = make_synthetic(SyntheticSpec::synth_cifar(2));
+  bool any_diff = false;
+  for (std::size_t d = 0; d < a.train->feature_dim(); ++d)
+    any_diff |= a.train->features_of(0)[d] != b.train->features_of(0)[d];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, SplitsAreDisjointStreams) {
+  const auto data = make_synthetic(SyntheticSpec::synth_cifar(3));
+  // Train and test come from independent RNG streams of the same teacher;
+  // the first samples must differ.
+  bool any_diff = false;
+  for (std::size_t d = 0; d < data.train->feature_dim(); ++d)
+    any_diff |= data.train->features_of(0)[d] != data.test->features_of(0)[d];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, SpecShapesRespected) {
+  SyntheticSpec spec = SyntheticSpec::synth_cifar(4);
+  spec.num_train = 100;
+  spec.num_test = 32;
+  spec.feature_dim = 24;
+  spec.num_classes = 5;
+  const auto data = make_synthetic(spec);
+  EXPECT_EQ(data.train->size(), 100u);
+  EXPECT_EQ(data.test->size(), 32u);
+  EXPECT_EQ(data.train->feature_dim(), 24u);
+  EXPECT_EQ(data.test->num_classes(), 5u);
+  for (std::size_t i = 0; i < data.train->size(); ++i) {
+    EXPECT_GE(data.train->label_of(i), 0);
+    EXPECT_LT(data.train->label_of(i), 5);
+  }
+}
+
+TEST(Synthetic, AllClassesRepresented) {
+  const auto data = make_synthetic(SyntheticSpec::synth_cifar(5));
+  std::set<std::int32_t> seen;
+  for (std::size_t i = 0; i < data.train->size(); ++i)
+    seen.insert(data.train->label_of(i));
+  EXPECT_EQ(seen.size(), data.train->num_classes());
+}
+
+TEST(Synthetic, ClassesAreSeparatedInFeatureSpace) {
+  // Mean within-class distance should be well below mean cross-class
+  // distance; otherwise the task would not be learnable at all.
+  SyntheticSpec spec = SyntheticSpec::synth_cifar(6);
+  spec.num_train = 600;
+  const auto data = make_synthetic(spec);
+  const std::size_t dim = data.train->feature_dim();
+  const std::size_t classes = data.train->num_classes();
+  std::vector<std::vector<double>> mean(classes, std::vector<double>(dim, 0.0));
+  std::vector<std::size_t> count(classes, 0);
+  for (std::size_t i = 0; i < data.train->size(); ++i) {
+    const auto label = static_cast<std::size_t>(data.train->label_of(i));
+    const auto f = data.train->features_of(i);
+    for (std::size_t d = 0; d < dim; ++d) mean[label][d] += f[d];
+    ++count[label];
+  }
+  for (std::size_t c = 0; c < classes; ++c)
+    for (auto& v : mean[c]) v /= static_cast<double>(count[c]);
+  // Average pairwise distance between class means must be clearly nonzero.
+  double cross = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < classes; ++a)
+    for (std::size_t b = a + 1; b < classes; ++b) {
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double delta = mean[a][d] - mean[b][d];
+        d2 += delta * delta;
+      }
+      cross += std::sqrt(d2);
+      ++pairs;
+    }
+  EXPECT_GT(cross / static_cast<double>(pairs), 0.5);
+}
+
+TEST(Synthetic, ImagenetVariantIsHarder) {
+  const auto ci = SyntheticSpec::synth_cifar();
+  const auto in = SyntheticSpec::synth_imagenet();
+  EXPECT_GT(in.num_classes, ci.num_classes);
+  EXPECT_GT(in.label_noise, ci.label_noise);
+  EXPECT_GT(in.feature_dim, ci.feature_dim);
+}
+
+// --------------------------------------------------------------- samplers
+
+TEST(ShardSampler, ShardsPartitionTheDataset) {
+  const std::size_t n = 103, shards = 4;
+  std::set<std::size_t> all;
+  for (std::size_t s = 0; s < shards; ++s) {
+    ShardSampler sampler(n, s, shards, 8, 1);
+    // Collect exactly one epoch of indices.
+    std::set<std::size_t> mine;
+    std::vector<std::size_t> batch;
+    while (mine.size() < sampler.shard_size()) {
+      sampler.next_batch(batch);
+      for (std::size_t i : batch) mine.insert(i);
+    }
+    for (std::size_t i : mine) {
+      EXPECT_EQ(i % shards, s);
+      all.insert(i);
+    }
+  }
+  EXPECT_EQ(all.size(), n);
+}
+
+TEST(ShardSampler, EpochAdvancesAndReshuffles) {
+  ShardSampler sampler(64, 0, 1, 16, 2);
+  EXPECT_EQ(sampler.batches_per_epoch(), 4u);
+  std::vector<std::size_t> first_epoch, second_epoch, batch;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sampler.next_batch(batch), 0u);
+    first_epoch.insert(first_epoch.end(), batch.begin(), batch.end());
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sampler.next_batch(batch), 1u);
+    second_epoch.insert(second_epoch.end(), batch.begin(), batch.end());
+  }
+  EXPECT_NE(first_epoch, second_epoch);  // reshuffled
+  std::sort(first_epoch.begin(), first_epoch.end());
+  std::sort(second_epoch.begin(), second_epoch.end());
+  EXPECT_EQ(first_epoch, second_epoch);  // same index set
+}
+
+TEST(ShardSampler, WrapsPartialBatchAcrossEpochBoundary) {
+  ShardSampler sampler(10, 0, 1, 4, 3);
+  std::vector<std::size_t> batch;
+  sampler.next_batch(batch);
+  sampler.next_batch(batch);
+  // Third batch needs 4 indices but only 2 remain -> wraps into epoch 1.
+  const std::size_t epoch = sampler.next_batch(batch);
+  EXPECT_EQ(epoch, 0u);
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(sampler.epoch(), 1u);
+}
+
+TEST(ShardSampler, RejectsBadArguments) {
+  EXPECT_THROW(ShardSampler(10, 4, 4, 2, 0), std::invalid_argument);
+  EXPECT_THROW(ShardSampler(10, 0, 0, 2, 0), std::invalid_argument);
+  EXPECT_THROW(ShardSampler(10, 0, 1, 0, 0), std::invalid_argument);
+  EXPECT_THROW(ShardSampler(3, 3, 8, 2, 0), std::invalid_argument);
+}
+
+TEST(ShardSampler, DeterministicGivenSeed) {
+  ShardSampler a(50, 1, 2, 8, 7), b(50, 1, 2, 8, 7);
+  std::vector<std::size_t> ba, bb;
+  for (int i = 0; i < 10; ++i) {
+    a.next_batch(ba);
+    b.next_batch(bb);
+    EXPECT_EQ(ba, bb);
+  }
+}
+
+TEST(UniformSampler, ProducesInRangeBatches) {
+  UniformSampler sampler(20, 5, 11);
+  std::vector<std::size_t> batch;
+  for (int i = 0; i < 50; ++i) {
+    sampler.next_batch(batch);
+    ASSERT_EQ(batch.size(), 5u);
+    for (std::size_t idx : batch) EXPECT_LT(idx, 20u);
+  }
+}
+
+}  // namespace

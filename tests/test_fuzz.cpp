@@ -1,0 +1,133 @@
+// Fuzz-style robustness tests: every wire decoder must reject arbitrary or
+// mutated byte streams with an exception — never crash, hang, or allocate
+// unboundedly. The server receives payloads from the network in a real
+// deployment, so decoder robustness is a safety property of the system.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/payload.h"
+#include "sparse/codec.h"
+#include "sparse/quantize.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dgs;
+
+sparse::Bytes random_bytes(util::Rng& rng, std::size_t max_len) {
+  sparse::Bytes bytes(rng.below(max_len + 1));
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  return bytes;
+}
+
+template <typename Decoder>
+void expect_no_crash(Decoder&& decode, const sparse::Bytes& bytes) {
+  try {
+    (void)decode(bytes);
+  } catch (const std::exception&) {
+    // Rejection via exception is the expected outcome for garbage.
+  }
+}
+
+TEST(Fuzz, RandomBytesNeverCrashAnyDecoder) {
+  util::Rng rng(0xF022);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto bytes = random_bytes(rng, 256);
+    expect_no_crash([](const auto& b) { return sparse::decode(b); }, bytes);
+    expect_no_crash([](const auto& b) { return sparse::decode_dense(b); }, bytes);
+    expect_no_crash([](const auto& b) { return sparse::decode_ternary(b); },
+                    bytes);
+    expect_no_crash([](const auto& b) { return sparse::decode_sparse_ternary(b); },
+                    bytes);
+  }
+}
+
+TEST(Fuzz, MutatedValidPayloadsNeverCrash) {
+  util::Rng rng(0xF023);
+  // Start from a valid sparse payload and flip random bytes.
+  sparse::SparseUpdate update;
+  sparse::LayerChunk chunk;
+  chunk.layer = 0;
+  chunk.dense_size = 64;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    chunk.idx.push_back(4 * i);
+    chunk.val.push_back(rng.normal(0, 1));
+  }
+  update.layers.push_back(chunk);
+  const sparse::Bytes valid = sparse::encode(update);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    sparse::Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f)
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    try {
+      const auto decoded = sparse::decode(mutated);
+      // If it decodes, the invariants the codec promises must still hold.
+      for (const auto& c : decoded.layers) {
+        ASSERT_EQ(c.idx.size(), c.val.size());
+        for (std::uint32_t i : c.idx) ASSERT_LT(i, c.dense_size);
+      }
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(Fuzz, TruncationSweepAlwaysThrowsCleanly) {
+  util::Rng rng(0xF024);
+  sparse::DenseUpdate update;
+  update.layers.push_back({0, std::vector<float>(33, 1.5f)});
+  const sparse::Bytes valid = sparse::encode(update);
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const sparse::Bytes truncated(valid.begin(),
+                                  valid.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)sparse::decode_dense(truncated), std::runtime_error)
+        << "length " << len;
+  }
+}
+
+TEST(Fuzz, PayloadDispatchSurvivesGarbage) {
+  util::Rng rng(0xF025);
+  core::LayeredVec target = core::make_layered({32, 8});
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto bytes = random_bytes(rng, 128);
+    try {
+      core::apply_update_payload(bytes, target, 1.0f);
+    } catch (const std::exception&) {
+    }
+  }
+  // Target stays structurally intact.
+  ASSERT_EQ(target.size(), 2u);
+  EXPECT_EQ(target[0].size(), 32u);
+  EXPECT_EQ(target[1].size(), 8u);
+}
+
+TEST(Fuzz, HugeDeclaredSizesAreRejectedNotAllocated) {
+  // A payload claiming a gigantic nnz must fail the bounds check before any
+  // allocation of that size is attempted (nnz > dense_size is invalid).
+  sparse::Bytes bytes;
+  auto put_u32 = [&](std::uint32_t v) {
+    const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes.insert(bytes.end(), b, b + 4);
+  };
+  put_u32(sparse::kSparseMagic);
+  put_u32(1);           // one layer
+  put_u32(0);           // layer id
+  put_u32(100);         // dense_size
+  put_u32(0xFFFFFFFF);  // absurd nnz
+  EXPECT_THROW((void)sparse::decode(bytes), std::runtime_error);
+
+  // Same for the sparse-ternary format.
+  bytes.clear();
+  put_u32(sparse::kSparseTernaryMagic);
+  put_u32(1);
+  put_u32(0);
+  put_u32(100);
+  put_u32(0xFFFFFFFF);
+  put_u32(0);  // scale bits
+  EXPECT_THROW((void)sparse::decode_sparse_ternary(bytes), std::runtime_error);
+}
+
+}  // namespace

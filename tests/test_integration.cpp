@@ -1,0 +1,309 @@
+// End-to-end integration tests across worker + server + engines:
+// the Eq. 5 identity on real models, method equivalences (DGS@R=100 ==
+// MSGD, GD@R=100 == ASGD), engine determinism, thread/sim agreement, and
+// multi-worker convergence smoke tests for every method.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/server.h"
+#include "core/session.h"
+#include "core/worker.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace dgs;
+using core::EngineKind;
+using core::Method;
+using core::RunResult;
+using core::TrainConfig;
+
+data::SyntheticDataset small_data(std::uint64_t seed = 11) {
+  data::SyntheticSpec spec = data::SyntheticSpec::synth_cifar(seed);
+  spec.num_train = 512;
+  spec.num_test = 256;
+  return data::make_synthetic(spec);
+}
+
+nn::ModelSpec small_model(const data::SyntheticDataset& data) {
+  return nn::ModelSpec::mlp(data.train->feature_dim(), {32},
+                            data.train->num_classes());
+}
+
+TrainConfig base_config(Method method, std::size_t workers) {
+  TrainConfig config;
+  config.method = method;
+  config.num_workers = method == Method::kMSGD ? 1 : workers;
+  config.batch_size = 16;
+  config.epochs = 3;
+  config.lr = 0.02;
+  config.momentum = 0.7;
+  config.seed = 99;
+  return config;
+}
+
+// ---------------------------------------------------------- Eq.5 on real NN
+
+TEST(Integration, WorkerModelTracksServerModelExactly) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  TrainConfig config = base_config(Method::kDGS, 2);
+  const auto theta0 = core::initial_parameters(spec, config.seed);
+
+  core::Worker w0(0, spec, data.train, config, theta0);
+  core::Worker w1(1, spec, data.train, config, theta0);
+  nn::ModulePtr probe = spec.build();
+  core::ParameterServer server(nn::param_layer_sizes(probe->parameters()),
+                               theta0, {.num_workers = 2});
+
+  // Interleave the two workers arbitrarily; after each worker receives its
+  // reply its local model must equal the global model (Eq. 5).
+  core::Worker* workers[] = {&w0, &w1};
+  const int order[] = {0, 1, 1, 0, 0, 1, 0, 1, 1, 0};
+  for (int k : order) {
+    auto iter = workers[k]->compute_and_pack();
+    const auto reply = server.handle_push(iter.push);
+    workers[k]->apply_model_diff(reply);
+    const auto global = server.global_model_flat();
+    const auto local = workers[k]->model_flat();
+    ASSERT_EQ(global.size(), local.size());
+    // Eq. 5 is exact in real arithmetic; in float32 the worker accumulates
+    // theta0 + G1 + G2 + ... while the server computes theta0 + M in one
+    // shot, so the two differ by summation-order rounding only.
+    for (std::size_t i = 0; i < global.size(); ++i)
+      ASSERT_NEAR(global[i], local[i], 1e-4) << "coordinate " << i;
+  }
+}
+
+// ------------------------------------------------- degenerate equivalences
+
+// DGS with R=100 on one worker is exactly MSGD (Eq. 5 + Eq. 16 with T=1).
+TEST(Integration, DgsAtFullRatioEqualsMsgd) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+
+  TrainConfig dgs = base_config(Method::kDGS, 1);
+  dgs.compression.ratio_percent = 100.0;
+  TrainConfig msgd = base_config(Method::kMSGD, 1);
+
+  const RunResult a = core::SimEngine(spec, data.train, data.test, dgs).run();
+  const RunResult b = core::SimEngine(spec, data.train, data.test, msgd).run();
+
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.curve[i].train_loss, b.curve[i].train_loss);
+    EXPECT_DOUBLE_EQ(a.curve[i].test_accuracy, b.curve[i].test_accuracy);
+  }
+}
+
+// Gradient Dropping with R=100 on one worker degenerates to plain SGD, i.e.
+// to ASGD with a single worker.
+TEST(Integration, GdAtFullRatioEqualsAsgdSingleWorker) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+
+  TrainConfig gd = base_config(Method::kGDAsync, 1);
+  gd.compression.ratio_percent = 100.0;
+  TrainConfig asgd = base_config(Method::kASGD, 1);
+
+  const RunResult a = core::SimEngine(spec, data.train, data.test, gd).run();
+  const RunResult b = core::SimEngine(spec, data.train, data.test, asgd).run();
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.curve[i].train_loss, b.curve[i].train_loss);
+    EXPECT_DOUBLE_EQ(a.curve[i].test_accuracy, b.curve[i].test_accuracy);
+  }
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(Integration, SimEngineIsDeterministic) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  const TrainConfig config = base_config(Method::kDGS, 4);
+
+  const RunResult a = core::SimEngine(spec, data.train, data.test, config).run();
+  const RunResult b = core::SimEngine(spec, data.train, data.test, config).run();
+
+  EXPECT_DOUBLE_EQ(a.final_test_accuracy, b.final_test_accuracy);
+  EXPECT_DOUBLE_EQ(a.final_train_loss, b.final_train_loss);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.bytes.upward_bytes, b.bytes.upward_bytes);
+  EXPECT_EQ(a.bytes.downward_bytes, b.bytes.downward_bytes);
+  EXPECT_EQ(a.server_steps, b.server_steps);
+}
+
+TEST(Integration, DifferentSeedsGiveDifferentTrajectories) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  TrainConfig c1 = base_config(Method::kDGS, 2);
+  TrainConfig c2 = c1;
+  c2.seed = c1.seed + 1;
+  const RunResult a = core::SimEngine(spec, data.train, data.test, c1).run();
+  const RunResult b = core::SimEngine(spec, data.train, data.test, c2).run();
+  EXPECT_NE(a.final_train_loss, b.final_train_loss);
+}
+
+// ------------------------------------------------------- engine agreement
+
+// With a single worker both engines process the same sequence of pushes in
+// the same order, so the final model (and hence accuracy) must agree.
+TEST(Integration, ThreadAndSimEnginesAgreeSingleWorker) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  const TrainConfig config = base_config(Method::kDGS, 1);
+
+  const RunResult sim = core::SimEngine(spec, data.train, data.test, config).run();
+  const RunResult thread =
+      core::ThreadEngine(spec, data.train, data.test, config).run();
+  EXPECT_DOUBLE_EQ(sim.final_test_accuracy, thread.final_test_accuracy);
+  EXPECT_EQ(sim.server_steps, thread.server_steps);
+  EXPECT_EQ(sim.bytes.upward_bytes, thread.bytes.upward_bytes);
+}
+
+TEST(Integration, ThreadEngineMultiWorkerCompletesAndLearns) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  TrainConfig config = base_config(Method::kDGS, 4);
+  config.epochs = 4;
+  const RunResult r =
+      core::ThreadEngine(spec, data.train, data.test, config).run();
+  EXPECT_GT(r.final_test_accuracy, 0.5);
+  EXPECT_EQ(r.server_steps, r.bytes.upward_messages);
+  EXPECT_GT(r.samples_processed, 0u);
+}
+
+// --------------------------------------------------- per-method smoke sweep
+
+class MethodSmoke : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MethodSmoke, FourWorkersLearnTheTask) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  TrainConfig config = base_config(GetParam(), 4);
+  config.epochs = 7;
+  if (GetParam() == Method::kDGCAsync) config.compression.warmup_epochs = 2;
+  const RunResult r = core::SimEngine(spec, data.train, data.test, config).run();
+  EXPECT_GT(r.final_test_accuracy, 0.55)
+      << core::method_name(GetParam()) << " failed to learn";
+  EXPECT_GT(r.server_steps, 0u);
+  EXPECT_GT(r.bytes.total_bytes(), 0u);
+  if (config.num_workers > 1) {
+    EXPECT_GT(r.staleness.max, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodSmoke,
+                         ::testing::Values(Method::kMSGD, Method::kASGD,
+                                           Method::kGDAsync, Method::kDGCAsync,
+                                           Method::kDGS),
+                         [](const auto& info) {
+                           std::string n = core::method_name(info.param);
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+// ----------------------------------------------------- communication shape
+
+TEST(Integration, SparsificationShrinksUpwardTraffic) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+
+  TrainConfig dense = base_config(Method::kASGD, 2);
+  TrainConfig sparse = base_config(Method::kDGS, 2);
+  sparse.compression.ratio_percent = 1.0;
+
+  const RunResult a = core::SimEngine(spec, data.train, data.test, dense).run();
+  const RunResult b = core::SimEngine(spec, data.train, data.test, sparse).run();
+  ASSERT_EQ(a.bytes.upward_messages, b.bytes.upward_messages);
+  // Top-1% in COO is ~2% of dense payload; headers add a little.
+  EXPECT_LT(b.bytes.upward_bytes, a.bytes.upward_bytes / 10);
+}
+
+TEST(Integration, SecondaryCompressionShrinksDownwardTraffic) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+
+  TrainConfig plain = base_config(Method::kDGS, 4);
+  TrainConfig secondary = plain;
+  secondary.compression.secondary = true;
+  secondary.compression.secondary_ratio_percent = 1.0;
+
+  const RunResult a = core::SimEngine(spec, data.train, data.test, plain).run();
+  const RunResult b =
+      core::SimEngine(spec, data.train, data.test, secondary).run();
+  EXPECT_LT(b.bytes.downward_bytes, a.bytes.downward_bytes);
+}
+
+TEST(Integration, AsgdDownloadsEffectivelyWholeModel) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  const TrainConfig config = base_config(Method::kASGD, 2);
+  const RunResult r = core::SimEngine(spec, data.train, data.test, config).run();
+  nn::ModulePtr probe = spec.build();
+  const std::size_t model_bytes =
+      nn::param_numel(probe->parameters()) * sizeof(float);
+  const double avg_down = static_cast<double>(r.bytes.downward_bytes) /
+                          static_cast<double>(r.bytes.downward_messages);
+  EXPECT_GT(avg_down, 0.9 * static_cast<double>(model_bytes));
+}
+
+// -------------------------------------------------------------- accounting
+
+TEST(Integration, MemoryAccountingMatchesPaperFormulas) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  nn::ModulePtr probe = spec.build();
+  const std::size_t model_bytes =
+      nn::param_numel(probe->parameters()) * sizeof(float);
+
+  TrainConfig config = base_config(Method::kDGS, 4);
+  const RunResult r = core::SimEngine(spec, data.train, data.test, config).run();
+  // Server: theta0 + M + N * v_k.
+  EXPECT_EQ(r.server_state_bytes, model_bytes * (2 + 4));
+  // DGS worker: a single velocity buffer.
+  EXPECT_EQ(r.worker_state_bytes, model_bytes);
+
+  TrainConfig dgc = base_config(Method::kDGCAsync, 4);
+  const RunResult r2 = core::SimEngine(spec, data.train, data.test, dgc).run();
+  // DGC worker: velocity + residual (twice the state of DGS).
+  EXPECT_EQ(r2.worker_state_bytes, 2 * model_bytes);
+}
+
+TEST(Integration, SimTimeScalesWithComputeModel) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  TrainConfig fast = base_config(Method::kDGS, 2);
+  fast.compute.base_seconds = 1e-3;
+  fast.compute.jitter_frac = 0.0;
+  TrainConfig slow = fast;
+  slow.compute.base_seconds = 2e-3;
+  const RunResult a = core::SimEngine(spec, data.train, data.test, fast).run();
+  const RunResult b = core::SimEngine(spec, data.train, data.test, slow).run();
+  EXPECT_NEAR(b.sim_seconds / a.sim_seconds, 2.0, 0.1);
+}
+
+TEST(Integration, SessionFacadeSelectsEngines) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  const TrainConfig config = base_config(Method::kDGS, 1);
+  core::TrainingSession sim(spec, data.train, data.test, config,
+                            EngineKind::kSimulated);
+  core::TrainingSession thread(spec, data.train, data.test, config,
+                               EngineKind::kThreaded);
+  EXPECT_DOUBLE_EQ(sim.run().final_test_accuracy,
+                   thread.run().final_test_accuracy);
+}
+
+TEST(Integration, MsgdRejectsMultipleWorkers) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  TrainConfig config = base_config(Method::kMSGD, 1);
+  config.num_workers = 2;
+  EXPECT_THROW(core::SimEngine(spec, data.train, data.test, config),
+               std::invalid_argument);
+}
+
+}  // namespace

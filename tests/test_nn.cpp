@@ -1,0 +1,370 @@
+// Tests for the NN substrate: layer semantics, exact gradients (central
+// differences, parameterized over every layer type and model spec), loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nn/gradcheck.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dgs::nn;
+using dgs::tensor::Shape;
+using dgs::tensor::Tensor;
+using dgs::util::Rng;
+
+Tensor random_tensor(Shape shape, Rng& rng, float stddev = 1.0f) {
+  Tensor t(std::move(shape));
+  t.init_normal(rng, 0.0f, stddev);
+  return t;
+}
+
+// ------------------------------------------------------------ layer shapes
+
+TEST(Linear, ForwardShapeAndBias) {
+  Linear layer(3, 2);
+  Rng rng(1);
+  layer.init(rng);
+  auto params = layer.local_parameters();
+  ASSERT_EQ(params.size(), 2u);
+  // Force known weights: W = [[1,0,0],[0,1,0]], b = [10, 20].
+  params[0]->value.fill(0.0f);
+  params[0]->value.at2(0, 0) = 1.0f;
+  params[0]->value.at2(1, 1) = 1.0f;
+  params[1]->value[0] = 10.0f;
+  params[1]->value[1] = 20.0f;
+
+  Tensor x = Tensor::from(Shape{1, 3}, {5, 6, 7});
+  Tensor y = layer.forward(x, true);
+  ASSERT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 15.0f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 26.0f);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Linear layer(3, 2, /*bias=*/false);
+  EXPECT_EQ(layer.local_parameters().size(), 1u);
+}
+
+TEST(Linear, RejectsWrongInputShape) {
+  Linear layer(3, 2);
+  Tensor x(Shape{1, 4});
+  EXPECT_THROW(layer.forward(x, true), std::invalid_argument);
+}
+
+TEST(ReLU, ClampsNegativeAndGradientMasks) {
+  ReLU relu;
+  Tensor x = Tensor::from(Shape{1, 4}, {-1, 0, 2, -3});
+  Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0);
+  EXPECT_FLOAT_EQ(y[2], 2);
+  Tensor g = Tensor::from(Shape{1, 4}, {1, 1, 1, 1});
+  Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0);
+  EXPECT_FLOAT_EQ(gx[1], 0);  // gradient at 0 defined as 0
+  EXPECT_FLOAT_EQ(gx[2], 1);
+}
+
+TEST(MaxPool2d, SelectsWindowMaxAndRoutesGradient) {
+  MaxPool2d pool(2);
+  Tensor x = Tensor::from(Shape{1, 1, 2, 2}, {1, 5, 3, 2});
+  Tensor y = pool.forward(x, true);
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  Tensor g = Tensor::from(Shape{1, 1, 1, 1}, {7.0f});
+  Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[1], 7.0f);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+}
+
+TEST(GlobalAvgPool, AveragesSpatial) {
+  GlobalAvgPool pool;
+  Tensor x = Tensor::from(Shape{1, 2, 1, 2}, {1, 3, 10, 30});
+  Tensor y = pool.forward(x, true);
+  ASSERT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 20.0f);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten flatten;
+  Tensor x(Shape{2, 3, 4, 5});
+  Tensor y = flatten.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 60}));
+  Tensor gx = flatten.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(BatchNorm, NormalizesPerChannel) {
+  BatchNorm bn(1);
+  Rng rng(2);
+  bn.init(rng);
+  Tensor x = Tensor::from(Shape{4, 1}, {1, 2, 3, 4});
+  Tensor y = bn.forward(x, true);
+  double mean = 0, var = 0;
+  for (float v : y.flat()) mean += v;
+  mean /= 4;
+  for (float v : y.flat()) var += (v - mean) * (v - mean);
+  var /= 4;
+  EXPECT_NEAR(mean, 0.0, 1e-5);
+  EXPECT_NEAR(var, 1.0, 1e-2);
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Conv2d conv(1, 1, 1, 1, 0);
+  Rng rng(3);
+  conv.init(rng);
+  conv.local_parameters()[0]->value[0] = 1.0f;  // 1x1 kernel = identity
+  conv.local_parameters()[1]->value[0] = 0.0f;
+  Tensor x = random_tensor(Shape{2, 1, 4, 4}, rng);
+  Tensor y = conv.forward(x, true);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, OutputShapeWithStrideAndPad) {
+  Conv2d conv(3, 8, 3, 2, 1);
+  Rng rng(4);
+  conv.init(rng);
+  Tensor x = random_tensor(Shape{2, 3, 8, 8}, rng);
+  Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 4, 4}));
+}
+
+TEST(Residual, AddsShortcut) {
+  auto body = std::make_unique<Sequential>();
+  body->add(std::make_unique<Linear>(4, 4));
+  Residual res(std::move(body));
+  Rng rng(5);
+  res.init(rng);
+  // Zero the body so output == input exactly.
+  for (auto* p : res.parameters()) p->value.zero();
+  Tensor x = random_tensor(Shape{2, 4}, rng);
+  Tensor y = res.forward(x, true);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+// ------------------------------------------------------------------- loss
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  Tensor logits(Shape{2, 10});
+  const LossResult r = softmax_cross_entropy(logits, {3, 7});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-5);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  Rng rng(6);
+  Tensor logits = random_tensor(Shape{4, 5}, rng);
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 3});
+  for (std::size_t n = 0; n < 4; ++n) {
+    double s = 0;
+    for (std::size_t c = 0; c < 5; ++c) s += r.grad.at2(n, c);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, GradientMatchesFiniteDifference) {
+  Rng rng(7);
+  Tensor logits = random_tensor(Shape{3, 4}, rng);
+  const std::vector<std::int32_t> labels{1, 0, 3};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const double h = 1e-3;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor up = logits, down = logits;
+    up[i] += static_cast<float>(h);
+    down[i] -= static_cast<float>(h);
+    const double num =
+        (softmax_loss_only(up, labels) - softmax_loss_only(down, labels)) /
+        (2 * h);
+    EXPECT_NEAR(r.grad[i] * 3.0 /* grad of mean */, num * 3.0, 1e-3);
+  }
+}
+
+TEST(Loss, CountsCorrectPredictions) {
+  Tensor logits = Tensor::from(Shape{2, 3}, {0, 5, 0, 9, 0, 0});
+  EXPECT_EQ(count_correct(logits, {1, 0}), 2u);
+  EXPECT_EQ(count_correct(logits, {0, 0}), 1u);
+}
+
+TEST(Loss, RejectsBadInputs) {
+  Tensor logits(Shape{2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 5}), std::invalid_argument);
+}
+
+// --------------------------------------------------- gradient check sweeps
+
+struct LayerCase {
+  std::string name;
+  std::function<ModulePtr()> make;
+  Shape input_shape;
+};
+
+class LayerGradCheck : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(LayerGradCheck, CentralDifferenceAgrees) {
+  const LayerCase& c = GetParam();
+  ModulePtr module = c.make();
+  Rng rng(42);
+  module->init(rng);
+  Tensor input = random_tensor(c.input_shape, rng, 0.5f);
+  const GradCheckResult r = gradient_check(*module, input, rng);
+  EXPECT_TRUE(r.ok) << c.name << ": max rel error " << r.max_rel_error
+                    << " over " << r.checked << " coords";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layers, LayerGradCheck,
+    ::testing::Values(
+        LayerCase{"linear", [] { return std::make_unique<Linear>(6, 4); },
+                  Shape{3, 6}},
+        LayerCase{"linear_nobias",
+                  [] { return std::make_unique<Linear>(5, 3, false); },
+                  Shape{2, 5}},
+        LayerCase{"tanh", [] { return std::make_unique<Tanh>(); }, Shape{2, 7}},
+        LayerCase{"conv3x3",
+                  [] { return std::make_unique<Conv2d>(2, 3, 3, 1, 1); },
+                  Shape{2, 2, 5, 5}},
+        LayerCase{"conv_stride2",
+                  [] { return std::make_unique<Conv2d>(1, 2, 3, 2, 1); },
+                  Shape{2, 1, 6, 6}},
+        LayerCase{"batchnorm2d",
+                  [] { return std::make_unique<BatchNorm>(3); },
+                  Shape{4, 3, 2, 2}},
+        LayerCase{"batchnorm1d",
+                  [] { return std::make_unique<BatchNorm>(5); }, Shape{6, 5}},
+        LayerCase{"gap", [] { return std::make_unique<GlobalAvgPool>(); },
+                  Shape{2, 3, 4, 4}},
+        LayerCase{"mlp_stack",
+                  [] {
+                    auto s = std::make_unique<Sequential>();
+                    s->add(std::make_unique<Linear>(5, 8));
+                    s->add(std::make_unique<Tanh>());
+                    s->add(std::make_unique<Linear>(8, 3));
+                    return s;
+                  },
+                  Shape{4, 5}},
+        LayerCase{"residual_mlp",
+                  [] {
+                    auto body = std::make_unique<Sequential>();
+                    body->add(std::make_unique<Linear>(6, 6));
+                    body->add(std::make_unique<Tanh>());
+                    return std::make_unique<Residual>(std::move(body));
+                  },
+                  Shape{3, 6}}),
+    [](const auto& info) { return info.param.name; });
+
+class ModelSpecGradCheck : public ::testing::TestWithParam<ModelSpec> {};
+
+TEST_P(ModelSpecGradCheck, BuildsAndGradientsAgree) {
+  const ModelSpec& spec = GetParam();
+  ModulePtr model = spec.build();
+  Rng rng(99);
+  model->init(rng);
+  Tensor input(spec.input_shape(2));
+  input.init_normal(rng, 0.0f, 0.5f);
+  GradCheckOptions options;
+  options.samples_per_param = 4;
+  options.input_samples = 4;
+  // Full models stack many ReLUs on batch-stat normalization, so a few
+  // sampled coordinates land on kinks where central differences are simply
+  // wrong (the per-layer checks above cover exact correctness). Tolerate
+  // those: absolute floor 5e-3, relative 20%.
+  options.rel_tolerance = 0.20;
+  options.abs_tolerance = 5e-3;
+  const GradCheckResult r = gradient_check(*model, input, rng, options);
+  EXPECT_TRUE(r.ok) << spec.name() << ": max rel error " << r.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelZoo, ModelSpecGradCheck,
+    ::testing::Values(ModelSpec::mlp(10, {16, 8}, 4),
+                      ModelSpec::res_mlp(8, 12, 2, 3),
+                      ModelSpec::cnn(2, 8, 8, 4, 5),
+                      ModelSpec::resnet_lite(2, 6, 6, 4, 1, 3)),
+    [](const auto& info) { return info.param.name(); });
+
+// --------------------------------------------------------- model utilities
+
+TEST(ModelSpec, FeatureDimAndInputShape) {
+  const auto mlp = ModelSpec::mlp(20, {8}, 4);
+  EXPECT_EQ(mlp.feature_dim(), 20u);
+  EXPECT_EQ(mlp.input_shape(3), (Shape{3, 20}));
+  const auto cnn = ModelSpec::cnn(3, 8, 8, 4, 10);
+  EXPECT_EQ(cnn.feature_dim(), 3u * 8u * 8u);
+  EXPECT_EQ(cnn.input_shape(2), (Shape{2, 3, 8, 8}));
+}
+
+TEST(ParamUtils, GatherScatterRoundTrip) {
+  const auto spec = ModelSpec::mlp(6, {5}, 3);
+  ModulePtr model = spec.build();
+  Rng rng(8);
+  model->init(rng);
+  auto params = model->parameters();
+  const auto flat = param_gather_values(params);
+  EXPECT_EQ(flat.size(), param_numel(params));
+
+  ModulePtr clone = spec.build();
+  auto clone_params = clone->parameters();
+  param_scatter_values(flat, clone_params);
+  EXPECT_EQ(param_gather_values(clone_params), flat);
+}
+
+TEST(ParamUtils, LayerSizesMatchStructure) {
+  const auto spec = ModelSpec::mlp(6, {5}, 3);
+  ModulePtr model = spec.build();
+  const auto sizes = param_layer_sizes(model->parameters());
+  // linear(6->5): W 30 + b 5; linear(5->3): W 15 + b 3.
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 30u);
+  EXPECT_EQ(sizes[1], 5u);
+  EXPECT_EQ(sizes[2], 15u);
+  EXPECT_EQ(sizes[3], 3u);
+}
+
+TEST(ParamUtils, ZeroGrads) {
+  const auto spec = ModelSpec::mlp(4, {3}, 2);
+  ModulePtr model = spec.build();
+  auto params = model->parameters();
+  Rng rng(9);
+  model->init(rng);
+  Tensor x = random_tensor(Shape{2, 4}, rng);
+  Tensor y = model->forward(x, true);
+  Tensor g(y.shape());
+  g.fill(1.0f);
+  (void)model->backward(g);
+  bool any_nonzero = false;
+  for (auto* p : params)
+    for (float v : p->grad.flat()) any_nonzero |= (v != 0.0f);
+  EXPECT_TRUE(any_nonzero);
+  param_zero_grads(params);
+  for (auto* p : params)
+    for (float v : p->grad.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ParamUtils, ScatterSizeMismatchThrows) {
+  const auto spec = ModelSpec::mlp(4, {3}, 2);
+  ModulePtr model = spec.build();
+  auto params = model->parameters();
+  std::vector<float> wrong(3);
+  EXPECT_THROW(param_scatter_values(wrong, params), std::invalid_argument);
+}
+
+TEST(ModelSpec, InitIsDeterministicGivenSeed) {
+  const auto spec = ModelSpec::res_mlp(8, 12, 2, 3);
+  ModulePtr a = spec.build(), b = spec.build();
+  Rng ra(123), rb(123);
+  a->init(ra);
+  b->init(rb);
+  EXPECT_EQ(param_gather_values(a->parameters()),
+            param_gather_values(b->parameters()));
+}
+
+}  // namespace

@@ -1,0 +1,337 @@
+// Tests for the worker-side update algorithms, including the paper's key
+// mathematical identities: SAMomentum telescoping (Eq. 16), equivalence to
+// enlarged batch size (Eq. 17), momentum disappearance in naive sparse
+// momentum (Eq. 12-13), and mass conservation for residual-based methods.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "sparse/topk.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dgs::core;
+
+GradViews views_of(const std::vector<std::vector<float>>& grads) {
+  GradViews v;
+  for (const auto& g : grads) v.emplace_back(g.data(), g.size());
+  return v;
+}
+
+std::vector<float> densified(const dgs::sparse::SparseUpdate& u,
+                             std::size_t layer) {
+  return dgs::sparse::densify(u.layers.at(layer));
+}
+
+CompressionConfig ratio(double percent) {
+  CompressionConfig c;
+  c.ratio_percent = percent;
+  return c;
+}
+
+// ------------------------------------------------------------------ DenseSgd
+
+TEST(DenseSgd, ScalesGradientByLearningRate) {
+  DenseSgd alg({3});
+  const auto u = alg.step(views_of({{1, -2, 3}}), 0.5f, 0);
+  const auto g = densified(u, 0);
+  EXPECT_FLOAT_EQ(g[0], 0.5f);
+  EXPECT_FLOAT_EQ(g[1], -1.0f);
+  EXPECT_FLOAT_EQ(g[2], 1.5f);
+  EXPECT_EQ(alg.state_bytes(), 0u);
+  EXPECT_TRUE(alg.prefers_dense_encoding());
+}
+
+TEST(DenseSgd, RejectsShapeMismatch) {
+  DenseSgd alg({3});
+  EXPECT_THROW((void)alg.step(views_of({{1, 2}}), 0.1f, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)alg.step(views_of({{1, 2, 3}, {4}}), 0.1f, 0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- DenseMomentum
+
+TEST(DenseMomentum, RecursionMatchesEq8) {
+  DenseMomentum alg({1}, 0.5f);
+  // u1 = 0.5*0 + lr*g = 0.1; u2 = 0.5*0.1 + 0.1*2 = 0.25
+  auto u1 = alg.step(views_of({{1.0f}}), 0.1f, 0);
+  EXPECT_FLOAT_EQ(densified(u1, 0)[0], 0.1f);
+  auto u2 = alg.step(views_of({{2.0f}}), 0.1f, 0);
+  EXPECT_FLOAT_EQ(densified(u2, 0)[0], 0.25f);
+  EXPECT_EQ(alg.state_bytes(), sizeof(float));
+}
+
+// ---------------------------------------------------------- GradientDropping
+
+TEST(GradientDropping, SendsTopEntriesKeepsResidual) {
+  GradientDropping alg({4}, ratio(25.0));  // keep top 1 of 4
+  const auto u = alg.step(views_of({{1.0f, -4.0f, 2.0f, 0.5f}}), 1.0f, 0);
+  ASSERT_EQ(u.layers[0].nnz(), 1u);
+  EXPECT_EQ(u.layers[0].idx[0], 1u);
+  EXPECT_FLOAT_EQ(u.layers[0].val[0], -4.0f);
+  // Residual holds the unsent mass.
+  EXPECT_FLOAT_EQ(alg.residual()[0][0], 1.0f);
+  EXPECT_FLOAT_EQ(alg.residual()[0][1], 0.0f);
+  EXPECT_FLOAT_EQ(alg.residual()[0][2], 2.0f);
+}
+
+TEST(GradientDropping, ResidualAccumulatesAcrossSteps) {
+  GradientDropping alg({4}, ratio(25.0));
+  (void)alg.step(views_of({{1.0f, -4.0f, 2.0f, 0.5f}}), 1.0f, 0);
+  // Second step: residual (1,0,2,0.5) + new grads. 2+2=4 becomes top.
+  const auto u = alg.step(views_of({{0.0f, 0.0f, 2.0f, 0.0f}}), 1.0f, 0);
+  ASSERT_EQ(u.layers[0].nnz(), 1u);
+  EXPECT_EQ(u.layers[0].idx[0], 2u);
+  EXPECT_FLOAT_EQ(u.layers[0].val[0], 4.0f);
+}
+
+// Mass conservation: over any horizon, sum(sent) + residual == lr * sum(grads).
+TEST(GradientDropping, MassConservationProperty) {
+  dgs::util::Rng rng(1);
+  GradientDropping alg({50}, ratio(10.0));
+  std::vector<double> total_grad(50, 0.0);
+  std::vector<double> total_sent(50, 0.0);
+  const float lr = 0.1f;
+  for (int step = 0; step < 30; ++step) {
+    std::vector<float> g(50);
+    for (auto& v : g) v = rng.normal(0, 1);
+    for (std::size_t i = 0; i < 50; ++i) total_grad[i] += lr * g[i];
+    const auto u = alg.step(views_of({g}), lr, 0);
+    const auto dense = densified(u, 0);
+    for (std::size_t i = 0; i < 50; ++i) total_sent[i] += dense[i];
+  }
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_NEAR(total_sent[i] + alg.residual()[0][i], total_grad[i], 1e-4)
+        << "coordinate " << i;
+}
+
+TEST(GradientDropping, FullRatioIsPlainSgd) {
+  GradientDropping alg({3}, ratio(100.0));
+  const auto u = alg.step(views_of({{1, -2, 3}}), 0.5f, 0);
+  const auto g = densified(u, 0);
+  EXPECT_FLOAT_EQ(g[1], -1.0f);
+  for (float v : alg.residual()[0]) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(GradientDropping, WarmupRampsKeepRatio) {
+  CompressionConfig c = ratio(1.0);
+  c.warmup_epochs = 3;
+  EXPECT_DOUBLE_EQ(c.ratio_at_epoch(0), 25.0);
+  EXPECT_DOUBLE_EQ(c.ratio_at_epoch(1), 6.25);
+  EXPECT_DOUBLE_EQ(c.ratio_at_epoch(2), 1.5625);
+  EXPECT_DOUBLE_EQ(c.ratio_at_epoch(3), 1.0);
+  EXPECT_DOUBLE_EQ(c.ratio_at_epoch(100), 1.0);
+
+  GradientDropping alg({4}, c);
+  // At epoch 0 the keep ratio is 25% -> exactly 1 of 4 entries.
+  const auto u = alg.step(views_of({{1.0f, -4.0f, 2.0f, 0.5f}}), 1.0f, 0);
+  EXPECT_EQ(u.layers[0].nnz(), 1u);
+}
+
+// ----------------------------------------------- DeepGradientCompression
+
+TEST(Dgc, FactorMaskingZeroesVelocityWhereSent) {
+  DeepGradientCompression alg({4}, ratio(25.0), 0.5f);
+  (void)alg.step(views_of({{1.0f, -4.0f, 2.0f, 0.5f}}), 1.0f, 0);
+  // Entry 1 was sent: velocity and residual zeroed there.
+  EXPECT_FLOAT_EQ(alg.velocity()[0][1], 0.0f);
+  EXPECT_FLOAT_EQ(alg.residual()[0][1], 0.0f);
+  // Entry 0 not sent: velocity = lr*g = 1, residual = 1.
+  EXPECT_FLOAT_EQ(alg.velocity()[0][0], 1.0f);
+  EXPECT_FLOAT_EQ(alg.residual()[0][0], 1.0f);
+}
+
+TEST(Dgc, MomentumCorrectionAccumulatesVelocityIntoResidual) {
+  DeepGradientCompression alg({2}, ratio(50.0), 0.5f);
+  // Entry 0 gets a big gradient (always sent); entry 1 small (accumulates).
+  (void)alg.step(views_of({{10.0f, 0.1f}}), 1.0f, 0);
+  // residual[1] = u1 = 0.1
+  EXPECT_FLOAT_EQ(alg.residual()[0][1], 0.1f);
+  (void)alg.step(views_of({{10.0f, 0.1f}}), 1.0f, 0);
+  // u2 = 0.5*0.1 + 0.1 = 0.15; residual = 0.1 + 0.15 = 0.25
+  EXPECT_FLOAT_EQ(alg.residual()[0][1], 0.25f);
+}
+
+TEST(Dgc, GradientClippingBoundsUpdateNorm) {
+  CompressionConfig c = ratio(100.0);
+  c.clip_norm = 1.0;
+  DeepGradientCompression alg({2}, c, 0.5f);
+  const auto u = alg.step(views_of({{30.0f, 40.0f}}), 1.0f, 0);
+  const auto g = densified(u, 0);
+  // ||g||=50 clipped to 1 -> (0.6, 0.8).
+  EXPECT_NEAR(g[0], 0.6f, 1e-5);
+  EXPECT_NEAR(g[1], 0.8f, 1e-5);
+}
+
+TEST(Dgc, StateBytesCountsBothBuffers) {
+  DeepGradientCompression alg({10, 20}, ratio(1.0), 0.5f);
+  EXPECT_EQ(alg.state_bytes(), 2u * 30u * sizeof(float));
+}
+
+// ----------------------------------------------------------------- SAMomentum
+
+TEST(SAMomentum, RequiresOpenUnitIntervalMomentum) {
+  EXPECT_THROW(SAMomentum({4}, ratio(1.0), 0.0f), std::invalid_argument);
+  EXPECT_THROW(SAMomentum({4}, ratio(1.0), 1.0f), std::invalid_argument);
+  EXPECT_NO_THROW(SAMomentum({4}, ratio(1.0), 0.7f));
+}
+
+TEST(SAMomentum, SentEntriesStayResidentUnsentAreRescaled) {
+  SAMomentum alg({4}, ratio(25.0), 0.5f);
+  (void)alg.step(views_of({{1.0f, -4.0f, 2.0f, 0.5f}}), 1.0f, 0);
+  // u after step: candidate (1,-4,2,0.5); entry 1 sent and kept; others /m.
+  EXPECT_FLOAT_EQ(alg.velocity()[0][1], -4.0f);
+  EXPECT_FLOAT_EQ(alg.velocity()[0][0], 2.0f);   // 1 * (1/0.5)
+  EXPECT_FLOAT_EQ(alg.velocity()[0][3], 1.0f);   // 0.5 * 2
+}
+
+// Eq. 16: a component untouched by sends for T steps telescopes to
+// u_{c+T} = m*u_c + lr * sum_{i=1..T} grad_i when it is finally sent.
+TEST(SAMomentum, TelescopingIdentityEq16) {
+  const float m = 0.7f, lr = 0.1f;
+  // Layer of 2: entry 0 carries a huge gradient every step (always sent);
+  // entry 1 receives small gradients and is sent only at the end.
+  SAMomentum alg({2}, ratio(50.0), m);  // keep top 1 of 2
+
+  // Warm up entry 1 with one sent step to establish u_c:
+  // force entry 1 to be the big one once.
+  (void)alg.step(views_of({{0.0f, 1.0f}}), lr, 0);
+  const float u_c = alg.velocity()[0][1];  // = lr*1 = 0.1 (sent, kept)
+  ASSERT_FLOAT_EQ(u_c, 0.1f);
+
+  // T steps where entry 0 dominates (so entry 1 stays unsent); entry 1
+  // accumulates small gradients, then receives one dominant gradient on the
+  // final step so that it wins the top-k and is sent. (Sent entries stay
+  // resident in u, so entry 0's velocity persists and must be out-shouted.)
+  const int T = 5;
+  const std::vector<float> small{0.2f, 0.2f, 0.2f, 0.2f, 1000.0f};
+  for (int t = 0; t < T - 1; ++t)
+    (void)alg.step(views_of({{100.0f, small[static_cast<std::size_t>(t)]}}), lr, 0);
+  const auto u =
+      alg.step(views_of({{0.0f, small[static_cast<std::size_t>(T - 1)]}}), lr, 0);
+  const auto g = densified(u, 0);
+  ASSERT_EQ(u.layers[0].nnz(), 1u);
+  ASSERT_EQ(u.layers[0].idx[0], 1u);
+  double expected = m * u_c;
+  for (int t = 0; t < T; ++t) expected += lr * small[static_cast<std::size_t>(t)];
+  EXPECT_NEAR(g[1], expected, expected * 1e-5) << "Eq. 16 telescoping violated";
+}
+
+// Eq. 17: the value sent after a sparse interval of length T equals a
+// vanilla-momentum step with batch size (and LR) enlarged T times.
+TEST(SAMomentum, EquivalenceToEnlargedBatchEq17) {
+  const float m = 0.6f, lr = 0.05f;
+  const int T = 4;
+  dgs::util::Rng rng(3);
+  std::vector<float> grads(T);
+  for (auto& g : grads) g = rng.normal(0, 1);
+  grads[T - 1] = 500.0f;  // dominant final gradient so entry 1 wins the top-k
+
+  // SAMomentum path: entry 1 of 2 accumulates over T steps, sent on the last.
+  SAMomentum alg({2}, ratio(50.0), m);
+  (void)alg.step(views_of({{0.0f, 0.5f}}), lr, 0);  // establish u_c (sent)
+  const float u_c = alg.velocity()[0][1];
+  dgs::sparse::SparseUpdate last;
+  for (int t = 0; t < T; ++t) {
+    const bool is_last = (t == T - 1);
+    const float big = is_last ? 0.0f : 100.0f;
+    last = alg.step(views_of({{big, grads[static_cast<std::size_t>(t)]}}), lr, 0);
+  }
+  ASSERT_EQ(last.layers[0].nnz(), 1u);
+  ASSERT_EQ(last.layers[0].idx[0], 1u);
+  const float sam_sent = densified(last, 0)[1];
+
+  // Vanilla MSGD with batch and LR enlarged T x: one step with the averaged
+  // gradient and T*lr (Eq. 17).
+  const float avg =
+      std::accumulate(grads.begin(), grads.end(), 0.0f) / static_cast<float>(T);
+  const float msgd = m * u_c + static_cast<float>(T) * lr * avg;
+  EXPECT_NEAR(sam_sent, msgd, 1e-5) << "Eq. 17 equivalence violated";
+}
+
+// With T=1 (everything sent every step), SAMomentum degenerates to dense
+// momentum exactly (the paper's remark after Eq. 16).
+TEST(SAMomentum, FullRatioMatchesDenseMomentum) {
+  const float m = 0.7f, lr = 0.1f;
+  SAMomentum sam({8}, ratio(100.0), m);
+  DenseMomentum dense({8}, m);
+  dgs::util::Rng rng(4);
+  for (int step = 0; step < 20; ++step) {
+    std::vector<float> g(8);
+    for (auto& v : g) v = rng.normal(0, 1);
+    const auto us = sam.step(views_of({g}), lr, 0);
+    const auto ud = dense.step(views_of({g}), lr, 0);
+    const auto ds = densified(us, 0);
+    const auto dd = densified(ud, 0);
+    for (std::size_t i = 0; i < 8; ++i)
+      ASSERT_NEAR(ds[i], dd[i], 1e-5) << "step " << step << " coord " << i;
+  }
+}
+
+// The motivation result (Eq. 12-13): in naive sparse momentum the m^{T-1}
+// discount factors disappear. We demonstrate the contrast: naive
+// accumulation of lr*grad (GradientDropping) sends sum(lr*g) with no m
+// weighting, while SAMomentum sends m*u_c + lr*sum(g) — i.e. it retains one
+// momentum factor instead of dropping all of them.
+TEST(MomentumDisappearance, NaiveAccumulationHasNoDiscountFactors) {
+  const float lr = 0.1f;
+  const int T = 4;
+  GradientDropping gd({2}, ratio(50.0));
+  for (int t = 0; t < T - 1; ++t)
+    (void)gd.step(views_of({{100.0f, 0.3f}}), lr, 0);
+  const auto u = gd.step(views_of({{0.0f, 0.3f}}), lr, 0);
+  // Sent value is exactly lr * T * 0.3 (Eq. 13 — a plain enlarged batch, no
+  // momentum memory at all).
+  EXPECT_NEAR(densified(u, 0)[1], lr * T * 0.3f, 1e-5);
+}
+
+// ------------------------------------------------------------------- factory
+
+TEST(Factory, BuildsEveryMethod) {
+  TrainConfig config;
+  config.momentum = 0.7;
+  for (Method method : {Method::kMSGD, Method::kASGD, Method::kGDAsync,
+                        Method::kDGCAsync, Method::kDGS}) {
+    config.method = method;
+    auto alg = make_worker_algorithm(method, {10, 5}, config);
+    ASSERT_NE(alg, nullptr);
+    EXPECT_EQ(alg->method(), method);
+  }
+}
+
+TEST(MethodTraits, Table5Matrix) {
+  EXPECT_STREQ(method_traits(Method::kDGS).momentum, "SAMomentum");
+  EXPECT_FALSE(method_traits(Method::kDGS).residual_accumulation);
+  EXPECT_TRUE(method_traits(Method::kDGCAsync).momentum_correction);
+  EXPECT_TRUE(method_traits(Method::kGDAsync).residual_accumulation);
+  EXPECT_STREQ(method_traits(Method::kASGD).momentum, "N");
+}
+
+TEST(MethodParse, RoundTrips) {
+  EXPECT_EQ(parse_method("dgs"), Method::kDGS);
+  EXPECT_EQ(parse_method("DGC-async"), Method::kDGCAsync);
+  EXPECT_EQ(parse_method("msgd"), Method::kMSGD);
+  EXPECT_THROW((void)parse_method("nope"), std::invalid_argument);
+  EXPECT_TRUE(method_sparsifies(Method::kDGS));
+  EXPECT_FALSE(method_sparsifies(Method::kASGD));
+}
+
+TEST(TrainConfig, LrSchedule) {
+  TrainConfig config;
+  config.lr = 0.1;
+  config.epochs = 50;
+  config.lr_decay_at = {0.6, 0.8};
+  config.lr_decay_factor = 0.1;
+  EXPECT_DOUBLE_EQ(config.lr_at_epoch(0), 0.1);
+  EXPECT_DOUBLE_EQ(config.lr_at_epoch(29), 0.1);
+  EXPECT_NEAR(config.lr_at_epoch(30), 0.01, 1e-12);
+  EXPECT_NEAR(config.lr_at_epoch(40), 0.001, 1e-12);
+  EXPECT_NEAR(config.lr_at_epoch(49), 0.001, 1e-12);
+}
+
+}  // namespace

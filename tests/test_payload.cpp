@@ -1,0 +1,146 @@
+// Tests for the shared payload-apply dispatch (core/payload.h) and the
+// CSV emitters (util/table.h) — the glue that every engine and bench
+// harness relies on.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/payload.h"
+#include "sparse/quantize.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dgs;
+using core::LayeredVec;
+
+LayeredVec zeros(std::initializer_list<std::size_t> sizes) {
+  return core::make_layered(std::vector<std::size_t>(sizes));
+}
+
+TEST(Payload, AppliesSparseCoo) {
+  LayeredVec target = zeros({4, 2});
+  sparse::SparseUpdate u;
+  sparse::LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 4;
+  c.idx = {1, 3};
+  c.val = {2.0f, -1.0f};
+  u.layers.push_back(c);
+  core::apply_update_payload(sparse::encode(u), target, -1.0f);
+  EXPECT_FLOAT_EQ(target[0][1], -2.0f);
+  EXPECT_FLOAT_EQ(target[0][3], 1.0f);
+  EXPECT_FLOAT_EQ(target[1][0], 0.0f);
+}
+
+TEST(Payload, AppliesDense) {
+  LayeredVec target = zeros({3});
+  sparse::DenseUpdate u;
+  u.layers.push_back({0, {1.0f, 2.0f, 3.0f}});
+  core::apply_update_payload(sparse::encode(u), target, 2.0f);
+  EXPECT_FLOAT_EQ(target[0][2], 6.0f);
+}
+
+TEST(Payload, AppliesTernary) {
+  LayeredVec target = zeros({8});
+  util::Rng rng(1);
+  const std::vector<float> values{1.0f, -1.0f, 1.0f, -1.0f,
+                                  1.0f, -1.0f, 1.0f, -1.0f};
+  sparse::TernaryUpdate u;
+  u.layers.push_back(sparse::ternary_quantize(0, values, rng));
+  core::apply_update_payload(sparse::encode(u), target, -1.0f);
+  // |v| == scale for every input, so all entries ship at +/- 1.
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_FLOAT_EQ(target[0][i], i % 2 == 0 ? -1.0f : 1.0f);
+}
+
+TEST(Payload, AppliesSparseTernary) {
+  LayeredVec target = zeros({10});
+  sparse::SparseUpdate u;
+  sparse::LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 10;
+  c.idx = {2, 7};
+  c.val = {0.5f, -0.5f};
+  u.layers.push_back(c);
+  core::apply_update_payload(sparse::encode_sparse_ternary(u), target, 1.0f);
+  EXPECT_FLOAT_EQ(target[0][2], 0.5f);
+  EXPECT_FLOAT_EQ(target[0][7], -0.5f);
+}
+
+TEST(Payload, RejectsShapeMismatch) {
+  LayeredVec target = zeros({4});
+  sparse::DenseUpdate u;
+  u.layers.push_back({0, {1.0f, 2.0f}});  // wrong length
+  EXPECT_THROW(core::apply_update_payload(sparse::encode(u), target, 1.0f),
+               std::runtime_error);
+  sparse::DenseUpdate v;
+  v.layers.push_back({5, {1.0f}});  // layer out of range
+  EXPECT_THROW(core::apply_update_payload(sparse::encode(v), target, 1.0f),
+               std::runtime_error);
+}
+
+TEST(Payload, RejectsGarbage) {
+  LayeredVec target = zeros({4});
+  sparse::Bytes garbage{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(core::apply_update_payload(garbage, target, 1.0f),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(TableCsv, WritesAndEscapes) {
+  const std::string path = std::string(::testing::TempDir()) + "/table.csv";
+  util::Table table({"name", "value"});
+  table.add_row({"plain", "1"});
+  table.add_row({"with,comma", "2"});
+  table.add_row({"with\"quote", "3"});
+  table.write_csv(path);
+
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string contents = ss.str();
+  EXPECT_NE(contents.find("name,value\n"), std::string::npos);
+  EXPECT_NE(contents.find("\"with,comma\",2"), std::string::npos);
+  EXPECT_NE(contents.find("\"with\"\"quote\",3"), std::string::npos);
+}
+
+TEST(TableCsv, ThrowsOnUnwritablePath) {
+  util::Table table({"a"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.write_csv("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+TEST(CurveCsv, WritesSeriesWithBlanksForNan) {
+  const std::string path = std::string(::testing::TempDir()) + "/curve.csv";
+  util::CurveSet curve("epoch", {"a", "b"});
+  curve.add_point(1, {0.5, std::nan("")});
+  curve.add_point(2, {0.25, 0.75});
+  curve.write_csv(path);
+
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "epoch,a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,0.5,");  // NaN -> empty cell
+  std::getline(f, line);
+  EXPECT_EQ(line, "2,0.25,0.75");
+}
+
+TEST(CurveAsciiChart, HandlesLogScaleAndEmpty) {
+  util::CurveSet curve("x", {"y"});
+  std::ostringstream os;
+  curve.print_ascii_chart(os);  // empty: no crash, no output
+  EXPECT_TRUE(os.str().empty());
+
+  curve.add_point(1, {10.0});
+  curve.add_point(2, {100.0});
+  curve.print_ascii_chart(os, 20, 5, /*log_y=*/true);
+  EXPECT_NE(os.str().find("legend"), std::string::npos);
+}
+
+}  // namespace

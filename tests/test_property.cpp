@@ -1,0 +1,286 @@
+// Property-style sweeps (TEST_P) over ratios, momentum values, worker
+// counts and methods: the paper's invariants must hold across the whole
+// parameter space, not just at the defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "core/server.h"
+#include "core/session.h"
+#include "core/worker.h"
+#include "data/synthetic.h"
+#include "sparse/codec.h"
+#include "sparse/topk.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dgs;
+using core::Method;
+
+// --------------------------------------------------------- top-k ratio sweep
+
+class TopKRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TopKRatioSweep, KeptFractionMatchesRatio) {
+  const double ratio = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(ratio * 1000) + 1);
+  std::vector<float> v(5000);
+  for (auto& x : v) x = rng.normal(0, 1);
+  const float thr = sparse::topk_threshold(v, ratio);
+  const std::size_t kept = sparse::count_above(v, thr);
+  EXPECT_EQ(kept, sparse::keep_count(v.size(), ratio));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, TopKRatioSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 5.0, 10.0, 25.0, 50.0,
+                                           75.0, 99.0, 100.0));
+
+// ----------------------------------------- SAMomentum update-rule invariant
+
+// For every step and coordinate: u_after == candidate (if |candidate| >= thr)
+// else candidate / m, where candidate = m*u_before + lr*g (Eq. 14a/15).
+class SamInvariantSweep : public ::testing::TestWithParam<std::tuple<float, double>> {};
+
+TEST_P(SamInvariantSweep, Eq15HoldsEveryStep) {
+  const auto [m, ratio] = GetParam();
+  const float lr = 0.1f;
+  const std::size_t n = 64;
+  core::CompressionConfig compression;
+  compression.ratio_percent = ratio;
+  core::SAMomentum alg({n}, compression, m);
+  util::Rng rng(7);
+
+  std::vector<float> u_before(n, 0.0f);
+  for (int step = 0; step < 25; ++step) {
+    std::vector<float> g(n);
+    for (auto& x : g) x = rng.normal(0, 1);
+
+    std::vector<float> candidate(n);
+    for (std::size_t i = 0; i < n; ++i) candidate[i] = m * u_before[i] + lr * g[i];
+    const float thr = sparse::topk_threshold(candidate, ratio);
+
+    const auto update = alg.step({std::span<const float>{g.data(), n}}, lr, 0);
+    const auto& u_after = alg.velocity()[0];
+    const auto sent = sparse::densify(update.layers[0]);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::fabs(candidate[i]) >= thr && candidate[i] != 0.0f) {
+        ASSERT_FLOAT_EQ(u_after[i], candidate[i]) << "step " << step;
+        ASSERT_FLOAT_EQ(sent[i], candidate[i]);
+      } else {
+        ASSERT_FLOAT_EQ(u_after[i], candidate[i] / m) << "step " << step;
+        ASSERT_FLOAT_EQ(sent[i], 0.0f);
+      }
+    }
+    u_before.assign(u_after.begin(), u_after.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MomentumAndRatio, SamInvariantSweep,
+    ::testing::Combine(::testing::Values(0.3f, 0.5f, 0.7f, 0.9f),
+                       ::testing::Values(1.0, 10.0, 50.0)));
+
+// ------------------------------------------------- GD mass conservation sweep
+
+class GdConservationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GdConservationSweep, ResidualPlusSentEqualsTotal) {
+  const double ratio = GetParam();
+  core::CompressionConfig compression;
+  compression.ratio_percent = ratio;
+  core::GradientDropping alg({40}, compression);
+  util::Rng rng(11);
+  const float lr = 0.05f;
+  std::vector<double> total(40, 0.0), sent(40, 0.0);
+  for (int step = 0; step < 40; ++step) {
+    std::vector<float> g(40);
+    for (auto& x : g) x = rng.normal(0, 1);
+    for (std::size_t i = 0; i < 40; ++i) total[i] += lr * g[i];
+    const auto u = alg.step({std::span<const float>{g.data(), 40}}, lr, 0);
+    const auto dense = sparse::densify(u.layers[0]);
+    for (std::size_t i = 0; i < 40; ++i) sent[i] += dense[i];
+  }
+  for (std::size_t i = 0; i < 40; ++i)
+    EXPECT_NEAR(sent[i] + alg.residual()[0][i], total[i], 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, GdConservationSweep,
+                         ::testing::Values(1.0, 5.0, 20.0, 100.0));
+
+// --------------------------------------------------- Eq. 5 identity sweep
+
+// Worker model == server model after every exchange, for every sparsifying
+// method and several worker counts (no secondary compression).
+class Eq5Sweep
+    : public ::testing::TestWithParam<std::tuple<Method, std::size_t>> {};
+
+TEST_P(Eq5Sweep, LocalModelEqualsGlobalAfterReply) {
+  const auto [method, num_workers] = GetParam();
+  data::SyntheticSpec dspec = data::SyntheticSpec::synth_cifar(5);
+  dspec.num_train = 256;
+  dspec.num_test = 64;
+  const auto data = data::make_synthetic(dspec);
+  const auto spec =
+      nn::ModelSpec::mlp(data.train->feature_dim(), {16}, data.train->num_classes());
+
+  core::TrainConfig config;
+  config.method = method;
+  config.num_workers = num_workers;
+  config.batch_size = 8;
+  config.lr = 0.05;
+  config.momentum = 0.7;
+  config.seed = 13;
+
+  const auto theta0 = core::initial_parameters(spec, config.seed);
+  nn::ModulePtr probe = spec.build();
+  core::ParameterServer server(nn::param_layer_sizes(probe->parameters()),
+                               theta0, {.num_workers = num_workers});
+
+  std::vector<std::unique_ptr<core::Worker>> workers;
+  for (std::size_t k = 0; k < num_workers; ++k)
+    workers.push_back(
+        std::make_unique<core::Worker>(k, spec, data.train, config, theta0));
+
+  util::Rng order(17);
+  for (int iter = 0; iter < 24; ++iter) {
+    const auto k = static_cast<std::size_t>(order.below(num_workers));
+    auto it = workers[k]->compute_and_pack();
+    const auto reply = server.handle_push(it.push);
+    workers[k]->apply_model_diff(reply);
+    const auto global = server.global_model_flat();
+    const auto local = workers[k]->model_flat();
+    // Equal up to float32 summation-order rounding (see the integration
+    // test's comment on Eq. 5 and associativity).
+    for (std::size_t i = 0; i < global.size(); ++i)
+      ASSERT_NEAR(global[i], local[i], 1e-4)
+          << core::method_name(method) << " iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndWorkers, Eq5Sweep,
+    ::testing::Combine(::testing::Values(Method::kASGD, Method::kGDAsync,
+                                         Method::kDGCAsync, Method::kDGS),
+                       ::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{5})),
+    [](const auto& info) {
+      std::string n = core::method_name(std::get<0>(info.param));
+      for (auto& ch : n)
+        if (ch == '-') ch = '_';
+      return n + "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+// -------------------------------------------- secondary compression bound
+
+// With secondary compression at ratio R2, every reply's per-layer nnz is
+// bounded by keep_count(layer, R2) (+ ties), regardless of backlog size.
+class SecondaryCompressionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SecondaryCompressionSweep, ReplyNnzBounded) {
+  const double r2 = GetParam();
+  const std::vector<std::size_t> sizes{128};
+  core::ServerOptions options;
+  options.num_workers = 2;
+  options.secondary_compression = true;
+  options.secondary_ratio_percent = r2;
+  core::ParameterServer server(sizes, std::vector<float>(128, 0.0f), options);
+
+  util::Rng rng(23);
+  for (int iter = 0; iter < 30; ++iter) {
+    sparse::SparseUpdate u;
+    sparse::LayerChunk c;
+    c.layer = 0;
+    c.dense_size = 128;
+    for (std::uint32_t i = 0; i < 128; i += 4) {
+      c.idx.push_back(i);
+      c.val.push_back(rng.normal(0, 1));
+    }
+    u.layers.push_back(std::move(c));
+    comm::Message push;
+    push.kind = comm::MessageKind::kGradientPush;
+    push.worker_id = static_cast<std::int32_t>(iter % 2);
+    push.payload = sparse::encode(u);
+    const auto reply = server.handle_push(push);
+    const auto g = sparse::decode(reply.payload);
+    // Allow ties: bound by 2x the nominal keep count.
+    EXPECT_LE(g.layers[0].nnz(), 2 * sparse::keep_count(128, r2))
+        << "iteration " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, SecondaryCompressionSweep,
+                         ::testing::Values(1.0, 5.0, 10.0, 25.0));
+
+// ---------------------------------------------- determinism across methods
+
+class DeterminismSweep : public ::testing::TestWithParam<Method> {};
+
+TEST_P(DeterminismSweep, IdenticalRunsProduceIdenticalResults) {
+  data::SyntheticSpec dspec = data::SyntheticSpec::synth_cifar(29);
+  dspec.num_train = 256;
+  dspec.num_test = 64;
+  const auto data = data::make_synthetic(dspec);
+  const auto spec =
+      nn::ModelSpec::mlp(data.train->feature_dim(), {16}, data.train->num_classes());
+
+  core::TrainConfig config;
+  config.method = GetParam();
+  config.num_workers = GetParam() == Method::kMSGD ? 1 : 3;
+  config.batch_size = 16;
+  config.epochs = 2;
+  config.lr = 0.02;
+  config.seed = 31;
+
+  const auto a = core::SimEngine(spec, data.train, data.test, config).run();
+  const auto b = core::SimEngine(spec, data.train, data.test, config).run();
+  EXPECT_DOUBLE_EQ(a.final_test_accuracy, b.final_test_accuracy);
+  EXPECT_EQ(a.bytes.upward_bytes, b.bytes.upward_bytes);
+  EXPECT_EQ(a.bytes.downward_bytes, b.bytes.downward_bytes);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, DeterminismSweep,
+                         ::testing::Values(Method::kMSGD, Method::kASGD,
+                                           Method::kGDAsync, Method::kDGCAsync,
+                                           Method::kDGS),
+                         [](const auto& info) {
+                           std::string n = core::method_name(info.param);
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+// ------------------------------------------------------ codec size sweep
+
+class CodecSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CodecSizeSweep, RoundTripAndSizeFormula) {
+  const std::size_t nnz = GetParam();
+  util::Rng rng(nnz + 41);
+  sparse::SparseUpdate u;
+  sparse::LayerChunk c;
+  c.layer = 2;
+  c.dense_size = static_cast<std::uint32_t>(4 * nnz + 8);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    c.idx.push_back(static_cast<std::uint32_t>(4 * i));
+    c.val.push_back(rng.normal(0, 1));
+  }
+  u.layers.push_back(c);
+  const auto bytes = sparse::encode(u);
+  EXPECT_EQ(bytes.size(), 8u + 12u + nnz * 8u);
+  const auto d = sparse::decode(bytes);
+  EXPECT_EQ(d.layers[0].idx, u.layers[0].idx);
+  EXPECT_EQ(d.layers[0].val, u.layers[0].val);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CodecSizeSweep,
+                         ::testing::Values(std::size_t{0}, std::size_t{1},
+                                           std::size_t{10}, std::size_t{1000},
+                                           std::size_t{10000}));
+
+}  // namespace

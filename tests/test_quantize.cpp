@@ -1,0 +1,321 @@
+// Tests for the quantization substrate (TernGrad, QSGD, random dropping,
+// sparse-ternary codec) and the §6 future-work worker algorithms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/optimizer_ext.h"
+#include "core/session.h"
+#include "data/synthetic.h"
+#include "sparse/quantize.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dgs;
+
+std::vector<float> random_values(std::size_t n, std::uint64_t seed,
+                                 float stddev = 1.0f) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.normal(0.0f, stddev);
+  return v;
+}
+
+// ------------------------------------------------------------------ ternary
+
+TEST(Ternary, ValuesAreInScaleTriple) {
+  const auto v = random_values(256, 1);
+  util::Rng rng(2);
+  const auto q = sparse::ternary_quantize(0, v, rng);
+  const auto d = sparse::ternary_dequantize(q);
+  float maxabs = 0.0f;
+  for (float x : v) maxabs = std::max(maxabs, std::fabs(x));
+  EXPECT_FLOAT_EQ(q.scale, maxabs);
+  for (float x : d)
+    EXPECT_TRUE(x == 0.0f || x == q.scale || x == -q.scale) << x;
+}
+
+TEST(Ternary, UnbiasedInExpectation) {
+  // Average many independent quantizations; must approach the input.
+  const std::vector<float> v{0.5f, -0.25f, 1.0f, 0.0f, -0.75f};
+  util::Rng rng(3);
+  std::vector<double> acc(v.size(), 0.0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const auto q = sparse::ternary_quantize(0, v, rng);
+    const auto d = sparse::ternary_dequantize(q);
+    for (std::size_t i = 0; i < v.size(); ++i) acc[i] += d[i];
+  }
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(acc[i] / trials, v[i], 0.02) << "coordinate " << i;
+}
+
+TEST(Ternary, AllZeroInputStaysZero) {
+  const std::vector<float> v(64, 0.0f);
+  util::Rng rng(4);
+  const auto q = sparse::ternary_quantize(0, v, rng);
+  for (float x : sparse::ternary_dequantize(q)) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Ternary, CodecRoundTrip) {
+  util::Rng rng(5);
+  sparse::TernaryUpdate update;
+  update.layers.push_back(sparse::ternary_quantize(0, random_values(100, 6), rng));
+  update.layers.push_back(sparse::ternary_quantize(3, random_values(33, 7), rng));
+  const auto bytes = sparse::encode(update);
+  EXPECT_EQ(bytes.size(), sparse::encoded_size(update));
+  EXPECT_TRUE(sparse::is_ternary_payload(bytes));
+  const auto decoded = sparse::decode_ternary(bytes);
+  ASSERT_EQ(decoded.layers.size(), 2u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_EQ(decoded.layers[j].scale, update.layers[j].scale);
+    EXPECT_EQ(decoded.layers[j].packed, update.layers[j].packed);
+    EXPECT_EQ(decoded.layers[j].dense_size, update.layers[j].dense_size);
+  }
+}
+
+TEST(Ternary, WireCostIsTwoBitsPerElement) {
+  util::Rng rng(8);
+  sparse::TernaryUpdate update;
+  update.layers.push_back(sparse::ternary_quantize(0, random_values(4000, 9), rng));
+  // 8 header + 12 layer header + 1000 packed bytes.
+  EXPECT_EQ(sparse::encoded_size(update), 8u + 12u + 1000u);
+}
+
+TEST(Ternary, DecodeRejectsCorruption) {
+  util::Rng rng(10);
+  sparse::TernaryUpdate update;
+  update.layers.push_back(sparse::ternary_quantize(0, random_values(40, 11), rng));
+  auto bytes = sparse::encode(update);
+  bytes.pop_back();
+  EXPECT_THROW(sparse::decode_ternary(bytes), std::runtime_error);
+  bytes = sparse::encode(update);
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(sparse::decode_ternary(bytes), std::runtime_error);
+}
+
+// --------------------------------------------------------------------- qsgd
+
+TEST(Qsgd, UnbiasedInExpectation) {
+  const std::vector<float> v{0.4f, -0.2f, 0.9f, 0.05f};
+  util::Rng rng(12);
+  std::vector<double> acc(v.size(), 0.0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const auto q = sparse::qsgd_quantize(0, v, rng);
+    const auto d = sparse::qsgd_dequantize(q);
+    for (std::size_t i = 0; i < v.size(); ++i) acc[i] += d[i];
+  }
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(acc[i] / trials, v[i], 0.02) << "coordinate " << i;
+}
+
+TEST(Qsgd, QuantizationErrorBounded) {
+  const auto v = random_values(512, 13);
+  util::Rng rng(14);
+  const auto q = sparse::qsgd_quantize(0, v, rng);
+  const auto d = sparse::qsgd_dequantize(q);
+  const float bucket = q.norm / sparse::kQsgdLevels;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_LE(std::fabs(d[i] - v[i]), bucket + 1e-5f);
+}
+
+TEST(Qsgd, ZeroVector) {
+  const std::vector<float> v(16, 0.0f);
+  util::Rng rng(15);
+  const auto q = sparse::qsgd_quantize(0, v, rng);
+  for (float x : sparse::qsgd_dequantize(q)) EXPECT_EQ(x, 0.0f);
+}
+
+// ------------------------------------------------------------ random drop
+
+TEST(RandomDrop, UnbiasedInExpectation) {
+  const std::vector<float> v{1.0f, -2.0f, 0.5f};
+  util::Rng rng(16);
+  std::vector<double> acc(v.size(), 0.0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    const auto chunk = sparse::random_drop(0, v, 0.25, rng);
+    for (std::size_t i = 0; i < chunk.nnz(); ++i)
+      acc[chunk.idx[i]] += chunk.val[i];
+  }
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(acc[i] / trials, v[i], 0.05) << "coordinate " << i;
+}
+
+TEST(RandomDrop, KeepFractionApproximatesP) {
+  const auto v = random_values(20000, 17);
+  util::Rng rng(18);
+  const auto chunk = sparse::random_drop(0, v, 0.1, rng);
+  EXPECT_NEAR(static_cast<double>(chunk.nnz()) / v.size(), 0.1, 0.01);
+}
+
+TEST(RandomDrop, RejectsBadProbability) {
+  const std::vector<float> v{1.0f};
+  util::Rng rng(19);
+  EXPECT_THROW(sparse::random_drop(0, v, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(sparse::random_drop(0, v, 1.5, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------- sparse-ternary
+
+TEST(SparseTernary, RoundTripAndCost) {
+  sparse::SparseUpdate update;
+  sparse::LayerChunk chunk;
+  chunk.layer = 1;
+  chunk.dense_size = 100;
+  chunk.idx = {3, 17, 41, 99};
+  chunk.val = {0.5f, -0.5f, 0.5f, -0.5f};
+  update.layers.push_back(chunk);
+  const auto bytes = sparse::encode_sparse_ternary(update);
+  EXPECT_TRUE(sparse::is_sparse_ternary_payload(bytes));
+  // 8 + (16 layer header + 4*4 idx + 1 sign byte)
+  EXPECT_EQ(bytes.size(), 8u + 16u + 16u + 1u);
+  const auto decoded = sparse::decode_sparse_ternary(bytes);
+  ASSERT_EQ(decoded.layers.size(), 1u);
+  EXPECT_EQ(decoded.layers[0].idx, chunk.idx);
+  EXPECT_EQ(decoded.layers[0].val, chunk.val);
+}
+
+TEST(SparseTernary, RejectsNonTernaryValues) {
+  sparse::SparseUpdate update;
+  sparse::LayerChunk chunk;
+  chunk.layer = 0;
+  chunk.dense_size = 4;
+  chunk.idx = {0, 1};
+  chunk.val = {0.5f, -0.3f};  // two distinct magnitudes
+  update.layers.push_back(chunk);
+  EXPECT_THROW(sparse::encode_sparse_ternary(update), std::invalid_argument);
+}
+
+TEST(SparseTernary, QuantizeChunkProducesValidInput) {
+  util::Rng rng(20);
+  sparse::LayerChunk chunk;
+  chunk.layer = 0;
+  chunk.dense_size = 64;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    chunk.idx.push_back(2 * i);
+    chunk.val.push_back(rng.normal(0, 1));
+  }
+  const auto q = sparse::ternary_quantize_chunk(chunk, rng);
+  EXPECT_LE(q.nnz(), chunk.nnz());
+  sparse::SparseUpdate update;
+  update.layers.push_back(q);
+  EXPECT_NO_THROW((void)sparse::encode_sparse_ternary(update));
+}
+
+// ------------------------------------------------- extension algorithms
+
+core::GradViews views_of(const std::vector<std::vector<float>>& grads) {
+  core::GradViews v;
+  for (const auto& g : grads) v.emplace_back(g.data(), g.size());
+  return v;
+}
+
+TEST(TernGradAsync, WirePayloadMatchesReturnedUpdate) {
+  core::TernGradAsync alg({64}, 21);
+  const auto grads = random_values(64, 22);
+  const auto update = alg.step(views_of({grads}), 0.1f, 0);
+  const auto bytes = alg.encode_update(update);
+  ASSERT_TRUE(sparse::is_ternary_payload(bytes));
+  const auto wire = sparse::decode_ternary(bytes);
+  const auto wire_dense = sparse::ternary_dequantize(wire.layers[0]);
+  const auto returned = sparse::densify(update.layers[0]);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_FLOAT_EQ(wire_dense[i], returned[i]) << i;
+}
+
+TEST(TernGradAsync, PayloadIsSmall) {
+  core::TernGradAsync alg({4096}, 23);
+  const auto grads = random_values(4096, 24);
+  const auto update = alg.step(views_of({grads}), 0.1f, 0);
+  const auto bytes = alg.encode_update(update);
+  EXPECT_LT(bytes.size(), 4096 * 4 / 10);  // far below dense float payload
+}
+
+TEST(RandomDroppingAlg, KeepsConfiguredFraction) {
+  core::CompressionConfig compression;
+  compression.ratio_percent = 10.0;
+  core::RandomDropping alg({20000}, compression, 25);
+  const auto grads = random_values(20000, 26);
+  const auto update = alg.step(views_of({grads}), 1.0f, 0);
+  EXPECT_NEAR(update.density(), 0.1, 0.01);
+  EXPECT_EQ(alg.state_bytes(), 0u);
+}
+
+TEST(DgsTernaryAlg, SendsTernaryValuesAndKeepsVelocity) {
+  core::CompressionConfig compression;
+  compression.ratio_percent = 25.0;
+  core::DgsTernary alg({64}, compression, 0.7f, 27);
+  const auto grads = random_values(64, 28);
+  const auto update = alg.step(views_of({grads}), 0.5f, 0);
+  // All sent values share one magnitude per layer.
+  if (!update.layers[0].val.empty()) {
+    const float s = std::fabs(update.layers[0].val[0]);
+    for (float v : update.layers[0].val) EXPECT_FLOAT_EQ(std::fabs(v), s);
+  }
+  const auto bytes = alg.encode_update(update);
+  EXPECT_TRUE(sparse::is_sparse_ternary_payload(bytes));
+  EXPECT_EQ(alg.state_bytes(), 64 * sizeof(float));
+}
+
+TEST(ExtensionMethods, TrainEndToEnd) {
+  data::SyntheticSpec dspec = data::SyntheticSpec::synth_cifar(31);
+  dspec.num_train = 512;
+  dspec.num_test = 256;
+  const auto data = data::make_synthetic(dspec);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {32},
+                                       data.train->num_classes());
+  for (core::Method method : {core::Method::kTernGrad, core::Method::kRandomDrop,
+                              core::Method::kDgsTernary}) {
+    core::TrainConfig config;
+    config.method = method;
+    config.num_workers = 2;
+    config.batch_size = 16;
+    config.epochs = 4;
+    config.lr = 0.02;
+    config.momentum = 0.7;
+    config.compression.ratio_percent = 10.0;
+    config.seed = 33;
+    const auto result =
+        core::SimEngine(spec, data.train, data.test, config).run();
+    EXPECT_GT(result.final_test_accuracy, 0.5)
+        << core::method_name(method) << " failed to learn";
+    EXPECT_GT(result.bytes.upward_bytes, 0u);
+  }
+}
+
+TEST(ExtensionMethods, TernGradMovesFewBytesUpward) {
+  data::SyntheticSpec dspec = data::SyntheticSpec::synth_cifar(37);
+  dspec.num_train = 256;
+  dspec.num_test = 128;
+  const auto data = data::make_synthetic(dspec);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {32},
+                                       data.train->num_classes());
+  core::TrainConfig config;
+  config.num_workers = 2;
+  config.batch_size = 16;
+  config.epochs = 2;
+  config.lr = 0.02;
+  config.seed = 39;
+
+  config.method = core::Method::kASGD;
+  const auto dense = core::SimEngine(spec, data.train, data.test, config).run();
+  config.method = core::Method::kTernGrad;
+  const auto tern = core::SimEngine(spec, data.train, data.test, config).run();
+  ASSERT_EQ(dense.bytes.upward_messages, tern.bytes.upward_messages);
+  // ~2 bits vs 32 bits per element upward.
+  EXPECT_LT(tern.bytes.upward_bytes, dense.bytes.upward_bytes / 8);
+}
+
+TEST(MethodParse, ExtensionNames) {
+  EXPECT_EQ(core::parse_method("terngrad"), core::Method::kTernGrad);
+  EXPECT_EQ(core::parse_method("rdrop"), core::Method::kRandomDrop);
+  EXPECT_EQ(core::parse_method("dgs+tern"), core::Method::kDgsTernary);
+  EXPECT_STREQ(core::method_traits(core::Method::kDgsTernary).momentum,
+               "SAMomentum");
+}
+
+}  // namespace

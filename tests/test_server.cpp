@@ -1,0 +1,240 @@
+// Tests for the parameter server: Model Difference Tracking (Eq. 1-6),
+// the Eq. 5 identity, secondary compression semantics, error handling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/server.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dgs::core;
+using dgs::comm::Message;
+using dgs::comm::MessageKind;
+using dgs::sparse::LayerChunk;
+using dgs::sparse::SparseUpdate;
+
+Message make_push(int worker, const SparseUpdate& update) {
+  Message m;
+  m.kind = MessageKind::kGradientPush;
+  m.worker_id = worker;
+  m.payload = dgs::sparse::encode(update);
+  return m;
+}
+
+SparseUpdate single_entry(std::uint32_t layer, std::uint32_t dense,
+                          std::uint32_t idx, float val) {
+  SparseUpdate u;
+  LayerChunk c;
+  c.layer = layer;
+  c.dense_size = dense;
+  c.idx = {idx};
+  c.val = {val};
+  u.layers.push_back(std::move(c));
+  return u;
+}
+
+/// Applies a sparse reply (decoded) onto a flat model, mirroring the worker.
+void apply_reply(const Message& reply, std::vector<float>& theta,
+                 const std::vector<std::size_t>& sizes) {
+  std::size_t offset0 = 0;
+  std::vector<std::size_t> offsets;
+  for (std::size_t s : sizes) {
+    offsets.push_back(offset0);
+    offset0 += s;
+  }
+  if (dgs::sparse::is_sparse_payload(reply.payload)) {
+    const auto g = dgs::sparse::decode(reply.payload);
+    for (const auto& c : g.layers)
+      for (std::size_t i = 0; i < c.idx.size(); ++i)
+        theta[offsets[c.layer] + c.idx[i]] += c.val[i];
+  } else {
+    const auto g = dgs::sparse::decode_dense(reply.payload);
+    for (const auto& l : g.layers)
+      for (std::size_t i = 0; i < l.values.size(); ++i)
+        theta[offsets[l.layer] + i] += l.values[i];
+  }
+}
+
+TEST(Server, AppliesUpdateToM) {
+  ParameterServer server({4}, {0, 0, 0, 0}, {.num_workers = 1});
+  (void)server.handle_push(make_push(0, single_entry(0, 4, 2, 0.5f)));
+  // M = -g: entry 2 becomes -0.5.
+  EXPECT_FLOAT_EQ(server.accumulated_updates()[0][2], -0.5f);
+  EXPECT_EQ(server.step(), 1u);
+}
+
+TEST(Server, GlobalModelIsThetaZeroPlusM) {
+  ParameterServer server({2}, {10.0f, 20.0f}, {.num_workers = 1});
+  (void)server.handle_push(make_push(0, single_entry(0, 2, 1, 2.0f)));
+  const auto theta = server.global_model_flat();
+  EXPECT_FLOAT_EQ(theta[0], 10.0f);
+  EXPECT_FLOAT_EQ(theta[1], 18.0f);
+}
+
+TEST(Server, Eq5WorkerModelEqualsServerModelWithoutSecondaryCompression) {
+  // Two workers push random sparse updates in arbitrary interleaving; after
+  // every reply the pushing worker's model must equal the server's global
+  // model bit-exactly (Eq. 5).
+  const std::vector<std::size_t> sizes{16, 8};
+  std::vector<float> theta0(24);
+  dgs::util::Rng rng(1);
+  for (auto& v : theta0) v = rng.normal(0, 1);
+
+  ParameterServer server(sizes, theta0, {.num_workers = 2});
+  std::vector<std::vector<float>> worker_theta{theta0, theta0};
+
+  for (int iter = 0; iter < 50; ++iter) {
+    const int k = static_cast<int>(rng.below(2));
+    // Random sparse push (2 entries per layer).
+    SparseUpdate u;
+    for (std::uint32_t j = 0; j < 2; ++j) {
+      LayerChunk c;
+      c.layer = j;
+      c.dense_size = static_cast<std::uint32_t>(sizes[j]);
+      const auto i1 = static_cast<std::uint32_t>(rng.below(sizes[j]));
+      c.idx = {i1};
+      c.val = {rng.normal(0, 0.1f)};
+      u.layers.push_back(std::move(c));
+    }
+    const Message reply = server.handle_push(make_push(k, u));
+    apply_reply(reply, worker_theta[static_cast<std::size_t>(k)], sizes);
+    const auto global = server.global_model_flat();
+    for (std::size_t i = 0; i < global.size(); ++i)
+      ASSERT_FLOAT_EQ(worker_theta[static_cast<std::size_t>(k)][i], global[i])
+          << "iter " << iter << " index " << i;
+  }
+}
+
+TEST(Server, VkEqualsMAfterUncompressedReply) {
+  ParameterServer server({4}, std::vector<float>(4, 0.0f), {.num_workers = 2});
+  (void)server.handle_push(make_push(0, single_entry(0, 4, 1, 1.0f)));
+  // After worker 0's reply, v_0 == M (Eq. 3).
+  EXPECT_EQ(server.sent_accumulator(0)[0], server.accumulated_updates()[0]);
+  // Worker 1 has received nothing: v_1 stays zero.
+  for (float v : server.sent_accumulator(1)[0]) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Server, SecondaryCompressionSendsOnlyTopEntriesAndTracksThem) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.secondary_compression = true;
+  options.secondary_ratio_percent = 25.0;  // top 1 of 4 entries
+  ParameterServer server({4}, std::vector<float>(4, 0.0f), options);
+
+  SparseUpdate u;
+  LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 4;
+  c.idx = {0, 1, 2, 3};
+  c.val = {0.1f, -0.4f, 0.2f, -0.05f};
+  u.layers.push_back(std::move(c));
+
+  const Message reply = server.handle_push(make_push(0, u));
+  const auto g = dgs::sparse::decode(reply.payload);
+  ASSERT_EQ(g.layers.size(), 1u);
+  ASSERT_EQ(g.layers[0].nnz(), 1u);
+  EXPECT_EQ(g.layers[0].idx[0], 1u);          // largest |value|
+  EXPECT_FLOAT_EQ(g.layers[0].val[0], 0.4f);  // M = -g
+
+  // v_k advanced only by what was sent (Eq. 6b); the rest remains as
+  // outstanding difference M - v_k.
+  const auto& vk = server.sent_accumulator(0)[0];
+  EXPECT_FLOAT_EQ(vk[1], 0.4f);
+  EXPECT_FLOAT_EQ(vk[0], 0.0f);
+  const auto& m = server.accumulated_updates()[0];
+  EXPECT_FLOAT_EQ(m[0] - vk[0], -0.1f);  // still owed to the worker
+}
+
+TEST(Server, SecondaryCompressionEventuallyDeliversEverything) {
+  // With repeated zero-pushes, the outstanding difference drains because the
+  // residual keeps being re-ranked and sent; worker model converges to the
+  // server model.
+  ServerOptions options;
+  options.num_workers = 1;
+  options.secondary_compression = true;
+  options.secondary_ratio_percent = 25.0;
+  const std::vector<std::size_t> sizes{8};
+  ParameterServer server(sizes, std::vector<float>(8, 0.0f), options);
+
+  // Seed M with one substantial push.
+  SparseUpdate big;
+  LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 8;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    c.idx.push_back(i);
+    c.val.push_back(0.1f * static_cast<float>(i + 1));
+  }
+  big.layers.push_back(std::move(c));
+
+  std::vector<float> worker_theta(8, 0.0f);
+  Message reply = server.handle_push(make_push(0, big));
+  apply_reply(reply, worker_theta, sizes);
+
+  // Keep pushing (tiny) updates; each reply carries more of the backlog.
+  for (int i = 0; i < 10; ++i) {
+    reply = server.handle_push(make_push(0, single_entry(0, 8, 0, 1e-6f)));
+    apply_reply(reply, worker_theta, sizes);
+  }
+  const auto global = server.global_model_flat();
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(worker_theta[i], global[i], 1e-4f);
+}
+
+TEST(Server, HandlesDensePayloads) {
+  ParameterServer server({3}, std::vector<float>(3, 0.0f), {.num_workers = 1});
+  dgs::sparse::DenseUpdate dense;
+  dense.layers.push_back({0, {1.0f, 2.0f, 3.0f}});
+  Message push;
+  push.kind = MessageKind::kGradientPush;
+  push.worker_id = 0;
+  push.payload = dgs::sparse::encode(dense);
+  const Message reply = server.handle_push(push);
+  EXPECT_FLOAT_EQ(server.accumulated_updates()[0][2], -3.0f);
+  // Fully dense difference ships dense.
+  EXPECT_FALSE(dgs::sparse::is_sparse_payload(reply.payload));
+}
+
+TEST(Server, StalenessTracking) {
+  ParameterServer server({2}, std::vector<float>(2, 0.0f), {.num_workers = 2});
+  (void)server.handle_push(make_push(0, single_entry(0, 2, 0, 0.1f)));
+  EXPECT_EQ(server.last_staleness(), 0u);  // first update, no interleaving
+  (void)server.handle_push(make_push(1, single_entry(0, 2, 0, 0.1f)));
+  EXPECT_EQ(server.last_staleness(), 1u);  // worker 1 missed 1 update
+  (void)server.handle_push(make_push(0, single_entry(0, 2, 0, 0.1f)));
+  EXPECT_EQ(server.last_staleness(), 1u);  // worker 0 missed worker 1's
+}
+
+TEST(Server, StateBytesAccounting) {
+  ParameterServer server({100}, std::vector<float>(100, 0.0f),
+                         {.num_workers = 3});
+  // theta0 + M + 3 * v_k, each 100 floats.
+  EXPECT_EQ(server.state_bytes(), (100u + 100u + 300u) * sizeof(float));
+}
+
+TEST(Server, RejectsMalformedInput) {
+  ParameterServer server({4}, std::vector<float>(4, 0.0f), {.num_workers = 1});
+  Message bad = make_push(0, single_entry(0, 4, 0, 1.0f));
+  bad.kind = MessageKind::kModelDiff;
+  EXPECT_THROW((void)server.handle_push(bad), std::invalid_argument);
+
+  Message wrong_worker = make_push(5, single_entry(0, 4, 0, 1.0f));
+  EXPECT_THROW((void)server.handle_push(wrong_worker), std::invalid_argument);
+
+  Message wrong_shape = make_push(0, single_entry(0, 3, 0, 1.0f));
+  EXPECT_THROW((void)server.handle_push(wrong_shape), std::runtime_error);
+
+  Message wrong_layer = make_push(0, single_entry(7, 4, 0, 1.0f));
+  EXPECT_THROW((void)server.handle_push(wrong_layer), std::runtime_error);
+}
+
+TEST(Server, RejectsBadConstruction) {
+  EXPECT_THROW(ParameterServer({4}, std::vector<float>(3), {.num_workers = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(ParameterServer({4}, std::vector<float>(4), {.num_workers = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Parameterized shape sweeps: Conv2d geometry grid, BatchNorm layouts,
+// pooling sizes, and model zoo construction across configurations. These
+// exercise the index arithmetic that unit examples alone cannot cover.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nn/gradcheck.h"
+#include "nn/layers.h"
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dgs::nn;
+using dgs::tensor::conv_out_size;
+using dgs::tensor::Shape;
+using dgs::tensor::Tensor;
+
+// (in_channels, out_channels, kernel, stride, pad, height, width)
+using ConvCase =
+    std::tuple<std::size_t, std::size_t, std::size_t, std::size_t, std::size_t,
+               std::size_t, std::size_t>;
+
+class ConvShapeSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvShapeSweep, ForwardShapeAndGradientAgree) {
+  const auto [in_c, out_c, k, stride, pad, h, w] = GetParam();
+  Conv2d conv(in_c, out_c, k, stride, pad);
+  dgs::util::Rng rng(7);
+  conv.init(rng);
+  Tensor x(Shape{2, in_c, h, w});
+  x.init_normal(rng, 0.0f, 0.5f);
+
+  Tensor y = conv.forward(x, true);
+  const std::size_t oh = conv_out_size(h, k, stride, pad);
+  const std::size_t ow = conv_out_size(w, k, stride, pad);
+  ASSERT_EQ(y.shape(), (Shape{2, out_c, oh, ow}));
+
+  GradCheckOptions options;
+  options.samples_per_param = 6;
+  options.input_samples = 6;
+  const auto result = gradient_check(conv, x, rng, options);
+  EXPECT_TRUE(result.ok) << "rel error " << result.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, ConvShapeSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 4, 4},   // pointwise
+                      ConvCase{2, 3, 3, 1, 1, 5, 5},   // same padding
+                      ConvCase{3, 2, 3, 2, 1, 8, 8},   // stride 2
+                      ConvCase{1, 4, 5, 1, 2, 7, 7},   // 5x5 kernel
+                      ConvCase{2, 2, 3, 1, 0, 6, 9},   // non-square, no pad
+                      ConvCase{4, 1, 2, 2, 0, 8, 6},   // even kernel
+                      ConvCase{1, 2, 3, 3, 1, 9, 9},   // stride 3
+                      ConvCase{2, 5, 1, 1, 0, 3, 3}),  // 1x1 many filters
+    [](const auto& info) {
+      return "ic" + std::to_string(std::get<0>(info.param)) + "oc" +
+             std::to_string(std::get<1>(info.param)) + "k" +
+             std::to_string(std::get<2>(info.param)) + "s" +
+             std::to_string(std::get<3>(info.param)) + "p" +
+             std::to_string(std::get<4>(info.param)) + "h" +
+             std::to_string(std::get<5>(info.param)) + "w" +
+             std::to_string(std::get<6>(info.param));
+    });
+
+// (channels, batch, spatial_h, spatial_w or 0 for rank-2)
+using BnCase = std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>;
+
+class BatchNormSweep : public ::testing::TestWithParam<BnCase> {};
+
+TEST_P(BatchNormSweep, NormalizesAndBackpropagates) {
+  const auto [channels, batch, h, w] = GetParam();
+  BatchNorm bn(channels);
+  dgs::util::Rng rng(9);
+  bn.init(rng);
+  Tensor x = w == 0 ? Tensor(Shape{batch, channels})
+                    : Tensor(Shape{batch, channels, h, w});
+  x.init_normal(rng, 3.0f, 2.0f);  // non-trivial mean/var
+
+  Tensor y = bn.forward(x, true);
+  ASSERT_EQ(y.shape(), x.shape());
+  // Per-channel output stats are ~N(0, 1) with gamma=1, beta=0.
+  const std::size_t spatial = w == 0 ? 1 : h * w;
+  for (std::size_t c = 0; c < channels; ++c) {
+    double mean = 0.0, var = 0.0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < batch; ++n)
+      for (std::size_t i = 0; i < spatial; ++i) {
+        const float v = y.flat()[(n * channels + c) * spatial + i];
+        mean += v;
+        ++count;
+      }
+    mean /= static_cast<double>(count);
+    for (std::size_t n = 0; n < batch; ++n)
+      for (std::size_t i = 0; i < spatial; ++i) {
+        const double d = y.flat()[(n * channels + c) * spatial + i] - mean;
+        var += d * d;
+      }
+    var /= static_cast<double>(count);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 0.05);
+  }
+
+  GradCheckOptions options;
+  options.samples_per_param = 4;
+  options.input_samples = 6;
+  const auto result = gradient_check(bn, x, rng, options);
+  EXPECT_TRUE(result.ok) << "rel error " << result.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, BatchNormSweep,
+                         ::testing::Values(BnCase{1, 8, 0, 0},
+                                           BnCase{4, 4, 0, 0},
+                                           BnCase{2, 3, 4, 4},
+                                           BnCase{3, 2, 5, 3},
+                                           BnCase{8, 2, 2, 2}),
+                         [](const auto& info) {
+                           return "c" + std::to_string(std::get<0>(info.param)) +
+                                  "n" + std::to_string(std::get<1>(info.param)) +
+                                  "h" + std::to_string(std::get<2>(info.param)) +
+                                  "w" + std::to_string(std::get<3>(info.param));
+                         });
+
+class PoolSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PoolSweep, MaxPoolGradientRoutesToArgmax) {
+  const std::size_t window = GetParam();
+  MaxPool2d pool(window);
+  dgs::util::Rng rng(11);
+  const std::size_t dim = window * 3;
+  Tensor x(Shape{2, 2, dim, dim});
+  x.init_normal(rng, 0.0f, 1.0f);
+  Tensor y = pool.forward(x, true);
+  ASSERT_EQ(y.shape(), (Shape{2, 2, 3, 3}));
+  Tensor g(y.shape(), 1.0f);
+  Tensor gx = pool.backward(g);
+  // Each window routes exactly one unit of gradient.
+  double total = 0.0;
+  for (float v : gx.flat()) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+    total += v;
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(y.numel()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, PoolSweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+// Model zoo construction sweep: every kind builds, initializes, runs
+// forward/backward at several widths without shape errors.
+class ZooSweep : public ::testing::TestWithParam<ModelSpec> {};
+
+TEST_P(ZooSweep, BuildForwardBackward) {
+  const ModelSpec& spec = GetParam();
+  ModulePtr model = spec.build();
+  dgs::util::Rng rng(13);
+  model->init(rng);
+  Tensor x(spec.input_shape(3));
+  x.init_normal(rng, 0.0f, 1.0f);
+  Tensor y = model->forward(x, true);
+  ASSERT_EQ(y.shape(), (Shape{3, spec.classes}));
+  Tensor g(y.shape(), 0.5f);
+  Tensor gx = model->backward(g);
+  EXPECT_EQ(gx.shape(), x.shape());
+  EXPECT_GT(param_numel(model->parameters()), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooSweep,
+    ::testing::Values(ModelSpec::mlp(8, {}, 3), ModelSpec::mlp(8, {4, 4, 4}, 2),
+                      [] {
+                        auto s = ModelSpec::mlp(8, {6}, 3);
+                        s.batch_norm = true;
+                        return s;
+                      }(),
+                      ModelSpec::res_mlp(8, 6, 1, 3),
+                      [] {
+                        auto s = ModelSpec::res_mlp(8, 6, 3, 3);
+                        s.batch_norm = true;
+                        return s;
+                      }(),
+                      ModelSpec::cnn(1, 4, 4, 2, 2),
+                      ModelSpec::cnn(3, 8, 8, 4, 10),
+                      ModelSpec::resnet_lite(2, 6, 6, 4, 2, 5)),
+    [](const auto& info) {
+      return info.param.name() + "_" + std::to_string(info.index);
+    });
+
+}  // namespace

@@ -1,0 +1,281 @@
+// Unit + property tests for the sparsification substrate: top-k selection,
+// sparsify/unsparsify partitioning, COO chunks and the wire codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sparse/codec.h"
+#include "sparse/coo.h"
+#include "sparse/topk.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dgs::sparse;
+
+// ------------------------------------------------------------------- top-k
+
+TEST(TopK, KeepCountBounds) {
+  EXPECT_EQ(keep_count(0, 1.0), 0u);
+  EXPECT_EQ(keep_count(1000, 1.0), 10u);
+  EXPECT_EQ(keep_count(1000, 100.0), 1000u);
+  EXPECT_EQ(keep_count(10, 0.0001), 1u);  // at least one entry
+  EXPECT_EQ(keep_count(3, 100.0), 3u);
+}
+
+TEST(TopK, KthLargestMagnitudeExact) {
+  std::vector<float> v{-5, 1, 3, -2, 4};
+  EXPECT_FLOAT_EQ(kth_largest_magnitude(v, 1), 5.0f);
+  EXPECT_FLOAT_EQ(kth_largest_magnitude(v, 2), 4.0f);
+  EXPECT_FLOAT_EQ(kth_largest_magnitude(v, 5), 1.0f);
+}
+
+TEST(TopK, ThresholdKeepsRequestedFraction) {
+  dgs::util::Rng rng(1);
+  std::vector<float> v(10000);
+  for (auto& x : v) x = rng.normal(0, 1);
+  const float thr = topk_threshold(v, 1.0);
+  const std::size_t kept = count_above(v, thr);
+  // >= k by construction; ties in continuous data are measure-zero.
+  EXPECT_EQ(kept, keep_count(v.size(), 1.0));
+}
+
+TEST(TopK, FullRatioKeepsEverything) {
+  std::vector<float> v{0.0f, -1.0f, 0.5f, 0.0f};
+  const float thr = topk_threshold(v, 100.0);
+  EXPECT_EQ(count_above(v, thr), v.size());
+}
+
+TEST(TopK, EmptyInput) {
+  EXPECT_FLOAT_EQ(topk_threshold({}, 1.0), 0.0f);
+  EXPECT_FLOAT_EQ(kth_largest_magnitude({}, 3), 0.0f);
+}
+
+TEST(TopK, SampledThresholdApproximatesExact) {
+  dgs::util::Rng rng(2);
+  std::vector<float> v(100000);
+  for (auto& x : v) x = rng.normal(0, 1);
+  dgs::util::Rng sample_rng(3);
+  const float exact = topk_threshold(v, 5.0);
+  const float approx = sampled_topk_threshold(v, 5.0, 2000, sample_rng);
+  EXPECT_NEAR(approx, exact, 0.15f);
+}
+
+TEST(TopK, SampledFallsBackToExactForSmallInput) {
+  std::vector<float> v{1, 2, 3, 4};
+  dgs::util::Rng rng(4);
+  EXPECT_FLOAT_EQ(sampled_topk_threshold(v, 50.0, 100, rng),
+                  topk_threshold(v, 50.0));
+}
+
+// --------------------------------------------------------------- sparsify
+
+TEST(Coo, ExtractAndZeroPartitionsVector) {
+  std::vector<float> v{5, -1, 0.5f, -6, 2};
+  LayerChunk chunk = extract_and_zero(3, v, 2.0f);
+  EXPECT_EQ(chunk.layer, 3u);
+  EXPECT_EQ(chunk.dense_size, 5u);
+  ASSERT_EQ(chunk.nnz(), 3u);
+  EXPECT_EQ(chunk.idx[0], 0u);
+  EXPECT_FLOAT_EQ(chunk.val[0], 5.0f);
+  EXPECT_EQ(chunk.idx[1], 3u);
+  EXPECT_FLOAT_EQ(chunk.val[1], -6.0f);
+  // Extracted entries zeroed, the rest untouched.
+  EXPECT_FLOAT_EQ(v[0], 0.0f);
+  EXPECT_FLOAT_EQ(v[1], -1.0f);
+  EXPECT_FLOAT_EQ(v[3], 0.0f);
+}
+
+TEST(Coo, ExtractCopyLeavesInputIntact) {
+  std::vector<float> v{5, -1, 0.5f};
+  const std::vector<float> orig = v;
+  LayerChunk chunk = extract_copy(1, v, 2.0f);
+  EXPECT_EQ(chunk.nnz(), 1u);
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Coo, ExactZerosNeverExtracted) {
+  std::vector<float> v{0.0f, 0.0f, 1.0f};
+  LayerChunk chunk = extract_and_zero(0, v, 0.0f);
+  EXPECT_EQ(chunk.nnz(), 1u);
+  EXPECT_EQ(chunk.idx[0], 2u);
+}
+
+TEST(Coo, ScaleBelowOnlyTouchesSubThreshold) {
+  std::vector<float> v{5, -1, 2};
+  scale_below(v, 2.0f, 10.0f);
+  EXPECT_FLOAT_EQ(v[0], 5.0f);
+  EXPECT_FLOAT_EQ(v[1], -10.0f);
+  EXPECT_FLOAT_EQ(v[2], 2.0f);  // |2| >= 2 untouched
+}
+
+TEST(Coo, ScatterAddAndDensifyRoundTrip) {
+  LayerChunk chunk;
+  chunk.layer = 0;
+  chunk.dense_size = 4;
+  chunk.idx = {1, 3};
+  chunk.val = {2.0f, -3.0f};
+  std::vector<float> dst(4, 1.0f);
+  scatter_add(chunk, 2.0f, dst);
+  EXPECT_FLOAT_EQ(dst[0], 1.0f);
+  EXPECT_FLOAT_EQ(dst[1], 5.0f);
+  EXPECT_FLOAT_EQ(dst[3], -5.0f);
+
+  const auto dense = densify(chunk);
+  EXPECT_FLOAT_EQ(dense[1], 2.0f);
+  EXPECT_FLOAT_EQ(dense[0], 0.0f);
+}
+
+TEST(Coo, ScatterAddSizeMismatchThrows) {
+  LayerChunk chunk;
+  chunk.dense_size = 4;
+  std::vector<float> dst(3);
+  EXPECT_THROW(scatter_add(chunk, 1.0f, dst), std::invalid_argument);
+}
+
+// Property: extract + scale_below covers every entry exactly once.
+TEST(Coo, ExtractScalePartitionProperty) {
+  dgs::util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> v(200);
+    for (auto& x : v) x = rng.normal(0, 1);
+    std::vector<float> orig = v;
+    const float thr = topk_threshold(v, 10.0);
+    LayerChunk kept = extract_copy(0, v, thr);
+    scale_below(v, thr, 2.0f);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const bool sent =
+          std::find(kept.idx.begin(), kept.idx.end(), i) != kept.idx.end();
+      if (sent)
+        EXPECT_FLOAT_EQ(v[i], orig[i]);
+      else
+        EXPECT_FLOAT_EQ(v[i], 2.0f * orig[i]);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ codec
+
+SparseUpdate random_update(dgs::util::Rng& rng, std::size_t layers) {
+  SparseUpdate u;
+  for (std::size_t j = 0; j < layers; ++j) {
+    LayerChunk c;
+    c.layer = static_cast<std::uint32_t>(j);
+    c.dense_size = 50 + static_cast<std::uint32_t>(rng.below(200));
+    const std::size_t nnz = rng.below(c.dense_size);
+    std::vector<std::uint32_t> all(c.dense_size);
+    std::iota(all.begin(), all.end(), 0u);
+    dgs::util::shuffle(all.data(), all.size(), rng);
+    c.idx.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(nnz));
+    for (std::size_t i = 0; i < nnz; ++i) c.val.push_back(rng.normal(0, 1));
+    u.layers.push_back(std::move(c));
+  }
+  return u;
+}
+
+TEST(Codec, SparseRoundTripBitExact) {
+  dgs::util::Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SparseUpdate u = random_update(rng, 1 + rng.below(5));
+    const Bytes bytes = encode(u);
+    EXPECT_EQ(bytes.size(), encoded_size(u));
+    const SparseUpdate d = decode(bytes);
+    ASSERT_EQ(d.layers.size(), u.layers.size());
+    for (std::size_t j = 0; j < u.layers.size(); ++j) {
+      EXPECT_EQ(d.layers[j].layer, u.layers[j].layer);
+      EXPECT_EQ(d.layers[j].dense_size, u.layers[j].dense_size);
+      EXPECT_EQ(d.layers[j].idx, u.layers[j].idx);
+      EXPECT_EQ(d.layers[j].val, u.layers[j].val);
+    }
+  }
+}
+
+TEST(Codec, DenseRoundTripBitExact) {
+  DenseUpdate u;
+  u.layers.push_back({0, {1.5f, -2.5f, 0.0f}});
+  u.layers.push_back({1, {3.0f}});
+  const Bytes bytes = encode(u);
+  EXPECT_EQ(bytes.size(), encoded_size(u));
+  const DenseUpdate d = decode_dense(bytes);
+  ASSERT_EQ(d.layers.size(), 2u);
+  EXPECT_EQ(d.layers[0].values, u.layers[0].values);
+  EXPECT_EQ(d.layers[1].layer, 1u);
+}
+
+TEST(Codec, EncodedSizeClosedForm) {
+  SparseUpdate u;
+  LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 100;
+  c.idx = {1, 2, 3};
+  c.val = {1, 2, 3};
+  u.layers.push_back(c);
+  // 8 header + 12 per-layer header + 3*(4+4) payload.
+  EXPECT_EQ(encoded_size(u), 8u + 12u + 24u);
+}
+
+TEST(Codec, MagicDispatch) {
+  SparseUpdate su;
+  DenseUpdate du;
+  EXPECT_TRUE(is_sparse_payload(encode(su)));
+  EXPECT_FALSE(is_sparse_payload(encode(du)));
+  EXPECT_FALSE(is_sparse_payload({}));
+}
+
+TEST(Codec, RejectsCorruptPayloads) {
+  dgs::util::Rng rng(7);
+  SparseUpdate u = random_update(rng, 2);
+  Bytes bytes = encode(u);
+  // Truncation.
+  Bytes truncated(bytes.begin(), bytes.end() - 4);
+  EXPECT_THROW(decode(truncated), std::runtime_error);
+  // Trailing garbage.
+  Bytes extended = bytes;
+  extended.push_back(0);
+  EXPECT_THROW(decode(extended), std::runtime_error);
+  // Wrong magic.
+  Bytes wrong = bytes;
+  wrong[0] ^= 0xFF;
+  EXPECT_THROW(decode(wrong), std::runtime_error);
+}
+
+TEST(Codec, RejectsOutOfRangeIndices) {
+  SparseUpdate u;
+  LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 4;
+  c.idx = {7};  // out of range
+  c.val = {1.0f};
+  u.layers.push_back(c);
+  const Bytes bytes = encode(u);
+  EXPECT_THROW(decode(bytes), std::runtime_error);
+}
+
+TEST(Codec, MismatchedIdxValThrowsOnEncode) {
+  SparseUpdate u;
+  LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 4;
+  c.idx = {1, 2};
+  c.val = {1.0f};
+  u.layers.push_back(c);
+  EXPECT_THROW(encode(u), std::invalid_argument);
+}
+
+TEST(SparseUpdate, DensityAccounting) {
+  SparseUpdate u;
+  LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 100;
+  c.idx = {1};
+  c.val = {1.0f};
+  u.layers.push_back(c);
+  EXPECT_DOUBLE_EQ(u.density(), 0.01);
+  EXPECT_EQ(u.total_nnz(), 1u);
+  EXPECT_EQ(u.total_dense(), 100u);
+  EXPECT_DOUBLE_EQ(SparseUpdate{}.density(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Tests for the synchronous SSGD engine: equivalence with single-node
+// training, barrier timing with stragglers, averaging semantics.
+#include <gtest/gtest.h>
+
+#include "comm/message.h"
+#include "core/session.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace dgs;
+using core::Method;
+
+data::SyntheticDataset small_data(std::uint64_t seed = 21) {
+  data::SyntheticSpec spec = data::SyntheticSpec::synth_cifar(seed);
+  spec.num_train = 512;
+  spec.num_test = 256;
+  return data::make_synthetic(spec);
+}
+
+nn::ModelSpec small_model(const data::SyntheticDataset& data) {
+  return nn::ModelSpec::mlp(data.train->feature_dim(), {32},
+                            data.train->num_classes());
+}
+
+core::TrainConfig base_config(Method method, std::size_t workers) {
+  core::TrainConfig config;
+  config.method = method;
+  config.num_workers = workers;
+  config.batch_size = 16;
+  config.epochs = 3;
+  config.lr = 0.02;
+  config.momentum = 0.7;
+  config.seed = 77;
+  return config;
+}
+
+// With one worker the barrier is trivial: SSGD == ASGD-on-one-worker ==
+// plain SGD, so the sync and async engines produce the same curves.
+TEST(SyncEngine, SingleWorkerMatchesAsyncEngine) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  const auto config = base_config(Method::kASGD, 1);
+  const auto sync = core::SyncEngine(spec, data.train, data.test, config).run();
+  const auto async = core::SimEngine(spec, data.train, data.test, config).run();
+  ASSERT_EQ(sync.curve.size(), async.curve.size());
+  for (std::size_t i = 0; i < sync.curve.size(); ++i)
+    EXPECT_DOUBLE_EQ(sync.curve[i].test_accuracy, async.curve[i].test_accuracy);
+}
+
+TEST(SyncEngine, MultiWorkerLearnsAllMethods) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  for (Method method : {Method::kASGD, Method::kGDAsync, Method::kDGCAsync,
+                        Method::kDGS}) {
+    auto config = base_config(method, 4);
+    // SSGD averages the 4 gradients into one batch-64-equivalent step, so
+    // there are 4x fewer optimizer steps per epoch than in the async runs;
+    // compensate with the linear-scaling rule and a longer schedule.
+    config.epochs = 8;
+    config.lr = 0.08;
+    const auto r = core::SyncEngine(spec, data.train, data.test, config).run();
+    EXPECT_GT(r.final_test_accuracy, 0.55) << core::method_name(method);
+    // One aggregation per round, 4 pushes per round.
+    EXPECT_EQ(r.bytes.upward_messages, 4 * r.server_steps);
+    EXPECT_GT(r.server_steps, 0u);
+  }
+}
+
+TEST(SyncEngine, Deterministic) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  const auto config = base_config(Method::kDGS, 3);
+  const auto a = core::SyncEngine(spec, data.train, data.test, config).run();
+  const auto b = core::SyncEngine(spec, data.train, data.test, config).run();
+  EXPECT_DOUBLE_EQ(a.final_test_accuracy, b.final_test_accuracy);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.bytes.upward_bytes, b.bytes.upward_bytes);
+}
+
+// The barrier makes the round as slow as the slowest worker: doubling one
+// worker's compute time should stretch sync wall-clock by roughly the
+// straggler factor, while the async engine degrades much less.
+TEST(SyncEngine, StragglersStallTheBarrier) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  auto config = base_config(Method::kDGS, 4);
+  config.compute.base_seconds = 1e-3;
+  config.compute.jitter_frac = 0.0;
+  config.record_curve = false;
+
+  const auto uniform = core::SyncEngine(spec, data.train, data.test, config).run();
+  config.compute.worker_speed = {1.0, 1.0, 1.0, 4.0};
+  const auto straggling =
+      core::SyncEngine(spec, data.train, data.test, config).run();
+  // Every round waits for the 4x straggler; fixed per-message comm time
+  // dilutes the ratio below 4 but it must remain severe.
+  EXPECT_GT(straggling.sim_seconds / uniform.sim_seconds, 2.3);
+
+  // The async engine lets fast workers proceed (pipelining), so the same
+  // straggler stretches the async makespan strictly less than the sync
+  // barrier does (each worker still owns a fixed shard, so the straggler's
+  // own share bounds the improvement).
+  const auto async_uniform = [&] {
+    auto c = config;
+    c.compute.worker_speed.clear();
+    return core::SimEngine(spec, data.train, data.test, c).run();
+  }();
+  const auto async_straggling =
+      core::SimEngine(spec, data.train, data.test, config).run();
+  const double async_ratio =
+      async_straggling.sim_seconds / async_uniform.sim_seconds;
+  const double sync_ratio = straggling.sim_seconds / uniform.sim_seconds;
+  EXPECT_LT(async_ratio, sync_ratio);
+}
+
+TEST(SyncEngine, BroadcastDominatesDownwardBytes) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  auto config = base_config(Method::kDGS, 4);
+  config.record_curve = false;
+  const auto r = core::SyncEngine(spec, data.train, data.test, config).run();
+  nn::ModulePtr probe = spec.build();
+  const std::size_t model_bytes =
+      nn::param_numel(probe->parameters()) * sizeof(float);
+  // Every round broadcasts the dense model to every worker.
+  EXPECT_EQ(r.bytes.downward_bytes,
+            r.server_steps * 4 * (model_bytes + comm::kMessageHeaderBytes));
+}
+
+TEST(SyncEngine, SessionFacadeRoute) {
+  const auto data = small_data();
+  const auto spec = small_model(data);
+  auto config = base_config(Method::kGDAsync, 2);
+  config.epochs = 6;
+  config.lr = 0.04;  // linear scaling for the averaged 2-worker batch
+  core::TrainingSession session(spec, data.train, data.test, config,
+                                core::EngineKind::kSynchronous);
+  const auto r = session.run();
+  EXPECT_GT(r.final_test_accuracy, 0.4);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Unit tests for the tensor substrate: shapes, views, im2col/col2im.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using dgs::tensor::conv_out_size;
+using dgs::tensor::Shape;
+using dgs::tensor::Tensor;
+
+TEST(Shape, NumelAndRank) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(Shape{}.numel(), 0u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_FALSE((Shape{2, 3}) == (Shape{3, 2}));
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{4, 4});
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FromVectorAndIndexing) {
+  Tensor t = Tensor::from(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(t.at2(0, 2), 3);
+  EXPECT_FLOAT_EQ(t.at2(1, 0), 4);
+  EXPECT_THROW(Tensor::from(Shape{2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, At4RowMajorLayout) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 42.0f;
+  EXPECT_FLOAT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 42.0f);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor t = Tensor::from(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_FLOAT_EQ(r.at2(2, 1), 6);
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, InitializersProduceExpectedStatistics) {
+  dgs::util::Rng rng(5);
+  Tensor t(Shape{10000});
+  t.init_normal(rng, 1.0f, 2.0f);
+  double sum = 0, sq = 0;
+  for (float v : t.flat()) {
+    sum += v;
+    sq += double(v - 1.0) * (v - 1.0);
+  }
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / 10000.0), 2.0, 0.1);
+
+  t.init_uniform(rng, -1.0f, 1.0f);
+  float lo = 1e9f, hi = -1e9f;
+  for (float v : t.flat()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(lo, -1.0f);
+  EXPECT_LT(hi, 1.0f);
+}
+
+TEST(Tensor, HeInitVariance) {
+  dgs::util::Rng rng(6);
+  Tensor t(Shape{20000});
+  t.init_he(rng, 50);
+  double sq = 0;
+  for (float v : t.flat()) sq += double(v) * v;
+  EXPECT_NEAR(sq / 20000.0, 2.0 / 50.0, 0.01);
+}
+
+TEST(ConvOutSize, StandardCases) {
+  EXPECT_EQ(conv_out_size(32, 3, 1, 1), 32u);  // same padding
+  EXPECT_EQ(conv_out_size(32, 3, 2, 1), 16u);
+  EXPECT_EQ(conv_out_size(5, 3, 1, 0), 3u);
+}
+
+// Reference im2col check on a tiny example done by hand.
+TEST(Im2col, TinyExampleMatchesHandComputation) {
+  // 1 channel, 3x3 image, 2x2 kernel, stride 1, pad 0 -> 4 rows x 4 cols.
+  const std::vector<float> img{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> cols(4 * 4);
+  dgs::tensor::im2col(img.data(), 1, 3, 3, 2, 2, 1, 0, cols.data());
+  // Row 0 is kernel offset (0,0): values of top-left of each window.
+  const std::vector<float> expect_row0{1, 2, 4, 5};
+  const std::vector<float> expect_row3{5, 6, 8, 9};  // offset (1,1)
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(cols[static_cast<std::size_t>(i)], expect_row0[static_cast<std::size_t>(i)]);
+    EXPECT_FLOAT_EQ(cols[12 + static_cast<std::size_t>(i)], expect_row3[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Im2col, PaddingWritesZeros) {
+  const std::vector<float> img{1, 2, 3, 4};  // 1x2x2
+  const std::size_t oh = conv_out_size(2, 3, 1, 1);
+  std::vector<float> cols(9 * oh * oh, -1.0f);
+  dgs::tensor::im2col(img.data(), 1, 2, 2, 3, 3, 1, 1, cols.data());
+  // Kernel offset (0,0) at output (0,0) reads image(-1,-1) -> 0.
+  EXPECT_FLOAT_EQ(cols[0], 0.0f);
+}
+
+// col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+TEST(Col2im, IsAdjointOfIm2col) {
+  dgs::util::Rng rng(7);
+  const std::size_t c = 2, h = 5, w = 6, k = 3, stride = 2, pad = 1;
+  const std::size_t oh = conv_out_size(h, k, stride, pad);
+  const std::size_t ow = conv_out_size(w, k, stride, pad);
+  const std::size_t rows = c * k * k, cols_n = oh * ow;
+
+  std::vector<float> x(c * h * w), y(rows * cols_n);
+  for (auto& v : x) v = rng.normal(0, 1);
+  for (auto& v : y) v = rng.normal(0, 1);
+
+  std::vector<float> ax(rows * cols_n);
+  dgs::tensor::im2col(x.data(), c, h, w, k, k, stride, pad, ax.data());
+  std::vector<float> aty(c * h * w, 0.0f);
+  dgs::tensor::col2im(y.data(), c, h, w, k, k, stride, pad, aty.data());
+
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < ax.size(); ++i) lhs += double(ax[i]) * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += double(x[i]) * aty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Tensor, StrTruncates) {
+  Tensor t(Shape{100}, 1.0f);
+  const std::string s = t.str(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,284 @@
+// Unit tests for the util substrate: RNG, math kernels, tables, flags.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/math_kernels.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dgs::util;
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng root(7);
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng root1(7), root2(7);
+  Rng a = root1.fork(3), b = root2.fork(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsInRangeAndHitsAllValues) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(19);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Rng rng(29);
+  shuffle(v.data(), v.size(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  // Overwhelmingly likely to actually move something.
+  std::vector<int> identity(100);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(v, identity);
+}
+
+// ---------------------------------------------------------------- kernels
+
+TEST(MathKernels, Axpy) {
+  std::vector<float> x{1, 2, 3}, y{10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12);
+  EXPECT_FLOAT_EQ(y[1], 24);
+  EXPECT_FLOAT_EQ(y[2], 36);
+}
+
+TEST(MathKernels, Axpby) {
+  std::vector<float> x{1, 2}, y{4, 8};
+  axpby(3.0f, x, 0.5f, y);
+  EXPECT_FLOAT_EQ(y[0], 5);   // 3*1 + 0.5*4
+  EXPECT_FLOAT_EQ(y[1], 10);  // 3*2 + 0.5*8
+}
+
+TEST(MathKernels, ScaleFillCopy) {
+  std::vector<float> x{1, 2, 3};
+  scale(3.0f, x);
+  EXPECT_FLOAT_EQ(x[2], 9);
+  std::vector<float> y(3);
+  copy(x, y);
+  EXPECT_EQ(x, y);
+  fill(7.0f, y);
+  EXPECT_FLOAT_EQ(y[0], 7);
+}
+
+TEST(MathKernels, DotNrm2SumAsumAmax) {
+  std::vector<float> x{3, -4};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(sum(x), -1.0);
+  EXPECT_DOUBLE_EQ(asum(x), 7.0);
+  EXPECT_FLOAT_EQ(amax(x), 4.0f);
+  EXPECT_FLOAT_EQ(amax(std::span<const float>{}), 0.0f);
+}
+
+TEST(MathKernels, AddSubMulElementwise) {
+  std::vector<float> x{1, 2, 3}, y{4, 5, 6}, z(3);
+  add(x, y, z);
+  EXPECT_FLOAT_EQ(z[2], 9);
+  sub(x, y, z);
+  EXPECT_FLOAT_EQ(z[0], -3);
+  mul(x, y, z);
+  EXPECT_FLOAT_EQ(z[1], 10);
+}
+
+// Naive reference GEMM used to validate the blocked kernels.
+void ref_gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+              const float* b, float* c) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::size_t p = 0; p < k; ++p) acc += double(a[i * k + p]) * b[p * n + j];
+      c[i * n + j] = float(acc);
+    }
+}
+
+TEST(MathKernels, GemmMatchesReference) {
+  Rng rng(31);
+  const std::size_t m = 17, k = 23, n = 13;
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+  for (auto& v : a) v = rng.normal(0, 1);
+  for (auto& v : b) v = rng.normal(0, 1);
+  gemm(m, k, n, a.data(), b.data(), c.data(), false);
+  ref_gemm(m, k, n, a.data(), b.data(), ref.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+TEST(MathKernels, GemmAccumulates) {
+  const std::size_t m = 2, k = 2, n = 2;
+  std::vector<float> a{1, 0, 0, 1}, b{1, 2, 3, 4}, c{10, 10, 10, 10};
+  gemm(m, k, n, a.data(), b.data(), c.data(), true);
+  EXPECT_FLOAT_EQ(c[0], 11);
+  EXPECT_FLOAT_EQ(c[3], 14);
+}
+
+TEST(MathKernels, GemmAtMatchesReference) {
+  Rng rng(37);
+  const std::size_t m = 9, k = 11, n = 7;
+  // A stored [k x m]; want C = A^T * B.
+  std::vector<float> a(k * m), b(k * n), c(m * n), at(m * k), ref(m * n);
+  for (auto& v : a) v = rng.normal(0, 1);
+  for (auto& v : b) v = rng.normal(0, 1);
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t i = 0; i < m; ++i) at[i * k + p] = a[p * m + i];
+  gemm_at(m, k, n, a.data(), b.data(), c.data(), false);
+  ref_gemm(m, k, n, at.data(), b.data(), ref.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+TEST(MathKernels, GemmBtMatchesReference) {
+  Rng rng(41);
+  const std::size_t m = 8, k = 10, n = 6;
+  // B stored [n x k]; want C = A * B^T.
+  std::vector<float> a(m * k), b(n * k), c(m * n), bt(k * n), ref(m * n);
+  for (auto& v : a) v = rng.normal(0, 1);
+  for (auto& v : b) v = rng.normal(0, 1);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t p = 0; p < k; ++p) bt[p * n + j] = b[j * k + p];
+  gemm_bt(m, k, n, a.data(), b.data(), c.data(), false);
+  ref_gemm(m, k, n, a.data(), bt.data(), ref.data());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+// ------------------------------------------------------------------ Table
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| a | bb |"), std::string::npos);
+  EXPECT_NE(os.str().find("| 1 | 2  |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, NumAndPctFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(-0.4, 2), "-0.40%");
+  EXPECT_EQ(Table::pct(0.4, 2), "+0.40%");
+  EXPECT_EQ(Table::pct(93.08, 2, false), "93.08%");
+}
+
+TEST(CurveSet, RecordsAndPrints) {
+  CurveSet c("epoch", {"loss", "acc"});
+  c.add_point(1, {0.5, 0.9});
+  c.add_point(2, {0.4, 0.92});
+  std::ostringstream os;
+  c.print(os);
+  EXPECT_NE(os.str().find("loss"), std::string::npos);
+  EXPECT_THROW(c.add_point(3, {0.1}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ Flags
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4"};
+  Flags f(4, const_cast<char**>(argv));
+  EXPECT_EQ(f.i64("alpha", 0), 3);
+  EXPECT_EQ(f.i64("beta", 0), 4);
+  EXPECT_EQ(f.i64("gamma", 7), 7);
+  EXPECT_FALSE(f.finish());
+}
+
+TEST(Flags, BooleanForms) {
+  const char* argv[] = {"prog", "--fast", "--no-slow"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_TRUE(f.boolean("fast", false));
+  EXPECT_FALSE(f.boolean("slow", true));
+  EXPECT_FALSE(f.finish());
+}
+
+TEST(Flags, UnknownFlagThrowsOnFinish) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_THROW((void)f.finish(), std::runtime_error);
+}
+
+TEST(Flags, ListParsing) {
+  const char* argv[] = {"prog", "--workers=1,4,8"};
+  Flags f(2, const_cast<char**>(argv));
+  const auto v = f.i64_list("workers", {2});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 8);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Unit tests for the Worker context: schedule injection, density metrics,
+// model overwrite, construction errors and the encode path.
+#include <gtest/gtest.h>
+
+#include "core/engine_sim.h"
+#include "core/server.h"
+#include "core/worker.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace dgs;
+using core::Method;
+
+data::SyntheticDataset tiny_data(std::uint64_t seed = 61) {
+  data::SyntheticSpec spec = data::SyntheticSpec::synth_cifar(seed);
+  spec.num_train = 128;
+  spec.num_test = 64;
+  return data::make_synthetic(spec);
+}
+
+core::TrainConfig tiny_config(Method method) {
+  core::TrainConfig config;
+  config.method = method;
+  config.num_workers = 1;
+  config.batch_size = 8;
+  config.lr = 0.1;
+  config.momentum = 0.7;
+  config.seed = 63;
+  return config;
+}
+
+TEST(Worker, RejectsFeatureDimMismatch) {
+  const auto data = tiny_data();
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim() + 1, {8},
+                                       data.train->num_classes());
+  const auto config = tiny_config(Method::kASGD);
+  const auto theta0 = core::initial_parameters(spec, 1);
+  EXPECT_THROW(core::Worker(0, spec, data.train, config, theta0),
+               std::invalid_argument);
+}
+
+TEST(Worker, StartsFromProvidedParameters) {
+  const auto data = tiny_data();
+  const auto spec =
+      nn::ModelSpec::mlp(data.train->feature_dim(), {8}, data.train->num_classes());
+  const auto config = tiny_config(Method::kDGS);
+  const auto theta0 = core::initial_parameters(spec, 7);
+  core::Worker worker(0, spec, data.train, config, theta0);
+  EXPECT_EQ(worker.model_flat(), theta0);
+}
+
+TEST(Worker, SetModelOverwrites) {
+  const auto data = tiny_data();
+  const auto spec =
+      nn::ModelSpec::mlp(data.train->feature_dim(), {8}, data.train->num_classes());
+  const auto config = tiny_config(Method::kDGS);
+  const auto theta0 = core::initial_parameters(spec, 7);
+  core::Worker worker(0, spec, data.train, config, theta0);
+  std::vector<float> other(theta0.size(), 0.25f);
+  worker.set_model(other);
+  EXPECT_EQ(worker.model_flat(), other);
+}
+
+TEST(Worker, InjectedLearningRateScalesAsgdPush) {
+  const auto data = tiny_data();
+  const auto spec =
+      nn::ModelSpec::mlp(data.train->feature_dim(), {8}, data.train->num_classes());
+  const auto config = tiny_config(Method::kASGD);
+  const auto theta0 = core::initial_parameters(spec, 9);
+  core::Worker a(0, spec, data.train, config, theta0);
+  core::Worker b(0, spec, data.train, config, theta0);
+  // Same batch (same worker id/seed), different injected lr.
+  const auto push_a = a.compute_and_pack(0.1f, 0);
+  const auto push_b = b.compute_and_pack(0.2f, 0);
+  const auto ga = sparse::decode_dense(push_a.push.payload);
+  const auto gb = sparse::decode_dense(push_b.push.payload);
+  ASSERT_EQ(ga.layers.size(), gb.layers.size());
+  for (std::size_t j = 0; j < ga.layers.size(); ++j)
+    for (std::size_t i = 0; i < ga.layers[j].values.size(); ++i)
+      ASSERT_NEAR(2.0f * ga.layers[j].values[i], gb.layers[j].values[i], 1e-6f);
+}
+
+TEST(Worker, DensityReflectsSparsification) {
+  const auto data = tiny_data();
+  const auto spec =
+      nn::ModelSpec::mlp(data.train->feature_dim(), {32}, data.train->num_classes());
+  const auto theta0 = core::initial_parameters(spec, 11);
+
+  auto dense_config = tiny_config(Method::kASGD);
+  core::Worker dense(0, spec, data.train, dense_config, theta0);
+  const auto dense_iter = dense.compute_and_pack();
+  EXPECT_GT(dense_iter.update_density, 0.9);
+
+  auto sparse_config = tiny_config(Method::kDGS);
+  sparse_config.compression.ratio_percent = 1.0;
+  core::Worker sparsified(0, spec, data.train, sparse_config, theta0);
+  const auto sparse_iter = sparsified.compute_and_pack();
+  EXPECT_LT(sparse_iter.update_density, 0.05);
+  EXPECT_GT(sparse_iter.update_density, 0.0);
+}
+
+TEST(Worker, LocalStepAdvances) {
+  const auto data = tiny_data();
+  const auto spec =
+      nn::ModelSpec::mlp(data.train->feature_dim(), {8}, data.train->num_classes());
+  const auto config = tiny_config(Method::kGDAsync);
+  const auto theta0 = core::initial_parameters(spec, 13);
+  core::Worker worker(0, spec, data.train, config, theta0);
+  EXPECT_EQ(worker.local_step(), 0u);
+  (void)worker.compute_and_pack();
+  (void)worker.compute_and_pack();
+  EXPECT_EQ(worker.local_step(), 2u);
+}
+
+TEST(Worker, AppliesOnlyModelDiffMessages) {
+  const auto data = tiny_data();
+  const auto spec =
+      nn::ModelSpec::mlp(data.train->feature_dim(), {8}, data.train->num_classes());
+  const auto config = tiny_config(Method::kDGS);
+  const auto theta0 = core::initial_parameters(spec, 15);
+  core::Worker worker(0, spec, data.train, config, theta0);
+  auto iter = worker.compute_and_pack();
+  // A push message is not a valid reply.
+  EXPECT_THROW(worker.apply_model_diff(iter.push), std::invalid_argument);
+}
+
+TEST(Worker, KnownServerStepTracksReplies) {
+  const auto data = tiny_data();
+  const auto spec =
+      nn::ModelSpec::mlp(data.train->feature_dim(), {8}, data.train->num_classes());
+  const auto config = tiny_config(Method::kDGS);
+  const auto theta0 = core::initial_parameters(spec, 17);
+  core::Worker worker(0, spec, data.train, config, theta0);
+  nn::ModulePtr probe = spec.build();
+  core::ParameterServer server(nn::param_layer_sizes(probe->parameters()),
+                               theta0, {.num_workers = 1});
+  EXPECT_EQ(worker.known_server_step(), 0u);
+  auto iter = worker.compute_and_pack();
+  const auto reply = server.handle_push(iter.push);
+  worker.apply_model_diff(reply);
+  EXPECT_EQ(worker.known_server_step(), 1u);
+}
+
+}  // namespace
