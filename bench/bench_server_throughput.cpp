@@ -1,0 +1,162 @@
+// Parameter-server push throughput vs shard count and server threads.
+//
+// Isolates the server hot path (decode -> apply to M -> build G = M - v_k
+// reply) from training: pre-encoded pushes are replayed by T caller threads
+// against a ParameterServer with S shards, exactly the shape of the
+// ThreadEngine's server pool. Two payload classes bracket the protocols:
+//
+//   * dgs    — sparse COO pushes (~0.1% density), the DGS uplink
+//   * dense  — full dense pushes, the ASGD uplink (and the worst-case
+//              reply: the whole M - v_k difference ships back dense)
+//
+// With one shard every push serializes on a single mutex, so threads cannot
+// help; with multiple shards the per-layer work pipelines and dense-payload
+// throughput should scale with the thread count.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/server.h"
+#include "sparse/codec.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace dgs;
+using dgs::comm::Message;
+using dgs::comm::MessageKind;
+
+namespace {
+
+// Layer shape of a small conv-net-like model: a few big tensors plus bias
+// vectors, so shard partitioning has real imbalance to deal with.
+const std::vector<std::size_t> kSizes{36864, 128, 73728, 256, 32768, 10};
+
+Message make_sparse_push(int worker, util::Rng& rng, double density) {
+  sparse::SparseUpdate u;
+  for (std::uint32_t j = 0; j < kSizes.size(); ++j) {
+    sparse::LayerChunk c;
+    c.layer = j;
+    c.dense_size = static_cast<std::uint32_t>(kSizes[j]);
+    const auto nnz =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     static_cast<double>(kSizes[j]) * density));
+    for (std::size_t i = 0; i < nnz; ++i) {
+      c.idx.push_back(static_cast<std::uint32_t>(rng.below(kSizes[j])));
+      c.val.push_back(rng.normal(0, 0.01f));
+    }
+    u.layers.push_back(std::move(c));
+  }
+  Message m;
+  m.kind = MessageKind::kGradientPush;
+  m.worker_id = worker;
+  m.payload = sparse::encode(u);
+  return m;
+}
+
+Message make_dense_push(int worker, util::Rng& rng) {
+  sparse::DenseUpdate u;
+  for (std::uint32_t j = 0; j < kSizes.size(); ++j) {
+    sparse::DenseUpdate::Layer l;
+    l.layer = j;
+    l.values.resize(kSizes[j]);
+    for (auto& v : l.values) v = rng.normal(0, 0.01f);
+    u.layers.push_back(std::move(l));
+  }
+  Message m;
+  m.kind = MessageKind::kGradientPush;
+  m.worker_id = worker;
+  m.payload = sparse::encode(u);
+  return m;
+}
+
+/// Replays `iters` pushes per thread against a fresh S-shard server; returns
+/// pushes per second over the whole run.
+double measure(const std::vector<Message>& pushes_per_worker,
+               std::size_t threads, std::size_t shards, std::size_t iters) {
+  std::size_t total = 0;
+  for (std::size_t s : kSizes) total += s;
+  core::ParameterServer server(
+      kSizes, std::vector<float>(total, 0.0f),
+      {.num_workers = threads, .num_shards = shards});
+
+  std::vector<std::thread> pool;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < threads; ++k)
+    pool.emplace_back([&, k] {
+      const Message& push = pushes_per_worker[k];
+      for (std::size_t i = 0; i < iters; ++i)
+        (void)server.handle_push(push);
+    });
+  for (auto& t : pool) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(threads * iters) / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto iters = static_cast<std::size_t>(
+      flags.i64("iters", 200, "pushes per thread per configuration"));
+  const auto thread_list =
+      flags.i64_list("threads", {1, 2, 4}, "server thread counts");
+  const auto shard_list =
+      flags.i64_list("shards", {1, 2, 4, 8}, "shard counts");
+  const double density = flags.f64("density", 0.001, "sparse push density");
+  if (flags.finish()) return 0;
+
+  const std::size_t max_threads = static_cast<std::size_t>(
+      *std::max_element(thread_list.begin(), thread_list.end()));
+  util::Rng rng(17);
+  std::vector<Message> sparse_pushes, dense_pushes;
+  for (std::size_t k = 0; k < max_threads; ++k) {
+    sparse_pushes.push_back(
+        make_sparse_push(static_cast<int>(k), rng, density));
+    dense_pushes.push_back(make_dense_push(static_cast<int>(k), rng));
+  }
+
+  std::size_t total = 0;
+  for (std::size_t s : kSizes) total += s;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("== server push throughput (model = %zu params, %zu layers, "
+              "%zu pushes/thread, %u hardware threads) ==\n\n",
+              total, kSizes.size(), iters, cores);
+  if (cores < 2)
+    std::printf("NOTE: single-core host — thread counts > 1 time-slice one "
+                "CPU, so no\nspeedup is observable here; the table then only "
+                "shows that sharding adds\nno overhead. Run on a multi-core "
+                "host to see the scaling.\n\n");
+
+  util::Table table(
+      {"Payload", "Shards", "Threads", "Pushes/s", "vs 1 thread"});
+  for (const bool dense : {false, true}) {
+    const auto& pushes = dense ? dense_pushes : sparse_pushes;
+    for (const std::int64_t shards : shard_list) {
+      double base = 0.0;
+      for (const std::int64_t threads : thread_list) {
+        const double rate =
+            measure(pushes, static_cast<std::size_t>(threads),
+                    static_cast<std::size_t>(shards), iters);
+        if (base == 0.0) base = rate;
+        table.add_row({dense ? "dense (ASGD)" : "sparse (DGS)",
+                       std::to_string(shards), std::to_string(threads),
+                       util::Table::num(rate, 0),
+                       util::Table::num(rate / base, 2) + "x"});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape (given enough cores): dense payloads with >= 2\n"
+      "shards scale with the thread count; with 1 shard every configuration\n"
+      "collapses to the single-mutex rate. Sparse DGS pushes are\n"
+      "decode-dominated, so the parallel section is smaller and the scaling\n"
+      "shallower.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Build the concurrency-sensitive tests under ThreadSanitizer and run them.
+#
+# Covers the pieces with real cross-thread interaction: the channel layer,
+# the sharded parameter server under concurrent pushes, and the ThreadEngine
+# server pool end to end.
+#
+# Usage: scripts/run_tsan.sh [extra ctest/gtest filter]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="$repo/build-tsan"
+
+cmake --preset tsan -S "$repo" >/dev/null
+cmake --build "$build" -j"$(nproc)" \
+  --target test_comm --target test_concurrency --target test_engines
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+status=0
+for t in test_comm test_concurrency test_engines; do
+  echo "== TSan: $t =="
+  "$build/tests/$t" "${@}" || status=$?
+  [ "$status" -ne 0 ] && break
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "TSan: all clean"
+else
+  echo "TSan: FAILED (exit $status)" >&2
+fi
+exit "$status"

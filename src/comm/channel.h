@@ -1,9 +1,12 @@
-// Bounded-unbounded MPSC/MPMC channel for the real-thread engine.
+// MPSC/MPMC channel for the real-thread engine, optionally bounded.
 //
 // A minimal mutex+condvar queue: multiple producers, multiple consumers,
-// close() semantics for shutdown. Throughput is far from being the
-// bottleneck (each message carries kilobytes of encoded floats), so simplicity
-// and correctness win over lock-free cleverness here.
+// close() semantics for shutdown. By default the queue is unbounded; a
+// nonzero capacity turns send() into a blocking call that waits for space
+// (backpressure), which keeps a slow consumer from accumulating an
+// arbitrarily deep backlog. Throughput is far from being the bottleneck
+// (each message carries kilobytes of encoded floats), so simplicity and
+// correctness win over lock-free cleverness here.
 #pragma once
 
 #include <condition_variable>
@@ -17,37 +20,64 @@ namespace dgs::comm {
 template <typename T>
 class Channel {
  public:
-  Channel() = default;
+  /// capacity == 0 means unbounded (send never blocks).
+  explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
-  /// Returns false if the channel is closed.
+  /// Enqueue a value. On a bounded channel this blocks while the queue is
+  /// full. Returns false if the channel is (or becomes, while waiting)
+  /// closed.
   bool send(T value) {
     {
-      std::lock_guard lock(mutex_);
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock, [&] {
+        return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+      });
       if (closed_) return false;
       queue_.push_back(std::move(value));
     }
-    cv_.notify_one();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking send: returns false (without enqueueing) if the channel is
+  /// closed or full.
+  bool try_send(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || (capacity_ != 0 && queue_.size() >= capacity_))
+        return false;
+      queue_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
     return true;
   }
 
   /// Blocks until a value is available or the channel is closed and drained.
   std::optional<T> receive() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) return std::nullopt;
-    T value = std::move(queue_.front());
-    queue_.pop_front();
+    std::optional<T> value;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+      if (queue_.empty()) return std::nullopt;
+      value = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
     return value;
   }
 
   /// Non-blocking receive.
   std::optional<T> try_receive() {
-    std::lock_guard lock(mutex_);
-    if (queue_.empty()) return std::nullopt;
-    T value = std::move(queue_.front());
-    queue_.pop_front();
+    std::optional<T> value;
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.empty()) return std::nullopt;
+      value = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
     return value;
   }
 
@@ -56,7 +86,8 @@ class Channel {
       std::lock_guard lock(mutex_);
       closed_ = true;
     }
-    cv_.notify_all();
+    not_empty_.notify_all();
+    not_full_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
@@ -69,10 +100,15 @@ class Channel {
     return queue_.size();
   }
 
+  /// Configured bound (0 = unbounded).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
  private:
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
   std::deque<T> queue_;
+  std::size_t capacity_;
   bool closed_ = false;
 };
 

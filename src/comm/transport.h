@@ -1,0 +1,169 @@
+// Transport seam between the training engines and the comm substrate.
+//
+// The engines differ only in *when* messages move; the mechanics of moving
+// them — and the byte/message accounting every run reports — are identical.
+// Transport owns that shared accounting (thread-safe, since the real-thread
+// engine sends from many threads at once) and two policies implement the
+// actual movement:
+//
+//   * ThreadTransport — comm::Channel queues for the real-thread engine:
+//     a shared server inbox (optionally bounded, see channel.h) plus one
+//     reply inbox per worker, with kShutdown broadcast on teardown.
+//   * SimTransport — the modeled-time path for the DES and synchronous
+//     engines: both directions serialize through SharedLink FIFOs (the
+//     single server NIC of the paper's Fig. 6) and send_* returns the
+//     simulated arrival time instead of enqueueing anything.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/message.h"
+#include "comm/network.h"
+#include "comm/stats.h"
+
+namespace dgs::comm {
+
+/// Byte/message accounting shared by every transport. Counters are atomics
+/// because the thread transport is driven from N worker + M server threads.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Snapshot of the per-direction accounting.
+  [[nodiscard]] ByteCounter bytes() const noexcept {
+    ByteCounter counter;
+    counter.upward_bytes = up_bytes_.load(std::memory_order_relaxed);
+    counter.upward_messages = up_messages_.load(std::memory_order_relaxed);
+    counter.downward_bytes = down_bytes_.load(std::memory_order_relaxed);
+    counter.downward_messages = down_messages_.load(std::memory_order_relaxed);
+    return counter;
+  }
+
+ protected:
+  void account_up(std::size_t bytes) noexcept {
+    up_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    up_messages_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void account_down(std::size_t bytes) noexcept {
+    down_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    down_messages_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> up_bytes_{0};
+  std::atomic<std::uint64_t> down_bytes_{0};
+  std::atomic<std::uint64_t> up_messages_{0};
+  std::atomic<std::uint64_t> down_messages_{0};
+};
+
+/// Channel-backed transport for ThreadEngine: workers push into one shared
+/// server inbox; each worker receives replies on its own inbox.
+class ThreadTransport final : public Transport {
+ public:
+  /// `inbox_capacity` bounds the server inbox (0 = unbounded): with a bound,
+  /// workers block in send_push when the server pool falls behind.
+  explicit ThreadTransport(std::size_t num_workers,
+                           std::size_t inbox_capacity = 0)
+      : server_inbox_(inbox_capacity) {
+    worker_inbox_.reserve(num_workers);
+    for (std::size_t k = 0; k < num_workers; ++k)
+      worker_inbox_.push_back(std::make_unique<Channel<Message>>());
+  }
+
+  /// Worker -> server. Counts upward traffic; false once shut down.
+  bool send_push(Message msg) {
+    const std::size_t bytes = msg.wire_size();
+    if (!server_inbox_.send(std::move(msg))) return false;
+    account_up(bytes);
+    return true;
+  }
+
+  /// Server side: next push, or nullopt after shutdown drains the inbox.
+  std::optional<Message> receive_push() { return server_inbox_.receive(); }
+
+  /// Server -> worker k. Counts downward traffic; false once shut down.
+  bool send_reply(std::size_t worker, Message msg) {
+    const std::size_t bytes = msg.wire_size();
+    if (!worker_inbox_.at(worker)->send(std::move(msg))) return false;
+    account_down(bytes);
+    return true;
+  }
+
+  /// Worker side: next reply (kModelDiff or kShutdown), nullopt when closed.
+  std::optional<Message> receive_reply(std::size_t worker) {
+    return worker_inbox_.at(worker)->receive();
+  }
+
+  /// Budget exhausted: stop accepting pushes and tell every worker to exit.
+  /// Each worker inbox gets a kShutdown message before being closed, so a
+  /// worker blocked waiting for a reply wakes up with an explicit stop
+  /// instead of inferring it from a closed channel. Idempotent and safe to
+  /// call from any server thread (late calls send into closed channels,
+  /// which is a no-op).
+  void shutdown() {
+    server_inbox_.close();
+    for (std::size_t k = 0; k < worker_inbox_.size(); ++k) {
+      Message stop;
+      stop.kind = MessageKind::kShutdown;
+      stop.worker_id = static_cast<std::int32_t>(k);
+      (void)worker_inbox_[k]->send(std::move(stop));
+      worker_inbox_[k]->close();
+    }
+  }
+
+  [[nodiscard]] std::size_t pending_pushes() const {
+    return server_inbox_.size();
+  }
+
+ private:
+  Channel<Message> server_inbox_;
+  std::vector<std::unique_ptr<Channel<Message>>> worker_inbox_;
+};
+
+/// Modeled-time transport for the DES and synchronous engines. send_*
+/// returns the simulated arrival time of the message at the far end; the
+/// caller schedules whatever event that implies. Not thread-safe (the DES
+/// is single-threaded by construction).
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(NetworkModel network) : network_(network) {}
+
+  /// Worker -> server: occupies the shared ingress link, returns arrival.
+  double send_push(double now, const Message& msg) {
+    account_up(msg.wire_size());
+    return up_.begin(now, network_.serialization_seconds(msg.wire_size())) +
+           network_.latency_s;
+  }
+
+  /// Server -> worker: occupies the shared egress link, returns arrival.
+  double send_reply(double now, const Message& msg) {
+    return send_reply_bytes(now, msg.wire_size());
+  }
+
+  /// Raw-byte variant for transfers without a Message object (the SSGD
+  /// engine's dense model broadcast).
+  double send_reply_bytes(double now, std::size_t bytes) {
+    account_down(bytes);
+    return down_.begin(now, network_.serialization_seconds(bytes)) +
+           network_.latency_s;
+  }
+
+  [[nodiscard]] const NetworkModel& network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] const SharedLink& up_link() const noexcept { return up_; }
+  [[nodiscard]] const SharedLink& down_link() const noexcept { return down_; }
+
+ private:
+  NetworkModel network_;
+  SharedLink up_;    ///< All pushes share the server NIC (ingress).
+  SharedLink down_;  ///< All replies share the server NIC (egress).
+};
+
+}  // namespace dgs::comm

@@ -84,6 +84,20 @@ struct TrainConfig {
   std::size_t eval_every_epochs = 1;
   std::size_t eval_batch = 256;
 
+  /// Parameter-server shards: the server's layer state is partitioned into
+  /// this many contiguous, independently locked layer ranges, so pushes
+  /// from different workers proceed concurrently except where they touch
+  /// the same shard. Clamped to the model's layer count; 1 = unsharded.
+  std::size_t server_shards = 1;
+  /// ThreadEngine only: number of server threads draining the push inbox
+  /// concurrently. 1 reproduces the classic single-loop server; values > 1
+  /// only pay off together with server_shards > 1.
+  std::size_t server_threads = 1;
+  /// ThreadEngine only: bound on the server inbox (0 = unbounded). With a
+  /// bound, workers block in send when the server pool falls behind
+  /// (backpressure) instead of growing an arbitrarily deep queue.
+  std::size_t server_inbox_capacity = 0;
+
   /// Learning rate in effect during the given (0-based) global epoch.
   [[nodiscard]] double lr_at_epoch(std::size_t epoch) const noexcept {
     double rate = lr;

@@ -1,0 +1,140 @@
+#include "core/engine_context.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dgs::core {
+
+std::vector<float> initial_parameters(const nn::ModelSpec& spec,
+                                      std::uint64_t seed) {
+  nn::ModulePtr model = spec.build();
+  util::Rng rng(seed);
+  model->init(rng);
+  return nn::param_gather_values(model->parameters());
+}
+
+void validate_engine_config(const char* engine_name,
+                            const TrainConfig& config) {
+  if (config.method == Method::kMSGD && config.num_workers != 1)
+    throw std::invalid_argument("MSGD is the single-node baseline (workers=1)");
+  if (config.num_workers == 0)
+    throw std::invalid_argument(std::string(engine_name) +
+                                ": num_workers == 0");
+}
+
+EngineContext::EngineContext(const char* engine_name,
+                             const nn::ModelSpec& spec,
+                             std::shared_ptr<const data::Dataset> train,
+                             std::shared_ptr<const data::Dataset> test,
+                             const TrainConfig& config)
+    : config_(config),
+      train_(std::move(train)),
+      test_(std::move(test)),
+      theta0_(config.warm_start.empty()
+                  ? initial_parameters(spec, config.seed)
+                  : config.warm_start),
+      evaluator_(spec, test_, config.eval_batch),
+      tallies_(config.num_workers),
+      train_size_(train_->size()),
+      sample_budget_(static_cast<std::uint64_t>(config.epochs) *
+                     train_->size()) {
+  validate_engine_config(engine_name, config_);
+
+  {
+    nn::ModulePtr probe = spec.build();
+    layer_sizes_ = nn::param_layer_sizes(probe->parameters());
+  }
+
+  workers_.reserve(config_.num_workers);
+  for (std::size_t k = 0; k < config_.num_workers; ++k)
+    workers_.push_back(
+        std::make_unique<Worker>(k, spec, train_, config_, theta0_));
+
+  // Compute-time jitter streams, one fork per worker (deterministic).
+  util::Rng root(config_.seed ^ 0xD15C0DE5ULL);
+  jitter_rng_.reserve(config_.num_workers);
+  for (std::size_t k = 0; k < config_.num_workers; ++k)
+    jitter_rng_.push_back(root.fork(k));
+}
+
+ParameterServer EngineContext::make_server() const {
+  ServerOptions options;
+  options.num_workers = config_.num_workers;
+  options.num_shards = config_.server_shards;
+  options.secondary_compression = config_.compression.secondary;
+  options.secondary_ratio_percent = config_.compression.secondary_ratio_percent;
+  options.min_sparsify_size = config_.compression.min_sparsify_size;
+  return ParameterServer(layer_sizes_, theta0_, options);
+}
+
+double EngineContext::compute_seconds(std::size_t k) {
+  const double jitter =
+      config_.compute.jitter_frac * (2.0 * jitter_rng_.at(k).uniform() - 1.0);
+  return config_.compute.base_seconds * config_.compute.speed_of(k) *
+         (1.0 + jitter);
+}
+
+double EngineContext::mean_tally_loss() const noexcept {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const WorkerTally& tally : tallies_) {
+    sum += tally.loss_sum;
+    count += tally.loss_count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+std::uint64_t EngineContext::total_tally_samples() const noexcept {
+  std::uint64_t samples = 0;
+  for (const WorkerTally& tally : tallies_) samples += tally.samples;
+  return samples;
+}
+
+void EngineContext::EpochTracker::advance(
+    RunResult& result, std::uint64_t samples, double time,
+    const std::function<std::vector<float>()>& model) {
+  const TrainConfig& config = context_.config_;
+  while (samples >= static_cast<std::uint64_t>(context_.train_size_) *
+                        (completed_ + 1)) {
+    ++completed_;
+    last_epoch_loss_ =
+        loss_count_ > 0 ? loss_sum_ / static_cast<double>(loss_count_) : 0.0;
+    loss_sum_ = 0.0;
+    loss_count_ = 0;
+    const bool want_eval =
+        config.record_curve && config.eval_every_epochs > 0 &&
+        (completed_ % config.eval_every_epochs == 0 ||
+         (eval_final_epoch_ && completed_ == config.epochs));
+    if (want_eval) {
+      const EvalResult eval = context_.evaluator_.evaluate(model());
+      result.curve.push_back(EpochPoint{completed_, time, last_epoch_loss_,
+                                        eval.accuracy, eval.loss});
+    }
+  }
+}
+
+void EngineContext::finalize(RunResult& result, EpochTracker& epochs,
+                             std::vector<float> final_model,
+                             double sim_seconds, double terminal_loss,
+                             bool always_append) {
+  const EvalResult final_eval = evaluator_.evaluate(final_model);
+  if (always_append || result.curve.empty() ||
+      result.curve.back().epoch != epochs.completed()) {
+    // Guarantee a terminal point even when curve recording is off or the
+    // sample count did not land exactly on an epoch boundary.
+    result.curve.push_back(EpochPoint{epochs.completed(), sim_seconds,
+                                      terminal_loss, final_eval.accuracy,
+                                      final_eval.loss});
+  }
+  result.final_model = std::move(final_model);
+  result.final_test_accuracy = final_eval.accuracy;
+  result.final_train_loss = result.curve.back().train_loss;
+  result.sim_seconds = sim_seconds;
+  for (const auto& worker : workers_)
+    result.worker_state_bytes =
+        std::max(result.worker_state_bytes, worker->optimizer_state_bytes());
+  result.wall_seconds = wall_.seconds();
+}
+
+}  // namespace dgs::core

@@ -1,0 +1,158 @@
+// Shared plumbing for the three training engines (DES, real-thread,
+// synchronous SSGD). Each engine is a *scheduling policy*: it decides when
+// compute happens, when messages move and in what order the server sees
+// them. Everything that is not scheduling — worker construction, the
+// theta0 / warm-start choice, the parameter server's options, the
+// evaluator, the compute-time jitter model, per-worker accumulators,
+// epoch-boundary evaluation and final-metrics assembly — lives here, so a
+// new engine (or a new metric) is written once instead of three times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/evaluator.h"
+#include "core/metrics.h"
+#include "core/server.h"
+#include "core/worker.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace dgs::core {
+
+/// Seed-derived initial parameters for a model spec (flattened).
+[[nodiscard]] std::vector<float> initial_parameters(const nn::ModelSpec& spec,
+                                                    std::uint64_t seed);
+
+/// Constructor-time validation shared by the engines; throws
+/// std::invalid_argument with the engine's name on bad configs.
+void validate_engine_config(const char* engine_name, const TrainConfig& config);
+
+class EngineContext {
+ public:
+  EngineContext(const char* engine_name, const nn::ModelSpec& spec,
+                std::shared_ptr<const data::Dataset> train,
+                std::shared_ptr<const data::Dataset> test,
+                const TrainConfig& config);
+
+  // ---- construction products ----------------------------------------------
+  [[nodiscard]] const TrainConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<float>& theta0() const noexcept {
+    return theta0_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& layer_sizes() const noexcept {
+    return layer_sizes_;
+  }
+  [[nodiscard]] Worker& worker(std::size_t k) { return *workers_.at(k); }
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] Evaluator& evaluator() noexcept { return evaluator_; }
+
+  /// Parameter server configured from the TrainConfig (compression knobs,
+  /// shard count). Used by the async engines; the SSGD engine aggregates
+  /// in-place instead.
+  [[nodiscard]] ParameterServer make_server() const;
+
+  // ---- schedule / budget ---------------------------------------------------
+  [[nodiscard]] std::size_t train_size() const noexcept { return train_size_; }
+  /// Global sample budget: the job collectively consumes epochs * |train|
+  /// samples; faster workers contribute more iterations.
+  [[nodiscard]] std::uint64_t sample_budget() const noexcept {
+    return sample_budget_;
+  }
+  /// Modeled per-iteration compute time for worker k: base seconds scaled
+  /// by the worker's speed with multiplicative uniform jitter (used by the
+  /// modeled-time engines; real threads take however long they take).
+  [[nodiscard]] double compute_seconds(std::size_t k);
+
+  /// Wall-clock seconds since this context was constructed.
+  [[nodiscard]] double wall_seconds() const noexcept { return wall_.seconds(); }
+
+  // ---- per-worker accumulators ---------------------------------------------
+  /// Each tally is written by exactly one worker (thread); padded so
+  /// neighboring workers don't false-share a cache line.
+  struct alignas(64) WorkerTally {
+    double loss_sum = 0.0;
+    std::uint64_t loss_count = 0;
+    std::uint64_t samples = 0;
+  };
+  [[nodiscard]] WorkerTally& tally(std::size_t k) { return tallies_.at(k); }
+  [[nodiscard]] double mean_tally_loss() const noexcept;
+  [[nodiscard]] std::uint64_t total_tally_samples() const noexcept;
+
+  // ---- epoch-boundary bookkeeping ------------------------------------------
+  /// Tracks completed global epochs and runs the evaluation cadence: every
+  /// engine advances it with the server-side sample count and a callback
+  /// producing the current global model. Not thread-safe on its own; the
+  /// concurrent engine serializes calls with its own mutex.
+  class EpochTracker {
+   public:
+    EpochTracker(EngineContext& context, bool eval_final_epoch)
+        : context_(context), eval_final_epoch_(eval_final_epoch) {}
+
+    /// Accumulate one iteration's training loss into the current epoch.
+    void add_loss(double loss) noexcept {
+      loss_sum_ += loss;
+      ++loss_count_;
+    }
+
+    /// Advance past every epoch boundary `samples` has crossed; at the
+    /// configured cadence, evaluates model() and appends a curve point at
+    /// `time`.
+    void advance(RunResult& result, std::uint64_t samples, double time,
+                 const std::function<std::vector<float>()>& model);
+
+    [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+    /// Mean training loss over the epoch currently in progress (0 when no
+    /// iterations have been recorded since the last boundary).
+    [[nodiscard]] double epoch_mean_loss() const noexcept {
+      return loss_count_ > 0
+                 ? loss_sum_ / static_cast<double>(loss_count_)
+                 : last_epoch_loss_;
+    }
+
+   private:
+    EngineContext& context_;
+    bool eval_final_epoch_;
+    std::size_t completed_ = 0;
+    double loss_sum_ = 0.0;
+    std::uint64_t loss_count_ = 0;
+    double last_epoch_loss_ = 0.0;
+  };
+
+  [[nodiscard]] EpochTracker make_epoch_tracker(bool eval_final_epoch) {
+    return EpochTracker(*this, eval_final_epoch);
+  }
+
+  // ---- final metrics -------------------------------------------------------
+  /// Common tail of every run: evaluate the final model, guarantee a
+  /// terminal curve point (always when `always_append`, otherwise only if
+  /// the curve doesn't already end at the completed epoch), and fill the
+  /// fields every engine reports the same way (final model / accuracy /
+  /// train loss, sim and wall seconds, max worker optimizer state).
+  void finalize(RunResult& result, EpochTracker& epochs,
+                std::vector<float> final_model, double sim_seconds,
+                double terminal_loss, bool always_append);
+
+ private:
+  TrainConfig config_;
+  std::shared_ptr<const data::Dataset> train_;
+  std::shared_ptr<const data::Dataset> test_;
+  util::Stopwatch wall_;
+  std::vector<float> theta0_;
+  std::vector<std::size_t> layer_sizes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  Evaluator evaluator_;
+  std::vector<WorkerTally> tallies_;
+  std::vector<util::Rng> jitter_rng_;
+  std::size_t train_size_ = 0;
+  std::uint64_t sample_budget_ = 0;
+};
+
+}  // namespace dgs::core

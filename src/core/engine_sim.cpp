@@ -4,28 +4,12 @@
 #include <stdexcept>
 #include <vector>
 
-#include "core/evaluator.h"
-#include "core/server.h"
-#include "core/worker.h"
-#include "util/rng.h"
-#include "util/stopwatch.h"
+#include "comm/transport.h"
+#include "core/engine_context.h"
 
 namespace dgs::core {
 
-std::vector<float> initial_parameters(const nn::ModelSpec& spec,
-                                      std::uint64_t seed) {
-  nn::ModulePtr model = spec.build();
-  util::Rng rng(seed);
-  model->init(rng);
-  return nn::param_gather_values(model->parameters());
-}
-
 namespace {
-
-std::vector<std::size_t> model_layer_sizes(const nn::ModelSpec& spec) {
-  nn::ModulePtr model = spec.build();
-  return nn::param_layer_sizes(model->parameters());
-}
 
 enum class EventKind : std::uint8_t {
   kComputeDone,   ///< Worker finished a forward/backward pass.
@@ -58,57 +42,18 @@ SimEngine::SimEngine(nn::ModelSpec spec,
       train_(std::move(train)),
       test_(std::move(test)),
       config_(std::move(config)) {
-  if (config_.method == Method::kMSGD && config_.num_workers != 1)
-    throw std::invalid_argument("MSGD is the single-node baseline (workers=1)");
-  if (config_.num_workers == 0)
-    throw std::invalid_argument("SimEngine: num_workers == 0");
+  validate_engine_config("SimEngine", config_);
 }
 
 RunResult SimEngine::run() {
   if (used_) throw std::logic_error("SimEngine::run: already run");
   used_ = true;
-  util::Stopwatch wall;
 
-  const std::vector<float> theta0 = config_.warm_start.empty()
-                                        ? initial_parameters(spec_, config_.seed)
-                                        : config_.warm_start;
-
-  // --- server, workers, evaluator ----------------------------------------
-  std::vector<std::unique_ptr<Worker>> workers;
-  workers.reserve(config_.num_workers);
-  for (std::size_t k = 0; k < config_.num_workers; ++k)
-    workers.push_back(std::make_unique<Worker>(k, spec_, train_, config_, theta0));
-
-  ServerOptions server_options;
-  server_options.num_workers = config_.num_workers;
-  server_options.secondary_compression = config_.compression.secondary;
-  server_options.secondary_ratio_percent =
-      config_.compression.secondary_ratio_percent;
-  server_options.min_sparsify_size = config_.compression.min_sparsify_size;
-  ParameterServer server(model_layer_sizes(spec_), theta0, server_options);
-
-  Evaluator evaluator(spec_, test_, config_.eval_batch);
-
-  // --- global sample budget and compute-time jitter ------------------------
-  // The job processes epochs * |train| samples in total; faster workers
-  // contribute more iterations (as on a real heterogeneous cluster), so a
-  // straggler does not gate the makespan the way a synchronous barrier does.
-  const std::uint64_t sample_budget =
-      static_cast<std::uint64_t>(config_.epochs) * train_->size();
-  std::uint64_t samples_scheduled = 0;
-  std::vector<util::Rng> jitter_rng;
-  jitter_rng.reserve(config_.num_workers);
-  util::Rng root(config_.seed ^ 0xD15C0DE5ULL);
-  for (std::size_t k = 0; k < config_.num_workers; ++k)
-    jitter_rng.push_back(root.fork(k));
-
-  auto compute_seconds = [&](std::size_t k) {
-    const double jitter =
-        config_.compute.jitter_frac *
-        (2.0 * jitter_rng[k].uniform() - 1.0);
-    return config_.compute.base_seconds * config_.compute.speed_of(k) *
-           (1.0 + jitter);
-  };
+  EngineContext context("SimEngine", spec_, train_, test_, config_);
+  ParameterServer server = context.make_server();
+  comm::SimTransport transport(config_.network);
+  auto epochs = context.make_epoch_tracker(/*eval_final_epoch=*/true);
+  const auto server_model = [&server] { return server.global_model_flat(); };
 
   // --- event queue ---------------------------------------------------------
   std::priority_queue<Event, std::vector<Event>, EventLater> queue;
@@ -118,46 +63,15 @@ RunResult SimEngine::run() {
     queue.push(Event{time, seq++, kind, worker, std::move(msg)});
   };
   for (std::size_t k = 0; k < config_.num_workers; ++k)
-    push_event(compute_seconds(k), EventKind::kComputeDone, k);
-
-  comm::SharedLink up_link;    // all pushes share the server NIC (ingress)
-  comm::SharedLink down_link;  // all replies share the server NIC (egress)
-
-  // --- epoch bookkeeping ---------------------------------------------------
-  RunResult result;
-  double up_density_sum = 0.0;
-  const std::size_t train_size = train_->size();
-  std::uint64_t samples_at_server = 0;
-  std::size_t completed_epochs = 0;
-  double epoch_loss_sum = 0.0;
-  std::uint64_t epoch_loss_count = 0;
-  double last_epoch_loss = 0.0;
-  double now = 0.0;
-
-  auto maybe_eval_epoch = [&](double time) {
-    while (samples_at_server >=
-           static_cast<std::uint64_t>(train_size) * (completed_epochs + 1)) {
-      ++completed_epochs;
-      last_epoch_loss =
-          epoch_loss_count > 0
-              ? epoch_loss_sum / static_cast<double>(epoch_loss_count)
-              : 0.0;
-      epoch_loss_sum = 0.0;
-      epoch_loss_count = 0;
-      const bool want_eval =
-          config_.record_curve && config_.eval_every_epochs > 0 &&
-          (completed_epochs % config_.eval_every_epochs == 0 ||
-           completed_epochs == config_.epochs);
-      if (want_eval) {
-        const EvalResult eval = evaluator.evaluate(server.global_model_flat());
-        result.curve.push_back(EpochPoint{completed_epochs, time,
-                                          last_epoch_loss, eval.accuracy,
-                                          eval.loss});
-      }
-    }
-  };
+    push_event(context.compute_seconds(k), EventKind::kComputeDone, k);
 
   // --- main loop ------------------------------------------------------------
+  RunResult result;
+  double up_density_sum = 0.0;
+  std::uint64_t samples_scheduled = 0;
+  std::uint64_t samples_at_server = 0;
+  double now = 0.0;
+
   while (!queue.empty()) {
     Event event = std::move(const_cast<Event&>(queue.top()));
     queue.pop();
@@ -165,20 +79,15 @@ RunResult SimEngine::run() {
 
     switch (event.kind) {
       case EventKind::kComputeDone: {
-        Worker& w = *workers[event.worker];
+        Worker& w = context.worker(event.worker);
         const std::size_t schedule_epoch =
-            static_cast<std::size_t>(samples_at_server / train_size);
+            static_cast<std::size_t>(samples_at_server / context.train_size());
         IterationResult iter = w.compute_and_pack(
             static_cast<float>(config_.lr_at_epoch(schedule_epoch)),
             schedule_epoch);
-        epoch_loss_sum += iter.loss;
-        ++epoch_loss_count;
+        epochs.add_loss(iter.loss);
         up_density_sum += iter.update_density;
-        result.bytes.count_up(iter.push.wire_size());
-        const double arrive =
-            up_link.begin(now, config_.network.serialization_seconds(
-                                   iter.push.wire_size())) +
-            config_.network.latency_s;
+        const double arrive = transport.send_push(now, iter.push);
         push_event(arrive, EventKind::kPushArrived, event.worker,
                    std::move(iter.push));
         samples_at_server += iter.batch;  // accounted on compute completion
@@ -186,23 +95,19 @@ RunResult SimEngine::run() {
         break;
       }
       case EventKind::kPushArrived: {
-        comm::Message reply = server.handle_push(event.msg);
-        result.staleness.record(server.last_staleness());
-        result.bytes.count_down(reply.wire_size());
-        const double arrive =
-            down_link.begin(now, config_.network.serialization_seconds(
-                                     reply.wire_size())) +
-            config_.network.latency_s;
+        std::uint64_t staleness = 0;
+        comm::Message reply = server.handle_push(event.msg, &staleness);
+        result.staleness.record(staleness);
+        const double arrive = transport.send_reply(now, reply);
         push_event(arrive, EventKind::kReplyArrived, event.worker,
                    std::move(reply));
-        maybe_eval_epoch(now);
+        epochs.advance(result, samples_at_server, now, server_model);
         break;
       }
       case EventKind::kReplyArrived: {
-        Worker& w = *workers[event.worker];
-        w.apply_model_diff(event.msg);
-        if (samples_scheduled < sample_budget)
-          push_event(now + compute_seconds(event.worker),
+        context.worker(event.worker).apply_model_diff(event.msg);
+        if (samples_scheduled < context.sample_budget())
+          push_event(now + context.compute_seconds(event.worker),
                      EventKind::kComputeDone, event.worker);
         break;
       }
@@ -210,19 +115,7 @@ RunResult SimEngine::run() {
   }
 
   // --- final metrics ---------------------------------------------------------
-  const EvalResult final_eval = evaluator.evaluate(server.global_model_flat());
-  if (result.curve.empty() || result.curve.back().epoch != completed_epochs ||
-      !config_.record_curve) {
-    // Guarantee a terminal point even when curve recording is off or the
-    // sample count did not land exactly on an epoch boundary.
-    result.curve.push_back(EpochPoint{completed_epochs, now,
-                                      epoch_loss_count > 0
-                                          ? epoch_loss_sum /
-                                                static_cast<double>(epoch_loss_count)
-                                          : last_epoch_loss,
-                                      final_eval.accuracy, final_eval.loss});
-  }
-  result.final_model = server.global_model_flat();
+  result.bytes = transport.bytes();
   if (result.bytes.upward_messages > 0)
     result.mean_upward_density =
         up_density_sum / static_cast<double>(result.bytes.upward_messages);
@@ -230,16 +123,11 @@ RunResult SimEngine::run() {
     result.mean_downward_density =
         static_cast<double>(server.total_reply_nnz()) /
         static_cast<double>(server.total_reply_dense());
-  result.final_test_accuracy = final_eval.accuracy;
-  result.final_train_loss = result.curve.back().train_loss;
-  result.sim_seconds = now;
   result.server_steps = server.step();
   result.samples_processed = samples_at_server;
   result.server_state_bytes = server.state_bytes();
-  for (const auto& w : workers)
-    result.worker_state_bytes =
-        std::max(result.worker_state_bytes, w->optimizer_state_bytes());
-  result.wall_seconds = wall.seconds();
+  context.finalize(result, epochs, server.global_model_flat(), now,
+                   epochs.epoch_mean_loss(), /*always_append=*/false);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "core/config.h"
+#include "core/engine_context.h"  // IWYU pragma: export — initial_parameters
 #include "core/metrics.h"
 #include "data/synthetic.h"
 #include "nn/model.h"
@@ -37,10 +38,5 @@ class SimEngine {
   TrainConfig config_;
   bool used_ = false;
 };
-
-/// Build theta_0 for a spec deterministically from a seed (the same initial
-/// model all replicas start from).
-[[nodiscard]] std::vector<float> initial_parameters(const nn::ModelSpec& spec,
-                                                    std::uint64_t seed);
 
 }  // namespace dgs::core

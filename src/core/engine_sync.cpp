@@ -3,24 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/engine_sim.h"
-#include "core/evaluator.h"
+#include "comm/transport.h"
+#include "core/engine_context.h"
 #include "core/payload.h"
-#include "core/worker.h"
 #include "util/math_kernels.h"
-#include "util/rng.h"
-#include "util/stopwatch.h"
 
 namespace dgs::core {
-
-namespace {
-
-std::vector<std::size_t> model_layer_sizes(const nn::ModelSpec& spec) {
-  nn::ModulePtr model = spec.build();
-  return nn::param_layer_sizes(model->parameters());
-}
-
-}  // namespace
 
 SyncEngine::SyncEngine(nn::ModelSpec spec,
                        std::shared_ptr<const data::Dataset> train,
@@ -30,31 +18,21 @@ SyncEngine::SyncEngine(nn::ModelSpec spec,
       train_(std::move(train)),
       test_(std::move(test)),
       config_(std::move(config)) {
-  if (config_.num_workers == 0)
-    throw std::invalid_argument("SyncEngine: num_workers == 0");
-  if (config_.method == Method::kMSGD && config_.num_workers != 1)
-    throw std::invalid_argument("MSGD is the single-node baseline (workers=1)");
+  validate_engine_config("SyncEngine", config_);
 }
 
 RunResult SyncEngine::run() {
   if (used_) throw std::logic_error("SyncEngine::run: already run");
   used_ = true;
-  util::Stopwatch wall;
 
-  const std::vector<float> theta0 = config_.warm_start.empty()
-                                        ? initial_parameters(spec_, config_.seed)
-                                        : config_.warm_start;
-  const std::vector<std::size_t> sizes = model_layer_sizes(spec_);
+  EngineContext context("SyncEngine", spec_, train_, test_, config_);
+  comm::SimTransport transport(config_.network);
+  auto epochs = context.make_epoch_tracker(/*eval_final_epoch=*/false);
 
-  std::vector<std::unique_ptr<Worker>> workers;
-  workers.reserve(config_.num_workers);
-  for (std::size_t k = 0; k < config_.num_workers; ++k)
-    workers.push_back(std::make_unique<Worker>(k, spec_, train_, config_, theta0));
-
-  Evaluator evaluator(spec_, test_, config_.eval_batch);
-
-  // Global model as theta0 + layered accumulation (mirrors the PS).
-  LayeredVec accumulated = make_layered(sizes);
+  // Global model as theta0 + layered accumulation (mirrors the PS, but the
+  // SSGD server is a plain averaging aggregator — no per-worker v_k state).
+  const std::vector<float>& theta0 = context.theta0();
+  LayeredVec accumulated = make_layered(context.layer_sizes());
   std::vector<float> theta = theta0;
   auto refresh_theta = [&] {
     theta = theta0;
@@ -66,51 +44,29 @@ RunResult SyncEngine::run() {
     }
   };
 
-  // Compute-time jitter, identical model to the DES engine.
-  util::Rng root(config_.seed ^ 0xD15C0DE5ULL);
-  std::vector<util::Rng> jitter_rng;
-  for (std::size_t k = 0; k < config_.num_workers; ++k)
-    jitter_rng.push_back(root.fork(k));
-  auto compute_seconds = [&](std::size_t k) {
-    const double jitter =
-        config_.compute.jitter_frac * (2.0 * jitter_rng[k].uniform() - 1.0);
-    return config_.compute.base_seconds * config_.compute.speed_of(k) *
-           (1.0 + jitter);
-  };
-
   RunResult result;
-  const std::size_t train_size = train_->size();
-  const std::uint64_t sample_budget =
-      static_cast<std::uint64_t>(config_.epochs) * train_size;
+  const std::uint64_t sample_budget = context.sample_budget();
   const float inv_n = 1.0f / static_cast<float>(config_.num_workers);
 
-  comm::SharedLink up_link, down_link;
   double now = 0.0;
   std::uint64_t samples = 0;
-  std::size_t completed_epochs = 0;
-  double epoch_loss_sum = 0.0;
-  std::uint64_t epoch_loss_count = 0;
 
   while (samples < sample_budget) {
     // 1. All workers compute on the identical global model; the barrier
     //    waits for the slowest upload.
     double round_end = now;
     const std::size_t schedule_epoch =
-        static_cast<std::size_t>(samples / train_size);
-    for (auto& worker : workers) {
-      IterationResult iter = worker->compute_and_pack(
+        static_cast<std::size_t>(samples / context.train_size());
+    for (std::size_t k = 0; k < context.num_workers(); ++k) {
+      Worker& worker = context.worker(k);
+      IterationResult iter = worker.compute_and_pack(
           static_cast<float>(config_.lr_at_epoch(schedule_epoch)),
           schedule_epoch);
-      epoch_loss_sum += iter.loss;
-      ++epoch_loss_count;
+      epochs.add_loss(iter.loss);
       samples += iter.batch;
-      result.bytes.count_up(iter.push.wire_size());
-      const double compute_done = now + compute_seconds(worker->id());
-      const double arrived =
-          up_link.begin(compute_done, config_.network.serialization_seconds(
-                                          iter.push.wire_size())) +
-          config_.network.latency_s;
-      round_end = std::max(round_end, arrived);
+      const double compute_done = now + context.compute_seconds(k);
+      round_end = std::max(round_end, transport.send_push(compute_done,
+                                                          iter.push));
       // 2. Server accumulates the average update: M -= (1/N) g_k.
       apply_update_payload(iter.push.payload, accumulated, -inv_n);
     }
@@ -120,53 +76,26 @@ RunResult SyncEngine::run() {
     const std::size_t broadcast_bytes =
         theta.size() * sizeof(float) + comm::kMessageHeaderBytes;
     double broadcast_end = round_end;
-    for (auto& worker : workers) {
-      const double arrived =
-          down_link.begin(round_end, config_.network.serialization_seconds(
-                                         broadcast_bytes)) +
-          config_.network.latency_s;
-      result.bytes.count_down(broadcast_bytes);
-      broadcast_end = std::max(broadcast_end, arrived);
-      worker->set_model(theta);
+    for (std::size_t k = 0; k < context.num_workers(); ++k) {
+      broadcast_end = std::max(
+          broadcast_end, transport.send_reply_bytes(round_end,
+                                                    broadcast_bytes));
+      context.worker(k).set_model(theta);
     }
     now = broadcast_end;
     ++result.server_steps;
 
     // Epoch bookkeeping on the same sample-counting rule as the async
     // engines.
-    while (samples >=
-           static_cast<std::uint64_t>(train_size) * (completed_epochs + 1)) {
-      ++completed_epochs;
-      const double loss =
-          epoch_loss_count > 0
-              ? epoch_loss_sum / static_cast<double>(epoch_loss_count)
-              : 0.0;
-      epoch_loss_sum = 0.0;
-      epoch_loss_count = 0;
-      if (config_.record_curve && config_.eval_every_epochs > 0 &&
-          completed_epochs % config_.eval_every_epochs == 0) {
-        const EvalResult eval = evaluator.evaluate(theta);
-        result.curve.push_back(
-            EpochPoint{completed_epochs, now, loss, eval.accuracy, eval.loss});
-      }
-    }
+    epochs.advance(result, samples, now, [&] { return theta; });
   }
 
   refresh_theta();
-  const EvalResult final_eval = evaluator.evaluate(theta);
-  if (result.curve.empty() || result.curve.back().epoch != completed_epochs)
-    result.curve.push_back(EpochPoint{completed_epochs, now, 0.0,
-                                      final_eval.accuracy, final_eval.loss});
-  result.final_model = theta;
-  result.final_test_accuracy = final_eval.accuracy;
-  result.final_train_loss = result.curve.back().train_loss;
-  result.sim_seconds = now;
+  result.bytes = transport.bytes();
   result.samples_processed = samples;
-  for (const auto& worker : workers)
-    result.worker_state_bytes =
-        std::max(result.worker_state_bytes, worker->optimizer_state_bytes());
   result.server_state_bytes = theta0.size() * sizeof(float) * 2;
-  result.wall_seconds = wall.seconds();
+  context.finalize(result, epochs, theta, now, /*terminal_loss=*/0.0,
+                   /*always_append=*/false);
   return result;
 }
 

@@ -1,27 +1,15 @@
 #include "core/engine_thread.h"
 
 #include <atomic>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
-#include "comm/channel.h"
-#include "core/engine_sim.h"
-#include "core/evaluator.h"
-#include "core/server.h"
-#include "core/worker.h"
-#include "util/stopwatch.h"
+#include "comm/transport.h"
+#include "core/engine_context.h"
 
 namespace dgs::core {
-
-namespace {
-
-std::vector<std::size_t> model_layer_sizes(const nn::ModelSpec& spec) {
-  nn::ModulePtr model = spec.build();
-  return nn::param_layer_sizes(model->parameters());
-}
-
-}  // namespace
 
 ThreadEngine::ThreadEngine(nn::ModelSpec spec,
                            std::shared_ptr<const data::Dataset> train,
@@ -31,142 +19,118 @@ ThreadEngine::ThreadEngine(nn::ModelSpec spec,
       train_(std::move(train)),
       test_(std::move(test)),
       config_(std::move(config)) {
-  if (config_.method == Method::kMSGD && config_.num_workers != 1)
-    throw std::invalid_argument("MSGD is the single-node baseline (workers=1)");
-  if (config_.num_workers == 0)
-    throw std::invalid_argument("ThreadEngine: num_workers == 0");
+  validate_engine_config("ThreadEngine", config_);
 }
 
 RunResult ThreadEngine::run() {
   if (used_) throw std::logic_error("ThreadEngine::run: already run");
   used_ = true;
-  util::Stopwatch wall;
 
-  const std::vector<float> theta0 = config_.warm_start.empty()
-                                        ? initial_parameters(spec_, config_.seed)
-                                        : config_.warm_start;
+  EngineContext context("ThreadEngine", spec_, train_, test_, config_);
+  ParameterServer server = context.make_server();
+  comm::ThreadTransport transport(config_.num_workers,
+                                  config_.server_inbox_capacity);
 
-  std::vector<std::unique_ptr<Worker>> workers;
-  workers.reserve(config_.num_workers);
-  for (std::size_t k = 0; k < config_.num_workers; ++k)
-    workers.push_back(std::make_unique<Worker>(k, spec_, train_, config_, theta0));
-
-  ServerOptions server_options;
-  server_options.num_workers = config_.num_workers;
-  server_options.secondary_compression = config_.compression.secondary;
-  server_options.secondary_ratio_percent =
-      config_.compression.secondary_ratio_percent;
-  server_options.min_sparsify_size = config_.compression.min_sparsify_size;
-  ParameterServer server(model_layer_sizes(spec_), theta0, server_options);
-  Evaluator evaluator(spec_, test_, config_.eval_batch);
-
-  comm::Channel<comm::Message> server_inbox;
-  std::vector<std::unique_ptr<comm::Channel<comm::Message>>> worker_inbox;
-  for (std::size_t k = 0; k < config_.num_workers; ++k)
-    worker_inbox.push_back(std::make_unique<comm::Channel<comm::Message>>());
-
-  // Per-worker accumulators (each written by exactly one thread).
-  std::vector<std::uint64_t> up_bytes(config_.num_workers, 0);
-  std::vector<std::uint64_t> up_msgs(config_.num_workers, 0);
-  std::vector<double> loss_sum(config_.num_workers, 0.0);
-  std::vector<std::uint64_t> loss_count(config_.num_workers, 0);
-  std::vector<std::uint64_t> samples(config_.num_workers, 0);
-
-  // Global sample budget (see engine_sim.cpp): workers race until the
+  // Global sample budget (see engine_context.h): workers race until the
   // collective budget is consumed, so fast workers contribute more updates.
-  const std::uint64_t sample_budget =
-      static_cast<std::uint64_t>(config_.epochs) * train_->size();
+  const std::uint64_t sample_budget = context.sample_budget();
+  const std::size_t train_size = context.train_size();
   std::atomic<std::uint64_t> samples_claimed{0};
+  std::atomic<std::uint64_t> samples_at_server{0};
   std::atomic<std::size_t> global_epoch{0};
 
   // ---- worker threads ------------------------------------------------------
-  std::vector<std::thread> threads;
-  threads.reserve(config_.num_workers);
+  std::vector<std::thread> worker_threads;
+  worker_threads.reserve(config_.num_workers);
   for (std::size_t k = 0; k < config_.num_workers; ++k) {
-    threads.emplace_back([&, k] {
-      Worker& w = *workers[k];
+    worker_threads.emplace_back([&, k] {
+      Worker& w = context.worker(k);
+      EngineContext::WorkerTally& tally = context.tally(k);
       while (true) {
         // Claim a batch from the global budget before computing it.
         const std::uint64_t claimed = samples_claimed.fetch_add(
             config_.batch_size, std::memory_order_relaxed);
         if (claimed >= sample_budget) return;
-        const std::size_t epoch =
-            global_epoch.load(std::memory_order_relaxed);
+        const std::size_t epoch = global_epoch.load(std::memory_order_relaxed);
         IterationResult iter = w.compute_and_pack(
             static_cast<float>(config_.lr_at_epoch(epoch)), epoch);
-        loss_sum[k] += iter.loss;
-        ++loss_count[k];
-        samples[k] += iter.batch;
-        up_bytes[k] += iter.push.wire_size();
-        ++up_msgs[k];
-        if (!server_inbox.send(std::move(iter.push))) return;
-        auto reply = worker_inbox[k]->receive();
-        if (!reply) return;  // server shut down
+        tally.loss_sum += iter.loss;
+        ++tally.loss_count;
+        tally.samples += iter.batch;
+        if (!transport.send_push(std::move(iter.push))) return;
+        const auto reply = transport.receive_reply(k);
+        if (!reply || reply->kind == comm::MessageKind::kShutdown)
+          return;  // server exhausted the budget and broadcast the stop
         w.apply_model_diff(*reply);
       }
     });
   }
 
-  // ---- server loop (this thread) -------------------------------------------
+  // ---- server thread pool --------------------------------------------------
+  // `server_threads` threads drain the shared inbox concurrently; the
+  // sharded server (see server.h) lets pushes overlap except where they
+  // touch the same shard. Epoch bookkeeping and the learning curve are
+  // serialized under one mutex; staleness is striped per thread and merged
+  // at the end. The thread that crosses the sample budget broadcasts
+  // kShutdown and closes the transport, which drains both the remaining
+  // server threads (closed inbox) and any workers still blocked on a reply.
   RunResult result;
-  const std::size_t train_size = train_->size();
-  std::uint64_t samples_at_server = 0;
-  std::size_t completed_epochs = 0;
+  auto epochs = context.make_epoch_tracker(/*eval_final_epoch=*/false);
+  std::mutex epoch_mutex;   // guards `epochs` + result.curve
+  std::mutex merge_mutex;   // guards result.staleness
+  const auto server_model = [&server] { return server.global_model_flat(); };
 
-  while (samples_at_server < sample_budget) {
-    auto push = server_inbox.receive();
-    if (!push) break;
-    samples_at_server += config_.batch_size;
-    global_epoch.store(samples_at_server / train_size,
-                       std::memory_order_relaxed);
-    comm::Message reply = server.handle_push(*push);
-    result.staleness.record(server.last_staleness());
-    result.bytes.count_down(reply.wire_size());
-    const auto worker = static_cast<std::size_t>(reply.worker_id);
-    worker_inbox[worker]->send(std::move(reply));
+  const std::size_t pool_size =
+      config_.server_threads > 0 ? config_.server_threads : 1;
+  auto serve = [&] {
+    StalenessStats staleness_stripe;
+    while (true) {
+      auto push = transport.receive_push();
+      if (!push) break;
+      const std::uint64_t total =
+          samples_at_server.fetch_add(config_.batch_size,
+                                      std::memory_order_relaxed) +
+          config_.batch_size;
+      global_epoch.store(total / train_size, std::memory_order_relaxed);
 
-    // Epoch-boundary evaluation mirrors the DES engine.
-    while (samples_at_server >=
-           static_cast<std::uint64_t>(train_size) * (completed_epochs + 1)) {
-      ++completed_epochs;
-      if (config_.record_curve && config_.eval_every_epochs > 0 &&
-          completed_epochs % config_.eval_every_epochs == 0) {
-        const EvalResult eval = evaluator.evaluate(server.global_model_flat());
-        result.curve.push_back(EpochPoint{completed_epochs, wall.seconds(), 0.0,
-                                          eval.accuracy, eval.loss});
+      std::uint64_t staleness = 0;
+      comm::Message reply = server.handle_push(*push, &staleness);
+      staleness_stripe.record(staleness);
+      const auto worker = static_cast<std::size_t>(reply.worker_id);
+      transport.send_reply(worker, std::move(reply));
+
+      {
+        // Epoch-boundary evaluation mirrors the DES engine. Evaluating
+        // while other server threads keep applying pushes is safe: the
+        // model snapshot locks each shard in turn.
+        std::lock_guard lock(epoch_mutex);
+        epochs.advance(result, total, context.wall_seconds(), server_model);
+      }
+      if (total >= sample_budget) {
+        transport.shutdown();
+        break;
       }
     }
-  }
+    std::lock_guard lock(merge_mutex);
+    result.staleness.merge(staleness_stripe);
+  };
 
-  server_inbox.close();
-  for (auto& inbox : worker_inbox) inbox->close();
-  for (auto& t : threads) t.join();
+  std::vector<std::thread> server_pool;
+  server_pool.reserve(pool_size);
+  for (std::size_t t = 0; t < pool_size; ++t) server_pool.emplace_back(serve);
+  for (auto& t : server_pool) t.join();
+  transport.shutdown();  // budget may be unreachable if workers quit first
+  for (auto& t : worker_threads) t.join();
 
   // ---- final metrics ---------------------------------------------------------
-  const EvalResult final_eval = evaluator.evaluate(server.global_model_flat());
-  double total_loss = 0.0;
-  std::uint64_t total_loss_count = 0;
-  for (std::size_t k = 0; k < config_.num_workers; ++k) {
-    result.bytes.upward_bytes += up_bytes[k];
-    result.bytes.upward_messages += up_msgs[k];
-    result.samples_processed += samples[k];
-    total_loss += loss_sum[k];
-    total_loss_count += loss_count[k];
-    result.worker_state_bytes =
-        std::max(result.worker_state_bytes, workers[k]->optimizer_state_bytes());
-  }
-  result.final_model = server.global_model_flat();
-  result.final_test_accuracy = final_eval.accuracy;
-  result.final_train_loss =
-      total_loss_count > 0 ? total_loss / static_cast<double>(total_loss_count)
-                           : 0.0;
-  result.wall_seconds = wall.seconds();
-  result.sim_seconds = result.wall_seconds;
+  result.bytes = transport.bytes();
+  result.samples_processed = context.total_tally_samples();
   result.server_steps = server.step();
   result.server_state_bytes = server.state_bytes();
-  result.curve.push_back(EpochPoint{completed_epochs, result.wall_seconds,
-                                    result.final_train_loss,
-                                    final_eval.accuracy, final_eval.loss});
+  context.finalize(result, epochs, server.global_model_flat(),
+                   context.wall_seconds(), context.mean_tally_loss(),
+                   /*always_append=*/true);
+  result.sim_seconds = result.wall_seconds;
   return result;
 }
 

@@ -28,6 +28,17 @@ struct StalenessStats {
     ++count;
     if (staleness > max) max = staleness;
   }
+
+  /// Fold another accumulator in (used to merge the per-server-thread
+  /// stripes of the concurrent ThreadEngine).
+  void merge(const StalenessStats& other) noexcept {
+    if (other.count == 0) return;
+    mean = (mean * static_cast<double>(count) +
+            other.mean * static_cast<double>(other.count)) /
+           static_cast<double>(count + other.count);
+    count += other.count;
+    if (other.max > max) max = other.max;
+  }
 };
 
 struct RunResult {

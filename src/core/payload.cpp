@@ -1,6 +1,7 @@
 #include "core/payload.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "sparse/quantize.h"
 #include "util/math_kernels.h"
@@ -14,46 +15,70 @@ void check_layer(std::size_t layer, std::size_t dense, const LayeredVec& target)
     throw std::runtime_error("apply_update_payload: layer shape mismatch");
 }
 
+DecodedLayer from_chunk(sparse::LayerChunk chunk) {
+  DecodedLayer segment;
+  segment.sparse = true;
+  segment.chunk = std::move(chunk);
+  return segment;
+}
+
+DecodedLayer from_dense(std::uint32_t layer, std::vector<float> values) {
+  DecodedLayer segment;
+  segment.sparse = false;
+  segment.chunk.layer = layer;
+  segment.chunk.dense_size = static_cast<std::uint32_t>(values.size());
+  segment.dense = std::move(values);
+  return segment;
+}
+
 }  // namespace
+
+DecodedUpdate decode_update(const sparse::Bytes& payload) {
+  DecodedUpdate update;
+  if (sparse::is_ternary_payload(payload)) {
+    sparse::TernaryUpdate ternary = sparse::decode_ternary(payload);
+    update.reserve(ternary.layers.size());
+    for (const auto& tl : ternary.layers)
+      update.push_back(from_dense(tl.layer, sparse::ternary_dequantize(tl)));
+    return update;
+  }
+  if (sparse::is_sparse_ternary_payload(payload)) {
+    sparse::SparseUpdate chunks = sparse::decode_sparse_ternary(payload);
+    update.reserve(chunks.layers.size());
+    for (auto& chunk : chunks.layers)
+      update.push_back(from_chunk(std::move(chunk)));
+    return update;
+  }
+  if (sparse::is_sparse_payload(payload)) {
+    sparse::SparseUpdate chunks = sparse::decode(payload);
+    update.reserve(chunks.layers.size());
+    for (auto& chunk : chunks.layers)
+      update.push_back(from_chunk(std::move(chunk)));
+    return update;
+  }
+  sparse::DenseUpdate dense = sparse::decode_dense(payload);
+  update.reserve(dense.layers.size());
+  for (auto& l : dense.layers)
+    update.push_back(from_dense(l.layer, std::move(l.values)));
+  return update;
+}
+
+void apply_decoded_layer(const DecodedLayer& segment, LayeredVec& target,
+                         float scale) {
+  check_layer(segment.layer(), segment.dense_size(), target);
+  auto& layer = target[segment.layer()];
+  if (segment.sparse) {
+    sparse::scatter_add(segment.chunk, scale, {layer.data(), layer.size()});
+  } else {
+    util::axpy(scale, {segment.dense.data(), segment.dense.size()},
+               {layer.data(), layer.size()});
+  }
+}
 
 void apply_update_payload(const sparse::Bytes& payload, LayeredVec& target,
                           float scale) {
-  if (sparse::is_ternary_payload(payload)) {
-    const sparse::TernaryUpdate update = sparse::decode_ternary(payload);
-    for (const auto& tl : update.layers) {
-      check_layer(tl.layer, tl.dense_size, target);
-      const std::vector<float> dense = sparse::ternary_dequantize(tl);
-      auto& layer = target[tl.layer];
-      util::axpy(scale, {dense.data(), dense.size()},
-                 {layer.data(), layer.size()});
-    }
-    return;
-  }
-  if (sparse::is_sparse_ternary_payload(payload)) {
-    const sparse::SparseUpdate update = sparse::decode_sparse_ternary(payload);
-    for (const auto& chunk : update.layers) {
-      check_layer(chunk.layer, chunk.dense_size, target);
-      auto& layer = target[chunk.layer];
-      sparse::scatter_add(chunk, scale, {layer.data(), layer.size()});
-    }
-    return;
-  }
-  if (sparse::is_sparse_payload(payload)) {
-    const sparse::SparseUpdate update = sparse::decode(payload);
-    for (const auto& chunk : update.layers) {
-      check_layer(chunk.layer, chunk.dense_size, target);
-      auto& layer = target[chunk.layer];
-      sparse::scatter_add(chunk, scale, {layer.data(), layer.size()});
-    }
-    return;
-  }
-  const sparse::DenseUpdate update = sparse::decode_dense(payload);
-  for (const auto& l : update.layers) {
-    check_layer(l.layer, l.values.size(), target);
-    auto& layer = target[l.layer];
-    util::axpy(scale, {l.values.data(), l.values.size()},
-               {layer.data(), layer.size()});
-  }
+  for (const DecodedLayer& segment : decode_update(payload))
+    apply_decoded_layer(segment, target, scale);
 }
 
 }  // namespace dgs::core

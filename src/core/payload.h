@@ -1,15 +1,48 @@
 // Decoding and applying wire payloads onto layered state. Shared by the
 // parameter server (async engines) and the synchronous SSGD engine.
+//
+// The sharded server decodes each payload exactly once (decode_update) and
+// then dispatches per-layer segments to shards; apply_update_payload is the
+// one-shot convenience combining decode + apply for the unsharded paths.
 #pragma once
+
+#include <vector>
 
 #include "core/layered.h"
 #include "sparse/codec.h"
 
 namespace dgs::core {
 
-/// Apply an encoded update payload (COO sparse, dense, ternary or
-/// sparse-ternary) onto layered state: target[layer] += scale * update.
-/// Throws on shape mismatch or unknown format.
+/// One decoded per-layer segment of an update payload, normalized across
+/// all wire formats. Sparse formats (COO, sparse-ternary) keep their
+/// index/value chunk; dense formats (dense, ternary) are dequantized into
+/// `dense`. `chunk.layer` / `chunk.dense_size` describe the segment in both
+/// cases.
+struct DecodedLayer {
+  bool sparse = true;
+  sparse::LayerChunk chunk;  ///< Sparse content; layer/dense_size always set.
+  std::vector<float> dense;  ///< Dense values when !sparse.
+
+  [[nodiscard]] std::uint32_t layer() const noexcept { return chunk.layer; }
+  [[nodiscard]] std::uint32_t dense_size() const noexcept {
+    return chunk.dense_size;
+  }
+};
+
+using DecodedUpdate = std::vector<DecodedLayer>;
+
+/// Decode an encoded update payload (COO sparse, dense, ternary or
+/// sparse-ternary) into per-layer segments. Throws on unknown format.
+[[nodiscard]] DecodedUpdate decode_update(const sparse::Bytes& payload);
+
+/// Apply one decoded segment: target[layer] += scale * segment.
+/// Throws on shape mismatch.
+void apply_decoded_layer(const DecodedLayer& segment, LayeredVec& target,
+                         float scale);
+
+/// Apply an encoded update payload onto layered state:
+/// target[layer] += scale * update. Throws on shape mismatch or unknown
+/// format. Equivalent to decode_update + apply_decoded_layer per segment.
 void apply_update_payload(const sparse::Bytes& payload, LayeredVec& target,
                           float scale);
 

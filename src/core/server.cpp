@@ -1,10 +1,9 @@
 #include "core/server.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/payload.h"
-#include "sparse/topk.h"
-#include "util/math_kernels.h"
 
 namespace dgs::core {
 
@@ -13,112 +12,131 @@ ParameterServer::ParameterServer(std::vector<std::size_t> layer_sizes,
                                  ServerOptions options)
     : layer_sizes_(std::move(layer_sizes)),
       theta0_(std::move(theta0_flat)),
-      m_(make_layered(layer_sizes_)),
-      options_(options) {
+      options_(options),
+      prev_(options.num_workers) {
   if (options_.num_workers == 0)
     throw std::invalid_argument("server: num_workers == 0");
-  std::size_t total = 0;
-  for (std::size_t s : layer_sizes_) total += s;
-  if (theta0_.size() != total)
+  layer_offsets_.reserve(layer_sizes_.size());
+  for (std::size_t s : layer_sizes_) {
+    layer_offsets_.push_back(total_numel_);
+    total_numel_ += s;
+  }
+  if (theta0_.size() != total_numel_)
     throw std::invalid_argument("server: theta0 size mismatch");
-  v_.reserve(options_.num_workers);
-  for (std::size_t k = 0; k < options_.num_workers; ++k)
-    v_.push_back(make_layered(layer_sizes_));
-  prev_.assign(options_.num_workers, 0);
+
+  reply_policy_.secondary_compression = options_.secondary_compression;
+  reply_policy_.secondary_ratio_percent = options_.secondary_ratio_percent;
+  reply_policy_.min_sparsify_size = options_.min_sparsify_size;
+
+  const std::vector<std::size_t> firsts =
+      shard_partition(layer_sizes_, options_.num_shards);
+  shards_.reserve(firsts.size());
+  for (std::size_t s = 0; s < firsts.size(); ++s) {
+    const std::size_t first = firsts[s];
+    const std::size_t end =
+        s + 1 < firsts.size() ? firsts[s + 1] : layer_sizes_.size();
+    shards_.push_back(std::make_unique<ServerShard>(
+        first,
+        std::vector<std::size_t>(layer_sizes_.begin() +
+                                     static_cast<std::ptrdiff_t>(first),
+                                 layer_sizes_.begin() +
+                                     static_cast<std::ptrdiff_t>(end)),
+        options_.num_workers));
+  }
 }
 
-void ParameterServer::apply_update_to_m(const sparse::Bytes& payload) {
-  // M_{t+1} = M_t - g (Eq. 1; g is a descent step, see optimizer.h).
-  apply_update_payload(payload, m_, -1.0f);
-}
+comm::Message ParameterServer::handle_push(const comm::Message& push,
+                                           std::uint64_t* staleness_out) {
+  if (push.kind != comm::MessageKind::kGradientPush)
+    throw std::invalid_argument("server: expected gradient push");
+  const auto worker = static_cast<std::size_t>(push.worker_id);
+  if (push.worker_id < 0 || worker >= options_.num_workers)
+    throw std::invalid_argument("server: bad worker id");
 
-comm::Message ParameterServer::build_reply(std::size_t worker) {
-  auto& vk = v_[worker];
-
-  // G_{k,t+1} = M_{t+1} - v_k, per layer (Eq. 3 / 6a).
-  sparse::SparseUpdate g;
-  g.layers.resize(layer_sizes_.size());
-  std::vector<float> diff;
-  std::size_t sparse_nnz = 0;
-  for (std::size_t j = 0; j < layer_sizes_.size(); ++j) {
-    diff.resize(layer_sizes_[j]);
-    util::sub({m_[j].data(), m_[j].size()}, {vk[j].data(), vk[j].size()},
-              {diff.data(), diff.size()});
-    std::span<float> ds{diff.data(), diff.size()};
-
-    float thr = 0.0f;  // keep everything by default
-    if (options_.secondary_compression &&
-        layer_sizes_[j] >= options_.min_sparsify_size)
-      thr = sparse::topk_threshold({diff.data(), diff.size()},
-                                   options_.secondary_ratio_percent);
-    // Entries kept in G are *removed from the outstanding difference*;
-    // extract_and_zero leaves the residual (entries below thr) in `diff`,
-    // which stays implicitly accumulated at the server because v_k is only
-    // advanced by what was actually sent (Eq. 6b).
-    g.layers[j] = sparse::extract_and_zero(static_cast<std::uint32_t>(j), ds, thr);
-    sparse_nnz += g.layers[j].nnz();
-
-    // v_{k,t+1} = v_{k,prev} + G (Eq. 6b): add exactly what is being sent.
-    auto& vl = vk[j];
-    sparse::scatter_add(g.layers[j], 1.0f, {vl.data(), vl.size()});
+  // Decode once and validate every segment before any shard is touched, so
+  // a malformed push never leaves M partially updated.
+  const DecodedUpdate decoded = decode_update(push.payload);
+  std::vector<const DecodedLayer*> by_layer(layer_sizes_.size(), nullptr);
+  for (const DecodedLayer& segment : decoded) {
+    if (segment.layer() >= layer_sizes_.size() ||
+        segment.dense_size() != layer_sizes_[segment.layer()])
+      throw std::runtime_error("server: push layer shape mismatch");
+    by_layer[segment.layer()] = &segment;
   }
 
-  total_reply_nnz_ += sparse_nnz;
-  total_reply_dense_ += layered_numel(m_);
+  // Advance the server timestamp t and compute this push's staleness
+  // exactly as the serial server did: staleness = t_after - 1 - prev(k).
+  const std::uint64_t t_after =
+      step_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t staleness =
+      t_after - 1 - prev_[worker].load(std::memory_order_relaxed);
+
+  // Walk shards in ascending layer order: each shard applies the push's
+  // segments to its slice of M and builds its slice of the reply under its
+  // own lock (M_{t+1} = M_t - g, Eq. 1; g is a descent step, see
+  // optimizer.h).
+  sparse::SparseUpdate g;
+  g.layers.reserve(layer_sizes_.size());
+  std::uint64_t sparse_nnz = 0;
+  for (const auto& shard : shards_) {
+    ServerShard::ReplySegment segment =
+        shard->apply_and_reply(worker, by_layer, -1.0f, reply_policy_);
+    sparse_nnz += segment.nnz;
+    for (auto& chunk : segment.layers) g.layers.push_back(std::move(chunk));
+  }
+
+  total_reply_nnz_.fetch_add(sparse_nnz, std::memory_order_relaxed);
+  total_reply_dense_.fetch_add(total_numel_, std::memory_order_relaxed);
 
   comm::Message reply;
   reply.kind = comm::MessageKind::kModelDiff;
   reply.worker_id = static_cast<std::int32_t>(worker);
-  reply.server_step = step_;
+  reply.server_step = t_after;
+  reply.worker_step = push.worker_step;
 
   // Wire-format choice: COO costs 8 bytes/entry, dense 4 bytes/entry, so a
   // model difference that is more than half dense (as it is for ASGD, which
   // effectively downloads the whole model) ships dense — exactly the
   // downward bottleneck the paper describes.
-  const std::size_t total = layered_numel(m_);
-  if (sparse_nnz * 2 >= total && !options_.secondary_compression) {
+  if (sparse_nnz * 2 >= total_numel_ && !options_.secondary_compression) {
     sparse::DenseUpdate dense;
     dense.layers.resize(g.layers.size());
     for (std::size_t j = 0; j < g.layers.size(); ++j) {
-      dense.layers[j].layer = static_cast<std::uint32_t>(j);
+      dense.layers[j].layer = g.layers[j].layer;
       dense.layers[j].values = sparse::densify(g.layers[j]);
     }
     reply.payload = sparse::encode(dense);
   } else {
     reply.payload = sparse::encode(g);
   }
-  return reply;
-}
 
-comm::Message ParameterServer::handle_push(const comm::Message& push) {
-  if (push.kind != comm::MessageKind::kGradientPush)
-    throw std::invalid_argument("server: expected gradient push");
-  const auto worker = static_cast<std::size_t>(push.worker_id);
-  if (worker >= options_.num_workers)
-    throw std::invalid_argument("server: bad worker id");
-
-  apply_update_to_m(push.payload);
-  ++step_;
-  last_staleness_ = step_ - 1 - prev_[worker];
-
-  comm::Message reply = build_reply(worker);
-  prev_[worker] = step_;
-  reply.worker_step = push.worker_step;
+  prev_[worker].store(t_after, std::memory_order_relaxed);
+  last_staleness_.store(staleness, std::memory_order_relaxed);
+  if (staleness_out != nullptr) *staleness_out = staleness;
   return reply;
 }
 
 std::vector<float> ParameterServer::global_model_flat() const {
   std::vector<float> theta = theta0_;
-  std::size_t at = 0;
-  for (const auto& layer : m_) {
-    util::axpy(1.0f, {layer.data(), layer.size()}, {theta.data() + at, layer.size()});
-    at += layer.size();
-  }
+  for (const auto& shard : shards_)
+    shard->accumulate_model({theta.data(), theta.size()}, layer_offsets_);
   return theta;
 }
 
+LayeredVec ParameterServer::accumulated_updates() const {
+  LayeredVec m = make_layered(layer_sizes_);
+  for (const auto& shard : shards_) shard->snapshot_m(m);
+  return m;
+}
+
+LayeredVec ParameterServer::sent_accumulator(std::size_t worker) const {
+  LayeredVec v = make_layered(layer_sizes_);
+  for (const auto& shard : shards_) shard->snapshot_v(worker, v);
+  return v;
+}
+
 std::size_t ParameterServer::state_bytes() const noexcept {
-  const std::size_t model = layered_numel(m_) * sizeof(float);
+  const std::size_t model = total_numel_ * sizeof(float);
   return model /* M */ + options_.num_workers * model /* v_k */ +
          theta0_.size() * sizeof(float) /* theta_0 */;
 }

@@ -7,23 +7,39 @@
 // On every push it returns the model difference G_k = M_{t+1} - v_k,
 // optionally secondarily compressed (Eq. 6a/6b).
 //
+// Concurrency: the server is a thin façade over ServerShard objects (see
+// server_shard.h), each owning a contiguous partition of layers of M_t, the
+// per-worker v_k slices for those layers, and its own mutex. handle_push
+// decodes the payload once, dispatches per-layer segments to shards, and
+// assembles the reply, so pushes from *different* workers proceed
+// concurrently except where they touch the same shard. The server
+// timestamp t, prev(k) and the reply-density counters are atomics. The
+// protocol invariant that makes this safe is one in-flight push per worker
+// (workers block for their reply), which both engines guarantee.
+//
 // Note on paper errata (see DESIGN.md §7): Algorithm 2 line 14 prints
 // "v <- v - G" but Eq. 3/6b require "v <- v + G"; we implement "+", which is
-// what makes the Eq. 5 identity (worker model == server model) hold.
+// what makes the Eq. 5 identity (worker model == server global model) hold.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "comm/message.h"
 #include "core/config.h"
 #include "core/layered.h"
+#include "core/server_shard.h"
 #include "sparse/codec.h"
 
 namespace dgs::core {
 
 struct ServerOptions {
   std::size_t num_workers = 1;
+  /// Contiguous layer partitions with independent locks; clamped to the
+  /// layer count. 1 = the classic serial layout.
+  std::size_t num_shards = 1;
   bool secondary_compression = false;
   double secondary_ratio_percent = 1.0;
   /// Layers smaller than this are exempt from secondary compression,
@@ -38,60 +54,70 @@ class ParameterServer {
 
   /// Process one gradient push (Algorithm 2 body): applies the update to M,
   /// computes and returns the encoded model-difference reply for the pushing
-  /// worker, and advances the server timestamp.
-  [[nodiscard]] comm::Message handle_push(const comm::Message& push);
+  /// worker, and advances the server timestamp. Safe to call concurrently
+  /// for different workers; `staleness_out`, when non-null, receives the
+  /// push's staleness (t_now - prev(k)) without touching shared counters.
+  [[nodiscard]] comm::Message handle_push(const comm::Message& push,
+                                          std::uint64_t* staleness_out = nullptr);
 
   /// Server timestamp t (number of updates applied).
-  [[nodiscard]] std::uint64_t step() const noexcept { return step_; }
+  [[nodiscard]] std::uint64_t step() const noexcept {
+    return step_.load(std::memory_order_relaxed);
+  }
 
-  /// theta_t = theta_0 + M_t, flattened (for evaluation snapshots).
+  /// theta_t = theta_0 + M_t, flattened (for evaluation snapshots). Locks
+  /// each shard in turn, so values are never torn under concurrent pushes;
+  /// the snapshot is per-shard consistent (exact when quiescent).
   [[nodiscard]] std::vector<float> global_model_flat() const;
 
-  /// Accumulated update M_t (per layer), for tests.
-  [[nodiscard]] const LayeredVec& accumulated_updates() const noexcept {
-    return m_;
-  }
-  /// v_k for worker k, for tests.
-  [[nodiscard]] const LayeredVec& sent_accumulator(std::size_t worker) const {
-    return v_.at(worker);
-  }
+  /// Snapshot of the accumulated update M_t (per layer), for tests.
+  [[nodiscard]] LayeredVec accumulated_updates() const;
+  /// Snapshot of v_k for worker k, for tests.
+  [[nodiscard]] LayeredVec sent_accumulator(std::size_t worker) const;
 
   /// Resident state in bytes: M plus N per-worker trackers (the §5.6.2
   /// "NumOfWorkers x ParameterMemOfModel" cost).
   [[nodiscard]] std::size_t state_bytes() const noexcept;
 
   /// Staleness of the last processed push: t_now - prev(k) at arrival.
+  /// Under concurrent pushes "last" is whichever push stored most recently;
+  /// concurrent callers should use handle_push's staleness_out instead.
   [[nodiscard]] std::uint64_t last_staleness() const noexcept {
-    return last_staleness_;
+    return last_staleness_.load(std::memory_order_relaxed);
   }
 
   /// Cumulative nnz and dense element counts over all replies built, for
   /// downward-density accounting.
   [[nodiscard]] std::uint64_t total_reply_nnz() const noexcept {
-    return total_reply_nnz_;
+    return total_reply_nnz_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t total_reply_dense() const noexcept {
-    return total_reply_dense_;
+    return total_reply_dense_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] const std::vector<std::size_t>& layer_sizes() const noexcept {
     return layer_sizes_;
   }
 
- private:
-  void apply_update_to_m(const sparse::Bytes& payload);
-  [[nodiscard]] comm::Message build_reply(std::size_t worker);
+  /// Effective shard count (num_shards clamped to the layer count).
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
 
+ private:
   std::vector<std::size_t> layer_sizes_;
+  std::vector<std::size_t> layer_offsets_;  ///< Flat offset of each layer.
+  std::size_t total_numel_ = 0;
   std::vector<float> theta0_;
-  LayeredVec m_;                     ///< M_t, accumulation of updates.
-  std::vector<LayeredVec> v_;        ///< v_k per worker.
-  std::vector<std::uint64_t> prev_;  ///< prev(k): last server step sent to k.
+  std::vector<std::unique_ptr<ServerShard>> shards_;
   ServerOptions options_;
-  std::uint64_t step_ = 0;
-  std::uint64_t last_staleness_ = 0;
-  std::uint64_t total_reply_nnz_ = 0;
-  std::uint64_t total_reply_dense_ = 0;
+  ShardReplyPolicy reply_policy_;
+
+  std::atomic<std::uint64_t> step_{0};
+  std::vector<std::atomic<std::uint64_t>> prev_;  ///< prev(k) per worker.
+  std::atomic<std::uint64_t> last_staleness_{0};
+  std::atomic<std::uint64_t> total_reply_nnz_{0};
+  std::atomic<std::uint64_t> total_reply_dense_{0};
 };
 
 }  // namespace dgs::core

@@ -1,0 +1,115 @@
+#include "core/server_shard.h"
+
+#include <algorithm>
+
+#include "sparse/topk.h"
+#include "util/math_kernels.h"
+
+namespace dgs::core {
+
+ServerShard::ServerShard(std::size_t first_layer,
+                         std::vector<std::size_t> sizes,
+                         std::size_t num_workers)
+    : first_layer_(first_layer), m_(make_layered(sizes)) {
+  for (std::size_t s : sizes) numel_ += s;
+  v_.reserve(num_workers);
+  for (std::size_t k = 0; k < num_workers; ++k)
+    v_.push_back(make_layered(sizes));
+}
+
+ServerShard::ReplySegment ServerShard::apply_and_reply(
+    std::size_t worker, std::span<const DecodedLayer* const> segments,
+    float scale, const ShardReplyPolicy& policy) {
+  ReplySegment reply;
+  reply.layers.reserve(m_.size());
+  std::vector<float> diff;
+
+  std::lock_guard lock(mutex_);
+  LayeredVec& vk = v_[worker];
+  for (std::size_t j = 0; j < m_.size(); ++j) {
+    const std::size_t global = first_layer_ + j;
+    auto& ml = m_[j];
+
+    // M += scale * g for this layer, if the push carried it (Eq. 1).
+    if (global < segments.size() && segments[global] != nullptr) {
+      const DecodedLayer& segment = *segments[global];
+      if (segment.sparse) {
+        sparse::scatter_add(segment.chunk, scale, {ml.data(), ml.size()});
+      } else {
+        util::axpy(scale, {segment.dense.data(), segment.dense.size()},
+                   {ml.data(), ml.size()});
+      }
+    }
+
+    // G = M - v_k for this layer (Eq. 3 / 6a).
+    diff.resize(ml.size());
+    util::sub({ml.data(), ml.size()}, {vk[j].data(), vk[j].size()},
+              {diff.data(), diff.size()});
+
+    float thr = 0.0f;  // keep everything by default
+    if (policy.secondary_compression && ml.size() >= policy.min_sparsify_size)
+      thr = sparse::topk_threshold({diff.data(), diff.size()},
+                                   policy.secondary_ratio_percent);
+    // Entries kept in G are *removed from the outstanding difference*;
+    // extract_and_zero leaves the residual (entries below thr) in `diff`,
+    // which stays implicitly accumulated at the server because v_k is only
+    // advanced by what was actually sent (Eq. 6b).
+    sparse::LayerChunk chunk = sparse::extract_and_zero(
+        static_cast<std::uint32_t>(global), {diff.data(), diff.size()}, thr);
+    reply.nnz += chunk.nnz();
+
+    // v_{k,t+1} = v_{k,prev} + G (Eq. 6b): add exactly what is being sent.
+    sparse::scatter_add(chunk, 1.0f, {vk[j].data(), vk[j].size()});
+    reply.layers.push_back(std::move(chunk));
+  }
+  return reply;
+}
+
+void ServerShard::accumulate_model(
+    std::span<float> flat, std::span<const std::size_t> layer_offsets) const {
+  std::lock_guard lock(mutex_);
+  for (std::size_t j = 0; j < m_.size(); ++j) {
+    const auto& layer = m_[j];
+    util::axpy(1.0f, {layer.data(), layer.size()},
+               {flat.data() + layer_offsets[first_layer_ + j], layer.size()});
+  }
+}
+
+void ServerShard::snapshot_m(LayeredVec& out) const {
+  std::lock_guard lock(mutex_);
+  for (std::size_t j = 0; j < m_.size(); ++j) out[first_layer_ + j] = m_[j];
+}
+
+void ServerShard::snapshot_v(std::size_t worker, LayeredVec& out) const {
+  std::lock_guard lock(mutex_);
+  const LayeredVec& vk = v_.at(worker);
+  for (std::size_t j = 0; j < vk.size(); ++j) out[first_layer_ + j] = vk[j];
+}
+
+std::vector<std::size_t> shard_partition(const std::vector<std::size_t>& sizes,
+                                         std::size_t num_shards) {
+  if (sizes.empty()) return {};
+  const std::size_t shards = std::clamp<std::size_t>(num_shards, 1, sizes.size());
+  std::size_t total = 0;
+  for (std::size_t s : sizes) total += s;
+
+  std::vector<std::size_t> firsts;
+  firsts.reserve(shards);
+  std::size_t layer = 0;
+  std::size_t cumulative = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    firsts.push_back(layer);
+    // Advance past this shard: take layers until the cumulative numel
+    // reaches the s+1-th fraction of the total, but always take at least
+    // one layer and leave at least one per remaining shard.
+    const std::size_t remaining_shards = shards - s - 1;
+    const std::size_t target = total * (s + 1) / shards;
+    do {
+      cumulative += sizes[layer];
+      ++layer;
+    } while (layer < sizes.size() - remaining_shards && cumulative < target);
+  }
+  return firsts;
+}
+
+}  // namespace dgs::core

@@ -1,0 +1,91 @@
+// One shard of the DGS parameter server: a contiguous partition of layers
+// of M_t plus every worker's v_k slice for those layers, guarded by a
+// single mutex.
+//
+// The ParameterServer façade decodes a push once and walks the shards in
+// ascending layer order; each shard atomically (under its own lock) applies
+// the push's segments to its slice of M and builds its slice of the
+// model-difference reply. Pushes from different workers therefore proceed
+// concurrently except where they touch the same shard, and — because every
+// reply segment is computed and charged to v_k under the same critical
+// section that reads M — the Eq. 5 bookkeeping (v_k advances by exactly
+// what was sent) holds per shard regardless of interleaving.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/layered.h"
+#include "core/payload.h"
+#include "sparse/coo.h"
+
+namespace dgs::core {
+
+/// Secondary-compression knobs a shard needs when building reply segments
+/// (mirrors the fields of ServerOptions; kept separate so the shard does
+/// not depend on the façade's header).
+struct ShardReplyPolicy {
+  bool secondary_compression = false;
+  double secondary_ratio_percent = 1.0;
+  std::size_t min_sparsify_size = 0;
+};
+
+class ServerShard {
+ public:
+  /// Shard owning layers [first_layer, first_layer + sizes.size()).
+  ServerShard(std::size_t first_layer, std::vector<std::size_t> sizes,
+              std::size_t num_workers);
+
+  struct ReplySegment {
+    /// Reply chunks for this shard's layers, in ascending global layer
+    /// order (one per layer — a layer with nothing to send yields an empty
+    /// chunk, exactly as the serial server produced).
+    std::vector<sparse::LayerChunk> layers;
+    std::uint64_t nnz = 0;
+  };
+
+  /// Algorithm 2 body restricted to this shard, as one critical section:
+  /// apply the push's segments (indexed by global layer; entries outside
+  /// this shard or null are ignored) to M with the given scale, then build
+  /// the reply G = M - v_k per layer (optionally secondarily compressed)
+  /// and advance v_k by exactly what is being sent (Eq. 6b).
+  [[nodiscard]] ReplySegment apply_and_reply(
+      std::size_t worker, std::span<const DecodedLayer* const> segments,
+      float scale, const ShardReplyPolicy& policy);
+
+  /// Add this shard's slice of M into a flat model vector;
+  /// `layer_offsets[j]` is the flat offset of global layer j. Locks the
+  /// shard, so concurrent pushes never produce torn floats.
+  void accumulate_model(std::span<float> flat,
+                        std::span<const std::size_t> layer_offsets) const;
+
+  /// Copy this shard's layers of M into `out` (global layer indexing).
+  void snapshot_m(LayeredVec& out) const;
+  /// Copy this shard's layers of v_k into `out` (global layer indexing).
+  void snapshot_v(std::size_t worker, LayeredVec& out) const;
+
+  [[nodiscard]] std::size_t first_layer() const noexcept {
+    return first_layer_;
+  }
+  [[nodiscard]] std::size_t num_layers() const noexcept { return m_.size(); }
+  [[nodiscard]] std::size_t numel() const noexcept { return numel_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t first_layer_;
+  std::size_t numel_ = 0;
+  LayeredVec m_;                ///< This shard's slice of M_t.
+  std::vector<LayeredVec> v_;  ///< [worker][local layer] slice of v_k.
+};
+
+/// Contiguous layer partition balanced by element count: returns the first
+/// global layer index of each shard (size = effective shard count, which is
+/// num_shards clamped to [1, sizes.size()]). Boundaries are chosen so each
+/// shard's cumulative numel tracks total/shards as closely as a contiguous
+/// split allows, while every shard keeps at least one layer.
+[[nodiscard]] std::vector<std::size_t> shard_partition(
+    const std::vector<std::size_t>& sizes, std::size_t num_shards);
+
+}  // namespace dgs::core

@@ -1,0 +1,301 @@
+// Concurrency tests: the sharded parameter server under real concurrent
+// pushes, the ThreadEngine server pool, and transport shutdown draining.
+// These are the tests the TSan preset (scripts/run_tsan.sh) is aimed at.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "comm/transport.h"
+#include "core/server.h"
+#include "core/session.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dgs;
+using core::Method;
+using dgs::comm::Message;
+using dgs::comm::MessageKind;
+using dgs::sparse::LayerChunk;
+using dgs::sparse::SparseUpdate;
+
+Message make_push(int worker, const SparseUpdate& update) {
+  Message m;
+  m.kind = MessageKind::kGradientPush;
+  m.worker_id = worker;
+  m.payload = dgs::sparse::encode(update);
+  return m;
+}
+
+void apply_reply_flat(const Message& reply, std::vector<float>& theta,
+                      const std::vector<std::size_t>& sizes) {
+  std::vector<std::size_t> offsets;
+  std::size_t at = 0;
+  for (std::size_t s : sizes) {
+    offsets.push_back(at);
+    at += s;
+  }
+  if (dgs::sparse::is_sparse_payload(reply.payload)) {
+    const auto g = dgs::sparse::decode(reply.payload);
+    for (const auto& c : g.layers)
+      for (std::size_t i = 0; i < c.idx.size(); ++i)
+        theta[offsets[c.layer] + c.idx[i]] += c.val[i];
+  } else {
+    const auto g = dgs::sparse::decode_dense(reply.payload);
+    for (const auto& l : g.layers)
+      for (std::size_t i = 0; i < l.values.size(); ++i)
+        theta[offsets[l.layer] + i] += l.values[i];
+  }
+}
+
+// ---- server under concurrent pushes ----------------------------------------
+
+TEST(ConcurrentServer, Eq5PerWorkerIdentityUnderConcurrentPushes) {
+  // W threads hammer a sharded server concurrently. The point-in-time global
+  // Eq. 5 identity cannot hold while other workers' pushes interleave, but
+  // the per-worker form must: after every reply, theta_k == theta0 + v_k
+  // (the reply G = M - v_k and v += G happen atomically per shard, and v_k
+  // is only ever touched by worker k's single in-flight push).
+  constexpr std::size_t kWorkers = 4;
+  constexpr int kIters = 200;
+  const std::vector<std::size_t> sizes{32, 7, 16, 9};
+  std::vector<float> theta0(64);
+  util::Rng init_rng(11);
+  for (auto& v : theta0) v = init_rng.normal(0, 1);
+
+  core::ParameterServer server(sizes, theta0,
+                               {.num_workers = kWorkers, .num_shards = 3});
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t k = 0; k < kWorkers; ++k) {
+    threads.emplace_back([&, k] {
+      util::Rng rng(100 + k);
+      std::vector<float> theta = theta0;
+      for (int iter = 0; iter < kIters; ++iter) {
+        SparseUpdate u;
+        for (std::uint32_t j = 0; j < sizes.size(); ++j) {
+          LayerChunk c;
+          c.layer = j;
+          c.dense_size = static_cast<std::uint32_t>(sizes[j]);
+          c.idx = {static_cast<std::uint32_t>(rng.below(sizes[j]))};
+          c.val = {rng.normal(0, 0.1f)};
+          u.layers.push_back(std::move(c));
+        }
+        const Message reply =
+            server.handle_push(make_push(static_cast<int>(k), u));
+        apply_reply_flat(reply, theta, sizes);
+        // theta0 + v_k must equal this worker's model (up to the rounding
+        // difference between incremental accumulation and one-shot add).
+        const auto vk = server.sent_accumulator(k);
+        std::size_t at = 0;
+        for (const auto& layer : vk)
+          for (float v : layer) {
+            if (std::abs(theta[at] - (theta0[at] + v)) > 1e-5f)
+              failures.fetch_add(1);
+            ++at;
+          }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiescent: every worker syncs with an empty push; afterwards its model
+  // equals the global model exactly (full Eq. 5).
+  const auto global = server.global_model_flat();
+  for (std::size_t k = 0; k < kWorkers; ++k) {
+    std::vector<float> theta = theta0;
+    const auto vk_before = server.sent_accumulator(k);
+    std::size_t at = 0;
+    for (const auto& layer : vk_before)
+      for (float v : layer) theta[at++] += v;
+    const Message reply =
+        server.handle_push(make_push(static_cast<int>(k), SparseUpdate{}));
+    apply_reply_flat(reply, theta, sizes);
+    const auto now_global = server.global_model_flat();
+    for (std::size_t i = 0; i < theta.size(); ++i)
+      ASSERT_NEAR(theta[i], now_global[i], 1e-5f) << "worker " << k;
+  }
+  // Empty pushes do not change the global model.
+  EXPECT_EQ(global, server.global_model_flat());
+}
+
+TEST(ConcurrentServer, StepCountAndStalenessBookkeepingAreExact) {
+  constexpr std::size_t kWorkers = 8;
+  constexpr int kIters = 100;
+  core::ParameterServer server({64}, std::vector<float>(64, 0.0f),
+                               {.num_workers = kWorkers, .num_shards = 1});
+  std::atomic<std::uint64_t> staleness_sum{0};
+  std::vector<std::thread> threads;
+  for (std::size_t k = 0; k < kWorkers; ++k)
+    threads.emplace_back([&, k] {
+      util::Rng rng(k);
+      for (int i = 0; i < kIters; ++i) {
+        SparseUpdate u;
+        LayerChunk c;
+        c.layer = 0;
+        c.dense_size = 64;
+        c.idx = {static_cast<std::uint32_t>(rng.below(64))};
+        c.val = {0.01f};
+        u.layers.push_back(std::move(c));
+        std::uint64_t staleness = 0;
+        const Message reply = server.handle_push(
+            make_push(static_cast<int>(k), u), &staleness);
+        // server_step is this push's unique post-increment timestamp.
+        EXPECT_GE(reply.server_step, 1u);
+        EXPECT_LE(reply.server_step, kWorkers * kIters);
+        staleness_sum.fetch_add(staleness);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(server.step(), kWorkers * kIters);
+  // Staleness totals: each push's staleness counts the other workers'
+  // pushes admitted since its own previous one; summed over all pushes this
+  // is bounded by pushes * (workers - 1) interleavings on average. A weak
+  // sanity bound suffices — the exact value is schedule-dependent.
+  EXPECT_LE(staleness_sum.load(),
+            static_cast<std::uint64_t>(kWorkers) * kIters * kWorkers);
+}
+
+// ---- transport shutdown -----------------------------------------------------
+
+TEST(ThreadTransport, ShutdownDeliversShutdownMessageThenCloses) {
+  comm::ThreadTransport transport(3);
+  // Workers blocked waiting for replies must wake with an explicit
+  // kShutdown message, then see closed channels forever after.
+  std::vector<std::thread> workers;
+  std::atomic<int> got_shutdown{0};
+  for (std::size_t k = 0; k < 3; ++k)
+    workers.emplace_back([&, k] {
+      const auto reply = transport.receive_reply(k);
+      if (reply && reply->kind == MessageKind::kShutdown)
+        got_shutdown.fetch_add(1);
+    });
+  transport.shutdown();
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(got_shutdown.load(), 3);
+
+  // After shutdown: pushes are refused, the server inbox drains to nullopt,
+  // and a second shutdown is a harmless no-op.
+  Message push;
+  push.kind = MessageKind::kGradientPush;
+  EXPECT_FALSE(transport.send_push(std::move(push)));
+  EXPECT_FALSE(transport.receive_push().has_value());
+  transport.shutdown();
+  EXPECT_FALSE(transport.receive_reply(0).has_value());
+}
+
+TEST(ThreadTransport, AccountsOnlyAcknowledgedMessages) {
+  comm::ThreadTransport transport(1);
+  Message push;
+  push.kind = MessageKind::kGradientPush;
+  push.payload.resize(100);
+  const std::size_t wire = push.wire_size();
+  ASSERT_TRUE(transport.send_push(std::move(push)));
+  transport.shutdown();
+  Message late;
+  late.kind = MessageKind::kGradientPush;
+  late.payload.resize(100);
+  EXPECT_FALSE(transport.send_push(std::move(late)));  // not counted
+  const auto bytes = transport.bytes();
+  EXPECT_EQ(bytes.upward_messages, 1u);
+  EXPECT_EQ(bytes.upward_bytes, wire);
+}
+
+// ---- ThreadEngine end-to-end ------------------------------------------------
+
+struct EngineFixture {
+  data::SyntheticDataset data;
+  nn::ModelSpec spec;
+
+  EngineFixture()
+      : data([] {
+          data::SyntheticSpec s = data::SyntheticSpec::synth_cifar(71);
+          s.num_train = 384;
+          s.num_test = 192;
+          return data::make_synthetic(s);
+        }()),
+        spec(nn::ModelSpec::mlp(data.train->feature_dim(), {24},
+                                data.train->num_classes())) {}
+
+  core::TrainConfig config(Method method, std::size_t workers,
+                           std::size_t server_threads,
+                           std::size_t shards) const {
+    core::TrainConfig c;
+    c.method = method;
+    c.num_workers = workers;
+    c.batch_size = 16;
+    c.epochs = 3;
+    c.lr = 0.02;
+    c.seed = 91;
+    c.record_curve = false;
+    c.server_threads = server_threads;
+    c.server_shards = shards;
+    return c;
+  }
+};
+
+TEST(ThreadEngineConcurrency, ServerPoolMatchesSingleThreadWithinTolerance) {
+  // The async schedule is inherently nondeterministic, so outcomes cannot be
+  // bit-equal across pool sizes — but the learning problem is easy enough
+  // that every configuration must land in the same quality band, process
+  // the same sample budget, and keep the accounting invariants.
+  const EngineFixture fx;
+  const std::uint64_t budget = 3ull * fx.data.train->size();
+
+  std::vector<core::RunResult> results;
+  for (const std::size_t server_threads : {1u, 2u, 4u}) {
+    const auto config = fx.config(Method::kDGS, 4, server_threads, 4);
+    auto result =
+        core::ThreadEngine(fx.spec, fx.data.train, fx.data.test, config).run();
+    // Budget respected: every claimed batch was computed; overshoot is at
+    // most one in-flight batch per worker.
+    EXPECT_GE(result.samples_processed, budget);
+    EXPECT_LE(result.samples_processed, budget + 4 * 16);
+    // Every server step recorded exactly one staleness sample, and the
+    // reply stream matches the push stream.
+    EXPECT_EQ(result.staleness.count, result.server_steps);
+    EXPECT_EQ(result.bytes.upward_messages, result.server_steps);
+    EXPECT_GT(result.final_test_accuracy, 0.0);
+    results.push_back(std::move(result));
+  }
+
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    // Same quality band as the single-thread pool.
+    EXPECT_NEAR(results[i].final_test_accuracy,
+                results[0].final_test_accuracy, 0.15);
+    // Same traffic volume within 10% (message sizes vary with the model
+    // state, counts with shutdown timing).
+    const double bytes_base =
+        static_cast<double>(results[0].bytes.upward_bytes);
+    const double bytes_i = static_cast<double>(results[i].bytes.upward_bytes);
+    EXPECT_NEAR(bytes_i / bytes_base, 1.0, 0.1);
+  }
+}
+
+TEST(ThreadEngineConcurrency, ShutdownDrainsCleanlyAcrossMethods) {
+  // The budget-exhaustion broadcast must terminate every thread without
+  // deadlock for both sparse (DGS) and dense (ASGD) traffic, with and
+  // without a bounded inbox. Completing at all is the assertion; the test
+  // would hang (and time out) on a drain bug.
+  const EngineFixture fx;
+  for (const Method method : {Method::kDGS, Method::kASGD}) {
+    for (const std::size_t capacity : {0u, 2u}) {
+      auto config = fx.config(method, 3, 2, 2);
+      config.server_inbox_capacity = capacity;
+      const auto result =
+          core::ThreadEngine(fx.spec, fx.data.train, fx.data.test, config)
+              .run();
+      EXPECT_GT(result.server_steps, 0u);
+      EXPECT_GT(result.final_test_accuracy, 0.0);
+    }
+  }
+}
+
+}  // namespace

@@ -113,7 +113,8 @@ TEST(Server, VkEqualsMAfterUncompressedReply) {
   // After worker 0's reply, v_0 == M (Eq. 3).
   EXPECT_EQ(server.sent_accumulator(0)[0], server.accumulated_updates()[0]);
   // Worker 1 has received nothing: v_1 stays zero.
-  for (float v : server.sent_accumulator(1)[0]) EXPECT_EQ(v, 0.0f);
+  const auto v1 = server.sent_accumulator(1);
+  for (float v : v1[0]) EXPECT_EQ(v, 0.0f);
 }
 
 TEST(Server, SecondaryCompressionSendsOnlyTopEntriesAndTracksThem) {
@@ -140,11 +141,12 @@ TEST(Server, SecondaryCompressionSendsOnlyTopEntriesAndTracksThem) {
 
   // v_k advanced only by what was sent (Eq. 6b); the rest remains as
   // outstanding difference M - v_k.
-  const auto& vk = server.sent_accumulator(0)[0];
+  const auto vk_snapshot = server.sent_accumulator(0);
+  const auto& vk = vk_snapshot[0];
   EXPECT_FLOAT_EQ(vk[1], 0.4f);
   EXPECT_FLOAT_EQ(vk[0], 0.0f);
-  const auto& m = server.accumulated_updates()[0];
-  EXPECT_FLOAT_EQ(m[0] - vk[0], -0.1f);  // still owed to the worker
+  const auto m_snapshot = server.accumulated_updates();
+  EXPECT_FLOAT_EQ(m_snapshot[0][0] - vk[0], -0.1f);  // still owed to the worker
 }
 
 TEST(Server, SecondaryCompressionEventuallyDeliversEverything) {
@@ -235,6 +237,112 @@ TEST(Server, RejectsBadConstruction) {
                std::invalid_argument);
   EXPECT_THROW(ParameterServer({4}, std::vector<float>(4), {.num_workers = 0}),
                std::invalid_argument);
+}
+
+// ---- sharding ---------------------------------------------------------------
+
+TEST(ServerShard, PartitionCoversAllLayersContiguously) {
+  const std::vector<std::size_t> sizes{10, 1, 1, 50, 2, 30};
+  for (std::size_t shards = 1; shards <= 8; ++shards) {
+    const auto firsts = shard_partition(sizes, shards);
+    ASSERT_FALSE(firsts.empty());
+    EXPECT_EQ(firsts.front(), 0u);  // first shard starts at layer 0
+    // Strictly increasing starts; count clamped to the layer count.
+    EXPECT_LE(firsts.size(), sizes.size());
+    for (std::size_t s = 1; s < firsts.size(); ++s)
+      EXPECT_LT(firsts[s - 1], firsts[s]);
+    EXPECT_LT(firsts.back(), sizes.size());
+  }
+  EXPECT_TRUE(shard_partition({}, 4).empty());
+}
+
+TEST(ServerShard, PartitionBalancesByNumel) {
+  // One huge layer and many small ones: the huge layer gets its own shard.
+  const std::vector<std::size_t> sizes{1000, 10, 10, 10};
+  const auto firsts = shard_partition(sizes, 2);
+  ASSERT_EQ(firsts.size(), 2u);
+  EXPECT_EQ(firsts[0], 0u);
+  EXPECT_EQ(firsts[1], 1u);  // shard 1 = the three small layers
+}
+
+TEST(Server, ShardedMatchesUnshardedExactly) {
+  // The same push sequence through 1-shard and 3-shard servers must produce
+  // bit-identical replies, M, v_k, steps and staleness: sharding is a pure
+  // locking/layout change, not a numerics change.
+  const std::vector<std::size_t> sizes{16, 8, 4, 12};
+  std::vector<float> theta0(40);
+  dgs::util::Rng rng(7);
+  for (auto& v : theta0) v = rng.normal(0, 1);
+
+  ParameterServer serial(sizes, theta0, {.num_workers = 2, .num_shards = 1});
+  ParameterServer sharded(sizes, theta0, {.num_workers = 2, .num_shards = 3});
+  EXPECT_EQ(serial.num_shards(), 1u);
+  EXPECT_EQ(sharded.num_shards(), 3u);
+
+  for (int iter = 0; iter < 40; ++iter) {
+    const int k = static_cast<int>(rng.below(2));
+    SparseUpdate u;
+    for (std::uint32_t j = 0; j < sizes.size(); ++j) {
+      LayerChunk c;
+      c.layer = j;
+      c.dense_size = static_cast<std::uint32_t>(sizes[j]);
+      c.idx = {static_cast<std::uint32_t>(rng.below(sizes[j]))};
+      c.val = {rng.normal(0, 0.1f)};
+      u.layers.push_back(std::move(c));
+    }
+    const Message push = make_push(k, u);
+    const Message a = serial.handle_push(push);
+    const Message b = sharded.handle_push(push);
+    EXPECT_EQ(a.payload, b.payload) << "iter " << iter;
+    EXPECT_EQ(a.server_step, b.server_step);
+    EXPECT_EQ(serial.last_staleness(), sharded.last_staleness());
+  }
+  EXPECT_EQ(serial.global_model_flat(), sharded.global_model_flat());
+  EXPECT_EQ(serial.accumulated_updates(), sharded.accumulated_updates());
+  EXPECT_EQ(serial.sent_accumulator(0), sharded.sent_accumulator(0));
+  EXPECT_EQ(serial.sent_accumulator(1), sharded.sent_accumulator(1));
+}
+
+TEST(Server, ShardCountClampsToLayerCount) {
+  ParameterServer server({4, 4}, std::vector<float>(8, 0.0f),
+                         {.num_workers = 1, .num_shards = 16});
+  EXPECT_EQ(server.num_shards(), 2u);
+  // Still fully functional after clamping.
+  (void)server.handle_push(make_push(0, single_entry(1, 4, 3, 1.0f)));
+  EXPECT_FLOAT_EQ(server.accumulated_updates()[1][3], -1.0f);
+}
+
+TEST(Server, Eq5HoldsWithShards) {
+  // Eq. 5 identity (worker model == global model after each reply) must be
+  // preserved across any shard count.
+  const std::vector<std::size_t> sizes{6, 10, 3};
+  std::vector<float> theta0(19);
+  dgs::util::Rng rng(3);
+  for (auto& v : theta0) v = rng.normal(0, 1);
+
+  ParameterServer server(sizes, theta0, {.num_workers = 2, .num_shards = 3});
+  std::vector<std::vector<float>> worker_theta{theta0, theta0};
+  for (int iter = 0; iter < 30; ++iter) {
+    const int k = static_cast<int>(rng.below(2));
+    SparseUpdate u;
+    for (std::uint32_t j = 0; j < sizes.size(); ++j) {
+      LayerChunk c;
+      c.layer = j;
+      c.dense_size = static_cast<std::uint32_t>(sizes[j]);
+      c.idx = {static_cast<std::uint32_t>(rng.below(sizes[j]))};
+      c.val = {rng.normal(0, 0.1f)};
+      u.layers.push_back(std::move(c));
+    }
+    const Message reply = server.handle_push(make_push(k, u));
+    apply_reply(reply, worker_theta[static_cast<std::size_t>(k)], sizes);
+    const auto global = server.global_model_flat();
+    // Tolerance, not bit-equality: v += (M - v) and the worker's incremental
+    // accumulation round differently from the server's one-shot theta0 + M.
+    for (std::size_t i = 0; i < global.size(); ++i)
+      ASSERT_NEAR(worker_theta[static_cast<std::size_t>(k)][i], global[i],
+                  1e-5f)
+          << "iter " << iter << " index " << i;
+  }
 }
 
 }  // namespace
