@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+
+#include "obs/trace.h"
 
 namespace dgs::benchkit {
 
@@ -106,6 +109,7 @@ core::TrainConfig resolve(const Task& task, const RunSpec& run) {
         static_cast<std::size_t>(run.min_sparsify);
   if (!run.network.is_ideal()) config.network = run.network;
   config.record_curve = run.record_curve;
+  config.trace = run.trace;
   config.compression.secondary = run.secondary_compression;
   config.compression.secondary_ratio_percent = run.secondary_ratio;
   // The paper lets DGC keep its own training tricks (§5): sparsity warmup
@@ -135,12 +139,44 @@ bool parse_harness_options(util::Flags& flags, HarnessOptions& options) {
   options.seed = static_cast<std::uint64_t>(
       flags.i64("seed", 0, "experiment seed (0 = task default)"));
   options.out_dir = flags.str("out-dir", "", "directory for CSV output");
+  options.metrics_out = flags.str(
+      "metrics-out", "", "append per-run metrics as JSONL to this file");
+  options.trace_out = flags.str(
+      "trace-out", "", "write Chrome trace JSON (Perfetto) to this file");
   return flags.finish();
 }
 
 std::string csv_path(const HarnessOptions& options, const std::string& name) {
   if (options.out_dir.empty()) return {};
   return options.out_dir + "/" + name + ".csv";
+}
+
+bool export_metrics(const HarnessOptions& options,
+                    const core::RunResult& result, const std::string& run) {
+  if (options.metrics_out.empty()) return false;
+  if (!result.metrics.append_jsonl(options.metrics_out, run)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 options.metrics_out.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool export_trace(const HarnessOptions& options) {
+  if (options.trace_out.empty()) return false;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.disable();
+  if (!tracer.export_json(options.trace_out)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 options.trace_out.c_str());
+    return false;
+  }
+#if !DGS_TRACE_COMPILED
+  std::fprintf(stderr,
+               "note: built with DGS_TRACE=OFF — %s contains no events\n",
+               options.trace_out.c_str());
+#endif
+  return true;
 }
 
 }  // namespace dgs::benchkit

@@ -53,6 +53,7 @@ struct RunSpec {
   double secondary_ratio = 1.0;
   comm::NetworkModel network{0.0, 0.0};  ///< ideal = keep the task default.
   bool record_curve = true;
+  bool trace = false;             ///< Enable the runtime event tracer.
   std::uint64_t seed = 0;         ///< 0 = keep the task default.
   std::size_t epochs = 0;         ///< 0 = keep the task default.
   double compute_seconds = 0.0;   ///< <=0 = keep the task default. Used by the
@@ -75,13 +76,18 @@ struct RunSpec {
                                       const data::SyntheticDataset& data,
                                       const RunSpec& run);
 
-/// Standard harness flags: --full (longer runs), --seed, --out-dir for CSVs.
+/// Standard harness flags: --full (longer runs), --seed, --out-dir for CSVs,
+/// --metrics-out / --trace-out for the observability exports (see obs/).
 struct HarnessOptions {
   bool full = false;
-  std::uint64_t seed = 0;  ///< 0 = task default.
-  std::string out_dir;     ///< empty = no CSV output.
+  std::uint64_t seed = 0;   ///< 0 = task default.
+  std::string out_dir;      ///< empty = no CSV output.
+  std::string metrics_out;  ///< empty = no JSONL metrics export.
+  std::string trace_out;    ///< empty = event tracing stays off.
 
   [[nodiscard]] double epoch_scale() const noexcept { return full ? 1.0 : 0.25; }
+  /// Runs should enable the event tracer (set RunSpec::trace from this).
+  [[nodiscard]] bool trace() const noexcept { return !trace_out.empty(); }
 };
 
 /// Parses the standard flags; returns true if --help was printed (caller
@@ -91,5 +97,16 @@ bool parse_harness_options(util::Flags& flags, HarnessOptions& options);
 /// "<out_dir>/<name>.csv" or empty when CSV output is disabled.
 [[nodiscard]] std::string csv_path(const HarnessOptions& options,
                                    const std::string& name);
+
+/// Append one run's metrics snapshot to --metrics-out as JSONL, tagged with
+/// `run` so sweep rows stay distinguishable. No-op (returns false) when the
+/// flag was not given.
+bool export_metrics(const HarnessOptions& options,
+                    const core::RunResult& result, const std::string& run);
+
+/// Write the process-wide trace buffer to --trace-out as Chrome trace JSON
+/// (open in Perfetto / chrome://tracing). Call once, after the last traced
+/// run. No-op (returns false) when the flag was not given.
+bool export_trace(const HarnessOptions& options);
 
 }  // namespace dgs::benchkit

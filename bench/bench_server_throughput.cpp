@@ -16,10 +16,14 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "comm/transport.h"
 #include "core/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparse/codec.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -98,6 +102,72 @@ double measure(const std::vector<Message>& pushes_per_worker,
   return static_cast<double>(threads * iters) / seconds;
 }
 
+/// One fully observed replay for --metrics-out / --trace-out: distinct
+/// worker threads push through a ThreadTransport into a server-thread pool,
+/// exactly the ThreadEngine topology, so the trace shows "worker/k",
+/// "server/t" and "shard/s" tracks and the registry fills the staleness /
+/// density / lock / transport histograms. Kept separate from measure() so
+/// the timed table stays free of any accounting.
+void observed_run(const std::vector<Message>& pushes_per_worker,
+                  std::size_t workers, std::size_t server_threads,
+                  std::size_t shards, std::size_t iters,
+                  const std::string& metrics_out,
+                  const std::string& trace_out) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (!trace_out.empty()) tracer.enable();
+
+  obs::MetricsRegistry registry;
+  std::size_t total = 0;
+  for (std::size_t s : kSizes) total += s;
+  core::ParameterServer server(
+      kSizes, std::vector<float>(total, 0.0f),
+      {.num_workers = workers, .num_shards = shards, .metrics = &registry});
+  comm::ThreadTransport transport(workers, /*inbox_capacity=*/2 * workers,
+                                  &registry);
+
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < server_threads; ++t)
+    pool.emplace_back([&, t] {
+      if (tracer.enabled())
+        tracer.set_thread_name("server/" + std::to_string(t));
+      while (auto push = transport.receive_push()) {
+        Message reply = server.handle_push(*push);
+        const auto worker = static_cast<std::size_t>(reply.worker_id);
+        (void)transport.send_reply(worker, std::move(reply));
+      }
+    });
+
+  std::vector<std::thread> senders;
+  for (std::size_t k = 0; k < workers; ++k)
+    senders.emplace_back([&, k] {
+      if (tracer.enabled())
+        tracer.set_thread_name("worker/" + std::to_string(k));
+      for (std::size_t i = 0; i < iters; ++i) {
+        if (!transport.send_push(pushes_per_worker[k])) return;
+        const auto reply = transport.receive_reply(k);
+        if (!reply || reply->kind == MessageKind::kShutdown) return;
+      }
+    });
+  for (auto& t : senders) t.join();
+  transport.shutdown();
+  for (auto& t : pool) t.join();
+
+  if (!metrics_out.empty()) {
+    if (registry.snapshot().append_jsonl(metrics_out, "server_throughput"))
+      std::fprintf(stderr, "metrics appended to %s\n", metrics_out.c_str());
+    else
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    tracer.disable();
+    if (tracer.export_json(trace_out))
+      std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+    else
+      std::fprintf(stderr, "warning: could not write %s\n", trace_out.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,13 +179,19 @@ int main(int argc, char** argv) {
   const auto shard_list =
       flags.i64_list("shards", {1, 2, 4, 8}, "shard counts");
   const double density = flags.f64("density", 0.001, "sparse push density");
+  const std::string metrics_out = flags.str(
+      "metrics-out", "", "append the observed run's metrics as JSONL");
+  const std::string trace_out = flags.str(
+      "trace-out", "", "write Chrome trace JSON of the observed run");
   if (flags.finish()) return 0;
 
   const std::size_t max_threads = static_cast<std::size_t>(
       *std::max_element(thread_list.begin(), thread_list.end()));
+  // The observability replay wants >= 2 workers so staleness is nonzero.
+  const std::size_t obs_workers = std::max<std::size_t>(2, max_threads);
   util::Rng rng(17);
   std::vector<Message> sparse_pushes, dense_pushes;
-  for (std::size_t k = 0; k < max_threads; ++k) {
+  for (std::size_t k = 0; k < obs_workers; ++k) {
     sparse_pushes.push_back(
         make_sparse_push(static_cast<int>(k), rng, density));
     dense_pushes.push_back(make_dense_push(static_cast<int>(k), rng));
@@ -151,6 +227,16 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    // Observability replay at the sweep's largest configuration: distinct
+    // worker threads + a server pool, so the trace carries worker/server/
+    // shard tracks and the histograms have real contention in them.
+    const std::size_t max_shards = static_cast<std::size_t>(
+        *std::max_element(shard_list.begin(), shard_list.end()));
+    observed_run(sparse_pushes, obs_workers, obs_workers, max_shards, iters,
+                 metrics_out, trace_out);
+  }
+
   table.print(std::cout);
   std::printf(
       "\nExpected shape (given enough cores): dense payloads with >= 2\n"

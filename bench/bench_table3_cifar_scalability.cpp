@@ -63,13 +63,16 @@ int main(int argc, char** argv) {
   baseline.method = Method::kMSGD;
   baseline.workers = 1;
   baseline.record_curve = false;
-  const double msgd = benchkit::run_one(task, data, baseline).final_test_accuracy;
+  baseline.trace = options.trace();
+  const auto msgd_result = benchkit::run_one(task, data, baseline);
+  const double msgd = msgd_result.final_test_accuracy;
+  benchkit::export_metrics(options, msgd_result, "w1/MSGD");
   std::fprintf(stderr, "MSGD baseline: %.2f%%\n", 100.0 * msgd);
 
   util::Table table({"Workers", "Method", "Paper Top-1", "Paper Delta",
-                     "Ours Top-1", "Ours Delta"});
+                     "Ours Top-1", "Ours Delta", "Stale p95"});
   table.add_row({"1", "MSGD", "93.08%", "-",
-                 util::Table::pct(100.0 * msgd, 2, false), "-"});
+                 util::Table::pct(100.0 * msgd, 2, false), "-", "-"});
 
   for (std::int64_t w : worker_list) {
     if (w <= 1) continue;
@@ -79,6 +82,7 @@ int main(int argc, char** argv) {
       spec.method = method;
       spec.workers = static_cast<std::size_t>(w);
       spec.record_curve = false;
+      spec.trace = options.trace();
       const auto result = benchkit::run_one(task, data, spec);
       double paper_top1 = 0.0;
       for (const auto& e : kPaper)
@@ -89,11 +93,16 @@ int main(int argc, char** argv) {
                      util::Table::pct(paper_top1, 2, false),
                      util::Table::pct(paper_top1 - 93.08, 2),
                      util::Table::pct(ours, 2, false),
-                     util::Table::pct(ours - 100.0 * msgd, 2)});
+                     util::Table::pct(ours - 100.0 * msgd, 2),
+                     util::Table::num(result.staleness_hist.p95, 1)});
+      benchkit::export_metrics(options, result,
+                               "w" + std::to_string(w) + "/" +
+                                   core::method_name(method));
       std::fprintf(stderr, "w=%lld %s done (%.2f%%)\n",
                    static_cast<long long>(w), core::method_name(method), ours);
     }
   }
+  benchkit::export_trace(options);
 
   std::printf("== Table 3: Cifar10 scalability (fixed per-worker batch %zu) ==\n",
               task.config.batch_size);

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     std::printf("%-10s wall %.2fs | top-1 %.2f%% | staleness mean %.2f max %llu"
                 " | up %.2f MB down %.2f MB\n",
                 core::method_name(method), result.wall_seconds,
-                100.0 * result.final_test_accuracy, result.staleness.mean,
+                100.0 * result.final_test_accuracy, result.staleness.mean(),
                 static_cast<unsigned long long>(result.staleness.max),
                 result.bytes.upward_bytes / 1e6,
                 result.bytes.downward_bytes / 1e6);

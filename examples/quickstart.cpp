@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
               100.0 * result.final_test_accuracy);
   std::printf("server steps          : %llu\n",
               static_cast<unsigned long long>(result.server_steps));
-  std::printf("mean staleness        : %.2f updates\n", result.staleness.mean);
+  std::printf("mean staleness        : %.2f updates\n", result.staleness.mean());
   std::printf("upward bytes          : %.2f MB in %llu msgs\n",
               result.bytes.upward_bytes / 1e6,
               static_cast<unsigned long long>(result.bytes.upward_messages));

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by the obs tracer.
+
+Checks the schema that Perfetto / chrome://tracing relies on:
+
+  * top level is an object with a "traceEvents" array;
+  * every event has "ph", "pid" and (for M/X/i phases) the fields that
+    phase requires: complete events carry numeric ts/dur, instant events
+    carry ts and scope "t", metadata events name the process or a thread;
+  * every X/i event's tid is covered by a thread_name metadata entry, and
+    the named tracks include at least one worker, one server thread and one
+    shard (the acceptance shape for bench_server_throughput --trace-out).
+
+Usage:
+  check_trace.py trace.json                 # validate an existing file
+  check_trace.py --generate BENCH [--keep]  # run BENCH --trace-out tmp.json
+                                            # (plus --metrics-out, also
+                                            # validated as JSONL) and check
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path: str, require_tracks: bool) -> None:
+    with open(path, "r", encoding="utf-8") as f:
+        trace = json.load(f)
+
+    if not isinstance(trace, dict):
+        fail("top level is not an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing "traceEvents" array')
+
+    track_names = {}  # tid -> name
+    used_tids = set()
+    counts = {"M": 0, "X": 0, "i": 0}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"event {i} is not an object")
+        ph = event.get("ph")
+        if ph not in ("M", "X", "i"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        counts[ph] += 1
+        if "pid" not in event:
+            fail(f"event {i}: missing pid")
+        if ph == "M":
+            if event.get("name") not in ("process_name", "thread_name"):
+                fail(f"event {i}: metadata name {event.get('name')!r}")
+            args = event.get("args", {})
+            if not isinstance(args.get("name"), str):
+                fail(f"event {i}: metadata without args.name")
+            if event["name"] == "thread_name":
+                track_names[event.get("tid")] = args["name"]
+            continue
+        # X and i events.
+        if not isinstance(event.get("ts"), (int, float)):
+            fail(f"event {i}: non-numeric ts")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            fail(f"event {i}: missing name")
+        used_tids.add(event.get("tid"))
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            fail(f"event {i}: complete event without numeric dur")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            fail(f"event {i}: instant event without scope")
+
+    unnamed = used_tids - set(track_names)
+    if unnamed:
+        fail(f"events on tracks with no thread_name metadata: {sorted(unnamed)}")
+
+    if require_tracks:
+        names = set(track_names.values())
+        for prefix in ("worker/", "server/", "shard/"):
+            if not any(n.startswith(prefix) for n in names):
+                fail(f'no "{prefix}*" track among {sorted(names)}')
+        if counts["X"] == 0:
+            fail("no complete (X) events recorded")
+
+    print(
+        f"check_trace: OK: {counts['X']} spans, {counts['i']} instants, "
+        f"{len(track_names)} named tracks"
+    )
+
+
+def validate_metrics_jsonl(path: str) -> None:
+    names = set()
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: invalid JSON ({e})")
+            if entry.get("type") not in ("counter", "gauge", "histogram"):
+                fail(f"{path}:{lineno}: bad type {entry.get('type')!r}")
+            if entry["type"] == "histogram":
+                for field in ("count", "p50", "p95", "bounds", "counts"):
+                    if field not in entry:
+                        fail(f"{path}:{lineno}: histogram missing {field!r}")
+            names.add(entry.get("name"))
+    if "server.push.staleness" not in names:
+        fail(f"no staleness histogram in {path} (got {sorted(names)})")
+    print(f"check_trace: OK: metrics JSONL with {len(names)} instruments")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", help="existing trace JSON file")
+    parser.add_argument(
+        "--generate",
+        metavar="BENCH",
+        help="run this bench with --trace-out/--metrics-out, then validate",
+    )
+    parser.add_argument(
+        "--keep", action="store_true", help="keep the generated files"
+    )
+    args = parser.parse_args()
+
+    if args.generate:
+        out_dir = tempfile.mkdtemp(prefix="dgs_trace_")
+        trace_path = os.path.join(out_dir, "run.trace.json")
+        metrics_path = os.path.join(out_dir, "run.jsonl")
+        cmd = [
+            args.generate,
+            "--iters", "30",
+            "--threads", "2",
+            "--shards", "1,2",
+            "--trace-out", trace_path,
+            "--metrics-out", metrics_path,
+        ]
+        result = subprocess.run(
+            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
+        )
+        if result.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {result.returncode}:\n{result.stderr}")
+        # A DGS_TRACE=OFF build writes a valid but empty trace; only require
+        # the named tracks when events were actually compiled in.
+        with open(trace_path, "r", encoding="utf-8") as f:
+            has_events = any(
+                e.get("ph") in ("X", "i") for e in json.load(f)["traceEvents"]
+            )
+        validate_trace(trace_path, require_tracks=has_events)
+        if not has_events:
+            print("check_trace: note: no events (DGS_TRACE=OFF build?)")
+        validate_metrics_jsonl(metrics_path)
+        if not args.keep:
+            os.remove(trace_path)
+            os.remove(metrics_path)
+            os.rmdir(out_dir)
+    elif args.trace:
+        validate_trace(args.trace, require_tracks=False)
+    else:
+        parser.error("need a trace file or --generate BENCH")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,8 +2,10 @@
 # Build the concurrency-sensitive tests under ThreadSanitizer and run them.
 #
 # Covers the pieces with real cross-thread interaction: the channel layer,
-# the sharded parameter server under concurrent pushes, and the ThreadEngine
-# server pool end to end.
+# the sharded parameter server under concurrent pushes, the ThreadEngine
+# server pool end to end, and the observability layer (metrics striping and
+# the trace ring buffers) — built with DGS_TRACE=ON so the tracer's
+# record/export paths are exercised under TSan too.
 #
 # Usage: scripts/run_tsan.sh [extra ctest/gtest filter]
 set -euo pipefail
@@ -11,13 +13,14 @@ set -euo pipefail
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build="$repo/build-tsan"
 
-cmake --preset tsan -S "$repo" >/dev/null
+cmake --preset tsan -S "$repo" -DDGS_TRACE=ON >/dev/null
 cmake --build "$build" -j"$(nproc)" \
-  --target test_comm --target test_concurrency --target test_engines
+  --target test_comm --target test_concurrency --target test_engines \
+  --target test_obs
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 status=0
-for t in test_comm test_concurrency test_engines; do
+for t in test_comm test_concurrency test_engines test_obs; do
   echo "== TSan: $t =="
   "$build/tests/$t" "${@}" || status=$?
   [ "$status" -ne 0 ] && break

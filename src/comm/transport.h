@@ -26,6 +26,8 @@
 #include "comm/message.h"
 #include "comm/network.h"
 #include "comm/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dgs::comm {
 
@@ -67,28 +69,58 @@ class Transport {
 class ThreadTransport final : public Transport {
  public:
   /// `inbox_capacity` bounds the server inbox (0 = unbounded): with a bound,
-  /// workers block in send_push when the server pool falls behind.
+  /// workers block in send_push when the server pool falls behind. When
+  /// `metrics` is non-null (not owned; must outlive the transport), the
+  /// transport records blocking-time histograms: "transport.send_block_us"
+  /// (worker blocked in send_push under backpressure), "transport
+  /// .recv_wait_us" (server idle waiting for a push) and
+  /// "transport.reply_wait_us" (worker waiting for its reply).
   explicit ThreadTransport(std::size_t num_workers,
-                           std::size_t inbox_capacity = 0)
+                           std::size_t inbox_capacity = 0,
+                           obs::MetricsRegistry* metrics = nullptr)
       : server_inbox_(inbox_capacity) {
     worker_inbox_.reserve(num_workers);
     for (std::size_t k = 0; k < num_workers; ++k)
       worker_inbox_.push_back(std::make_unique<Channel<Message>>());
+    if (metrics != nullptr) {
+      // Log-spaced microsecond buckets, ~0.5us .. ~4s (matches the shard
+      // lock histograms so waits are directly comparable).
+      auto bounds = obs::exponential_bounds(0.5, 2.0, 23);
+      send_block_us_ = &metrics->histogram("transport.send_block_us", bounds);
+      recv_wait_us_ = &metrics->histogram("transport.recv_wait_us", bounds);
+      reply_wait_us_ =
+          &metrics->histogram("transport.reply_wait_us", std::move(bounds));
+    }
   }
 
-  /// Worker -> server. Counts upward traffic; false once shut down.
+  /// Worker -> server. Counts upward traffic; false once shut down. Blocks
+  /// when the inbox is bounded and full (backpressure).
   bool send_push(Message msg) {
+    DGS_TRACE_SCOPE("send_push", "transport");
     const std::size_t bytes = msg.wire_size();
+    const double begin =
+        send_block_us_ != nullptr ? obs::Tracer::now_us() : 0.0;
     if (!server_inbox_.send(std::move(msg))) return false;
+    if (send_block_us_ != nullptr)
+      send_block_us_->record(obs::Tracer::now_us() - begin);
     account_up(bytes);
     return true;
   }
 
   /// Server side: next push, or nullopt after shutdown drains the inbox.
-  std::optional<Message> receive_push() { return server_inbox_.receive(); }
+  std::optional<Message> receive_push() {
+    DGS_TRACE_SCOPE("recv_push", "transport");
+    const double begin =
+        recv_wait_us_ != nullptr ? obs::Tracer::now_us() : 0.0;
+    auto msg = server_inbox_.receive();
+    if (recv_wait_us_ != nullptr)
+      recv_wait_us_->record(obs::Tracer::now_us() - begin);
+    return msg;
+  }
 
   /// Server -> worker k. Counts downward traffic; false once shut down.
   bool send_reply(std::size_t worker, Message msg) {
+    DGS_TRACE_SCOPE("send_reply", "transport");
     const std::size_t bytes = msg.wire_size();
     if (!worker_inbox_.at(worker)->send(std::move(msg))) return false;
     account_down(bytes);
@@ -97,7 +129,13 @@ class ThreadTransport final : public Transport {
 
   /// Worker side: next reply (kModelDiff or kShutdown), nullopt when closed.
   std::optional<Message> receive_reply(std::size_t worker) {
-    return worker_inbox_.at(worker)->receive();
+    DGS_TRACE_SCOPE("wait_reply", "transport");
+    const double begin =
+        reply_wait_us_ != nullptr ? obs::Tracer::now_us() : 0.0;
+    auto msg = worker_inbox_.at(worker)->receive();
+    if (reply_wait_us_ != nullptr)
+      reply_wait_us_->record(obs::Tracer::now_us() - begin);
+    return msg;
   }
 
   /// Budget exhausted: stop accepting pushes and tell every worker to exit.
@@ -124,6 +162,11 @@ class ThreadTransport final : public Transport {
  private:
   Channel<Message> server_inbox_;
   std::vector<std::unique_ptr<Channel<Message>>> worker_inbox_;
+
+  // Observability (see obs/): optional, resolved once at construction.
+  obs::Histogram* send_block_us_ = nullptr;
+  obs::Histogram* recv_wait_us_ = nullptr;
+  obs::Histogram* reply_wait_us_ = nullptr;
 };
 
 /// Modeled-time transport for the DES and synchronous engines. send_*
@@ -132,11 +175,23 @@ class ThreadTransport final : public Transport {
 /// is single-threaded by construction).
 class SimTransport final : public Transport {
  public:
-  explicit SimTransport(NetworkModel network) : network_(network) {}
+  /// When `metrics` is non-null (not owned; must outlive the transport),
+  /// records "transport.sim.link_wait_ms": the *modeled* milliseconds each
+  /// transfer queued behind earlier ones on the shared NIC (both
+  /// directions) — the DES analogue of the thread transport's blocking
+  /// histograms.
+  explicit SimTransport(NetworkModel network,
+                        obs::MetricsRegistry* metrics = nullptr)
+      : network_(network) {
+    if (metrics != nullptr)
+      link_wait_ms_ = &metrics->histogram(
+          "transport.sim.link_wait_ms", obs::exponential_bounds(1e-3, 2.0, 24));
+  }
 
   /// Worker -> server: occupies the shared ingress link, returns arrival.
   double send_push(double now, const Message& msg) {
     account_up(msg.wire_size());
+    record_link_wait(up_, now);
     return up_.begin(now, network_.serialization_seconds(msg.wire_size())) +
            network_.latency_s;
   }
@@ -150,6 +205,7 @@ class SimTransport final : public Transport {
   /// engine's dense model broadcast).
   double send_reply_bytes(double now, std::size_t bytes) {
     account_down(bytes);
+    record_link_wait(down_, now);
     return down_.begin(now, network_.serialization_seconds(bytes)) +
            network_.latency_s;
   }
@@ -161,9 +217,18 @@ class SimTransport final : public Transport {
   [[nodiscard]] const SharedLink& down_link() const noexcept { return down_; }
 
  private:
+  void record_link_wait(const SharedLink& link, double now) noexcept {
+    if (link_wait_ms_ != nullptr)
+      link_wait_ms_->record(
+          link.next_free_time() > now
+              ? (link.next_free_time() - now) * 1e3
+              : 0.0);
+  }
+
   NetworkModel network_;
   SharedLink up_;    ///< All pushes share the server NIC (ingress).
   SharedLink down_;  ///< All replies share the server NIC (egress).
+  obs::Histogram* link_wait_ms_ = nullptr;  ///< See obs/; optional.
 };
 
 }  // namespace dgs::comm

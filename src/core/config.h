@@ -98,6 +98,11 @@ struct TrainConfig {
   /// (backpressure) instead of growing an arbitrarily deep queue.
   std::size_t server_inbox_capacity = 0;
 
+  /// Enable the runtime event tracer for this run (see obs/trace.h): worker,
+  /// server-pool and shard spans are recorded and can be exported as Chrome
+  /// trace JSON. No-op when the build compiled tracing out (DGS_TRACE=OFF).
+  bool trace = false;
+
   /// Learning rate in effect during the given (0-based) global epoch.
   [[nodiscard]] double lr_at_epoch(std::size_t epoch) const noexcept {
     double rate = lr;

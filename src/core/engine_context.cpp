@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace dgs::core {
 
 std::vector<float> initial_parameters(const nn::ModelSpec& spec,
@@ -56,15 +58,22 @@ EngineContext::EngineContext(const char* engine_name,
   jitter_rng_.reserve(config_.num_workers);
   for (std::size_t k = 0; k < config_.num_workers; ++k)
     jitter_rng_.push_back(root.fork(k));
+
+#if DGS_TRACE_COMPILED
+  // Runtime tracing opt-in: the tracer is process-wide (see obs/trace.h),
+  // so a traced run enables it here and the bench exports after run().
+  if (config_.trace) obs::Tracer::instance().enable();
+#endif
 }
 
-ParameterServer EngineContext::make_server() const {
+ParameterServer EngineContext::make_server() {
   ServerOptions options;
   options.num_workers = config_.num_workers;
   options.num_shards = config_.server_shards;
   options.secondary_compression = config_.compression.secondary;
   options.secondary_ratio_percent = config_.compression.secondary_ratio_percent;
   options.min_sparsify_size = config_.compression.min_sparsify_size;
+  options.metrics = &metrics_;
   return ParameterServer(layer_sizes_, theta0_, options);
 }
 
@@ -134,6 +143,17 @@ void EngineContext::finalize(RunResult& result, EpochTracker& epochs,
   for (const auto& worker : workers_)
     result.worker_state_bytes =
         std::max(result.worker_state_bytes, worker->optimizer_state_bytes());
+
+  // Observability tail: snapshot this run's registry into the result and
+  // lift the headline distributions into fixed summary slots (see
+  // core/metrics.h). Engines that never touched an instrument (e.g. SSGD
+  // has no per-push staleness) just get zero-count summaries.
+  result.metrics = metrics_.snapshot();
+  result.staleness_hist = result.metrics.summary_of("server.push.staleness");
+  result.downward_density_hist =
+      result.metrics.summary_of("server.reply.density");
+  result.reply_bytes_hist = result.metrics.summary_of("server.reply.bytes");
+
   result.wall_seconds = wall_.seconds();
 }
 

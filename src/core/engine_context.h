@@ -55,9 +55,14 @@ class EngineContext {
   [[nodiscard]] Evaluator& evaluator() noexcept { return evaluator_; }
 
   /// Parameter server configured from the TrainConfig (compression knobs,
-  /// shard count). Used by the async engines; the SSGD engine aggregates
-  /// in-place instead.
-  [[nodiscard]] ParameterServer make_server() const;
+  /// shard count, this context's metrics registry). Used by the async
+  /// engines; the SSGD engine aggregates in-place instead.
+  [[nodiscard]] ParameterServer make_server();
+
+  /// This run's private metrics registry (see obs/metrics.h). The server,
+  /// transports and engines record into it; finalize() snapshots it into
+  /// RunResult::metrics and the histogram summaries.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
   // ---- schedule / budget ---------------------------------------------------
   [[nodiscard]] std::size_t train_size() const noexcept { return train_size_; }
@@ -81,6 +86,7 @@ class EngineContext {
     double loss_sum = 0.0;
     std::uint64_t loss_count = 0;
     std::uint64_t samples = 0;
+    double update_density_sum = 0.0;  ///< Sum of per-push nnz/dense ratios.
   };
   [[nodiscard]] WorkerTally& tally(std::size_t k) { return tallies_.at(k); }
   [[nodiscard]] double mean_tally_loss() const noexcept;
@@ -144,6 +150,7 @@ class EngineContext {
   TrainConfig config_;
   std::shared_ptr<const data::Dataset> train_;
   std::shared_ptr<const data::Dataset> test_;
+  obs::MetricsRegistry metrics_;
   util::Stopwatch wall_;
   std::vector<float> theta0_;
   std::vector<std::size_t> layer_sizes_;

@@ -51,7 +51,7 @@ RunResult SimEngine::run() {
 
   EngineContext context("SimEngine", spec_, train_, test_, config_);
   ParameterServer server = context.make_server();
-  comm::SimTransport transport(config_.network);
+  comm::SimTransport transport(config_.network, &context.metrics());
   auto epochs = context.make_epoch_tracker(/*eval_final_epoch=*/true);
   const auto server_model = [&server] { return server.global_model_flat(); };
 

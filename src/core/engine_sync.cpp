@@ -26,7 +26,7 @@ RunResult SyncEngine::run() {
   used_ = true;
 
   EngineContext context("SyncEngine", spec_, train_, test_, config_);
-  comm::SimTransport transport(config_.network);
+  comm::SimTransport transport(config_.network, &context.metrics());
   auto epochs = context.make_epoch_tracker(/*eval_final_epoch=*/false);
 
   // Global model as theta0 + layered accumulation (mirrors the PS, but the

@@ -3,11 +3,13 @@
 #include <atomic>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "comm/transport.h"
 #include "core/engine_context.h"
+#include "obs/trace.h"
 
 namespace dgs::core {
 
@@ -29,7 +31,16 @@ RunResult ThreadEngine::run() {
   EngineContext context("ThreadEngine", spec_, train_, test_, config_);
   ParameterServer server = context.make_server();
   comm::ThreadTransport transport(config_.num_workers,
-                                  config_.server_inbox_capacity);
+                                  config_.server_inbox_capacity,
+                                  &context.metrics());
+
+  // Worker-side compute vs. wait accounting: how long each iteration's
+  // forward/backward took and how long the worker then stalled for its
+  // reply (the wait side also lands in "transport.reply_wait_us").
+  obs::Histogram& compute_us = context.metrics().histogram(
+      "worker.compute_us", obs::exponential_bounds(1.0, 2.0, 24));
+  obs::Histogram& wait_us = context.metrics().histogram(
+      "worker.wait_us", obs::exponential_bounds(1.0, 2.0, 24));
 
   // Global sample budget (see engine_context.h): workers race until the
   // collective budget is consumed, so fast workers contribute more updates.
@@ -44,6 +55,10 @@ RunResult ThreadEngine::run() {
   worker_threads.reserve(config_.num_workers);
   for (std::size_t k = 0; k < config_.num_workers; ++k) {
     worker_threads.emplace_back([&, k] {
+#if DGS_TRACE_COMPILED
+      if (obs::Tracer::instance().enabled())
+        obs::Tracer::instance().set_thread_name("worker/" + std::to_string(k));
+#endif
       Worker& w = context.worker(k);
       EngineContext::WorkerTally& tally = context.tally(k);
       while (true) {
@@ -52,15 +67,25 @@ RunResult ThreadEngine::run() {
             config_.batch_size, std::memory_order_relaxed);
         if (claimed >= sample_budget) return;
         const std::size_t epoch = global_epoch.load(std::memory_order_relaxed);
-        IterationResult iter = w.compute_and_pack(
-            static_cast<float>(config_.lr_at_epoch(epoch)), epoch);
+        const double compute_begin = obs::Tracer::now_us();
+        IterationResult iter;
+        {
+          DGS_TRACE_SCOPE("compute", "worker");
+          iter = w.compute_and_pack(
+              static_cast<float>(config_.lr_at_epoch(epoch)), epoch);
+        }
+        compute_us.record(obs::Tracer::now_us() - compute_begin);
         tally.loss_sum += iter.loss;
         ++tally.loss_count;
         tally.samples += iter.batch;
         if (!transport.send_push(std::move(iter.push))) return;
+        tally.update_density_sum += iter.update_density;  // sent pushes only
+        const double wait_begin = obs::Tracer::now_us();
         const auto reply = transport.receive_reply(k);
+        wait_us.record(obs::Tracer::now_us() - wait_begin);
         if (!reply || reply->kind == comm::MessageKind::kShutdown)
           return;  // server exhausted the budget and broadcast the stop
+        DGS_TRACE_SCOPE("apply_diff", "worker");
         w.apply_model_diff(*reply);
       }
     });
@@ -82,7 +107,14 @@ RunResult ThreadEngine::run() {
 
   const std::size_t pool_size =
       config_.server_threads > 0 ? config_.server_threads : 1;
-  auto serve = [&] {
+  auto serve = [&](std::size_t thread_index) {
+#if DGS_TRACE_COMPILED
+    if (obs::Tracer::instance().enabled())
+      obs::Tracer::instance().set_thread_name("server/" +
+                                              std::to_string(thread_index));
+#else
+    (void)thread_index;
+#endif
     StalenessStats staleness_stripe;
     while (true) {
       auto push = transport.receive_push();
@@ -117,7 +149,8 @@ RunResult ThreadEngine::run() {
 
   std::vector<std::thread> server_pool;
   server_pool.reserve(pool_size);
-  for (std::size_t t = 0; t < pool_size; ++t) server_pool.emplace_back(serve);
+  for (std::size_t t = 0; t < pool_size; ++t)
+    server_pool.emplace_back([&serve, t] { serve(t); });
   for (auto& t : server_pool) t.join();
   transport.shutdown();  // budget may be unreachable if workers quit first
   for (auto& t : worker_threads) t.join();
@@ -125,6 +158,17 @@ RunResult ThreadEngine::run() {
   // ---- final metrics ---------------------------------------------------------
   result.bytes = transport.bytes();
   result.samples_processed = context.total_tally_samples();
+  if (result.bytes.upward_messages > 0) {
+    double density_sum = 0.0;
+    for (std::size_t k = 0; k < config_.num_workers; ++k)
+      density_sum += context.tally(k).update_density_sum;
+    result.mean_upward_density =
+        density_sum / static_cast<double>(result.bytes.upward_messages);
+  }
+  if (server.total_reply_dense() > 0)
+    result.mean_downward_density =
+        static_cast<double>(server.total_reply_nnz()) /
+        static_cast<double>(server.total_reply_dense());
   result.server_steps = server.step();
   result.server_state_bytes = server.state_bytes();
   context.finalize(result, epochs, server.global_model_flat(),

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "comm/stats.h"
+#include "obs/metrics.h"
 
 namespace dgs::core {
 
@@ -17,25 +18,27 @@ struct EpochPoint {
   double test_loss = 0.0;
 };
 
+/// Sum + count accumulation (the incremental running-mean form loses
+/// precision and pays a divide per record); the mean is derived on read.
 struct StalenessStats {
   std::uint64_t count = 0;
-  double mean = 0.0;
   std::uint64_t max = 0;
+  double sum = 0.0;
 
   void record(std::uint64_t staleness) noexcept {
-    mean = (mean * static_cast<double>(count) + static_cast<double>(staleness)) /
-           static_cast<double>(count + 1);
+    sum += static_cast<double>(staleness);
     ++count;
     if (staleness > max) max = staleness;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
   }
 
   /// Fold another accumulator in (used to merge the per-server-thread
   /// stripes of the concurrent ThreadEngine).
   void merge(const StalenessStats& other) noexcept {
-    if (other.count == 0) return;
-    mean = (mean * static_cast<double>(count) +
-            other.mean * static_cast<double>(other.count)) /
-           static_cast<double>(count + other.count);
+    sum += other.sum;
     count += other.count;
     if (other.max > max) max = other.max;
   }
@@ -58,6 +61,18 @@ struct RunResult {
   std::size_t worker_state_bytes = 0;  ///< Max optimizer state over workers.
   double mean_upward_density = 0.0;    ///< Mean nnz/dense of pushed updates.
   double mean_downward_density = 0.0;  ///< Mean nnz/dense of model-diff replies.
+
+  /// Distribution summaries (count/mean/p50/p95/max) alongside the scalar
+  /// means above, filled from the run's metrics registry (see obs/metrics.h
+  /// and DESIGN.md §10). Zero when the engine recorded no samples (e.g. the
+  /// SSGD engine has no per-push staleness).
+  obs::HistogramSummary staleness_hist;
+  obs::HistogramSummary downward_density_hist;
+  obs::HistogramSummary reply_bytes_hist;
+
+  /// Full snapshot of every counter/gauge/histogram the run recorded;
+  /// exportable via MetricsSnapshot::write_jsonl / write_csv.
+  obs::MetricsSnapshot metrics;
 
   /// Training throughput in samples per simulated second.
   [[nodiscard]] double samples_per_second() const noexcept {

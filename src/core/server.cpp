@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/payload.h"
+#include "obs/trace.h"
 
 namespace dgs::core {
 
@@ -36,17 +37,37 @@ ParameterServer::ParameterServer(std::vector<std::size_t> layer_sizes,
     const std::size_t end =
         s + 1 < firsts.size() ? firsts[s + 1] : layer_sizes_.size();
     shards_.push_back(std::make_unique<ServerShard>(
-        first,
+        s, first,
         std::vector<std::size_t>(layer_sizes_.begin() +
                                      static_cast<std::ptrdiff_t>(first),
                                  layer_sizes_.begin() +
                                      static_cast<std::ptrdiff_t>(end)),
-        options_.num_workers));
+        options_.num_workers, options_.metrics));
+  }
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    // Staleness is a small-integer distribution (bounded by in-flight
+    // pushes); densities live in [0, 1]; reply sizes span bytes..GBs.
+    instruments_.staleness =
+        &m.histogram("server.push.staleness",
+                     {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128,
+                      192, 256, 384, 512, 768, 1024});
+    instruments_.push_layer_density = &m.histogram(
+        "server.push.layer_density", obs::linear_bounds(0.05, 0.05, 20));
+    instruments_.reply_density = &m.histogram(
+        "server.reply.density", obs::linear_bounds(0.05, 0.05, 20));
+    instruments_.reply_layer_density = &m.histogram(
+        "server.reply.layer_density", obs::linear_bounds(0.05, 0.05, 20));
+    instruments_.reply_bytes = &m.histogram(
+        "server.reply.bytes", obs::exponential_bounds(64.0, 2.0, 26));
+    instruments_.pushes = &m.counter("server.pushes");
   }
 }
 
 comm::Message ParameterServer::handle_push(const comm::Message& push,
                                            std::uint64_t* staleness_out) {
+  DGS_TRACE_SCOPE("handle_push", "server");
   if (push.kind != comm::MessageKind::kGradientPush)
     throw std::invalid_argument("server: expected gradient push");
   const auto worker = static_cast<std::size_t>(push.worker_id);
@@ -55,13 +76,26 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
 
   // Decode once and validate every segment before any shard is touched, so
   // a malformed push never leaves M partially updated.
-  const DecodedUpdate decoded = decode_update(push.payload);
+  DecodedUpdate decoded;
   std::vector<const DecodedLayer*> by_layer(layer_sizes_.size(), nullptr);
-  for (const DecodedLayer& segment : decoded) {
-    if (segment.layer() >= layer_sizes_.size() ||
-        segment.dense_size() != layer_sizes_[segment.layer()])
-      throw std::runtime_error("server: push layer shape mismatch");
-    by_layer[segment.layer()] = &segment;
+  {
+    DGS_TRACE_SCOPE("decode+validate", "server");
+    decoded = decode_update(push.payload);
+    for (const DecodedLayer& segment : decoded) {
+      if (segment.layer() >= layer_sizes_.size() ||
+          segment.dense_size() != layer_sizes_[segment.layer()])
+        throw std::runtime_error("server: push layer shape mismatch");
+      by_layer[segment.layer()] = &segment;
+    }
+  }
+
+  if (instruments_.push_layer_density != nullptr) {
+    for (const DecodedLayer& segment : decoded)
+      instruments_.push_layer_density->record(
+          segment.sparse && segment.dense_size() > 0
+              ? static_cast<double>(segment.chunk.nnz()) /
+                    static_cast<double>(segment.dense_size())
+              : 1.0);
   }
 
   // Advance the server timestamp t and compute this push's staleness
@@ -78,11 +112,14 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
   sparse::SparseUpdate g;
   g.layers.reserve(layer_sizes_.size());
   std::uint64_t sparse_nnz = 0;
-  for (const auto& shard : shards_) {
-    ServerShard::ReplySegment segment =
-        shard->apply_and_reply(worker, by_layer, -1.0f, reply_policy_);
-    sparse_nnz += segment.nnz;
-    for (auto& chunk : segment.layers) g.layers.push_back(std::move(chunk));
+  {
+    DGS_TRACE_SCOPE("apply+build_reply", "server");
+    for (const auto& shard : shards_) {
+      ServerShard::ReplySegment segment =
+          shard->apply_and_reply(worker, by_layer, -1.0f, reply_policy_);
+      sparse_nnz += segment.nnz;
+      for (auto& chunk : segment.layers) g.layers.push_back(std::move(chunk));
+    }
   }
 
   total_reply_nnz_.fetch_add(sparse_nnz, std::memory_order_relaxed);
@@ -98,17 +135,36 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
   // model difference that is more than half dense (as it is for ASGD, which
   // effectively downloads the whole model) ships dense — exactly the
   // downward bottleneck the paper describes.
-  if (sparse_nnz * 2 >= total_numel_ && !options_.secondary_compression) {
-    sparse::DenseUpdate dense;
-    dense.layers.resize(g.layers.size());
-    for (std::size_t j = 0; j < g.layers.size(); ++j) {
-      dense.layers[j].layer = g.layers[j].layer;
-      dense.layers[j].values = sparse::densify(g.layers[j]);
+  {
+    DGS_TRACE_SCOPE("encode_reply", "server");
+    if (sparse_nnz * 2 >= total_numel_ && !options_.secondary_compression) {
+      sparse::DenseUpdate dense;
+      dense.layers.resize(g.layers.size());
+      for (std::size_t j = 0; j < g.layers.size(); ++j) {
+        dense.layers[j].layer = g.layers[j].layer;
+        dense.layers[j].values = sparse::densify(g.layers[j]);
+      }
+      reply.payload = sparse::encode(dense);
+    } else {
+      reply.payload = sparse::encode(g);
     }
-    reply.payload = sparse::encode(dense);
-  } else {
-    reply.payload = sparse::encode(g);
   }
+
+  if (instruments_.staleness != nullptr) {
+    instruments_.pushes->add(1);
+    instruments_.staleness->record(static_cast<double>(staleness));
+    instruments_.reply_density->record(
+        total_numel_ > 0
+            ? static_cast<double>(sparse_nnz) / static_cast<double>(total_numel_)
+            : 0.0);
+    instruments_.reply_bytes->record(static_cast<double>(reply.wire_size()));
+    for (const auto& chunk : g.layers)
+      if (chunk.dense_size > 0)
+        instruments_.reply_layer_density->record(
+            static_cast<double>(chunk.nnz()) /
+            static_cast<double>(chunk.dense_size));
+  }
+  DGS_TRACE_INSTANT("staleness", "server", staleness);
 
   prev_[worker].store(t_after, std::memory_order_relaxed);
   last_staleness_.store(staleness, std::memory_order_relaxed);

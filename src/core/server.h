@@ -31,6 +31,7 @@
 #include "core/config.h"
 #include "core/layered.h"
 #include "core/server_shard.h"
+#include "obs/metrics.h"
 #include "sparse/codec.h"
 
 namespace dgs::core {
@@ -45,6 +46,11 @@ struct ServerOptions {
   /// Layers smaller than this are exempt from secondary compression,
   /// mirroring CompressionConfig::min_sparsify_size on the worker side.
   std::size_t min_sparsify_size = 0;
+  /// Optional metrics sink (not owned; must outlive the server). When set,
+  /// handle_push records staleness, per-layer and per-reply densities and
+  /// reply bytes, and the shards record lock wait/hold times. Null keeps
+  /// the hot path free of any accounting beyond the existing atomics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ParameterServer {
@@ -118,6 +124,17 @@ class ParameterServer {
   std::atomic<std::uint64_t> last_staleness_{0};
   std::atomic<std::uint64_t> total_reply_nnz_{0};
   std::atomic<std::uint64_t> total_reply_dense_{0};
+
+  // Observability (see obs/): instrument pointers resolved once in the
+  // constructor, all null when options.metrics is null.
+  struct {
+    obs::Histogram* staleness = nullptr;
+    obs::Histogram* push_layer_density = nullptr;
+    obs::Histogram* reply_density = nullptr;
+    obs::Histogram* reply_layer_density = nullptr;
+    obs::Histogram* reply_bytes = nullptr;
+    obs::Counter* pushes = nullptr;
+  } instruments_;
 };
 
 }  // namespace dgs::core

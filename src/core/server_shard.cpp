@@ -1,20 +1,41 @@
 #include "core/server_shard.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/trace.h"
 #include "sparse/topk.h"
 #include "util/math_kernels.h"
 
 namespace dgs::core {
 
-ServerShard::ServerShard(std::size_t first_layer,
+ServerShard::ServerShard(std::size_t index, std::size_t first_layer,
                          std::vector<std::size_t> sizes,
-                         std::size_t num_workers)
+                         std::size_t num_workers,
+                         obs::MetricsRegistry* metrics)
     : first_layer_(first_layer), m_(make_layered(sizes)) {
   for (std::size_t s : sizes) numel_ += s;
   v_.reserve(num_workers);
   for (std::size_t k = 0; k < num_workers; ++k)
     v_.push_back(make_layered(sizes));
+
+  if (metrics != nullptr) {
+    // Both timings share log-spaced microsecond buckets (~0.5us .. ~4s).
+    lock_wait_us_ = &metrics->histogram("server.shard.lock_wait_us",
+                                        obs::exponential_bounds(0.5, 2.0, 23));
+    lock_hold_us_ = &metrics->histogram("server.shard.lock_hold_us",
+                                        obs::exponential_bounds(0.5, 2.0, 23));
+  }
+#if DGS_TRACE_COMPILED
+  // Register a resource track only when a tracing run is already underway;
+  // otherwise long-lived processes creating many servers would bloat the
+  // track table with shards that never record.
+  if (obs::Tracer::instance().enabled())
+    trace_track_ = obs::Tracer::instance().register_track(
+        "shard/" + std::to_string(index));
+#else
+  (void)index;
+#endif
 }
 
 ServerShard::ReplySegment ServerShard::apply_and_reply(
@@ -24,7 +45,12 @@ ServerShard::ReplySegment ServerShard::apply_and_reply(
   reply.layers.reserve(m_.size());
   std::vector<float> diff;
 
-  std::lock_guard lock(mutex_);
+  const bool timed = lock_wait_us_ != nullptr;
+  const double wait_begin = timed ? obs::Tracer::now_us() : 0.0;
+  std::unique_lock lock(mutex_);
+  const double hold_begin = timed ? obs::Tracer::now_us() : 0.0;
+  if (timed) lock_wait_us_->record(hold_begin - wait_begin);
+  DGS_TRACE_SCOPE_TRACK("apply+reply", "shard", trace_track_);
   LayeredVec& vk = v_[worker];
   for (std::size_t j = 0; j < m_.size(); ++j) {
     const std::size_t global = first_layer_ + j;
@@ -62,6 +88,7 @@ ServerShard::ReplySegment ServerShard::apply_and_reply(
     sparse::scatter_add(chunk, 1.0f, {vk[j].data(), vk[j].size()});
     reply.layers.push_back(std::move(chunk));
   }
+  if (timed) lock_hold_us_->record(obs::Tracer::now_us() - hold_begin);
   return reply;
 }
 

@@ -19,6 +19,7 @@
 
 #include "core/layered.h"
 #include "core/payload.h"
+#include "obs/metrics.h"
 #include "sparse/coo.h"
 
 namespace dgs::core {
@@ -34,9 +35,14 @@ struct ShardReplyPolicy {
 
 class ServerShard {
  public:
-  /// Shard owning layers [first_layer, first_layer + sizes.size()).
-  ServerShard(std::size_t first_layer, std::vector<std::size_t> sizes,
-              std::size_t num_workers);
+  /// Shard `index` owning layers [first_layer, first_layer + sizes.size()).
+  /// When `metrics` is non-null the shard records lock wait / hold time
+  /// histograms ("server.shard.lock_wait_us" / "lock_hold_us"), and its
+  /// critical section shows up as a span on a "shard/<index>" trace track
+  /// when tracing is enabled at construction.
+  ServerShard(std::size_t index, std::size_t first_layer,
+              std::vector<std::size_t> sizes, std::size_t num_workers,
+              obs::MetricsRegistry* metrics = nullptr);
 
   struct ReplySegment {
     /// Reply chunks for this shard's layers, in ascending global layer
@@ -78,6 +84,11 @@ class ServerShard {
   std::size_t numel_ = 0;
   LayeredVec m_;                ///< This shard's slice of M_t.
   std::vector<LayeredVec> v_;  ///< [worker][local layer] slice of v_k.
+
+  // Observability (see obs/): optional, resolved once at construction.
+  obs::Histogram* lock_wait_us_ = nullptr;
+  obs::Histogram* lock_hold_us_ = nullptr;
+  std::uint32_t trace_track_ = 0;  ///< Virtual "shard/N" track (0 = none).
 };
 
 /// Contiguous layer partition balanced by element count: returns the first

@@ -1,0 +1,270 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace dgs::obs {
+
+namespace {
+
+/// JSON-safe number rendering: shortest round-trip double, with NaN and
+/// infinities (not representable in JSON) clamped to 0 / +-1e308.
+std::string jnum(double v) {
+  if (std::isnan(v)) v = 0.0;
+  if (std::isinf(v)) v = v > 0 ? 1e308 : -1e308;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::vector<double> linear_bounds(double start, double width, std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    bounds.push_back(start + width * static_cast<double>(i));
+  return bounds;
+}
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double bound = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+namespace detail {
+std::size_t thread_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+}  // namespace detail
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: empty bucket bounds");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  // Buckets first: a record() racing the snapshot can at worst make the
+  // aggregate fields slightly ahead of the bucket counts, never behind.
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  snap.count = 0;
+  for (std::uint64_t c : snap.counts) snap.count += c;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  snap.max = snap.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(cum + counts[i]) >= rank) {
+      // Interpolate inside bucket i; the open ends (first bucket's lower
+      // edge, overflow bucket's upper edge) use the observed min/max.
+      double lo = i == 0 ? min : bounds[i - 1];
+      double hi = i < bounds.size() ? bounds[i] : max;
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (hi < lo) hi = lo;
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    cum += counts[i];
+  }
+  return max;
+}
+
+HistogramSummary summarize(const HistogramSnapshot& hist) {
+  HistogramSummary summary;
+  summary.count = hist.count;
+  summary.mean = hist.mean();
+  summary.p50 = hist.quantile(0.50);
+  summary.p95 = hist.quantile(0.95);
+  summary.max = hist.max;
+  return summary;
+}
+
+// ---- MetricsSnapshot --------------------------------------------------------
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    const std::string& name) const noexcept {
+  for (const auto& [hist_name, hist] : histograms)
+    if (hist_name == name) return &hist;
+  return nullptr;
+}
+
+HistogramSummary MetricsSnapshot::summary_of(const std::string& name) const {
+  const HistogramSnapshot* hist = find_histogram(name);
+  return hist != nullptr ? summarize(*hist) : HistogramSummary{};
+}
+
+void MetricsSnapshot::write_jsonl(std::ostream& os,
+                                  const std::string& run) const {
+  const std::string run_field =
+      run.empty() ? std::string() : "\"run\":\"" + run + "\",";
+  for (const auto& [name, value] : counters)
+    os << "{" << run_field << "\"type\":\"counter\",\"name\":\"" << name
+       << "\",\"value\":" << value << "}\n";
+  for (const auto& [name, value] : gauges)
+    os << "{" << run_field << "\"type\":\"gauge\",\"name\":\"" << name
+       << "\",\"value\":" << jnum(value) << "}\n";
+  for (const auto& [name, hist] : histograms) {
+    os << "{" << run_field << "\"type\":\"histogram\",\"name\":\"" << name
+       << "\",\"count\":" << hist.count << ",\"sum\":" << jnum(hist.sum)
+       << ",\"min\":" << jnum(hist.min) << ",\"max\":" << jnum(hist.max)
+       << ",\"mean\":" << jnum(hist.mean())
+       << ",\"p50\":" << jnum(hist.quantile(0.50))
+       << ",\"p95\":" << jnum(hist.quantile(0.95))
+       << ",\"p99\":" << jnum(hist.quantile(0.99)) << ",\"bounds\":[";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i)
+      os << (i ? "," : "") << jnum(hist.bounds[i]);
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i)
+      os << (i ? "," : "") << hist.counts[i];
+    os << "]}\n";
+  }
+}
+
+void MetricsSnapshot::write_csv(std::ostream& os, bool header) const {
+  if (header) os << "name,type,value,count,mean,p50,p95,max\n";
+  for (const auto& [name, value] : counters)
+    os << name << ",counter," << value << ",,,,,\n";
+  for (const auto& [name, value] : gauges)
+    os << name << ",gauge," << jnum(value) << ",,,,,\n";
+  for (const auto& [name, hist] : histograms)
+    os << name << ",histogram," << jnum(hist.sum) << "," << hist.count << ","
+       << jnum(hist.mean()) << "," << jnum(hist.quantile(0.50)) << ","
+       << jnum(hist.quantile(0.95)) << "," << jnum(hist.max) << "\n";
+}
+
+bool MetricsSnapshot::append_jsonl(const std::string& path,
+                                   const std::string& run) const {
+  std::ofstream os(path, std::ios::app);
+  if (!os) return false;
+  write_jsonl(os, run);
+  return static_cast<bool>(os);
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    snap.counters.emplace_back(name, counter->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_)
+    snap.gauges.emplace_back(name, gauge->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_)
+    snap.histograms.emplace_back(name, hist->snapshot());
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+}  // namespace dgs::obs

@@ -1,0 +1,187 @@
+// Runtime metrics: named counters, gauges and fixed-bucket histograms.
+//
+// Designed for the async hot paths (server pool threads, worker threads):
+// every instrument is lock-free on record — counters stripe across
+// cache-line-padded atomic cells indexed by a per-thread stripe id,
+// histograms use one relaxed atomic per bucket — and the registry mutex is
+// only taken on first registration and on snapshot. Snapshots are plain
+// value types that can be exported as JSONL (one metric per line) or CSV
+// and queried for interpolated quantiles (p50/p95/p99).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dgs::obs {
+
+// ---- bucket helpers ---------------------------------------------------------
+
+/// Upper bounds {start, start+width, ...}, `n` buckets; a final implicit
+/// overflow bucket catches everything above the last bound.
+[[nodiscard]] std::vector<double> linear_bounds(double start, double width,
+                                                std::size_t n);
+/// Upper bounds {start, start*factor, start*factor^2, ...}, `n` buckets.
+[[nodiscard]] std::vector<double> exponential_bounds(double start,
+                                                     double factor,
+                                                     std::size_t n);
+
+// ---- instruments ------------------------------------------------------------
+
+namespace detail {
+/// Stable per-thread stripe id so concurrent writers hit distinct cells.
+[[nodiscard]] std::size_t thread_stripe() noexcept;
+}  // namespace detail
+
+/// Monotonic counter, striped to avoid cross-thread cache-line ping-pong.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[detail::thread_stripe() % kStripes].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Cell& cell : cells_) sum += cell.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (Cell& cell : cells_) cell.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_;
+};
+
+/// Last-write-wins scalar (e.g. queue depth, configured pool size).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Immutable-snapshot view of one histogram; quantiles interpolate linearly
+/// inside the bucket containing the requested rank, clamped to the observed
+/// [min, max].
+struct HistogramSnapshot {
+  std::vector<double> bounds;        ///< Upper bounds, ascending.
+  std::vector<std::uint64_t> counts; ///< bounds.size() + 1 (last = overflow).
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< Meaningless when count == 0.
+  double max = 0.0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+/// Fixed-bucket histogram. Bucket i holds values in (bounds[i-1], bounds[i]]
+/// (the first bucket is (-inf, bounds[0]]); values above the last bound land
+/// in an overflow bucket. record() is a handful of relaxed atomic ops.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1 cells
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+// ---- snapshot / export ------------------------------------------------------
+
+/// Compact summary carried in core::RunResult next to the scalar means.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] HistogramSummary summarize(const HistogramSnapshot& hist);
+
+/// Point-in-time copy of every registered instrument.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Lookup by name; nullptr when the histogram was never registered.
+  [[nodiscard]] const HistogramSnapshot* find_histogram(
+      const std::string& name) const noexcept;
+  [[nodiscard]] HistogramSummary summary_of(const std::string& name) const;
+
+  /// One JSON object per line; `run` (when non-empty) tags every line so
+  /// appended snapshots from a sweep stay distinguishable.
+  void write_jsonl(std::ostream& os, const std::string& run = "") const;
+  void write_csv(std::ostream& os, bool header = true) const;
+  bool append_jsonl(const std::string& path, const std::string& run = "") const;
+};
+
+/// Named-instrument registry. counter()/gauge()/histogram() create on first
+/// use (under a mutex) and return a reference that stays valid for the
+/// registry's lifetime — instrumented sites resolve once and cache the
+/// pointer. snapshot() merges the striped state without stopping writers.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// `bounds` is consulted only on first registration of `name`.
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every instrument; references handed out earlier stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dgs::obs

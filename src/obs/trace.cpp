@@ -1,0 +1,196 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace dgs::obs {
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string jnum(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+double Tracer::now_us() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch)
+      .count();
+}
+
+void Tracer::enable(std::size_t events_per_thread) {
+  capacity_.store(events_per_thread > 0 ? events_per_thread : 1,
+                  std::memory_order_relaxed);
+  (void)now_us();  // pin the epoch before the first event
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (!buffer) {
+    buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard lock(mutex_);
+    track_names_.push_back("thread/" +
+                           std::to_string(track_names_.size() + 1));
+    buffer->track = static_cast<std::uint32_t>(track_names_.size());
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard lock(mutex_);
+  track_names_.at(buffer.track - 1) = name;
+}
+
+std::uint32_t Tracer::register_track(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  track_names_.push_back(name);
+  return static_cast<std::uint32_t>(track_names_.size());
+}
+
+void Tracer::record(const TraceEvent& event) {
+  ThreadBuffer& buffer = local_buffer();
+  const std::size_t capacity = capacity_.load(std::memory_order_relaxed);
+  std::lock_guard lock(buffer.mutex);
+  if (buffer.ring.size() < capacity) {
+    buffer.ring.push_back(event);
+  } else {
+    buffer.ring[buffer.head] = event;
+    buffer.head = (buffer.head + 1) % buffer.ring.size();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::record_complete(const char* name, const char* cat, double ts_us,
+                             double dur_us, std::uint32_t track) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us >= 0.0 ? dur_us : 0.0;
+  event.track = track;
+  record(event);
+}
+
+void Tracer::record_instant(const char* name, const char* cat,
+                            std::uint64_t arg, bool has_arg,
+                            std::uint32_t track) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ts_us = now_us();
+  event.dur_us = -1.0;
+  event.track = track;
+  event.arg = arg;
+  event.has_arg = has_arg;
+  record(event);
+}
+
+void Tracer::export_json(std::ostream& os) const {
+  // Copy under locks first so emission happens without blocking writers.
+  std::vector<std::string> names;
+  std::vector<std::pair<std::uint32_t, std::vector<TraceEvent>>> per_thread;
+  {
+    std::lock_guard lock(mutex_);
+    names = track_names_;
+    per_thread.reserve(buffers_.size());
+    for (const auto& buffer : buffers_) {
+      std::lock_guard buffer_lock(buffer->mutex);
+      per_thread.emplace_back(buffer->track, buffer->ring);
+    }
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  comma();
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"dgs\"}}";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << i + 1
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << escape_json(names[i]) << "\"}}";
+  }
+
+  for (const auto& [own_track, events] : per_thread) {
+    for (const TraceEvent& event : events) {
+      const std::uint32_t tid = event.track != 0 ? event.track : own_track;
+      comma();
+      if (event.dur_us >= 0.0) {
+        os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+           << ",\"ts\":" << jnum(event.ts_us)
+           << ",\"dur\":" << jnum(event.dur_us) << ",\"name\":\""
+           << escape_json(event.name) << "\",\"cat\":\""
+           << escape_json(event.cat) << "\"}";
+      } else {
+        os << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid
+           << ",\"ts\":" << jnum(event.ts_us) << ",\"s\":\"t\",\"name\":\""
+           << escape_json(event.name) << "\",\"cat\":\""
+           << escape_json(event.cat) << "\"";
+        if (event.has_arg) os << ",\"args\":{\"value\":" << event.arg << "}";
+        os << "}";
+      }
+    }
+  }
+  os << "]}\n";
+}
+
+bool Tracer::export_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  export_json(os);
+  return static_cast<bool>(os);
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard buffer_lock(buffer->mutex);
+    buffer->ring.clear();
+    buffer->head = 0;
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dgs::obs

@@ -1,0 +1,173 @@
+// Chrome trace_event recorder: RAII scoped spans and instant events written
+// into per-thread ring buffers and exported as JSON that Perfetto /
+// chrome://tracing can open directly.
+//
+// Cost model: recording is gated twice. At compile time the DGS_TRACE CMake
+// option (on by default) controls whether the DGS_TRACE_* macros expand at
+// all — with it OFF every span compiles to nothing. At runtime the tracer
+// is off until Tracer::enable() flips an atomic flag; a disabled span costs
+// one relaxed load and a branch, so instrumentation can stay in the hot
+// paths permanently. When enabled, each event is one timestamped struct
+// appended to the calling thread's bounded ring buffer (oldest events are
+// overwritten), guarded by a per-thread mutex that is only ever contended
+// by export.
+//
+// Tracks: every recording thread gets its own track, named via
+// set_thread_name ("worker/3", "server/1"). register_track creates a
+// *virtual* track ("shard/2") that any thread can target explicitly — used
+// for spans that describe a resource (a shard's critical section) rather
+// than a thread.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// events store the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dgs::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< Static string; not owned.
+  const char* cat = nullptr;   ///< Static string; not owned.
+  double ts_us = 0.0;          ///< Start, microseconds since tracer epoch.
+  double dur_us = -1.0;        ///< Span duration; < 0 marks an instant event.
+  std::uint32_t track = 0;     ///< Resolved track id (1-based).
+  std::uint64_t arg = 0;       ///< Optional numeric payload ("value" arg).
+  bool has_arg = false;
+};
+
+class Tracer {
+ public:
+  /// Process-wide tracer (thread-local ring buffers make per-run instances
+  /// impractical; runs isolate by clear() + export).
+  [[nodiscard]] static Tracer& instance();
+
+  /// Start recording; each thread buffers up to `events_per_thread` events
+  /// (ring, oldest overwritten). Idempotent.
+  void enable(std::size_t events_per_thread = 1 << 15);
+  void disable() noexcept {
+    enabled_.store(false, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the tracer epoch (steady clock).
+  [[nodiscard]] static double now_us() noexcept;
+
+  /// Name the calling thread's track (e.g. "worker/0"). Safe any time.
+  void set_thread_name(const std::string& name);
+  /// Create a named virtual track and return its id for explicit targeting.
+  [[nodiscard]] std::uint32_t register_track(const std::string& name);
+
+  /// Record a complete ('X') span. track == 0 targets the calling thread's
+  /// own track. No-op while disabled.
+  void record_complete(const char* name, const char* cat, double ts_us,
+                       double dur_us, std::uint32_t track = 0);
+  /// Record an instant ('i') event, optionally carrying a numeric value.
+  void record_instant(const char* name, const char* cat, std::uint64_t arg = 0,
+                      bool has_arg = false, std::uint32_t track = 0);
+
+  /// Export everything buffered so far as Chrome trace JSON. Safe while
+  /// other threads keep recording (their buffers are locked one at a time).
+  void export_json(std::ostream& os) const;
+  bool export_json(const std::string& path) const;
+
+  /// Drop all buffered events (track registrations are kept).
+  void clear();
+
+  /// Events overwritten because a ring filled up (diagnostic).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> ring;
+    std::size_t head = 0;  ///< Next overwrite position once full.
+    std::uint32_t track = 0;
+  };
+
+  Tracer() = default;
+  ThreadBuffer& local_buffer();
+  void record(const TraceEvent& event);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_{1 << 15};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;  ///< Guards buffers_ and track_names_.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::string> track_names_;
+};
+
+/// RAII span: captures the start time if tracing is enabled at entry and
+/// records a complete event at scope exit.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat,
+                      std::uint32_t track = 0) noexcept {
+    if (Tracer::instance().enabled()) {
+      name_ = name;
+      cat_ = cat;
+      track_ = track;
+      start_us_ = Tracer::now_us();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr)
+      Tracer::instance().record_complete(name_, cat_, start_us_,
+                                         Tracer::now_us() - start_us_, track_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  double start_us_ = 0.0;
+  std::uint32_t track_ = 0;
+};
+
+}  // namespace dgs::obs
+
+// ---- instrumentation macros -------------------------------------------------
+// DGS_TRACE_COMPILED is defined by CMake (option DGS_TRACE, default ON).
+// With it OFF, spans vanish entirely; the Tracer class itself stays
+// available so enable()/export paths still link.
+#ifndef DGS_TRACE_COMPILED
+#define DGS_TRACE_COMPILED 1
+#endif
+
+#if DGS_TRACE_COMPILED
+#define DGS_OBS_CONCAT_IMPL(a, b) a##b
+#define DGS_OBS_CONCAT(a, b) DGS_OBS_CONCAT_IMPL(a, b)
+#define DGS_TRACE_SCOPE(name, cat) \
+  ::dgs::obs::ScopedSpan DGS_OBS_CONCAT(dgs_trace_span_, __LINE__)(name, cat)
+#define DGS_TRACE_SCOPE_TRACK(name, cat, track)                          \
+  ::dgs::obs::ScopedSpan DGS_OBS_CONCAT(dgs_trace_span_, __LINE__)(name, \
+                                                                   cat, track)
+#define DGS_TRACE_INSTANT(name, cat, value)                             \
+  do {                                                                  \
+    ::dgs::obs::Tracer& dgs_trace_tracer = ::dgs::obs::Tracer::instance(); \
+    if (dgs_trace_tracer.enabled())                                     \
+      dgs_trace_tracer.record_instant(                                  \
+          name, cat, static_cast<std::uint64_t>(value), true);          \
+  } while (0)
+#else
+#define DGS_TRACE_SCOPE(name, cat) \
+  do {                             \
+  } while (0)
+#define DGS_TRACE_SCOPE_TRACK(name, cat, track) \
+  do {                                          \
+  } while (0)
+#define DGS_TRACE_INSTANT(name, cat, value) \
+  do {                                      \
+  } while (0)
+#endif

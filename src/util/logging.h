@@ -9,8 +9,10 @@ namespace dgs::util {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
-/// Global threshold; messages above it are dropped. Not synchronized —
-/// set once at startup before spawning threads.
+/// Global threshold; messages above it are dropped. The level is an atomic
+/// with relaxed ordering, so it is safe to change from any thread at any
+/// time — concurrent loggers observe the old or the new level, never a torn
+/// value.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 

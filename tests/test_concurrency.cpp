@@ -208,6 +208,65 @@ TEST(ThreadTransport, AccountsOnlyAcknowledgedMessages) {
   EXPECT_EQ(bytes.upward_bytes, wire);
 }
 
+TEST(ThreadTransport, ByteTotalsExactAndPoolSizeInvariant) {
+  // The ByteCounter must aggregate exactly under concurrency: W producers x
+  // kIters fixed-size pushes, drained by a consumer pool and answered with
+  // fixed-size replies, must account precisely W * kIters messages in each
+  // direction — for any pool size. (Shutdown's kShutdown broadcasts travel
+  // outside send_reply and must NOT be counted.)
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kIters = 50;
+  constexpr std::size_t kPushPayload = 100;
+  constexpr std::size_t kReplyPayload = 40;
+
+  std::vector<comm::ByteCounter> totals;
+  for (const std::size_t pool_size : {1u, 4u}) {
+    comm::ThreadTransport transport(kWorkers);
+
+    std::vector<std::thread> consumers;
+    for (std::size_t t = 0; t < pool_size; ++t)
+      consumers.emplace_back([&] {
+        while (auto push = transport.receive_push()) {
+          Message reply;
+          reply.kind = MessageKind::kModelDiff;
+          reply.worker_id = push->worker_id;
+          reply.payload.resize(kReplyPayload);
+          (void)transport.send_reply(
+              static_cast<std::size_t>(push->worker_id), std::move(reply));
+        }
+      });
+
+    std::vector<std::thread> producers;
+    for (std::size_t k = 0; k < kWorkers; ++k)
+      producers.emplace_back([&, k] {
+        for (std::size_t i = 0; i < kIters; ++i) {
+          Message push;
+          push.kind = MessageKind::kGradientPush;
+          push.worker_id = static_cast<std::int32_t>(k);
+          push.payload.resize(kPushPayload);
+          ASSERT_TRUE(transport.send_push(std::move(push)));
+          const auto reply = transport.receive_reply(k);
+          ASSERT_TRUE(reply.has_value());
+          ASSERT_EQ(reply->kind, MessageKind::kModelDiff);
+        }
+      });
+    for (auto& t : producers) t.join();
+    transport.shutdown();
+    for (auto& t : consumers) t.join();
+    totals.push_back(transport.bytes());
+  }
+
+  const std::size_t pushes = kWorkers * kIters;
+  const std::size_t push_wire = kPushPayload + comm::kMessageHeaderBytes;
+  const std::size_t reply_wire = kReplyPayload + comm::kMessageHeaderBytes;
+  for (const comm::ByteCounter& bytes : totals) {
+    EXPECT_EQ(bytes.upward_messages, pushes);
+    EXPECT_EQ(bytes.upward_bytes, pushes * push_wire);
+    EXPECT_EQ(bytes.downward_messages, pushes);
+    EXPECT_EQ(bytes.downward_bytes, pushes * reply_wire);
+  }
+}
+
 // ---- ThreadEngine end-to-end ------------------------------------------------
 
 struct EngineFixture {

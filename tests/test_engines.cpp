@@ -146,7 +146,7 @@ TEST(Engines, StalenessGrowsWithWorkers) {
   const auto two = core::SimEngine(spec, data.train, data.test, config).run();
   config.num_workers = 8;
   const auto eight = core::SimEngine(spec, data.train, data.test, config).run();
-  EXPECT_GT(eight.staleness.mean, two.staleness.mean);
+  EXPECT_GT(eight.staleness.mean(), two.staleness.mean());
   EXPECT_GE(eight.staleness.max, two.staleness.max);
 }
 

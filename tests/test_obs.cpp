@@ -1,0 +1,465 @@
+// Observability layer tests: metrics registry semantics, histogram bucket
+// and quantile arithmetic, exact aggregation under concurrency, JSONL/CSV
+// export shape, and the Chrome-trace recorder (including the disabled path
+// and the ring-buffer bound). The tracer tests record from fresh threads so
+// each one sees a buffer sized by its own enable() capacity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace dgs;
+
+// ---- minimal JSON validator -------------------------------------------------
+// Recursive-descent checker: accepts exactly the JSON grammar (objects,
+// arrays, strings, numbers, true/false/null). Returns true iff the whole
+// input is one valid JSON value. Enough to prove exports parse back.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return at_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (at_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[at_])))
+      ++at_;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(at_, n, word) != 0) return false;
+    at_ += n;
+    return true;
+  }
+  bool string() {
+    if (at_ >= s_.size() || s_[at_] != '"') return false;
+    ++at_;
+    while (at_ < s_.size() && s_[at_] != '"') {
+      if (s_[at_] == '\\') {
+        ++at_;
+        if (at_ >= s_.size()) return false;
+      }
+      ++at_;
+    }
+    if (at_ >= s_.size()) return false;
+    ++at_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = at_;
+    if (at_ < s_.size() && s_[at_] == '-') ++at_;
+    while (at_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[at_])) ||
+            s_[at_] == '.' || s_[at_] == 'e' || s_[at_] == 'E' ||
+            s_[at_] == '+' || s_[at_] == '-'))
+      ++at_;
+    return at_ > start;
+  }
+  bool value() {
+    skip_ws();
+    if (at_ >= s_.size()) return false;
+    switch (s_[at_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++at_;  // '{'
+    skip_ws();
+    if (at_ < s_.size() && s_[at_] == '}') {
+      ++at_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (at_ >= s_.size() || s_[at_] != ':') return false;
+      ++at_;
+      if (!value()) return false;
+      skip_ws();
+      if (at_ < s_.size() && s_[at_] == ',') {
+        ++at_;
+        continue;
+      }
+      break;
+    }
+    if (at_ >= s_.size() || s_[at_] != '}') return false;
+    ++at_;
+    return true;
+  }
+  bool array() {
+    ++at_;  // '['
+    skip_ws();
+    if (at_ < s_.size() && s_[at_] == ']') {
+      ++at_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (at_ < s_.size() && s_[at_] == ',') {
+        ++at_;
+        continue;
+      }
+      break;
+    }
+    if (at_ >= s_.size() || s_[at_] != ']') return false;
+    ++at_;
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t at_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size()))
+    ++count;
+  return count;
+}
+
+// ---- registry semantics -----------------------------------------------------
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c1 = registry.counter("pushes");
+  obs::Counter& c2 = registry.counter("pushes");
+  EXPECT_EQ(&c1, &c2);
+
+  obs::Gauge& g1 = registry.gauge("depth");
+  EXPECT_EQ(&g1, &registry.gauge("depth"));
+
+  obs::Histogram& h1 = registry.histogram("lat", {1.0, 2.0});
+  // Bounds are consulted only on first registration.
+  obs::Histogram& h2 = registry.histogram("lat", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.snapshot().bounds.size(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotAndResetCoverAllInstruments) {
+  obs::MetricsRegistry registry;
+  registry.counter("c").add(5);
+  registry.gauge("g").set(2.5);
+  registry.histogram("h", {10.0}).record(3.0);
+
+  obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "c");
+  EXPECT_EQ(snap.counters[0].second, 5u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 2.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+  EXPECT_NE(snap.find_histogram("h"), nullptr);
+  EXPECT_EQ(snap.find_histogram("missing"), nullptr);
+  EXPECT_EQ(snap.summary_of("missing").count, 0u);
+
+  registry.reset();
+  snap = registry.snapshot();
+  EXPECT_EQ(snap.counters[0].second, 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.0);
+  EXPECT_EQ(snap.histograms[0].second.count, 0u);
+}
+
+// ---- exact aggregation under concurrency ------------------------------------
+
+TEST(MetricsConcurrency, CounterIncrementsSumExactly) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kAdds = 100000;
+  obs::Counter counter;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kAdds; ++i) counter.add(1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kAdds);
+}
+
+TEST(MetricsConcurrency, HistogramCountsSumExactly) {
+  // Values chosen so the double-precision sum is exact and each lands in a
+  // known bucket of {1, 2, 3}: 0.5 -> b0, 1.5 -> b1, 2.5 -> b2, 3.5 -> ovf.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerValue = 2500;
+  obs::Histogram hist({1.0, 2.0, 3.0});
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < 4 * kPerValue; ++i)
+        hist.record(0.5 + static_cast<double>(i % 4));
+    });
+  for (auto& t : threads) t.join();
+
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, kThreads * 4 * kPerValue);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  for (std::size_t b = 0; b < 4; ++b)
+    EXPECT_EQ(snap.counts[b], kThreads * kPerValue) << "bucket " << b;
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 3.5);
+  EXPECT_DOUBLE_EQ(snap.sum,
+                   static_cast<double>(kThreads * kPerValue) *
+                       (0.5 + 1.5 + 2.5 + 3.5));
+}
+
+// ---- bucket boundaries and quantiles ----------------------------------------
+
+TEST(Histogram, BucketBoundariesAreUpperInclusive) {
+  obs::Histogram hist({1.0, 2.0, 4.0});
+  hist.record(1.0);  // == bound: belongs to bucket 0, (-inf, 1]
+  hist.record(1.5);  // (1, 2]
+  hist.record(2.0);  // == bound: bucket 1
+  hist.record(4.0);  // == last bound: bucket 2
+  hist.record(4.5);  // overflow
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolationIsExactOnUniformFill) {
+  // 1..100 over bounds {25, 50, 75, 100}: 25 values per bucket, so linear
+  // interpolation inside the rank's bucket recovers the value exactly.
+  obs::Histogram hist({25.0, 50.0, 75.0, 100.0});
+  for (int v = 1; v <= 100; ++v) hist.record(static_cast<double>(v));
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 100.0);
+  // Quantiles clamp to the observed range, not the bucket edges.
+  EXPECT_GE(snap.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 50.5);
+
+  const obs::HistogramSummary summary = obs::summarize(snap);
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.p50, 50.0);
+  EXPECT_DOUBLE_EQ(summary.p95, 95.0);
+  EXPECT_DOUBLE_EQ(summary.max, 100.0);
+}
+
+TEST(Histogram, EmptyAndSingleValueQuantiles) {
+  obs::Histogram hist({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(hist.snapshot().quantile(0.5), 0.0);  // empty
+  hist.record(7.0);
+  // One observation: every quantile collapses to it (clamped to [min,max]).
+  EXPECT_DOUBLE_EQ(hist.snapshot().quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(hist.snapshot().quantile(0.99), 7.0);
+}
+
+TEST(Histogram, BoundHelpers) {
+  const auto lin = obs::linear_bounds(0.05, 0.05, 3);
+  ASSERT_EQ(lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin[0], 0.05);
+  EXPECT_NEAR(lin[2], 0.15, 1e-12);
+  const auto exp = obs::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[3], 8.0);
+}
+
+// ---- export formats ---------------------------------------------------------
+
+TEST(MetricsExport, JsonlLinesParseBack) {
+  obs::MetricsRegistry registry;
+  registry.counter("server.pushes").add(3);
+  registry.gauge("pool").set(4.0);
+  obs::Histogram& hist =
+      registry.histogram("staleness", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) hist.record(static_cast<double>(i % 3));
+
+  std::ostringstream os;
+  registry.snapshot().write_jsonl(os, "unit-test");
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    EXPECT_NE(line.find("\"run\":\"unit-test\""), std::string::npos);
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 3u);
+  // The histogram line carries the summary stats the harness consumers read.
+  for (const char* field : {"\"count\":10", "\"p50\":", "\"p95\":",
+                            "\"bounds\":[", "\"counts\":["})
+    EXPECT_NE(os.str().find(field), std::string::npos) << field;
+}
+
+TEST(MetricsExport, CsvHasHeaderAndOneRowPerInstrument) {
+  obs::MetricsRegistry registry;
+  registry.counter("c").add(1);
+  registry.histogram("h", {5.0}).record(2.0);
+  std::ostringstream os;
+  registry.snapshot().write_csv(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], "name,type,value,count,mean,p50,p95,max");
+  EXPECT_EQ(rows[1].rfind("c,counter,1", 0), 0u);
+  EXPECT_EQ(rows[2].rfind("h,histogram,", 0), 0u);
+}
+
+// ---- StalenessStats (core) --------------------------------------------------
+
+TEST(StalenessStats, SumCountMeanAndMerge) {
+  core::StalenessStats stats;
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  stats.record(1);
+  stats.record(2);
+  stats.record(6);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.max, 6u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+
+  core::StalenessStats other;
+  other.record(9);
+  stats.merge(other);
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_EQ(stats.max, 9u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+}
+
+// ---- tracer -----------------------------------------------------------------
+
+#if DGS_TRACE_COMPILED
+
+TEST(Tracer, ExportsWellFormedJsonWithNamedTracks) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.enable();
+
+  const std::uint32_t shard_track = tracer.register_track("shard/test");
+  std::thread worker([&] {
+    tracer.set_thread_name("worker/test");
+    {
+      DGS_TRACE_SCOPE("compute", "worker");
+    }
+    DGS_TRACE_INSTANT("staleness", "server", 7);
+    tracer.record_complete("apply", "shard", obs::Tracer::now_us(), 1.5,
+                           shard_track);
+  });
+  worker.join();
+  tracer.disable();
+
+  std::ostringstream os;
+  tracer.export_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"worker/test\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard/test\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":7}"), std::string::npos);
+  // The explicitly targeted span lands on the virtual track's tid.
+  const std::size_t meta = json.find("\"args\":{\"name\":\"shard/test\"}");
+  ASSERT_NE(meta, std::string::npos);
+  const std::size_t tid_at = json.rfind("\"tid\":", meta);
+  ASSERT_NE(tid_at, std::string::npos);
+  const std::string tid =
+      json.substr(tid_at, json.find(',', tid_at) - tid_at);
+  EXPECT_NE(json.find(tid + ",\"ts\":"), std::string::npos);
+  tracer.clear();
+}
+
+TEST(Tracer, DisabledPathRecordsNothing) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.disable();
+  std::thread worker([&] {
+    for (int i = 0; i < 100; ++i) {
+      DGS_TRACE_SCOPE("off_span", "test");
+      DGS_TRACE_INSTANT("off_instant", "test", i);
+    }
+    tracer.record_complete("off_direct", "test", 0.0, 1.0);
+  });
+  worker.join();
+
+  std::ostringstream os;
+  tracer.export_json(os);
+  EXPECT_EQ(os.str().find("off_"), std::string::npos);
+  EXPECT_EQ(count_occurrences(os.str(), "\"ph\":\"X\""), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, RingBufferBoundsMemoryAndCountsDrops) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.enable(/*events_per_thread=*/16);
+  // Fresh thread => fresh ring sized by the enable() above.
+  std::thread worker([&] {
+    for (int i = 0; i < 100; ++i)
+      tracer.record_complete("ring_evt", "test", static_cast<double>(i), 1.0);
+  });
+  worker.join();
+  tracer.disable();
+
+  std::ostringstream os;
+  tracer.export_json(os);
+  EXPECT_TRUE(JsonChecker(os.str()).valid());
+  EXPECT_EQ(count_occurrences(os.str(), "\"ring_evt\""), 16u);
+  EXPECT_EQ(tracer.dropped(), 84u);
+  tracer.clear();
+  // Restore the default capacity for whatever runs after this test.
+  tracer.enable();
+  tracer.disable();
+}
+
+TEST(Tracer, ConcurrentRecordAndExportAreSafe) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.enable();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        DGS_TRACE_SCOPE("spin", "test");
+        DGS_TRACE_INSTANT("tick", "test", 1);
+      }
+    });
+  for (int i = 0; i < 5; ++i) {
+    std::ostringstream os;
+    tracer.export_json(os);
+    EXPECT_TRUE(JsonChecker(os.str()).valid());
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  tracer.disable();
+  tracer.clear();
+}
+
+#endif  // DGS_TRACE_COMPILED
+
+}  // namespace
