@@ -110,6 +110,7 @@ core::TrainConfig resolve(const Task& task, const RunSpec& run) {
   if (!run.network.is_ideal()) config.network = run.network;
   config.record_curve = run.record_curve;
   config.trace = run.trace;
+  config.fault = run.fault;
   config.compression.secondary = run.secondary_compression;
   config.compression.secondary_ratio_percent = run.secondary_ratio;
   // The paper lets DGC keep its own training tricks (§5): sparsity warmup
@@ -143,6 +144,18 @@ bool parse_harness_options(util::Flags& flags, HarnessOptions& options) {
       "metrics-out", "", "append per-run metrics as JSONL to this file");
   options.trace_out = flags.str(
       "trace-out", "", "write Chrome trace JSON (Perfetto) to this file");
+  options.fault.seed = static_cast<std::uint64_t>(flags.i64(
+      "fault-seed", 0, "fault-injection decision seed (see comm/fault.h)"));
+  options.fault.drop_pct =
+      flags.f64("fault-drop-pct", 0.0, "percent of messages silently dropped");
+  options.fault.dup_pct =
+      flags.f64("fault-dup-pct", 0.0, "percent of messages delivered twice");
+  options.fault.kill_worker = static_cast<std::ptrdiff_t>(flags.i64(
+      "fault-kill-worker", -1, "worker to crash mid-run (-1 = none)"));
+  options.fault.kill_at_step = static_cast<std::uint64_t>(flags.i64(
+      "fault-kill-step", 0, "local step at which the kill fires"));
+  options.fault.lease_timeout_s = flags.f64(
+      "fault-lease-s", 0.0, "server worker-lease timeout in seconds (0 = off)");
   return flags.finish();
 }
 

@@ -65,6 +65,8 @@ struct RunSpec {
   std::ptrdiff_t min_sparsify = -1;  ///< Override min_sparsify_size; -1 keeps
                                      ///< the task default, 0 sparsifies all
                                      ///< layers (paper's Fig. 5/6 setting).
+  comm::FaultConfig fault;  ///< Fault injection (see comm/fault.h); default
+                            ///< disabled. Filled from the --fault-* flags.
 };
 
 /// Materialize the full TrainConfig for a run (applies method conventions:
@@ -84,6 +86,10 @@ struct HarnessOptions {
   std::string out_dir;      ///< empty = no CSV output.
   std::string metrics_out;  ///< empty = no JSONL metrics export.
   std::string trace_out;    ///< empty = event tracing stays off.
+  /// Fault injection from --fault-seed / --fault-drop-pct / --fault-dup-pct
+  /// / --fault-kill-worker / --fault-kill-step / --fault-lease-s (see
+  /// comm/fault.h). Copy into RunSpec::fault to arm a run.
+  comm::FaultConfig fault;
 
   [[nodiscard]] double epoch_scale() const noexcept { return full ? 1.0 : 0.25; }
   /// Runs should enable the event tracer (set RunSpec::trace from this).

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     benchkit::RunSpec spec;
     spec.method = method;
     spec.workers = workers;
+    spec.fault = options.fault;  // --fault-* flags: curves under chaos
     results[method] = benchkit::run_one(task, data, spec);
     std::fprintf(stderr, "%s done (final %.2f%%)\n", name,
                  100.0 * results[method].final_test_accuracy);

@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
       spec.method = row.method;
       spec.workers = workers;
       spec.record_curve = false;
+      spec.fault = options.fault;  // --fault-* flags: chaos-mode accuracy
       const auto result = benchkit::run_one(task, data, spec);
       const double paper = imagenet_column ? row.imagenet : row.cifar;
       table.add_row({dataset, core::method_name(row.method),

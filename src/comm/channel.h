@@ -9,13 +9,25 @@
 // correctness win over lock-free cleverness here.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 namespace dgs::comm {
+
+/// Outcome of a timed channel operation. Distinguishes "the channel was
+/// closed under me" (terminal — stop using it) from "nothing happened within
+/// the deadline" (transient — retry, back off, or escalate), which a bare
+/// bool cannot express and which the fault-recovery paths need.
+enum class ChannelStatus : std::uint8_t {
+  kOk,        ///< Value moved.
+  kClosed,    ///< Channel closed (before, or while blocked).
+  kTimedOut,  ///< Deadline expired with the channel still open.
+};
 
 template <typename T>
 class Channel {
@@ -39,6 +51,23 @@ class Channel {
     }
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Bounded-wait send: like send(), but gives up after `timeout` if the
+  /// queue stays full. A close while blocked is reported as kClosed rather
+  /// than being conflated with the timeout.
+  ChannelStatus send_for(T value, std::chrono::microseconds timeout) {
+    {
+      std::unique_lock lock(mutex_);
+      const bool ready = not_full_.wait_for(lock, timeout, [&] {
+        return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+      });
+      if (closed_) return ChannelStatus::kClosed;
+      if (!ready) return ChannelStatus::kTimedOut;
+      queue_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return ChannelStatus::kOk;
   }
 
   /// Non-blocking send: returns false (without enqueueing) if the channel is
@@ -66,6 +95,26 @@ class Channel {
     }
     not_full_.notify_one();
     return value;
+  }
+
+  /// Bounded-wait receive: kOk with `out` assigned, kTimedOut if nothing
+  /// arrived within the deadline, kClosed once the channel is closed *and*
+  /// drained (queued values are still delivered after close, matching
+  /// receive()).
+  ChannelStatus receive_for(T& out, std::chrono::microseconds timeout) {
+    {
+      std::unique_lock lock(mutex_);
+      const bool ready = not_empty_.wait_for(
+          lock, timeout, [&] { return !queue_.empty() || closed_; });
+      if (queue_.empty()) {
+        return closed_ ? ChannelStatus::kClosed : ChannelStatus::kTimedOut;
+      }
+      (void)ready;
+      out = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    return ChannelStatus::kOk;
   }
 
   /// Non-blocking receive.

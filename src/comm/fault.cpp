@@ -1,0 +1,222 @@
+#include "comm/fault.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dgs::comm {
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix, so consecutive decision
+// keys (same worker, seq, seq+1, ...) produce statistically independent
+// uniforms without any shared RNG state to synchronize on.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig config, obs::MetricsRegistry* metrics)
+    : config_(config) {
+  if (metrics != nullptr) {
+    injected_ = &metrics->counter("fault.injected");
+    dropped_pushes_ = &metrics->counter("fault.dropped_pushes");
+    dropped_replies_ = &metrics->counter("fault.dropped_replies");
+    duplicated_ = &metrics->counter("fault.duplicated");
+    delayed_ = &metrics->counter("fault.delayed");
+    reordered_ = &metrics->counter("fault.reordered");
+    kills_ = &metrics->counter("fault.worker_kills");
+    retransmits_ = &metrics->counter("fault.retransmits");
+  }
+}
+
+double FaultPlan::unit(FaultDirection direction, std::size_t worker,
+                       std::uint64_t seq, std::uint32_t attempt,
+                       std::uint64_t salt) const noexcept {
+  // Chain the key fields through the mixer rather than XORing them raw:
+  // raw XOR would alias (worker=1, seq=2) with (worker=2, seq=1).
+  std::uint64_t h = mix64(config_.seed ^ salt);
+  h = mix64(h ^ (static_cast<std::uint64_t>(direction) + 1));
+  h = mix64(h ^ static_cast<std::uint64_t>(worker));
+  h = mix64(h ^ seq);
+  h = mix64(h ^ static_cast<std::uint64_t>(attempt));
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultAction FaultPlan::classify(FaultDirection direction, std::size_t worker,
+                                std::uint64_t seq,
+                                std::uint32_t attempt) noexcept {
+  const bool armed = direction == FaultDirection::kPush
+                         ? config_.faults_on_pushes
+                         : config_.faults_on_replies;
+  if (!armed || !config_.message_faults()) return FaultAction::kDeliver;
+
+  // One roll against cumulative thresholds: [0, drop) -> drop,
+  // [drop, drop+dup) -> dup, and so on; the remainder delivers clean.
+  const double roll = unit(direction, worker, seq, attempt, /*salt=*/0x5a17);
+  double edge = config_.drop_pct / 100.0;
+  FaultAction action = FaultAction::kDeliver;
+  if (roll < edge) {
+    action = FaultAction::kDrop;
+  } else if (roll < (edge += config_.dup_pct / 100.0)) {
+    action = FaultAction::kDuplicate;
+  } else if (roll < (edge += config_.delay_pct / 100.0)) {
+    action = FaultAction::kDelay;
+  } else if (roll < (edge += config_.reorder_pct / 100.0)) {
+    action = FaultAction::kReorder;
+  }
+
+  if (action != FaultAction::kDeliver && injected_ != nullptr) {
+    injected_->add();
+    switch (action) {
+      case FaultAction::kDrop:
+        (direction == FaultDirection::kPush ? dropped_pushes_
+                                            : dropped_replies_)
+            ->add();
+        break;
+      case FaultAction::kDuplicate:
+        duplicated_->add();
+        break;
+      case FaultAction::kDelay:
+        delayed_->add();
+        break;
+      case FaultAction::kReorder:
+        reordered_->add();
+        break;
+      case FaultAction::kDeliver:
+        break;
+    }
+  }
+  return action;
+}
+
+double FaultPlan::hold_seconds(FaultAction action, std::size_t worker,
+                               std::uint64_t seq,
+                               std::uint32_t attempt) const noexcept {
+  switch (action) {
+    case FaultAction::kDelay:
+      return config_.delay_s;
+    case FaultAction::kReorder:
+      // Uniform in (0, delay_s]: enough jitter that neighbours overtake
+      // each other, still bounded so runs terminate promptly.
+      return config_.delay_s *
+             (1.0 - unit(FaultDirection::kPush, worker, seq, attempt,
+                         /*salt=*/0x0c0de));
+    default:
+      return 0.0;
+  }
+}
+
+void FaultPlan::count_kill() noexcept {
+  if (kills_ != nullptr) kills_->add();
+  if (injected_ != nullptr) injected_->add();
+}
+
+void FaultPlan::count_retransmit() noexcept {
+  if (retransmits_ != nullptr) retransmits_->add();
+}
+
+// ---- FaultyThreadTransport --------------------------------------------------
+
+bool FaultyThreadTransport::send_push(Message msg) {
+  if (plan_ == nullptr || is_control_message(msg)) {
+    return inner_.send_push(std::move(msg));
+  }
+  const auto action =
+      plan_->classify(FaultDirection::kPush,
+                      static_cast<std::size_t>(msg.worker_id), msg.seq,
+                      msg.attempt);
+  switch (action) {
+    case FaultAction::kDrop:
+      // Swallowed before the channel: no bytes, no delivery. The sender
+      // sees success, exactly like a lost datagram.
+      return true;
+    case FaultAction::kDuplicate: {
+      Message copy = msg;
+      if (!inner_.send_push(std::move(copy))) return false;
+      return inner_.send_push(std::move(msg));
+    }
+    case FaultAction::kDelay:
+    case FaultAction::kReorder: {
+      const double hold = plan_->hold_seconds(
+          action, static_cast<std::size_t>(msg.worker_id), msg.seq,
+          msg.attempt);
+      std::this_thread::sleep_for(std::chrono::duration<double>(hold));
+      return inner_.send_push(std::move(msg));
+    }
+    case FaultAction::kDeliver:
+      break;
+  }
+  return inner_.send_push(std::move(msg));
+}
+
+bool FaultyThreadTransport::send_reply(std::size_t worker, Message msg) {
+  if (plan_ == nullptr || is_control_message(msg)) {
+    return inner_.send_reply(worker, std::move(msg));
+  }
+  const auto action =
+      plan_->classify(FaultDirection::kReply, worker, msg.seq, msg.attempt);
+  switch (action) {
+    case FaultAction::kDrop:
+      return true;
+    case FaultAction::kDuplicate: {
+      Message copy = msg;
+      if (!inner_.send_reply(worker, std::move(copy))) return false;
+      return inner_.send_reply(worker, std::move(msg));
+    }
+    case FaultAction::kDelay:
+    case FaultAction::kReorder: {
+      const double hold =
+          plan_->hold_seconds(action, worker, msg.seq, msg.attempt);
+      std::this_thread::sleep_for(std::chrono::duration<double>(hold));
+      return inner_.send_reply(worker, std::move(msg));
+    }
+    case FaultAction::kDeliver:
+      break;
+  }
+  return inner_.send_reply(worker, std::move(msg));
+}
+
+// ---- FaultySimTransport -----------------------------------------------------
+
+template <typename Send>
+std::vector<double> FaultySimTransport::apply(FaultDirection direction,
+                                              const Message& msg,
+                                              Send&& send) {
+  if (plan_ == nullptr || is_control_message(msg)) return {send()};
+  const std::size_t worker = static_cast<std::size_t>(msg.worker_id);
+  const auto action = plan_->classify(direction, worker, msg.seq, msg.attempt);
+  switch (action) {
+    case FaultAction::kDrop:
+      // The wire carried it (link occupancy + byte accounting via the inner
+      // send), the receiver never sees it: no arrival events.
+      (void)send();
+      return {};
+    case FaultAction::kDuplicate:
+      return {send(), send()};  // Two back-to-back transfers on the link.
+    case FaultAction::kDelay:
+    case FaultAction::kReorder:
+      return {send() +
+              plan_->hold_seconds(action, worker, msg.seq, msg.attempt)};
+    case FaultAction::kDeliver:
+      break;
+  }
+  return {send()};
+}
+
+std::vector<double> FaultySimTransport::send_push(double now,
+                                                  const Message& msg) {
+  return apply(FaultDirection::kPush, msg,
+               [&] { return inner_.send_push(now, msg); });
+}
+
+std::vector<double> FaultySimTransport::send_reply(double now,
+                                                   const Message& msg) {
+  return apply(FaultDirection::kReply, msg,
+               [&] { return inner_.send_reply(now, msg); });
+}
+
+}  // namespace dgs::comm

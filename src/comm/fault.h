@@ -1,0 +1,207 @@
+// Deterministic fault injection for the transport seam.
+//
+// A FaultPlan turns a seed plus a handful of rates into a pure function
+//   (direction, worker, sequence number, attempt) -> FaultAction
+// so every decision is reproducible regardless of thread interleaving: the
+// same seeded plan drops / duplicates / delays / reorders the same messages
+// in every run, and a retransmission (same seq, higher attempt) rolls a
+// fresh, equally deterministic die — which is what lets bounded retry heal
+// transient drops.
+//
+// Two decorators apply the plan at the transport boundary without the
+// engines duplicating their scheduling loops:
+//
+//   * FaultyThreadTransport wraps ThreadTransport: drops vanish before the
+//     channel (the worker's reply timeout + retransmit heals them), dups
+//     enqueue twice, delay/reorder hold the message briefly before enqueue.
+//   * FaultySimTransport wraps SimTransport: send_* returns the list of
+//     modeled arrival times — empty for a drop, two entries for a dup,
+//     shifted entries for delay/reorder — and the DES schedules whatever
+//     events those imply.
+//
+// Control-plane messages (kRejoinRequest / kFullModel / kShutdown) bypass
+// injection in both decorators: recovery models a reliable reconnect, so a
+// crashed worker can always re-register (see DESIGN.md §11).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "comm/message.h"
+#include "comm/transport.h"
+#include "obs/metrics.h"
+
+namespace dgs::comm {
+
+/// Fault-injection knobs. All rates are percentages of messages in the
+/// faulted direction(s); `seed == 0` with zero rates and no kill disables
+/// everything (the engines then skip the fault plumbing entirely).
+struct FaultConfig {
+  std::uint64_t seed = 0;    ///< Decision stream; same seed = same faults.
+  double drop_pct = 0.0;     ///< Message silently lost.
+  double dup_pct = 0.0;      ///< Message delivered twice.
+  double delay_pct = 0.0;    ///< Message held for delay_s before delivery.
+  double reorder_pct = 0.0;  ///< Held for a random fraction of delay_s, so
+                             ///< a later message can overtake it.
+  double delay_s = 5e-3;     ///< Hold time for delayed/reordered messages.
+  bool faults_on_pushes = true;   ///< Inject on worker -> server messages.
+  bool faults_on_replies = true;  ///< Inject on server -> worker messages.
+
+  std::ptrdiff_t kill_worker = -1;  ///< Worker to crash (-1 = none).
+  std::uint64_t kill_at_step = 0;   ///< Crash before its Nth local step.
+  double rejoin_delay_s = 20e-3;    ///< Downtime before the rejoin request.
+
+  /// Server-side worker lease: a worker silent for longer than this has its
+  /// v_k reclaimed (reset) and must resync from a full-model snapshot on
+  /// next contact. 0 disables leases.
+  double lease_timeout_s = 0.0;
+
+  /// Worker-side reply timeout before retransmitting the in-flight push
+  /// (same seq, next attempt). After max_retransmits the worker declares
+  /// itself crashed and goes through the rejoin path instead.
+  double retransmit_timeout_s = 10e-3;
+  std::size_t max_retransmits = 8;
+
+  [[nodiscard]] bool message_faults() const noexcept {
+    return drop_pct + dup_pct + delay_pct + reorder_pct > 0.0;
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return message_faults() || kill_worker >= 0;
+  }
+};
+
+enum class FaultAction : std::uint8_t {
+  kDeliver,
+  kDrop,
+  kDuplicate,
+  kDelay,
+  kReorder,
+};
+
+enum class FaultDirection : std::uint8_t { kPush, kReply };
+
+/// Seeded decision engine. classify() is deterministic per
+/// (direction, worker, seq, attempt) and thread-safe; the optional metrics
+/// registry receives "fault.*" counters (injected total plus per kind).
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultConfig config,
+                     obs::MetricsRegistry* metrics = nullptr);
+
+  /// Decide the fate of one message and count it. Control messages are the
+  /// caller's responsibility to exempt (the decorators do).
+  FaultAction classify(FaultDirection direction, std::size_t worker,
+                       std::uint64_t seq, std::uint32_t attempt) noexcept;
+
+  /// Hold time for a kDelay/kReorder decision: delay_s for kDelay, a
+  /// deterministic uniform fraction of delay_s for kReorder.
+  [[nodiscard]] double hold_seconds(FaultAction action, std::size_t worker,
+                                    std::uint64_t seq,
+                                    std::uint32_t attempt) const noexcept;
+
+  /// True when `worker` is scheduled to crash before local step `step`.
+  /// Pure; the engine crashes a worker at most once per run.
+  [[nodiscard]] bool wants_kill(std::size_t worker,
+                                std::uint64_t step) const noexcept {
+    return config_.kill_worker >= 0 &&
+           static_cast<std::size_t>(config_.kill_worker) == worker &&
+           step >= config_.kill_at_step;
+  }
+
+  /// Engine-side bookkeeping hooks (kills and retransmits are decided by
+  /// the engines, not by classify).
+  void count_kill() noexcept;
+  void count_retransmit() noexcept;
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Deterministic uniform in [0, 1) for one decision key.
+  [[nodiscard]] double unit(FaultDirection direction, std::size_t worker,
+                            std::uint64_t seq, std::uint32_t attempt,
+                            std::uint64_t salt) const noexcept;
+
+  FaultConfig config_;
+  // Observability (see obs/): optional, resolved once at construction.
+  obs::Counter* injected_ = nullptr;
+  obs::Counter* dropped_pushes_ = nullptr;
+  obs::Counter* dropped_replies_ = nullptr;
+  obs::Counter* duplicated_ = nullptr;
+  obs::Counter* delayed_ = nullptr;
+  obs::Counter* reordered_ = nullptr;
+  obs::Counter* kills_ = nullptr;
+  obs::Counter* retransmits_ = nullptr;
+};
+
+/// True for messages the fault decorators must never touch: the recovery
+/// control plane plus shutdown.
+[[nodiscard]] inline bool is_control_message(const Message& msg) noexcept {
+  return msg.kind == MessageKind::kRejoinRequest ||
+         msg.kind == MessageKind::kFullModel ||
+         msg.kind == MessageKind::kShutdown;
+}
+
+/// ThreadTransport decorator. With a null plan every call is a passthrough,
+/// so the ThreadEngine always routes through this wrapper and pays nothing
+/// on fault-free runs. Dropped messages are consumed before the channel
+/// (they never count toward byte accounting); delayed/reordered messages
+/// are held in the sending thread for the plan's hold time, which is how a
+/// real slow link back-pressures its sender.
+class FaultyThreadTransport {
+ public:
+  explicit FaultyThreadTransport(ThreadTransport& inner,
+                                 FaultPlan* plan = nullptr)
+      : inner_(inner), plan_(plan) {}
+
+  bool send_push(Message msg);
+  bool send_reply(std::size_t worker, Message msg);
+
+  std::optional<Message> receive_push() { return inner_.receive_push(); }
+  std::optional<Message> receive_reply(std::size_t worker) {
+    return inner_.receive_reply(worker);
+  }
+  ChannelStatus receive_reply_for(std::size_t worker, Message& out,
+                                  std::chrono::microseconds timeout) {
+    return inner_.receive_reply_for(worker, out, timeout);
+  }
+
+  void shutdown() { inner_.shutdown(); }
+  [[nodiscard]] ByteCounter bytes() const noexcept { return inner_.bytes(); }
+  [[nodiscard]] std::size_t pending_pushes() const {
+    return inner_.pending_pushes();
+  }
+  [[nodiscard]] FaultPlan* plan() const noexcept { return plan_; }
+
+ private:
+  ThreadTransport& inner_;
+  FaultPlan* plan_;
+};
+
+/// SimTransport decorator for the DES: send_* returns every modeled arrival
+/// time of the message at the far end (empty = dropped; dups yield two
+/// arrivals that queued back-to-back on the shared link). Dropped messages
+/// still occupy the link and count as transmitted bytes — the wire carried
+/// them, the receiver never saw them.
+class FaultySimTransport {
+ public:
+  explicit FaultySimTransport(SimTransport& inner, FaultPlan* plan = nullptr)
+      : inner_(inner), plan_(plan) {}
+
+  [[nodiscard]] std::vector<double> send_push(double now, const Message& msg);
+  [[nodiscard]] std::vector<double> send_reply(double now, const Message& msg);
+
+  [[nodiscard]] ByteCounter bytes() const noexcept { return inner_.bytes(); }
+  [[nodiscard]] FaultPlan* plan() const noexcept { return plan_; }
+
+ private:
+  template <typename Send>
+  [[nodiscard]] std::vector<double> apply(FaultDirection direction,
+                                          const Message& msg, Send&& send);
+
+  SimTransport& inner_;
+  FaultPlan* plan_;
+};
+
+}  // namespace dgs::comm

@@ -13,9 +13,11 @@
 namespace dgs::comm {
 
 enum class MessageKind : std::uint8_t {
-  kGradientPush,  ///< worker -> server: encoded g_{k,t}
-  kModelDiff,     ///< server -> worker: encoded G_{k,t+1}
-  kShutdown,      ///< server -> worker: stop training
+  kGradientPush,   ///< worker -> server: encoded g_{k,t}
+  kModelDiff,      ///< server -> worker: encoded G_{k,t+1}
+  kShutdown,       ///< server -> worker: stop training
+  kRejoinRequest,  ///< worker -> server: re-register after a crash
+  kFullModel,      ///< server -> worker: dense model snapshot (warm start)
 };
 
 /// Fixed per-message overhead charged by the network model (Ethernet + IP +
@@ -27,6 +29,13 @@ struct Message {
   std::int32_t worker_id = -1;
   std::uint64_t worker_step = 0;  ///< Worker-local iteration c.
   std::uint64_t server_step = 0;  ///< Server timestamp t known to the sender.
+  /// Per-worker sequence number (1-based; 0 = untracked legacy traffic).
+  /// The server dedups duplicated/retransmitted pushes by it, and a worker
+  /// matches replies against the seq it is waiting on.
+  std::uint64_t seq = 0;
+  /// Retransmission counter: 0 for the original send, +1 per resend. Folded
+  /// into the fault-classification key so a retransmit rolls a fresh die.
+  std::uint32_t attempt = 0;
   sparse::Bytes payload;
 
   [[nodiscard]] std::size_t wire_size() const noexcept {

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -64,6 +66,17 @@ class Transport {
   std::atomic<std::uint64_t> down_messages_{0};
 };
 
+/// Bounded retry-with-backoff for ThreadTransport sends. With a bounded
+/// inbox and a struggling server pool, a send can stall; instead of blocking
+/// indefinitely on the first attempt, the transport tries `attempts` timed
+/// sends with doubling backoff (starting at `initial_backoff`) and only then
+/// falls back to the fully blocking path. attempts == 0 disables retries
+/// (every send blocks, the pre-fault behavior).
+struct SendRetryPolicy {
+  std::size_t attempts = 0;
+  std::chrono::microseconds initial_backoff{500};
+};
+
 /// Channel-backed transport for ThreadEngine: workers push into one shared
 /// server inbox; each worker receives replies on its own inbox.
 class ThreadTransport final : public Transport {
@@ -77,12 +90,14 @@ class ThreadTransport final : public Transport {
   /// "transport.reply_wait_us" (worker waiting for its reply).
   explicit ThreadTransport(std::size_t num_workers,
                            std::size_t inbox_capacity = 0,
-                           obs::MetricsRegistry* metrics = nullptr)
-      : server_inbox_(inbox_capacity) {
+                           obs::MetricsRegistry* metrics = nullptr,
+                           SendRetryPolicy retry = {})
+      : server_inbox_(inbox_capacity), retry_(retry) {
     worker_inbox_.reserve(num_workers);
     for (std::size_t k = 0; k < num_workers; ++k)
       worker_inbox_.push_back(std::make_unique<Channel<Message>>());
     if (metrics != nullptr) {
+      send_retries_ = &metrics->counter("transport.send_retries");
       // Log-spaced microsecond buckets, ~0.5us .. ~4s (matches the shard
       // lock histograms so waits are directly comparable).
       auto bounds = obs::exponential_bounds(0.5, 2.0, 23);
@@ -94,13 +109,34 @@ class ThreadTransport final : public Transport {
   }
 
   /// Worker -> server. Counts upward traffic; false once shut down. Blocks
-  /// when the inbox is bounded and full (backpressure).
+  /// when the inbox is bounded and full (backpressure). With a retry policy,
+  /// the blocking wait is split into bounded attempts with doubling backoff
+  /// (counted in "transport.send_retries") before falling back to a final
+  /// blocking send, so a transiently full inbox heals without the worker
+  /// camping on the channel lock.
   bool send_push(Message msg) {
     DGS_TRACE_SCOPE("send_push", "transport");
     const std::size_t bytes = msg.wire_size();
     const double begin =
         send_block_us_ != nullptr ? obs::Tracer::now_us() : 0.0;
-    if (!server_inbox_.send(std::move(msg))) return false;
+    bool sent = false;
+    if (retry_.attempts > 0) {
+      auto backoff = retry_.initial_backoff;
+      for (std::size_t a = 0; a < retry_.attempts && !sent; ++a) {
+        switch (server_inbox_.send_for(msg, backoff)) {
+          case ChannelStatus::kOk:
+            sent = true;
+            break;
+          case ChannelStatus::kClosed:
+            return false;
+          case ChannelStatus::kTimedOut:
+            if (send_retries_ != nullptr) send_retries_->add();
+            backoff *= 2;
+            break;
+        }
+      }
+    }
+    if (!sent && !server_inbox_.send(std::move(msg))) return false;
     if (send_block_us_ != nullptr)
       send_block_us_->record(obs::Tracer::now_us() - begin);
     account_up(bytes);
@@ -138,6 +174,22 @@ class ThreadTransport final : public Transport {
     return msg;
   }
 
+  /// Worker side, bounded wait: kOk with `out` assigned, kTimedOut when the
+  /// reply did not arrive in time (the caller may retransmit its push), or
+  /// kClosed after shutdown. The fault-recovery retransmit loop lives on
+  /// this instead of the blocking receive_reply.
+  ChannelStatus receive_reply_for(std::size_t worker, Message& out,
+                                  std::chrono::microseconds timeout) {
+    DGS_TRACE_SCOPE("wait_reply", "transport");
+    const double begin =
+        reply_wait_us_ != nullptr ? obs::Tracer::now_us() : 0.0;
+    const ChannelStatus status =
+        worker_inbox_.at(worker)->receive_for(out, timeout);
+    if (reply_wait_us_ != nullptr && status == ChannelStatus::kOk)
+      reply_wait_us_->record(obs::Tracer::now_us() - begin);
+    return status;
+  }
+
   /// Budget exhausted: stop accepting pushes and tell every worker to exit.
   /// Each worker inbox gets a kShutdown message before being closed, so a
   /// worker blocked waiting for a reply wakes up with an explicit stop
@@ -162,11 +214,13 @@ class ThreadTransport final : public Transport {
  private:
   Channel<Message> server_inbox_;
   std::vector<std::unique_ptr<Channel<Message>>> worker_inbox_;
+  SendRetryPolicy retry_;
 
   // Observability (see obs/): optional, resolved once at construction.
   obs::Histogram* send_block_us_ = nullptr;
   obs::Histogram* recv_wait_us_ = nullptr;
   obs::Histogram* reply_wait_us_ = nullptr;
+  obs::Counter* send_retries_ = nullptr;
 };
 
 /// Modeled-time transport for the DES and synchronous engines. send_*

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/fault.h"
 #include "comm/network.h"
 #include "core/method.h"
 
@@ -102,6 +103,12 @@ struct TrainConfig {
   /// server-pool and shard spans are recorded and can be exported as Chrome
   /// trace JSON. No-op when the build compiled tracing out (DGS_TRACE=OFF).
   bool trace = false;
+
+  /// Fault injection and recovery (see comm/fault.h and DESIGN.md §11):
+  /// seeded message drop/dup/delay/reorder on the transport, a scheduled
+  /// worker kill with rejoin, server-side worker leases and the worker
+  /// retransmit policy. Default-constructed = disabled, zero overhead.
+  comm::FaultConfig fault;
 
   /// Learning rate in effect during the given (0-based) global epoch.
   [[nodiscard]] double lr_at_epoch(std::size_t epoch) const noexcept {

@@ -30,7 +30,8 @@ EngineContext::EngineContext(const char* engine_name,
                              std::shared_ptr<const data::Dataset> train,
                              std::shared_ptr<const data::Dataset> test,
                              const TrainConfig& config)
-    : config_(config),
+    : spec_(spec),
+      config_(config),
       train_(std::move(train)),
       test_(std::move(test)),
       theta0_(config.warm_start.empty()
@@ -73,8 +74,16 @@ ParameterServer EngineContext::make_server() {
   options.secondary_compression = config_.compression.secondary;
   options.secondary_ratio_percent = config_.compression.secondary_ratio_percent;
   options.min_sparsify_size = config_.compression.min_sparsify_size;
+  options.lease_timeout_s = config_.fault.lease_timeout_s;
   options.metrics = &metrics_;
   return ParameterServer(layer_sizes_, theta0_, options);
+}
+
+Worker& EngineContext::revive_worker(std::size_t k,
+                                     const std::vector<float>& theta_flat) {
+  workers_.at(k) =
+      std::make_unique<Worker>(k, spec_, train_, config_, theta_flat);
+  return *workers_[k];
 }
 
 double EngineContext::compute_seconds(std::size_t k) {
@@ -149,6 +158,10 @@ void EngineContext::finalize(RunResult& result, EpochTracker& epochs,
   // core/metrics.h). Engines that never touched an instrument (e.g. SSGD
   // has no per-push staleness) just get zero-count summaries.
   result.metrics = metrics_.snapshot();
+  result.faults_injected = result.metrics.counter_value("fault.injected");
+  result.leases_reclaimed =
+      result.metrics.counter_value("server.leases_reclaimed");
+  result.worker_rejoins = result.metrics.counter_value("server.rejoins");
   result.staleness_hist = result.metrics.summary_of("server.push.staleness");
   result.downward_density_hist =
       result.metrics.summary_of("server.reply.density");

@@ -52,6 +52,12 @@ class EngineContext {
   [[nodiscard]] std::size_t num_workers() const noexcept {
     return workers_.size();
   }
+
+  /// Crash recovery: replace worker k with a fresh Worker warm-started from
+  /// `theta_flat` (a server kFullModel snapshot). Local optimizer state and
+  /// the sampler position are lost — that is what a crash costs. Returns the
+  /// revived worker. Not safe to call while the old worker is in use.
+  Worker& revive_worker(std::size_t k, const std::vector<float>& theta_flat);
   [[nodiscard]] Evaluator& evaluator() noexcept { return evaluator_; }
 
   /// Parameter server configured from the TrainConfig (compression knobs,
@@ -147,6 +153,7 @@ class EngineContext {
                 double terminal_loss, bool always_append);
 
  private:
+  nn::ModelSpec spec_;  ///< Kept for revive_worker.
   TrainConfig config_;
   std::shared_ptr<const data::Dataset> train_;
   std::shared_ptr<const data::Dataset> test_;

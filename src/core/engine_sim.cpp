@@ -1,11 +1,14 @@
 #include "core/engine_sim.h"
 
+#include <memory>
 #include <queue>
 #include <stdexcept>
 #include <vector>
 
+#include "comm/fault.h"
 #include "comm/transport.h"
 #include "core/engine_context.h"
+#include "core/payload.h"
 
 namespace dgs::core {
 
@@ -13,8 +16,10 @@ namespace {
 
 enum class EventKind : std::uint8_t {
   kComputeDone,   ///< Worker finished a forward/backward pass.
-  kPushArrived,   ///< Gradient push reached the server.
+  kPushArrived,   ///< Gradient push (or rejoin request) reached the server.
   kReplyArrived,  ///< Model-difference reply reached the worker.
+  kRetryTimeout,  ///< Worker's reply deadline for an in-flight push expired.
+  kWorkerWake,    ///< Crashed worker's downtime is over; send the rejoin.
 };
 
 struct Event {
@@ -30,6 +35,18 @@ struct EventLater {
     if (a.time != b.time) return a.time > b.time;
     return a.seq > b.seq;
   }
+};
+
+/// Per-worker fault-recovery state. `next_seq` is engine-owned (not the
+/// worker's local step) so the sequence stream survives a crash/revive and
+/// the server's dedup watermark stays monotonic across the worker's lives.
+struct SimWorkerState {
+  bool alive = true;
+  bool killed_once = false;        ///< The scheduled kill fires at most once.
+  std::uint64_t next_seq = 0;
+  std::uint64_t awaiting_seq = 0;  ///< In-flight push (0 = none).
+  std::size_t attempts = 0;        ///< Retransmits used for the in-flight push.
+  comm::Message last_push;         ///< Kept for retransmission.
 };
 
 }  // namespace
@@ -52,6 +69,18 @@ RunResult SimEngine::run() {
   EngineContext context("SimEngine", spec_, train_, test_, config_);
   ParameterServer server = context.make_server();
   comm::SimTransport transport(config_.network, &context.metrics());
+
+  // Fault plumbing (see comm/fault.h). plan == nullptr keeps every path on
+  // the legacy single-delivery schedule: the decorator passes through, no
+  // retry deadlines are armed, and the event sequence is bit-identical to
+  // the pre-fault engine.
+  std::unique_ptr<comm::FaultPlan> plan;
+  if (config_.fault.enabled())
+    plan = std::make_unique<comm::FaultPlan>(config_.fault,
+                                             &context.metrics());
+  comm::FaultySimTransport faulty(transport, plan.get());
+  const bool retry_armed = plan != nullptr && config_.fault.message_faults();
+
   auto epochs = context.make_epoch_tracker(/*eval_final_epoch=*/true);
   const auto server_model = [&server] { return server.global_model_flat(); };
 
@@ -65,6 +94,8 @@ RunResult SimEngine::run() {
   for (std::size_t k = 0; k < config_.num_workers; ++k)
     push_event(context.compute_seconds(k), EventKind::kComputeDone, k);
 
+  std::vector<SimWorkerState> state(config_.num_workers);
+
   // --- main loop ------------------------------------------------------------
   RunResult result;
   double up_density_sum = 0.0;
@@ -72,14 +103,35 @@ RunResult SimEngine::run() {
   std::uint64_t samples_at_server = 0;
   double now = 0.0;
 
+  // Deliver one message on every modeled arrival the (possibly faulty)
+  // transport reports: none for a drop, two for a duplication.
+  const auto deliver = [&](const std::vector<double>& arrivals,
+                           EventKind kind, std::size_t worker,
+                           const comm::Message& msg) {
+    for (double at : arrivals) push_event(at, kind, worker, msg);
+  };
+
   while (!queue.empty()) {
     Event event = std::move(const_cast<Event&>(queue.top()));
     queue.pop();
     now = event.time;
+    SimWorkerState& ws = state[event.worker];
 
     switch (event.kind) {
       case EventKind::kComputeDone: {
         Worker& w = context.worker(event.worker);
+        if (plan != nullptr && !ws.killed_once &&
+            plan->wants_kill(event.worker, w.local_step())) {
+          // Crash before this step: the worker's local model, optimizer
+          // state and in-progress batch are gone. After the modeled
+          // downtime it wakes up and re-registers.
+          ws.killed_once = true;
+          ws.alive = false;
+          plan->count_kill();
+          push_event(now + config_.fault.rejoin_delay_s,
+                     EventKind::kWorkerWake, event.worker);
+          break;
+        }
         const std::size_t schedule_epoch =
             static_cast<std::size_t>(samples_at_server / context.train_size());
         IterationResult iter = w.compute_and_pack(
@@ -87,28 +139,97 @@ RunResult SimEngine::run() {
             schedule_epoch);
         epochs.add_loss(iter.loss);
         up_density_sum += iter.update_density;
-        const double arrive = transport.send_push(now, iter.push);
-        push_event(arrive, EventKind::kPushArrived, event.worker,
-                   std::move(iter.push));
+        iter.push.seq = ++ws.next_seq;
+        ws.awaiting_seq = iter.push.seq;
+        ws.attempts = 0;
+        if (retry_armed) {
+          ws.last_push = iter.push;
+          comm::Message deadline;
+          deadline.seq = iter.push.seq;
+          push_event(now + config_.fault.retransmit_timeout_s,
+                     EventKind::kRetryTimeout, event.worker,
+                     std::move(deadline));
+        }
+        deliver(faulty.send_push(now, iter.push), EventKind::kPushArrived,
+                event.worker, iter.push);
         samples_at_server += iter.batch;  // accounted on compute completion
         samples_scheduled += iter.batch;
         break;
       }
       case EventKind::kPushArrived: {
+        if (event.msg.kind == comm::MessageKind::kRejoinRequest) {
+          comm::Message reply = server.handle_rejoin(event.msg, now);
+          // Control messages pass through the fault decorator untouched,
+          // so the rejoin handshake is reliable by construction.
+          deliver(faulty.send_reply(now, reply), EventKind::kReplyArrived,
+                  event.worker, reply);
+          break;
+        }
+        if (config_.fault.lease_timeout_s > 0.0)
+          server.reclaim_expired_leases(now);
         std::uint64_t staleness = 0;
-        comm::Message reply = server.handle_push(event.msg, &staleness);
-        result.staleness.record(staleness);
-        const double arrive = transport.send_reply(now, reply);
-        push_event(arrive, EventKind::kReplyArrived, event.worker,
-                   std::move(reply));
+        bool duplicate = false;
+        comm::Message reply =
+            server.handle_push(event.msg, &staleness, &duplicate);
+        if (!duplicate) result.staleness.record(staleness);
+        server.touch_lease(event.worker, now);
+        deliver(faulty.send_reply(now, reply), EventKind::kReplyArrived,
+                event.worker, reply);
         epochs.advance(result, samples_at_server, now, server_model);
         break;
       }
       case EventKind::kReplyArrived: {
+        if (event.msg.kind == comm::MessageKind::kFullModel) {
+          // Warm start (rejoin or lease-resync): install the server
+          // snapshot as a fresh worker and resume the compute loop.
+          context.revive_worker(event.worker,
+                                flatten_dense_payload(event.msg.payload));
+          ws.alive = true;
+          ws.awaiting_seq = 0;
+          if (samples_scheduled < context.sample_budget())
+            push_event(now + context.compute_seconds(event.worker),
+                       EventKind::kComputeDone, event.worker);
+          break;
+        }
+        if (!ws.alive) break;  // reply outran the crash; worker is gone
+        if (event.msg.seq != ws.awaiting_seq) break;  // stale or duplicate
+        ws.awaiting_seq = 0;
         context.worker(event.worker).apply_model_diff(event.msg);
         if (samples_scheduled < context.sample_budget())
           push_event(now + context.compute_seconds(event.worker),
                      EventKind::kComputeDone, event.worker);
+        break;
+      }
+      case EventKind::kRetryTimeout: {
+        if (!ws.alive || event.msg.seq != ws.awaiting_seq) break;  // answered
+        if (ws.attempts >= config_.fault.max_retransmits) {
+          // Too many silent deadlines: the worker declares itself
+          // partitioned, abandons the push, and goes through rejoin.
+          ws.alive = false;
+          ws.awaiting_seq = 0;
+          push_event(now + config_.fault.rejoin_delay_s,
+                     EventKind::kWorkerWake, event.worker);
+          break;
+        }
+        ++ws.attempts;
+        plan->count_retransmit();
+        comm::Message again = ws.last_push;
+        again.attempt = static_cast<std::uint32_t>(ws.attempts);
+        comm::Message deadline;
+        deadline.seq = ws.awaiting_seq;
+        push_event(now + config_.fault.retransmit_timeout_s,
+                   EventKind::kRetryTimeout, event.worker,
+                   std::move(deadline));
+        deliver(faulty.send_push(now, again), EventKind::kPushArrived,
+                event.worker, again);
+        break;
+      }
+      case EventKind::kWorkerWake: {
+        comm::Message rejoin;
+        rejoin.kind = comm::MessageKind::kRejoinRequest;
+        rejoin.worker_id = static_cast<std::int32_t>(event.worker);
+        deliver(faulty.send_push(now, rejoin), EventKind::kPushArrived,
+                event.worker, rejoin);
         break;
       }
     }

@@ -1,17 +1,31 @@
 #include "core/engine_thread.h"
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "comm/fault.h"
 #include "comm/transport.h"
 #include "core/engine_context.h"
+#include "core/payload.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 
 namespace dgs::core {
+
+namespace {
+
+[[nodiscard]] std::chrono::microseconds to_us(double seconds) {
+  return std::chrono::microseconds(
+      static_cast<std::chrono::microseconds::rep>(seconds * 1e6));
+}
+
+}  // namespace
 
 ThreadEngine::ThreadEngine(nn::ModelSpec spec,
                            std::shared_ptr<const data::Dataset> train,
@@ -30,9 +44,23 @@ RunResult ThreadEngine::run() {
 
   EngineContext context("ThreadEngine", spec_, train_, test_, config_);
   ParameterServer server = context.make_server();
+  // With faults armed, sends use bounded retry-with-backoff instead of one
+  // indefinite block (see transport.h) — a worker stuck behind a struggling
+  // server pool makes progress decisions instead of camping on the lock.
+  comm::SendRetryPolicy send_retry;
+  if (config_.fault.enabled()) send_retry.attempts = 4;
   comm::ThreadTransport transport(config_.num_workers,
                                   config_.server_inbox_capacity,
-                                  &context.metrics());
+                                  &context.metrics(), send_retry);
+
+  // Fault plumbing (see comm/fault.h): a null plan makes the decorator a
+  // passthrough and keeps every loop below on its legacy blocking path.
+  std::unique_ptr<comm::FaultPlan> plan;
+  if (config_.fault.enabled())
+    plan = std::make_unique<comm::FaultPlan>(config_.fault,
+                                             &context.metrics());
+  comm::FaultyThreadTransport faulty(transport, plan.get());
+  const bool retry_armed = plan != nullptr && config_.fault.message_faults();
 
   // Worker-side compute vs. wait accounting: how long each iteration's
   // forward/backward took and how long the worker then stalled for its
@@ -59,9 +87,48 @@ RunResult ThreadEngine::run() {
       if (obs::Tracer::instance().enabled())
         obs::Tracer::instance().set_thread_name("worker/" + std::to_string(k));
 #endif
-      Worker& w = context.worker(k);
+      Worker* w = &context.worker(k);
       EngineContext::WorkerTally& tally = context.tally(k);
+      std::uint64_t next_seq = 0;  // survives crash/revive (monotonic dedup)
+      bool killed_once = false;
+
+      // Crash recovery: wait out the downtime, re-register, install the
+      // warm-start snapshot. Returns false when the run is over (transport
+      // shut down) and the thread should exit instead.
+      const auto rejoin = [&]() -> bool {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(config_.fault.rejoin_delay_s));
+        comm::Message request;
+        request.kind = comm::MessageKind::kRejoinRequest;
+        request.worker_id = static_cast<std::int32_t>(k);
+        if (!faulty.send_push(std::move(request))) return false;
+        while (true) {
+          const auto reply = faulty.receive_reply(k);
+          if (!reply || reply->kind == comm::MessageKind::kShutdown)
+            return false;
+          if (reply->kind == comm::MessageKind::kFullModel) {
+            w = &context.revive_worker(k, flatten_dense_payload(reply->payload));
+            DGS_LOG(kInfo) << "worker " << k << " rejoined at server step "
+                           << reply->server_step;
+            return true;
+          }
+          // Stale diffs addressed to the pre-crash incarnation: discard.
+        }
+      };
+
       while (true) {
+        if (plan != nullptr && !killed_once &&
+            plan->wants_kill(k, w->local_step())) {
+          // Scheduled crash: local model, optimizer state and sampler
+          // position are lost; the rejoin path warm-starts a new worker.
+          killed_once = true;
+          plan->count_kill();
+          DGS_LOG(kWarn) << "worker " << k << " crashed at local step "
+                         << w->local_step();
+          if (!rejoin()) return;
+          continue;
+        }
+
         // Claim a batch from the global budget before computing it.
         const std::uint64_t claimed = samples_claimed.fetch_add(
             config_.batch_size, std::memory_order_relaxed);
@@ -71,22 +138,85 @@ RunResult ThreadEngine::run() {
         IterationResult iter;
         {
           DGS_TRACE_SCOPE("compute", "worker");
-          iter = w.compute_and_pack(
+          iter = w->compute_and_pack(
               static_cast<float>(config_.lr_at_epoch(epoch)), epoch);
         }
         compute_us.record(obs::Tracer::now_us() - compute_begin);
         tally.loss_sum += iter.loss;
         ++tally.loss_count;
         tally.samples += iter.batch;
-        if (!transport.send_push(std::move(iter.push))) return;
-        tally.update_density_sum += iter.update_density;  // sent pushes only
-        const double wait_begin = obs::Tracer::now_us();
-        const auto reply = transport.receive_reply(k);
-        wait_us.record(obs::Tracer::now_us() - wait_begin);
-        if (!reply || reply->kind == comm::MessageKind::kShutdown)
-          return;  // server exhausted the budget and broadcast the stop
-        DGS_TRACE_SCOPE("apply_diff", "worker");
-        w.apply_model_diff(*reply);
+        iter.push.seq = ++next_seq;
+
+        if (!retry_armed) {
+          // Reliable transport: the legacy blocking protocol.
+          if (!faulty.send_push(std::move(iter.push))) return;
+          tally.update_density_sum += iter.update_density;
+          const double wait_begin = obs::Tracer::now_us();
+          const auto reply = faulty.receive_reply(k);
+          wait_us.record(obs::Tracer::now_us() - wait_begin);
+          if (!reply || reply->kind == comm::MessageKind::kShutdown)
+            return;  // server exhausted the budget and broadcast the stop
+          if (reply->kind == comm::MessageKind::kFullModel) {
+            // Lease-resync after a false-positive reclaim: warm restart.
+            w = &context.revive_worker(k,
+                                       flatten_dense_payload(reply->payload));
+            continue;
+          }
+          DGS_TRACE_SCOPE("apply_diff", "worker");
+          w->apply_model_diff(*reply);
+          continue;
+        }
+
+        // Faulty transport: send, then wait with a deadline; a silent
+        // deadline retransmits the same push (same seq, next attempt) so
+        // dropped pushes and dropped replies both heal. After
+        // max_retransmits the worker declares itself partitioned and goes
+        // through the rejoin path.
+        comm::Message push = iter.push;
+        if (!faulty.send_push(comm::Message(push))) return;
+        tally.update_density_sum += iter.update_density;
+        std::uint32_t attempt = 0;
+        bool resolved = false;
+        while (!resolved) {
+          comm::Message reply;
+          const double wait_begin = obs::Tracer::now_us();
+          const auto status = faulty.receive_reply_for(
+              k, reply, to_us(config_.fault.retransmit_timeout_s));
+          switch (status) {
+            case comm::ChannelStatus::kClosed:
+              return;
+            case comm::ChannelStatus::kTimedOut: {
+              if (attempt >= config_.fault.max_retransmits) {
+                DGS_LOG(kWarn)
+                    << "worker " << k << " gave up on push seq " << push.seq
+                    << " after " << attempt << " retransmits; rejoining";
+                if (!rejoin()) return;
+                resolved = true;  // push abandoned; rejoin resynced us
+                break;
+              }
+              ++attempt;
+              plan->count_retransmit();
+              push.attempt = attempt;
+              if (!faulty.send_push(comm::Message(push))) return;
+              break;
+            }
+            case comm::ChannelStatus::kOk: {
+              wait_us.record(obs::Tracer::now_us() - wait_begin);
+              if (reply.kind == comm::MessageKind::kShutdown) return;
+              if (reply.kind == comm::MessageKind::kFullModel) {
+                w = &context.revive_worker(
+                    k, flatten_dense_payload(reply.payload));
+                resolved = true;
+                break;
+              }
+              if (reply.seq != push.seq) break;  // stale/duplicate reply
+              DGS_TRACE_SCOPE("apply_diff", "worker");
+              w->apply_model_diff(reply);
+              resolved = true;
+              break;
+            }
+          }
+        }
       }
     });
   }
@@ -119,18 +249,31 @@ RunResult ThreadEngine::run() {
     while (true) {
       auto push = transport.receive_push();
       if (!push) break;
+      const double now = context.wall_seconds();
+
+      if (push->kind == comm::MessageKind::kRejoinRequest) {
+        comm::Message reply = server.handle_rejoin(*push, now);
+        const auto worker = static_cast<std::size_t>(reply.worker_id);
+        (void)faulty.send_reply(worker, std::move(reply));
+        continue;
+      }
+      if (config_.fault.lease_timeout_s > 0.0)
+        server.reclaim_expired_leases(now);
+
+      std::uint64_t staleness = 0;
+      bool duplicate = false;
+      comm::Message reply = server.handle_push(*push, &staleness, &duplicate);
+      server.touch_lease(static_cast<std::size_t>(push->worker_id), now);
+      const auto worker = static_cast<std::size_t>(reply.worker_id);
+      (void)faulty.send_reply(worker, std::move(reply));
+      if (duplicate) continue;  // retransmit or dup copy: no new samples
+
+      staleness_stripe.record(staleness);
       const std::uint64_t total =
           samples_at_server.fetch_add(config_.batch_size,
                                       std::memory_order_relaxed) +
           config_.batch_size;
       global_epoch.store(total / train_size, std::memory_order_relaxed);
-
-      std::uint64_t staleness = 0;
-      comm::Message reply = server.handle_push(*push, &staleness);
-      staleness_stripe.record(staleness);
-      const auto worker = static_cast<std::size_t>(reply.worker_id);
-      transport.send_reply(worker, std::move(reply));
-
       {
         // Epoch-boundary evaluation mirrors the DES engine. Evaluating
         // while other server threads keep applying pushes is safe: the
@@ -151,9 +294,15 @@ RunResult ThreadEngine::run() {
   server_pool.reserve(pool_size);
   for (std::size_t t = 0; t < pool_size; ++t)
     server_pool.emplace_back([&serve, t] { serve(t); });
-  for (auto& t : server_pool) t.join();
-  transport.shutdown();  // budget may be unreachable if workers quit first
+
+  // Join order matters under faults: dropped pushes mean samples_at_server
+  // may never reach the budget, so the pool cannot be relied on to initiate
+  // shutdown. Workers always terminate (the claim counter is exhausted or
+  // the transport closes under them), so join them first, then close the
+  // transport to drain the pool.
   for (auto& t : worker_threads) t.join();
+  transport.shutdown();
+  for (auto& t : server_pool) t.join();
 
   // ---- final metrics ---------------------------------------------------------
   result.bytes = transport.bytes();

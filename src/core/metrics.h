@@ -62,6 +62,12 @@ struct RunResult {
   double mean_upward_density = 0.0;    ///< Mean nnz/dense of pushed updates.
   double mean_downward_density = 0.0;  ///< Mean nnz/dense of model-diff replies.
 
+  /// Fault-injection scalars (see comm/fault.h and DESIGN.md §11), lifted
+  /// from the metrics snapshot. All zero on fault-free runs.
+  std::uint64_t faults_injected = 0;   ///< Messages dropped/dup'd/delayed/...
+  std::uint64_t leases_reclaimed = 0;  ///< v_k resets from expired leases.
+  std::uint64_t worker_rejoins = 0;    ///< Crash-recovery re-registrations.
+
   /// Distribution summaries (count/mean/p50/p95/max) alongside the scalar
   /// means above, filled from the run's metrics registry (see obs/metrics.h
   /// and DESIGN.md §10). Zero when the engine recorded no samples (e.g. the

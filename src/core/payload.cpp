@@ -81,4 +81,15 @@ void apply_update_payload(const sparse::Bytes& payload, LayeredVec& target,
     apply_decoded_layer(segment, target, scale);
 }
 
+std::vector<float> flatten_dense_payload(const sparse::Bytes& payload) {
+  if (sparse::is_sparse_payload(payload))
+    throw std::runtime_error("flatten_dense_payload: payload is not dense");
+  const sparse::DenseUpdate dense = sparse::decode_dense(payload);
+  std::vector<float> flat;
+  flat.reserve(dense.total_dense());
+  for (const auto& layer : dense.layers)
+    flat.insert(flat.end(), layer.values.begin(), layer.values.end());
+  return flat;
+}
+
 }  // namespace dgs::core

@@ -46,4 +46,10 @@ void apply_decoded_layer(const DecodedLayer& segment, LayeredVec& target,
 void apply_update_payload(const sparse::Bytes& payload, LayeredVec& target,
                           float scale);
 
+/// Flatten a dense-encoded payload (e.g. a kFullModel warm-start snapshot)
+/// into one contiguous float vector in layer order. Throws if the payload
+/// is not the dense wire format.
+[[nodiscard]] std::vector<float> flatten_dense_payload(
+    const sparse::Bytes& payload);
+
 }  // namespace dgs::core

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/checkpoint.h"
 #include "core/payload.h"
 #include "obs/trace.h"
 
@@ -14,7 +15,17 @@ ParameterServer::ParameterServer(std::vector<std::size_t> layer_sizes,
     : layer_sizes_(std::move(layer_sizes)),
       theta0_(std::move(theta0_flat)),
       options_(options),
-      prev_(options.num_workers) {
+      prev_(options.num_workers),
+      last_seq_(options.num_workers),
+      lease_last_(options.num_workers),
+      lease_active_(options.num_workers) {
+  // Every worker starts with an active lease stamped at time 0; a worker
+  // that never makes contact is reclaimed once the timeout elapses, same as
+  // one that goes silent mid-run.
+  for (std::size_t k = 0; k < options.num_workers; ++k) {
+    lease_last_[k].store(0.0, std::memory_order_relaxed);
+    lease_active_[k].store(true, std::memory_order_relaxed);
+  }
   if (options_.num_workers == 0)
     throw std::invalid_argument("server: num_workers == 0");
   layer_offsets_.reserve(layer_sizes_.size());
@@ -62,17 +73,90 @@ ParameterServer::ParameterServer(std::vector<std::size_t> layer_sizes,
     instruments_.reply_bytes = &m.histogram(
         "server.reply.bytes", obs::exponential_bounds(64.0, 2.0, 26));
     instruments_.pushes = &m.counter("server.pushes");
+    instruments_.leases_reclaimed = &m.counter("server.leases_reclaimed");
+    instruments_.duplicate_pushes = &m.counter("server.duplicate_pushes");
+    instruments_.rejoins = &m.counter("server.rejoins");
+    instruments_.full_model_resyncs = &m.counter("server.full_model_resyncs");
   }
 }
 
 comm::Message ParameterServer::handle_push(const comm::Message& push,
-                                           std::uint64_t* staleness_out) {
+                                           std::uint64_t* staleness_out,
+                                           bool* duplicate_out) {
   DGS_TRACE_SCOPE("handle_push", "server");
   if (push.kind != comm::MessageKind::kGradientPush)
     throw std::invalid_argument("server: expected gradient push");
   const auto worker = static_cast<std::size_t>(push.worker_id);
   if (push.worker_id < 0 || worker >= options_.num_workers)
     throw std::invalid_argument("server: bad worker id");
+  if (staleness_out != nullptr) *staleness_out = 0;
+  if (duplicate_out != nullptr) *duplicate_out = false;
+
+  // Lease-reclaimed worker calling in: its v_k was reset, so a diff reply
+  // would replay the whole of M as "never sent". Discard the (arbitrarily
+  // stale) gradient and resync with a full-model snapshot instead; the
+  // adopt below reactivates a consistent (theta, v_k) pair. This also
+  // self-heals lease false positives — a slow-but-alive worker just gets a
+  // warm restart.
+  if (!lease_active_[worker].load(std::memory_order_acquire)) {
+    if (duplicate_out != nullptr) *duplicate_out = true;  // no sample applied
+    full_model_resyncs_.fetch_add(1, std::memory_order_relaxed);
+    if (instruments_.full_model_resyncs != nullptr)
+      instruments_.full_model_resyncs->add();
+    comm::Message reply = build_full_model_reply(worker);
+    reply.seq = push.seq;
+    reply.attempt = push.attempt;
+    lease_active_[worker].store(true, std::memory_order_release);
+    return reply;
+  }
+
+  // Sequence-number dedup: only a push strictly newer than the watermark is
+  // applied. The CAS loop means two concurrently delivered copies of the
+  // same push (dup fault, or an original racing its own retransmit) cannot
+  // both pass — exactly one applies the gradient.
+  if (push.seq != 0) {
+    std::uint64_t last = last_seq_[worker].load(std::memory_order_relaxed);
+    bool won = false;
+    while (push.seq > last && !won) {
+      won = last_seq_[worker].compare_exchange_weak(
+          last, push.seq, std::memory_order_acq_rel,
+          std::memory_order_relaxed);
+    }
+    if (!won) {
+      // Duplicate: do not re-apply the gradient or advance t, but answer
+      // with a fresh G = M - v_k (charged to v_k as every sent reply must
+      // be, so whichever copy the worker applies stays consistent).
+      duplicate_pushes_.fetch_add(1, std::memory_order_relaxed);
+      if (instruments_.duplicate_pushes != nullptr)
+        instruments_.duplicate_pushes->add();
+      if (duplicate_out != nullptr) *duplicate_out = true;
+
+      const std::vector<const DecodedLayer*> no_segments(layer_sizes_.size(),
+                                                         nullptr);
+      sparse::SparseUpdate g;
+      g.layers.reserve(layer_sizes_.size());
+      std::uint64_t sparse_nnz = 0;
+      for (const auto& shard : shards_) {
+        ServerShard::ReplySegment segment =
+            shard->apply_and_reply(worker, no_segments, -1.0f, reply_policy_);
+        sparse_nnz += segment.nnz;
+        for (auto& chunk : segment.layers)
+          g.layers.push_back(std::move(chunk));
+      }
+      total_reply_nnz_.fetch_add(sparse_nnz, std::memory_order_relaxed);
+      total_reply_dense_.fetch_add(total_numel_, std::memory_order_relaxed);
+
+      comm::Message reply;
+      reply.kind = comm::MessageKind::kModelDiff;
+      reply.worker_id = static_cast<std::int32_t>(worker);
+      reply.server_step = step_.load(std::memory_order_relaxed);
+      reply.worker_step = push.worker_step;
+      reply.seq = push.seq;
+      reply.attempt = push.attempt;
+      reply.payload = sparse::encode(g);
+      return reply;
+    }
+  }
 
   // Decode once and validate every segment before any shard is touched, so
   // a malformed push never leaves M partially updated.
@@ -130,6 +214,8 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
   reply.worker_id = static_cast<std::int32_t>(worker);
   reply.server_step = t_after;
   reply.worker_step = push.worker_step;
+  reply.seq = push.seq;
+  reply.attempt = push.attempt;
 
   // Wire-format choice: COO costs 8 bytes/entry, dense 4 bytes/entry, so a
   // model difference that is more than half dense (as it is for ASGD, which
@@ -169,6 +255,87 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
   prev_[worker].store(t_after, std::memory_order_relaxed);
   last_staleness_.store(staleness, std::memory_order_relaxed);
   if (staleness_out != nullptr) *staleness_out = staleness;
+  return reply;
+}
+
+void ParameterServer::touch_lease(std::size_t worker, double now) {
+  lease_last_.at(worker).store(now, std::memory_order_relaxed);
+  lease_active_[worker].store(true, std::memory_order_release);
+}
+
+std::size_t ParameterServer::reclaim_expired_leases(double now) {
+  if (options_.lease_timeout_s <= 0.0) return 0;
+  std::lock_guard lock(lease_mutex_);
+  std::size_t reclaimed = 0;
+  for (std::size_t k = 0; k < options_.num_workers; ++k) {
+    if (!lease_active_[k].load(std::memory_order_acquire)) continue;
+    if (now - lease_last_[k].load(std::memory_order_relaxed) <=
+        options_.lease_timeout_s)
+      continue;
+    // Deactivate first: a push racing the reclaim either sees an active
+    // lease (applies against the old v_k before reset_v's shard locks — a
+    // normal stale push) or an inactive one (gets resynced).
+    lease_active_[k].store(false, std::memory_order_release);
+    for (const auto& shard : shards_) shard->reset_v(k);
+    ++reclaimed;
+  }
+  if (reclaimed > 0) {
+    leases_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+    if (instruments_.leases_reclaimed != nullptr)
+      instruments_.leases_reclaimed->add(reclaimed);
+  }
+  return reclaimed;
+}
+
+comm::Message ParameterServer::handle_rejoin(const comm::Message& request,
+                                             double now) {
+  if (request.kind != comm::MessageKind::kRejoinRequest)
+    throw std::invalid_argument("server: expected rejoin request");
+  const auto worker = static_cast<std::size_t>(request.worker_id);
+  if (request.worker_id < 0 || worker >= options_.num_workers)
+    throw std::invalid_argument("server: bad worker id");
+
+  rejoins_.fetch_add(1, std::memory_order_relaxed);
+  if (instruments_.rejoins != nullptr) instruments_.rejoins->add();
+  comm::Message reply = build_full_model_reply(worker);
+  reply.seq = request.seq;
+  touch_lease(worker, now);
+  return reply;
+}
+
+comm::Message ParameterServer::build_full_model_reply(std::size_t worker) {
+  DGS_TRACE_SCOPE("full_model_reply", "server");
+  // Adopt v_k := M per shard (each under its own lock), collecting the same
+  // M values the adoption saw — so the snapshot the worker installs is
+  // byte-identical to what v_k now says was sent, and Eq. 5 bookkeeping
+  // restarts from a consistent pair even mid-traffic.
+  LayeredVec m = make_layered(layer_sizes_);
+  for (const auto& shard : shards_) shard->adopt_v_from_m(worker, m);
+
+  std::vector<float> theta = theta0_;
+  for (std::size_t j = 0; j < m.size(); ++j) {
+    float* dst = theta.data() + layer_offsets_[j];
+    for (std::size_t i = 0; i < m[j].size(); ++i) dst[i] += m[j][i];
+  }
+
+  // Route through the Checkpoint machinery: the warm-start payload is the
+  // same layered snapshot a checkpoint file would hold.
+  const Checkpoint snapshot = Checkpoint::from_flat(
+      theta, layer_sizes_, step_.load(std::memory_order_relaxed));
+  sparse::DenseUpdate dense;
+  dense.layers.resize(snapshot.layers.size());
+  for (std::size_t j = 0; j < snapshot.layers.size(); ++j) {
+    dense.layers[j].layer = static_cast<std::uint32_t>(j);
+    dense.layers[j].values = snapshot.layers[j];
+  }
+
+  comm::Message reply;
+  reply.kind = comm::MessageKind::kFullModel;
+  reply.worker_id = static_cast<std::int32_t>(worker);
+  reply.server_step = snapshot.step;
+  reply.payload = sparse::encode(dense);
+  total_reply_dense_.fetch_add(total_numel_, std::memory_order_relaxed);
+  total_reply_nnz_.fetch_add(total_numel_, std::memory_order_relaxed);
   return reply;
 }
 

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "comm/message.h"
@@ -46,6 +47,11 @@ struct ServerOptions {
   /// Layers smaller than this are exempt from secondary compression,
   /// mirroring CompressionConfig::min_sparsify_size on the worker side.
   std::size_t min_sparsify_size = 0;
+  /// Worker-lease timeout in seconds (engine time: modeled for the DES,
+  /// wall-clock for threads). A worker silent for longer has its v_k
+  /// reclaimed by reclaim_expired_leases() and is resynced with a full
+  /// model snapshot on next contact. 0 disables leases.
+  double lease_timeout_s = 0.0;
   /// Optional metrics sink (not owned; must outlive the server). When set,
   /// handle_push records staleness, per-layer and per-reply densities and
   /// reply bytes, and the shards record lock wait/hold times. Null keeps
@@ -63,8 +69,54 @@ class ParameterServer {
   /// worker, and advances the server timestamp. Safe to call concurrently
   /// for different workers; `staleness_out`, when non-null, receives the
   /// push's staleness (t_now - prev(k)) without touching shared counters.
+  ///
+  /// Fault handling (see DESIGN.md §11): a push whose seq is not newer than
+  /// the worker's last accepted seq is a duplicate (dup fault or
+  /// retransmit) — its gradient is NOT re-applied and the server step does
+  /// not advance, but a fresh G = M - v_k reply is still built and charged
+  /// to v_k, so whichever copy the worker applies the bookkeeping matches.
+  /// `duplicate_out` (when non-null) reports that case so engines can skip
+  /// sample accounting. A push from a worker whose lease was reclaimed gets
+  /// a kFullModel resync reply instead of a diff (its v_k was reset; a diff
+  /// would replay the entire model as if never sent).
   [[nodiscard]] comm::Message handle_push(const comm::Message& push,
-                                          std::uint64_t* staleness_out = nullptr);
+                                          std::uint64_t* staleness_out = nullptr,
+                                          bool* duplicate_out = nullptr);
+
+  /// Record liveness for `worker` at engine time `now` and (re)activate its
+  /// lease. Engines call this for every push that reaches the server.
+  void touch_lease(std::size_t worker, double now);
+
+  /// Reclaim every active lease older than options.lease_timeout_s at
+  /// engine time `now`: the worker's v_k is zeroed on all shards and the
+  /// worker is marked inactive until its next contact (which resyncs it).
+  /// Returns the number of leases reclaimed; 0 when leases are disabled.
+  std::size_t reclaim_expired_leases(double now);
+
+  /// Re-register a crashed worker (kRejoinRequest): reactivates its lease
+  /// at `now` and returns a kFullModel warm-start reply built through the
+  /// Checkpoint machinery — a dense snapshot of theta_t with v_k := M_t
+  /// adopted atomically per shard, so the rejoined worker's first reply is
+  /// a full model, never a stale diff.
+  [[nodiscard]] comm::Message handle_rejoin(const comm::Message& request,
+                                            double now);
+
+  /// Fault/recovery accounting (plain atomics, usable without a registry).
+  [[nodiscard]] std::uint64_t leases_reclaimed() const noexcept {
+    return leases_reclaimed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t duplicate_pushes() const noexcept {
+    return duplicate_pushes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rejoins() const noexcept {
+    return rejoins_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t full_model_resyncs() const noexcept {
+    return full_model_resyncs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool lease_active(std::size_t worker) const {
+    return lease_active_.at(worker).load(std::memory_order_acquire);
+  }
 
   /// Server timestamp t (number of updates applied).
   [[nodiscard]] std::uint64_t step() const noexcept {
@@ -119,11 +171,29 @@ class ParameterServer {
   ServerOptions options_;
   ShardReplyPolicy reply_policy_;
 
+  /// Dense theta_t snapshot with v_k := M_t adopted per shard, wrapped as a
+  /// kFullModel message (shared by handle_rejoin and the resync path).
+  [[nodiscard]] comm::Message build_full_model_reply(std::size_t worker);
+
   std::atomic<std::uint64_t> step_{0};
   std::vector<std::atomic<std::uint64_t>> prev_;  ///< prev(k) per worker.
   std::atomic<std::uint64_t> last_staleness_{0};
   std::atomic<std::uint64_t> total_reply_nnz_{0};
   std::atomic<std::uint64_t> total_reply_dense_{0};
+
+  // Fault/recovery state (see DESIGN.md §11). last_seq_ is the dedup
+  // watermark: highest accepted push seq per worker, advanced by CAS so
+  // concurrently delivered duplicates cannot both win. Lease state is
+  // per-worker atomics; the mutex only serializes reclaim scans against
+  // each other.
+  std::vector<std::atomic<std::uint64_t>> last_seq_;
+  std::vector<std::atomic<double>> lease_last_;
+  std::vector<std::atomic<bool>> lease_active_;
+  std::mutex lease_mutex_;
+  std::atomic<std::uint64_t> leases_reclaimed_{0};
+  std::atomic<std::uint64_t> duplicate_pushes_{0};
+  std::atomic<std::uint64_t> rejoins_{0};
+  std::atomic<std::uint64_t> full_model_resyncs_{0};
 
   // Observability (see obs/): instrument pointers resolved once in the
   // constructor, all null when options.metrics is null.
@@ -134,6 +204,10 @@ class ParameterServer {
     obs::Histogram* reply_layer_density = nullptr;
     obs::Histogram* reply_bytes = nullptr;
     obs::Counter* pushes = nullptr;
+    obs::Counter* leases_reclaimed = nullptr;
+    obs::Counter* duplicate_pushes = nullptr;
+    obs::Counter* rejoins = nullptr;
+    obs::Counter* full_model_resyncs = nullptr;
   } instruments_;
 };
 

@@ -113,6 +113,20 @@ void ServerShard::snapshot_v(std::size_t worker, LayeredVec& out) const {
   for (std::size_t j = 0; j < vk.size(); ++j) out[first_layer_ + j] = vk[j];
 }
 
+void ServerShard::reset_v(std::size_t worker) {
+  std::lock_guard lock(mutex_);
+  for (auto& layer : v_.at(worker)) std::fill(layer.begin(), layer.end(), 0.0f);
+}
+
+void ServerShard::adopt_v_from_m(std::size_t worker, LayeredVec& out_m) {
+  std::lock_guard lock(mutex_);
+  LayeredVec& vk = v_.at(worker);
+  for (std::size_t j = 0; j < m_.size(); ++j) {
+    out_m[first_layer_ + j] = m_[j];
+    vk[j] = m_[j];
+  }
+}
+
 std::vector<std::size_t> shard_partition(const std::vector<std::size_t>& sizes,
                                          std::size_t num_shards) {
   if (sizes.empty()) return {};

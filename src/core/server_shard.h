@@ -72,6 +72,16 @@ class ServerShard {
   /// Copy this shard's layers of v_k into `out` (global layer indexing).
   void snapshot_v(std::size_t worker, LayeredVec& out) const;
 
+  /// Zero this shard's slice of v_k (lease reclaim: the server forgets what
+  /// it believes the worker has).
+  void reset_v(std::size_t worker);
+  /// Full-model resync, atomically per shard: copy this shard's slice of M
+  /// into `out_m` (global layer indexing) AND set v_k := M under the same
+  /// lock, so the snapshot the worker receives is exactly what v_k records
+  /// as sent — the Eq. 5 bookkeeping restarts from a consistent pair even
+  /// while other workers keep pushing.
+  void adopt_v_from_m(std::size_t worker, LayeredVec& out_m);
+
   [[nodiscard]] std::size_t first_layer() const noexcept {
     return first_layer_;
   }

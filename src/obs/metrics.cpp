@@ -162,6 +162,19 @@ HistogramSummary summarize(const HistogramSnapshot& hist) {
 
 // ---- MetricsSnapshot --------------------------------------------------------
 
+const std::uint64_t* MetricsSnapshot::find_counter(
+    const std::string& name) const noexcept {
+  for (const auto& [counter_name, value] : counters)
+    if (counter_name == name) return &value;
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(
+    const std::string& name) const noexcept {
+  const std::uint64_t* value = find_counter(name);
+  return value != nullptr ? *value : 0;
+}
+
 const HistogramSnapshot* MetricsSnapshot::find_histogram(
     const std::string& name) const noexcept {
   for (const auto& [hist_name, hist] : histograms)

@@ -145,7 +145,12 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 
-  /// Lookup by name; nullptr when the histogram was never registered.
+  /// Lookup by name; nullptr when the instrument was never registered.
+  [[nodiscard]] const std::uint64_t* find_counter(
+      const std::string& name) const noexcept;
+  /// find_counter with a 0 default for never-registered counters.
+  [[nodiscard]] std::uint64_t counter_value(
+      const std::string& name) const noexcept;
   [[nodiscard]] const HistogramSnapshot* find_histogram(
       const std::string& name) const noexcept;
   [[nodiscard]] HistogramSummary summary_of(const std::string& name) const;

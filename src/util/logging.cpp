@@ -7,6 +7,7 @@ namespace dgs::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<LogSink> g_sink{nullptr};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,12 +28,20 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_sink(LogSink sink) noexcept {
+  g_sink.store(sink, std::memory_order_release);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
   std::string line = "[";
   line += level_name(level);
   line += "] ";
   line += message;
+  if (LogSink sink = g_sink.load(std::memory_order_acquire)) {
+    sink(level, line);
+    return;
+  }
   line += "\n";
   std::fwrite(line.data(), 1, line.size(), stderr);
 }

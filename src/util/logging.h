@@ -19,6 +19,15 @@ void set_log_level(LogLevel level) noexcept;
 /// Emits "[level] message\n" to stderr atomically (single write call).
 void log_line(LogLevel level, const std::string& message);
 
+/// Redirect log output: when a sink is set, every line that passes the
+/// threshold is handed to it (complete, newline-free) instead of stderr.
+/// The sink pointer is an atomic, so installing/clearing it races safely
+/// with concurrent loggers — each line goes entirely to the old or entirely
+/// to the new destination. Pass nullptr to restore stderr. Tests use this
+/// to capture output; the sink must be safe to call from multiple threads.
+using LogSink = void (*)(LogLevel level, const std::string& line);
+void set_log_sink(LogSink sink) noexcept;
+
 namespace detail {
 class LogStream {
  public:
@@ -42,3 +51,14 @@ inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo);
 inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
 
 }  // namespace dgs::util
+
+/// Streaming log statement with early-out: the message is only formatted
+/// when `level` passes the threshold, so hot paths can log unconditionally.
+/// `level` is a bare enumerator name (kError/kWarn/kInfo/kDebug). The
+/// if/else shape (rather than a naked `if`) keeps the macro dangling-else
+/// safe inside unbraced conditionals.
+#define DGS_LOG(level)                                                   \
+  if (static_cast<int>(::dgs::util::LogLevel::level) >                   \
+      static_cast<int>(::dgs::util::log_level())) {                      \
+  } else                                                                 \
+    ::dgs::util::detail::LogStream(::dgs::util::LogLevel::level)

@@ -1,0 +1,414 @@
+// Chaos suite: seeded fault schedules (drop / dup / delay / reorder / kill)
+// against both engines, plus unit coverage for the FaultPlan decision
+// stream, duplicate-push idempotence and lease reclaim/resync.
+//
+// Everything here is deterministic: FaultPlan is a pure hash of
+// (seed, direction, worker, seq, attempt), so a failing seed reproduces
+// exactly. Registered under the `chaos` ctest label (the soak preset
+// re-runs it; see CMakePresets.json).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "comm/fault.h"
+#include "comm/transport.h"
+#include "core/payload.h"
+#include "core/server.h"
+#include "core/session.h"
+#include "core/worker.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace dgs;
+using core::Method;
+
+// ------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, SameSeedSameDecisionStream) {
+  comm::FaultConfig config;
+  config.seed = 1234;
+  config.drop_pct = 10.0;
+  config.dup_pct = 5.0;
+  config.delay_pct = 5.0;
+  config.reorder_pct = 5.0;
+  comm::FaultPlan a(config), b(config);
+  for (std::uint64_t seq = 1; seq <= 2000; ++seq)
+    for (std::size_t worker = 0; worker < 3; ++worker)
+      ASSERT_EQ(a.classify(comm::FaultDirection::kPush, worker, seq, 0),
+                b.classify(comm::FaultDirection::kPush, worker, seq, 0))
+          << "worker " << worker << " seq " << seq;
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  comm::FaultConfig config;
+  config.drop_pct = 50.0;
+  config.seed = 1;
+  comm::FaultPlan a(config);
+  config.seed = 2;
+  comm::FaultPlan b(config);
+  int same = 0;
+  for (std::uint64_t seq = 1; seq <= 256; ++seq)
+    same += a.classify(comm::FaultDirection::kPush, 0, seq, 0) ==
+            b.classify(comm::FaultDirection::kPush, 0, seq, 0);
+  EXPECT_LT(same, 230);  // ~50% agreement expected, not ~100%
+}
+
+TEST(FaultPlan, DropRateMatchesConfiguredPercent) {
+  comm::FaultConfig config;
+  config.seed = 99;
+  config.drop_pct = 10.0;
+  comm::FaultPlan plan(config);
+  int drops = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    drops += plan.classify(comm::FaultDirection::kReply, 1,
+                           static_cast<std::uint64_t>(i + 1),
+                           0) == comm::FaultAction::kDrop;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.10, 0.01);
+}
+
+TEST(FaultPlan, RetransmitRollsAFreshDie) {
+  // A retransmission (same seq, higher attempt) must not inherit the
+  // original's fate, or a dropped message could never be healed.
+  comm::FaultConfig config;
+  config.seed = 7;
+  config.drop_pct = 40.0;
+  comm::FaultPlan plan(config);
+  int healed = 0, dropped = 0;
+  for (std::uint64_t seq = 1; seq <= 500; ++seq) {
+    if (plan.classify(comm::FaultDirection::kPush, 0, seq, 0) !=
+        comm::FaultAction::kDrop)
+      continue;
+    ++dropped;
+    healed += plan.classify(comm::FaultDirection::kPush, 0, seq, 1) !=
+              comm::FaultAction::kDrop;
+  }
+  ASSERT_GT(dropped, 100);
+  EXPECT_GT(healed, dropped / 3);  // ~60% of retries deliver
+}
+
+TEST(FaultPlan, ControlMessagesAreExempt) {
+  comm::Message rejoin, full, stop;
+  rejoin.kind = comm::MessageKind::kRejoinRequest;
+  full.kind = comm::MessageKind::kFullModel;
+  stop.kind = comm::MessageKind::kShutdown;
+  EXPECT_TRUE(comm::is_control_message(rejoin));
+  EXPECT_TRUE(comm::is_control_message(full));
+  EXPECT_TRUE(comm::is_control_message(stop));
+  comm::Message push;
+  push.kind = comm::MessageKind::kGradientPush;
+  EXPECT_FALSE(comm::is_control_message(push));
+}
+
+// ------------------------------------------------- FaultySimTransport arrivals
+
+TEST(FaultySimTransport, ArrivalListsMatchActions) {
+  comm::FaultConfig config;
+  config.seed = 42;
+  config.drop_pct = 30.0;
+  config.dup_pct = 30.0;
+  comm::FaultPlan plan(config);
+  comm::SimTransport inner(comm::NetworkModel::ideal());
+  comm::FaultySimTransport faulty(inner, &plan);
+
+  comm::Message msg;
+  msg.worker_id = 0;
+  msg.payload.resize(64);
+  int drops = 0, dups = 0, singles = 0;
+  for (std::uint64_t seq = 1; seq <= 400; ++seq) {
+    msg.seq = seq;
+    const auto arrivals = faulty.send_push(0.0, msg);
+    if (arrivals.empty())
+      ++drops;
+    else if (arrivals.size() == 2)
+      ++dups;
+    else
+      ++singles;
+  }
+  EXPECT_GT(drops, 60);
+  EXPECT_GT(dups, 60);
+  EXPECT_GT(singles, 60);
+  // Dropped messages still crossed the wire: every send was counted.
+  EXPECT_EQ(inner.bytes().upward_messages, 400u + static_cast<unsigned>(dups));
+}
+
+// -------------------------------------------------- duplicate-push dedup
+
+core::TrainConfig tiny_config(std::size_t workers) {
+  core::TrainConfig config;
+  config.method = Method::kDGS;
+  config.num_workers = workers;
+  config.batch_size = 8;
+  config.lr = 0.05;
+  config.momentum = 0.7;
+  config.seed = 13;
+  return config;
+}
+
+data::SyntheticDataset tiny_data(std::uint64_t seed = 5) {
+  data::SyntheticSpec dspec = data::SyntheticSpec::synth_cifar(seed);
+  dspec.num_train = 256;
+  dspec.num_test = 64;
+  return data::make_synthetic(dspec);
+}
+
+TEST(ChaosServer, DuplicatedPushesAreIdempotent) {
+  const auto data = tiny_data();
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {16},
+                                       data.train->num_classes());
+  const auto config = tiny_config(1);
+  const auto theta0 = core::initial_parameters(spec, config.seed);
+  nn::ModulePtr probe = spec.build();
+  core::ParameterServer server(nn::param_layer_sizes(probe->parameters()),
+                               theta0, {.num_workers = 1});
+  core::Worker worker(0, spec, data.train, config, theta0);
+
+  auto it = worker.compute_and_pack();
+  it.push.seq = 1;
+  const auto reply1 = server.handle_push(it.push);
+  EXPECT_EQ(server.step(), 1u);
+  EXPECT_EQ(reply1.seq, 1u);
+
+  // Same seq again: the gradient must not be re-applied and the timestamp
+  // must not advance, but the dup still gets a consistent G = M - v reply.
+  bool duplicate = false;
+  const auto model_before = server.global_model_flat();
+  it.push.attempt = 2;  // pretend this copy is the second retransmit
+  const auto reply2 = server.handle_push(it.push, nullptr, &duplicate);
+  EXPECT_TRUE(duplicate);
+  EXPECT_EQ(server.step(), 1u);
+  EXPECT_EQ(server.duplicate_pushes(), 1u);
+  EXPECT_EQ(server.global_model_flat(), model_before);
+  // The reply echoes the attempt: the fault plan must roll a fresh die for
+  // a retransmit's reply, or a once-dropped reply would be dropped forever.
+  EXPECT_EQ(reply2.attempt, 2u);
+
+  // Whichever copy the worker applies, Eq. 5 holds: apply both in order.
+  worker.apply_model_diff(reply1);
+  worker.apply_model_diff(reply2);
+  const auto global = server.global_model_flat();
+  const auto local = worker.model_flat();
+  ASSERT_EQ(global.size(), local.size());
+  for (std::size_t i = 0; i < global.size(); ++i)
+    ASSERT_NEAR(global[i], local[i], 1e-4) << "coordinate " << i;
+}
+
+TEST(ChaosServer, LeaseReclaimZeroesTrackerAndResyncs) {
+  const auto data = tiny_data(7);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {16},
+                                       data.train->num_classes());
+  const auto config = tiny_config(2);
+  const auto theta0 = core::initial_parameters(spec, config.seed);
+  nn::ModulePtr probe = spec.build();
+  const auto sizes = nn::param_layer_sizes(probe->parameters());
+  core::ServerOptions options;
+  options.num_workers = 2;
+  options.lease_timeout_s = 1.0;
+  core::ParameterServer server(sizes, theta0, options);
+  core::Worker w0(0, spec, data.train, config, theta0);
+  core::Worker w1(1, spec, data.train, config, theta0);
+
+  std::uint64_t seq0 = 0, seq1 = 0;
+  auto exchange = [&](core::Worker& w, std::uint64_t& seq, double now) {
+    auto it = w.compute_and_pack();
+    it.push.seq = ++seq;
+    const auto reply = server.handle_push(it.push);
+    server.touch_lease(static_cast<std::size_t>(it.push.worker_id), now);
+    w.apply_model_diff(reply);
+  };
+  exchange(w0, seq0, 0.0);
+  exchange(w1, seq1, 0.0);
+  exchange(w0, seq0, 0.5);
+
+  // Worker 1 goes silent past the lease: its tracker is reclaimed.
+  EXPECT_EQ(server.reclaim_expired_leases(0.9), 0u);  // nothing expired yet
+  exchange(w0, seq0, 1.2);
+  ASSERT_EQ(server.reclaim_expired_leases(1.2), 1u);
+  EXPECT_EQ(server.leases_reclaimed(), 1u);
+  EXPECT_FALSE(server.lease_active(1));
+  for (const auto& layer : server.sent_accumulator(1))
+    for (float v : layer) ASSERT_EQ(v, 0.0f);
+
+  // Its next push cannot be answered with a diff (v_1 was reset; a diff
+  // would replay the whole model): the server resyncs with a full model.
+  auto it = w1.compute_and_pack();
+  it.push.seq = ++seq1;
+  bool duplicate = false;
+  const auto resync = server.handle_push(it.push, nullptr, &duplicate);
+  EXPECT_TRUE(duplicate);  // engines must not count it as a training push
+  ASSERT_EQ(resync.kind, comm::MessageKind::kFullModel);
+  EXPECT_EQ(server.full_model_resyncs(), 1u);
+  server.touch_lease(1, 1.3);
+  EXPECT_TRUE(server.lease_active(1));
+
+  const auto snapshot = core::flatten_dense_payload(resync.payload);
+  const auto global = server.global_model_flat();
+  ASSERT_EQ(snapshot.size(), global.size());
+  for (std::size_t i = 0; i < global.size(); ++i)
+    ASSERT_FLOAT_EQ(snapshot[i], global[i]) << "coordinate " << i;
+
+  // After installing the snapshot, v_1 == M so the next exchange is a
+  // normal diff and Eq. 5 holds again.
+  w1.set_model(snapshot);
+  exchange(w1, seq1, 1.4);
+  const auto local = w1.model_flat();
+  const auto after = server.global_model_flat();
+  for (std::size_t i = 0; i < after.size(); ++i)
+    ASSERT_NEAR(after[i], local[i], 1e-4) << "coordinate " << i;
+}
+
+// -------------------------------------------------------- engine chaos runs
+
+data::SyntheticDataset chaos_data(std::uint64_t seed = 51) {
+  data::SyntheticSpec dspec = data::SyntheticSpec::synth_cifar(seed);
+  dspec.num_train = 512;
+  dspec.num_test = 256;
+  return data::make_synthetic(dspec);
+}
+
+core::TrainConfig chaos_config(std::size_t workers) {
+  core::TrainConfig config;
+  config.method = Method::kDGS;
+  config.num_workers = workers;
+  config.batch_size = 16;
+  config.epochs = 4;
+  config.lr = 0.02;
+  config.seed = 53;
+  config.record_curve = false;
+  return config;
+}
+
+/// The headline schedule from DESIGN.md §11: 10% drops both ways plus one
+/// mid-run worker crash, leases armed so the dead worker's tracker is
+/// reclaimed before it rejoins.
+comm::FaultConfig headline_faults() {
+  comm::FaultConfig fault;
+  fault.seed = 99;
+  fault.drop_pct = 10.0;
+  fault.kill_worker = 1;
+  fault.kill_at_step = 3;
+  // A dropped push stretches the inter-push gap to one iteration plus the
+  // retransmit timeout (~13ms); the lease must sit above that so healthy
+  // workers are not churned through full-model resyncs, but below the
+  // crashed worker's downtime so its tracker is reclaimed before rejoin.
+  fault.retransmit_timeout_s = 8e-3;
+  fault.lease_timeout_s = 30e-3;
+  fault.rejoin_delay_s = 50e-3;
+  return fault;
+}
+
+TEST(ChaosRun, DropTenPctPlusKillStillConverges) {
+  const auto data = chaos_data();
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {24},
+                                       data.train->num_classes());
+  auto config = chaos_config(4);
+  const auto clean = core::SimEngine(spec, data.train, data.test, config).run();
+
+  config.fault = headline_faults();
+  const auto faulted =
+      core::SimEngine(spec, data.train, data.test, config).run();
+
+  // The run completed, injected real faults, reclaimed the dead worker's
+  // lease and brought it back.
+  EXPECT_GT(faulted.faults_injected, 0u);
+  EXPECT_GT(faulted.leases_reclaimed, 0u);
+  EXPECT_GE(faulted.worker_rejoins, 1u);
+  EXPECT_GE(faulted.samples_processed, 4ull * data.train->size());
+
+  // Convergence within 2x the fault-free loss (acceptance bar): drops are
+  // healed by retransmission and the crash costs one worker's optimizer
+  // state, not the training run.
+  EXPECT_GT(clean.final_train_loss, 0.0);
+  EXPECT_LT(faulted.final_train_loss, 2.0 * clean.final_train_loss)
+      << "faulted " << faulted.final_train_loss << " vs clean "
+      << clean.final_train_loss;
+  EXPECT_GT(faulted.final_test_accuracy, clean.final_test_accuracy - 0.1)
+      << "faulted " << faulted.final_test_accuracy << " vs clean "
+      << clean.final_test_accuracy << " (leases reclaimed "
+      << faulted.leases_reclaimed << ", rejoins " << faulted.worker_rejoins
+      << ", faults " << faulted.faults_injected << ")";
+}
+
+TEST(ChaosRun, SeededScheduleIsReproducible) {
+  const auto data = chaos_data();
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {24},
+                                       data.train->num_classes());
+  auto config = chaos_config(4);
+  config.fault = headline_faults();
+
+  const auto a = core::SimEngine(spec, data.train, data.test, config).run();
+  const auto b = core::SimEngine(spec, data.train, data.test, config).run();
+  EXPECT_EQ(a.final_model, b.final_model);  // byte-for-byte
+  EXPECT_EQ(a.bytes.upward_bytes, b.bytes.upward_bytes);
+  EXPECT_EQ(a.bytes.downward_bytes, b.bytes.downward_bytes);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.leases_reclaimed, b.leases_reclaimed);
+  EXPECT_EQ(a.worker_rejoins, b.worker_rejoins);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+}
+
+TEST(ChaosRun, DelayAndReorderStillConverge) {
+  const auto data = chaos_data(57);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {24},
+                                       data.train->num_classes());
+  auto config = chaos_config(3);
+  config.fault.seed = 17;
+  config.fault.delay_pct = 15.0;
+  config.fault.reorder_pct = 15.0;
+  config.fault.delay_s = 8e-3;
+
+  const auto r = core::SimEngine(spec, data.train, data.test, config).run();
+  EXPECT_GT(r.faults_injected, 0u);
+  EXPECT_GE(r.samples_processed, 4ull * data.train->size());
+  EXPECT_GT(r.final_test_accuracy, 0.5);
+}
+
+TEST(ChaosRun, DuplicatesAreDedupedBySeq) {
+  const auto data = chaos_data(61);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {24},
+                                       data.train->num_classes());
+  auto config = chaos_config(3);
+  config.fault.seed = 23;
+  config.fault.dup_pct = 20.0;
+
+  const auto r = core::SimEngine(spec, data.train, data.test, config).run();
+  EXPECT_GT(r.faults_injected, 0u);
+  // Duplicated pushes must not double-apply gradients or double-count
+  // samples: the budget-driven sample count stays in its fault-free band.
+  const std::uint64_t budget = 4ull * data.train->size();
+  EXPECT_GE(r.samples_processed, budget);
+  EXPECT_LE(r.samples_processed, budget + 3 * config.batch_size);
+  EXPECT_GT(r.final_test_accuracy, 0.5);
+}
+
+// Real threads: drops, dups, a kill and leases together, sized to stay
+// TSan-friendly (scripts/run_tsan.sh runs this binary under ThreadSanitizer).
+TEST(ChaosRun, ThreadEngineSurvivesChaos) {
+  const auto data = tiny_data(67);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {16},
+                                       data.train->num_classes());
+  auto config = tiny_config(3);
+  config.batch_size = 16;
+  config.epochs = 2;
+  config.record_curve = false;
+  config.fault.seed = 31;
+  config.fault.drop_pct = 5.0;
+  config.fault.dup_pct = 5.0;
+  config.fault.kill_worker = 1;
+  config.fault.kill_at_step = 2;
+  config.fault.rejoin_delay_s = 10e-3;
+  config.fault.lease_timeout_s = 250e-3;  // wall clock: generous under TSan
+  config.fault.retransmit_timeout_s = 20e-3;
+
+  const auto r = core::ThreadEngine(spec, data.train, data.test, config).run();
+  EXPECT_GT(r.faults_injected, 0u);
+  EXPECT_GE(r.worker_rejoins, 1u);
+  EXPECT_GE(r.samples_processed, 2ull * data.train->size());
+  EXPECT_GT(r.final_test_accuracy, 0.3);
+  EXPECT_FALSE(r.final_model.empty());
+}
+
+}  // namespace

@@ -7,7 +7,10 @@
 
 #include "core/checkpoint.h"
 #include "core/evaluator.h"
+#include "core/payload.h"
+#include "core/server.h"
 #include "core/session.h"
+#include "core/worker.h"
 #include "data/synthetic.h"
 #include "util/rng.h"
 
@@ -166,6 +169,121 @@ TEST(Checkpoint, WarmStartResumesTraining) {
       << "resumed run regressed";
   // Fresh 3-epoch run from scratch is well behind 6 cumulative epochs.
   EXPECT_GT(resumed.final_test_accuracy, 0.6);
+}
+
+// A rejoining (crashed) worker's first reply must be a full-model warm
+// start built through the Checkpoint machinery — never a stale diff, which
+// would be interpreted relative to pre-crash state the worker lost.
+TEST(Checkpoint, RejoinWarmStartIsFullModelNotStaleDiff) {
+  data::SyntheticSpec dspec = data::SyntheticSpec::synth_cifar(53);
+  dspec.num_train = 256;
+  dspec.num_test = 64;
+  const auto data = data::make_synthetic(dspec);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {16},
+                                       data.train->num_classes());
+
+  core::TrainConfig config;
+  config.method = core::Method::kDGS;
+  config.num_workers = 2;
+  config.batch_size = 8;
+  config.lr = 0.05;
+  config.momentum = 0.7;
+  config.seed = 59;
+
+  const auto theta0 = core::initial_parameters(spec, config.seed);
+  nn::ModulePtr probe = spec.build();
+  const auto sizes = nn::param_layer_sizes(probe->parameters());
+  core::ParameterServer server(sizes, theta0, {.num_workers = 2});
+  core::Worker w0(0, spec, data.train, config, theta0);
+  core::Worker w1(1, spec, data.train, config, theta0);
+
+  // Both workers train for a bit; worker 1 then "crashes" (its local state
+  // is discarded below).
+  std::uint64_t seq0 = 0, seq1 = 0;
+  for (int iter = 0; iter < 6; ++iter) {
+    core::Worker& w = iter % 2 == 0 ? w0 : w1;
+    std::uint64_t& seq = iter % 2 == 0 ? seq0 : seq1;
+    auto it = w.compute_and_pack();
+    it.push.seq = ++seq;
+    w.apply_model_diff(server.handle_push(it.push));
+  }
+
+  comm::Message request;
+  request.kind = comm::MessageKind::kRejoinRequest;
+  request.worker_id = 1;
+  request.seq = ++seq1;
+  const auto reply = server.handle_rejoin(request, /*now=*/1.0);
+
+  ASSERT_EQ(reply.kind, comm::MessageKind::kFullModel);
+  EXPECT_EQ(reply.seq, request.seq);
+  EXPECT_EQ(server.rejoins(), 1u);
+
+  // The payload is a dense snapshot of theta_t = theta_0 + M_t, and it
+  // round-trips through the checkpoint format losslessly.
+  const auto snapshot = core::flatten_dense_payload(reply.payload);
+  const auto global = server.global_model_flat();
+  ASSERT_EQ(snapshot.size(), global.size());
+  for (std::size_t i = 0; i < global.size(); ++i)
+    ASSERT_FLOAT_EQ(snapshot[i], global[i]) << "coordinate " << i;
+  const auto ckpt =
+      core::Checkpoint::from_flat(snapshot, sizes, reply.server_step);
+  EXPECT_EQ(ckpt.flat(), snapshot);
+
+  // A fresh worker warm-started from the snapshot (the engines' revive
+  // path) immediately satisfies the Eq. 5 identity on its next exchange:
+  // the rejoin adopted v_1 := M_t, so the next reply is a normal diff.
+  core::Worker revived(1, spec, data.train, config, snapshot);
+  auto it = revived.compute_and_pack();
+  it.push.seq = ++seq1;
+  bool duplicate = true;
+  const auto diff = server.handle_push(it.push, nullptr, &duplicate);
+  EXPECT_FALSE(duplicate);
+  EXPECT_EQ(diff.kind, comm::MessageKind::kModelDiff);
+  revived.apply_model_diff(diff);
+  const auto after = server.global_model_flat();
+  const auto local = revived.model_flat();
+  for (std::size_t i = 0; i < after.size(); ++i)
+    ASSERT_NEAR(after[i], local[i], 1e-4) << "coordinate " << i;
+}
+
+// End to end: a run that loses a worker mid-flight still produces a final
+// model that checkpoints, reloads and re-evaluates identically.
+TEST(Checkpoint, CrashedRunStillCheckpointsCleanly) {
+  data::SyntheticSpec dspec = data::SyntheticSpec::synth_cifar(61);
+  dspec.num_train = 512;
+  dspec.num_test = 256;
+  const auto data = data::make_synthetic(dspec);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {24},
+                                       data.train->num_classes());
+
+  core::TrainConfig config;
+  config.method = core::Method::kDGS;
+  config.num_workers = 3;
+  config.batch_size = 16;
+  config.epochs = 3;
+  config.lr = 0.02;
+  config.seed = 67;
+  config.fault.seed = 71;
+  config.fault.kill_worker = 2;
+  config.fault.kill_at_step = 4;
+
+  const auto result = core::SimEngine(spec, data.train, data.test, config).run();
+  EXPECT_GE(result.worker_rejoins, 1u);
+  ASSERT_FALSE(result.final_model.empty());
+
+  nn::ModulePtr probe = spec.build();
+  const auto path = temp_path("crashed.ckpt");
+  core::save_checkpoint(
+      core::Checkpoint::from_flat(result.final_model,
+                                  nn::param_layer_sizes(probe->parameters()),
+                                  result.server_steps,
+                                  result.final_test_accuracy),
+      path);
+  const auto loaded = core::load_checkpoint(path);
+  EXPECT_EQ(loaded.flat(), result.final_model);
+  core::Evaluator evaluator(spec, data.test);
+  EXPECT_DOUBLE_EQ(evaluator.evaluate(loaded.flat()).accuracy,
+                   result.final_test_accuracy);
 }
 
 }  // namespace

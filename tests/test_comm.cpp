@@ -160,6 +160,79 @@ TEST(Channel, CloseSendRaceNeverLosesAcknowledgedValues) {
   }
 }
 
+// ------------------------------------------------------ timed channel ops
+
+using namespace std::chrono_literals;
+
+TEST(Channel, SendForTimesOutWhenFull) {
+  Channel<int> ch(1);
+  ASSERT_TRUE(ch.send(0));
+  EXPECT_EQ(ch.send_for(1, 2ms), ChannelStatus::kTimedOut);
+  EXPECT_EQ(ch.size(), 1u);  // the timed-out value was not enqueued
+}
+
+TEST(Channel, SendForSucceedsOnceDrained) {
+  Channel<int> ch(1);
+  ASSERT_TRUE(ch.send(0));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(5ms);
+    EXPECT_EQ(*ch.receive(), 0);
+  });
+  EXPECT_EQ(ch.send_for(1, 1000ms), ChannelStatus::kOk);
+  consumer.join();
+  EXPECT_EQ(*ch.receive(), 1);
+}
+
+TEST(Channel, CloseWhileBlockedInSendForReturnsClosed) {
+  // Regression guard for the shutdown path: a sender parked on a full
+  // channel must get a status back when the channel closes under it — not
+  // crash, not hang, not pretend the value was delivered.
+  Channel<int> ch(1);
+  ASSERT_TRUE(ch.send(0));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(5ms);
+    ch.close();
+  });
+  EXPECT_EQ(ch.send_for(1, 10'000ms), ChannelStatus::kClosed);
+  closer.join();
+  EXPECT_EQ(*ch.receive(), 0);  // queued value still drains after close
+}
+
+TEST(Channel, SendForOnClosedChannelReturnsClosedImmediately) {
+  Channel<int> ch(1);
+  ch.close();
+  EXPECT_EQ(ch.send_for(1, 1000ms), ChannelStatus::kClosed);
+}
+
+TEST(Channel, ReceiveForTimesOutOnEmpty) {
+  Channel<int> ch;
+  int out = -1;
+  EXPECT_EQ(ch.receive_for(out, 2ms), ChannelStatus::kTimedOut);
+  EXPECT_EQ(out, -1);
+}
+
+TEST(Channel, ReceiveForGetsValueSentLater) {
+  Channel<int> ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(5ms);
+    ch.send(7);
+  });
+  int out = -1;
+  EXPECT_EQ(ch.receive_for(out, 1000ms), ChannelStatus::kOk);
+  EXPECT_EQ(out, 7);
+  producer.join();
+}
+
+TEST(Channel, ReceiveForDrainsBeforeReportingClosed) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.close();
+  int out = 0;
+  EXPECT_EQ(ch.receive_for(out, 1ms), ChannelStatus::kOk);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(ch.receive_for(out, 1ms), ChannelStatus::kClosed);
+}
+
 // ------------------------------------------------------------ NetworkModel
 
 TEST(NetworkModel, TransferTimeMatchesClosedForm) {

@@ -3,10 +3,14 @@
 // parameter space, not just at the defaults.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <tuple>
 #include <vector>
 
+#include "comm/fault.h"
+#include "core/layered.h"
 #include "core/optimizer.h"
 #include "core/server.h"
 #include "core/session.h"
@@ -254,6 +258,114 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, DeterminismSweep,
                              if (ch == '-') ch = '_';
                            return n;
                          });
+
+// ---------------------------------------- reply-drop conservation sweep
+
+// Fault-model bookkeeping invariant (DESIGN.md §5/§11): with faults only on
+// replies, every reply the server *builds* is charged to v_k whether or not
+// it arrives. So for each worker, v_k decomposes exactly into the G_k
+// payloads the worker applied plus the G_k payloads the fault plan dropped
+// on the way down — nothing is double-charged, nothing goes missing.
+class ReplyDropConservationSweep : public ::testing::TestWithParam<double> {};
+
+namespace detail {
+
+/// Decode a model-diff / full-model payload into a flat dense vector.
+std::vector<float> dense_reply(const sparse::Bytes& payload,
+                               const std::vector<std::size_t>& sizes) {
+  std::size_t total = 0;
+  std::vector<std::size_t> offsets;
+  for (std::size_t s : sizes) {
+    offsets.push_back(total);
+    total += s;
+  }
+  std::vector<float> flat(total, 0.0f);
+  if (sparse::is_sparse_payload(payload)) {
+    const auto update = sparse::decode(payload);
+    for (const auto& chunk : update.layers) {
+      const auto dense = sparse::densify(chunk);
+      std::copy(dense.begin(), dense.end(), flat.begin() + offsets[chunk.layer]);
+    }
+  } else {
+    const auto update = sparse::decode_dense(payload);
+    for (const auto& layer : update.layers)
+      std::copy(layer.values.begin(), layer.values.end(),
+                flat.begin() + offsets[layer.layer]);
+  }
+  return flat;
+}
+
+}  // namespace detail
+
+TEST_P(ReplyDropConservationSweep, SentTrackerEqualsAppliedPlusDropped) {
+  const double drop_pct = GetParam();
+  data::SyntheticSpec dspec = data::SyntheticSpec::synth_cifar(59);
+  dspec.num_train = 256;
+  dspec.num_test = 64;
+  const auto data = data::make_synthetic(dspec);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {16},
+                                       data.train->num_classes());
+
+  core::TrainConfig config;
+  config.method = Method::kDGS;
+  config.num_workers = 2;
+  config.batch_size = 8;
+  config.lr = 0.05;
+  config.momentum = 0.7;
+  config.seed = 61;
+
+  const auto theta0 = core::initial_parameters(spec, config.seed);
+  nn::ModulePtr probe = spec.build();
+  const auto sizes = nn::param_layer_sizes(probe->parameters());
+  core::ParameterServer server(sizes, theta0, {.num_workers = 2});
+
+  comm::FaultConfig fc;
+  fc.seed = static_cast<std::uint64_t>(drop_pct) * 7919 + 3;
+  fc.drop_pct = drop_pct;
+  fc.faults_on_pushes = false;  // pushes are reliable; only replies fault
+  comm::FaultPlan plan(fc);
+
+  std::vector<std::unique_ptr<core::Worker>> workers;
+  for (std::size_t k = 0; k < 2; ++k)
+    workers.push_back(
+        std::make_unique<core::Worker>(k, spec, data.train, config, theta0));
+
+  const std::size_t numel = theta0.size();
+  std::vector<std::vector<double>> applied(2, std::vector<double>(numel, 0.0));
+  std::vector<std::vector<double>> dropped(2, std::vector<double>(numel, 0.0));
+  std::uint64_t seq[2] = {0, 0};
+  int drops_seen = 0;
+
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t k = static_cast<std::size_t>(iter % 2);
+    auto it = workers[k]->compute_and_pack();
+    it.push.seq = ++seq[k];
+    const auto reply = server.handle_push(it.push);
+    const auto g = detail::dense_reply(reply.payload, sizes);
+    if (plan.classify(comm::FaultDirection::kReply, k, reply.seq, 0) ==
+        comm::FaultAction::kDrop) {
+      // The reply is lost, but v_k already advanced by it: the worker keeps
+      // training on a stale model (that is the leak leases later bound).
+      for (std::size_t i = 0; i < numel; ++i) dropped[k][i] += g[i];
+      ++drops_seen;
+    } else {
+      workers[k]->apply_model_diff(reply);
+      for (std::size_t i = 0; i < numel; ++i) applied[k][i] += g[i];
+    }
+  }
+  ASSERT_GT(drops_seen, 0) << "schedule never dropped a reply; weak test";
+
+  for (std::size_t k = 0; k < 2; ++k) {
+    const auto v = core::layered_flatten(server.sent_accumulator(k));
+    ASSERT_EQ(v.size(), numel);
+    for (std::size_t i = 0; i < numel; ++i)
+      ASSERT_NEAR(v[i], applied[k][i] + dropped[k][i], 1e-4)
+          << "worker " << k << " coordinate " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DropRates, ReplyDropConservationSweep,
+                         ::testing::Values(10.0, 25.0, 50.0));
 
 // ------------------------------------------------------ codec size sweep
 
