@@ -8,6 +8,7 @@
 
 #include "sparse/codec.h"
 #include "sparse/coo.h"
+#include "sparse/select.h"
 #include "sparse/topk.h"
 #include "util/math_kernels.h"
 #include "util/rng.h"
@@ -56,6 +57,73 @@ void BM_ExtractCopy(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_ExtractCopy)->Range(1 << 12, 1 << 20);
+
+// The pre-kernel-layer worker sparsify path: heap-scratch nth_element
+// threshold selection followed by a separate extraction pass. Kept (under
+// sparse::reference) as the oracle for property tests and as the
+// denominator of the bench gate's fused-vs-reference speedup ratio
+// (scripts/check_bench.py requires Fused to beat this by >= 2x at 1M/R=1%).
+void BM_SparsifyReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto v = random_values(n, 10);
+  for (auto _ : state) {
+    const float thr = sparse::reference::topk_threshold(v, 1.0);
+    auto chunk = sparse::extract_copy(0, v, thr);
+    benchmark::DoNotOptimize(chunk);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SparsifyReference)->Range(1 << 14, 1 << 20);
+
+// The fused path those same call sites use now: exact radix select + single
+// compaction pass through a reused SparsifyWorkspace (allocation-free once
+// warm). Same work as BM_SparsifyReference, so times are comparable 1:1.
+void BM_SparsifyFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto v = random_values(n, 10);
+  sparse::SparsifyWorkspace ws;
+  sparse::LayerChunk chunk;
+  for (auto _ : state) {
+    ws.sparsify_copy(0, v, 1.0, chunk);
+    benchmark::DoNotOptimize(chunk);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SparsifyFused)->Range(1 << 14, 1 << 20);
+
+// Threshold selection alone (exact O(n) radix select on magnitude keys),
+// isolated from compaction so select/compact regressions are attributable.
+void BM_RadixSelect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto v = random_values(n, 11);
+  sparse::SparsifyWorkspace ws;
+  for (auto _ : state) {
+    auto sel = ws.select(v, 1.0);
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RadixSelect)->Range(1 << 14, 1 << 20);
+
+// The server reply path's fused extract-and-zero (residual stays in place).
+void BM_SparsifyZeroFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto v = random_values(n, 12);
+  std::vector<float> work(n);
+  sparse::SparsifyWorkspace ws;
+  sparse::LayerChunk chunk;
+  for (auto _ : state) {
+    work = v;  // ~memcpy; dwarfed by the select+compact being measured.
+    ws.sparsify_zero(0, work, 1.0, chunk);
+    benchmark::DoNotOptimize(chunk);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SparsifyZeroFused)->Range(1 << 14, 1 << 20);
 
 void BM_CodecEncodeDecode(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over bench_micro_kernels JSON output.
+
+Two checks, in order of authority:
+
+1. **In-run speedup ratio** (machine-independent, always enforced):
+   the fused sparsify kernel must beat the pre-kernel-layer reference
+   path -- measured in the *same* run, on the same machine, under the
+   same load -- by at least ``--min-speedup`` (default 2.0) at the
+   gate shape (1M elements, R = 1%). Because numerator and denominator
+   share the run, this holds on any machine and is the check CI fails
+   on.
+
+2. **Tolerance band vs. a committed baseline** (optional, advisory by
+   default): with ``--baseline``, every benchmark present in both files
+   is compared and flagged when slower than baseline by more than
+   ``--tolerance`` (default 0.35, i.e. +35%). Absolute times are only
+   meaningful on the machine that produced the baseline, so this check
+   fails the gate only under ``--enforce-baseline``; otherwise it
+   prints the regressions and exits 0 (CI uploads both JSONs as
+   artifacts for offline comparison instead).
+
+Usage:
+    bench_micro_kernels --benchmark_out=results.json \
+                        --benchmark_out_format=json
+    python3 scripts/check_bench.py results.json \
+        [--baseline bench/baselines/micro_kernels.json] \
+        [--min-speedup 2.0] [--tolerance 0.35] [--enforce-baseline]
+
+Exit status: 0 = gate passed, 1 = gate failed, 2 = malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# The acceptance-criterion shape: fused select+compact vs. the reference
+# copy-then-nth_element+extract path on 1M elements at R = 1%.
+GATE_PAIRS = [
+    ("BM_SparsifyReference/1048576", "BM_SparsifyFused/1048576"),
+]
+
+
+def load_times(path):
+    """Return {benchmark name: real_time in ns} for a google-benchmark JSON
+    file, keeping only plain iteration entries (no aggregates)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        benchmarks = doc["benchmarks"]
+    except (OSError, ValueError, KeyError) as err:
+        print(f"check_bench: cannot read '{path}': {err}", file=sys.stderr)
+        sys.exit(2)
+
+    times = {}
+    for entry in benchmarks:
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        name = entry.get("name")
+        time = entry.get("real_time")
+        if name is None or time is None:
+            continue
+        # Normalise to nanoseconds so baselines recorded with a different
+        # --benchmark_time_unit still compare correctly.
+        unit = entry.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            print(f"check_bench: unknown time unit '{unit}' for {name}",
+                  file=sys.stderr)
+            sys.exit(2)
+        times[name] = time * scale
+    if not times:
+        print(f"check_bench: no benchmark entries in '{path}'",
+              file=sys.stderr)
+        sys.exit(2)
+    return times
+
+
+def check_speedup(times, min_speedup):
+    """Enforce the in-run fused-vs-reference ratio; returns failure count."""
+    failures = 0
+    for reference, fused in GATE_PAIRS:
+        if reference not in times or fused not in times:
+            missing = [n for n in (reference, fused) if n not in times]
+            print(f"FAIL  gate pair missing from results: {', '.join(missing)}"
+                  f" (run without --benchmark_filter, or include them)")
+            failures += 1
+            continue
+        ratio = times[reference] / times[fused]
+        verdict = "ok  " if ratio >= min_speedup else "FAIL"
+        print(f"{verdict}  {fused}: {ratio:.2f}x vs {reference}"
+              f" (required >= {min_speedup:.2f}x)")
+        if ratio < min_speedup:
+            failures += 1
+    return failures
+
+
+def check_baseline(times, baseline, tolerance):
+    """Compare shared benchmarks against the baseline; returns regressions
+    as a list of (name, current ns, baseline ns, delta fraction)."""
+    regressions = []
+    shared = sorted(set(times) & set(baseline))
+    if not shared:
+        print("warn  baseline shares no benchmark names with results")
+        return regressions
+    for name in shared:
+        delta = times[name] / baseline[name] - 1.0
+        if delta > tolerance:
+            regressions.append((name, times[name], baseline[name], delta))
+    print(f"baseline: {len(shared)} benchmarks compared, "
+          f"{len(regressions)} over the +{tolerance:.0%} band")
+    for name, cur, base, delta in regressions:
+        print(f"  slow  {name}: {cur / 1e6:.3f} ms vs {base / 1e6:.3f} ms "
+              f"({delta:+.1%})")
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results",
+                        help="bench_micro_kernels --benchmark_out JSON file")
+    parser.add_argument("--baseline",
+                        help="committed baseline JSON to band-check against")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required in-run fused/reference ratio "
+                             "(default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="allowed slowdown vs baseline as a fraction "
+                             "(default: %(default)s)")
+    parser.add_argument("--enforce-baseline", action="store_true",
+                        help="fail (not just report) on baseline regressions")
+    args = parser.parse_args(argv)
+
+    times = load_times(args.results)
+    failures = check_speedup(times, args.min_speedup)
+
+    if args.baseline:
+        regressions = check_baseline(times, load_times(args.baseline),
+                                     args.tolerance)
+        if regressions and args.enforce_baseline:
+            failures += len(regressions)
+
+    if failures:
+        print(f"check_bench: FAILED ({failures} violation(s))")
+        return 1
+    print("check_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "sparse/topk.h"
 #include "util/math_kernels.h"
 
 namespace dgs::core {
@@ -28,16 +27,16 @@ void check_grads(const GradViews& grads, const std::vector<std::size_t>& sizes) 
       throw std::invalid_argument("optimizer: layer size mismatch");
 }
 
-/// Chunk holding an entire layer densely (idx = 0..n-1, val = values).
-sparse::LayerChunk full_chunk(std::uint32_t layer, std::span<const float> values) {
-  sparse::LayerChunk chunk;
+/// Fill `chunk` with an entire layer densely (idx = 0..n-1, val = values),
+/// reusing its buffers.
+void fill_full_chunk(std::uint32_t layer, std::span<const float> values,
+                     sparse::LayerChunk& chunk) {
   chunk.layer = layer;
   chunk.dense_size = static_cast<std::uint32_t>(values.size());
   chunk.idx.resize(values.size());
   chunk.val.assign(values.begin(), values.end());
   for (std::size_t i = 0; i < values.size(); ++i)
     chunk.idx[i] = static_cast<std::uint32_t>(i);
-  return chunk;
 }
 
 }  // namespace
@@ -45,13 +44,15 @@ sparse::LayerChunk full_chunk(std::uint32_t layer, std::span<const float> values
 sparse::Bytes WorkerAlgorithm::encode_update(
     const sparse::SparseUpdate& update) const {
   if (prefers_dense_encoding()) {
-    sparse::DenseUpdate dense;
-    dense.layers.resize(update.layers.size());
+    // dense_scratch_ keeps its per-layer value buffers across calls; only
+    // the returned wire bytes are allocated per message (their ownership
+    // crosses the transport boundary).
+    dense_scratch_.layers.resize(update.layers.size());
     for (std::size_t j = 0; j < update.layers.size(); ++j) {
-      dense.layers[j].layer = update.layers[j].layer;
-      dense.layers[j].values = sparse::densify(update.layers[j]);
+      dense_scratch_.layers[j].layer = update.layers[j].layer;
+      sparse::densify_into(update.layers[j], dense_scratch_.layers[j].values);
     }
-    return sparse::encode(dense);
+    return sparse::encode(dense_scratch_);
   }
   return sparse::encode(update);
 }
@@ -64,14 +65,12 @@ DenseSgd::DenseSgd(const std::vector<std::size_t>& layer_sizes)
 sparse::SparseUpdate DenseSgd::step(const GradViews& grads, float lr,
                                     std::size_t /*epoch*/) {
   check_grads(grads, sizes_);
-  sparse::SparseUpdate update;
-  update.layers.reserve(grads.size());
-  std::vector<float> scaled;
+  sparse::SparseUpdate update = workspace_.acquire_update(grads.size());
   for (std::size_t j = 0; j < grads.size(); ++j) {
-    scaled.assign(grads[j].begin(), grads[j].end());
-    util::scale(lr, {scaled.data(), scaled.size()});
-    update.layers.push_back(
-        full_chunk(static_cast<std::uint32_t>(j), {scaled.data(), scaled.size()}));
+    auto& chunk = update.layers[j];
+    // g = lr * grad, staged directly in the (recycled) chunk values.
+    fill_full_chunk(static_cast<std::uint32_t>(j), grads[j], chunk);
+    util::scale(lr, {chunk.val.data(), chunk.val.size()});
   }
   return update;
 }
@@ -85,14 +84,13 @@ DenseMomentum::DenseMomentum(const std::vector<std::size_t>& layer_sizes,
 sparse::SparseUpdate DenseMomentum::step(const GradViews& grads, float lr,
                                          std::size_t /*epoch*/) {
   check_grads(grads, u_);
-  sparse::SparseUpdate update;
-  update.layers.reserve(grads.size());
+  sparse::SparseUpdate update = workspace_.acquire_update(grads.size());
   for (std::size_t j = 0; j < grads.size(); ++j) {
     auto& u = u_[j];
     // u = m*u + lr*grad (Eq. 8 with eta folded in)
     util::axpby(lr, grads[j], m_, {u.data(), u.size()});
-    update.layers.push_back(
-        full_chunk(static_cast<std::uint32_t>(j), {u.data(), u.size()}));
+    fill_full_chunk(static_cast<std::uint32_t>(j), {u.data(), u.size()},
+                    update.layers[j]);
   }
   return update;
 }
@@ -112,18 +110,17 @@ GradientDropping::GradientDropping(const std::vector<std::size_t>& layer_sizes,
 sparse::SparseUpdate GradientDropping::step(const GradViews& grads, float lr,
                                             std::size_t epoch) {
   check_grads(grads, r_);
-  sparse::SparseUpdate update;
-  update.layers.reserve(grads.size());
+  sparse::SparseUpdate update = workspace_.acquire_update(grads.size());
   for (std::size_t j = 0; j < grads.size(); ++j) {
     auto& r = r_[j];
     std::span<float> rs{r.data(), r.size()};
     // r = r + lr*grad (Algorithm 1 line 6)
     util::axpy(lr, grads[j], rs);
-    // thr <- R% of |r|; send top entries, keep the rest as residual.
-    const float thr = sparse::topk_threshold(
-        {r.data(), r.size()}, compression_.layer_ratio(r.size(), epoch));
-    update.layers.push_back(
-        sparse::extract_and_zero(static_cast<std::uint32_t>(j), rs, thr));
+    // thr <- R% of |r|; send top entries, keep the rest as residual
+    // (fused select + compact + zero, one read pass over r).
+    workspace_.sparsify_zero(static_cast<std::uint32_t>(j), rs,
+                             compression_.layer_ratio(r.size(), epoch),
+                             update.layers[j]);
   }
   return update;
 }
@@ -156,22 +153,21 @@ sparse::SparseUpdate DeepGradientCompression::step(const GradViews& grads,
     if (norm > clip) scale = clip / norm;
   }
 
-  sparse::SparseUpdate update;
-  update.layers.reserve(grads.size());
+  sparse::SparseUpdate update = workspace_.acquire_update(grads.size());
   for (std::size_t j = 0; j < grads.size(); ++j) {
     auto& u = u_[j];
     auto& v = v_[j];
     // Momentum correction: u = m*u + lr*grad; v = v + u  (Lin et al. Eq. 4)
     util::axpby(lr * scale, grads[j], m_, {u.data(), u.size()});
     util::axpy(1.0f, {u.data(), u.size()}, {v.data(), v.size()});
-    const float thr = sparse::topk_threshold(
-        {v.data(), v.size()}, compression_.layer_ratio(v.size(), epoch));
-    // Send top entries of the corrected velocity; factor masking zeroes the
-    // velocity where sent so stale momentum does not double-fire.
-    auto chunk = sparse::extract_and_zero(static_cast<std::uint32_t>(j),
-                                          {v.data(), v.size()}, thr);
+    // Send top entries of the corrected velocity (fused select + compact +
+    // zero); factor masking zeroes the velocity where sent so stale
+    // momentum does not double-fire.
+    auto& chunk = update.layers[j];
+    workspace_.sparsify_zero(static_cast<std::uint32_t>(j),
+                             {v.data(), v.size()},
+                             compression_.layer_ratio(v.size(), epoch), chunk);
     for (std::uint32_t idx : chunk.idx) u[idx] = 0.0f;
-    update.layers.push_back(std::move(chunk));
   }
   return update;
 }
@@ -195,22 +191,20 @@ SAMomentum::SAMomentum(const std::vector<std::size_t>& layer_sizes,
 sparse::SparseUpdate SAMomentum::step(const GradViews& grads, float lr,
                                       std::size_t epoch) {
   check_grads(grads, u_);
-  sparse::SparseUpdate update;
-  update.layers.reserve(grads.size());
+  sparse::SparseUpdate update = workspace_.acquire_update(grads.size());
   const float rescale = 1.0f / m_;
   for (std::size_t j = 0; j < grads.size(); ++j) {
     auto& u = u_[j];
     std::span<float> us{u.data(), u.size()};
     // u = m*u + lr*grad (Alg. 3 line 6)
     util::axpby(lr, grads[j], m_, us);
-    // thr <- R% of |u|; g = top entries, which stay resident in u
-    const float thr = sparse::topk_threshold(
-        {u.data(), u.size()}, compression_.layer_ratio(u.size(), epoch));
-    update.layers.push_back(
-        sparse::extract_copy(static_cast<std::uint32_t>(j), us, thr));
-    // Unsent entries are scaled by 1/m: u += (1/m - 1) * u .* !Mask
-    // (Alg. 3 line 11) so the eventual send telescopes to m*u_c + lr*sum(grad).
-    sparse::scale_below(us, thr, rescale);
+    // thr <- R% of |u|; g = top entries, which stay resident in u, while
+    // unsent entries are scaled by 1/m: u += (1/m - 1) * u .* !Mask
+    // (Alg. 3 line 11) so the eventual send telescopes to m*u_c +
+    // lr*sum(grad). One fused pass does select + compact + rescale.
+    workspace_.sparsify_rescale(static_cast<std::uint32_t>(j), us,
+                                compression_.layer_ratio(u.size(), epoch),
+                                rescale, update.layers[j]);
   }
   return update;
 }

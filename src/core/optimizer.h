@@ -17,6 +17,7 @@
 #include "core/method.h"
 #include "sparse/codec.h"
 #include "sparse/coo.h"
+#include "sparse/select.h"
 
 namespace dgs::core {
 
@@ -51,10 +52,24 @@ class WorkerAlgorithm {
   [[nodiscard]] virtual sparse::Bytes encode_update(
       const sparse::SparseUpdate& update) const;
 
+  /// Hand a consumed update back for buffer reuse: the workspace pools it
+  /// so the next step() reuses the chunk capacity. With the caller
+  /// recycling every update, the steady-state sparsify path performs zero
+  /// heap allocations (property-tested). Discarding an update instead of
+  /// recycling it is always safe — the pool just re-warms.
+  void recycle(sparse::SparseUpdate&& update) noexcept {
+    workspace_.recycle(std::move(update));
+  }
+
   [[nodiscard]] Method method() const noexcept { return method_; }
 
  protected:
   explicit WorkerAlgorithm(Method method) : method_(method) {}
+
+  /// Selection + compaction scratch shared by the sparsifying subclasses.
+  sparse::SparsifyWorkspace workspace_;
+  /// Reused dense staging for prefers_dense_encoding() wire encoding.
+  mutable sparse::DenseUpdate dense_scratch_;
 
  private:
   Method method_;

@@ -119,15 +119,15 @@ sparse::SparseUpdate DgsTernary::step(const GradViews& grads, float lr,
     std::span<float> us{u.data(), u.size()};
     // SAMomentum step: u = m*u + lr*grad (Alg. 3 line 6).
     util::axpby(lr, grads[j], m_, us);
-    const float thr = sparse::topk_threshold(
-        {u.data(), u.size()}, compression_.layer_ratio(u.size(), epoch));
-    sparse::LayerChunk candidates =
-        sparse::extract_copy(static_cast<std::uint32_t>(j), us, thr);
+    // Fused select + compact + 1/m rescale of unsent entries; candidates_
+    // is workspace-reused scratch, not part of the update.
+    workspace_.sparsify_rescale(static_cast<std::uint32_t>(j), us,
+                                compression_.layer_ratio(u.size(), epoch),
+                                rescale, candidates_);
+    const sparse::LayerChunk& candidates = candidates_;
     // Quantize the sent values to {-s, +s}; entries rounded to zero drop
     // out of the update entirely.
     sparse::LayerChunk quantized = sparse::ternary_quantize_chunk(candidates, rng_);
-    // Unsent (below-threshold) entries get the usual 1/m rescale.
-    sparse::scale_below(us, thr, rescale);
     // Candidates that quantization zeroed behave as unsent: rescale them.
     // Candidates that shipped keep the candidate plus the signed
     // quantization error (cheap error feedback, discounted by m next step).

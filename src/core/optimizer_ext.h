@@ -75,6 +75,7 @@ class DgsTernary final : public WorkerAlgorithm {
   float m_;
   LayeredVec u_;
   util::Rng rng_;
+  sparse::LayerChunk candidates_;  ///< Reused pre-quantization scratch.
 };
 
 }  // namespace dgs::core

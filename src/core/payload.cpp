@@ -77,6 +77,18 @@ void apply_decoded_layer(const DecodedLayer& segment, LayeredVec& target,
 
 void apply_update_payload(const sparse::Bytes& payload, LayeredVec& target,
                           float scale) {
+  // Fast path for the dominant wire format: apply plain COO chunks straight
+  // off the decode, without staging them as DecodedLayer segments (which
+  // the sharded server needs for dispatch, but a one-shot apply does not).
+  if (sparse::is_sparse_payload(payload)) {
+    const sparse::SparseUpdate update = sparse::decode(payload);
+    for (const auto& chunk : update.layers) {
+      check_layer(chunk.layer, chunk.dense_size, target);
+      auto& layer = target[chunk.layer];
+      sparse::scatter_add(chunk, scale, {layer.data(), layer.size()});
+    }
+    return;
+  }
   for (const DecodedLayer& segment : decode_update(payload))
     apply_decoded_layer(segment, target, scale);
 }

@@ -4,7 +4,6 @@
 #include <string>
 
 #include "obs/trace.h"
-#include "sparse/topk.h"
 #include "util/math_kernels.h"
 
 namespace dgs::core {
@@ -43,7 +42,6 @@ ServerShard::ReplySegment ServerShard::apply_and_reply(
     float scale, const ShardReplyPolicy& policy) {
   ReplySegment reply;
   reply.layers.reserve(m_.size());
-  std::vector<float> diff;
 
   const bool timed = lock_wait_us_ != nullptr;
   const double wait_begin = timed ? obs::Tracer::now_us() : 0.0;
@@ -67,21 +65,25 @@ ServerShard::ReplySegment ServerShard::apply_and_reply(
       }
     }
 
-    // G = M - v_k for this layer (Eq. 3 / 6a).
-    diff.resize(ml.size());
-    util::sub({ml.data(), ml.size()}, {vk[j].data(), vk[j].size()},
-              {diff.data(), diff.size()});
+    // G = M - v_k for this layer (Eq. 3 / 6a), staged in the shard-owned
+    // diff_ buffer (capacity reused across pushes).
+    diff_.resize(ml.size());
+    std::span<float> diff{diff_.data(), diff_.size()};
+    util::sub({ml.data(), ml.size()}, {vk[j].data(), vk[j].size()}, diff);
 
-    float thr = 0.0f;  // keep everything by default
-    if (policy.secondary_compression && ml.size() >= policy.min_sparsify_size)
-      thr = sparse::topk_threshold({diff.data(), diff.size()},
-                                   policy.secondary_ratio_percent);
+    // Keep everything (ratio 100, no selection pass) unless the policy
+    // asks for secondary compression of this layer.
+    const double ratio =
+        policy.secondary_compression && ml.size() >= policy.min_sparsify_size
+            ? policy.secondary_ratio_percent
+            : 100.0;
     // Entries kept in G are *removed from the outstanding difference*;
-    // extract_and_zero leaves the residual (entries below thr) in `diff`,
-    // which stays implicitly accumulated at the server because v_k is only
-    // advanced by what was actually sent (Eq. 6b).
-    sparse::LayerChunk chunk = sparse::extract_and_zero(
-        static_cast<std::uint32_t>(global), {diff.data(), diff.size()}, thr);
+    // the fused compact_zero leaves the residual (entries below thr) in
+    // `diff`, which stays implicitly accumulated at the server because v_k
+    // is only advanced by what was actually sent (Eq. 6b).
+    sparse::LayerChunk chunk;
+    workspace_.sparsify_zero(static_cast<std::uint32_t>(global), diff, ratio,
+                             chunk);
     reply.nnz += chunk.nnz();
 
     // v_{k,t+1} = v_{k,prev} + G (Eq. 6b): add exactly what is being sent.

@@ -21,6 +21,7 @@
 #include "core/payload.h"
 #include "obs/metrics.h"
 #include "sparse/coo.h"
+#include "sparse/select.h"
 
 namespace dgs::core {
 
@@ -94,6 +95,13 @@ class ServerShard {
   std::size_t numel_ = 0;
   LayeredVec m_;                ///< This shard's slice of M_t.
   std::vector<LayeredVec> v_;  ///< [worker][local layer] slice of v_k.
+
+  // Reply-construction scratch, guarded by mutex_ like the state it serves:
+  // the G = M - v_k staging buffer and the fused selection workspace, both
+  // reused across pushes so steady-state reply building does not reallocate
+  // per layer.
+  std::vector<float> diff_;
+  sparse::SparsifyWorkspace workspace_;
 
   // Observability (see obs/): optional, resolved once at construction.
   obs::Histogram* lock_wait_us_ = nullptr;

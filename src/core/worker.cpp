@@ -56,6 +56,10 @@ IterationResult Worker::compute_and_pack(float lr,
   result.push.server_step = known_server_step_;
   result.update_density = update.density();
   result.push.payload = algorithm_->encode_update(update);
+  // Return the consumed update's buffers to the algorithm's pool: the
+  // steady-state step -> encode -> recycle loop then reuses all selection
+  // and chunk capacity instead of reallocating it every iteration.
+  algorithm_->recycle(std::move(update));
   ++step_;
   return result;
 }

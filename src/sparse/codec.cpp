@@ -62,6 +62,12 @@ std::size_t encoded_size(const SparseUpdate& update) noexcept {
 
 Bytes encode(const SparseUpdate& update) {
   Bytes out;
+  encode_into(update, out);
+  return out;
+}
+
+void encode_into(const SparseUpdate& update, Bytes& out) {
+  out.clear();
   out.reserve(encoded_size(update));
   Writer w(out);
   w.u32(kSparseMagic);
@@ -75,7 +81,6 @@ Bytes encode(const SparseUpdate& update) {
     w.u32s(c.idx);
     w.f32s(c.val);
   }
-  return out;
 }
 
 SparseUpdate decode(std::span<const std::uint8_t> bytes) {

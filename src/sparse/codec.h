@@ -32,6 +32,11 @@ inline constexpr std::uint32_t kDenseMagic = 0x44475344;   // 'DGSD'
 [[nodiscard]] Bytes encode(const SparseUpdate& update);
 [[nodiscard]] SparseUpdate decode(std::span<const std::uint8_t> bytes);
 
+/// Encode into a caller-owned buffer: `out` is cleared and refilled,
+/// reusing its capacity, so a steady-state encode loop stops allocating
+/// once the buffer has warmed up to the largest payload seen.
+void encode_into(const SparseUpdate& update, Bytes& out);
+
 /// Dense update: one contiguous float block per layer.
 struct DenseUpdate {
   struct Layer {

@@ -1,21 +1,34 @@
 #include "sparse/coo.h"
 
 #include <cassert>
-#include <cmath>
 #include <stdexcept>
+
+#include "sparse/select.h"
+#include "util/math_kernels.h"
 
 namespace dgs::sparse {
 
+namespace {
+
+/// Shared keep predicate: magnitude-key ordering, exact zeros excluded.
+/// Must match the fused kernels in select.cpp exactly (property-tested).
+inline bool keeps(float v, std::uint32_t thr_key) noexcept {
+  const std::uint32_t key = magnitude_key(v);
+  return key >= thr_key && key != 0;
+}
+
+}  // namespace
+
 LayerChunk extract_and_zero(std::uint32_t layer, std::span<float> values,
                             float thr) {
+  const std::uint32_t thr_key = magnitude_key(thr);
   LayerChunk chunk;
   chunk.layer = layer;
   chunk.dense_size = static_cast<std::uint32_t>(values.size());
   for (std::size_t i = 0; i < values.size(); ++i) {
-    const float v = values[i];
-    if (v != 0.0f && std::fabs(v) >= thr) {
+    if (keeps(values[i], thr_key)) {
       chunk.idx.push_back(static_cast<std::uint32_t>(i));
-      chunk.val.push_back(v);
+      chunk.val.push_back(values[i]);
       values[i] = 0.0f;
     }
   }
@@ -24,38 +37,50 @@ LayerChunk extract_and_zero(std::uint32_t layer, std::span<float> values,
 
 LayerChunk extract_copy(std::uint32_t layer, std::span<const float> values,
                         float thr) {
+  const std::uint32_t thr_key = magnitude_key(thr);
   LayerChunk chunk;
   chunk.layer = layer;
   chunk.dense_size = static_cast<std::uint32_t>(values.size());
   for (std::size_t i = 0; i < values.size(); ++i) {
-    const float v = values[i];
-    if (v != 0.0f && std::fabs(v) >= thr) {
+    if (keeps(values[i], thr_key)) {
       chunk.idx.push_back(static_cast<std::uint32_t>(i));
-      chunk.val.push_back(v);
+      chunk.val.push_back(values[i]);
     }
   }
   return chunk;
 }
 
 void scale_below(std::span<float> values, float thr, float factor) noexcept {
+  const std::uint32_t thr_key = magnitude_key(thr);
   for (auto& v : values)
-    if (std::fabs(v) < thr) v *= factor;
+    if (!keeps(v, thr_key)) v *= factor;
 }
 
 void scatter_add(const LayerChunk& chunk, float scale, std::span<float> dst) {
   if (dst.size() != chunk.dense_size)
     throw std::invalid_argument("scatter_add: dense size mismatch");
-  for (std::size_t i = 0; i < chunk.idx.size(); ++i) {
-    assert(chunk.idx[i] < dst.size());
-    dst[chunk.idx[i]] += scale * chunk.val[i];
+  const std::uint32_t* __restrict idx = chunk.idx.data();
+  const float* __restrict val = chunk.val.data();
+  float* __restrict out = dst.data();
+  const std::size_t nnz = chunk.idx.size();
+  for (std::size_t i = 0; i < nnz; ++i) {
+    assert(idx[i] < dst.size());
+    out[idx[i]] += scale * val[i];
   }
 }
 
 std::vector<float> densify(const LayerChunk& chunk) {
-  std::vector<float> out(chunk.dense_size, 0.0f);
-  for (std::size_t i = 0; i < chunk.idx.size(); ++i)
-    out[chunk.idx[i]] = chunk.val[i];
+  std::vector<float> out;
+  densify_into(chunk, out);
   return out;
+}
+
+void densify_into(const LayerChunk& chunk, std::vector<float>& out) {
+  out.resize(chunk.dense_size);
+  util::fill(0.0f, {out.data(), out.size()});
+  const std::uint32_t* __restrict idx = chunk.idx.data();
+  const float* __restrict val = chunk.val.data();
+  for (std::size_t i = 0; i < chunk.idx.size(); ++i) out[idx[i]] = val[i];
 }
 
 }  // namespace dgs::sparse

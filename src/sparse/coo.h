@@ -42,6 +42,14 @@ struct SparseUpdate {
   }
 };
 
+// The extraction predicate is shared with the fused kernels in select.h:
+// keep entries whose magnitude key is >= the threshold's key, excluding
+// exact (±) zeros, which carry no update. For finite data this is exactly
+// "|v| >= thr"; NaN entries are always kept (they order above +inf's
+// finite neighbors) so a poisoned gradient is surfaced, not silently
+// dropped. These scalar loops are the reference implementation the fused
+// kernels are property-tested against; hot paths use SparsifyWorkspace.
+
 /// Extract entries with |v| >= thr into a chunk and ZERO them in `values`
 /// (the "sparsify + keep residual" move of Algorithm 1 / Algorithm 2).
 /// Exact zeros are never extracted; they carry no update.
@@ -62,5 +70,9 @@ void scatter_add(const LayerChunk& chunk, float scale, std::span<float> dst);
 
 /// Densify the chunk into a zero-initialized buffer of chunk.dense_size.
 [[nodiscard]] std::vector<float> densify(const LayerChunk& chunk);
+
+/// Densify into a caller-owned buffer (resized to chunk.dense_size and
+/// zero-filled first); reuses the buffer's capacity across calls.
+void densify_into(const LayerChunk& chunk, std::vector<float>& out);
 
 }  // namespace dgs::sparse

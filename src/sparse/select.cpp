@@ -1,0 +1,399 @@
+#include "sparse/select.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <functional>
+
+#include "sparse/topk.h"
+
+namespace dgs::sparse {
+
+namespace {
+
+// 16/16 split of the 31-bit magnitude key space: pass 1 ranks the high
+// half-word, pass 2 ranks the low half-word within the winning bucket.
+// Two passes fully determine the exact key of the k-th largest magnitude.
+constexpr std::size_t kBuckets = 1u << 16;
+constexpr std::uint32_t kHiShift = 16;
+constexpr std::uint32_t kLoMask = 0xffffu;
+
+}  // namespace
+
+std::uint32_t SparsifyWorkspace::kth_key(std::span<const float> values,
+                                         std::size_t k) {
+  if (values.empty()) return 0;
+  k = std::clamp<std::size_t>(k, 1, values.size());
+  return ranked_key(values, k).key;
+}
+
+SparsifyWorkspace::RankedKey SparsifyWorkspace::ranked_key(
+    std::span<const float> values, std::size_t k) {
+  assert(!values.empty() && k >= 1 && k <= values.size());
+  if (values.size() < kRadixCutoff) return ranked_key_small(values, k);
+  return ranked_key_radix(values, k);
+}
+
+SparsifyWorkspace::RankedKey SparsifyWorkspace::ranked_key_small(
+    std::span<const float> values, std::size_t k) {
+  keys_.resize(values.size());
+  const float* __restrict vp = values.data();
+  std::uint32_t* __restrict kp = keys_.data();
+  const std::size_t n = values.size();
+  for (std::size_t i = 0; i < n; ++i) kp[i] = magnitude_key(vp[i]);
+  std::nth_element(keys_.begin(),
+                   keys_.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   keys_.end(), std::greater<std::uint32_t>());
+  RankedKey out;
+  out.key = keys_[k - 1];
+  // nth_element partitions: [0, k) are >= key. Ties at the key may sit in
+  // the tail, so count them there instead of rescanning the whole input.
+  out.count_ge = k;
+  for (std::size_t i = k; i < n; ++i) out.count_ge += kp[i] >= out.key;
+  return out;
+}
+
+SparsifyWorkspace::RankedKey SparsifyWorkspace::ranked_key_radix(
+    std::span<const float> values, std::size_t k) {
+  hist_.resize(kBuckets);
+  std::uint32_t* __restrict hist = hist_.data();
+  const float* __restrict vp = values.data();
+  const std::size_t n = values.size();
+
+  // Pass 1: rank the high 16 bits of the magnitude key.
+  std::memset(hist, 0, kBuckets * sizeof(std::uint32_t));
+  for (std::size_t i = 0; i < n; ++i) ++hist[magnitude_key(vp[i]) >> kHiShift];
+  std::size_t cumulative = 0;
+  std::size_t hi = kBuckets - 1;
+  for (;; --hi) {
+    cumulative += hist[hi];
+    if (cumulative >= k || hi == 0) break;
+  }
+  const std::size_t above_hi = cumulative - hist[hi];
+  // Remaining rank to resolve inside bucket `hi` (>= 1 by construction).
+  const std::size_t k_lo = k - above_hi;
+  const auto hi_key = static_cast<std::uint32_t>(hi);
+
+  // Pass 2: gather the entries whose high half-word matched and rank them
+  // directly. Bucket `hi` holds a ~1/128 relative magnitude band, so for
+  // gradient-like data it is a few thousand entries at most — collecting
+  // them beats a second histogram pass (no 256 KiB clear, no bucket scan),
+  // and even the adversarial all-one-bucket case just degrades to the
+  // nth_element small path.
+  const std::size_t in_bucket = hist[hi];
+  keys_.resize(in_bucket);
+  std::uint32_t* __restrict kp = keys_.data();
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t key = magnitude_key(vp[i]);
+    if ((key >> kHiShift) == hi_key) kp[w++] = key;
+  }
+  assert(w == in_bucket && k_lo >= 1 && k_lo <= in_bucket);
+  std::nth_element(keys_.begin(),
+                   keys_.begin() + static_cast<std::ptrdiff_t>(k_lo - 1),
+                   keys_.end(), std::greater<std::uint32_t>());
+  RankedKey out;
+  out.key = keys_[k_lo - 1];
+  // nth_element partitions: [0, k_lo) are >= key; ties at the key may sit
+  // in the tail, so count them there.
+  out.count_ge = above_hi + k_lo;
+  for (std::size_t i = k_lo; i < in_bucket; ++i)
+    out.count_ge += kp[i] >= out.key;
+  return out;
+}
+
+SelectResult SparsifyWorkspace::select(std::span<const float> values,
+                                       double ratio_percent) {
+  SelectResult sel;
+  if (values.empty()) return sel;
+  const std::size_t k = keep_count(values.size(), ratio_percent);
+  if (k == values.size()) {
+    // Keep-everything fast path (R >= 100, or clamping on tiny layers):
+    // the compaction kernels emit every nonzero entry at key 0, so no
+    // selection pass is needed — just size the output.
+    sel.kept = values.size() - count_zeros(values);
+    return sel;
+  }
+  const RankedKey ranked = ranked_key(values, k);
+  sel.key = ranked.key;
+  sel.threshold = key_magnitude(ranked.key);
+  sel.kept = ranked.count_ge;
+  if (sel.key == 0) sel.kept -= count_zeros(values);
+  return sel;
+}
+
+std::uint32_t SparsifyWorkspace::sampled_key(std::span<const float> values,
+                                             double ratio_percent,
+                                             std::size_t sample_size,
+                                             util::Rng& rng) {
+  if (values.empty()) return 0;
+  // Sampling with replacement from a population not much larger than the
+  // sample is both biased (duplicates shadow distinct order statistics)
+  // and pointless now that exact selection is O(n): clamp to exact.
+  if (sample_size == 0 || values.size() < 4 * sample_size) {
+    const std::size_t k = keep_count(values.size(), ratio_percent);
+    // k == n is the keep-everything degeneration: key 0, same as select().
+    return k == values.size() ? 0u : kth_key(values, k);
+  }
+  sample_.resize(sample_size);
+  for (auto& s : sample_)
+    s = values[static_cast<std::size_t>(rng.below(values.size()))];
+  const std::size_t k = keep_count(sample_size, ratio_percent);
+  return kth_key({sample_.data(), sample_.size()}, k);
+}
+
+SelectResult SparsifyWorkspace::sampled_select(std::span<const float> values,
+                                               double ratio_percent,
+                                               std::size_t sample_size,
+                                               util::Rng& rng) {
+  SelectResult sel;
+  if (values.empty()) return sel;
+  sel.key = sampled_key(values, ratio_percent, sample_size, rng);
+  sel.threshold = key_magnitude(sel.key);
+  // The estimate came from a sample, but the kept count must be exact for
+  // the fused compaction to size its output: count against the full input.
+  sel.kept = count_ge_key(values, sel.key);
+  if (sel.key == 0) sel.kept -= count_zeros(values);
+  return sel;
+}
+
+namespace {
+
+/// Shared single-pass compaction core. `Mutate` is applied to each entry
+/// after classification: it receives (value_ptr, kept) and implements the
+/// zero-extracted / rescale-unsent variants without a second pass.
+template <typename Mutate>
+void compact_into(std::uint32_t layer, const float* __restrict vp,
+                  std::size_t n, std::uint32_t thr_key, std::size_t kept,
+                  LayerChunk& out, Mutate&& mutate) {
+  out.layer = layer;
+  out.dense_size = static_cast<std::uint32_t>(n);
+  out.idx.resize(kept);
+  out.val.resize(kept);
+  std::uint32_t* __restrict oi = out.idx.data();
+  float* __restrict ov = out.val.data();
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t key = magnitude_key(vp[i]);
+    const bool keep = key >= thr_key && key != 0;
+    if (keep) {
+      oi[w] = static_cast<std::uint32_t>(i);
+      ov[w] = vp[i];
+      ++w;
+    }
+    mutate(i, keep);
+  }
+  assert(w == kept);
+  (void)w;
+}
+
+}  // namespace
+
+void SparsifyWorkspace::compact_copy(std::uint32_t layer,
+                                     std::span<const float> values,
+                                     const SelectResult& sel, LayerChunk& out) {
+  compact_into(layer, values.data(), values.size(), sel.key, sel.kept, out,
+               [](std::size_t, bool) {});
+}
+
+void SparsifyWorkspace::compact_zero(std::uint32_t layer,
+                                     std::span<float> values,
+                                     const SelectResult& sel, LayerChunk& out) {
+  float* __restrict vp = values.data();
+  compact_into(layer, vp, values.size(), sel.key, sel.kept, out,
+               [vp](std::size_t i, bool keep) {
+                 if (keep) vp[i] = 0.0f;
+               });
+}
+
+void SparsifyWorkspace::compact_rescale(std::uint32_t layer,
+                                        std::span<float> values,
+                                        const SelectResult& sel, float factor,
+                                        LayerChunk& out) {
+  float* __restrict vp = values.data();
+  compact_into(layer, vp, values.size(), sel.key, sel.kept, out,
+               [vp, factor](std::size_t i, bool keep) {
+                 if (!keep) vp[i] *= factor;
+               });
+}
+
+bool SparsifyWorkspace::gather_radix(std::span<const float> values,
+                                     std::size_t k) {
+  const std::size_t n = values.size();
+  if (n < kRadixCutoff || k >= n) return false;
+  assert(k >= 1);
+  hist_.resize(kBuckets);
+  std::uint32_t* __restrict hist = hist_.data();
+  const float* __restrict vp = values.data();
+
+  // Pass 1: rank the high 16 bits (identical to ranked_key_radix).
+  std::memset(hist, 0, kBuckets * sizeof(std::uint32_t));
+  for (std::size_t i = 0; i < n; ++i) ++hist[magnitude_key(vp[i]) >> kHiShift];
+  std::size_t cumulative = 0;
+  std::size_t hi = kBuckets - 1;
+  for (;; --hi) {
+    cumulative += hist[hi];
+    if (cumulative >= k || hi == 0) break;
+  }
+  const std::size_t above_hi = cumulative - hist[hi];
+  const std::size_t k_lo = k - above_hi;
+  const auto hi_key = static_cast<std::uint32_t>(hi);
+
+  // Pass 2: gather instead of just ranking — entries in buckets above the
+  // winner are kept for certain, entries in the winning bucket are
+  // candidates whose fate the in-bucket rank decides. Both lists come out
+  // in ascending index order because this is one forward scan.
+  sure_idx_.clear();
+  sure_val_.clear();
+  cand_idx_.clear();
+  cand_key_.clear();
+  cand_val_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t key = magnitude_key(vp[i]);
+    const std::uint32_t h = key >> kHiShift;
+    if (h < hi_key) continue;
+    if (h > hi_key) {
+      sure_idx_.push_back(static_cast<std::uint32_t>(i));
+      sure_val_.push_back(vp[i]);
+    } else {
+      cand_idx_.push_back(static_cast<std::uint32_t>(i));
+      cand_key_.push_back(key);
+      cand_val_.push_back(vp[i]);
+    }
+  }
+  assert(sure_idx_.size() == above_hi && cand_idx_.size() == hist[hi]);
+
+  // Exact in-bucket threshold: k_lo-th largest among the candidate keys
+  // (ranked on a copy so candidate order stays ascending-index).
+  keys_.assign(cand_key_.begin(), cand_key_.end());
+  std::nth_element(keys_.begin(),
+                   keys_.begin() + static_cast<std::ptrdiff_t>(k_lo - 1),
+                   keys_.end(), std::greater<std::uint32_t>());
+  gathered_thr_ = keys_[k_lo - 1];
+  return true;
+}
+
+void SparsifyWorkspace::emit_gathered(std::uint32_t layer,
+                                      std::size_t dense_size,
+                                      std::uint32_t cand_thr, LayerChunk& out) {
+  const auto keeps_cand = [cand_thr](std::uint32_t key) {
+    return key >= cand_thr && key != 0;
+  };
+  std::size_t kept = sure_idx_.size();
+  for (const std::uint32_t key : cand_key_) kept += keeps_cand(key);
+
+  out.layer = layer;
+  out.dense_size = static_cast<std::uint32_t>(dense_size);
+  out.idx.resize(kept);
+  out.val.resize(kept);
+  const std::size_t ns = sure_idx_.size();
+  const std::size_t nc = cand_idx_.size();
+  std::size_t s = 0, c = 0, w = 0;
+  while (true) {
+    while (c < nc && !keeps_cand(cand_key_[c])) ++c;
+    bool take_sure;
+    if (s < ns && c < nc) {
+      take_sure = sure_idx_[s] < cand_idx_[c];
+    } else if (s < ns) {
+      take_sure = true;
+    } else if (c < nc) {
+      take_sure = false;
+    } else {
+      break;
+    }
+    if (take_sure) {
+      out.idx[w] = sure_idx_[s];
+      out.val[w] = sure_val_[s];
+      ++s;
+    } else {
+      out.idx[w] = cand_idx_[c];
+      out.val[w] = cand_val_[c];
+      ++c;
+    }
+    ++w;
+  }
+  assert(w == kept);
+  (void)w;
+}
+
+void SparsifyWorkspace::sparsify_copy(std::uint32_t layer,
+                                      std::span<const float> values,
+                                      double ratio_percent, LayerChunk& out) {
+  if (!values.empty() &&
+      gather_radix(values, keep_count(values.size(), ratio_percent))) {
+    emit_gathered(layer, values.size(), gathered_thr_, out);
+    return;
+  }
+  compact_copy(layer, values, select(values, ratio_percent), out);
+}
+
+void SparsifyWorkspace::sparsify_zero(std::uint32_t layer,
+                                      std::span<float> values,
+                                      double ratio_percent, LayerChunk& out) {
+  if (!values.empty() &&
+      gather_radix(values, keep_count(values.size(), ratio_percent))) {
+    emit_gathered(layer, values.size(), gathered_thr_, out);
+    // Zero exactly the extracted entries — a sparse scatter over the kept
+    // indices, far cheaper than a third full pass at typical ratios.
+    float* __restrict vp = values.data();
+    for (const std::uint32_t i : out.idx) vp[i] = 0.0f;
+    return;
+  }
+  compact_zero(layer, values, select(values, ratio_percent), out);
+}
+
+SparseUpdate SparsifyWorkspace::acquire_update(std::size_t num_layers) {
+  SparseUpdate update;
+  if (!pool_.empty()) {
+    update = std::move(pool_.back());
+    pool_.pop_back();
+  }
+  if (update.layers.size() != num_layers) update.layers.resize(num_layers);
+  for (auto& chunk : update.layers) {
+    chunk.idx.clear();
+    chunk.val.clear();
+  }
+  return update;
+}
+
+void SparsifyWorkspace::recycle(SparseUpdate&& update) noexcept {
+  // pool_ growth is bounded by the number of updates simultaneously in
+  // flight per owner (one, for every current caller), so push_back settles
+  // at capacity 1 and the recycle round-trip is allocation-free.
+  pool_.push_back(std::move(update));
+}
+
+std::size_t SparsifyWorkspace::scratch_bytes() const noexcept {
+  std::size_t bytes = hist_.capacity() * sizeof(std::uint32_t) +
+                      keys_.capacity() * sizeof(std::uint32_t) +
+                      sample_.capacity() * sizeof(float) +
+                      sure_idx_.capacity() * sizeof(std::uint32_t) +
+                      sure_val_.capacity() * sizeof(float) +
+                      cand_idx_.capacity() * sizeof(std::uint32_t) +
+                      cand_key_.capacity() * sizeof(std::uint32_t) +
+                      cand_val_.capacity() * sizeof(float);
+  for (const auto& update : pool_)
+    for (const auto& chunk : update.layers)
+      bytes += chunk.idx.capacity() * sizeof(std::uint32_t) +
+               chunk.val.capacity() * sizeof(float);
+  return bytes;
+}
+
+std::size_t count_ge_key(std::span<const float> values,
+                         std::uint32_t key) noexcept {
+  const float* __restrict vp = values.data();
+  const std::size_t n = values.size();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += magnitude_key(vp[i]) >= key;
+  return count;
+}
+
+std::size_t count_zeros(std::span<const float> values) noexcept {
+  const float* __restrict vp = values.data();
+  const std::size_t n = values.size();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += magnitude_key(vp[i]) == 0;
+  return count;
+}
+
+}  // namespace dgs::sparse

@@ -1,0 +1,216 @@
+// Fused, allocation-free sparsification kernels.
+//
+// Every DGS step bottoms out in the same three operations per layer:
+// compute |v|, find the top-R% magnitude threshold, and compact the kept
+// entries into a COO chunk. The original substrate did these as separate
+// passes with a fresh heap-allocated scratch vector per call
+// (copy + nth_element + push_back compaction). This layer replaces them
+// with a reusable per-owner `SparsifyWorkspace`:
+//
+//   * an exact O(n) two-pass histogram (radix) select over IEEE-754
+//     magnitude keys — no scratch copy of the data, no nth_element;
+//   * a fused threshold-select + COO-compact kernel: the select pass
+//     already knows the exact kept count, so compaction is a single pass
+//     writing through bump pointers into exactly-sized output arrays;
+//   * buffer pooling (`acquire_update` / `recycle`) so the steady-state
+//     worker sparsify path performs zero heap allocations.
+//
+// Magnitude-ordering policy (the single source of truth; topk.h and the
+// scalar reference kernels in coo.cpp follow it):
+//
+//   key(v) = IEEE-754 bit pattern of |v| as uint32, with NaN clamped to
+//            the +inf key (0x7f800000).
+//
+// For every finite value — including denormals and both zeros, which map
+// to key 0 — key order equals magnitude order, so the policy is invisible
+// on clean data. It pins down the edge cases:
+//   * NaN sorts above every finite magnitude: NaN entries consume top-k
+//     slots and are always extracted ("kept"), never silently dropped or
+//     rescaled, so a poisoned gradient is visible at the server instead
+//     of festering in worker-resident state. Thresholds returned by the
+//     selectors are at most +inf, never NaN.
+//   * +0 and -0 both have magnitude key 0 and are never extracted (an
+//     exact zero carries no update), and scaling them is a no-op.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/coo.h"
+#include "util/rng.h"
+
+namespace dgs::sparse {
+
+/// Magnitude ordering key: bits of |v|, NaN clamped to the +inf key.
+[[nodiscard]] inline std::uint32_t magnitude_key(float v) noexcept {
+  constexpr std::uint32_t kAbsMask = 0x7fffffffu;
+  constexpr std::uint32_t kInfKey = 0x7f800000u;
+  const std::uint32_t key = std::bit_cast<std::uint32_t>(v) & kAbsMask;
+  return key > kInfKey ? kInfKey : key;
+}
+
+/// Inverse of magnitude_key for non-NaN keys: the non-negative float whose
+/// bit pattern is `key`.
+[[nodiscard]] inline float key_magnitude(std::uint32_t key) noexcept {
+  return std::bit_cast<float>(key);
+}
+
+/// Result of a threshold selection, sized for the fused compaction pass.
+struct SelectResult {
+  float threshold = 0.0f;   ///< key_magnitude(key); 0 keeps all nonzero.
+  std::uint32_t key = 0;    ///< Magnitude key of the threshold.
+  std::size_t kept = 0;     ///< Exact entries a compact_* call will emit.
+};
+
+/// Reusable selection + compaction scratch. One owner per worker algorithm
+/// and per server shard; NOT thread-safe (callers hold their own locks).
+/// All buffers grow to a high-water mark and are then reused, so the
+/// steady-state sparsify path performs zero heap allocations.
+class SparsifyWorkspace {
+ public:
+  /// Exact magnitude key of the k-th largest |value| (k clamped to [1, n]).
+  /// O(n): two histogram passes for large inputs, nth_element over a
+  /// reusable key scratch below kRadixCutoff. Returns 0 for empty input.
+  [[nodiscard]] std::uint32_t kth_key(std::span<const float> values,
+                                      std::size_t k);
+
+  /// Exact k-th largest magnitude as a float (see kth_key).
+  [[nodiscard]] float kth_magnitude(std::span<const float> values,
+                                    std::size_t k) {
+    return key_magnitude(kth_key(values, k));
+  }
+
+  /// Threshold selection for keeping the top R% magnitudes. When the ratio
+  /// degenerates to keep-everything (R >= 100 or tiny layers), selection is
+  /// skipped entirely: the returned key is 0 and `kept` counts the nonzero
+  /// entries, which is the exact set the compaction kernels emit.
+  [[nodiscard]] SelectResult select(std::span<const float> values,
+                                    double ratio_percent);
+
+  /// DGC-style sampled threshold-key estimate for very large layers:
+  /// O(sample_size), never scans the full input. Exact selection is used
+  /// when it is at least as trustworthy as sampling: n < 4 * sample_size
+  /// (sampling with replacement from a small population is biased and
+  /// high-variance) or sample_size == 0.
+  [[nodiscard]] std::uint32_t sampled_key(std::span<const float> values,
+                                          double ratio_percent,
+                                          std::size_t sample_size,
+                                          util::Rng& rng);
+
+  /// sampled_key plus the exact kept count (one extra O(n) pass over the
+  /// full input) so fused compaction can size its output; callers that only
+  /// need the threshold should use sampled_key and stay O(sample_size).
+  [[nodiscard]] SelectResult sampled_select(std::span<const float> values,
+                                            double ratio_percent,
+                                            std::size_t sample_size,
+                                            util::Rng& rng);
+
+  // ---- fused compaction (single pass over `values`) -----------------------
+  // All three kernels emit entries with magnitude_key(v) >= sel.key,
+  // excluding exact zeros, into `out` (resized to exactly sel.kept; index
+  // order ascending). `out.layer` / `out.dense_size` are set.
+
+  /// Keep `values` intact (Algorithm 3: sent velocity stays resident).
+  void compact_copy(std::uint32_t layer, std::span<const float> values,
+                    const SelectResult& sel, LayerChunk& out);
+
+  /// Zero extracted entries in `values` (Algorithms 1-2: send + residual).
+  void compact_zero(std::uint32_t layer, std::span<float> values,
+                    const SelectResult& sel, LayerChunk& out);
+
+  /// Extract kept entries and scale every *other* entry by `factor` in the
+  /// same pass (SAMomentum's 1/m rescale of unsent velocity, Alg. 3 l.11).
+  void compact_rescale(std::uint32_t layer, std::span<float> values,
+                       const SelectResult& sel, float factor, LayerChunk& out);
+
+  // ---- fully fused: threshold + compact in one call -----------------------
+  // For large inputs the copy/zero variants skip the separate compaction
+  // scan entirely: the radix select's second pass already visits every
+  // entry, so it gathers the certain keeps (buckets above the winner) and
+  // the in-bucket candidates as it ranks, and the output is assembled from
+  // those gathered lists — two passes over `values` instead of three.
+  // Output is byte-identical to select() + compact_*().
+
+  void sparsify_copy(std::uint32_t layer, std::span<const float> values,
+                     double ratio_percent, LayerChunk& out);
+  void sparsify_zero(std::uint32_t layer, std::span<float> values,
+                     double ratio_percent, LayerChunk& out);
+  /// Rescaling mutates every *unsent* entry, which needs a full pass over
+  /// `values` regardless, so this variant stays select() + compact_rescale.
+  void sparsify_rescale(std::uint32_t layer, std::span<float> values,
+                        double ratio_percent, float factor, LayerChunk& out) {
+    compact_rescale(layer, values, select(values, ratio_percent), factor, out);
+  }
+
+  // ---- update pooling -----------------------------------------------------
+  // acquire_update hands out a SparseUpdate whose layer chunks retain the
+  // capacity of previously recycled ones; recycle returns an update (e.g.
+  // after wire-encoding it) to the pool. Together they make the per-step
+  // update construction allocation-free once capacities have warmed up.
+
+  [[nodiscard]] SparseUpdate acquire_update(std::size_t num_layers);
+  void recycle(SparseUpdate&& update) noexcept;
+
+  /// Bytes of scratch currently resident (histograms, key scratch, pools);
+  /// exposed for the memory-usage accounting and tests.
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept;
+
+  /// Inputs shorter than this use the nth_element fallback: the radix
+  /// path's fixed cost (two 256 KiB histogram clears + bucket scans,
+  /// ~50 us) only amortizes above roughly this size (measured crossover
+  /// vs nth_element on the key scratch: ~24K-32K elements).
+  static constexpr std::size_t kRadixCutoff = 32768;
+
+ private:
+  struct RankedKey {
+    std::uint32_t key = 0;      ///< Exact k-th largest magnitude key.
+    std::size_t count_ge = 0;   ///< Entries with magnitude key >= key.
+  };
+  [[nodiscard]] RankedKey ranked_key(std::span<const float> values,
+                                     std::size_t k);
+  [[nodiscard]] RankedKey ranked_key_radix(std::span<const float> values,
+                                           std::size_t k);
+  [[nodiscard]] RankedKey ranked_key_small(std::span<const float> values,
+                                           std::size_t k);
+
+  /// Two-pass gather for the fully fused copy/zero kernels: histogram pass
+  /// plus a collect pass filling sure_*_ (entries in buckets above the
+  /// winner — kept for certain) and cand_*_ (the winning bucket, ranked by
+  /// nth_element afterwards). Returns false when the shape wants one of the
+  /// fallback paths (small input or keep-everything) instead.
+  [[nodiscard]] bool gather_radix(std::span<const float> values,
+                                  std::size_t k);
+  /// Merge sure_*_ and the kept candidates (ascending index order on both
+  /// sides) into `out`, sized exactly. `cand_thr` is the exact in-bucket
+  /// threshold key from gather_radix.
+  void emit_gathered(std::uint32_t layer, std::size_t dense_size,
+                     std::uint32_t cand_thr, LayerChunk& out);
+
+  std::vector<std::uint32_t> hist_;   ///< 65536 buckets, allocated lazily.
+  std::vector<std::uint32_t> keys_;   ///< Small-n nth_element scratch.
+  std::vector<float> sample_;         ///< Sampled-estimator scratch.
+  std::vector<SparseUpdate> pool_;    ///< Recycled updates (warm capacity).
+
+  // Fused-gather scratch (certain keeps / in-bucket candidates), all with
+  // warm capacity after the first large call.
+  std::vector<std::uint32_t> sure_idx_;
+  std::vector<float> sure_val_;
+  std::vector<std::uint32_t> cand_idx_;
+  std::vector<std::uint32_t> cand_key_;
+  std::vector<float> cand_val_;
+  std::uint32_t gathered_thr_ = 0;    ///< Exact kth key from gather_radix.
+};
+
+/// Count of entries that a compaction at threshold `thr` keeps, i.e. with
+/// magnitude_key(v) >= magnitude_key(thr), *including* exact zeros when
+/// thr == 0 (historical contract: count_above(v, 0) == v.size()).
+[[nodiscard]] std::size_t count_ge_key(std::span<const float> values,
+                                       std::uint32_t key) noexcept;
+
+/// Count of exact (±) zeros.
+[[nodiscard]] std::size_t count_zeros(std::span<const float> values) noexcept;
+
+}  // namespace dgs::sparse

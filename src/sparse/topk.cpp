@@ -2,25 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <vector>
 
+#include "sparse/select.h"
+
 namespace dgs::sparse {
+
+namespace {
+
+/// Workspace backing the free functions. Thread-local so concurrent server
+/// shards / workers calling the conveniences never share scratch; each
+/// thread pays for the histogram only once it selects on a large layer.
+SparsifyWorkspace& tls_workspace() {
+  thread_local SparsifyWorkspace ws;
+  return ws;
+}
+
+}  // namespace
 
 std::size_t keep_count(std::size_t n, double ratio_percent) noexcept {
   if (n == 0) return 0;
   const double frac = ratio_percent / 100.0;
-  auto k = static_cast<std::size_t>(std::ceil(frac * static_cast<double>(n)));
+  // Guard the double->size_t cast: a NaN or negative ratio must clamp to
+  // "keep 1", not hit undefined behavior in the conversion.
+  if (!(frac > 0.0)) return 1;
+  if (frac >= 1.0) return n;
+  const auto k = static_cast<std::size_t>(
+      std::ceil(frac * static_cast<double>(n)));
   return std::clamp<std::size_t>(k, 1, n);
 }
 
 float kth_largest_magnitude(std::span<const float> values, std::size_t k) {
   if (values.empty()) return 0.0f;
-  k = std::clamp<std::size_t>(k, 1, values.size());
-  std::vector<float> mags(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) mags[i] = std::fabs(values[i]);
-  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                   mags.end(), std::greater<float>());
-  return mags[k - 1];
+  return tls_workspace().kth_magnitude(values, k);
 }
 
 float topk_threshold(std::span<const float> values, double ratio_percent) {
@@ -30,19 +45,37 @@ float topk_threshold(std::span<const float> values, double ratio_percent) {
 
 float sampled_topk_threshold(std::span<const float> values, double ratio_percent,
                              std::size_t sample_size, util::Rng& rng) {
-  if (values.size() <= sample_size || sample_size == 0)
-    return topk_threshold(values, ratio_percent);
-  std::vector<float> sample(sample_size);
-  for (auto& s : sample)
-    s = values[static_cast<std::size_t>(rng.below(values.size()))];
-  return topk_threshold({sample.data(), sample.size()}, ratio_percent);
+  if (values.empty()) return 0.0f;
+  // sampled_key, not sampled_select: only the threshold is wanted here, so
+  // stay O(sample_size) and skip the exact kept-count pass over the input.
+  return key_magnitude(
+      tls_workspace().sampled_key(values, ratio_percent, sample_size, rng));
 }
 
 std::size_t count_above(std::span<const float> values, float thr) noexcept {
-  std::size_t n = 0;
-  for (float v : values)
-    if (std::fabs(v) >= thr) ++n;
-  return n;
+  return count_ge_key(values, magnitude_key(thr));
 }
+
+namespace reference {
+
+float kth_largest_magnitude(std::span<const float> values, std::size_t k) {
+  if (values.empty()) return 0.0f;
+  k = std::clamp<std::size_t>(k, 1, values.size());
+  // The historical path: copy every |v| into fresh scratch, nth_element it.
+  // Magnitude keys keep the ordering NaN-safe and policy-identical.
+  std::vector<std::uint32_t> keys(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    keys[i] = magnitude_key(values[i]);
+  std::nth_element(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   keys.end(), std::greater<std::uint32_t>());
+  return key_magnitude(keys[k - 1]);
+}
+
+float topk_threshold(std::span<const float> values, double ratio_percent) {
+  if (values.empty()) return 0.0f;
+  return kth_largest_magnitude(values, keep_count(values.size(), ratio_percent));
+}
+
+}  // namespace reference
 
 }  // namespace dgs::sparse

@@ -7,6 +7,14 @@
 // and the sparsified path degenerates to the dense one (needed for the
 // Eq. 5 "DGS without sparsification == ASGD" identity). Ties at the
 // threshold may keep slightly more than k entries; this is deterministic.
+//
+// Magnitudes are ordered by the IEEE-754 magnitude key (see select.h):
+// denormals and ±0 order exactly as their float magnitudes, and NaN sorts
+// above every finite value (so the returned threshold is never NaN).
+//
+// The free functions here are conveniences over a thread-local
+// SparsifyWorkspace (exact O(n) histogram select, allocation-free in
+// steady state). Hot paths that own a workspace should call it directly.
 #pragma once
 
 #include <cstddef>
@@ -18,11 +26,12 @@ namespace dgs::sparse {
 
 /// Number of entries kept at ratio R (in percent) of n: ceil(R/100 * n),
 /// clamped to [1, n] for non-empty input (we always send at least one value
-/// so progress is guaranteed even for tiny layers).
+/// so progress is guaranteed even for tiny layers). Non-finite or negative
+/// ratios clamp the same way: NaN/-R keep 1 entry, R >= 100 keeps all n.
 [[nodiscard]] std::size_t keep_count(std::size_t n, double ratio_percent) noexcept;
 
-/// Exact k-th largest magnitude of `values` (k in [1, n]). O(n) average via
-/// nth_element on a scratch copy.
+/// Exact k-th largest magnitude of `values` (k in [1, n]). O(n) via the
+/// two-pass histogram select; no scratch copy of the data.
 [[nodiscard]] float kth_largest_magnitude(std::span<const float> values,
                                           std::size_t k);
 
@@ -33,14 +42,30 @@ namespace dgs::sparse {
 
 /// Approximate threshold estimated from a uniform sample, as used by DGC for
 /// very large layers: samples `sample_size` entries, takes their top-R%
-/// threshold. Falls back to the exact method when n <= sample_size.
+/// threshold. Clamps to the exact method when n < 4 * sample_size — sampling
+/// with replacement from a population that small is biased (duplicates
+/// shadow distinct order statistics) and exact selection is O(n) anyway.
 [[nodiscard]] float sampled_topk_threshold(std::span<const float> values,
                                            double ratio_percent,
                                            std::size_t sample_size,
                                            util::Rng& rng);
 
-/// Count of entries with |v| >= thr.
+/// Count of entries with magnitude key >= key(thr), i.e. |v| >= thr with
+/// NaN entries always counted and a NaN threshold treated as +inf.
 [[nodiscard]] std::size_t count_above(std::span<const float> values,
                                       float thr) noexcept;
+
+namespace reference {
+
+/// Pre-kernel-layer implementations: heap-allocated scratch copy plus
+/// nth_element. Kept as the independent oracle for the fused-kernel
+/// property tests and as the denominator of the bench gate's
+/// fused-vs-reference speedup ratio. Not on any hot path.
+[[nodiscard]] float kth_largest_magnitude(std::span<const float> values,
+                                          std::size_t k);
+[[nodiscard]] float topk_threshold(std::span<const float> values,
+                                   double ratio_percent);
+
+}  // namespace reference
 
 }  // namespace dgs::sparse

@@ -1,9 +1,11 @@
 // Dense float32 math kernels used by the tensor library and the optimizers.
 //
 // These are the hot loops of the whole system: every optimizer step, every
-// sparsification pass and every matmul bottoms out here. They are written as
-// plain restrict-qualified loops so the compiler can vectorize them; no
-// external BLAS dependency is assumed.
+// sparsification pass and every matmul bottoms out here. The streaming
+// kernels (axpy/axpby/scale) are restrict-qualified, fixed-width-blocked
+// loops whose constant-trip bodies the compiler fully unrolls and
+// vectorizes; no external BLAS dependency is assumed. The bench gate
+// (scripts/check_bench.py over bench_micro_kernels) keeps them honest.
 #pragma once
 
 #include <cstddef>

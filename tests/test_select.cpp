@@ -1,0 +1,389 @@
+// Property tests for the fused sparsification kernel layer
+// (sparse/select.h): the fused select+compact kernels must be
+// byte-identical to the pre-kernel-layer scalar reference path across
+// random shapes, ratios, ties, denormals and NaN; plus the documented
+// NaN / signed-zero policy, the sampled-estimator clamp, and an
+// allocation-counter proof that the steady-state worker sparsify path
+// performs zero heap allocations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "sparse/coo.h"
+#include "sparse/select.h"
+#include "sparse/topk.h"
+#include "util/rng.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every operator new in this binary bumps it.
+// Used by the AllocationFree tests to prove the warm sparsify path never
+// touches the heap. Counting is process-wide, so those tests must not call
+// anything allocating (including gtest assertions) inside the measured loop.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace dgs;
+using namespace dgs::sparse;
+
+// ------------------------------------------------------------- test inputs
+
+constexpr float kDenormal = 1e-41f;  // well below FLT_MIN
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+/// Random gradient-like values with the edge cases the policy pins down:
+/// exact +/-0, denormals, heavy ties (values snapped to a coarse grid so
+/// many share a magnitude key), and optionally NaN.
+std::vector<float> edge_case_values(std::size_t n, std::uint64_t seed,
+                                    bool with_nan) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    switch (static_cast<int>(rng.below(8))) {
+      case 0:
+        x = 0.0f;
+        break;
+      case 1:
+        x = -0.0f;
+        break;
+      case 2:
+        x = kDenormal * static_cast<float>(1 + rng.below(4));
+        break;
+      case 3:
+        // Snap to a 16-level grid: guarantees ties at the threshold.
+        x = static_cast<float>(static_cast<int>(rng.below(16))) / 8.0f - 1.0f;
+        break;
+      default:
+        x = static_cast<float>(rng.normal(0, 1));
+        break;
+    }
+  }
+  if (with_nan && n >= 4) {
+    v[n / 4] = kNaN;
+    v[n / 2] = -kNaN;
+  }
+  return v;
+}
+
+/// Bitwise float equality: distinguishes +0 from -0 and treats any NaN
+/// payload as itself, which value comparison cannot.
+bool same_bits(float a, float b) {
+  return std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b);
+}
+
+void expect_chunks_identical(const LayerChunk& got, const LayerChunk& want,
+                             const char* what) {
+  ASSERT_EQ(got.layer, want.layer) << what;
+  ASSERT_EQ(got.dense_size, want.dense_size) << what;
+  ASSERT_EQ(got.idx, want.idx) << what;
+  ASSERT_EQ(got.val.size(), want.val.size()) << what;
+  for (std::size_t i = 0; i < got.val.size(); ++i)
+    ASSERT_TRUE(same_bits(got.val[i], want.val[i]))
+        << what << ": val[" << i << "] " << got.val[i] << " vs " << want.val[i];
+}
+
+void expect_arrays_identical(std::span<const float> got,
+                             std::span<const float> want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_TRUE(same_bits(got[i], want[i]))
+        << what << ": [" << i << "] " << got[i] << " vs " << want[i];
+}
+
+// ------------------------------------------------- fused vs reference oracle
+
+/// One cross-check of every fused kernel against the pre-kernel-layer
+/// reference: nth_element-on-fresh-scratch threshold + the scalar COO
+/// kernels, which share the magnitude-key policy.
+void check_against_reference(const std::vector<float>& v, double ratio,
+                             SparsifyWorkspace& ws) {
+  const float thr = reference::topk_threshold(v, ratio);
+  ASSERT_FALSE(std::isnan(thr));
+
+  // select(): threshold and kept count agree with the oracle. A ratio that
+  // keeps everything legitimately reports threshold 0 (skip-selection fast
+  // path) while the oracle reports the minimum magnitude; both extract the
+  // same set, which is what the chunk comparisons below verify.
+  const SelectResult sel = ws.select(v, ratio);
+  const std::size_t n_kept = [&] {
+    std::size_t c = 0;
+    for (float x : v) c += magnitude_key(x) >= magnitude_key(thr) &&
+                           magnitude_key(x) != 0;
+    return c;
+  }();
+  ASSERT_EQ(sel.kept, n_kept);
+  const std::size_t nonzero =
+      v.size() - static_cast<std::size_t>(
+                     std::count_if(v.begin(), v.end(), [](float x) {
+                       return magnitude_key(x) == 0;
+                     }));
+  if (sel.kept < nonzero) {
+    ASSERT_EQ(magnitude_key(sel.threshold), magnitude_key(thr));
+  }
+
+  const LayerChunk want_copy = extract_copy(7, v, thr);
+
+  LayerChunk got;
+  ws.sparsify_copy(7, v, ratio, got);
+  expect_chunks_identical(got, want_copy, "sparsify_copy");
+
+  ws.compact_copy(7, v, sel, got);
+  expect_chunks_identical(got, want_copy, "compact_copy");
+
+  {
+    std::vector<float> want_v = v;
+    const LayerChunk want =
+        extract_and_zero(7, {want_v.data(), want_v.size()}, thr);
+    std::vector<float> got_v = v;
+    ws.sparsify_zero(7, {got_v.data(), got_v.size()}, ratio, got);
+    expect_chunks_identical(got, want, "sparsify_zero");
+    expect_arrays_identical(got_v, want_v, "sparsify_zero residual");
+  }
+  {
+    const float factor = 0.5f;
+    std::vector<float> want_v = v;
+    const LayerChunk want = extract_copy(7, want_v, thr);
+    scale_below({want_v.data(), want_v.size()}, thr, factor);
+    std::vector<float> got_v = v;
+    ws.sparsify_rescale(7, {got_v.data(), got_v.size()}, ratio, factor, got);
+    expect_chunks_identical(got, want, "sparsify_rescale");
+    expect_arrays_identical(got_v, want_v, "sparsify_rescale residual");
+  }
+}
+
+TEST(SelectProperty, FusedMatchesReferenceAcrossShapesAndRatios) {
+  SparsifyWorkspace ws;
+  const double ratios[] = {0.01, 0.1, 1.0, 5.0, 37.5, 99.9, 100.0, 250.0};
+  util::Rng shape_rng(11);
+  for (int trial = 0; trial < 24; ++trial) {
+    // Mostly small shapes (nth_element path) plus sizes that straddle the
+    // radix cutoff so both selection strategies and the fused gather path
+    // are exercised; `with_nan` on a third of the trials.
+    const std::size_t n =
+        trial < 16 ? shape_rng.below(2048)
+                   : SparsifyWorkspace::kRadixCutoff - 1000 +
+                         shape_rng.below(SparsifyWorkspace::kRadixCutoff);
+    const auto v = edge_case_values(n, 1000 + static_cast<std::uint64_t>(trial),
+                                    trial % 3 == 0);
+    for (const double ratio : ratios)
+      check_against_reference(v, ratio, ws);
+  }
+}
+
+TEST(SelectProperty, FusedMatchesReferenceLargeRadix) {
+  SparsifyWorkspace ws;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto v = edge_case_values(
+        3 * SparsifyWorkspace::kRadixCutoff + 12345,
+        2000 + static_cast<std::uint64_t>(trial), trial == 0);
+    for (const double ratio : {0.1, 1.0, 50.0, 100.0})
+      check_against_reference(v, ratio, ws);
+  }
+}
+
+TEST(SelectProperty, EmptyInput) {
+  SparsifyWorkspace ws;
+  const SelectResult sel = ws.select({}, 1.0);
+  EXPECT_EQ(sel.kept, 0u);
+  LayerChunk chunk;
+  ws.sparsify_copy(3, {}, 1.0, chunk);
+  EXPECT_EQ(chunk.layer, 3u);
+  EXPECT_EQ(chunk.dense_size, 0u);
+  EXPECT_TRUE(chunk.idx.empty());
+}
+
+// ------------------------------------------------------------ NaN / +-0 policy
+
+TEST(SelectPolicy, MagnitudeKeyOrdersDenormalsAndClampsNaN) {
+  EXPECT_EQ(magnitude_key(0.0f), 0u);
+  EXPECT_EQ(magnitude_key(-0.0f), 0u);
+  EXPECT_LT(magnitude_key(kDenormal), magnitude_key(FLT_MIN));
+  EXPECT_LT(magnitude_key(FLT_MIN), magnitude_key(1.0f));
+  EXPECT_LT(magnitude_key(1.0f),
+            magnitude_key(std::numeric_limits<float>::infinity()));
+  // NaN (any sign/payload) clamps to the +inf key: top of the order.
+  EXPECT_EQ(magnitude_key(kNaN),
+            magnitude_key(std::numeric_limits<float>::infinity()));
+  EXPECT_EQ(magnitude_key(-kNaN), magnitude_key(kNaN));
+}
+
+TEST(SelectPolicy, NaNAlwaysExtractedAndThresholdNeverNaN) {
+  SparsifyWorkspace ws;
+  std::vector<float> v(100, 0.25f);
+  v[17] = kNaN;
+  v[83] = -kNaN;
+  const SelectResult sel = ws.select(v, 2.0);  // k = 2: exactly the NaNs
+  EXPECT_FALSE(std::isnan(sel.threshold));
+  EXPECT_EQ(sel.kept, 2u);
+  LayerChunk chunk;
+  ws.compact_copy(0, v, sel, chunk);
+  ASSERT_EQ(chunk.idx, (std::vector<std::uint32_t>{17, 83}));
+  EXPECT_TRUE(std::isnan(chunk.val[0]));
+  EXPECT_TRUE(std::isnan(chunk.val[1]));
+
+  // The free-function threshold obeys the same rule.
+  EXPECT_FALSE(std::isnan(topk_threshold(v, 2.0)));
+}
+
+TEST(SelectPolicy, NaNNeverRescaled) {
+  SparsifyWorkspace ws;
+  std::vector<float> v(64, 1.0f);
+  v[5] = kNaN;
+  v[6] = 8.0f;
+  LayerChunk chunk;
+  // k = 2 keeps the NaN and the 8.0; everything else is scaled.
+  ws.sparsify_rescale(0, {v.data(), v.size()}, 100.0 * 2 / 64, 0.5f, chunk);
+  ASSERT_EQ(chunk.idx, (std::vector<std::uint32_t>{5, 6}));
+  EXPECT_TRUE(std::isnan(v[5]));  // still resident, untouched
+  EXPECT_FLOAT_EQ(v[6], 8.0f);
+  EXPECT_FLOAT_EQ(v[0], 0.5f);
+}
+
+TEST(SelectPolicy, SignedZerosNeverExtractedAndScalingIsNoOp) {
+  SparsifyWorkspace ws;
+  std::vector<float> v{0.0f, -0.0f, 1.0f, -0.0f, 2.0f, 0.0f};
+  LayerChunk chunk;
+  ws.sparsify_copy(0, v, 100.0, chunk);  // keep-everything ratio
+  EXPECT_EQ(chunk.idx, (std::vector<std::uint32_t>{2, 4}));
+
+  // Zeros survive a (positive-factor) rescale pass bit-for-bit, sign
+  // included: 0 * f == 0 with the sign preserved.
+  std::vector<float> w = v;
+  ws.sparsify_rescale(0, {w.data(), w.size()}, 100.0, 0.5f, chunk);
+  EXPECT_TRUE(same_bits(w[1], -0.0f));
+  EXPECT_TRUE(same_bits(w[0], 0.0f));
+}
+
+// ------------------------------------------------------------------ sampled
+
+TEST(SelectSampled, ClampsToExactForSmallPopulations) {
+  SparsifyWorkspace ws;
+  const auto v = edge_case_values(1000, 42, false);
+  // n < 4 * sample_size: must be exact, independent of the rng stream.
+  util::Rng rng_a(1), rng_b(999);
+  const SelectResult a = ws.sampled_select(v, 5.0, 256, rng_a);
+  const SelectResult b = ws.sampled_select(v, 5.0, 256, rng_b);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.kept, b.kept);
+  EXPECT_EQ(a.key, ws.select(v, 5.0).key);
+
+  // sample_size == 0 also means exact.
+  util::Rng rng_c(7);
+  EXPECT_EQ(ws.sampled_select(v, 5.0, 0, rng_c).key, ws.select(v, 5.0).key);
+}
+
+TEST(SelectSampled, SampledKeptCountIsExactForTheEstimate) {
+  SparsifyWorkspace ws;
+  const auto v = edge_case_values(20000, 43, false);
+  util::Rng rng(3);
+  const SelectResult sel = ws.sampled_select(v, 1.0, 1024, rng);
+  std::size_t expect = 0;
+  for (float x : v)
+    expect += magnitude_key(x) >= sel.key && magnitude_key(x) != 0;
+  EXPECT_EQ(sel.kept, expect);
+
+  // The estimate is usable by the fused compaction: sizes must line up.
+  LayerChunk chunk;
+  ws.compact_copy(0, v, sel, chunk);
+  EXPECT_EQ(chunk.nnz(), sel.kept);
+}
+
+// --------------------------------------------------------- allocation-free
+
+/// Run `iters` iterations of the full worker sparsify loop
+/// (step -> recycle) against `algo`, refreshing gradients in place, and
+/// return how many heap allocations the loop performed.
+std::uint64_t count_step_allocations(core::WorkerAlgorithm& algo,
+                                     std::vector<std::vector<float>>& grads,
+                                     core::GradViews& views, util::Rng& rng,
+                                     int iters) {
+  const std::uint64_t before = g_allocation_count.load();
+  for (int it = 0; it < iters; ++it) {
+    for (auto& g : grads)
+      for (auto& x : g) x = static_cast<float>(rng.normal(0, 1));
+    sparse::SparseUpdate update = algo.step(views, 0.1f, 0);
+    algo.recycle(std::move(update));
+  }
+  return g_allocation_count.load() - before;
+}
+
+void check_steady_state_allocation_free(core::WorkerAlgorithm& algo) {
+  const std::vector<std::size_t> sizes{50000, 4000, 33000};
+  std::vector<std::vector<float>> grads;
+  for (std::size_t s : sizes) grads.emplace_back(s);
+  core::GradViews views;
+  for (auto& g : grads) views.emplace_back(g.data(), g.size());
+  util::Rng rng(7);
+
+  // Warm-up: let every scratch buffer, chunk and pool entry reach its
+  // high-water capacity (selection output sizes vary run to run, so one
+  // iteration is not enough).
+  (void)count_step_allocations(algo, grads, views, rng, 12);
+  // Steady state: the fused sparsify path must not touch the heap at all.
+  const std::uint64_t allocs =
+      count_step_allocations(algo, grads, views, rng, 8);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(SelectAllocations, SAMomentumSteadyStateIsAllocationFree) {
+  core::CompressionConfig compression;
+  compression.ratio_percent = 1.0;
+  core::SAMomentum algo({50000, 4000, 33000}, compression, 0.9f);
+  check_steady_state_allocation_free(algo);
+}
+
+TEST(SelectAllocations, GradientDroppingSteadyStateIsAllocationFree) {
+  core::CompressionConfig compression;
+  compression.ratio_percent = 1.0;
+  core::GradientDropping algo({50000, 4000, 33000}, compression);
+  check_steady_state_allocation_free(algo);
+}
+
+TEST(SelectAllocations, WorkspaceSparsifyIsAllocationFreeOnceWarm) {
+  SparsifyWorkspace ws;
+  util::Rng rng(9);
+  std::vector<float> v(100000);
+  LayerChunk chunk;
+  for (int warm = 0; warm < 8; ++warm) {
+    for (auto& x : v) x = static_cast<float>(rng.normal(0, 1));
+    ws.sparsify_copy(0, v, 1.0, chunk);
+    ws.sparsify_zero(1, {v.data(), v.size()}, 1.0, chunk);
+  }
+  const std::uint64_t before = g_allocation_count.load();
+  for (int it = 0; it < 4; ++it) {
+    for (auto& x : v) x = static_cast<float>(rng.normal(0, 1));
+    ws.sparsify_copy(0, v, 1.0, chunk);
+    ws.sparsify_zero(1, {v.data(), v.size()}, 1.0, chunk);
+  }
+  EXPECT_EQ(g_allocation_count.load() - before, 0u);
+}
+
+}  // namespace
