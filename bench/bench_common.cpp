@@ -107,6 +107,8 @@ core::TrainConfig resolve(const Task& task, const RunSpec& run) {
   if (run.min_sparsify >= 0)
     config.compression.min_sparsify_size =
         static_cast<std::size_t>(run.min_sparsify);
+  if (run.threads_per_worker > 0)
+    config.threads_per_worker = run.threads_per_worker;
   if (!run.network.is_ideal()) config.network = run.network;
   config.record_curve = run.record_curve;
   config.trace = run.trace;
@@ -156,6 +158,10 @@ bool parse_harness_options(util::Flags& flags, HarnessOptions& options) {
       "fault-kill-step", 0, "local step at which the kill fires"));
   options.fault.lease_timeout_s = flags.f64(
       "fault-lease-s", 0.0, "server worker-lease timeout in seconds (0 = off)");
+  options.threads_per_worker = static_cast<std::size_t>(flags.i64(
+      "threads-per-worker", 0,
+      "intra-op kernel threads per worker (0 = task default; clamped "
+      "against worker-count oversubscription)"));
   return flags.finish();
 }
 

@@ -67,6 +67,9 @@ struct RunSpec {
                                      ///< layers (paper's Fig. 5/6 setting).
   comm::FaultConfig fault;  ///< Fault injection (see comm/fault.h); default
                             ///< disabled. Filled from the --fault-* flags.
+  std::size_t threads_per_worker = 0;  ///< Intra-op kernel threads per worker
+                                       ///< (see core/config.h); 0 = keep the
+                                       ///< task default (serial).
 };
 
 /// Materialize the full TrainConfig for a run (applies method conventions:
@@ -90,6 +93,11 @@ struct HarnessOptions {
   /// / --fault-kill-worker / --fault-kill-step / --fault-lease-s (see
   /// comm/fault.h). Copy into RunSpec::fault to arm a run.
   comm::FaultConfig fault;
+  /// Intra-op kernel threads per worker from --threads-per-worker (0 keeps
+  /// the task default). Copy into RunSpec::threads_per_worker; the engine
+  /// clamps against oversubscription and RunResult records the effective
+  /// value. Bitwise-invariant: affects wall-clock only.
+  std::size_t threads_per_worker = 0;
 
   [[nodiscard]] double epoch_scale() const noexcept { return full ? 1.0 : 0.25; }
   /// Runs should enable the event tracer (set RunSpec::trace from this).

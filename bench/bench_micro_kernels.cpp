@@ -6,10 +6,12 @@
 
 #include <vector>
 
+#include "nn/layers.h"
 #include "sparse/codec.h"
 #include "sparse/coo.h"
 #include "sparse/select.h"
 #include "sparse/topk.h"
+#include "tensor/tensor.h"
 #include "util/math_kernels.h"
 #include "util/rng.h"
 
@@ -170,6 +172,75 @@ void BM_Gemm(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// ---- packed-GEMM gate pair (scripts/check_bench.py) -------------------------
+// Shapes are the ResNet-18-on-CIFAR im2col GEMMs: M = out channels,
+// K = in_c * 3 * 3, N = oh * ow. 64x576x1024 is the gate shape (the first
+// 64-channel 3x3 conv on a 32x32 image); the packed kernel must beat the
+// scalar reference by >= 2.5x in the same run.
+
+void BM_GemmPacked(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  const auto a = random_values(m * k, 7);
+  const auto b = random_values(k * n, 8);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    util::gemm(m, k, n, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * k * n));
+}
+BENCHMARK(BM_GemmPacked)
+    ->Args({64, 576, 1024})
+    ->Args({128, 1152, 256})
+    ->Args({256, 2304, 64});
+
+// The scalar double-accumulation oracle from util/gemm.h: the in-run
+// denominator of the packed-vs-reference gate ratio.
+void BM_GemmReference(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  const auto a = random_values(m * k, 7);
+  const auto b = random_values(k * n, 8);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    util::reference::gemm(m, k, n, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * k * n));
+}
+BENCHMARK(BM_GemmReference)->Args({64, 576, 1024});
+
+// One full Conv2d forward+backward step at the CIFAR entry shape, through
+// the pooled ConvWorkspace (im2col + 3 GEMM variants + col2im). Warm-path
+// allocation behaviour is enforced separately in tests/test_nn.cpp; this
+// tracks the end-to-end step cost the compute side of a worker iteration
+// pays per conv layer.
+void BM_Conv2dStep(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::Conv2d conv(/*in_channels=*/3, /*out_channels=*/64, /*kernel=*/3,
+                  /*stride=*/1, /*pad=*/1);
+  util::Rng rng(13);
+  conv.init(rng);
+  tensor::Tensor input(tensor::Shape{batch, 3, 32, 32});
+  {
+    util::Rng data_rng(14);
+    for (auto& v : input.flat()) v = data_rng.normal(0, 1);
+  }
+  for (auto _ : state) {
+    tensor::Tensor out = conv.forward(input, /*train=*/true);
+    tensor::Tensor grad_in = conv.backward(out);
+    benchmark::DoNotOptimize(grad_in.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Conv2dStep)->Arg(8)->Arg(32);
 
 void BM_Axpy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

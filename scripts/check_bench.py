@@ -36,10 +36,15 @@ import argparse
 import json
 import sys
 
-# The acceptance-criterion shape: fused select+compact vs. the reference
-# copy-then-nth_element+extract path on 1M elements at R = 1%.
+# The acceptance-criterion shapes, as (reference, candidate, min_ratio)
+# where min_ratio None falls back to --min-speedup:
+#   * fused select+compact vs. the reference copy-then-nth_element+extract
+#     path on 1M elements at R = 1% (>= --min-speedup, default 2.0);
+#   * packed GEMM vs. the scalar double-accumulation oracle at the
+#     ResNet-18-on-CIFAR conv shape 64x576x1024, single-threaded (>= 2.5).
 GATE_PAIRS = [
-    ("BM_SparsifyReference/1048576", "BM_SparsifyFused/1048576"),
+    ("BM_SparsifyReference/1048576", "BM_SparsifyFused/1048576", None),
+    ("BM_GemmReference/64/576/1024", "BM_GemmPacked/64/576/1024", 2.5),
 ]
 
 
@@ -79,20 +84,23 @@ def load_times(path):
 
 
 def check_speedup(times, min_speedup):
-    """Enforce the in-run fused-vs-reference ratio; returns failure count."""
+    """Enforce the in-run candidate-vs-reference ratios; returns failure
+    count. Pairs with an explicit min_ratio use it; the rest use
+    --min-speedup."""
     failures = 0
-    for reference, fused in GATE_PAIRS:
-        if reference not in times or fused not in times:
-            missing = [n for n in (reference, fused) if n not in times]
+    for reference, candidate, min_ratio in GATE_PAIRS:
+        required = min_speedup if min_ratio is None else min_ratio
+        if reference not in times or candidate not in times:
+            missing = [n for n in (reference, candidate) if n not in times]
             print(f"FAIL  gate pair missing from results: {', '.join(missing)}"
                   f" (run without --benchmark_filter, or include them)")
             failures += 1
             continue
-        ratio = times[reference] / times[fused]
-        verdict = "ok  " if ratio >= min_speedup else "FAIL"
-        print(f"{verdict}  {fused}: {ratio:.2f}x vs {reference}"
-              f" (required >= {min_speedup:.2f}x)")
-        if ratio < min_speedup:
+        ratio = times[reference] / times[candidate]
+        verdict = "ok  " if ratio >= required else "FAIL"
+        print(f"{verdict}  {candidate}: {ratio:.2f}x vs {reference}"
+              f" (required >= {required:.2f}x)")
+        if ratio < required:
             failures += 1
     return failures
 

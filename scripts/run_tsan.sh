@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Build the concurrency-sensitive tests under ThreadSanitizer and run them.
 #
-# Covers the pieces with real cross-thread interaction: the channel layer,
-# the sharded parameter server under concurrent pushes, the ThreadEngine
-# server pool end to end, the observability layer (metrics striping and
-# the trace ring buffers) — built with DGS_TRACE=ON so the tracer's
-# record/export paths are exercised under TSan too — and the chaos suite,
-# whose fault-injected ThreadEngine run exercises the retransmit, lease
-# reclaim and crash/rejoin paths under racing threads.
+# Covers the pieces with real cross-thread interaction: the intra-op
+# ParallelFor pool and the packed GEMM's threaded row partitioning
+# (test_util, including the bitwise-determinism sweep over thread counts),
+# the channel layer, the sharded parameter server under concurrent pushes,
+# the ThreadEngine server pool end to end, the observability layer (metrics
+# striping and the trace ring buffers) — built with DGS_TRACE=ON so the
+# tracer's record/export paths are exercised under TSan too — and the chaos
+# suite, whose fault-injected ThreadEngine run exercises the retransmit,
+# lease reclaim and crash/rejoin paths under racing threads.
 #
 # Usage: scripts/run_tsan.sh [extra ctest/gtest filter]
 set -euo pipefail
@@ -17,12 +19,12 @@ build="$repo/build-tsan"
 
 cmake --preset tsan -S "$repo" -DDGS_TRACE=ON >/dev/null
 cmake --build "$build" -j"$(nproc)" \
-  --target test_comm --target test_concurrency --target test_engines \
-  --target test_obs --target test_chaos
+  --target test_util --target test_comm --target test_concurrency \
+  --target test_engines --target test_obs --target test_chaos
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 status=0
-for t in test_comm test_concurrency test_engines test_obs test_chaos; do
+for t in test_util test_comm test_concurrency test_engines test_obs test_chaos; do
   echo "== TSan: $t =="
   "$build/tests/$t" "${@}" || status=$?
   [ "$status" -ne 0 ] && break

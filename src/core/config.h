@@ -99,6 +99,16 @@ struct TrainConfig {
   /// (backpressure) instead of growing an arbitrarily deep queue.
   std::size_t server_inbox_capacity = 0;
 
+  /// Intra-op compute threads granted to each worker's kernels (the packed
+  /// GEMM layer, see util/gemm.h). Worker-level parallelism owns the
+  /// threads: engines clamp the effective value to
+  /// hardware_concurrency / num_workers (floored at 1) so the two levels
+  /// never oversubscribe the machine, and record the effective value in
+  /// RunResult::threads_per_worker. Kernel results are bitwise identical
+  /// for any value (see the determinism contract in util/gemm.h), so this
+  /// knob changes wall-clock only, never the trained model. Must be >= 1.
+  std::size_t threads_per_worker = 1;
+
   /// Enable the runtime event tracer for this run (see obs/trace.h): worker,
   /// server-pool and shard spans are recorded and can be exported as Chrome
   /// trace JSON. No-op when the build compiled tracing out (DGS_TRACE=OFF).

@@ -1,7 +1,9 @@
 #include "core/engine_context.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "obs/trace.h"
@@ -23,6 +25,20 @@ void validate_engine_config(const char* engine_name,
   if (config.num_workers == 0)
     throw std::invalid_argument(std::string(engine_name) +
                                 ": num_workers == 0");
+  if (config.threads_per_worker == 0)
+    throw std::invalid_argument(std::string(engine_name) +
+                                ": threads_per_worker == 0 (use 1 for serial)");
+}
+
+std::size_t effective_threads_per_worker(const TrainConfig& config) noexcept {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  // Unknown hardware concurrency (0) -> trust the caller's request.
+  if (hw == 0) return config.threads_per_worker == 0
+                          ? 1
+                          : config.threads_per_worker;
+  std::size_t fair = hw / (config.num_workers == 0 ? 1 : config.num_workers);
+  if (fair == 0) fair = 1;
+  return std::clamp<std::size_t>(config.threads_per_worker, 1, fair);
 }
 
 EngineContext::EngineContext(const char* engine_name,

@@ -33,6 +33,13 @@ namespace dgs::core {
 /// std::invalid_argument with the engine's name on bad configs.
 void validate_engine_config(const char* engine_name, const TrainConfig& config);
 
+/// Intra-op thread budget each engine actually grants its workers:
+/// threads_per_worker clamped to hardware_concurrency / num_workers
+/// (floored at 1) so worker- and op-level parallelism never oversubscribe.
+/// Recorded in RunResult::threads_per_worker.
+[[nodiscard]] std::size_t effective_threads_per_worker(
+    const TrainConfig& config) noexcept;
+
 class EngineContext {
  public:
   EngineContext(const char* engine_name, const nn::ModelSpec& spec,

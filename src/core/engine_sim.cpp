@@ -9,6 +9,7 @@
 #include "comm/transport.h"
 #include "core/engine_context.h"
 #include "core/payload.h"
+#include "util/parallel_for.h"
 
 namespace dgs::core {
 
@@ -67,6 +68,11 @@ RunResult SimEngine::run() {
   used_ = true;
 
   EngineContext context("SimEngine", spec_, train_, test_, config_);
+  // All compute runs on this thread, so it gets the whole per-worker
+  // budget for the duration of the run (restored on exit). Kernel results
+  // are bitwise thread-count-invariant, so the DES schedule is unaffected.
+  const std::size_t intra_op = effective_threads_per_worker(config_);
+  util::IntraOpBudgetScope intra_op_scope(intra_op);
   ParameterServer server = context.make_server();
   comm::SimTransport transport(config_.network, &context.metrics());
 
@@ -98,6 +104,7 @@ RunResult SimEngine::run() {
 
   // --- main loop ------------------------------------------------------------
   RunResult result;
+  result.threads_per_worker = intra_op;
   double up_density_sum = 0.0;
   std::uint64_t samples_scheduled = 0;
   std::uint64_t samples_at_server = 0;

@@ -7,6 +7,7 @@
 #include "core/engine_context.h"
 #include "core/payload.h"
 #include "util/math_kernels.h"
+#include "util/parallel_for.h"
 
 namespace dgs::core {
 
@@ -26,6 +27,10 @@ RunResult SyncEngine::run() {
   used_ = true;
 
   EngineContext context("SyncEngine", spec_, train_, test_, config_);
+  // Single compute thread: grant it the whole per-worker budget (restored
+  // on exit); results are bitwise identical for any value.
+  const std::size_t intra_op = effective_threads_per_worker(config_);
+  util::IntraOpBudgetScope intra_op_scope(intra_op);
   comm::SimTransport transport(config_.network, &context.metrics());
   auto epochs = context.make_epoch_tracker(/*eval_final_epoch=*/false);
 
@@ -45,6 +50,7 @@ RunResult SyncEngine::run() {
   };
 
   RunResult result;
+  result.threads_per_worker = intra_op;
   const std::uint64_t sample_budget = context.sample_budget();
   const float inv_n = 1.0f / static_cast<float>(config_.num_workers);
 

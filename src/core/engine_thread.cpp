@@ -15,6 +15,7 @@
 #include "core/payload.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace dgs::core {
 
@@ -79,10 +80,15 @@ RunResult ThreadEngine::run() {
   std::atomic<std::size_t> global_epoch{0};
 
   // ---- worker threads ------------------------------------------------------
+  // Each worker thread gets the clamped intra-op budget for its compute
+  // kernels (set once at thread start; the budget and its pool are
+  // thread-local, see util/parallel_for.h).
+  const std::size_t intra_op = effective_threads_per_worker(config_);
   std::vector<std::thread> worker_threads;
   worker_threads.reserve(config_.num_workers);
   for (std::size_t k = 0; k < config_.num_workers; ++k) {
     worker_threads.emplace_back([&, k] {
+      util::set_intra_op_threads(intra_op);
 #if DGS_TRACE_COMPILED
       if (obs::Tracer::instance().enabled())
         obs::Tracer::instance().set_thread_name("worker/" + std::to_string(k));
@@ -320,6 +326,7 @@ RunResult ThreadEngine::run() {
         static_cast<double>(server.total_reply_dense());
   result.server_steps = server.step();
   result.server_state_bytes = server.state_bytes();
+  result.threads_per_worker = intra_op;
   context.finalize(result, epochs, server.global_model_flat(),
                    context.wall_seconds(), context.mean_tally_loss(),
                    /*always_append=*/true);

@@ -59,6 +59,11 @@ struct RunResult {
   StalenessStats staleness;
   std::size_t server_state_bytes = 0;
   std::size_t worker_state_bytes = 0;  ///< Max optimizer state over workers.
+  /// Effective intra-op thread budget each worker's kernels ran with
+  /// (config value clamped against oversubscription; see
+  /// core::effective_threads_per_worker). Bitwise-invariant: changes
+  /// wall-clock only, never the trained model.
+  std::size_t threads_per_worker = 1;
   double mean_upward_density = 0.0;    ///< Mean nnz/dense of pushed updates.
   double mean_downward_density = 0.0;  ///< Mean nnz/dense of model-diff replies.
 

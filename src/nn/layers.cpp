@@ -1,9 +1,11 @@
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "util/math_kernels.h"
@@ -196,7 +198,7 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
   const std::size_t col_rows = in_c_ * kernel_ * kernel_;
   const std::size_t col_cols = oh * ow;
 
-  cached_columns_ = Tensor(Shape{batch, col_rows, col_cols});
+  cached_columns_ = workspace_.acquire_columns(batch * col_rows * col_cols);
   Tensor out(Shape{batch, out_c_, oh, ow});
   for (std::size_t n = 0; n < batch; ++n) {
     float* cols = cached_columns_.data() + n * col_rows * col_cols;
@@ -227,8 +229,11 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const std::size_t col_rows = in_c_ * kernel_ * kernel_;
   const std::size_t col_cols = oh * ow;
 
+  require(cached_columns_.size() == batch * col_rows * col_cols,
+          "Conv2d: backward without matching forward");
   Tensor grad_in(cached_input_.shape());
-  std::vector<float> grad_cols(col_rows * col_cols);
+  std::span<float> grad_cols =
+      workspace_.acquire_grad_columns(col_rows * col_cols);
   for (std::size_t n = 0; n < batch; ++n) {
     const float* gout = grad_output.data() + n * out_c_ * col_cols;
     const float* cols = cached_columns_.data() + n * col_rows * col_cols;
@@ -237,10 +242,8 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
                   /*accumulate=*/true);
     if (has_bias_) {
       for (std::size_t c = 0; c < out_c_; ++c) {
-        double acc = 0.0;
         const float* plane = gout + c * col_cols;
-        for (std::size_t i = 0; i < col_cols; ++i) acc += plane[i];
-        bias_.grad[c] += static_cast<float>(acc);
+        bias_.grad[c] += static_cast<float>(util::sum({plane, col_cols}));
       }
     }
     // dcols[col_rows, col_cols] = W^T[col_rows, out_c] * dY[out_c, col_cols]
@@ -286,21 +289,19 @@ Tensor BatchNorm::forward(const Tensor& input, bool /*train*/) {
   Tensor out(shape);
 
   for (std::size_t c = 0; c < channels_; ++c) {
-    double mean = 0.0;
+    // Single pass per plane through the vectorized reductions: E[x] and
+    // E[x^2] in double, var = E[x^2] - mean^2 (clamped; fine at fp32 input
+    // scale, and both moments come from the same data sweep).
+    double sum_x = 0.0, sum_xx = 0.0;
     for (std::size_t n = 0; n < batch; ++n) {
-      const float* src = input.data() + (n * channels_ + c) * spatial;
-      for (std::size_t i = 0; i < spatial; ++i) mean += src[i];
+      const std::span<const float> src{
+          input.data() + (n * channels_ + c) * spatial, spatial};
+      sum_x += util::sum(src);
+      sum_xx += util::dot(src, src);
     }
-    mean /= static_cast<double>(per_channel);
-    double var = 0.0;
-    for (std::size_t n = 0; n < batch; ++n) {
-      const float* src = input.data() + (n * channels_ + c) * spatial;
-      for (std::size_t i = 0; i < spatial; ++i) {
-        const double d = src[i] - mean;
-        var += d * d;
-      }
-    }
-    var /= static_cast<double>(per_channel);
+    const double mean = sum_x / static_cast<double>(per_channel);
+    const double var = std::max(
+        0.0, sum_xx / static_cast<double>(per_channel) - mean * mean);
     const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
     cached_inv_std_[c] = inv_std;
     const float g = gamma_.value[c];
@@ -330,12 +331,12 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
   for (std::size_t c = 0; c < channels_; ++c) {
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
     for (std::size_t n = 0; n < batch; ++n) {
-      const float* dy = grad_output.data() + (n * channels_ + c) * spatial;
-      const float* xh = cached_xhat_.data() + (n * channels_ + c) * spatial;
-      for (std::size_t i = 0; i < spatial; ++i) {
-        sum_dy += dy[i];
-        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
-      }
+      const std::span<const float> dy{
+          grad_output.data() + (n * channels_ + c) * spatial, spatial};
+      const std::span<const float> xh{
+          cached_xhat_.data() + (n * channels_ + c) * spatial, spatial};
+      sum_dy += util::sum(dy);
+      sum_dy_xhat += util::dot(dy, xh);
     }
     gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
     beta_.grad[c] += static_cast<float>(sum_dy);

@@ -3,8 +3,10 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "nn/module.h"
+#include "nn/workspace.h"
 
 namespace dgs::nn {
 
@@ -70,7 +72,10 @@ class Conv2d : public Module {
   Parameter bias_;    // [out_c]
   bool has_bias_;
   Tensor cached_input_;
-  Tensor cached_columns_;  // [N * (C*k*k) * (oh*ow)] concatenated per image
+  ConvWorkspace workspace_;
+  // [N * (C*k*k) * (oh*ow)] concatenated per image; view into workspace_,
+  // written by forward and consumed by the next backward.
+  std::span<float> cached_columns_;
 };
 
 /// Batch normalization over the channel axis using batch statistics in both

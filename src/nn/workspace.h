@@ -1,0 +1,52 @@
+// Pooled per-layer compute scratch, following the acquire/recycle idiom of
+// sparse::SparsifyWorkspace: buffers grow to a high-water mark and are then
+// reused, so the steady-state forward/backward path performs zero heap
+// allocations (enforced by the operator-new counter tests in
+// tests/test_nn.cpp).
+//
+// One workspace per layer instance; NOT thread-safe — a layer is owned by
+// exactly one engine worker, which is the same ownership rule the rest of
+// the per-worker state follows.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dgs::nn {
+
+/// Scratch for the im2col convolution path: the unfolded input columns
+/// (written in forward, re-read in backward for the weight gradient) and
+/// the column-space input gradient (backward only).
+class ConvWorkspace {
+ public:
+  /// Column buffer for the current forward pass, sized to `floats`
+  /// (batch * C*k*k * oh*ow). Contents persist until the next
+  /// acquire_columns call, which may invalidate previously returned spans.
+  [[nodiscard]] std::span<float> acquire_columns(std::size_t floats) {
+    return acquire(columns_, floats);
+  }
+
+  /// Per-image gradient-column buffer for backward (C*k*k * oh*ow floats).
+  /// Does not invalidate the span returned by acquire_columns.
+  [[nodiscard]] std::span<float> acquire_grad_columns(std::size_t floats) {
+    return acquire(grad_columns_, floats);
+  }
+
+  /// Bytes of scratch currently resident (memory-usage accounting, tests).
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept {
+    return (columns_.capacity() + grad_columns_.capacity()) * sizeof(float);
+  }
+
+ private:
+  static std::span<float> acquire(std::vector<float>& buf,
+                                  std::size_t floats) {
+    if (buf.size() < floats) buf.resize(floats);
+    return {buf.data(), floats};
+  }
+
+  std::vector<float> columns_;
+  std::vector<float> grad_columns_;
+};
+
+}  // namespace dgs::nn

@@ -10,16 +10,131 @@
 
 namespace dgs::tensor {
 
+namespace {
+
+// Thread-local allocation cache for Tensor storage. Destroyed tensors
+// retire their vector here (LIFO); constructions scan from the back for
+// the first retired buffer whose capacity fits. `g_pool_alive` guards the
+// teardown race at thread exit: once the pool's destructor has run,
+// later-destroyed tensors (e.g. statics) free normally.
+thread_local bool g_pool_alive = false;
+
+struct BufferPool {
+  std::vector<std::vector<float>> retired;
+
+  BufferPool() { g_pool_alive = true; }
+  ~BufferPool() { g_pool_alive = false; }
+
+  std::vector<float> acquire(std::size_t n) {
+    for (std::size_t i = retired.size(); i-- > 0;) {
+      if (retired[i].capacity() >= n) {
+        std::vector<float> buf = std::move(retired[i]);
+        retired.erase(retired.begin() + static_cast<std::ptrdiff_t>(i));
+        return buf;
+      }
+    }
+    if (!retired.empty()) {
+      // Nothing fits: grow the most recently retired buffer instead of
+      // allocating a fresh one, so capacities warm toward the high-water
+      // mark instead of accumulating undersized entries.
+      std::vector<float> buf = std::move(retired.back());
+      retired.pop_back();
+      return buf;
+    }
+    return {};
+  }
+
+  void recycle(std::vector<float>&& buf) {
+    if (buf.capacity() == 0) return;
+    if (retired.size() >= Tensor::kPoolEntries)
+      retired.erase(retired.begin());
+    retired.push_back(std::move(buf));
+  }
+
+  std::size_t bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& buf : retired) total += buf.capacity() * sizeof(float);
+    return total;
+  }
+};
+
+BufferPool& buffer_pool() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+std::vector<float> acquire_buffer(std::size_t n) {
+  return buffer_pool().acquire(n);
+}
+
+void release_buffer(std::vector<float>&& buf) noexcept {
+  if (g_pool_alive) buffer_pool().recycle(std::move(buf));
+}
+
+}  // namespace
+
+Shape::Shape(std::initializer_list<std::size_t> dims) {
+  if (dims.size() > kMaxRank)
+    throw std::invalid_argument("Shape: rank > 4 unsupported");
+  for (std::size_t d : dims) dims_[rank_++] = d;
+}
+
+Shape::Shape(std::span<const std::size_t> dims) {
+  if (dims.size() > kMaxRank)
+    throw std::invalid_argument("Shape: rank > 4 unsupported");
+  for (std::size_t d : dims) dims_[rank_++] = d;
+}
+
+std::size_t Shape::operator[](std::size_t i) const {
+  if (i >= rank_) throw std::out_of_range("Shape: dim index out of range");
+  return dims_[i];
+}
+
 std::string Shape::str() const {
   std::ostringstream os;
   os << "[";
-  for (std::size_t i = 0; i < dims_.size(); ++i) os << (i ? "x" : "") << dims_[i];
+  for (std::size_t i = 0; i < rank_; ++i) os << (i ? "x" : "") << dims_[i];
   os << "]";
   return os.str();
 }
 
 Tensor::Tensor(Shape shape, float fill_value)
-    : shape_(std::move(shape)), data_(shape_.numel(), fill_value) {}
+    : shape_(shape), data_(acquire_buffer(shape.numel())) {
+  data_.assign(shape_.numel(), fill_value);
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(acquire_buffer(other.data_.size())) {
+  data_.assign(other.data_.begin(), other.data_.end());
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(other.shape_), data_(std::move(other.data_)) {
+  other.shape_ = Shape();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    shape_ = other.shape_;
+    data_.assign(other.data_.begin(), other.data_.end());
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    shape_ = other.shape_;
+    // Swap rather than move-assign: our old storage rides along in
+    // `other` and is retired to the pool when it dies.
+    data_.swap(other.data_);
+    other.shape_ = Shape();
+  }
+  return *this;
+}
+
+Tensor::~Tensor() { release_buffer(std::move(data_)); }
+
+std::size_t Tensor::pool_bytes() noexcept { return buffer_pool().bytes(); }
 
 Tensor Tensor::from(Shape shape, std::vector<float> values) {
   if (shape.numel() != values.size())

@@ -5,8 +5,20 @@
 // views and initializers. There is no broadcasting and no strides — layers
 // that need reshaped access use flat spans, which is all the optimizers and
 // sparsifiers ever touch.
+//
+// Allocation behaviour: construction and destruction go through a
+// thread-local buffer pool — a destroyed Tensor's storage is retired to
+// the pool and the next construction of a fitting size reuses it, and
+// Shape stores its dims inline (no heap). A training step builds the same
+// tensor shapes every iteration, so once the pool has warmed up the whole
+// forward/backward path performs zero heap allocations (enforced by the
+// operator-new counter tests in tests/test_nn.cpp). Pooling is per
+// thread: tensors may migrate between threads freely (the pool is only an
+// allocation cache), and each thread's pool is bounded at kPoolEntries
+// buffers.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -19,36 +31,52 @@
 namespace dgs::tensor {
 
 /// Shape of a tensor; up to 4 dimensions (N, C, H, W) is all we need.
+/// Dims are stored inline (no heap) so building a Shape never allocates.
 class Shape {
  public:
-  Shape() = default;
-  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
-  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+  static constexpr std::size_t kMaxRank = 4;
 
-  [[nodiscard]] std::size_t rank() const noexcept { return dims_.size(); }
-  [[nodiscard]] std::size_t operator[](std::size_t i) const { return dims_.at(i); }
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims);
+  explicit Shape(std::span<const std::size_t> dims);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+  [[nodiscard]] std::size_t operator[](std::size_t i) const;
   [[nodiscard]] std::size_t numel() const noexcept {
     std::size_t n = 1;
-    for (std::size_t d : dims_) n *= d;
-    return dims_.empty() ? 0 : n;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return rank_ == 0 ? 0 : n;
   }
-  [[nodiscard]] const std::vector<std::size_t>& dims() const noexcept {
-    return dims_;
+  [[nodiscard]] std::span<const std::size_t> dims() const noexcept {
+    return {dims_.data(), rank_};
   }
   [[nodiscard]] std::string str() const;
 
   friend bool operator==(const Shape& a, const Shape& b) noexcept {
-    return a.dims_ == b.dims_;
+    // Unused trailing dims are always zero, so whole-array compare works.
+    return a.rank_ == b.rank_ && a.dims_ == b.dims_;
   }
 
  private:
-  std::vector<std::size_t> dims_;
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
 };
 
 class Tensor {
  public:
+  /// Retired buffers kept per thread; the oldest is dropped beyond this.
+  static constexpr std::size_t kPoolEntries = 64;
+
   Tensor() = default;
   explicit Tensor(Shape shape, float fill_value = 0.0f);
+  Tensor(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(const Tensor& other);
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
+
+  /// Bytes currently retired in the calling thread's buffer pool (tests).
+  [[nodiscard]] static std::size_t pool_bytes() noexcept;
 
   [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   [[nodiscard]] static Tensor full(Shape shape, float value) {

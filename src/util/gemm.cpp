@@ -1,0 +1,182 @@
+// Packed GEMM implementation. See gemm.h for the layout, blocking and
+// determinism contract. Like math_kernels.cpp this TU is pinned to -O3:
+// the micro-kernel's constant-trip accumulator loops rely on the
+// auto-vectorizer, which gcc's -O2 cost model declines.
+#include "util/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/math_kernels.h"
+#include "util/parallel_for.h"
+
+namespace dgs::util {
+
+namespace {
+
+constexpr std::size_t kMR = kGemmMR;
+constexpr std::size_t kNR = kGemmNR;
+constexpr std::size_t kKC = kGemmKC;
+
+// Pooled per-thread pack scratch: grows to the high-water mark of
+// ceil(n / kNR) * kNR * min(k, kKC) floats and is then reused, so warm
+// gemm calls allocate nothing.
+struct PackScratch {
+  std::vector<float> panels;
+  float* acquire(std::size_t floats) {
+    if (panels.size() < floats) panels.resize(floats);
+    return panels.data();
+  }
+};
+
+PackScratch& pack_scratch() {
+  thread_local PackScratch scratch;
+  return scratch;
+}
+
+// Pack B rows [p0, p0 + kc) into NR-wide panels: panel jp holds columns
+// [jp*kNR, jp*kNR + kNR) in layout bp[jp*kc*kNR + p*kNR + u], zero-padded
+// past n so the micro-kernel never needs a column tail path. BTrans reads
+// B stored [n x k] (absorbing the `_bt` transpose into the pack).
+template <bool BTrans>
+void pack_b(std::size_t kc, std::size_t n, std::size_t k, std::size_t p0,
+            const float* __restrict b, float* __restrict bp) noexcept {
+  const std::size_t panels = (n + kNR - 1) / kNR;
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    const std::size_t j0 = jp * kNR;
+    const std::size_t nr = std::min(kNR, n - j0);
+    float* __restrict dst = bp + jp * kc * kNR;
+    if (nr == kNR) {
+      for (std::size_t p = 0; p < kc; ++p)
+        for (std::size_t u = 0; u < kNR; ++u)
+          dst[p * kNR + u] = BTrans ? b[(j0 + u) * k + (p0 + p)]
+                                    : b[(p0 + p) * n + (j0 + u)];
+    } else {
+      for (std::size_t p = 0; p < kc; ++p) {
+        for (std::size_t u = 0; u < nr; ++u)
+          dst[p * kNR + u] = BTrans ? b[(j0 + u) * k + (p0 + p)]
+                                    : b[(p0 + p) * n + (j0 + u)];
+        for (std::size_t u = nr; u < kNR; ++u) dst[p * kNR + u] = 0.0f;
+      }
+    }
+  }
+}
+
+// Row-at-a-time kernel over one packed panel. A is read in place through
+// (row_stride, p_stride): (k, 1) for row-major A, (1, m) for the
+// transposed-A layout, where ap already points at element (i0, p0). Each
+// row carries two kNR-wide local accumulators fed by even and odd p — the
+// constant-trip u-loops vectorize into two independent FMA chains and the
+// 2*kNR floats fill the sixteen XMM registers, while `#pragma GCC unroll 1`
+// on the p-loop stops gcc from re-vectorizing across the reduction with
+// shuffles (which is ~4x slower). The even/odd split and the final
+// l0 + l1 sum are part of the fixed per-element reduction order the
+// determinism contract documents in gemm.h.
+void micro_kernel(std::size_t mr, std::size_t kc, const float* __restrict ap,
+                  std::size_t row_stride, std::size_t p_stride,
+                  const float* __restrict bp,
+                  float* __restrict acc) noexcept {
+  for (std::size_t r = 0; r < mr; ++r) {
+    float l0[kNR] = {}, l1[kNR] = {};
+    std::size_t p = 0;
+#pragma GCC unroll 1
+    for (; p + 2 <= kc; p += 2) {
+      const float a0 = ap[r * row_stride + p * p_stride];
+      const float a1 = ap[r * row_stride + (p + 1) * p_stride];
+      const float* __restrict b0 = bp + p * kNR;
+      const float* __restrict b1 = bp + (p + 1) * kNR;
+      for (std::size_t u = 0; u < kNR; ++u) l0[u] += a0 * b0[u];
+      for (std::size_t u = 0; u < kNR; ++u) l1[u] += a1 * b1[u];
+    }
+    if (p < kc) {
+      const float a0 = ap[r * row_stride + p * p_stride];
+      const float* __restrict b0 = bp + p * kNR;
+      for (std::size_t u = 0; u < kNR; ++u) l0[u] += a0 * b0[u];
+    }
+    float* __restrict arow = acc + r * kNR;
+    for (std::size_t u = 0; u < kNR; ++u) arow[u] += l0[u] + l1[u];
+  }
+}
+
+// Compute C rows [i_begin, i_end) against the packed k-block at [p0, kc).
+// Each row's reduction is self-contained in the kernel, so any row
+// partition yields bit-identical results; ParallelFor's kMR-aligned slices
+// just keep each lane reusing the packed panel across a full row block.
+template <bool ATrans>
+void compute_rows(std::size_t i_begin, std::size_t i_end, std::size_t m,
+                  std::size_t k, std::size_t n, std::size_t p0,
+                  std::size_t kc, const float* __restrict a,
+                  const float* __restrict bp, float* __restrict c) noexcept {
+  const std::size_t row_stride = ATrans ? 1 : k;
+  const std::size_t p_stride = ATrans ? m : 1;
+  const std::size_t panels = (n + kNR - 1) / kNR;
+  for (std::size_t i0 = i_begin; i0 < i_end; i0 += kMR) {
+    const std::size_t mr = std::min(kMR, i_end - i0);
+    const float* ap = ATrans ? a + p0 * m + i0 : a + i0 * k + p0;
+    for (std::size_t jp = 0; jp < panels; ++jp) {
+      const std::size_t j0 = jp * kNR;
+      const std::size_t nr = std::min(kNR, n - j0);
+      float acc[kMR * kNR] = {};
+      const float* panel = bp + jp * kc * kNR;
+      micro_kernel(mr, kc, ap, row_stride, p_stride, panel, acc);
+      // Block partial -> C. The zero-padded panel columns (u >= nr) are
+      // computed but discarded; valid lanes are untouched by the padding.
+      for (std::size_t r = 0; r < mr; ++r) {
+        float* __restrict crow = c + (i0 + r) * n + j0;
+        const float* __restrict arow = acc + r * kNR;
+        if (nr == kNR) {
+          for (std::size_t u = 0; u < kNR; ++u) crow[u] += arow[u];
+        } else {
+          for (std::size_t u = 0; u < nr; ++u) crow[u] += arow[u];
+        }
+      }
+    }
+  }
+}
+
+template <bool ATrans, bool BTrans>
+void gemm_impl(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b, float* c, bool accumulate) noexcept {
+  if (!accumulate && m != 0 && n != 0) std::memset(c, 0, m * n * sizeof(float));
+  if (m == 0 || n == 0 || k == 0) return;
+
+  const std::size_t panels = (n + kNR - 1) / kNR;
+  float* bp = pack_scratch().acquire(panels * std::min(k, kKC) * kNR);
+  ParallelFor* pool = intra_op_pool();
+
+  for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
+    const std::size_t kc = std::min(kKC, k - p0);
+    pack_b<BTrans>(kc, n, k, p0, b, bp);
+    if (pool != nullptr && m > kMR) {
+      pool->run(m, kMR, [&](std::size_t begin, std::size_t end) {
+        compute_rows<ATrans>(begin, end, m, k, n, p0, kc, a, bp, c);
+      });
+    } else {
+      compute_rows<ATrans>(0, m, m, k, n, p0, kc, a, bp, c);
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t gemm_scratch_bytes() noexcept {
+  return pack_scratch().panels.capacity() * sizeof(float);
+}
+
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c, bool accumulate) noexcept {
+  gemm_impl<false, false>(m, k, n, a, b, c, accumulate);
+}
+
+void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) noexcept {
+  gemm_impl<true, false>(m, k, n, a, b, c, accumulate);
+}
+
+void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) noexcept {
+  gemm_impl<false, true>(m, k, n, a, b, c, accumulate);
+}
+
+}  // namespace dgs::util

@@ -1,0 +1,102 @@
+// Packed, cache-blocked GEMM micro-kernel layer.
+//
+// All three row-major matmul entry points (`gemm`, `gemm_at`, `gemm_bt`,
+// declared in math_kernels.h) are backed by one templated implementation
+// here (gemm.cpp, -O3-pinned like the streaming kernels):
+//
+//   * B is packed k-block by k-block into NR-wide column panels held in a
+//     pooled thread-local scratch buffer (panel-major layout
+//     `bp[panel*kc*kNR + p*kNR + u]`, zero-padded to kNR), so the inner
+//     kernel streams B contiguously regardless of the source layout —
+//     packing is also where the `_bt` transpose is absorbed.
+//   * The inner kernel computes one C row at a time against a kNR-wide
+//     panel, carrying two kNR-wide local accumulators (even/odd p) so the
+//     `__restrict` constant-trip update loops auto-vectorize into two
+//     independent FMA chains at -O3; A is read in place (contiguous per-p
+//     for the `_at` layout, stride-k otherwise).
+//   * k is blocked at kKC so the active B panel stays cache-resident.
+//
+// Parallelism and determinism: when the calling thread's intra-op budget
+// (util::set_intra_op_threads) exceeds 1, rows of C are partitioned across
+// a persistent ParallelFor pool in kMR-aligned static slices. Every output
+// element is reduced by exactly one lane in the fixed serial order
+// (k-blocks ascending; within a block even and odd p indices accumulate
+// into two register lanes that are summed even+odd, then the block partial
+// is added to C), so the result is bitwise identical to single-threaded
+// execution for any thread count and any row partition.
+//
+// Accumulation policy: float throughout (see math_kernels.h).
+//
+// The `reference::` kernels below are the scalar double-accumulation
+// oracle: tests compare the packed kernels against them under a stated
+// relative tolerance, and bench_micro_kernels uses them as the in-run
+// baseline for the packed-vs-reference gate in scripts/check_bench.py.
+#pragma once
+
+#include <cstddef>
+
+namespace dgs::util {
+
+/// Register-tile and cache-block geometry, exported for tests and the
+/// DESIGN.md §13 numbers. kNR = 32 gives each of the kernel's two per-row
+/// accumulator lanes eight XMM registers on baseline x86-64 (all sixteen
+/// in use); kMR = 4 is the row-slice alignment unit, sized so a lane
+/// reuses the packed panel from L1 across its rows; kKC = 256 keeps a
+/// packed kc x kNR panel (32 KiB) plus the A working set inside L1/L2.
+inline constexpr std::size_t kGemmMR = 4;
+inline constexpr std::size_t kGemmNR = 32;
+inline constexpr std::size_t kGemmKC = 256;
+
+/// Bytes of pooled pack scratch currently resident on the calling thread
+/// (high-water mark; reused across calls — the warm path allocates
+/// nothing). Exposed for the zero-allocation tests.
+[[nodiscard]] std::size_t gemm_scratch_bytes() noexcept;
+
+namespace reference {
+
+/// Scalar oracle: C[m x n] (+)= A[m x k] * B[k x n], double accumulation,
+/// one dot product per output element. Slow on purpose — it is the
+/// correctness baseline, not a compute kernel.
+inline void gemm(std::size_t m, std::size_t k, std::size_t n,
+                 const float* a, const float* b, float* c,
+                 bool accumulate) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = accumulate ? static_cast<double>(c[i * n + j]) : 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+/// Scalar oracle for C (+)= A^T * B with A stored [k x m].
+inline void gemm_at(std::size_t m, std::size_t k, std::size_t n,
+                    const float* a, const float* b, float* c,
+                    bool accumulate) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = accumulate ? static_cast<double>(c[i * n + j]) : 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a[p * m + i]) * b[p * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+/// Scalar oracle for C (+)= A * B^T with B stored [n x k].
+inline void gemm_bt(std::size_t m, std::size_t k, std::size_t n,
+                    const float* a, const float* b, float* c,
+                    bool accumulate) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = accumulate ? static_cast<double>(c[i * n + j]) : 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a[i * k + p]) * b[j * k + p];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace reference
+}  // namespace dgs::util

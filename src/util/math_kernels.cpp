@@ -114,70 +114,7 @@ void mul(std::span<const float> x, std::span<const float> y,
   for (std::size_t i = 0; i < n; ++i) z[i] = x[i] * y[i];
 }
 
-namespace {
-
-// Blocked row-major kernel: accumulates into c. The (i,k)-outer, j-inner
-// loop order keeps the innermost loop contiguous over both b and c so the
-// compiler can vectorize it.
-void gemm_accumulate(std::size_t m, std::size_t k, std::size_t n,
-                     const float* __restrict a, const float* __restrict b,
-                     float* __restrict c) noexcept {
-  constexpr std::size_t kBlock = 64;
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::size_t i1 = std::min(i0 + kBlock, m);
-    for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
-      const std::size_t p1 = std::min(p0 + kBlock, k);
-      for (std::size_t i = i0; i < i1; ++i) {
-        float* __restrict crow = c + i * n;
-        for (std::size_t p = p0; p < p1; ++p) {
-          const float aip = a[i * k + p];
-          if (aip == 0.0f) continue;
-          const float* __restrict brow = b + p * n;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
-void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
-          const float* b, float* c, bool accumulate) noexcept {
-  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-  gemm_accumulate(m, k, n, a, b, c);
-}
-
-void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
-             const float* b, float* c, bool accumulate) noexcept {
-  // C[m x n] (+)= A^T[m x k] * B[k x n] with A stored [k x m].
-  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* __restrict arow = a + p * m;
-    const float* __restrict brow = b + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aip = arow[i];
-      if (aip == 0.0f) continue;
-      float* __restrict crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-    }
-  }
-}
-
-void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
-             const float* b, float* c, bool accumulate) noexcept {
-  // C[m x n] (+)= A[m x k] * B^T with B stored [n x k].
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* __restrict arow = a + i * k;
-    float* __restrict crow = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* __restrict brow = b + j * k;
-      double acc = accumulate ? static_cast<double>(crow[j]) : 0.0;
-      for (std::size_t p = 0; p < k; ++p)
-        acc += static_cast<double>(arow[p]) * brow[p];
-      crow[j] = static_cast<float>(acc);
-    }
-  }
-}
+// gemm / gemm_at / gemm_bt live in gemm.cpp (the packed micro-kernel
+// layer); only the streaming kernels are implemented here.
 
 }  // namespace dgs::util

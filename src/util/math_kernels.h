@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <span>
 
+#include "util/gemm.h"
+
 namespace dgs::util {
 
 /// y += alpha * x
@@ -56,6 +58,23 @@ void sub(std::span<const float> x, std::span<const float> y,
 /// Elementwise z = x * y (z may alias x or y).
 void mul(std::span<const float> x, std::span<const float> y,
          std::span<float> z) noexcept;
+
+// ---- GEMM (implemented by the packed micro-kernel layer, gemm.cpp) --------
+//
+// Accumulation policy (uniform across all three variants): float32
+// throughout — the register tile accumulates block partials in float and
+// adds them to C in float. gemm_bt historically accumulated in double;
+// that asymmetry is gone so all variants share one kernel, one error
+// model, and one bitwise-determinism contract (see gemm.h). The expected
+// error versus a double-precision oracle is the usual inner-product bound
+// O(k) * FLT_EPSILON relative to sum_p |a_ip * b_pj|; tests/test_util.cpp
+// pins all three variants to the `reference::` oracle at
+// 16 * FLT_EPSILON * sqrt(k) * sum_p |a_ip * b_pj| per element.
+//
+// Dense-input contract: there is no zero-skip fast path (`aip == 0`)
+// anywhere in the hot loops — every call site feeds dense activations or
+// gradients, and the branch cost/vectorization damage outweighed the
+// skipped multiplies even on mostly-zero inputs.
 
 /// Row-major GEMM: C[m x n] (+)= A[m x k] * B[k x n].
 /// If accumulate is false C is overwritten.

@@ -1,0 +1,133 @@
+#include "util/parallel_for.h"
+
+#include <memory>
+#include <utility>
+
+namespace dgs::util {
+
+ParallelFor::ParallelFor(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    // Worker i runs slice i + 1; the calling thread runs slice 0.
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
+  }
+}
+
+ParallelFor::~ParallelFor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ParallelFor::Slice ParallelFor::slice_of(std::size_t n, std::size_t align,
+                                         std::size_t t,
+                                         std::size_t parts) noexcept {
+  if (align == 0) align = 1;
+  if (parts == 0) parts = 1;
+  // Blocks of `align`, distributed as evenly as possible: the first `extra`
+  // lanes get one extra block. Depends only on (n, align, parts), so the
+  // partition is identical across runs and thread schedules.
+  const std::size_t blocks = (n + align - 1) / align;
+  const std::size_t base = blocks / parts;
+  const std::size_t extra = blocks % parts;
+  const std::size_t begin_block = t * base + (t < extra ? t : extra);
+  const std::size_t end_block = begin_block + base + (t < extra ? 1 : 0);
+  Slice s;
+  s.begin = begin_block * align;
+  s.end = end_block * align;
+  if (s.begin > n) s.begin = n;
+  if (s.end > n) s.end = n;
+  return s;
+}
+
+void ParallelFor::run(std::size_t n, std::size_t align, RawBody body,
+                      void* ctx) {
+  const std::size_t parts = threads();
+  if (parts == 1 || n == 0) {
+    if (n != 0) body(ctx, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = body;
+    ctx_ = ctx;
+    job_n_ = n;
+    job_align_ = align;
+    pending_ = workers_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  const Slice mine = slice_of(n, align, 0, parts);
+  if (mine.begin < mine.end) body(ctx, mine.begin, mine.end);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ParallelFor::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    RawBody body;
+    void* ctx;
+    std::size_t n, align, parts;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      body = body_;
+      ctx = ctx_;
+      n = job_n_;
+      align = job_align_;
+      parts = workers_.size() + 1;
+    }
+    const Slice mine = slice_of(n, align, index, parts);
+    if (mine.begin < mine.end) body(ctx, mine.begin, mine.end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+namespace {
+
+// Thread-local budget + lazily built pool. The pool is heap-held behind a
+// unique_ptr so rebuilds on budget changes are explicit, and destruction at
+// thread exit joins the workers before thread-locals of other TUs go away.
+struct IntraOpState {
+  std::size_t budget = 1;
+  std::unique_ptr<ParallelFor> pool;
+};
+
+IntraOpState& intra_op_state() {
+  thread_local IntraOpState state;
+  return state;
+}
+
+}  // namespace
+
+void set_intra_op_threads(std::size_t n) {
+  IntraOpState& state = intra_op_state();
+  if (n == 0) n = 1;
+  if (state.budget == n) return;
+  state.budget = n;
+  state.pool.reset();  // Rebuilt lazily at the new width on next use.
+}
+
+std::size_t intra_op_threads() noexcept { return intra_op_state().budget; }
+
+ParallelFor* intra_op_pool() {
+  IntraOpState& state = intra_op_state();
+  if (state.budget <= 1) return nullptr;
+  if (!state.pool) state.pool = std::make_unique<ParallelFor>(state.budget);
+  return state.pool.get();
+}
+
+}  // namespace dgs::util

@@ -1,0 +1,120 @@
+// Deterministic intra-op fork/join parallelism.
+//
+// ParallelFor is a persistent worker pool (threads are spawned once and
+// parked on a condition variable between jobs) that partitions an index
+// range [0, n) into one contiguous, `align`-rounded slice per thread. The
+// partition is a pure function of (n, align, thread count) — never of
+// scheduling — so a kernel that reduces within its slice in serial order
+// (the packed GEMM partitions by output-row blocks; every output element
+// keeps its full serial reduction) produces results bitwise identical to
+// single-threaded execution for any thread count.
+//
+// The per-thread intra-op budget (set_intra_op_threads) is how the engines
+// divide the machine: worker-level parallelism owns the threads, and each
+// worker grants its compute kernels at most `threads_per_worker` lanes, so
+// the two levels never oversubscribe (see core/config.h and DESIGN.md §13).
+// The budget and its lazily-built pool are thread-local: pools are never
+// shared across engine workers, and nested ParallelFor bodies see a budget
+// of 1 (workers start with the default), so recursion cannot fan out.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dgs::util {
+
+class ParallelFor {
+ public:
+  /// Plain-function body: no std::function, so dispatch from a hot loop
+  /// performs zero heap allocations.
+  using RawBody = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+  /// A pool that fans out over `threads` lanes total: the calling thread
+  /// runs slice 0 and `threads - 1` parked workers run the rest. 0 and 1
+  /// both mean "serial" (no workers are spawned).
+  explicit ParallelFor(std::size_t threads);
+  ~ParallelFor();
+
+  ParallelFor(const ParallelFor&) = delete;
+  ParallelFor& operator=(const ParallelFor&) = delete;
+
+  /// Total lanes (calling thread included).
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Run body over a static partition of [0, n): slice boundaries are
+  /// multiples of `align` (the last slice takes the remainder), empty
+  /// slices are skipped, and the call returns after every slice finished.
+  /// Blocking fork/join: not reentrant, single owner per pool.
+  void run(std::size_t n, std::size_t align, RawBody body, void* ctx);
+
+  /// Convenience adapter for lambdas; the callable must outlive the call
+  /// (it does: run() joins before returning).
+  template <typename F>
+  void run(std::size_t n, std::size_t align, F&& f) {
+    run(n, align,
+        [](void* ctx, std::size_t begin, std::size_t end) {
+          (*static_cast<std::remove_reference_t<F>*>(ctx))(begin, end);
+        },
+        &f);
+  }
+
+  /// The slice lane `t` of `parts` owns: a pure function of its arguments,
+  /// exposed for the partition-coverage tests.
+  struct Slice {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  [[nodiscard]] static Slice slice_of(std::size_t n, std::size_t align,
+                                      std::size_t t,
+                                      std::size_t parts) noexcept;
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  RawBody body_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_align_ = 1;
+  std::uint64_t epoch_ = 0;    ///< Bumped per job; workers latch onto it.
+  std::size_t pending_ = 0;    ///< Workers still inside the current job.
+  bool shutdown_ = false;
+};
+
+/// Set this thread's intra-op budget: how many lanes parallel kernels
+/// (currently the packed GEMM layer) may fan out over. Defaults to 1
+/// (serial). The backing pool is created lazily on first parallel use and
+/// torn down when the budget changes or the thread exits.
+void set_intra_op_threads(std::size_t n);
+
+/// This thread's current intra-op budget (>= 1).
+[[nodiscard]] std::size_t intra_op_threads() noexcept;
+
+/// This thread's pool, created on demand; nullptr when the budget is 1.
+[[nodiscard]] ParallelFor* intra_op_pool();
+
+/// RAII budget override for an engine run: sets the calling thread's
+/// budget, restores the previous value on destruction.
+class IntraOpBudgetScope {
+ public:
+  explicit IntraOpBudgetScope(std::size_t n) : previous_(intra_op_threads()) {
+    set_intra_op_threads(n);
+  }
+  ~IntraOpBudgetScope() { set_intra_op_threads(previous_); }
+  IntraOpBudgetScope(const IntraOpBudgetScope&) = delete;
+  IntraOpBudgetScope& operator=(const IntraOpBudgetScope&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+}  // namespace dgs::util

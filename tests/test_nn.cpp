@@ -1,10 +1,16 @@
 // Tests for the NN substrate: layer semantics, exact gradients (central
-// differences, parameterized over every layer type and model spec), loss.
+// differences, parameterized over every layer type and model spec), loss,
+// and an allocation-counter proof that the warm Conv2d+Linear training step
+// never touches the heap (pooled tensors + conv workspaces + gemm scratch).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <new>
 #include <string>
 
 #include "nn/gradcheck.h"
@@ -12,6 +18,31 @@
 #include "nn/loss.h"
 #include "nn/model.h"
 #include "util/rng.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every operator new in this binary bumps it.
+// Used by the AllocationFree test to prove the warm forward/backward path
+// never touches the heap. Counting is process-wide, so that test must not
+// call anything allocating (including gtest assertions) inside the measured
+// loop. Same idiom as tests/test_select.cpp.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -151,6 +182,46 @@ TEST(Residual, AddsShortcut) {
   for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
 }
 
+// --------------------------------------------------- warm-path allocations
+
+// Once the tensor buffer pool, the per-layer ConvWorkspace and the gemm
+// pack scratch are warm, a full Conv2d -> Flatten -> Linear forward/backward
+// step must perform zero heap allocations (ISSUE acceptance criterion; the
+// worker compute loop runs this shape every iteration).
+TEST(AllocationFree, WarmConvLinearStepDoesNotAllocate) {
+  Conv2d conv(3, 8, 3, /*stride=*/1, /*pad=*/1);
+  Flatten flatten;
+  Linear linear(8 * 8 * 8, 10);
+  Rng rng(31);
+  conv.init(rng);
+  linear.init(rng);
+  Tensor input = random_tensor(Shape{4, 3, 8, 8}, rng, 0.5f);
+
+  auto step = [&]() -> float {
+    Tensor y = conv.forward(input, true);
+    Tensor f = flatten.forward(y, true);
+    Tensor z = linear.forward(f, true);
+    Tensor gz = linear.backward(z);
+    Tensor gf = flatten.backward(gz);
+    Tensor gx = conv.backward(gf);
+    return gx[0];
+  };
+
+  // Warm: first steps size the conv workspace, the gemm pack scratch and
+  // the thread-local tensor buffer pool.
+  for (int i = 0; i < 3; ++i) (void)step();
+
+  g_allocation_count.store(0, std::memory_order_relaxed);
+  float sink = 0.0f;
+  for (int i = 0; i < 10; ++i) sink += step();
+  const std::uint64_t allocs =
+      g_allocation_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(allocs, 0u)
+      << "warm Conv2d+Linear forward/backward touched the heap";
+  EXPECT_TRUE(std::isfinite(sink));
+}
+
 // ------------------------------------------------------------------- loss
 
 TEST(Loss, UniformLogitsGiveLogC) {
@@ -228,6 +299,8 @@ INSTANTIATE_TEST_SUITE_P(
         LayerCase{"linear_nobias",
                   [] { return std::make_unique<Linear>(5, 3, false); },
                   Shape{2, 5}},
+        LayerCase{"linear_batch1", [] { return std::make_unique<Linear>(7, 4); },
+                  Shape{1, 7}},
         LayerCase{"tanh", [] { return std::make_unique<Tanh>(); }, Shape{2, 7}},
         LayerCase{"conv3x3",
                   [] { return std::make_unique<Conv2d>(2, 3, 3, 1, 1); },
@@ -235,6 +308,12 @@ INSTANTIATE_TEST_SUITE_P(
         LayerCase{"conv_stride2",
                   [] { return std::make_unique<Conv2d>(1, 2, 3, 2, 1); },
                   Shape{2, 1, 6, 6}},
+        LayerCase{"conv_pad2",
+                  [] { return std::make_unique<Conv2d>(2, 2, 3, 1, 2); },
+                  Shape{1, 2, 4, 4}},
+        LayerCase{"conv_nonsquare",
+                  [] { return std::make_unique<Conv2d>(2, 3, 3, 2, 1); },
+                  Shape{2, 2, 5, 7}},
         LayerCase{"batchnorm2d",
                   [] { return std::make_unique<BatchNorm>(3); },
                   Shape{4, 3, 2, 2}},

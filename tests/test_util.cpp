@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <set>
@@ -13,8 +15,10 @@
 #include <vector>
 
 #include "util/flags.h"
+#include "util/gemm.h"
 #include "util/logging.h"
 #include "util/math_kernels.h"
+#include "util/parallel_for.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -329,6 +333,239 @@ TEST(MathKernels, GemmBtMatchesReference) {
   gemm_bt(m, k, n, a.data(), b.data(), c.data(), false);
   ref_gemm(m, k, n, a.data(), bt.data(), ref.data());
   for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-4);
+}
+
+// ------------------------------------------------- packed GEMM vs. oracle
+//
+// The float-accumulation policy (math_kernels.h): every variant is pinned
+// to the double-precision reference:: oracle under the stated per-element
+// inner-product bound tol(i,j) = 16 * eps_f32 * sqrt(k) * sum_p |a*b|.
+// The constant absorbs the k-blocked summation-order difference; sqrt(k)
+// reflects the random-sign error growth of a k-term float reduction.
+
+float gemm_tolerance(std::size_t k, double abs_sum) {
+  const double eps = std::numeric_limits<float>::epsilon();
+  return static_cast<float>(16.0 * eps * std::sqrt(static_cast<double>(k)) *
+                                abs_sum +
+                            1e-12);
+}
+
+// Check C (from one of the packed variants) against the oracle result,
+// where element (i,j) of `abs_sums` is sum_p |a_ip * b_pj|.
+void expect_gemm_close(std::size_t m, std::size_t k, std::size_t n,
+                       const std::vector<float>& c,
+                       const std::vector<float>& oracle,
+                       const std::vector<double>& abs_sums) {
+  for (std::size_t i = 0; i < m * n; ++i) {
+    ASSERT_NEAR(c[i], oracle[i], gemm_tolerance(k, abs_sums[i]))
+        << "element " << i / n << "," << i % n;
+  }
+}
+
+struct GemmProblem {
+  std::size_t m, k, n;
+  std::vector<float> a;   // layout depends on variant
+  std::vector<float> b;   // layout depends on variant
+};
+
+GemmProblem make_problem(std::size_t m, std::size_t k, std::size_t n,
+                         std::size_t a_elems, std::size_t b_elems,
+                         std::uint64_t seed) {
+  GemmProblem prob{m, k, n, std::vector<float>(a_elems),
+                   std::vector<float>(b_elems)};
+  Rng rng(seed);
+  for (auto& v : prob.a) v = rng.normal(0, 1);
+  for (auto& v : prob.b) v = rng.normal(0, 1);
+  return prob;
+}
+
+// Exercises tile tails (m % MR, n % NR) and multiple k-blocks (k > KC).
+constexpr std::size_t kOracleShapes[][3] = {
+    {64, 576, 96},  // gate-like: two k-blocks, aligned m
+    {17, 300, 23},  // odd everything, two k-blocks
+    {3, 5, 7},      // smaller than one register tile
+    {1, 257, 1},    // single row/col, k-block boundary + 1
+};
+
+TEST(GemmPacked, GemmMatchesDoubleOracleWithinBound) {
+  for (const auto& shape : kOracleShapes) {
+    const std::size_t m = shape[0], k = shape[1], n = shape[2];
+    auto prob = make_problem(m, k, n, m * k, k * n, 51);
+    std::vector<float> c(m * n), oracle(m * n);
+    std::vector<double> abs_sums(m * n, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p)
+        for (std::size_t j = 0; j < n; ++j)
+          abs_sums[i * n + j] +=
+              std::abs(double(prob.a[i * k + p]) * prob.b[p * n + j]);
+    gemm(m, k, n, prob.a.data(), prob.b.data(), c.data(), false);
+    reference::gemm(m, k, n, prob.a.data(), prob.b.data(), oracle.data(),
+                    false);
+    expect_gemm_close(m, k, n, c, oracle, abs_sums);
+  }
+}
+
+TEST(GemmPacked, GemmAtMatchesDoubleOracleWithinBound) {
+  for (const auto& shape : kOracleShapes) {
+    const std::size_t m = shape[0], k = shape[1], n = shape[2];
+    auto prob = make_problem(m, k, n, k * m, k * n, 53);  // A stored [k x m]
+    std::vector<float> c(m * n), oracle(m * n);
+    std::vector<double> abs_sums(m * n, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p)
+        for (std::size_t j = 0; j < n; ++j)
+          abs_sums[i * n + j] +=
+              std::abs(double(prob.a[p * m + i]) * prob.b[p * n + j]);
+    gemm_at(m, k, n, prob.a.data(), prob.b.data(), c.data(), false);
+    reference::gemm_at(m, k, n, prob.a.data(), prob.b.data(), oracle.data(),
+                       false);
+    expect_gemm_close(m, k, n, c, oracle, abs_sums);
+  }
+}
+
+TEST(GemmPacked, GemmBtMatchesDoubleOracleWithinBound) {
+  for (const auto& shape : kOracleShapes) {
+    const std::size_t m = shape[0], k = shape[1], n = shape[2];
+    auto prob = make_problem(m, k, n, m * k, n * k, 57);  // B stored [n x k]
+    std::vector<float> c(m * n), oracle(m * n);
+    std::vector<double> abs_sums(m * n, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p)
+        for (std::size_t j = 0; j < n; ++j)
+          abs_sums[i * n + j] +=
+              std::abs(double(prob.a[i * k + p]) * prob.b[j * k + p]);
+    gemm_bt(m, k, n, prob.a.data(), prob.b.data(), c.data(), false);
+    reference::gemm_bt(m, k, n, prob.a.data(), prob.b.data(), oracle.data(),
+                       false);
+    expect_gemm_close(m, k, n, c, oracle, abs_sums);
+  }
+}
+
+TEST(GemmPacked, AccumulateAddsOntoExistingC) {
+  const std::size_t m = 7, k = 19, n = 11;
+  auto prob = make_problem(m, k, n, m * k, k * n, 59);
+  std::vector<float> base(m * n);
+  Rng rng(61);
+  for (auto& v : base) v = rng.normal(0, 1);
+  std::vector<float> c = base, expected(m * n);
+  gemm(m, k, n, prob.a.data(), prob.b.data(), c.data(), /*accumulate=*/true);
+  gemm(m, k, n, prob.a.data(), prob.b.data(), expected.data(), false);
+  for (std::size_t i = 0; i < m * n; ++i)
+    EXPECT_FLOAT_EQ(c[i], base[i] + expected[i]);
+}
+
+TEST(GemmPacked, ZeroSizedDimensionsAreSafe) {
+  float a = 1.0f, b = 2.0f;
+  std::vector<float> c{5.0f};
+  gemm(0, 3, 4, nullptr, nullptr, nullptr, false);
+  gemm(1, 0, 1, &a, &b, c.data(), false);   // k == 0 overwrites with zeros
+  EXPECT_FLOAT_EQ(c[0], 0.0f);
+  c[0] = 5.0f;
+  gemm(1, 0, 1, &a, &b, c.data(), true);    // k == 0, accumulate: no-op
+  EXPECT_FLOAT_EQ(c[0], 5.0f);
+}
+
+TEST(GemmPacked, ScratchIsPooledAcrossCalls) {
+  const std::size_t m = 8, k = 300, n = 40;
+  auto prob = make_problem(m, k, n, m * k, k * n, 63);
+  std::vector<float> c(m * n);
+  gemm(m, k, n, prob.a.data(), prob.b.data(), c.data(), false);
+  const std::size_t warm = gemm_scratch_bytes();
+  EXPECT_GT(warm, 0u);
+  gemm(m, k, n, prob.a.data(), prob.b.data(), c.data(), false);
+  EXPECT_EQ(gemm_scratch_bytes(), warm);  // reused, not regrown
+}
+
+// ----------------------------------------------------------- ParallelFor
+
+TEST(ParallelFor, SlicesPartitionTheRangeExactly) {
+  for (std::size_t n : {0ul, 1ul, 4ul, 7ul, 64ul, 67ul, 1000ul}) {
+    for (std::size_t align : {1ul, 4ul, 8ul}) {
+      for (std::size_t parts : {1ul, 2ul, 3ul, 4ul, 7ul}) {
+        std::size_t expect_begin = 0;
+        for (std::size_t t = 0; t < parts; ++t) {
+          const auto s = ParallelFor::slice_of(n, align, t, parts);
+          EXPECT_EQ(s.begin, expect_begin);
+          EXPECT_LE(s.begin, s.end);
+          if (t + 1 < parts && s.end < n)
+            EXPECT_EQ(s.end % align, 0u) << "interior boundary unaligned";
+          expect_begin = s.end;
+        }
+        EXPECT_EQ(expect_begin, n) << "n=" << n << " align=" << align
+                                   << " parts=" << parts;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, RunVisitsEveryIndexOnce) {
+  for (std::size_t threads : {1ul, 2ul, 4ul}) {
+    ParallelFor pool(threads);
+    EXPECT_EQ(pool.threads(), threads == 0 ? 1 : threads);
+    const std::size_t n = 1003;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.run(n, 4, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ParallelFor, PoolIsReusableAcrossJobs) {
+  ParallelFor pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> total{0};
+    pool.run(100, 1, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(total.load(), 100u);
+  }
+}
+
+TEST(ParallelFor, IntraOpBudgetScopeRestores) {
+  EXPECT_EQ(intra_op_threads(), 1u);
+  {
+    IntraOpBudgetScope scope(4);
+    EXPECT_EQ(intra_op_threads(), 4u);
+    ASSERT_NE(intra_op_pool(), nullptr);
+    EXPECT_EQ(intra_op_pool()->threads(), 4u);
+  }
+  EXPECT_EQ(intra_op_threads(), 1u);
+  EXPECT_EQ(intra_op_pool(), nullptr);
+}
+
+// The determinism guarantee (util/gemm.h): ParallelFor-backed gemm output
+// is BITWISE equal to the single-thread result, because row partitioning
+// never changes any output element's reduction order. Run under TSan via
+// scripts/run_tsan.sh as well.
+TEST(ParallelFor, GemmBitwiseIdenticalAcrossThreadCounts) {
+  const std::size_t m = 67, k = 300, n = 129;  // tile tails + 2 k-blocks
+  auto prob = make_problem(m, k, n, m * k, k * n, 71);
+  auto probt = make_problem(m, k, n, k * m, k * n, 73);   // A^T layout
+  auto probbt = make_problem(m, k, n, m * k, n * k, 79);  // B^T layout
+
+  std::vector<float> serial(m * n), serial_at(m * n), serial_bt(m * n);
+  gemm(m, k, n, prob.a.data(), prob.b.data(), serial.data(), false);
+  gemm_at(m, k, n, probt.a.data(), probt.b.data(), serial_at.data(), false);
+  gemm_bt(m, k, n, probbt.a.data(), probbt.b.data(), serial_bt.data(), false);
+
+  for (std::size_t threads : {1ul, 2ul, 4ul}) {
+    IntraOpBudgetScope scope(threads);
+    std::vector<float> c(m * n), c_at(m * n), c_bt(m * n);
+    gemm(m, k, n, prob.a.data(), prob.b.data(), c.data(), false);
+    gemm_at(m, k, n, probt.a.data(), probt.b.data(), c_at.data(), false);
+    gemm_bt(m, k, n, probbt.a.data(), probbt.b.data(), c_bt.data(), false);
+    EXPECT_EQ(0, std::memcmp(c.data(), serial.data(), m * n * sizeof(float)))
+        << "gemm differs at " << threads << " threads";
+    EXPECT_EQ(0,
+              std::memcmp(c_at.data(), serial_at.data(), m * n * sizeof(float)))
+        << "gemm_at differs at " << threads << " threads";
+    EXPECT_EQ(0,
+              std::memcmp(c_bt.data(), serial_bt.data(), m * n * sizeof(float)))
+        << "gemm_bt differs at " << threads << " threads";
+  }
 }
 
 // ------------------------------------------------------------------ Table
