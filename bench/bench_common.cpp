@@ -115,6 +115,7 @@ core::TrainConfig resolve(const Task& task, const RunSpec& run) {
   config.fault = run.fault;
   config.compression.secondary = run.secondary_compression;
   config.compression.secondary_ratio_percent = run.secondary_ratio;
+  config.compression.down_compress = run.down_compress;
   // The paper lets DGC keep its own training tricks (§5): sparsity warmup
   // over the first epochs; other methods run bare.
   config.compression.warmup_epochs =
@@ -162,7 +163,12 @@ bool parse_harness_options(util::Flags& flags, HarnessOptions& options) {
       "threads-per-worker", 0,
       "intra-op kernel threads per worker (0 = task default; clamped "
       "against worker-count oversubscription)"));
-  return flags.finish();
+  const std::string down = flags.str(
+      "down-compress", "auto",
+      "downward reply codec: auto|coo|dense|q8|q4|sbc (DESIGN.md §14)");
+  const bool help = flags.finish();
+  if (!help) options.down_compress = core::parse_down_compress(down);
+  return help;
 }
 
 std::string csv_path(const HarnessOptions& options, const std::string& name) {

@@ -51,6 +51,10 @@ struct RunSpec {
   double ratio = -1.0;            ///< Top-R%% kept; <0 = keep task default.
   bool secondary_compression = false;
   double secondary_ratio = 1.0;
+  /// Downward reply wire codec (see core/method.h and DESIGN.md §14):
+  /// kAuto keeps the historical COO/dense heuristic; q8/q4/sbc install a
+  /// lossy stage whose quantization error stays in M - v_k.
+  core::DownCompress down_compress = core::DownCompress::kAuto;
   comm::NetworkModel network{0.0, 0.0};  ///< ideal = keep the task default.
   bool record_curve = true;
   bool trace = false;             ///< Enable the runtime event tracer.
@@ -98,6 +102,9 @@ struct HarnessOptions {
   /// clamps against oversubscription and RunResult records the effective
   /// value. Bitwise-invariant: affects wall-clock only.
   std::size_t threads_per_worker = 0;
+  /// Downward reply codec from --down-compress (auto|coo|dense|q8|q4|sbc).
+  /// Copy into RunSpec::down_compress.
+  core::DownCompress down_compress = core::DownCompress::kAuto;
 
   [[nodiscard]] double epoch_scale() const noexcept { return full ? 1.0 : 0.25; }
   /// Runs should enable the event tracer (set RunSpec::trace from this).

@@ -1,5 +1,7 @@
 // Figure 5: training loss vs wall-clock time on 8 workers over 1 Gbps
-// Ethernet, ASGD vs DGS (secondary compression on, 99% ratio).
+// Ethernet, ASGD vs DGS (secondary compression on, 99% ratio), plus the
+// dual-way codec ablation: the same DGS run with the downward reply
+// additionally quantized (DGSQ 8-bit) or sparse-binarized (DGSB/SBC).
 //
 // The paper reports DGS finishing in 88 minutes vs 506 minutes for ASGD —
 // a 5.7x speedup — because ASGD's downward direction ships the whole model
@@ -11,15 +13,41 @@
 //
 // This figure uses the paper's actual sparsity (R=1, i.e. 99%) since the
 // wall-clock effect is driven by bytes on the wire, not by accuracy.
+//
+// --gate-out <json> emits per-series encoded bytes/element (payload bytes
+// over reply nnz) and final loss/accuracy for scripts/check_bench.py
+// --fig5, which hard-gates the SBC downward path at >= 4x fewer
+// bytes/element than the plain COO reply at equal accuracy.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "nn/model.h"
 #include "util/table.h"
 
 using namespace dgs;
+using core::DownCompress;
 using core::Method;
+
+namespace {
+
+struct Series {
+  std::string name;
+  core::RunResult result;
+
+  /// Mean encoded payload bytes per sent element over non-empty replies
+  /// (server.reply.bytes_per_element, DESIGN.md §14): 8 = plain COO,
+  /// ~1 = SBC. Payload only — the fixed per-message envelope is excluded,
+  /// so this isolates what the codec ships per element.
+  [[nodiscard]] double bytes_per_element() const {
+    return result.reply_bytes_per_element_hist.mean;
+  }
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
@@ -27,6 +55,8 @@ int main(int argc, char** argv) {
   const auto workers = static_cast<std::size_t>(
       flags.i64("workers", 8, "asynchronous worker count"));
   const double ratio = flags.f64("ratio", 1.0, "top-R% kept (paper: 1)");
+  const std::string gate_out = flags.str(
+      "gate-out", "", "write per-series codec gate metrics as JSON");
   if (benchkit::parse_harness_options(flags, options)) return 0;
 
   const benchkit::Task task = benchkit::make_cifar_task(
@@ -44,7 +74,7 @@ int main(int argc, char** argv) {
   // Latency scaled with compute (see bench_fig6_speedup.cpp).
   const comm::NetworkModel one_g{1e9, compute_seconds * 5e-4};
 
-  auto run = [&](Method method, bool secondary) {
+  auto run = [&](Method method, bool secondary, DownCompress down) {
     benchkit::RunSpec run_spec;
     run_spec.method = method;
     run_spec.workers = workers;
@@ -53,6 +83,7 @@ int main(int argc, char** argv) {
     run_spec.compute_seconds = compute_seconds;
     run_spec.secondary_compression = secondary;
     run_spec.secondary_ratio = ratio;
+    run_spec.down_compress = down;
     run_spec.min_sparsify = 0;  // sparsify every layer, as in the paper
     return benchkit::run_one(task, data, run_spec);
   };
@@ -62,30 +93,64 @@ int main(int argc, char** argv) {
   std::printf("   model %.1f KB, compute %.3f ms/iter (transfer/compute=3.3)\n\n",
               model_bytes / 1e3, compute_seconds * 1e3);
 
-  const core::RunResult asgd = run(Method::kASGD, false);
-  std::fprintf(stderr, "ASGD done: %.1f sim-s\n", asgd.sim_seconds);
-  const core::RunResult dgs = run(Method::kDGS, true);
-  std::fprintf(stderr, "DGS  done: %.1f sim-s\n", dgs.sim_seconds);
+  std::vector<Series> series;
+  series.push_back({"ASGD", run(Method::kASGD, false, DownCompress::kAuto)});
+  series.push_back({"DGS", run(Method::kDGS, true, DownCompress::kAuto)});
+  series.push_back({"DGS+Q8", run(Method::kDGS, true, DownCompress::kQ8)});
+  series.push_back({"DGS+SBC", run(Method::kDGS, true, DownCompress::kSbc)});
+  for (const Series& s : series)
+    std::fprintf(stderr, "%-8s done: %.1f sim-s\n", s.name.c_str(),
+                 s.result.sim_seconds);
 
-  // Emit the two loss-vs-time curves on their own time grids.
+  // Emit the loss-vs-time curves on their own time grids.
   util::Table curves({"series", "sim_time_s", "train_loss"});
-  for (const auto& p : asgd.curve)
-    curves.add_row({"ASGD", util::Table::num(p.sim_seconds, 2),
-                    util::Table::num(p.train_loss, 4)});
-  for (const auto& p : dgs.curve)
-    curves.add_row({"DGS", util::Table::num(p.sim_seconds, 2),
-                    util::Table::num(p.train_loss, 4)});
+  for (const Series& s : series)
+    for (const auto& p : s.result.curve)
+      curves.add_row({s.name, util::Table::num(p.sim_seconds, 2),
+                      util::Table::num(p.train_loss, 4)});
   curves.print(std::cout);
 
+  const core::RunResult& asgd = series[0].result;
+  const core::RunResult& dgs = series[1].result;
   const double speedup = asgd.sim_seconds / dgs.sim_seconds;
   std::printf("\ncompletion time : ASGD %.1f s, DGS %.1f s -> DGS %.2fx faster"
               " (paper: 506 min vs 88 min = 5.7x)\n",
               asgd.sim_seconds, dgs.sim_seconds, speedup);
-  std::printf("final loss      : ASGD %.4f, DGS %.4f\n", asgd.final_train_loss,
-              dgs.final_train_loss);
-  std::printf("downward bytes  : ASGD %.1f MB, DGS %.1f MB\n",
-              asgd.bytes.downward_bytes / 1e6, dgs.bytes.downward_bytes / 1e6);
 
+  std::printf("\n%-8s %12s %14s %16s %10s %8s\n", "series", "final_loss",
+              "final_acc_%", "down_bytes_MB", "bytes/elt", "enc_p95us");
+  for (const Series& s : series)
+    std::printf("%-8s %12.4f %14.2f %16.2f %10.3f %8.2f\n", s.name.c_str(),
+                s.result.final_train_loss,
+                100.0 * s.result.final_test_accuracy,
+                s.result.bytes.downward_bytes / 1e6, s.bytes_per_element(),
+                s.result.reply_encode_us_hist.p95);
+
+  if (!gate_out.empty()) {
+    std::ofstream out(gate_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", gate_out.c_str());
+      return 1;
+    }
+    out << "{\n  \"series\": [\n";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const Series& s = series[i];
+      out << "    {\"name\": \"" << s.name << "\""
+          << ", \"bytes_per_element\": " << s.bytes_per_element()
+          << ", \"downward_bytes\": " << s.result.bytes.downward_bytes
+          << ", \"reply_elements\": " << s.result.reply_elements
+          << ", \"final_train_loss\": " << s.result.final_train_loss
+          << ", \"final_test_accuracy\": " << s.result.final_test_accuracy
+          << ", \"sim_seconds\": " << s.result.sim_seconds
+          << ", \"reply_encode_us_p95\": " << s.result.reply_encode_us_hist.p95
+          << "}" << (i + 1 < series.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::fprintf(stderr, "gate metrics -> %s\n", gate_out.c_str());
+  }
+
+  for (const Series& s : series)
+    benchkit::export_metrics(options, s.result, "fig5/" + s.name);
   const std::string csv = benchkit::csv_path(options, "fig5_lowbandwidth");
   if (!csv.empty()) curves.write_csv(csv);
   return 0;

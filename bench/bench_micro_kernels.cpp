@@ -8,6 +8,7 @@
 
 #include "nn/layers.h"
 #include "sparse/codec.h"
+#include "sparse/compressor.h"
 #include "sparse/coo.h"
 #include "sparse/select.h"
 #include "sparse/topk.h"
@@ -143,6 +144,63 @@ void BM_CodecEncodeDecode(benchmark::State& state) {
       static_cast<std::int64_t>(sparse::encoded_size(update)));
 }
 BENCHMARK(BM_CodecEncodeDecode)->Range(1 << 12, 1 << 20);
+
+// ---- dual-way codec stages (DESIGN.md §14) ---------------------------------
+// Encode throughput of the lossy downward stages at the reply shape
+// (R = 1% of a dense layer), through the pooled encode_into (steady-state
+// allocation-free; enforced in tests/test_compressor.cpp). bytes/s is the
+// *encoded* output rate, so it also tracks compression ratio drift.
+
+void BM_StageEncode(benchmark::State& state, sparse::Codec codec) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto values = random_values(n, 5);
+  const float thr = sparse::topk_threshold(values, 1.0);
+  const sparse::Compressor& stage = sparse::compressor_for(codec);
+  sparse::SparseUpdate update;
+  update.layers.push_back(sparse::extract_copy(0, values, thr));
+  stage.transform(update.layers[0]);  // values on the stage's grid
+  sparse::Bytes bytes;
+  std::int64_t encoded_bytes = 0;
+  for (auto _ : state) {
+    stage.encode_into(update, bytes);
+    benchmark::DoNotOptimize(bytes.data());
+    encoded_bytes += static_cast<std::int64_t>(bytes.size());
+  }
+  state.SetBytesProcessed(encoded_bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(update.layers[0].nnz()));
+}
+BENCHMARK_CAPTURE(BM_StageEncode, q8, sparse::Codec::kQcoo8)
+    ->Range(1 << 14, 1 << 20);
+BENCHMARK_CAPTURE(BM_StageEncode, q4, sparse::Codec::kQcoo4)
+    ->Range(1 << 14, 1 << 20);
+BENCHMARK_CAPTURE(BM_StageEncode, sbc, sparse::Codec::kSbc)
+    ->Range(1 << 14, 1 << 20);
+
+// Registry-dispatched decode of the same payloads (the worker-side cost of
+// applying a compressed reply).
+void BM_StageDecode(benchmark::State& state, sparse::Codec codec) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto values = random_values(n, 5);
+  const float thr = sparse::topk_threshold(values, 1.0);
+  const sparse::Compressor& stage = sparse::compressor_for(codec);
+  sparse::SparseUpdate update;
+  update.layers.push_back(sparse::extract_copy(0, values, thr));
+  stage.transform(update.layers[0]);
+  const sparse::Bytes bytes = stage.encode(update);
+  for (auto _ : state) {
+    auto decoded = sparse::decode_any(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(update.layers[0].nnz()));
+}
+BENCHMARK_CAPTURE(BM_StageDecode, q8, sparse::Codec::kQcoo8)
+    ->Range(1 << 14, 1 << 20);
+BENCHMARK_CAPTURE(BM_StageDecode, sbc, sparse::Codec::kSbc)
+    ->Range(1 << 14, 1 << 20);
 
 void BM_ScatterAdd(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -23,6 +23,9 @@ int main(int argc, char** argv) {
   const std::string method_name =
       flags.str("method", "dgs", "msgd|asgd|gd|dgc|dgs");
   const double ratio = flags.f64("ratio", 1.0, "top-R% kept per layer");
+  const std::string down = flags.str(
+      "down-compress", "auto",
+      "downward reply codec: auto|coo|dense|q8|q4|sbc (DESIGN.md §14)");
   const auto warmup = static_cast<std::size_t>(
       flags.i64("warmup", -1, "sparsity warmup epochs (-1 = method default)"));
   const auto seed = static_cast<std::uint64_t>(flags.i64("seed", 42, "seed"));
@@ -54,6 +57,10 @@ int main(int argc, char** argv) {
   config.lr = lr;
   config.momentum = 0.7;
   config.compression.ratio_percent = ratio;
+  // Downward replies can additionally be quantized (q8/q4) or shipped as
+  // Rice-coded mean-magnitude signs (sbc); the quantization error stays in
+  // the server residual M - v_k, so accuracy is preserved (DESIGN.md §14).
+  config.compression.down_compress = core::parse_down_compress(down);
   // DGC ships with a sparsity-warmup schedule (Lin et al.); the other
   // methods train without tricks, as in the paper's setup.
   config.compression.warmup_epochs =

@@ -1,7 +1,21 @@
 #!/usr/bin/env python3
 """Performance-regression gate over bench_micro_kernels JSON output.
 
-Two checks, in order of authority:
+With ``--fig5`` the input is instead the ``--gate-out`` JSON written by
+bench_fig5_lowbandwidth, and the gate checks the dual-way codec
+acceptance criteria (DESIGN.md §14) -- all in-run, machine-independent:
+
+* the SBC downward reply must ship at least ``--min-sbc-ratio`` (default
+  4.0) times fewer encoded bytes/element than the plain COO reply of the
+  same run;
+* the quantized (Q8) reply must be strictly cheaper per element than COO;
+* every compressed series must stay within ``--max-accuracy-drop``
+  (default 0.02) final test accuracy of the uncompressed DGS run;
+* with ``--baseline``, per-series bytes/element are band-checked against
+  the committed baseline (advisory unless ``--enforce-baseline``; the
+  simulation is deterministic, so drift means the codec changed).
+
+Without ``--fig5``, two checks, in order of authority:
 
 1. **In-run speedup ratio** (machine-independent, always enforced):
    the fused sparsify kernel must beat the pre-kernel-layer reference
@@ -125,30 +139,132 @@ def check_baseline(times, baseline, tolerance):
     return regressions
 
 
+def load_fig5_series(path):
+    """Return {series name: series dict} from a bench_fig5_lowbandwidth
+    --gate-out JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        series = {s["name"]: s for s in doc["series"]}
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        print(f"check_bench: cannot read '{path}': {err}", file=sys.stderr)
+        sys.exit(2)
+    if not series:
+        print(f"check_bench: no series in '{path}'", file=sys.stderr)
+        sys.exit(2)
+    return series
+
+
+def check_fig5(series, min_sbc_ratio, max_accuracy_drop):
+    """Enforce the dual-way codec gates on one fig5 run; returns failure
+    count. All ratios are within-run, so they hold on any machine."""
+    failures = 0
+    required = {"DGS", "DGS+Q8", "DGS+SBC"}
+    missing = sorted(required - set(series))
+    if missing:
+        print(f"FAIL  fig5 series missing from results: {', '.join(missing)}")
+        return 1
+
+    coo = series["DGS"]
+    for name in sorted(required):
+        s = series[name]
+        print(f"      {name}: {s['bytes_per_element']:.3f} B/elt, "
+              f"accuracy {s['final_test_accuracy']:.4f}")
+
+    def gate(label, ok):
+        nonlocal failures
+        print(f"{'ok  ' if ok else 'FAIL'}  {label}")
+        if not ok:
+            failures += 1
+
+    sbc = series["DGS+SBC"]
+    ratio = (coo["bytes_per_element"] / sbc["bytes_per_element"]
+             if sbc["bytes_per_element"] > 0 else float("inf"))
+    gate(f"SBC vs COO bytes/element: {ratio:.2f}x "
+         f"(required >= {min_sbc_ratio:.2f}x)", ratio >= min_sbc_ratio)
+
+    q8 = series["DGS+Q8"]
+    gate(f"Q8 cheaper than COO: {q8['bytes_per_element']:.3f} < "
+         f"{coo['bytes_per_element']:.3f} B/elt",
+         q8["bytes_per_element"] < coo["bytes_per_element"])
+
+    for name in ("DGS+Q8", "DGS+SBC"):
+        drop = coo["final_test_accuracy"] - series[name]["final_test_accuracy"]
+        gate(f"{name} accuracy drop vs DGS: {drop:+.4f} "
+             f"(allowed <= {max_accuracy_drop:.3f})", drop <= max_accuracy_drop)
+    return failures
+
+
+def check_fig5_baseline(series, baseline, tolerance):
+    """Band-check per-series bytes/element against the committed baseline;
+    returns drifted series as (name, current, baseline, delta fraction)."""
+    drifted = []
+    shared = sorted(set(series) & set(baseline))
+    if not shared:
+        print("warn  baseline shares no series names with results")
+        return drifted
+    for name in shared:
+        cur = series[name]["bytes_per_element"]
+        base = baseline[name]["bytes_per_element"]
+        if base <= 0:
+            continue
+        delta = cur / base - 1.0
+        if abs(delta) > tolerance:
+            drifted.append((name, cur, base, delta))
+    print(f"baseline: {len(shared)} series compared, "
+          f"{len(drifted)} outside the +/-{tolerance:.0%} band")
+    for name, cur, base, delta in drifted:
+        print(f"  drift  {name}: {cur:.3f} B/elt vs {base:.3f} B/elt "
+              f"({delta:+.1%})")
+    return drifted
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results",
-                        help="bench_micro_kernels --benchmark_out JSON file")
+                        help="bench_micro_kernels --benchmark_out JSON file, "
+                             "or with --fig5 the bench_fig5_lowbandwidth "
+                             "--gate-out JSON file")
     parser.add_argument("--baseline",
                         help="committed baseline JSON to band-check against")
+    parser.add_argument("--fig5", action="store_true",
+                        help="gate the dual-way codec metrics from "
+                             "bench_fig5_lowbandwidth --gate-out instead of "
+                             "micro-kernel times")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required in-run fused/reference ratio "
                              "(default: %(default)s)")
+    parser.add_argument("--min-sbc-ratio", type=float, default=4.0,
+                        help="[--fig5] required COO/SBC bytes-per-element "
+                             "ratio (default: %(default)s)")
+    parser.add_argument("--max-accuracy-drop", type=float, default=0.02,
+                        help="[--fig5] allowed final-accuracy drop of a "
+                             "compressed series vs plain DGS "
+                             "(default: %(default)s)")
     parser.add_argument("--tolerance", type=float, default=0.35,
-                        help="allowed slowdown vs baseline as a fraction "
+                        help="allowed drift vs baseline as a fraction "
                              "(default: %(default)s)")
     parser.add_argument("--enforce-baseline", action="store_true",
                         help="fail (not just report) on baseline regressions")
     args = parser.parse_args(argv)
 
-    times = load_times(args.results)
-    failures = check_speedup(times, args.min_speedup)
-
-    if args.baseline:
-        regressions = check_baseline(times, load_times(args.baseline),
-                                     args.tolerance)
-        if regressions and args.enforce_baseline:
-            failures += len(regressions)
+    if args.fig5:
+        series = load_fig5_series(args.results)
+        failures = check_fig5(series, args.min_sbc_ratio,
+                              args.max_accuracy_drop)
+        if args.baseline:
+            drifted = check_fig5_baseline(
+                series, load_fig5_series(args.baseline), args.tolerance)
+            if drifted and args.enforce_baseline:
+                failures += len(drifted)
+    else:
+        times = load_times(args.results)
+        failures = check_speedup(times, args.min_speedup)
+        if args.baseline:
+            regressions = check_baseline(times, load_times(args.baseline),
+                                         args.tolerance)
+            if regressions and args.enforce_baseline:
+                failures += len(regressions)
 
     if failures:
         print(f"check_bench: FAILED ({failures} violation(s))")

@@ -50,13 +50,25 @@ class Transport {
   }
 
  protected:
+  /// Mirror the per-direction byte totals into registry counters
+  /// ("comm.bytes_up" / "comm.bytes_down"), so RunResult summaries and the
+  /// metrics export show the dual-way traffic split without reaching into
+  /// the transport object. Call once from a subclass constructor.
+  void bind_metrics(obs::MetricsRegistry* metrics) {
+    if (metrics == nullptr) return;
+    bytes_up_counter_ = &metrics->counter("comm.bytes_up");
+    bytes_down_counter_ = &metrics->counter("comm.bytes_down");
+  }
+
   void account_up(std::size_t bytes) noexcept {
     up_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     up_messages_.fetch_add(1, std::memory_order_relaxed);
+    if (bytes_up_counter_ != nullptr) bytes_up_counter_->add(bytes);
   }
   void account_down(std::size_t bytes) noexcept {
     down_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     down_messages_.fetch_add(1, std::memory_order_relaxed);
+    if (bytes_down_counter_ != nullptr) bytes_down_counter_->add(bytes);
   }
 
  private:
@@ -64,6 +76,8 @@ class Transport {
   std::atomic<std::uint64_t> down_bytes_{0};
   std::atomic<std::uint64_t> up_messages_{0};
   std::atomic<std::uint64_t> down_messages_{0};
+  obs::Counter* bytes_up_counter_ = nullptr;
+  obs::Counter* bytes_down_counter_ = nullptr;
 };
 
 /// Bounded retry-with-backoff for ThreadTransport sends. With a bounded
@@ -93,6 +107,7 @@ class ThreadTransport final : public Transport {
                            obs::MetricsRegistry* metrics = nullptr,
                            SendRetryPolicy retry = {})
       : server_inbox_(inbox_capacity), retry_(retry) {
+    bind_metrics(metrics);
     worker_inbox_.reserve(num_workers);
     for (std::size_t k = 0; k < num_workers; ++k)
       worker_inbox_.push_back(std::make_unique<Channel<Message>>());
@@ -237,6 +252,7 @@ class SimTransport final : public Transport {
   explicit SimTransport(NetworkModel network,
                         obs::MetricsRegistry* metrics = nullptr)
       : network_(network) {
+    bind_metrics(metrics);
     if (metrics != nullptr)
       link_wait_ms_ = &metrics->histogram(
           "transport.sim.link_wait_ms", obs::exponential_bounds(1e-3, 2.0, 24));

@@ -27,6 +27,11 @@ struct CompressionConfig {
   /// sparsification -- top-1%% of a 128-element gamma would deliver huge,
   /// badly delayed multiplicative lumps). 0 sparsifies everything.
   std::size_t min_sparsify_size = 0;
+  /// Downward (server -> worker) reply codec. Lossy modes (q8/q4/sbc)
+  /// install a Compressor stage that the shard applies to each reply chunk
+  /// *before* charging it to v_k, so bookkeeping matches the wire exactly
+  /// (Eq. 6b) and the quantization error stays in M - v_k.
+  DownCompress down_compress = DownCompress::kAuto;
 
   /// Keep-ratio in effect during the given worker epoch.
   [[nodiscard]] double ratio_at_epoch(std::size_t epoch) const noexcept {

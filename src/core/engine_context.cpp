@@ -90,6 +90,7 @@ ParameterServer EngineContext::make_server() {
   options.secondary_compression = config_.compression.secondary;
   options.secondary_ratio_percent = config_.compression.secondary_ratio_percent;
   options.min_sparsify_size = config_.compression.min_sparsify_size;
+  options.down_compress = config_.compression.down_compress;
   options.lease_timeout_s = config_.fault.lease_timeout_s;
   options.metrics = &metrics_;
   return ParameterServer(layer_sizes_, theta0_, options);
@@ -182,6 +183,11 @@ void EngineContext::finalize(RunResult& result, EpochTracker& epochs,
   result.downward_density_hist =
       result.metrics.summary_of("server.reply.density");
   result.reply_bytes_hist = result.metrics.summary_of("server.reply.bytes");
+  result.reply_bytes_per_element_hist =
+      result.metrics.summary_of("server.reply.bytes_per_element");
+  result.reply_encode_us_hist =
+      result.metrics.summary_of("server.reply.encode_us");
+  result.push_bytes_hist = result.metrics.summary_of("server.push.bytes");
 
   result.wall_seconds = wall_.seconds();
 }

@@ -251,6 +251,7 @@ RunResult SimEngine::run() {
     result.mean_downward_density =
         static_cast<double>(server.total_reply_nnz()) /
         static_cast<double>(server.total_reply_dense());
+  result.reply_elements = server.total_reply_nnz();
   result.server_steps = server.step();
   result.samples_processed = samples_at_server;
   result.server_state_bytes = server.state_bytes();

@@ -324,6 +324,7 @@ RunResult ThreadEngine::run() {
     result.mean_downward_density =
         static_cast<double>(server.total_reply_nnz()) /
         static_cast<double>(server.total_reply_dense());
+  result.reply_elements = server.total_reply_nnz();
   result.server_steps = server.step();
   result.server_state_bytes = server.state_bytes();
   result.threads_per_worker = intra_op;

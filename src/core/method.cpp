@@ -42,4 +42,29 @@ bool method_sparsifies(Method method) noexcept {
          method == Method::kDgsTernary;
 }
 
+const char* down_compress_name(DownCompress mode) noexcept {
+  switch (mode) {
+    case DownCompress::kAuto: return "auto";
+    case DownCompress::kCoo: return "coo";
+    case DownCompress::kDense: return "dense";
+    case DownCompress::kQ8: return "q8";
+    case DownCompress::kQ4: return "q4";
+    case DownCompress::kSbc: return "sbc";
+  }
+  return "?";
+}
+
+DownCompress parse_down_compress(const std::string& text) {
+  std::string t = text;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (t == "auto") return DownCompress::kAuto;
+  if (t == "coo") return DownCompress::kCoo;
+  if (t == "dense") return DownCompress::kDense;
+  if (t == "q8" || t == "qcoo8") return DownCompress::kQ8;
+  if (t == "q4" || t == "qcoo4") return DownCompress::kQ4;
+  if (t == "sbc") return DownCompress::kSbc;
+  throw std::invalid_argument("unknown down-compress mode: " + text);
+}
+
 }  // namespace dgs::core

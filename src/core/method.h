@@ -43,4 +43,22 @@ struct MethodTraits {
 /// True for methods that sparsify the upward direction.
 [[nodiscard]] bool method_sparsifies(Method method) noexcept;
 
+/// Downward (server -> worker) codec selection for the model-difference
+/// reply, Algorithm 2's secondary compression. kAuto keeps the historical
+/// heuristic (COO, densified when the reply is near-dense); the rest force
+/// a codec stage from sparse/compressor.h.
+enum class DownCompress : std::uint8_t {
+  kAuto,   ///< COO / dense by density heuristic (no lossy stage).
+  kCoo,    ///< Always plain COO.
+  kDense,  ///< Always densified f32.
+  kQ8,     ///< Fused 8-bit quantized COO (DGSQ).
+  kQ4,     ///< Fused 4-bit quantized COO (DGSQ).
+  kSbc,    ///< Sparse binary compression: ±mu signs + Rice-coded gaps (DGSB).
+};
+
+[[nodiscard]] const char* down_compress_name(DownCompress mode) noexcept;
+
+/// Parse "auto" | "coo" | "dense" | "q8" | "q4" | "sbc" (case-insensitive).
+[[nodiscard]] DownCompress parse_down_compress(const std::string& text);
+
 }  // namespace dgs::core

@@ -80,6 +80,15 @@ struct RunResult {
   obs::HistogramSummary staleness_hist;
   obs::HistogramSummary downward_density_hist;
   obs::HistogramSummary reply_bytes_hist;
+  /// Downward codec accounting (dual-way pipeline, DESIGN.md §14): payload
+  /// bytes per sent element (8 = plain COO, ~1 = SBC), reply encode time,
+  /// and the upward push payload sizes.
+  obs::HistogramSummary reply_bytes_per_element_hist;
+  obs::HistogramSummary reply_encode_us_hist;
+  obs::HistogramSummary push_bytes_hist;
+  /// Total reply elements (nnz) shipped downward over the run — the
+  /// denominator behind mean_downward_density.
+  std::uint64_t reply_elements = 0;
 
   /// Full snapshot of every counter/gauge/histogram the run recorded;
   /// exportable via MetricsSnapshot::write_jsonl / write_csv.

@@ -41,26 +41,11 @@ void fill_full_chunk(std::uint32_t layer, std::span<const float> values,
 
 }  // namespace
 
-sparse::Bytes WorkerAlgorithm::encode_update(
-    const sparse::SparseUpdate& update) const {
-  if (prefers_dense_encoding()) {
-    // dense_scratch_ keeps its per-layer value buffers across calls; only
-    // the returned wire bytes are allocated per message (their ownership
-    // crosses the transport boundary).
-    dense_scratch_.layers.resize(update.layers.size());
-    for (std::size_t j = 0; j < update.layers.size(); ++j) {
-      dense_scratch_.layers[j].layer = update.layers[j].layer;
-      sparse::densify_into(update.layers[j], dense_scratch_.layers[j].values);
-    }
-    return sparse::encode(dense_scratch_);
-  }
-  return sparse::encode(update);
-}
-
 // ------------------------------------------------------------------ DenseSgd
 
 DenseSgd::DenseSgd(const std::vector<std::size_t>& layer_sizes)
-    : WorkerAlgorithm(Method::kASGD), sizes_(layer_sizes) {}
+    : WorkerAlgorithm(Method::kASGD, sparse::Codec::kDense),
+      sizes_(layer_sizes) {}
 
 sparse::SparseUpdate DenseSgd::step(const GradViews& grads, float lr,
                                     std::size_t /*epoch*/) {
@@ -79,7 +64,9 @@ sparse::SparseUpdate DenseSgd::step(const GradViews& grads, float lr,
 
 DenseMomentum::DenseMomentum(const std::vector<std::size_t>& layer_sizes,
                              float momentum)
-    : WorkerAlgorithm(Method::kMSGD), m_(momentum), u_(make_layered(layer_sizes)) {}
+    : WorkerAlgorithm(Method::kMSGD, sparse::Codec::kDense),
+      m_(momentum),
+      u_(make_layered(layer_sizes)) {}
 
 sparse::SparseUpdate DenseMomentum::step(const GradViews& grads, float lr,
                                          std::size_t /*epoch*/) {

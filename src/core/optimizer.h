@@ -16,6 +16,7 @@
 #include "core/layered.h"
 #include "core/method.h"
 #include "sparse/codec.h"
+#include "sparse/compressor.h"
 #include "sparse/coo.h"
 #include "sparse/select.h"
 
@@ -41,16 +42,17 @@ class WorkerAlgorithm {
   /// for the §5.6.2 memory-usage accounting.
   [[nodiscard]] virtual std::size_t state_bytes() const noexcept = 0;
 
-  /// True if the update should be wire-encoded densely (ASGD/MSGD).
-  [[nodiscard]] virtual bool prefers_dense_encoding() const noexcept {
-    return false;
-  }
+  /// The upward wire codec this algorithm's updates are packed with: each
+  /// subclass names its Codec at construction and the shared stage from
+  /// sparse/compressor.h does the packing (COO for the sparsifiers, dense
+  /// for ASGD/MSGD, bit-packed ternary formats for the quantizers).
+  [[nodiscard]] sparse::Codec up_codec() const noexcept { return up_codec_; }
 
-  /// Wire-encode the update produced by step(). The default uses the COO
-  /// codec (or the dense codec when prefers_dense_encoding()); quantizing
-  /// algorithms override this with bit-packed formats.
-  [[nodiscard]] virtual sparse::Bytes encode_update(
-      const sparse::SparseUpdate& update) const;
+  /// Wire-encode the update produced by step() with the up_codec() stage.
+  [[nodiscard]] sparse::Bytes encode_update(
+      const sparse::SparseUpdate& update) const {
+    return sparse::compressor_for(up_codec_).encode(update);
+  }
 
   /// Hand a consumed update back for buffer reuse: the workspace pools it
   /// so the next step() reuses the chunk capacity. With the caller
@@ -64,15 +66,16 @@ class WorkerAlgorithm {
   [[nodiscard]] Method method() const noexcept { return method_; }
 
  protected:
-  explicit WorkerAlgorithm(Method method) : method_(method) {}
+  explicit WorkerAlgorithm(Method method,
+                           sparse::Codec up_codec = sparse::Codec::kCoo)
+      : method_(method), up_codec_(up_codec) {}
 
   /// Selection + compaction scratch shared by the sparsifying subclasses.
   sparse::SparsifyWorkspace workspace_;
-  /// Reused dense staging for prefers_dense_encoding() wire encoding.
-  mutable sparse::DenseUpdate dense_scratch_;
 
  private:
   Method method_;
+  sparse::Codec up_codec_;
 };
 
 /// Factory: builds the worker algorithm for `method` with per-layer sizes.
@@ -92,9 +95,6 @@ class DenseSgd final : public WorkerAlgorithm {
   sparse::SparseUpdate step(const GradViews& grads, float lr,
                             std::size_t epoch) override;
   [[nodiscard]] std::size_t state_bytes() const noexcept override { return 0; }
-  [[nodiscard]] bool prefers_dense_encoding() const noexcept override {
-    return true;
-  }
 
  private:
   std::vector<std::size_t> sizes_;
@@ -107,9 +107,6 @@ class DenseMomentum final : public WorkerAlgorithm {
   sparse::SparseUpdate step(const GradViews& grads, float lr,
                             std::size_t epoch) override;
   [[nodiscard]] std::size_t state_bytes() const noexcept override;
-  [[nodiscard]] bool prefers_dense_encoding() const noexcept override {
-    return true;
-  }
 
   [[nodiscard]] const LayeredVec& velocity() const noexcept { return u_; }
 

@@ -39,32 +39,29 @@ sparse::LayerChunk nonzero_chunk(std::uint32_t layer,
 
 TernGradAsync::TernGradAsync(const std::vector<std::size_t>& layer_sizes,
                              std::uint64_t rng_seed)
-    : WorkerAlgorithm(Method::kTernGrad), sizes_(layer_sizes), rng_(rng_seed) {}
+    : WorkerAlgorithm(Method::kTernGrad, sparse::Codec::kTernary),
+      sizes_(layer_sizes),
+      rng_(rng_seed) {}
 
 sparse::SparseUpdate TernGradAsync::step(const GradViews& grads, float lr,
                                          std::size_t /*epoch*/) {
   check_sizes(grads, sizes_);
-  last_quantized_.layers.clear();
   sparse::SparseUpdate update;
   std::vector<float> scaled;
   for (std::size_t j = 0; j < grads.size(); ++j) {
     scaled.assign(grads[j].begin(), grads[j].end());
     util::scale(lr, {scaled.data(), scaled.size()});
-    sparse::TernaryLayer quantized = sparse::ternary_quantize(
+    const sparse::TernaryLayer quantized = sparse::ternary_quantize(
         static_cast<std::uint32_t>(j), {scaled.data(), scaled.size()}, rng_);
     // The server applies exactly what crosses the wire, so the returned
-    // update is the dequantized view of the ternary payload.
+    // update is the dequantized view of the ternary payload — values are
+    // exactly ±scale, which is what lets the kTernary stage re-pack the
+    // chunk into the DGST format losslessly at encode time.
     const std::vector<float> applied = sparse::ternary_dequantize(quantized);
     update.layers.push_back(nonzero_chunk(static_cast<std::uint32_t>(j),
                                           {applied.data(), applied.size()}));
-    last_quantized_.layers.push_back(std::move(quantized));
   }
   return update;
-}
-
-sparse::Bytes TernGradAsync::encode_update(
-    const sparse::SparseUpdate& /*update*/) const {
-  return sparse::encode(last_quantized_);
 }
 
 // ---------------------------------------------------------- RandomDropping
@@ -99,7 +96,7 @@ sparse::SparseUpdate RandomDropping::step(const GradViews& grads, float lr,
 DgsTernary::DgsTernary(const std::vector<std::size_t>& layer_sizes,
                        CompressionConfig compression, float momentum,
                        std::uint64_t rng_seed)
-    : WorkerAlgorithm(Method::kDgsTernary),
+    : WorkerAlgorithm(Method::kDgsTernary, sparse::Codec::kSparseTernary),
       compression_(compression),
       m_(momentum),
       u_(make_layered(layer_sizes)),
@@ -150,11 +147,6 @@ sparse::SparseUpdate DgsTernary::step(const GradViews& grads, float lr,
 
 std::size_t DgsTernary::state_bytes() const noexcept {
   return layered_numel(u_) * sizeof(float);
-}
-
-sparse::Bytes DgsTernary::encode_update(
-    const sparse::SparseUpdate& update) const {
-  return sparse::encode_sparse_ternary(update);
 }
 
 }  // namespace dgs::core

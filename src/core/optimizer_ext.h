@@ -4,9 +4,11 @@
 // DGS + ternary hybrid.
 //
 // Each algorithm still pushes a descent step g (the server applies
-// M_{t+1} = M_t - g), but the wire encoding is overridden to the bit-packed
-// formats from sparse/quantize.h. To keep the server math identical to what
-// crossed the wire, step() returns the *dequantized* values.
+// M_{t+1} = M_t - g), but the upward codec is one of the bit-packed ternary
+// stages from sparse/compressor.h. To keep the server math identical to
+// what crossed the wire, step() returns the *dequantized* values — exactly
+// ±scale per layer — which is what lets the stateless stage re-pack them
+// losslessly at encode time.
 #pragma once
 
 #include "core/optimizer.h"
@@ -25,13 +27,10 @@ class TernGradAsync final : public WorkerAlgorithm {
   sparse::SparseUpdate step(const GradViews& grads, float lr,
                             std::size_t epoch) override;
   [[nodiscard]] std::size_t state_bytes() const noexcept override { return 0; }
-  [[nodiscard]] sparse::Bytes encode_update(
-      const sparse::SparseUpdate& update) const override;
 
  private:
   std::vector<std::size_t> sizes_;
   util::Rng rng_;
-  sparse::TernaryUpdate last_quantized_;  ///< What encode_update() ships.
 };
 
 /// Random coordinate dropping (Wangni et al. 2018): keep each coordinate of
@@ -65,8 +64,6 @@ class DgsTernary final : public WorkerAlgorithm {
   sparse::SparseUpdate step(const GradViews& grads, float lr,
                             std::size_t epoch) override;
   [[nodiscard]] std::size_t state_bytes() const noexcept override;
-  [[nodiscard]] sparse::Bytes encode_update(
-      const sparse::SparseUpdate& update) const override;
 
   [[nodiscard]] const LayeredVec& velocity() const noexcept { return u_; }
 

@@ -1,9 +1,8 @@
 #include "core/payload.h"
 
 #include <stdexcept>
-#include <utility>
+#include <string>
 
-#include "sparse/quantize.h"
 #include "util/math_kernels.h"
 
 namespace dgs::core {
@@ -15,52 +14,10 @@ void check_layer(std::size_t layer, std::size_t dense, const LayeredVec& target)
     throw std::runtime_error("apply_update_payload: layer shape mismatch");
 }
 
-DecodedLayer from_chunk(sparse::LayerChunk chunk) {
-  DecodedLayer segment;
-  segment.sparse = true;
-  segment.chunk = std::move(chunk);
-  return segment;
-}
-
-DecodedLayer from_dense(std::uint32_t layer, std::vector<float> values) {
-  DecodedLayer segment;
-  segment.sparse = false;
-  segment.chunk.layer = layer;
-  segment.chunk.dense_size = static_cast<std::uint32_t>(values.size());
-  segment.dense = std::move(values);
-  return segment;
-}
-
 }  // namespace
 
 DecodedUpdate decode_update(const sparse::Bytes& payload) {
-  DecodedUpdate update;
-  if (sparse::is_ternary_payload(payload)) {
-    sparse::TernaryUpdate ternary = sparse::decode_ternary(payload);
-    update.reserve(ternary.layers.size());
-    for (const auto& tl : ternary.layers)
-      update.push_back(from_dense(tl.layer, sparse::ternary_dequantize(tl)));
-    return update;
-  }
-  if (sparse::is_sparse_ternary_payload(payload)) {
-    sparse::SparseUpdate chunks = sparse::decode_sparse_ternary(payload);
-    update.reserve(chunks.layers.size());
-    for (auto& chunk : chunks.layers)
-      update.push_back(from_chunk(std::move(chunk)));
-    return update;
-  }
-  if (sparse::is_sparse_payload(payload)) {
-    sparse::SparseUpdate chunks = sparse::decode(payload);
-    update.reserve(chunks.layers.size());
-    for (auto& chunk : chunks.layers)
-      update.push_back(from_chunk(std::move(chunk)));
-    return update;
-  }
-  sparse::DenseUpdate dense = sparse::decode_dense(payload);
-  update.reserve(dense.layers.size());
-  for (auto& l : dense.layers)
-    update.push_back(from_dense(l.layer, std::move(l.values)));
-  return update;
+  return sparse::decode_any(payload);
 }
 
 void apply_decoded_layer(const DecodedLayer& segment, LayeredVec& target,
@@ -94,8 +51,12 @@ void apply_update_payload(const sparse::Bytes& payload, LayeredVec& target,
 }
 
 std::vector<float> flatten_dense_payload(const sparse::Bytes& payload) {
-  if (sparse::is_sparse_payload(payload))
-    throw std::runtime_error("flatten_dense_payload: payload is not dense");
+  if (!sparse::is_dense_payload(payload)) {
+    const char* format = sparse::payload_format_name(payload);
+    throw std::runtime_error(
+        std::string("flatten_dense_payload: payload is not dense (format: ") +
+        (format != nullptr ? format : "unknown") + ")");
+  }
   const sparse::DenseUpdate dense = sparse::decode_dense(payload);
   std::vector<float> flat;
   flat.reserve(dense.total_dense());

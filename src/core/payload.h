@@ -1,38 +1,31 @@
 // Decoding and applying wire payloads onto layered state. Shared by the
 // parameter server (async engines) and the synchronous SSGD engine.
 //
-// The sharded server decodes each payload exactly once (decode_update) and
-// then dispatches per-layer segments to shards; apply_update_payload is the
-// one-shot convenience combining decode + apply for the unsharded paths.
+// Decoding dispatches through the versioned wire-format registry in
+// sparse/compressor.h (decode_any), so every format a Compressor stage can
+// emit — including the quantized and SBC downward formats — decodes here,
+// on the push path, the retransmit path and the kFullModel rejoin flow
+// alike. The sharded server decodes each payload exactly once
+// (decode_update) and then dispatches per-layer segments to shards;
+// apply_update_payload is the one-shot convenience combining decode + apply
+// for the unsharded paths.
 #pragma once
 
 #include <vector>
 
 #include "core/layered.h"
 #include "sparse/codec.h"
+#include "sparse/compressor.h"
 
 namespace dgs::core {
 
-/// One decoded per-layer segment of an update payload, normalized across
-/// all wire formats. Sparse formats (COO, sparse-ternary) keep their
-/// index/value chunk; dense formats (dense, ternary) are dequantized into
-/// `dense`. `chunk.layer` / `chunk.dense_size` describe the segment in both
-/// cases.
-struct DecodedLayer {
-  bool sparse = true;
-  sparse::LayerChunk chunk;  ///< Sparse content; layer/dense_size always set.
-  std::vector<float> dense;  ///< Dense values when !sparse.
+/// Normalized per-layer segments of a decoded payload (see
+/// sparse/compressor.h — the registry owns the definition).
+using DecodedLayer = sparse::DecodedLayer;
+using DecodedUpdate = sparse::DecodedUpdate;
 
-  [[nodiscard]] std::uint32_t layer() const noexcept { return chunk.layer; }
-  [[nodiscard]] std::uint32_t dense_size() const noexcept {
-    return chunk.dense_size;
-  }
-};
-
-using DecodedUpdate = std::vector<DecodedLayer>;
-
-/// Decode an encoded update payload (COO sparse, dense, ternary or
-/// sparse-ternary) into per-layer segments. Throws on unknown format.
+/// Decode an encoded update payload (any registered wire format) into
+/// per-layer segments. Throws on unknown format or malformed payload.
 [[nodiscard]] DecodedUpdate decode_update(const sparse::Bytes& payload);
 
 /// Apply one decoded segment: target[layer] += scale * segment.

@@ -39,6 +39,21 @@ ParameterServer::ParameterServer(std::vector<std::size_t> layer_sizes,
   reply_policy_.secondary_compression = options_.secondary_compression;
   reply_policy_.secondary_ratio_percent = options_.secondary_ratio_percent;
   reply_policy_.min_sparsify_size = options_.min_sparsify_size;
+  // Lossy downward modes install the codec stage the shards run on each
+  // reply chunk before charging it to v_k; lossless modes leave it null.
+  switch (options_.down_compress) {
+    case DownCompress::kQ8:
+      reply_policy_.reply_stage = &sparse::compressor_for(sparse::Codec::kQcoo8);
+      break;
+    case DownCompress::kQ4:
+      reply_policy_.reply_stage = &sparse::compressor_for(sparse::Codec::kQcoo4);
+      break;
+    case DownCompress::kSbc:
+      reply_policy_.reply_stage = &sparse::compressor_for(sparse::Codec::kSbc);
+      break;
+    default:
+      break;
+  }
 
   const std::vector<std::size_t> firsts =
       shard_partition(layer_sizes_, options_.num_shards);
@@ -72,6 +87,17 @@ ParameterServer::ParameterServer(std::vector<std::size_t> layer_sizes,
         "server.reply.layer_density", obs::linear_bounds(0.05, 0.05, 20));
     instruments_.reply_bytes = &m.histogram(
         "server.reply.bytes", obs::exponential_bounds(64.0, 2.0, 26));
+    // Codec accounting for the dual-way pipeline: payload bytes per sent
+    // element (the fig. 5 bandwidth metric; 8 = plain COO, 4 = dense f32,
+    // ~1 = SBC), codec times, and the upward push sizes.
+    instruments_.reply_bytes_per_element = &m.histogram(
+        "server.reply.bytes_per_element", obs::linear_bounds(0.5, 0.5, 24));
+    instruments_.reply_encode_us = &m.histogram(
+        "server.reply.encode_us", obs::exponential_bounds(0.5, 2.0, 23));
+    instruments_.push_bytes = &m.histogram(
+        "server.push.bytes", obs::exponential_bounds(64.0, 2.0, 26));
+    instruments_.push_decode_us = &m.histogram(
+        "server.push.decode_us", obs::exponential_bounds(0.5, 2.0, 23));
     instruments_.pushes = &m.counter("server.pushes");
     instruments_.leases_reclaimed = &m.counter("server.leases_reclaimed");
     instruments_.duplicate_pushes = &m.counter("server.duplicate_pushes");
@@ -153,7 +179,7 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
       reply.worker_step = push.worker_step;
       reply.seq = push.seq;
       reply.attempt = push.attempt;
-      reply.payload = sparse::encode(g);
+      reply.payload = encode_reply_payload(g, sparse_nnz);
       return reply;
     }
   }
@@ -164,7 +190,13 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
   std::vector<const DecodedLayer*> by_layer(layer_sizes_.size(), nullptr);
   {
     DGS_TRACE_SCOPE("decode+validate", "server");
+    const bool timed = instruments_.push_decode_us != nullptr;
+    const double decode_begin = timed ? obs::Tracer::now_us() : 0.0;
     decoded = decode_update(push.payload);
+    if (timed) {
+      instruments_.push_decode_us->record(obs::Tracer::now_us() - decode_begin);
+      instruments_.push_bytes->record(static_cast<double>(push.payload.size()));
+    }
     for (const DecodedLayer& segment : decoded) {
       if (segment.layer() >= layer_sizes_.size() ||
           segment.dense_size() != layer_sizes_[segment.layer()])
@@ -217,23 +249,13 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
   reply.seq = push.seq;
   reply.attempt = push.attempt;
 
-  // Wire-format choice: COO costs 8 bytes/entry, dense 4 bytes/entry, so a
-  // model difference that is more than half dense (as it is for ASGD, which
-  // effectively downloads the whole model) ships dense — exactly the
-  // downward bottleneck the paper describes.
   {
     DGS_TRACE_SCOPE("encode_reply", "server");
-    if (sparse_nnz * 2 >= total_numel_ && !options_.secondary_compression) {
-      sparse::DenseUpdate dense;
-      dense.layers.resize(g.layers.size());
-      for (std::size_t j = 0; j < g.layers.size(); ++j) {
-        dense.layers[j].layer = g.layers[j].layer;
-        dense.layers[j].values = sparse::densify(g.layers[j]);
-      }
-      reply.payload = sparse::encode(dense);
-    } else {
-      reply.payload = sparse::encode(g);
-    }
+    const bool timed = instruments_.reply_encode_us != nullptr;
+    const double encode_begin = timed ? obs::Tracer::now_us() : 0.0;
+    reply.payload = encode_reply_payload(g, sparse_nnz);
+    if (timed)
+      instruments_.reply_encode_us->record(obs::Tracer::now_us() - encode_begin);
   }
 
   if (instruments_.staleness != nullptr) {
@@ -244,6 +266,10 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
             ? static_cast<double>(sparse_nnz) / static_cast<double>(total_numel_)
             : 0.0);
     instruments_.reply_bytes->record(static_cast<double>(reply.wire_size()));
+    if (sparse_nnz > 0)
+      instruments_.reply_bytes_per_element->record(
+          static_cast<double>(reply.payload.size()) /
+          static_cast<double>(sparse_nnz));
     for (const auto& chunk : g.layers)
       if (chunk.dense_size > 0)
         instruments_.reply_layer_density->record(
@@ -256,6 +282,31 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
   last_staleness_.store(staleness, std::memory_order_relaxed);
   if (staleness_out != nullptr) *staleness_out = staleness;
   return reply;
+}
+
+sparse::Bytes ParameterServer::encode_reply_payload(
+    const sparse::SparseUpdate& g, std::uint64_t sparse_nnz) const {
+  switch (options_.down_compress) {
+    case DownCompress::kCoo:
+      return sparse::encode(g);
+    case DownCompress::kDense:
+      return sparse::compressor_for(sparse::Codec::kDense).encode(g);
+    case DownCompress::kQ8:
+      return sparse::compressor_for(sparse::Codec::kQcoo8).encode(g);
+    case DownCompress::kQ4:
+      return sparse::compressor_for(sparse::Codec::kQcoo4).encode(g);
+    case DownCompress::kSbc:
+      return sparse::compressor_for(sparse::Codec::kSbc).encode(g);
+    case DownCompress::kAuto:
+      break;
+  }
+  // kAuto wire-format choice: COO costs 8 bytes/entry, dense 4
+  // bytes/entry, so a model difference that is more than half dense (as it
+  // is for ASGD, which effectively downloads the whole model) ships dense —
+  // exactly the downward bottleneck the paper describes.
+  if (sparse_nnz * 2 >= total_numel_ && !options_.secondary_compression)
+    return sparse::compressor_for(sparse::Codec::kDense).encode(g);
+  return sparse::encode(g);
 }
 
 void ParameterServer::touch_lease(std::size_t worker, double now) {

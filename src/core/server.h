@@ -47,6 +47,10 @@ struct ServerOptions {
   /// Layers smaller than this are exempt from secondary compression,
   /// mirroring CompressionConfig::min_sparsify_size on the worker side.
   std::size_t min_sparsify_size = 0;
+  /// Downward reply codec (see CompressionConfig::down_compress). Lossy
+  /// modes install a Compressor stage on the shard reply policy, applied
+  /// before v_k is charged; kFullModel resyncs stay lossless dense.
+  DownCompress down_compress = DownCompress::kAuto;
   /// Worker-lease timeout in seconds (engine time: modeled for the DES,
   /// wall-clock for threads). A worker silent for longer has its v_k
   /// reclaimed by reclaim_expired_leases() and is resynced with a full
@@ -171,6 +175,12 @@ class ParameterServer {
   ServerOptions options_;
   ShardReplyPolicy reply_policy_;
 
+  /// Wire-encode the reply diff per options.down_compress (kAuto keeps the
+  /// density heuristic). Shared by the normal and duplicate push paths so a
+  /// retransmitted reply uses the same format as the original.
+  [[nodiscard]] sparse::Bytes encode_reply_payload(
+      const sparse::SparseUpdate& g, std::uint64_t sparse_nnz) const;
+
   /// Dense theta_t snapshot with v_k := M_t adopted per shard, wrapped as a
   /// kFullModel message (shared by handle_rejoin and the resync path).
   [[nodiscard]] comm::Message build_full_model_reply(std::size_t worker);
@@ -203,6 +213,10 @@ class ParameterServer {
     obs::Histogram* reply_density = nullptr;
     obs::Histogram* reply_layer_density = nullptr;
     obs::Histogram* reply_bytes = nullptr;
+    obs::Histogram* reply_bytes_per_element = nullptr;
+    obs::Histogram* reply_encode_us = nullptr;
+    obs::Histogram* push_bytes = nullptr;
+    obs::Histogram* push_decode_us = nullptr;
     obs::Counter* pushes = nullptr;
     obs::Counter* leases_reclaimed = nullptr;
     obs::Counter* duplicate_pushes = nullptr;

@@ -84,6 +84,12 @@ ServerShard::ReplySegment ServerShard::apply_and_reply(
     sparse::LayerChunk chunk;
     workspace_.sparsify_zero(static_cast<std::uint32_t>(global), diff, ratio,
                              chunk);
+
+    // Lossy downward stage (Alg. 2 secondary compression): rewrite the
+    // chunk to exactly what the decoder will reconstruct *before* v_k is
+    // advanced, so wire and bookkeeping stay bit-identical and the
+    // quantization error remains in M - v_k (residual error feedback).
+    if (policy.reply_stage != nullptr) policy.reply_stage->transform(chunk);
     reply.nnz += chunk.nnz();
 
     // v_{k,t+1} = v_{k,prev} + G (Eq. 6b): add exactly what is being sent.

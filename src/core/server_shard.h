@@ -32,6 +32,12 @@ struct ShardReplyPolicy {
   bool secondary_compression = false;
   double secondary_ratio_percent = 1.0;
   std::size_t min_sparsify_size = 0;
+  /// Optional lossy downward codec stage (q8/q4/sbc). The shard runs
+  /// `reply_stage->transform(chunk)` on each reply chunk *before* charging
+  /// it to v_k, so v_k advances by exactly what the decoder will
+  /// reconstruct (Eq. 6b) and the quantization error stays inside the
+  /// outstanding difference M - v_k. Null = lossless reply.
+  const sparse::Compressor* reply_stage = nullptr;
 };
 
 class ServerShard {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/payload.h"
 #include "nn/loss.h"
 #include "util/math_kernels.h"
 
@@ -72,6 +73,8 @@ void Worker::apply_model_diff(const comm::Message& reply) {
   // theta_{k} += G (Eq. 4/5; SGD() in Algorithm 1/3 applies the decoded
   // difference directly — the learning rate is already inside G).
   if (sparse::is_sparse_payload(reply.payload)) {
+    // Fast path for the dominant reply format: plain COO chunks straight
+    // off the decode.
     const sparse::SparseUpdate g = sparse::decode(reply.payload);
     for (const auto& chunk : g.layers) {
       if (chunk.layer >= params_.size())
@@ -79,13 +82,20 @@ void Worker::apply_model_diff(const comm::Message& reply) {
       auto values = params_[chunk.layer]->value.flat();
       sparse::scatter_add(chunk, 1.0f, values);
     }
-  } else {
-    const sparse::DenseUpdate g = sparse::decode_dense(reply.payload);
-    for (const auto& l : g.layers) {
-      if (l.layer >= params_.size())
-        throw std::runtime_error("worker: reply layer out of range");
-      auto values = params_[l.layer]->value.flat();
-      util::axpy(1.0f, {l.values.data(), l.values.size()}, values);
+    return;
+  }
+  // Everything else — dense, quantized COO, SBC — dispatches through the
+  // versioned wire-format registry.
+  for (const DecodedLayer& segment : decode_update(reply.payload)) {
+    if (segment.layer() >= params_.size())
+      throw std::runtime_error("worker: reply layer out of range");
+    auto values = params_[segment.layer()]->value.flat();
+    if (segment.dense_size() != values.size())
+      throw std::runtime_error("worker: reply layer shape mismatch");
+    if (segment.sparse) {
+      sparse::scatter_add(segment.chunk, 1.0f, values);
+    } else {
+      util::axpy(1.0f, {segment.dense.data(), segment.dense.size()}, values);
     }
   }
 }

@@ -3,55 +3,12 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sparse/wire.h"
+
 namespace dgs::sparse {
 
-namespace {
-
-class Writer {
- public:
-  explicit Writer(Bytes& out) : out_(out) {}
-  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
-  void f32s(std::span<const float> v) { raw(v.data(), v.size() * sizeof(float)); }
-  void u32s(std::span<const std::uint32_t> v) {
-    raw(v.data(), v.size() * sizeof(std::uint32_t));
-  }
-
- private:
-  void raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    out_.insert(out_.end(), b, b + n);
-  }
-  Bytes& out_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
-  std::uint32_t u32() {
-    std::uint32_t v;
-    raw(&v, sizeof(v));
-    return v;
-  }
-  void f32s(std::span<float> v) { raw(v.data(), v.size() * sizeof(float)); }
-  void u32s(std::span<std::uint32_t> v) {
-    raw(v.data(), v.size() * sizeof(std::uint32_t));
-  }
-  [[nodiscard]] bool exhausted() const noexcept { return pos_ == in_.size(); }
-  [[nodiscard]] std::size_t remaining() const noexcept {
-    return in_.size() - pos_;
-  }
-
- private:
-  void raw(void* p, std::size_t n) {
-    if (pos_ + n > in_.size()) throw std::runtime_error("codec: truncated payload");
-    std::memcpy(p, in_.data() + pos_, n);
-    pos_ += n;
-  }
-  std::span<const std::uint8_t> in_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
+using wire::Reader;
+using wire::Writer;
 
 std::size_t encoded_size(const SparseUpdate& update) noexcept {
   std::size_t n = 8;  // magic + num_layers
@@ -121,6 +78,12 @@ std::size_t encoded_size(const DenseUpdate& update) noexcept {
 
 Bytes encode(const DenseUpdate& update) {
   Bytes out;
+  encode_into(update, out);
+  return out;
+}
+
+void encode_into(const DenseUpdate& update, Bytes& out) {
+  out.clear();
   out.reserve(encoded_size(update));
   Writer w(out);
   w.u32(kDenseMagic);
@@ -130,7 +93,6 @@ Bytes encode(const DenseUpdate& update) {
     w.u32(static_cast<std::uint32_t>(l.values.size()));
     w.f32s(l.values);
   }
-  return out;
 }
 
 DenseUpdate decode_dense(std::span<const std::uint8_t> bytes) {
@@ -158,6 +120,13 @@ bool is_sparse_payload(std::span<const std::uint8_t> bytes) noexcept {
   std::uint32_t magic;
   std::memcpy(&magic, bytes.data(), 4);
   return magic == kSparseMagic;
+}
+
+bool is_dense_payload(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), 4);
+  return magic == kDenseMagic;
 }
 
 }  // namespace dgs::sparse

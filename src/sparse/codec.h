@@ -54,9 +54,13 @@ struct DenseUpdate {
 
 [[nodiscard]] std::size_t encoded_size(const DenseUpdate& update) noexcept;
 [[nodiscard]] Bytes encode(const DenseUpdate& update);
+/// Dense counterpart of the sparse encode_into (same capacity-reuse
+/// contract).
+void encode_into(const DenseUpdate& update, Bytes& out);
 [[nodiscard]] DenseUpdate decode_dense(std::span<const std::uint8_t> bytes);
 
 /// Peek at the magic word to distinguish payload kinds.
 [[nodiscard]] bool is_sparse_payload(std::span<const std::uint8_t> bytes) noexcept;
+[[nodiscard]] bool is_dense_payload(std::span<const std::uint8_t> bytes) noexcept;
 
 }  // namespace dgs::sparse

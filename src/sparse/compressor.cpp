@@ -1,0 +1,658 @@
+#include "sparse/compressor.h"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "sparse/quantize.h"
+#include "sparse/wire.h"
+
+namespace dgs::sparse {
+
+namespace {
+
+// ------------------------------------------------------------ DGSQ helpers
+
+/// Smallest power of two >= absmax / qmax (0 when absmax is not positive).
+/// A power-of-two scale makes q * scale exact in f32 for |q| <= qmax, and
+/// survives the encoder's re-derivation (max|val| = qmax * 2^e divides back
+/// to exactly 2^e), so transform / encode / decode all land on the same
+/// bits.
+float pow2_scale(float absmax, long qmax) {
+  if (!(absmax > 0.0f)) return 0.0f;
+  int exp = 0;
+  const float m = std::frexp(absmax / static_cast<float>(qmax), &exp);
+  return std::ldexp(1.0f, m == 0.5f ? exp - 1 : exp);
+}
+
+/// Quantize one value to the [-qmax, qmax] grid. Non-finite values saturate
+/// to the largest magnitude code with their sign bit (the policy in
+/// compressor.h: a poisoned coordinate ships at full scale, never silently
+/// drops).
+long quantize_value(float v, float scale, long qmax) {
+  if (!std::isfinite(v)) return std::signbit(v) ? -qmax : qmax;
+  const long q = std::lround(v / scale);
+  return std::clamp(q, -qmax, qmax);
+}
+
+/// Max |v| over the finite entries (the scale basis for both lossy stages).
+float finite_absmax(std::span<const float> values) noexcept {
+  float absmax = 0.0f;
+  for (float v : values)
+    if (std::isfinite(v)) absmax = std::max(absmax, std::fabs(v));
+  return absmax;
+}
+
+// --------------------------------------------------------- concrete stages
+
+class CooCompressor final : public Compressor {
+ public:
+  [[nodiscard]] Codec codec() const noexcept override { return Codec::kCoo; }
+  void encode_into(const SparseUpdate& update, Bytes& out) const override {
+    sparse::encode_into(update, out);
+  }
+};
+
+class DenseCompressor final : public Compressor {
+ public:
+  [[nodiscard]] Codec codec() const noexcept override { return Codec::kDense; }
+  void encode_into(const SparseUpdate& update, Bytes& out) const override {
+    // The densify staging keeps its per-layer buffers across calls
+    // (thread-local: the stage itself is a shared singleton).
+    static thread_local DenseUpdate scratch;
+    scratch.layers.resize(update.layers.size());
+    for (std::size_t j = 0; j < update.layers.size(); ++j) {
+      scratch.layers[j].layer = update.layers[j].layer;
+      densify_into(update.layers[j], scratch.layers[j].values);
+    }
+    sparse::encode_into(scratch, out);
+  }
+};
+
+class TernaryCompressor final : public Compressor {
+ public:
+  [[nodiscard]] Codec codec() const noexcept override { return Codec::kTernary; }
+  void encode_into(const SparseUpdate& update, Bytes& out) const override {
+    out.clear();
+    std::size_t size = 8;
+    for (const auto& c : update.layers)
+      size += 12 + (static_cast<std::size_t>(c.dense_size) + 3) / 4;
+    out.reserve(size);
+    wire::Writer w(out);
+    w.u32(kTernaryMagic);
+    w.u32(static_cast<std::uint32_t>(update.layers.size()));
+    for (const auto& c : update.layers) {
+      // The ternary contract: all values are +/- one scale per layer (the
+      // quantizer ran in the worker algorithm; this stage only packs).
+      float scale = 0.0f;
+      for (float v : c.val) scale = std::max(scale, std::fabs(v));
+      w.u32(c.layer);
+      w.u32(c.dense_size);
+      w.f32(scale);
+      const std::size_t start = out.size();
+      out.resize(start + (static_cast<std::size_t>(c.dense_size) + 3) / 4, 0);
+      for (std::size_t i = 0; i < c.nnz(); ++i) {
+        const float v = c.val[i];
+        if (std::fabs(std::fabs(v) - scale) >
+            1e-6f * std::max(scale, 1e-20f))
+          throw std::invalid_argument(
+              "ternary compressor: value is not +/- the layer scale");
+        if (c.idx[i] >= c.dense_size)
+          throw std::invalid_argument("ternary compressor: index out of range");
+        const std::uint8_t code = v < 0.0f ? 0b10 : 0b01;
+        out[start + c.idx[i] / 4] |=
+            static_cast<std::uint8_t>(code << ((c.idx[i] % 4) * 2));
+      }
+    }
+  }
+};
+
+class SparseTernaryCompressor final : public Compressor {
+ public:
+  [[nodiscard]] Codec codec() const noexcept override {
+    return Codec::kSparseTernary;
+  }
+  void encode_into(const SparseUpdate& update, Bytes& out) const override {
+    encode_sparse_ternary_into(update, out);
+  }
+};
+
+class QuantCompressor final : public Compressor {
+ public:
+  explicit QuantCompressor(unsigned bits)
+      : bits_(bits), qmax_(bits == 8 ? 127 : 7) {}
+
+  [[nodiscard]] Codec codec() const noexcept override {
+    return bits_ == 8 ? Codec::kQcoo8 : Codec::kQcoo4;
+  }
+  [[nodiscard]] bool lossy() const noexcept override { return true; }
+
+  void transform(LayerChunk& chunk) const override {
+    const float scale =
+        pow2_scale(finite_absmax({chunk.val.data(), chunk.val.size()}), qmax_);
+    if (scale == 0.0f) {  // no finite nonzero magnitude: nothing to send
+      chunk.idx.clear();
+      chunk.val.clear();
+      return;
+    }
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < chunk.nnz(); ++i) {
+      const long q = quantize_value(chunk.val[i], scale, qmax_);
+      if (q == 0) continue;  // rounded to zero: drops out, stays in M - v_k
+      chunk.idx[kept] = chunk.idx[i];
+      chunk.val[kept] = static_cast<float>(q) * scale;
+      ++kept;
+    }
+    chunk.idx.resize(kept);
+    chunk.val.resize(kept);
+  }
+
+  void encode_into(const SparseUpdate& update, Bytes& out) const override {
+    out.clear();
+    out.reserve(encoded_size(update));  // COO size is a safe upper bound
+    wire::Writer w(out);
+    w.u32(kQuantMagic);
+    w.u8(kQuantVersion);
+    w.u8(static_cast<std::uint8_t>(bits_));
+    w.u16(0);
+    w.u32(static_cast<std::uint32_t>(update.layers.size()));
+    for (const auto& c : update.layers) {
+      if (c.idx.size() != c.val.size())
+        throw std::invalid_argument("quant compressor: idx/val size mismatch");
+      const float scale =
+          pow2_scale(finite_absmax({c.val.data(), c.val.size()}), qmax_);
+      // First pass: count surviving codes to pick the cheaper layout.
+      std::size_t nnz = 0;
+      if (scale != 0.0f)
+        for (float v : c.val)
+          if (quantize_value(v, scale, qmax_) != 0) ++nnz;
+      const std::size_t sparse_bytes = nnz * 4 + (nnz * bits_ + 7) / 8;
+      const std::size_t dense_bytes =
+          (static_cast<std::size_t>(c.dense_size) * bits_ + 7) / 8;
+      const std::uint8_t layout = dense_bytes < sparse_bytes ? 1 : 0;
+
+      w.u32(c.layer);
+      w.u32(c.dense_size);
+      w.u32(static_cast<std::uint32_t>(nnz));
+      w.f32(scale);
+      w.u8(layout);
+      w.u8(0);
+      w.u8(0);
+      w.u8(0);
+      if (layout == 0) {
+        for (std::size_t i = 0; i < c.nnz(); ++i) {
+          if (c.idx[i] >= c.dense_size)
+            throw std::invalid_argument("quant compressor: index out of range");
+          if (scale != 0.0f && quantize_value(c.val[i], scale, qmax_) != 0)
+            w.u32(c.idx[i]);
+        }
+        const std::size_t start = out.size();
+        out.resize(start + (nnz * bits_ + 7) / 8, 0);
+        std::size_t slot = 0;
+        if (scale != 0.0f) {
+          for (std::size_t i = 0; i < c.nnz(); ++i) {
+            const long q = quantize_value(c.val[i], scale, qmax_);
+            if (q == 0) continue;
+            put_code(out, start, slot++, static_cast<std::uint8_t>(q + qmax_));
+          }
+        }
+      } else {
+        // Dense layout: every position carries a code; absent entries are
+        // the zero code (qmax). Fill with the zero pattern, then overwrite.
+        const std::size_t start = out.size();
+        const std::uint8_t fill =
+            bits_ == 8 ? static_cast<std::uint8_t>(qmax_)
+                       : static_cast<std::uint8_t>(qmax_ | (qmax_ << 4));
+        out.resize(start + dense_bytes, fill);
+        if (bits_ == 4 && c.dense_size % 2 != 0)
+          out.back() &= 0x0F;  // zero the pad nibble
+        for (std::size_t i = 0; i < c.nnz(); ++i) {
+          if (c.idx[i] >= c.dense_size)
+            throw std::invalid_argument("quant compressor: index out of range");
+          if (scale == 0.0f) continue;  // no finite mass: all-zero codes
+          const long q = quantize_value(c.val[i], scale, qmax_);
+          put_code(out, start, c.idx[i], static_cast<std::uint8_t>(q + qmax_));
+        }
+      }
+    }
+  }
+
+ private:
+  void put_code(Bytes& out, std::size_t start, std::size_t slot,
+                std::uint8_t code) const {
+    if (bits_ == 8) {
+      out[start + slot] = code;
+    } else {
+      std::uint8_t& b = out[start + slot / 2];
+      const unsigned shift = (slot % 2) * 4;
+      b = static_cast<std::uint8_t>((b & ~(0x0F << shift)) | (code << shift));
+    }
+  }
+  unsigned bits_;
+  long qmax_;
+};
+
+class SbcCompressor final : public Compressor {
+ public:
+  [[nodiscard]] Codec codec() const noexcept override { return Codec::kSbc; }
+  [[nodiscard]] bool lossy() const noexcept override { return true; }
+
+  void transform(LayerChunk& chunk) const override {
+    // mu = mean |v| over the finite nonzero entries; every kept entry
+    // becomes +/-mu (non-finite entries keep their sign bit and ship at
+    // mu — visible, per the NaN policy).
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (float v : chunk.val) {
+      if (v == 0.0f || !std::isfinite(v)) continue;
+      sum += std::fabs(static_cast<double>(v));
+      ++n;
+    }
+    const float mu =
+        n > 0 ? static_cast<float>(sum / static_cast<double>(n)) : 0.0f;
+    if (!(mu > 0.0f)) {
+      chunk.idx.clear();
+      chunk.val.clear();
+      return;
+    }
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < chunk.nnz(); ++i) {
+      const float v = chunk.val[i];
+      if (v == 0.0f) continue;
+      chunk.idx[kept] = chunk.idx[i];
+      chunk.val[kept] = std::signbit(v) ? -mu : mu;
+      ++kept;
+    }
+    chunk.idx.resize(kept);
+    chunk.val.resize(kept);
+  }
+
+  void encode_into(const SparseUpdate& update, Bytes& out) const override {
+    out.clear();
+    out.reserve(12 + update.layers.size() * 24 + update.total_nnz() / 4);
+    wire::Writer w(out);
+    w.u32(kSbcMagic);
+    w.u8(kSbcVersion);
+    w.u8(0);
+    w.u16(0);
+    w.u32(static_cast<std::uint32_t>(update.layers.size()));
+    for (const auto& c : update.layers) {
+      if (c.idx.size() != c.val.size())
+        throw std::invalid_argument("sbc compressor: idx/val size mismatch");
+      const std::uint32_t nnz = static_cast<std::uint32_t>(c.nnz());
+      // Derive mu from the first value instead of re-averaging: transform()
+      // already put every entry on +/-mu, and bit-equality (not a
+      // tolerance) is what keeps decode identical to what v_k was charged.
+      const float mu = nnz > 0 ? std::fabs(c.val[0]) : 0.0f;
+      std::uint32_t prev = 0;
+      for (std::size_t i = 0; i < nnz; ++i) {
+        if (c.val[i] != mu && c.val[i] != -mu)
+          throw std::invalid_argument(
+              "sbc compressor: values are not +/- one magnitude "
+              "(call transform first)");
+        if (c.idx[i] >= c.dense_size || (i > 0 && c.idx[i] <= prev))
+          throw std::invalid_argument(
+              "sbc compressor: indices must be ascending and in range");
+        prev = c.idx[i];
+      }
+      const std::uint8_t k = rice_parameter(c);
+      // Exact stream size: sum of (gap >> k) + 1 unary bits + k remainder
+      // bits per entry.
+      std::uint64_t bits = 0;
+      for (std::size_t i = 0; i < nnz; ++i)
+        bits += (gap_at(c, i) >> k) + 1 + k;
+      const auto stream_bytes = static_cast<std::uint32_t>((bits + 7) / 8);
+
+      w.u32(c.layer);
+      w.u32(c.dense_size);
+      w.u32(nnz);
+      w.f32(mu);
+      w.u8(k);
+      w.u8(0);
+      w.u8(0);
+      w.u8(0);
+      w.u32(stream_bytes);
+      const std::size_t sign_start = out.size();
+      out.resize(sign_start + (nnz + 7) / 8, 0);
+      for (std::size_t i = 0; i < nnz; ++i)
+        if (std::signbit(c.val[i]))
+          out[sign_start + i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      wire::BitWriter bw(out);
+      for (std::size_t i = 0; i < nnz; ++i) {
+        const std::uint32_t gap = gap_at(c, i);
+        bw.put_unary(gap >> k);
+        bw.put(gap, k);
+      }
+      bw.finish();
+    }
+  }
+
+ private:
+  /// Stored gap i: idx_0 for the first entry, idx_i - idx_{i-1} - 1 after.
+  static std::uint32_t gap_at(const LayerChunk& c, std::size_t i) noexcept {
+    return i == 0 ? c.idx[0] : c.idx[i] - c.idx[i - 1] - 1;
+  }
+  /// Rice parameter ~ floor(log2(mean gap)): within half a bit of the
+  /// optimum for geometric gaps, which is what top-k index streams are.
+  static std::uint8_t rice_parameter(const LayerChunk& c) noexcept {
+    if (c.nnz() == 0) return 0;
+    const std::uint64_t total =
+        c.idx.back() - (static_cast<std::uint64_t>(c.nnz()) - 1);
+    const std::uint64_t mean = total / c.nnz();
+    if (mean < 2) return 0;
+    return static_cast<std::uint8_t>(
+        std::min<unsigned>(24, std::bit_width(mean) - 1));
+  }
+};
+
+// ----------------------------------------------------------- decode helpers
+
+DecodedLayer from_chunk(LayerChunk chunk) {
+  DecodedLayer segment;
+  segment.sparse = true;
+  segment.chunk = std::move(chunk);
+  return segment;
+}
+
+DecodedLayer from_dense(std::uint32_t layer, std::vector<float> values) {
+  DecodedLayer segment;
+  segment.sparse = false;
+  segment.chunk.layer = layer;
+  segment.chunk.dense_size = static_cast<std::uint32_t>(values.size());
+  segment.dense = std::move(values);
+  return segment;
+}
+
+DecodedUpdate decode_coo_entry(std::span<const std::uint8_t> bytes) {
+  SparseUpdate chunks = decode(bytes);
+  DecodedUpdate update;
+  update.reserve(chunks.layers.size());
+  for (auto& chunk : chunks.layers) update.push_back(from_chunk(std::move(chunk)));
+  return update;
+}
+
+DecodedUpdate decode_dense_entry(std::span<const std::uint8_t> bytes) {
+  DenseUpdate dense = decode_dense(bytes);
+  DecodedUpdate update;
+  update.reserve(dense.layers.size());
+  for (auto& l : dense.layers)
+    update.push_back(from_dense(l.layer, std::move(l.values)));
+  return update;
+}
+
+DecodedUpdate decode_ternary_entry(std::span<const std::uint8_t> bytes) {
+  const TernaryUpdate ternary = decode_ternary(bytes);
+  DecodedUpdate update;
+  update.reserve(ternary.layers.size());
+  for (const auto& tl : ternary.layers)
+    update.push_back(from_dense(tl.layer, ternary_dequantize(tl)));
+  return update;
+}
+
+DecodedUpdate decode_sparse_ternary_entry(std::span<const std::uint8_t> bytes) {
+  SparseUpdate chunks = decode_sparse_ternary(bytes);
+  DecodedUpdate update;
+  update.reserve(chunks.layers.size());
+  for (auto& chunk : chunks.layers) update.push_back(from_chunk(std::move(chunk)));
+  return update;
+}
+
+DecodedUpdate decode_sbc_entry(std::span<const std::uint8_t> bytes) {
+  SparseUpdate chunks = decode_sbc(bytes);
+  DecodedUpdate update;
+  update.reserve(chunks.layers.size());
+  for (auto& chunk : chunks.layers) update.push_back(from_chunk(std::move(chunk)));
+  return update;
+}
+
+// ----------------------------------------------------------- format registry
+
+struct WireFormat {
+  std::uint32_t magic;
+  const char* name;
+  DecodedUpdate (*decode)(std::span<const std::uint8_t>);
+};
+
+/// Dispatch table for every format the system ever shipped. Order is
+/// documentation only; lookup is by magic. The legacy formats are implicit
+/// version 0 (no version byte) and must keep decoding forever — rejoin
+/// snapshots and recorded payloads depend on it.
+constexpr WireFormat kFormats[] = {
+    {kSparseMagic, "coo", decode_coo_entry},
+    {kDenseMagic, "dense", decode_dense_entry},
+    {kTernaryMagic, "ternary", decode_ternary_entry},
+    {kSparseTernaryMagic, "sparse-ternary", decode_sparse_ternary_entry},
+    {kQuantMagic, "qcoo", decode_quantized},
+    {kSbcMagic, "sbc", decode_sbc_entry},
+};
+
+const WireFormat* find_format(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < 4) return nullptr;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), 4);
+  for (const WireFormat& f : kFormats)
+    if (f.magic == magic) return &f;
+  return nullptr;
+}
+
+}  // namespace
+
+const char* codec_name(Codec codec) noexcept {
+  switch (codec) {
+    case Codec::kCoo: return "coo";
+    case Codec::kDense: return "dense";
+    case Codec::kTernary: return "ternary";
+    case Codec::kSparseTernary: return "sparse-ternary";
+    case Codec::kQcoo8: return "q8";
+    case Codec::kQcoo4: return "q4";
+    case Codec::kSbc: return "sbc";
+  }
+  return "?";
+}
+
+Codec parse_codec(const std::string& text) {
+  std::string t = text;
+  std::transform(t.begin(), t.end(), t.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (t == "coo") return Codec::kCoo;
+  if (t == "dense") return Codec::kDense;
+  if (t == "ternary") return Codec::kTernary;
+  if (t == "sparse-ternary" || t == "sternary") return Codec::kSparseTernary;
+  if (t == "q8" || t == "qcoo8") return Codec::kQcoo8;
+  if (t == "q4" || t == "qcoo4") return Codec::kQcoo4;
+  if (t == "sbc") return Codec::kSbc;
+  throw std::invalid_argument("unknown codec: " + text);
+}
+
+const Compressor& compressor_for(Codec codec) {
+  static const CooCompressor coo;
+  static const DenseCompressor dense;
+  static const TernaryCompressor ternary;
+  static const SparseTernaryCompressor sparse_ternary;
+  static const QuantCompressor q8(8);
+  static const QuantCompressor q4(4);
+  static const SbcCompressor sbc;
+  switch (codec) {
+    case Codec::kCoo: return coo;
+    case Codec::kDense: return dense;
+    case Codec::kTernary: return ternary;
+    case Codec::kSparseTernary: return sparse_ternary;
+    case Codec::kQcoo8: return q8;
+    case Codec::kQcoo4: return q4;
+    case Codec::kSbc: return sbc;
+  }
+  throw std::logic_error("compressor_for: unknown codec");
+}
+
+DecodedUpdate decode_any(std::span<const std::uint8_t> bytes) {
+  const WireFormat* format = find_format(bytes);
+  if (format == nullptr)
+    throw std::runtime_error("decode: unknown wire format");
+  return format->decode(bytes);
+}
+
+const char* payload_format_name(std::span<const std::uint8_t> bytes) noexcept {
+  const WireFormat* format = find_format(bytes);
+  return format != nullptr ? format->name : nullptr;
+}
+
+DecodedUpdate decode_quantized(std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  if (r.u32() != kQuantMagic)
+    throw std::runtime_error("quantized decode: bad magic");
+  if (r.u8() != kQuantVersion)
+    throw std::runtime_error("quantized decode: unsupported version");
+  const std::uint8_t bits = r.u8();
+  if (bits != 8 && bits != 4)
+    throw std::runtime_error("quantized decode: bad bit width");
+  if (r.u16() != 0)
+    throw std::runtime_error("quantized decode: nonzero reserved field");
+  const long qmax = bits == 8 ? 127 : 7;
+  const std::uint32_t num_layers = r.u32();
+  if (static_cast<std::size_t>(num_layers) * 20 > r.remaining())
+    throw std::runtime_error("quantized decode: truncated payload");
+
+  auto code_at = [bits](std::span<const std::uint8_t> codes,
+                        std::size_t slot) -> std::uint8_t {
+    if (bits == 8) return codes[slot];
+    return static_cast<std::uint8_t>((codes[slot / 2] >> ((slot % 2) * 4)) &
+                                     0x0F);
+  };
+
+  DecodedUpdate update;
+  update.reserve(num_layers);
+  for (std::uint32_t l = 0; l < num_layers; ++l) {
+    const std::uint32_t layer = r.u32();
+    const std::uint32_t dense_size = r.u32();
+    const std::uint32_t nnz = r.u32();
+    const float scale = r.f32();
+    const std::uint8_t layout = r.u8();
+    if (r.u8() != 0 || r.u8() != 0 || r.u8() != 0)
+      throw std::runtime_error("quantized decode: nonzero reserved field");
+    if (nnz > dense_size)
+      throw std::runtime_error("quantized decode: nnz > dense_size");
+
+    if (layout == 0) {
+      if (static_cast<std::size_t>(nnz) * 4 > r.remaining())
+        throw std::runtime_error("quantized decode: truncated payload");
+      LayerChunk chunk;
+      chunk.layer = layer;
+      chunk.dense_size = dense_size;
+      chunk.idx.resize(nnz);
+      r.u32s(chunk.idx);
+      for (std::uint32_t i : chunk.idx)
+        if (i >= dense_size)
+          throw std::runtime_error("quantized decode: index out of range");
+      const std::span<const std::uint8_t> codes =
+          r.bytes((static_cast<std::size_t>(nnz) * bits + 7) / 8);
+      if (bits == 4 && nnz % 2 != 0 && (codes.back() & 0xF0) != 0)
+        throw std::runtime_error("quantized decode: nonzero nibble padding");
+      chunk.val.resize(nnz);
+      for (std::size_t i = 0; i < nnz; ++i) {
+        const std::uint8_t code = code_at(codes, i);
+        if (code > 2 * qmax)
+          throw std::runtime_error("quantized decode: invalid code");
+        chunk.val[i] =
+            static_cast<float>(static_cast<long>(code) - qmax) * scale;
+      }
+      update.push_back(from_chunk(std::move(chunk)));
+    } else if (layout == 1) {
+      const std::span<const std::uint8_t> codes =
+          r.bytes((static_cast<std::size_t>(dense_size) * bits + 7) / 8);
+      if (bits == 4 && dense_size % 2 != 0 && (codes.back() & 0xF0) != 0)
+        throw std::runtime_error("quantized decode: nonzero nibble padding");
+      std::vector<float> values(dense_size);
+      for (std::size_t i = 0; i < dense_size; ++i) {
+        const std::uint8_t code = code_at(codes, i);
+        if (code > 2 * qmax)
+          throw std::runtime_error("quantized decode: invalid code");
+        values[i] = static_cast<float>(static_cast<long>(code) - qmax) * scale;
+      }
+      update.push_back(from_dense(layer, std::move(values)));
+    } else {
+      throw std::runtime_error("quantized decode: bad layout");
+    }
+  }
+  if (!r.exhausted())
+    throw std::runtime_error("quantized decode: trailing bytes");
+  return update;
+}
+
+SparseUpdate decode_sbc(std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  if (r.u32() != kSbcMagic) throw std::runtime_error("sbc decode: bad magic");
+  if (r.u8() != kSbcVersion)
+    throw std::runtime_error("sbc decode: unsupported version");
+  if (r.u8() != 0 || r.u16() != 0)
+    throw std::runtime_error("sbc decode: nonzero reserved field");
+  const std::uint32_t num_layers = r.u32();
+  if (static_cast<std::size_t>(num_layers) * 24 > r.remaining())
+    throw std::runtime_error("sbc decode: truncated payload");
+
+  SparseUpdate update;
+  update.layers.reserve(num_layers);
+  for (std::uint32_t l = 0; l < num_layers; ++l) {
+    LayerChunk chunk;
+    chunk.layer = r.u32();
+    chunk.dense_size = r.u32();
+    const std::uint32_t nnz = r.u32();
+    const float mu = r.f32();
+    const std::uint8_t k = r.u8();
+    if (r.u8() != 0 || r.u8() != 0 || r.u8() != 0)
+      throw std::runtime_error("sbc decode: nonzero reserved field");
+    const std::uint32_t stream_bytes = r.u32();
+    if (nnz > chunk.dense_size)
+      throw std::runtime_error("sbc decode: nnz > dense_size");
+    if (k > 24) throw std::runtime_error("sbc decode: bad rice parameter");
+
+    const std::span<const std::uint8_t> signs = r.bytes((nnz + 7) / 8);
+    if (nnz % 8 != 0 && !signs.empty() &&
+        (signs.back() & static_cast<std::uint8_t>(0xFF << (nnz % 8))) != 0)
+      throw std::runtime_error("sbc decode: nonzero sign padding");
+    const std::span<const std::uint8_t> stream = r.bytes(stream_bytes);
+
+    wire::BitReader br(stream);
+    chunk.idx.resize(nnz);
+    chunk.val.resize(nnz);
+    std::uint64_t next = 0;  // idx_i = next + gap_i
+    for (std::size_t i = 0; i < nnz; ++i) {
+      // No valid gap exceeds dense_size, so cap the unary run there: a
+      // stream of 0xFF bytes is rejected after at most dense_size bits.
+      const std::uint32_t gap =
+          (br.get_unary(chunk.dense_size >> k) << k) | br.get(k);
+      const std::uint64_t idx = next + gap;
+      if (idx >= chunk.dense_size)
+        throw std::runtime_error("sbc decode: index out of range");
+      chunk.idx[i] = static_cast<std::uint32_t>(idx);
+      const bool negative = (signs[i / 8] >> (i % 8)) & 1u;
+      chunk.val[i] = negative ? -mu : mu;
+      next = idx + 1;
+    }
+    if ((br.consumed() + 7) / 8 != stream_bytes)
+      throw std::runtime_error("sbc decode: stream size mismatch");
+    br.expect_zero_padding();
+    update.layers.push_back(std::move(chunk));
+  }
+  if (!r.exhausted()) throw std::runtime_error("sbc decode: trailing bytes");
+  return update;
+}
+
+bool is_quantized_payload(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), 4);
+  return magic == kQuantMagic;
+}
+
+bool is_sbc_payload(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), 4);
+  return magic == kSbcMagic;
+}
+
+}  // namespace dgs::sparse

@@ -1,0 +1,176 @@
+// The dual-way compression pipeline: one symmetric `Compressor` interface
+// for every wire codec, composed per direction.
+//
+// The paper's point is *dual-way* sparsification: workers compress the
+// upward gradient push, and Algorithm 2 (lines 5-11) has the server
+// secondarily compress the downward model difference G_k = M - v_k. Both
+// directions now flow through the same stateless codec stages:
+//
+//   * upward — each WorkerAlgorithm names its `Codec` and the stage packs
+//     the update it produced (COO, dense, ternary, sparse-ternary);
+//   * downward — the server's reply policy optionally installs a lossy
+//     stage (quantized COO or SBC). The shard calls `transform()` on each
+//     reply chunk *before* charging it to v_k (Eq. 6b), so v_k advances by
+//     exactly what the decoder will reconstruct and the quantization error
+//     stays inside the outstanding difference M - v_k — residual error
+//     feedback for free, the same mechanism that makes top-k sound.
+//
+// Stages are stateless singletons (`compressor_for`); per-call scratch is
+// thread-local or caller-owned, so one stage serves every shard and worker
+// concurrently. `encode_into` clears and refills a caller-owned buffer,
+// reusing its capacity — the steady-state encode loop stops allocating once
+// buffers have warmed up (see select.h for the same idiom).
+//
+// Wire formats. Decoding goes through a versioned format registry
+// (`decode_any`) keyed on the leading u32 magic. The four legacy formats
+// (DGSS/DGSD/DGST/DGSU, see codec.h and quantize.h) carry no version byte
+// and are grandfathered as implicit version 0 — old payloads, checkpoints
+// and kFullModel rejoin snapshots keep decoding bit-identically. The two
+// formats introduced here carry an explicit version byte after the magic:
+//
+//   DGSQ (quantized COO, 8- or 4-bit):
+//     u32 magic 'DGSQ' | u8 version=1 | u8 bits (8|4) | u16 reserved=0 |
+//     u32 num_layers
+//     per layer: u32 layer | u32 dense_size | u32 nnz | f32 scale |
+//                u8 layout | u8[3] reserved=0 | <payload>
+//       layout 0 (sparse): nnz*u32 idx | ceil(nnz*bits/8) code bytes
+//       layout 1 (dense):  ceil(dense_size*bits/8) code bytes
+//     Codes are offset-binary: code = q + qmax with q in [-qmax, qmax]
+//     (qmax = 127 or 7); codes > 2*qmax are invalid. value = (code - qmax)
+//     * scale. The scale is a power of two (smallest 2^e >= absmax/qmax),
+//     which makes q * scale and the scale's own wire round trip exact in
+//     f32 — the decoder reconstructs bit-identically what transform()
+//     produced, at the cost of at most one halving of grid resolution.
+//     The encoder picks the cheaper layout per layer.
+//
+//   DGSB (sparse binary compression, after Sattler et al.'s SBC):
+//     u32 magic 'DGSB' | u8 version=1 | u8 reserved=0 | u16 reserved=0 |
+//     u32 num_layers
+//     per layer: u32 layer | u32 dense_size | u32 nnz | f32 mu |
+//                u8 rice_k | u8[3] reserved=0 | u32 stream_bytes |
+//                ceil(nnz/8) sign bytes (bit set = negative) |
+//                stream_bytes of Golomb-Rice coded index gaps
+//     Values are mean-magnitude signs: transform() replaces every kept
+//     entry with ±mu (mu = mean |v| over finite values). Gaps are
+//     g_0 = idx_0, g_i = idx_i - idx_{i-1} - 1, Rice-coded with parameter
+//     k chosen from the mean gap: ~1 byte/entry at the paper's R=1%
+//     density vs COO's 8.
+//
+// NaN / ±0 policy (matches select.h): exact zeros are never shipped; a
+// non-finite value is never silently dropped — a quantized grid cannot
+// represent NaN, so DGSQ saturates non-finite entries to the largest
+// magnitude code and DGSB ships them as ±mu, keeping the poisoned
+// coordinate visible at the receiver. A layer with no finite nonzero
+// magnitude compresses to an empty chunk (the un-sendable mass stays in
+// M - v_k and is surfaced by the density metrics).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/codec.h"
+#include "sparse/coo.h"
+
+namespace dgs::sparse {
+
+/// Every wire codec a compression stage can target. kCoo..kSparseTernary
+/// pack losslessly what they are handed; kQcoo8/kQcoo4/kSbc are lossy
+/// (transform() is not the identity).
+enum class Codec : std::uint8_t {
+  kCoo,            ///< DGSS: u32 idx + f32 val, 8 bytes/entry.
+  kDense,          ///< DGSD: f32 per element (densifies sparse chunks).
+  kTernary,        ///< DGST: f32 scale + 2 bits/element over the dense size.
+  kSparseTernary,  ///< DGSU: u32 idx + sign bit + f32 scale, ~4.1 B/entry.
+  kQcoo8,          ///< DGSQ: u32 idx + 8-bit quantized value, ~5 B/entry.
+  kQcoo4,          ///< DGSQ: u32 idx + 4-bit quantized value, ~4.5 B/entry.
+  kSbc,            ///< DGSB: Rice-coded gaps + sign bits, ~1 B/entry.
+};
+
+[[nodiscard]] const char* codec_name(Codec codec) noexcept;
+/// Parse "coo" | "dense" | "ternary" | "sparse-ternary" | "q8" | "q4" |
+/// "sbc" (case-insensitive). Throws std::invalid_argument.
+[[nodiscard]] Codec parse_codec(const std::string& text);
+
+inline constexpr std::uint32_t kQuantMagic = 0x44475351;  // 'DGSQ'
+inline constexpr std::uint32_t kSbcMagic = 0x44475342;    // 'DGSB'
+inline constexpr std::uint8_t kQuantVersion = 1;
+inline constexpr std::uint8_t kSbcVersion = 1;
+
+/// One decoded per-layer segment of an update payload, normalized across
+/// all wire formats. Sparse layouts keep their index/value chunk; dense
+/// layouts are materialized into `dense`. `chunk.layer` /
+/// `chunk.dense_size` describe the segment in both cases.
+struct DecodedLayer {
+  bool sparse = true;
+  LayerChunk chunk;          ///< Sparse content; layer/dense_size always set.
+  std::vector<float> dense;  ///< Dense values when !sparse.
+
+  [[nodiscard]] std::uint32_t layer() const noexcept { return chunk.layer; }
+  [[nodiscard]] std::uint32_t dense_size() const noexcept {
+    return chunk.dense_size;
+  }
+};
+
+using DecodedUpdate = std::vector<DecodedLayer>;
+
+/// A stateless codec stage. One instance per Codec serves all threads.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  [[nodiscard]] virtual Codec codec() const noexcept = 0;
+  [[nodiscard]] const char* name() const noexcept { return codec_name(codec()); }
+
+  /// True when transform() may change values (quantizing stages).
+  [[nodiscard]] virtual bool lossy() const noexcept { return false; }
+
+  /// Rewrite the chunk's values to exactly what the decoder will
+  /// reconstruct from this stage's wire format, dropping entries that
+  /// quantize to zero. Idempotent; the identity for lossless stages.
+  /// The server shard applies this *before* charging the reply to v_k, so
+  /// bookkeeping and wire stay bit-identical (Eq. 6b).
+  virtual void transform(LayerChunk& chunk) const { (void)chunk; }
+
+  /// Wire-encode into a caller-owned buffer (cleared, capacity reused).
+  /// Lossy stages quantize while packing, so encode(u) == encode(t) where
+  /// t is a transform()ed copy of u — but only transform() tells the
+  /// caller what the decoder will see.
+  virtual void encode_into(const SparseUpdate& update, Bytes& out) const = 0;
+
+  [[nodiscard]] Bytes encode(const SparseUpdate& update) const {
+    Bytes out;
+    encode_into(update, out);
+    return out;
+  }
+};
+
+/// The stage singleton for a codec (valid for the program lifetime).
+[[nodiscard]] const Compressor& compressor_for(Codec codec);
+
+// ---------------------------------------------------------------------------
+// Versioned wire-format registry. Every payload that crosses the transport
+// — pushes, replies, retransmits, kFullModel rejoin snapshots — dispatches
+// through decode_any on its magic word.
+// ---------------------------------------------------------------------------
+
+/// Decode any registered wire format into normalized per-layer segments.
+/// Throws std::runtime_error on an unknown magic, unsupported version or
+/// malformed payload.
+[[nodiscard]] DecodedUpdate decode_any(std::span<const std::uint8_t> bytes);
+
+/// Registry name for the payload's magic ("coo", "dense", "ternary",
+/// "sparse-ternary", "qcoo", "sbc"), or nullptr when unknown.
+[[nodiscard]] const char* payload_format_name(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+// Direct decoders for the new formats (fuzz tests and tools; decode_any is
+// the production entry point).
+[[nodiscard]] DecodedUpdate decode_quantized(std::span<const std::uint8_t> bytes);
+[[nodiscard]] SparseUpdate decode_sbc(std::span<const std::uint8_t> bytes);
+[[nodiscard]] bool is_quantized_payload(
+    std::span<const std::uint8_t> bytes) noexcept;
+[[nodiscard]] bool is_sbc_payload(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace dgs::sparse

@@ -34,19 +34,29 @@ TernaryLayer ternary_quantize(std::uint32_t layer, std::span<const float> values
   TernaryLayer out;
   out.layer = layer;
   out.dense_size = static_cast<std::uint32_t>(values.size());
+  // Scale over the *finite* magnitudes only: a NaN (or inf) entry must not
+  // poison s for the whole layer, and `max` would silently skip NaN anyway.
   float scale = 0.0f;
-  for (float v : values) scale = std::max(scale, std::fabs(v));
+  for (float v : values)
+    if (std::isfinite(v)) scale = std::max(scale, std::fabs(v));
   out.scale = scale;
   out.packed.assign((values.size() + 3) / 4, 0);
-  if (scale == 0.0f) return out;  // all-zero layer stays all-zero
+  if (scale == 0.0f) return out;  // no finite magnitude: layer ships zero
 
   for (std::size_t i = 0; i < values.size(); ++i) {
     const float v = values[i];
+    if (!std::isfinite(v)) {
+      // NaN/±inf always ships at full scale with its sign bit (the select.h
+      // policy: a poisoned entry is surfaced, never dropped — and
+      // `uniform() < NaN` is false, which would drop it silently).
+      pack2(out.packed, i, std::signbit(v) ? kMinus : kPlus);
+      continue;
+    }
     // b ~ Bernoulli(|v|/s): E[s * sign(v) * b] = v (unbiased).
     const double p = std::fabs(v) / scale;
     if (rng.uniform() < p)
       pack2(out.packed, i, v > 0.0f ? kPlus : kMinus);
-    // else kZero (already zero-initialized)
+    // else kZero (already zero-initialized; exact ±0 has p == 0)
   }
   return out;
 }
@@ -138,12 +148,15 @@ QsgdLayer qsgd_quantize(std::uint32_t layer, std::span<const float> values,
   QsgdLayer out;
   out.layer = layer;
   out.dense_size = static_cast<std::uint32_t>(values.size());
+  // Norm over the finite entries only (one NaN would otherwise zero the
+  // whole layer: NaN norm makes every level comparison false).
   double norm_sq = 0.0;
-  for (float v : values) norm_sq += static_cast<double>(v) * v;
+  for (float v : values)
+    if (std::isfinite(v)) norm_sq += static_cast<double>(v) * v;
   out.norm = static_cast<float>(std::sqrt(norm_sq));
   // 5 bits per element: 1 sign bit + 4 level bits (levels = 15).
   out.packed.assign((values.size() * 5 + 7) / 8, 0);
-  if (out.norm == 0.0f) return out;
+  if (out.norm == 0.0f) return out;  // no finite mass: layer ships zero
 
   auto put_bits = [&](std::size_t bit_pos, std::uint8_t value, int bits) {
     for (int b = 0; b < bits; ++b) {
@@ -155,6 +168,15 @@ QsgdLayer qsgd_quantize(std::uint32_t layer, std::span<const float> values,
 
   for (std::size_t i = 0; i < values.size(); ++i) {
     const float v = values[i];
+    if (!std::isfinite(v)) {
+      // NaN/±inf saturates to the top level with its sign bit — surfaced at
+      // max magnitude, never silently zeroed (the select.h policy).
+      put_bits(i * 5,
+               static_cast<std::uint8_t>((std::signbit(v) ? 1 : 0) |
+                                         (kQsgdLevels << 1)),
+               5);
+      continue;
+    }
     const double ratio = std::fabs(v) / out.norm * kQsgdLevels;
     auto level = static_cast<std::uint32_t>(ratio);  // floor
     const double frac = ratio - level;
@@ -196,7 +218,14 @@ LayerChunk random_drop(std::uint32_t layer, std::span<const float> values,
   chunk.dense_size = static_cast<std::uint32_t>(values.size());
   const auto inv_p = static_cast<float>(1.0 / keep_probability);
   for (std::size_t i = 0; i < values.size(); ++i) {
-    if (values[i] == 0.0f) continue;
+    if (values[i] == 0.0f) continue;  // exact ±0 carries no update
+    // NaN is kept unconditionally (and unscaled — NaN * 1/p is still NaN):
+    // dropping it with probability 1-p would hide a poisoned coordinate.
+    if (std::isnan(values[i])) {
+      chunk.idx.push_back(static_cast<std::uint32_t>(i));
+      chunk.val.push_back(values[i]);
+      continue;
+    }
     if (rng.uniform() < keep_probability) {
       chunk.idx.push_back(static_cast<std::uint32_t>(i));
       chunk.val.push_back(values[i] * inv_p);  // unbiased rescaling
@@ -209,8 +238,12 @@ LayerChunk random_drop(std::uint32_t layer, std::span<const float> values,
 
 namespace dgs::sparse {
 
-std::vector<std::uint8_t> encode_sparse_ternary(const SparseUpdate& update) {
-  std::vector<std::uint8_t> out;
+void encode_sparse_ternary_into(const SparseUpdate& update,
+                                std::vector<std::uint8_t>& out) {
+  out.clear();
+  std::size_t total = 8;  // magic + num_layers
+  for (const auto& c : update.layers) total += 16 + c.nnz() * 4 + (c.nnz() + 7) / 8;
+  out.reserve(total);
   auto put_u32 = [&](std::uint32_t v) {
     const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
     out.insert(out.end(), b, b + 4);
@@ -227,16 +260,22 @@ std::vector<std::uint8_t> encode_sparse_ternary(const SparseUpdate& update) {
     std::memcpy(&scale_bits, &scale, 4);
     put_u32(scale_bits);
     for (std::uint32_t idx : chunk.idx) put_u32(idx);
-    std::vector<std::uint8_t> signs((chunk.nnz() + 7) / 8, 0);
+    const std::size_t sign_base = out.size();
+    out.resize(sign_base + (chunk.nnz() + 7) / 8, 0);
     for (std::size_t i = 0; i < chunk.nnz(); ++i) {
       const float v = chunk.val[i];
       if (std::fabs(std::fabs(v) - scale) > 1e-6f * std::max(scale, 1e-20f))
         throw std::invalid_argument(
             "encode_sparse_ternary: value is not +/- the layer scale");
-      if (v < 0.0f) signs[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      if (v < 0.0f)
+        out[sign_base + i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
     }
-    out.insert(out.end(), signs.begin(), signs.end());
   }
+}
+
+std::vector<std::uint8_t> encode_sparse_ternary(const SparseUpdate& update) {
+  std::vector<std::uint8_t> out;
+  encode_sparse_ternary_into(update, out);
   return out;
 }
 
@@ -301,10 +340,18 @@ LayerChunk ternary_quantize_chunk(const LayerChunk& chunk, util::Rng& rng) {
   out.layer = chunk.layer;
   out.dense_size = chunk.dense_size;
   float scale = 0.0f;
-  for (float v : chunk.val) scale = std::max(scale, std::fabs(v));
-  if (scale == 0.0f) return out;
+  for (float v : chunk.val)
+    if (std::isfinite(v)) scale = std::max(scale, std::fabs(v));
+  if (scale == 0.0f) return out;  // no finite magnitude: nothing ships
   for (std::size_t i = 0; i < chunk.nnz(); ++i) {
     const float v = chunk.val[i];
+    if (!std::isfinite(v)) {
+      // Always ship NaN/±inf at full scale with its sign bit (see
+      // ternary_quantize); `uniform() < NaN` is false and would drop it.
+      out.idx.push_back(chunk.idx[i]);
+      out.val.push_back(std::signbit(v) ? -scale : scale);
+      continue;
+    }
     if (rng.uniform() < std::fabs(v) / scale) {
       out.idx.push_back(chunk.idx[i]);
       out.val.push_back(v > 0.0f ? scale : -scale);

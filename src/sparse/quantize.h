@@ -8,6 +8,16 @@
 //
 // Both quantizers are unbiased: E[dequantize(quantize(x))] == x, which is
 // what keeps SGD convergent under quantization.
+//
+// NaN / ±0 policy (matches the magnitude-ordering contract in select.h):
+// exact zeros never ship — they carry no update. A non-finite value is
+// never silently dropped: the stochastic quantizers always ship NaN/±inf
+// at the layer's full scale (top QSGD level) with the sign taken from the
+// value's sign bit, and random_drop keeps NaN unconditionally, so a
+// poisoned coordinate stays visible at the receiver instead of vanishing
+// behind a `uniform() < NaN == false` comparison. Scales and norms are
+// computed over the *finite* entries only; a layer with no finite
+// magnitude quantizes to all-zero.
 #pragma once
 
 #include <cstdint>
@@ -105,6 +115,11 @@ inline constexpr std::uint32_t kSparseTernaryMagic = 0x44475355;  // 'DGSU'
 /// (zero-valued entries are dropped). Throws if a value is not +/-scale.
 [[nodiscard]] std::vector<std::uint8_t> encode_sparse_ternary(
     const SparseUpdate& update);
+
+/// Same, into a caller-owned buffer (cleared, capacity reused — the
+/// encode_into contract from codec.h).
+void encode_sparse_ternary_into(const SparseUpdate& update,
+                                std::vector<std::uint8_t>& out);
 
 [[nodiscard]] SparseUpdate decode_sparse_ternary(
     std::span<const std::uint8_t> bytes);

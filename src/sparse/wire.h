@@ -1,0 +1,167 @@
+// Shared low-level primitives for the sparse wire formats: little-endian
+// byte readers/writers (lifted out of codec.cpp so every codec stage uses
+// one bounds-checked implementation) and LSB-first bit streams for the
+// Golomb-Rice index coding of the SBC format (compressor.h).
+//
+// Reader/BitReader throw std::runtime_error on any out-of-bounds read, so a
+// truncated or hostile payload is rejected before any oversized allocation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dgs::sparse::wire {
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void f32(float v) { raw(&v, sizeof(v)); }
+  void f32s(std::span<const float> v) { raw(v.data(), v.size() * sizeof(float)); }
+  void u32s(std::span<const std::uint32_t> v) {
+    raw(v.data(), v.size() * sizeof(std::uint32_t));
+  }
+  void bytes(std::span<const std::uint8_t> v) { raw(v.data(), v.size()); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
+  std::uint8_t u8() {
+    std::uint8_t v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  float f32() {
+    float v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  void f32s(std::span<float> v) { raw(v.data(), v.size() * sizeof(float)); }
+  void u32s(std::span<std::uint32_t> v) {
+    raw(v.data(), v.size() * sizeof(std::uint32_t));
+  }
+  /// Borrow the next `n` bytes without copying (for bit streams / sign
+  /// bitmaps); the view stays valid as long as the input payload does.
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (n > remaining()) throw std::runtime_error("codec: truncated payload");
+    const std::span<const std::uint8_t> view = in_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == in_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return in_.size() - pos_;
+  }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    if (n > remaining()) throw std::runtime_error("codec: truncated payload");
+    std::memcpy(p, in_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+/// Appends bits LSB-first within each byte. finish() zero-pads the last
+/// partial byte; bits() is the exact payload bit count (pad excluded).
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void put(std::uint32_t value, unsigned count) {
+    for (unsigned b = 0; b < count; ++b) put_bit((value >> b) & 1u);
+  }
+  void put_unary(std::uint32_t q) {  // q ones terminated by a zero
+    for (std::uint32_t i = 0; i < q; ++i) put_bit(1);
+    put_bit(0);
+  }
+  void finish() {
+    if (fill_ > 0) {
+      out_.push_back(cur_);
+      cur_ = 0;
+      fill_ = 0;
+    }
+  }
+  [[nodiscard]] std::uint64_t bits() const noexcept { return bits_; }
+
+ private:
+  void put_bit(std::uint32_t b) {
+    cur_ |= static_cast<std::uint8_t>((b & 1u) << fill_);
+    if (++fill_ == 8) {
+      out_.push_back(cur_);
+      cur_ = 0;
+      fill_ = 0;
+    }
+    ++bits_;
+  }
+  std::vector<std::uint8_t>& out_;
+  std::uint8_t cur_ = 0;
+  unsigned fill_ = 0;
+  std::uint64_t bits_ = 0;
+};
+
+/// Bounded LSB-first bit reader over a borrowed byte span. Reads past the
+/// end throw (truncated stream); unary runs are capped by the caller so a
+/// stream of 0xFF bytes cannot spin the decoder.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  [[nodiscard]] std::uint32_t get(unsigned count) {
+    std::uint32_t value = 0;
+    for (unsigned b = 0; b < count; ++b) value |= get_bit() << b;
+    return value;
+  }
+  /// Count of 1-bits before the terminating 0; throws when the run exceeds
+  /// `cap` (a corrupt stream, since the caller knows the maximum gap).
+  [[nodiscard]] std::uint32_t get_unary(std::uint32_t cap) {
+    std::uint32_t q = 0;
+    while (get_bit() != 0)
+      if (++q > cap) throw std::runtime_error("codec: unary run too long");
+    return q;
+  }
+  [[nodiscard]] std::uint64_t consumed() const noexcept { return pos_; }
+  /// Every unread bit must be 0 (the writer's zero padding); rejects
+  /// streams carrying trailing garbage.
+  void expect_zero_padding() {
+    while (pos_ < 8 * static_cast<std::uint64_t>(in_.size()))
+      if (get_bit() != 0) throw std::runtime_error("codec: nonzero bit padding");
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t get_bit() {
+    if (pos_ >= 8 * static_cast<std::uint64_t>(in_.size()))
+      throw std::runtime_error("codec: truncated bit stream");
+    const std::uint32_t bit = (in_[pos_ / 8] >> (pos_ % 8)) & 1u;
+    ++pos_;
+    return bit;
+  }
+  std::span<const std::uint8_t> in_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace dgs::sparse::wire

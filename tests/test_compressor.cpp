@@ -1,0 +1,565 @@
+// Tests for the dual-way compression pipeline (sparse/compressor.h):
+// codec naming, the per-stage transform/encode/decode round trips — with
+// the bit-exactness property that the decoder reconstructs exactly what
+// transform() reported (Eq. 6b) — the NaN / signed-zero policy, the SBC
+// Golomb-Rice edge cases, the versioned wire-format registry, and an
+// allocation-counter proof that the lossy encode path stops allocating
+// once its output buffer has warmed up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sparse/codec.h"
+#include "sparse/compressor.h"
+#include "sparse/coo.h"
+#include "sparse/quantize.h"
+#include "util/rng.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (same idiom as test_select.cpp): every operator
+// new in this binary bumps it. The AllocationFree tests must not allocate
+// (including gtest assertions) inside the measured section.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace dgs;
+using namespace dgs::sparse;
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+LayerChunk make_chunk(std::uint32_t layer, std::uint32_t dense_size,
+                      std::vector<std::uint32_t> idx, std::vector<float> val) {
+  LayerChunk c;
+  c.layer = layer;
+  c.dense_size = dense_size;
+  c.idx = std::move(idx);
+  c.val = std::move(val);
+  return c;
+}
+
+SparseUpdate one_layer(LayerChunk chunk) {
+  SparseUpdate u;
+  u.layers.push_back(std::move(chunk));
+  return u;
+}
+
+/// Random sparse chunk with strictly ascending indices (required by SBC).
+LayerChunk random_chunk(std::uint32_t layer, std::uint32_t dense_size,
+                        double density, std::uint64_t seed) {
+  util::Rng rng(seed);
+  LayerChunk c;
+  c.layer = layer;
+  c.dense_size = dense_size;
+  for (std::uint32_t i = 0; i < dense_size; ++i) {
+    if (rng.uniform() >= density) continue;
+    c.idx.push_back(i);
+    const float mag = static_cast<float>(rng.uniform()) * 2.0f + 0.01f;
+    c.val.push_back(rng.uniform() < 0.5 ? -mag : mag);
+  }
+  return c;
+}
+
+/// Apply the stage's transform to a copy of every chunk.
+SparseUpdate transformed(const Compressor& stage, SparseUpdate u) {
+  for (auto& c : u.layers) stage.transform(c);
+  return u;
+}
+
+void expect_chunks_equal(const LayerChunk& a, const LayerChunk& b) {
+  EXPECT_EQ(a.layer, b.layer);
+  EXPECT_EQ(a.dense_size, b.dense_size);
+  ASSERT_EQ(a.idx, b.idx);
+  ASSERT_EQ(a.val.size(), b.val.size());
+  for (std::size_t i = 0; i < a.val.size(); ++i) {
+    if (std::isnan(a.val[i])) {
+      EXPECT_TRUE(std::isnan(b.val[i])) << "entry " << i;
+    } else {
+      // Bitwise equality, not a tolerance: v_k is charged with exactly
+      // these values, so the wire must reproduce them.
+      EXPECT_EQ(a.val[i], b.val[i]) << "entry " << i;
+    }
+  }
+}
+
+/// Densify a decoded segment (sparse or dense) for position-wise checks.
+std::vector<float> segment_dense(const DecodedLayer& segment) {
+  if (!segment.sparse) return segment.dense;
+  return densify(segment.chunk);
+}
+
+// ------------------------------------------------------------ codec naming
+
+TEST(CodecNames, RoundTripThroughParse) {
+  const Codec all[] = {Codec::kCoo,   Codec::kDense, Codec::kTernary,
+                       Codec::kSparseTernary, Codec::kQcoo8, Codec::kQcoo4,
+                       Codec::kSbc};
+  for (Codec codec : all) {
+    EXPECT_EQ(parse_codec(codec_name(codec)), codec) << codec_name(codec);
+  }
+}
+
+TEST(CodecNames, AliasesAndCase) {
+  EXPECT_EQ(parse_codec("QCOO8"), Codec::kQcoo8);
+  EXPECT_EQ(parse_codec("qcoo4"), Codec::kQcoo4);
+  EXPECT_EQ(parse_codec("sternary"), Codec::kSparseTernary);
+  EXPECT_EQ(parse_codec("SBC"), Codec::kSbc);
+  EXPECT_THROW(parse_codec("gzip"), std::invalid_argument);
+  EXPECT_THROW(parse_codec(""), std::invalid_argument);
+}
+
+TEST(CodecNames, StageSingletonsMatchTheirCodec) {
+  const Codec all[] = {Codec::kCoo,   Codec::kDense, Codec::kTernary,
+                       Codec::kSparseTernary, Codec::kQcoo8, Codec::kQcoo4,
+                       Codec::kSbc};
+  for (Codec codec : all) {
+    const Compressor& stage = compressor_for(codec);
+    EXPECT_EQ(stage.codec(), codec);
+    EXPECT_STREQ(stage.name(), codec_name(codec));
+    // Stages are stateless singletons: the same object every time.
+    EXPECT_EQ(&stage, &compressor_for(codec));
+    const bool lossy = codec == Codec::kQcoo8 || codec == Codec::kQcoo4 ||
+                       codec == Codec::kSbc;
+    EXPECT_EQ(stage.lossy(), lossy) << codec_name(codec);
+  }
+}
+
+TEST(CodecNames, LosslessTransformIsIdentity) {
+  for (Codec codec : {Codec::kCoo, Codec::kDense, Codec::kTernary,
+                      Codec::kSparseTernary}) {
+    LayerChunk c = make_chunk(3, 16, {1, 5, 9}, {0.5f, -0.25f, 1.0f});
+    const LayerChunk before = c;
+    compressor_for(codec).transform(c);
+    expect_chunks_equal(before, c);
+  }
+}
+
+// ----------------------------------------------------- lossless stage trips
+
+TEST(LosslessStages, CooRoundTripViaRegistry) {
+  SparseUpdate u = one_layer(random_chunk(0, 200, 0.2, 11));
+  u.layers.push_back(random_chunk(2, 64, 0.5, 12));
+  const Bytes payload = compressor_for(Codec::kCoo).encode(u);
+  EXPECT_TRUE(is_sparse_payload(payload));
+  const DecodedUpdate decoded = decode_any(payload);
+  ASSERT_EQ(decoded.size(), 2u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_TRUE(decoded[j].sparse);
+    expect_chunks_equal(u.layers[j], decoded[j].chunk);
+  }
+}
+
+TEST(LosslessStages, DenseStageDensifiesSparseInput) {
+  SparseUpdate u = one_layer(make_chunk(1, 8, {2, 5}, {0.5f, -1.5f}));
+  const Bytes payload = compressor_for(Codec::kDense).encode(u);
+  EXPECT_TRUE(is_dense_payload(payload));
+  const DecodedUpdate decoded = decode_any(payload);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_FALSE(decoded[0].sparse);
+  EXPECT_EQ(decoded[0].layer(), 1u);
+  const std::vector<float> expected = {0, 0, 0.5f, 0, 0, -1.5f, 0, 0};
+  EXPECT_EQ(decoded[0].dense, expected);
+}
+
+TEST(LosslessStages, TernaryStagePacksPreQuantizedValues) {
+  // The ternary contract: the worker algorithm already quantized to
+  // +/- one scale per layer; the stage only packs.
+  const float s = 0.75f;
+  SparseUpdate u = one_layer(make_chunk(0, 10, {0, 3, 9}, {s, -s, s}));
+  const Bytes payload = compressor_for(Codec::kTernary).encode(u);
+  const DecodedUpdate decoded = decode_any(payload);
+  ASSERT_EQ(decoded.size(), 1u);
+  const std::vector<float> dense = segment_dense(decoded[0]);
+  ASSERT_EQ(dense.size(), 10u);
+  EXPECT_EQ(dense[0], s);
+  EXPECT_EQ(dense[3], -s);
+  EXPECT_EQ(dense[9], s);
+  for (std::size_t i : {1u, 2u, 4u, 5u, 6u, 7u, 8u}) EXPECT_EQ(dense[i], 0.0f);
+}
+
+TEST(LosslessStages, TernaryStageRejectsNonTernaryValues) {
+  SparseUpdate u = one_layer(make_chunk(0, 4, {0, 1}, {1.0f, 0.5f}));
+  EXPECT_THROW(compressor_for(Codec::kTernary).encode(u),
+               std::invalid_argument);
+}
+
+TEST(LosslessStages, SparseTernaryRoundTrip) {
+  const float s = 0.125f;
+  SparseUpdate u = one_layer(make_chunk(4, 100, {7, 42, 99}, {-s, s, -s}));
+  const Bytes payload = compressor_for(Codec::kSparseTernary).encode(u);
+  const DecodedUpdate decoded = decode_any(payload);
+  ASSERT_EQ(decoded.size(), 1u);
+  ASSERT_TRUE(decoded[0].sparse);
+  expect_chunks_equal(u.layers[0], decoded[0].chunk);
+}
+
+// --------------------------------------------------------- quantized stages
+
+/// The pipeline property behind Eq. 6b: decode(encode(u)) reconstructs
+/// exactly the values transform() reported — bit-identical, any layout.
+void check_quant_round_trip(Codec codec, const SparseUpdate& u) {
+  const Compressor& stage = compressor_for(codec);
+  const SparseUpdate expected = transformed(stage, u);
+  const DecodedUpdate decoded = decode_any(stage.encode(u));
+  ASSERT_EQ(decoded.size(), u.layers.size());
+  for (std::size_t j = 0; j < decoded.size(); ++j) {
+    EXPECT_EQ(decoded[j].layer(), u.layers[j].layer);
+    EXPECT_EQ(decoded[j].dense_size(), u.layers[j].dense_size);
+    const std::vector<float> got = segment_dense(decoded[j]);
+    const std::vector<float> want = densify(expected.layers[j]);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i], want[i]) << "layer " << j << " position " << i;
+  }
+}
+
+TEST(QuantStage, SparseLayoutRoundTripIsBitExact) {
+  // Low density over a large layer keeps the sparse layout cheaper.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    check_quant_round_trip(Codec::kQcoo8,
+                           one_layer(random_chunk(0, 4096, 0.01, seed)));
+    check_quant_round_trip(Codec::kQcoo4,
+                           one_layer(random_chunk(0, 4096, 0.01, seed + 10)));
+  }
+}
+
+TEST(QuantStage, DenseLayoutRoundTripIsBitExact) {
+  // Density ~1 over a small layer makes the dense code plane cheaper; odd
+  // dense_size exercises the 4-bit pad nibble.
+  SparseUpdate u8 = one_layer(make_chunk(
+      0, 8, {0, 1, 2, 3, 4, 5, 6, 7},
+      {1.0f, -1.0f, 0.5f, -0.5f, 0.25f, -0.25f, 0.75f, -0.75f}));
+  check_quant_round_trip(Codec::kQcoo8, u8);
+  SparseUpdate u4 = one_layer(make_chunk(
+      2, 7, {0, 1, 2, 3, 4, 5, 6},
+      {1.0f, -1.0f, 0.5f, -0.5f, 0.25f, -0.25f, 0.125f}));
+  check_quant_round_trip(Codec::kQcoo4, u4);
+}
+
+TEST(QuantStage, DenseLayoutIsSelectedWhenCheaper) {
+  // dense_size = nnz = 8: sparse layout would cost 8*4 + 8 = 40 bytes of
+  // body, the dense plane costs 8. The decoded segment comes back dense.
+  SparseUpdate u = one_layer(make_chunk(
+      0, 8, {0, 1, 2, 3, 4, 5, 6, 7},
+      {1.0f, -1.0f, 0.5f, -0.5f, 0.25f, -0.25f, 0.75f, -0.75f}));
+  const DecodedUpdate decoded =
+      decode_any(compressor_for(Codec::kQcoo8).encode(u));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_FALSE(decoded[0].sparse);
+
+  // At 1% density the sparse layout wins and the segment stays sparse.
+  const DecodedUpdate sparse_decoded = decode_any(
+      compressor_for(Codec::kQcoo8).encode(one_layer(random_chunk(0, 4096, 0.01, 7))));
+  ASSERT_EQ(sparse_decoded.size(), 1u);
+  EXPECT_TRUE(sparse_decoded[0].sparse);
+}
+
+TEST(QuantStage, PowerOfTwoScaleMakesGridExact) {
+  // absmax = 1.0, qmax = 127: scale = 2^-6; every power-of-two input
+  // lands exactly on the grid, so transform is the identity on them.
+  SparseUpdate u = one_layer(
+      make_chunk(0, 1024, {1, 2, 3, 4}, {1.0f, -0.5f, 0.25f, -0.015625f}));
+  const SparseUpdate t = transformed(compressor_for(Codec::kQcoo8), u);
+  expect_chunks_equal(u.layers[0], t.layers[0]);
+}
+
+TEST(QuantStage, TransformIsIdempotent) {
+  for (Codec codec : {Codec::kQcoo8, Codec::kQcoo4, Codec::kSbc}) {
+    const Compressor& stage = compressor_for(codec);
+    LayerChunk once = random_chunk(0, 512, 0.1, 21);
+    stage.transform(once);
+    LayerChunk twice = once;
+    stage.transform(twice);
+    expect_chunks_equal(once, twice);
+  }
+}
+
+TEST(QuantStage, EncodeMatchesEncodeOfTransformedCopy) {
+  // encode(u) must equal encode(transform(u)): the shard transforms the
+  // chunk it charges to v_k, then the server encodes that same chunk.
+  SparseUpdate u = one_layer(random_chunk(0, 2048, 0.05, 33));
+  for (Codec codec : {Codec::kQcoo8, Codec::kQcoo4}) {
+    const Compressor& stage = compressor_for(codec);
+    EXPECT_EQ(stage.encode(u), stage.encode(transformed(stage, u)));
+  }
+}
+
+TEST(QuantStage, ZeroRoundingEntriesAreDropped) {
+  // absmax 1.0 with qmax 7 gives scale 2^-2; 0.05 rounds to code 0 and
+  // must vanish from the transformed chunk and the wire.
+  SparseUpdate u =
+      one_layer(make_chunk(0, 1000, {5, 500}, {1.0f, 0.05f}));
+  const SparseUpdate t = transformed(compressor_for(Codec::kQcoo4), u);
+  ASSERT_EQ(t.layers[0].nnz(), 1u);
+  EXPECT_EQ(t.layers[0].idx[0], 5u);
+  const DecodedUpdate decoded =
+      decode_any(compressor_for(Codec::kQcoo4).encode(u));
+  ASSERT_TRUE(decoded[0].sparse);
+  expect_chunks_equal(t.layers[0], decoded[0].chunk);
+}
+
+TEST(QuantStage, NonFiniteValuesSaturateWithSign) {
+  // Policy (compressor.h): the grid cannot express NaN/inf, so non-finite
+  // entries ship at the largest magnitude code with their sign bit —
+  // visible at the receiver, never silently dropped.
+  SparseUpdate u = one_layer(
+      make_chunk(0, 1000, {1, 2, 3}, {0.5f, kInf, -kInf}));
+  const SparseUpdate t = transformed(compressor_for(Codec::kQcoo8), u);
+  ASSERT_EQ(t.layers[0].nnz(), 3u);
+  // scale = pow2_scale(0.5, 127) = 2^-7 (smallest power of two >= 0.5/127);
+  // saturated magnitude = 127 * 2^-7.
+  const float sat = 127.0f * std::ldexp(1.0f, -7);
+  EXPECT_EQ(t.layers[0].val[1], sat);
+  EXPECT_EQ(t.layers[0].val[2], -sat);
+  const DecodedUpdate decoded =
+      decode_any(compressor_for(Codec::kQcoo8).encode(u));
+  ASSERT_TRUE(decoded[0].sparse);
+  expect_chunks_equal(t.layers[0], decoded[0].chunk);
+}
+
+TEST(QuantStage, LayerWithNoFiniteMagnitudeBecomesEmpty) {
+  // All-zero or all-non-finite layers have no usable scale: the chunk
+  // compresses to empty and the mass stays in M - v_k.
+  for (float v : {0.0f, kNaN}) {
+    SparseUpdate u = one_layer(make_chunk(0, 64, {1, 2}, {v, v}));
+    const SparseUpdate t = transformed(compressor_for(Codec::kQcoo8), u);
+    EXPECT_EQ(t.layers[0].nnz(), 0u) << "value " << v;
+    const DecodedUpdate decoded =
+        decode_any(compressor_for(Codec::kQcoo8).encode(u));
+    ASSERT_EQ(decoded.size(), 1u);
+    for (float x : segment_dense(decoded[0])) EXPECT_EQ(x, 0.0f);
+  }
+}
+
+TEST(QuantStage, EmptyUpdateAndEmptyLayer) {
+  const DecodedUpdate none =
+      decode_any(compressor_for(Codec::kQcoo8).encode(SparseUpdate{}));
+  EXPECT_TRUE(none.empty());
+  SparseUpdate u = one_layer(make_chunk(3, 32, {}, {}));
+  const DecodedUpdate decoded =
+      decode_any(compressor_for(Codec::kQcoo4).encode(u));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].layer(), 3u);
+  EXPECT_EQ(decoded[0].dense_size(), 32u);
+  for (float x : segment_dense(decoded[0])) EXPECT_EQ(x, 0.0f);
+}
+
+// --------------------------------------------------------------- SBC stage
+
+TEST(SbcStage, TransformProducesMeanMagnitudeSigns) {
+  SparseUpdate u = one_layer(
+      make_chunk(0, 100, {1, 2, 3, 4}, {1.0f, -3.0f, 2.0f, -0.0f}));
+  LayerChunk t = u.layers[0];
+  compressor_for(Codec::kSbc).transform(t);
+  // Exact zeros drop; mu = mean(|1|, |-3|, |2|) = 2.
+  ASSERT_EQ(t.nnz(), 3u);
+  EXPECT_EQ(t.val[0], 2.0f);
+  EXPECT_EQ(t.val[1], -2.0f);
+  EXPECT_EQ(t.val[2], 2.0f);
+}
+
+TEST(SbcStage, NonFiniteValuesShipAsSignedMu) {
+  SparseUpdate u = one_layer(
+      make_chunk(0, 100, {1, 2, 3}, {4.0f, kInf, -kInf}));
+  LayerChunk t = u.layers[0];
+  compressor_for(Codec::kSbc).transform(t);
+  // mu averages the finite magnitudes only (= 4); the poisoned entries
+  // stay visible as +/-mu with their sign bit.
+  ASSERT_EQ(t.nnz(), 3u);
+  EXPECT_EQ(t.val[0], 4.0f);
+  EXPECT_EQ(t.val[1], 4.0f);
+  EXPECT_EQ(t.val[2], -4.0f);
+}
+
+void check_sbc_round_trip(const SparseUpdate& raw) {
+  const Compressor& stage = compressor_for(Codec::kSbc);
+  const SparseUpdate t = transformed(stage, raw);
+  const Bytes payload = stage.encode(t);
+  EXPECT_TRUE(is_sbc_payload(payload));
+  const SparseUpdate decoded = decode_sbc(payload);
+  ASSERT_EQ(decoded.layers.size(), t.layers.size());
+  for (std::size_t j = 0; j < t.layers.size(); ++j)
+    expect_chunks_equal(t.layers[j], decoded.layers[j]);
+  // And via the registry.
+  const DecodedUpdate via_registry = decode_any(payload);
+  ASSERT_EQ(via_registry.size(), t.layers.size());
+  for (std::size_t j = 0; j < t.layers.size(); ++j) {
+    ASSERT_TRUE(via_registry[j].sparse);
+    expect_chunks_equal(t.layers[j], via_registry[j].chunk);
+  }
+}
+
+TEST(SbcStage, RoundTripRandomDensities) {
+  for (double density : {0.01, 0.1, 0.5}) {
+    check_sbc_round_trip(one_layer(random_chunk(0, 5000, density, 5)));
+    check_sbc_round_trip(one_layer(random_chunk(1, 257, density, 6)));
+  }
+}
+
+TEST(SbcStage, RiceEdgeCases) {
+  // First and last positions, a consecutive run (all-zero gaps) and one
+  // huge gap in the same stream.
+  check_sbc_round_trip(one_layer(make_chunk(
+      0, 1u << 20, {0, 1, 2, 3, (1u << 20) - 1},
+      {1.0f, -1.0f, 1.0f, 1.0f, -1.0f})));
+  // Single entry at index 0 (gap 0) and at the far end (maximal gap).
+  check_sbc_round_trip(one_layer(make_chunk(0, 1000, {0}, {2.0f})));
+  check_sbc_round_trip(one_layer(make_chunk(0, 1000, {999}, {-2.0f})));
+  // Fully dense run: every gap is zero, rice parameter 0.
+  check_sbc_round_trip(one_layer(make_chunk(
+      0, 8, {0, 1, 2, 3, 4, 5, 6, 7},
+      {1.0f, 1.0f, -1.0f, 1.0f, -1.0f, -1.0f, 1.0f, 1.0f})));
+}
+
+TEST(SbcStage, EmptyAndMultiLayer) {
+  check_sbc_round_trip(SparseUpdate{});
+  SparseUpdate u;
+  u.layers.push_back(make_chunk(0, 64, {}, {}));  // empty layer
+  u.layers.push_back(random_chunk(1, 300, 0.2, 9));
+  u.layers.push_back(random_chunk(5, 4096, 0.01, 10));
+  check_sbc_round_trip(u);
+}
+
+TEST(SbcStage, EncodeRequiresTransformedValues) {
+  // Values not on +/- one magnitude: the caller skipped transform() and
+  // v_k bookkeeping would diverge from the wire — hard error.
+  SparseUpdate u = one_layer(make_chunk(0, 10, {1, 2}, {1.0f, -2.0f}));
+  EXPECT_THROW(compressor_for(Codec::kSbc).encode(u), std::invalid_argument);
+}
+
+TEST(SbcStage, EncodeRequiresAscendingIndices) {
+  SparseUpdate u = one_layer(make_chunk(0, 10, {5, 3}, {1.0f, -1.0f}));
+  EXPECT_THROW(compressor_for(Codec::kSbc).encode(u), std::invalid_argument);
+  SparseUpdate dup = one_layer(make_chunk(0, 10, {4, 4}, {1.0f, 1.0f}));
+  EXPECT_THROW(compressor_for(Codec::kSbc).encode(dup), std::invalid_argument);
+}
+
+// -------------------------------------------------------- format registry
+
+TEST(FormatRegistry, NamesEveryShippedFormat) {
+  const SparseUpdate sparse_u = one_layer(make_chunk(0, 16, {3}, {1.0f}));
+  EXPECT_STREQ(payload_format_name(encode(sparse_u)), "coo");
+  DenseUpdate dense_u;
+  dense_u.layers.push_back({0, {1.0f, 2.0f}});
+  EXPECT_STREQ(payload_format_name(encode(dense_u)), "dense");
+  const float s = 1.0f;
+  EXPECT_STREQ(payload_format_name(compressor_for(Codec::kTernary)
+                                       .encode(one_layer(make_chunk(
+                                           0, 4, {0}, {s})))),
+               "ternary");
+  EXPECT_STREQ(payload_format_name(compressor_for(Codec::kSparseTernary)
+                                       .encode(one_layer(make_chunk(
+                                           0, 4, {0}, {s})))),
+               "sparse-ternary");
+  EXPECT_STREQ(payload_format_name(
+                   compressor_for(Codec::kQcoo8).encode(sparse_u)),
+               "qcoo");
+  EXPECT_STREQ(
+      payload_format_name(compressor_for(Codec::kSbc).encode(
+          transformed(compressor_for(Codec::kSbc), sparse_u))),
+      "sbc");
+}
+
+TEST(FormatRegistry, UnknownMagicIsRejected) {
+  const Bytes junk = {0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0};
+  EXPECT_EQ(payload_format_name(junk), nullptr);
+  EXPECT_THROW(decode_any(junk), std::runtime_error);
+  const Bytes tiny = {0x44};  // shorter than a magic word
+  EXPECT_EQ(payload_format_name(tiny), nullptr);
+  EXPECT_THROW(decode_any(tiny), std::runtime_error);
+  EXPECT_THROW(decode_any({}), std::runtime_error);
+}
+
+Bytes with_version(Bytes payload, std::uint8_t version) {
+  payload[4] = version;
+  return payload;
+}
+
+TEST(FormatRegistry, FutureVersionsAreRejectedNotMisread) {
+  const SparseUpdate u = one_layer(make_chunk(0, 16, {3}, {1.0f}));
+  const Bytes quant = compressor_for(Codec::kQcoo8).encode(u);
+  EXPECT_THROW(decode_any(with_version(quant, 2)), std::runtime_error);
+  EXPECT_THROW(decode_quantized(with_version(quant, 0)), std::runtime_error);
+  const Bytes sbc = compressor_for(Codec::kSbc).encode(
+      transformed(compressor_for(Codec::kSbc), u));
+  EXPECT_THROW(decode_any(with_version(sbc, 2)), std::runtime_error);
+  EXPECT_THROW(decode_sbc(with_version(sbc, 99)), std::runtime_error);
+}
+
+TEST(FormatRegistry, PayloadKindPredicates) {
+  const SparseUpdate u = one_layer(make_chunk(0, 16, {3}, {1.0f}));
+  const Bytes quant = compressor_for(Codec::kQcoo8).encode(u);
+  EXPECT_TRUE(is_quantized_payload(quant));
+  EXPECT_FALSE(is_sbc_payload(quant));
+  EXPECT_FALSE(is_sparse_payload(quant));
+  EXPECT_FALSE(is_dense_payload(quant));
+  const Bytes sbc = compressor_for(Codec::kSbc).encode(
+      transformed(compressor_for(Codec::kSbc), u));
+  EXPECT_TRUE(is_sbc_payload(sbc));
+  EXPECT_FALSE(is_quantized_payload(sbc));
+  EXPECT_FALSE(is_quantized_payload({}));
+  EXPECT_FALSE(is_sbc_payload({}));
+}
+
+// ------------------------------------------------------- allocation proofs
+
+/// Steady-state encode must reuse the output buffer's capacity: after one
+/// warm-up call, re-encoding the same update allocates nothing.
+std::uint64_t allocations_during_second_encode(const Compressor& stage,
+                                               const SparseUpdate& update) {
+  Bytes out;
+  stage.encode_into(update, out);  // warm-up: buffer grows to payload size
+  const std::uint64_t before =
+      g_allocation_count.load(std::memory_order_relaxed);
+  stage.encode_into(update, out);
+  return g_allocation_count.load(std::memory_order_relaxed) - before;
+}
+
+TEST(AllocationFree, QuantizedEncodeSteadyState) {
+  const SparseUpdate u = one_layer(random_chunk(0, 8192, 0.01, 42));
+  EXPECT_EQ(allocations_during_second_encode(compressor_for(Codec::kQcoo8), u),
+            0u);
+  EXPECT_EQ(allocations_during_second_encode(compressor_for(Codec::kQcoo4), u),
+            0u);
+}
+
+TEST(AllocationFree, SbcEncodeSteadyState) {
+  const Compressor& stage = compressor_for(Codec::kSbc);
+  const SparseUpdate u =
+      transformed(stage, one_layer(random_chunk(0, 8192, 0.01, 43)));
+  EXPECT_EQ(allocations_during_second_encode(stage, u), 0u);
+}
+
+TEST(AllocationFree, CooEncodeSteadyState) {
+  const SparseUpdate u = one_layer(random_chunk(0, 8192, 0.05, 44));
+  EXPECT_EQ(allocations_during_second_encode(compressor_for(Codec::kCoo), u),
+            0u);
+}
+
+}  // namespace

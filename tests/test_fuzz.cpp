@@ -4,10 +4,13 @@
 // deployment, so decoder robustness is a safety property of the system.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <iterator>
 #include <vector>
 
 #include "core/payload.h"
 #include "sparse/codec.h"
+#include "sparse/compressor.h"
 #include "sparse/quantize.h"
 #include "util/rng.h"
 
@@ -40,6 +43,28 @@ TEST(Fuzz, RandomBytesNeverCrashAnyDecoder) {
                     bytes);
     expect_no_crash([](const auto& b) { return sparse::decode_sparse_ternary(b); },
                     bytes);
+    expect_no_crash([](const auto& b) { return sparse::decode_quantized(b); },
+                    bytes);
+    expect_no_crash([](const auto& b) { return sparse::decode_sbc(b); }, bytes);
+    expect_no_crash([](const auto& b) { return sparse::decode_any(b); }, bytes);
+  }
+}
+
+TEST(Fuzz, RandomBytesWithValidMagicNeverCrashRegistry) {
+  // Random bodies behind each registered magic word exercise the per-format
+  // validation paths that pure random bytes rarely reach past the magic.
+  const std::uint32_t magics[] = {
+      sparse::kSparseMagic,  sparse::kDenseMagic,
+      sparse::kTernaryMagic, sparse::kSparseTernaryMagic,
+      sparse::kQuantMagic,   sparse::kSbcMagic,
+  };
+  util::Rng rng(0xF026);
+  for (int trial = 0; trial < 3000; ++trial) {
+    sparse::Bytes bytes = random_bytes(rng, 192);
+    const std::uint32_t magic = magics[rng.below(std::size(magics))];
+    if (bytes.size() < 4) bytes.resize(4);
+    std::memcpy(bytes.data(), &magic, 4);
+    expect_no_crash([](const auto& b) { return sparse::decode_any(b); }, bytes);
   }
 }
 
@@ -128,6 +153,127 @@ TEST(Fuzz, HugeDeclaredSizesAreRejectedNotAllocated) {
   put_u32(0xFFFFFFFF);
   put_u32(0);  // scale bits
   EXPECT_THROW((void)sparse::decode_sparse_ternary(bytes), std::runtime_error);
+
+  // Quantized format: absurd nnz trips the nnz > dense_size check before
+  // the index array is sized.
+  bytes.clear();
+  put_u32(sparse::kQuantMagic);
+  bytes.push_back(sparse::kQuantVersion);
+  bytes.push_back(8);  // bit width
+  bytes.push_back(0);
+  bytes.push_back(0);  // reserved u16
+  put_u32(1);          // one layer
+  put_u32(0);          // layer id
+  put_u32(100);        // dense_size
+  put_u32(0xFFFFFFFF); // absurd nnz
+  bytes.insert(bytes.end(), {0, 0, 0, 0});  // scale f32 = 0
+  bytes.insert(bytes.end(), {0, 0, 0, 0});  // layout + reserved
+  EXPECT_THROW((void)sparse::decode_quantized(bytes), std::runtime_error);
+
+  // SBC: a huge declared layer count must be caught by the remaining-bytes
+  // bound, not reserve gigabytes.
+  bytes.clear();
+  put_u32(sparse::kSbcMagic);
+  bytes.push_back(sparse::kSbcVersion);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  put_u32(0xFFFFFFFF);  // absurd num_layers
+  EXPECT_THROW((void)sparse::decode_sbc(bytes), std::runtime_error);
+}
+
+/// Build one valid payload per lossy format for mutation/truncation sweeps.
+sparse::Bytes valid_payload(sparse::Codec codec) {
+  util::Rng rng(0xF027);
+  sparse::SparseUpdate update;
+  sparse::LayerChunk chunk;
+  chunk.layer = 1;
+  chunk.dense_size = 512;
+  for (std::uint32_t i = 0; i < 512; i += 1 + rng.below(20)) {
+    chunk.idx.push_back(i);
+    chunk.val.push_back(rng.normal(0, 1));
+  }
+  const auto& stage = sparse::compressor_for(codec);
+  stage.transform(chunk);
+  update.layers.push_back(std::move(chunk));
+  return stage.encode(update);
+}
+
+TEST(Fuzz, QuantizedTruncationSweepAlwaysThrowsCleanly) {
+  const sparse::Bytes valid = valid_payload(sparse::Codec::kQcoo8);
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const sparse::Bytes truncated(
+        valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)sparse::decode_quantized(truncated), std::runtime_error)
+        << "length " << len;
+  }
+}
+
+TEST(Fuzz, SbcTruncationSweepAlwaysThrowsCleanly) {
+  // Every prefix of a valid DGSB payload — including mid-header, mid-sign-
+  // bitmap and mid-Rice-stream cuts — must throw, never return a partial
+  // update or over-read.
+  const sparse::Bytes valid = valid_payload(sparse::Codec::kSbc);
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const sparse::Bytes truncated(
+        valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)sparse::decode_sbc(truncated), std::runtime_error)
+        << "length " << len;
+  }
+}
+
+TEST(Fuzz, MutatedLossyPayloadsKeepDecoderInvariants) {
+  util::Rng rng(0xF028);
+  for (const sparse::Codec codec :
+       {sparse::Codec::kQcoo8, sparse::Codec::kQcoo4, sparse::Codec::kSbc}) {
+    const sparse::Bytes valid = valid_payload(codec);
+    for (int trial = 0; trial < 1500; ++trial) {
+      sparse::Bytes mutated = valid;
+      const std::size_t flips = 1 + rng.below(4);
+      for (std::size_t f = 0; f < flips; ++f)
+        mutated[rng.below(mutated.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      try {
+        const auto decoded = sparse::decode_any(mutated);
+        for (const auto& segment : decoded) {
+          if (!segment.sparse) continue;
+          ASSERT_EQ(segment.chunk.idx.size(), segment.chunk.val.size());
+          for (std::uint32_t i : segment.chunk.idx)
+            ASSERT_LT(i, segment.chunk.dense_size);
+        }
+      } catch (const std::exception&) {
+      }
+    }
+  }
+}
+
+TEST(Fuzz, SbcUnaryBombIsRejectedQuickly) {
+  // A Rice stream of solid 0xFF encodes an endless unary run. The decoder
+  // caps the run at dense_size >> k, so the bomb dies in bounded work
+  // instead of spinning through the whole declared stream.
+  sparse::Bytes bytes;
+  auto put_u32 = [&](std::uint32_t v) {
+    const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes.insert(bytes.end(), b, b + 4);
+  };
+  put_u32(sparse::kSbcMagic);
+  bytes.push_back(sparse::kSbcVersion);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  put_u32(1);        // one layer
+  put_u32(0);        // layer id
+  put_u32(1u << 20); // dense_size
+  put_u32(64);       // nnz
+  put_u32(0);        // mu bits (0.0f)
+  bytes.push_back(0);  // rice k = 0
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  put_u32(1u << 16);                   // stream_bytes: 64 KiB of 0xFF
+  bytes.insert(bytes.end(), 8, 0x00);  // sign bitmap for nnz=64
+  bytes.insert(bytes.end(), 1u << 16, 0xFF);
+  EXPECT_THROW((void)sparse::decode_sbc(bytes), std::runtime_error);
 }
 
 }  // namespace

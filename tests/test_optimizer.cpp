@@ -43,7 +43,7 @@ TEST(DenseSgd, ScalesGradientByLearningRate) {
   EXPECT_FLOAT_EQ(g[1], -1.0f);
   EXPECT_FLOAT_EQ(g[2], 1.5f);
   EXPECT_EQ(alg.state_bytes(), 0u);
-  EXPECT_TRUE(alg.prefers_dense_encoding());
+  EXPECT_EQ(alg.up_codec(), dgs::sparse::Codec::kDense);
 }
 
 TEST(DenseSgd, RejectsShapeMismatch) {

@@ -89,6 +89,96 @@ TEST(Payload, RejectsGarbage) {
                std::runtime_error);
 }
 
+TEST(Payload, AppliesQuantizedAndSbc) {
+  // The new downward formats flow through the same dispatch as the legacy
+  // ones: what the stage's transform() reports is exactly what lands.
+  for (const sparse::Codec codec :
+       {sparse::Codec::kQcoo8, sparse::Codec::kQcoo4, sparse::Codec::kSbc}) {
+    LayeredVec target = zeros({16, 8});
+    sparse::SparseUpdate u;
+    sparse::LayerChunk c;
+    c.layer = 1;
+    c.dense_size = 8;
+    c.idx = {0, 3, 7};
+    c.val = {0.5f, -1.0f, 0.25f};
+    const auto& stage = sparse::compressor_for(codec);
+    u.layers.push_back(c);
+    stage.transform(u.layers[0]);
+    core::apply_update_payload(stage.encode(u), target, 1.0f);
+    std::vector<float> expected(8, 0.0f);
+    sparse::scatter_add(u.layers[0], 1.0f, expected);
+    for (std::size_t i = 0; i < 8; ++i)
+      EXPECT_EQ(target[1][i], expected[i]) << sparse::codec_name(codec);
+    for (float x : target[0]) EXPECT_EQ(x, 0.0f);
+  }
+}
+
+TEST(Payload, LegacyFormatsStillDecodeThroughRegistry) {
+  // Grandfathered version-0 payloads (recorded runs, retransmit buffers,
+  // kFullModel rejoin snapshots) must decode forever via decode_update.
+  sparse::SparseUpdate sparse_u;
+  sparse::LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 6;
+  c.idx = {1, 4};
+  c.val = {1.5f, -2.5f};
+  sparse_u.layers.push_back(c);
+
+  const core::DecodedUpdate coo = core::decode_update(sparse::encode(sparse_u));
+  ASSERT_EQ(coo.size(), 1u);
+  EXPECT_TRUE(coo[0].sparse);
+  EXPECT_EQ(coo[0].chunk.idx, c.idx);
+  EXPECT_EQ(coo[0].chunk.val, c.val);
+
+  sparse::DenseUpdate dense_u;
+  dense_u.layers.push_back({2, {1.0f, 2.0f, 3.0f}});
+  const core::DecodedUpdate dense = core::decode_update(sparse::encode(dense_u));
+  ASSERT_EQ(dense.size(), 1u);
+  EXPECT_FALSE(dense[0].sparse);
+  EXPECT_EQ(dense[0].layer(), 2u);
+  EXPECT_EQ(dense[0].dense, dense_u.layers[0].values);
+
+  sparse::SparseUpdate ternary_u;
+  sparse::LayerChunk tc;
+  tc.layer = 0;
+  tc.dense_size = 6;
+  tc.idx = {1, 4};
+  tc.val = {0.5f, -0.5f};  // sparse-ternary requires +/- one scale
+  ternary_u.layers.push_back(tc);
+  const core::DecodedUpdate st =
+      core::decode_update(sparse::encode_sparse_ternary(ternary_u));
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_TRUE(st[0].sparse);
+  EXPECT_EQ(st[0].chunk.idx, tc.idx);
+  EXPECT_EQ(st[0].chunk.val, tc.val);
+}
+
+TEST(Payload, FlattenDenseRoundTripsFullModelSnapshot) {
+  // The kFullModel rejoin snapshot is a dense payload; flatten must
+  // reproduce the flat model bit-exactly and reject non-dense payloads
+  // with the registry's name for them.
+  sparse::DenseUpdate snapshot;
+  snapshot.layers.push_back({0, {1.0f, -2.0f}});
+  snapshot.layers.push_back({1, {0.25f, 0.5f, 0.75f}});
+  const std::vector<float> flat =
+      core::flatten_dense_payload(sparse::encode(snapshot));
+  const std::vector<float> expected = {1.0f, -2.0f, 0.25f, 0.5f, 0.75f};
+  EXPECT_EQ(flat, expected);
+
+  sparse::SparseUpdate sparse_u;
+  sparse::LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 4;
+  c.idx = {0};
+  c.val = {1.0f};
+  sparse_u.layers.push_back(c);
+  EXPECT_THROW(core::flatten_dense_payload(sparse::encode(sparse_u)),
+               std::runtime_error);
+  EXPECT_THROW(core::flatten_dense_payload(
+                   sparse::compressor_for(sparse::Codec::kQcoo8).encode(sparse_u)),
+               std::runtime_error);
+}
+
 // ------------------------------------------------------------------- CSV
 
 TEST(TableCsv, WritesAndEscapes) {

@@ -2,7 +2,9 @@
 // sparse-ternary codec) and the §6 future-work worker algorithms.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/optimizer_ext.h"
@@ -308,6 +310,69 @@ TEST(ExtensionMethods, TernGradMovesFewBytesUpward) {
   ASSERT_EQ(dense.bytes.upward_messages, tern.bytes.upward_messages);
   // ~2 bits vs 32 bits per element upward.
   EXPECT_LT(tern.bytes.upward_bytes, dense.bytes.upward_bytes / 8);
+}
+
+// ------------------------------------------------- NaN / ±0 policy (§14)
+
+TEST(NanPolicy, TernaryShipsNonFiniteAtFullScale) {
+  // The select.h policy: a poisoned gradient is surfaced, never silently
+  // dropped; the scale is computed over finite magnitudes only.
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> v{1.0f, std::nanf(""), -inf, 0.0f, -0.5f};
+  util::Rng rng(21);
+  const auto q = sparse::ternary_quantize(0, v, rng);
+  EXPECT_FLOAT_EQ(q.scale, 1.0f);  // NaN/inf do not poison the scale
+  const auto d = sparse::ternary_dequantize(q);
+  EXPECT_EQ(d[1], q.scale);   // NaN (positive sign bit) ships at +scale
+  EXPECT_EQ(d[2], -q.scale);  // -inf keeps its sign
+  EXPECT_EQ(d[3], 0.0f);      // exact zero never ships
+}
+
+TEST(NanPolicy, TernaryChunkShipsNonFiniteAtFullScale) {
+  const float inf = std::numeric_limits<float>::infinity();
+  sparse::LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 8;
+  c.idx = {0, 3, 5};
+  c.val = {2.0f, std::nanf(""), -inf};
+  util::Rng rng(22);
+  const auto q = sparse::ternary_quantize_chunk(c, rng);
+  for (std::size_t i = 0; i < q.nnz(); ++i) {
+    if (q.idx[i] == 3) EXPECT_EQ(q.val[i], 2.0f);
+    if (q.idx[i] == 5) EXPECT_EQ(q.val[i], -2.0f);
+  }
+  // The non-finite entries are always kept.
+  EXPECT_NE(std::find(q.idx.begin(), q.idx.end(), 3u), q.idx.end());
+  EXPECT_NE(std::find(q.idx.begin(), q.idx.end(), 5u), q.idx.end());
+}
+
+TEST(NanPolicy, QsgdSaturatesNonFiniteToTopLevel) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> v{3.0f, std::nanf(""), -inf, 4.0f};
+  util::Rng rng(23);
+  const auto q = sparse::qsgd_quantize(0, v, rng);
+  EXPECT_FLOAT_EQ(q.norm, 5.0f);  // sqrt(9 + 16): finite entries only
+  const auto d = sparse::qsgd_dequantize(q);
+  EXPECT_EQ(d[1], q.norm);   // top level, positive sign bit
+  EXPECT_EQ(d[2], -q.norm);  // top level, negative
+}
+
+TEST(NanPolicy, RandomDropAlwaysKeepsNaN) {
+  // Even at 1% keep probability the NaN coordinate must always survive,
+  // unscaled (NaN / p is still NaN but the policy is to not touch it).
+  std::vector<float> v(100, 1.0f);
+  v[42] = std::nanf("");
+  v[7] = 0.0f;  // exact zero never ships
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(100 + seed);
+    const auto chunk = sparse::random_drop(0, v, 0.01, rng);
+    const auto it = std::find(chunk.idx.begin(), chunk.idx.end(), 42u);
+    ASSERT_NE(it, chunk.idx.end()) << "seed " << seed;
+    EXPECT_TRUE(std::isnan(
+        chunk.val[static_cast<std::size_t>(it - chunk.idx.begin())]));
+    EXPECT_EQ(std::find(chunk.idx.begin(), chunk.idx.end(), 7u),
+              chunk.idx.end());
+  }
 }
 
 TEST(MethodParse, ExtensionNames) {

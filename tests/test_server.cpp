@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/payload.h"
 #include "core/server.h"
 #include "util/rng.h"
 
@@ -343,6 +344,166 @@ TEST(Server, Eq5HoldsWithShards) {
                   1e-5f)
           << "iter " << iter << " index " << i;
   }
+}
+
+// -------------------------------------------- downward compression (§14)
+
+/// Densify a decoded reply payload (any wire format) onto a flat model.
+std::vector<float> decoded_reply_flat(const dgs::sparse::Bytes& payload,
+                                      const std::vector<std::size_t>& sizes) {
+  std::size_t total = 0;
+  std::vector<std::size_t> offsets;
+  for (std::size_t s : sizes) {
+    offsets.push_back(total);
+    total += s;
+  }
+  std::vector<float> flat(total, 0.0f);
+  for (const DecodedLayer& segment : decode_update(payload)) {
+    if (segment.sparse) {
+      for (std::size_t i = 0; i < segment.chunk.nnz(); ++i)
+        flat[offsets[segment.layer()] + segment.chunk.idx[i]] +=
+            segment.chunk.val[i];
+    } else {
+      for (std::size_t i = 0; i < segment.dense.size(); ++i)
+        flat[offsets[segment.layer()] + i] += segment.dense[i];
+    }
+  }
+  return flat;
+}
+
+TEST(ServerDownCompress, ReplyUsesConfiguredWireFormat) {
+  const std::vector<std::size_t> sizes{32};
+  const struct {
+    DownCompress mode;
+    const char* format;
+  } cases[] = {
+      {DownCompress::kCoo, "coo"},
+      {DownCompress::kDense, "dense"},
+      {DownCompress::kQ8, "qcoo"},
+      {DownCompress::kQ4, "qcoo"},
+      {DownCompress::kSbc, "sbc"},
+  };
+  for (const auto& c : cases) {
+    ServerOptions options;
+    options.num_workers = 1;
+    options.down_compress = c.mode;
+    ParameterServer server(sizes, std::vector<float>(32, 0.0f), options);
+    const Message reply = server.handle_push(make_push(0, single_entry(0, 32, 3, 0.5f)));
+    EXPECT_STREQ(dgs::sparse::payload_format_name(reply.payload), c.format)
+        << down_compress_name(c.mode);
+  }
+}
+
+std::vector<float> flatten(const std::vector<std::vector<float>>& layers) {
+  std::vector<float> flat;
+  for (const auto& layer : layers)
+    flat.insert(flat.end(), layer.begin(), layer.end());
+  return flat;
+}
+
+TEST(ServerDownCompress, VkAdvancesByExactlyTheDecodedReply) {
+  // Eq. 6b with a lossy downward stage: the shard transforms the reply
+  // chunk *before* charging it to v_k, so v_k must advance by exactly what
+  // the worker decodes — bit-exactly — and the quantization error stays in
+  // the outstanding difference M - v_k.
+  const std::vector<std::size_t> sizes{40, 24};
+  dgs::util::Rng rng(7);
+  for (const DownCompress mode :
+       {DownCompress::kQ8, DownCompress::kQ4, DownCompress::kSbc}) {
+    ServerOptions options;
+    options.num_workers = 2;
+    options.down_compress = mode;
+    ParameterServer server(sizes, std::vector<float>(64, 0.0f), options);
+    for (int iter = 0; iter < 20; ++iter) {
+      const int k = static_cast<int>(rng.below(2));
+      SparseUpdate u;
+      for (std::uint32_t j = 0; j < sizes.size(); ++j) {
+        LayerChunk c;
+        c.layer = j;
+        c.dense_size = static_cast<std::uint32_t>(sizes[j]);
+        const auto i1 = static_cast<std::uint32_t>(rng.below(sizes[j] / 2));
+        c.idx = {i1, static_cast<std::uint32_t>(i1 + sizes[j] / 2)};
+        c.val = {rng.normal(0, 0.5f), rng.normal(0, 0.5f)};
+        u.layers.push_back(std::move(c));
+      }
+      const std::vector<float> vk_before =
+          flatten(server.sent_accumulator(static_cast<std::size_t>(k)));
+      const Message reply = server.handle_push(make_push(k, u));
+      const std::vector<float> vk_after =
+          flatten(server.sent_accumulator(static_cast<std::size_t>(k)));
+      const std::vector<float> applied =
+          decoded_reply_flat(reply.payload, sizes);
+      ASSERT_EQ(applied.size(), vk_after.size());
+      for (std::size_t i = 0; i < applied.size(); ++i)
+        ASSERT_EQ(vk_after[i], vk_before[i] + applied[i])
+            << down_compress_name(mode) << " iter " << iter << " index " << i;
+    }
+  }
+}
+
+TEST(ServerDownCompress, LossyResidualDrainsUnderRepeatedReplies) {
+  // The error-feedback property: what quantization withholds stays in
+  // M - v_k and is re-sent on later replies, so with zero-gradient pushes
+  // the outstanding difference contracts toward zero (Q8's grid step
+  // halves the residual bound each round).
+  ServerOptions options;
+  options.num_workers = 1;
+  options.down_compress = DownCompress::kQ8;
+  const std::vector<std::size_t> sizes{16};
+  ParameterServer server(sizes, std::vector<float>(16, 0.0f), options);
+
+  SparseUpdate first;
+  LayerChunk c;
+  c.layer = 0;
+  c.dense_size = 16;
+  dgs::util::Rng rng(11);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    c.idx.push_back(i);
+    c.val.push_back(rng.normal(0, 1));
+  }
+  first.layers.push_back(std::move(c));
+  (void)server.handle_push(make_push(0, first));
+
+  SparseUpdate empty;
+  LayerChunk ec;
+  ec.layer = 0;
+  ec.dense_size = 16;
+  empty.layers.push_back(std::move(ec));
+  for (int round = 0; round < 40; ++round)
+    (void)server.handle_push(make_push(0, empty));
+
+  const auto m = server.accumulated_updates()[0];
+  const auto vk = server.sent_accumulator(0)[0];
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(m[i] - vk[i], 0.0f, 1e-6f) << "index " << i;
+}
+
+TEST(ServerDownCompress, DuplicatePushRepliesInTheSameWireFormat) {
+  // The retransmit/duplicate path shares encode_reply_payload with the
+  // normal path: whichever copy of the reply the worker applies, it is the
+  // same format and its content was charged to v_k.
+  ServerOptions options;
+  options.num_workers = 1;
+  options.down_compress = DownCompress::kSbc;
+  ParameterServer server({8}, std::vector<float>(8, 0.0f), options);
+
+  Message push = make_push(0, single_entry(0, 8, 2, 1.0f));
+  push.seq = 1;
+  const Message reply = server.handle_push(push);
+  EXPECT_STREQ(dgs::sparse::payload_format_name(reply.payload), "sbc");
+
+  bool duplicate = false;
+  const Message again = server.handle_push(push, nullptr, &duplicate);
+  EXPECT_TRUE(duplicate);
+  EXPECT_STREQ(dgs::sparse::payload_format_name(again.payload), "sbc");
+  // And the duplicate's content is still consistent with v_k: everything
+  // it carries was charged before it was sent.
+  const std::vector<float> applied = decoded_reply_flat(again.payload, {8});
+  const std::vector<float> vk = flatten(server.sent_accumulator(0));
+  // After the first reply v_0 held the whole diff; the duplicate re-sends
+  // only newly outstanding mass, which is zero here.
+  for (float v : applied) EXPECT_EQ(v, 0.0f);
+  (void)vk;
 }
 
 }  // namespace
