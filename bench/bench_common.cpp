@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/ledger.h"
 #include "obs/trace.h"
 
 namespace dgs::benchkit {
@@ -147,6 +148,10 @@ bool parse_harness_options(util::Flags& flags, HarnessOptions& options) {
       "metrics-out", "", "append per-run metrics as JSONL to this file");
   options.trace_out = flags.str(
       "trace-out", "", "write Chrome trace JSON (Perfetto) to this file");
+  options.ledger_out = flags.str(
+      "ledger-out", "",
+      "append one run-ledger JSON line per run to this file (see obs/ledger.h "
+      "and scripts/record_trajectory.py)");
   options.fault.seed = static_cast<std::uint64_t>(flags.i64(
       "fault-seed", 0, "fault-injection decision seed (see comm/fault.h)"));
   options.fault.drop_pct =
@@ -184,6 +189,25 @@ bool export_metrics(const HarnessOptions& options,
                  options.metrics_out.c_str());
     return false;
   }
+  return true;
+}
+
+bool export_ledger(const HarnessOptions& options,
+                   const core::RunResult& result, const std::string& run,
+                   const std::string& bench) {
+  if (options.ledger_out.empty()) return false;
+  obs::RunLedger ledger = result.ledger;
+  ledger.run = run;
+  ledger.bench = bench;
+  std::FILE* f = std::fopen(options.ledger_out.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 options.ledger_out.c_str());
+    return false;
+  }
+  const std::string line = ledger.to_json();
+  std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
   return true;
 }
 

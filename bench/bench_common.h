@@ -93,6 +93,7 @@ struct HarnessOptions {
   std::string out_dir;      ///< empty = no CSV output.
   std::string metrics_out;  ///< empty = no JSONL metrics export.
   std::string trace_out;    ///< empty = event tracing stays off.
+  std::string ledger_out;   ///< empty = no run-ledger JSONL export.
   /// Fault injection from --fault-seed / --fault-drop-pct / --fault-dup-pct
   /// / --fault-kill-worker / --fault-kill-step / --fault-lease-s (see
   /// comm/fault.h). Copy into RunSpec::fault to arm a run.
@@ -124,6 +125,15 @@ bool parse_harness_options(util::Flags& flags, HarnessOptions& options);
 /// flag was not given.
 bool export_metrics(const HarnessOptions& options,
                     const core::RunResult& result, const std::string& run);
+
+/// Append one run's ledger (see obs/ledger.h) to --ledger-out as one JSON
+/// line, stamped with `run` (series key, e.g. "w8/DGS") and `bench` (the
+/// harness family, e.g. "table3_cifar_scalability"). These are the records
+/// scripts/record_trajectory.py folds into the committed BENCH_*.json
+/// trajectory. No-op (returns false) when the flag was not given.
+bool export_ledger(const HarnessOptions& options,
+                   const core::RunResult& result, const std::string& run,
+                   const std::string& bench);
 
 /// Write the process-wide trace buffer to --trace-out as Chrome trace JSON
 /// (open in Perfetto / chrome://tracing). Call once, after the last traced

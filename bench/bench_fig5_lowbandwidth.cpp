@@ -149,8 +149,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gate metrics -> %s\n", gate_out.c_str());
   }
 
-  for (const Series& s : series)
+  for (const Series& s : series) {
     benchkit::export_metrics(options, s.result, "fig5/" + s.name);
+    benchkit::export_ledger(options, s.result, "fig5/" + s.name,
+                            "fig5_lowbandwidth");
+  }
   const std::string csv = benchkit::csv_path(options, "fig5_lowbandwidth");
   if (!csv.empty()) curves.write_csv(csv);
   return 0;

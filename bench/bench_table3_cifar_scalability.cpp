@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
   const auto msgd_result = benchkit::run_one(task, data, baseline);
   const double msgd = msgd_result.final_test_accuracy;
   benchkit::export_metrics(options, msgd_result, "w1/MSGD");
+  benchkit::export_ledger(options, msgd_result, "w1/MSGD",
+                          "table3_cifar_scalability");
   std::fprintf(stderr, "MSGD baseline: %.2f%%\n", 100.0 * msgd);
 
   util::Table table({"Workers", "Method", "Paper Top-1", "Paper Delta",
@@ -95,9 +97,11 @@ int main(int argc, char** argv) {
                      util::Table::pct(ours, 2, false),
                      util::Table::pct(ours - 100.0 * msgd, 2),
                      util::Table::num(result.staleness_hist.p95, 1)});
-      benchkit::export_metrics(options, result,
-                               "w" + std::to_string(w) + "/" +
-                                   core::method_name(method));
+      const std::string run_key =
+          "w" + std::to_string(w) + "/" + core::method_name(method);
+      benchkit::export_metrics(options, result, run_key);
+      benchkit::export_ledger(options, result, run_key,
+                              "table3_cifar_scalability");
       std::fprintf(stderr, "w=%lld %s done (%.2f%%)\n",
                    static_cast<long long>(w), core::method_name(method), ours);
     }

@@ -1,6 +1,22 @@
 #!/usr/bin/env python3
 """Performance-regression gate over bench_micro_kernels JSON output.
 
+With ``--trajectory`` the input is instead a ``--ledger-out`` JSONL file
+of RunLedger records (src/obs/ledger.h) and ``--baseline`` is a committed
+trajectory file (BENCH_table3.json / BENCH_fig5.json, written by
+scripts/record_trajectory.py).  Each fresh run is compared against the
+same run key in the trajectory's *last* entry:
+
+* warm step-time p50 must not regress by more than
+  ``--max-step-regression`` (default 0.35, i.e. +35%) -- this is the
+  hard gate, and it only fires when both sides recorded warm steps;
+* the 0.9x time-to-accuracy milestone, final accuracy and bytes per
+  element are reported as advisory deltas (absolute times are only
+  meaningful on the machine that recorded the baseline, and accuracy
+  drift is owned by the accuracy benches);
+* run keys present on only one side are reported, never fatal -- the
+  trajectory survives bench roster changes.
+
 With ``--fig5`` the input is instead the ``--gate-out`` JSON written by
 bench_fig5_lowbandwidth, and the gate checks the dual-way codec
 acceptance criteria (DESIGN.md §14) -- all in-run, machine-independent:
@@ -219,18 +235,136 @@ def check_fig5_baseline(series, baseline, tolerance):
     return drifted
 
 
+def load_ledger_lines(path):
+    """Return {run key: ledger dict} from a --ledger-out JSONL file; later
+    lines win for a repeated key."""
+    ledgers = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                if not isinstance(entry, dict) or "run" not in entry:
+                    raise ValueError(f"line {lineno}: not a ledger object")
+                ledgers[entry["run"]] = entry
+    except (OSError, ValueError) as err:
+        print(f"check_bench: cannot read '{path}': {err}", file=sys.stderr)
+        sys.exit(2)
+    if not ledgers:
+        print(f"check_bench: no ledger lines in '{path}'", file=sys.stderr)
+        sys.exit(2)
+    return ledgers
+
+
+def load_trajectory_tail(path):
+    """Return (sha, {run key: ledger dict}) for the last entry of a
+    committed trajectory file, or (None, {}) when it has no entries yet."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        entries = doc["entries"]
+    except (OSError, ValueError, KeyError) as err:
+        print(f"check_bench: cannot read '{path}': {err}", file=sys.stderr)
+        sys.exit(2)
+    if not entries:
+        return None, {}
+    tail = entries[-1]
+    return tail.get("sha"), tail.get("ledgers", {})
+
+
+def milestone_time(ledger, frac):
+    """Seconds to the first curve point at frac * final accuracy, or None
+    when the run never got there (or recorded no curve)."""
+    for m in ledger.get("milestones", []):
+        if abs(m.get("frac", 0.0) - frac) < 1e-9 and m.get("reached"):
+            return m.get("time_s")
+    return None
+
+
+def check_trajectory(fresh, baseline_sha, baseline, max_step_regression):
+    """Gate fresh ledgers against the last committed trajectory entry;
+    returns the hard-failure count (warm step-time p50 regressions)."""
+    if baseline_sha is None:
+        print("trajectory: baseline has no entries yet; nothing to gate")
+        return 0
+    shared = sorted(set(fresh) & set(baseline))
+    only_fresh = sorted(set(fresh) - set(baseline))
+    only_base = sorted(set(baseline) - set(fresh))
+    print(f"trajectory: {len(shared)} run(s) vs entry {baseline_sha[:12]}")
+    if only_fresh:
+        print(f"note  new run keys (no baseline): {', '.join(only_fresh)}")
+    if only_base:
+        print(f"note  baseline-only run keys: {', '.join(only_base)}")
+    if not shared:
+        print("warn  trajectory shares no run keys with the fresh ledgers")
+        return 0
+
+    failures = 0
+    for run in shared:
+        cur, base = fresh[run], baseline[run]
+
+        # Hard gate: warm step-time p50. Requires warm steps on both sides
+        # (a DGS_TRACE=OFF build records none and is exempt by design).
+        cur_p50 = cur.get("step_us", {}).get("p50", 0.0)
+        base_p50 = base.get("step_us", {}).get("p50", 0.0)
+        if cur.get("warm_steps", 0) > 0 and base.get("warm_steps", 0) > 0 \
+                and base_p50 > 0:
+            delta = cur_p50 / base_p50 - 1.0
+            ok = delta <= max_step_regression
+            print(f"{'ok  ' if ok else 'FAIL'}  {run}: warm step p50 "
+                  f"{cur_p50:.1f} us vs {base_p50:.1f} us ({delta:+.1%}, "
+                  f"allowed <= +{max_step_regression:.0%})")
+            if not ok:
+                failures += 1
+        else:
+            print(f"skip  {run}: warm step gate (no warm steps on one side)")
+
+        # Advisory deltas: time-to-0.9x-accuracy, final accuracy, wire cost.
+        cur_tta = milestone_time(cur, 0.9)
+        base_tta = milestone_time(base, 0.9)
+        if cur_tta is not None and base_tta is not None and base_tta > 0:
+            print(f"      {run}: time-to-0.9x-acc {cur_tta:.2f} s vs "
+                  f"{base_tta:.2f} s ({cur_tta / base_tta - 1.0:+.1%})")
+        elif cur_tta is None and base_tta is not None:
+            print(f"warn  {run}: 0.9x-accuracy milestone no longer reached "
+                  f"(baseline reached it at {base_tta:.2f} s)")
+        acc_delta = (cur.get("final_test_accuracy", 0.0)
+                     - base.get("final_test_accuracy", 0.0))
+        print(f"      {run}: final accuracy {cur.get('final_test_accuracy', 0.0):.4f} "
+              f"({acc_delta:+.4f} vs baseline)")
+        for key in ("up_bytes_per_element", "down_bytes_per_element"):
+            base_v = base.get(key, 0.0)
+            cur_v = cur.get(key, 0.0)
+            if base_v > 0 and cur_v > 0 and abs(cur_v / base_v - 1.0) > 0.05:
+                print(f"warn  {run}: {key} {cur_v:.3f} vs {base_v:.3f} "
+                      f"({cur_v / base_v - 1.0:+.1%}) -- codec change?")
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results",
-                        help="bench_micro_kernels --benchmark_out JSON file, "
-                             "or with --fig5 the bench_fig5_lowbandwidth "
-                             "--gate-out JSON file")
+                        help="bench_micro_kernels --benchmark_out JSON file; "
+                             "with --fig5 the bench_fig5_lowbandwidth "
+                             "--gate-out JSON file; with --trajectory a "
+                             "--ledger-out JSONL file")
     parser.add_argument("--baseline",
-                        help="committed baseline JSON to band-check against")
+                        help="committed baseline JSON to band-check against "
+                             "(required with --trajectory)")
     parser.add_argument("--fig5", action="store_true",
                         help="gate the dual-way codec metrics from "
                              "bench_fig5_lowbandwidth --gate-out instead of "
                              "micro-kernel times")
+    parser.add_argument("--trajectory", action="store_true",
+                        help="gate a --ledger-out JSONL file against the "
+                             "last entry of the committed trajectory given "
+                             "by --baseline (see record_trajectory.py)")
+    parser.add_argument("--max-step-regression", type=float, default=0.35,
+                        help="[--trajectory] allowed warm step-time p50 "
+                             "regression vs the last committed entry "
+                             "(default: %(default)s)")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required in-run fused/reference ratio "
                              "(default: %(default)s)")
@@ -248,7 +382,16 @@ def main(argv=None):
                         help="fail (not just report) on baseline regressions")
     args = parser.parse_args(argv)
 
-    if args.fig5:
+    if args.trajectory:
+        if not args.baseline:
+            print("check_bench: --trajectory requires --baseline",
+                  file=sys.stderr)
+            return 2
+        fresh = load_ledger_lines(args.results)
+        sha, baseline = load_trajectory_tail(args.baseline)
+        failures = check_trajectory(fresh, sha, baseline,
+                                    args.max_step_regression)
+    elif args.fig5:
         series = load_fig5_series(args.results)
         failures = check_fig5(series, args.min_sbc_ratio,
                               args.max_accuracy_drop)

@@ -9,7 +9,10 @@ Checks the schema that Perfetto / chrome://tracing relies on:
     carry ts and scope "t", metadata events name the process or a thread;
   * every X/i event's tid is covered by a thread_name metadata entry, and
     the named tracks include at least one worker, one server thread and one
-    shard (the acceptance shape for bench_server_throughput --trace-out).
+    shard (the acceptance shape for bench_server_throughput --trace-out);
+  * every "phase/*" span (emitted by the obs::PhaseTimer attribution sites)
+    nests inside some non-phase span on the same track -- phase attribution
+    must never claim time outside an enclosing pipeline span.
 
 Usage:
   check_trace.py trace.json                 # validate an existing file
@@ -44,6 +47,8 @@ def validate_trace(path: str, require_tracks: bool) -> None:
     track_names = {}  # tid -> name
     used_tids = set()
     counts = {"M": 0, "X": 0, "i": 0}
+    phase_spans = []  # (tid, ts, end, name)
+    outer_spans = {}  # tid -> [(ts, end)]
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             fail(f"event {i} is not an object")
@@ -72,6 +77,23 @@ def validate_trace(path: str, require_tracks: bool) -> None:
             fail(f"event {i}: complete event without numeric dur")
         if ph == "i" and event.get("s") not in ("t", "p", "g"):
             fail(f"event {i}: instant event without scope")
+        if ph == "X":
+            tid, ts, end = event.get("tid"), event["ts"], event["ts"] + event["dur"]
+            if event["name"].startswith("phase/"):
+                phase_spans.append((tid, ts, end, event["name"]))
+            else:
+                outer_spans.setdefault(tid, []).append((ts, end))
+
+    # Phase-attribution nesting: every phase/* span must sit inside some
+    # non-phase span on its own track (the "compute"/"apply_diff" worker
+    # scopes or the server's handler scopes). A half-microsecond epsilon
+    # absorbs ts rounding in the JSON writer.
+    eps = 0.5
+    for tid, ts, end, name in phase_spans:
+        if not any(o_ts - eps <= ts and end <= o_end + eps
+                   for o_ts, o_end in outer_spans.get(tid, ())):
+            fail(f"phase span {name!r} [{ts}, {end}] on tid {tid} is not "
+                 f"nested inside any non-phase span on that track")
 
     unnamed = used_tids - set(track_names)
     if unnamed:
@@ -86,8 +108,8 @@ def validate_trace(path: str, require_tracks: bool) -> None:
             fail("no complete (X) events recorded")
 
     print(
-        f"check_trace: OK: {counts['X']} spans, {counts['i']} instants, "
-        f"{len(track_names)} named tracks"
+        f"check_trace: OK: {counts['X']} spans ({len(phase_spans)} phase), "
+        f"{counts['i']} instants, {len(track_names)} named tracks"
     )
 
 

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Fold run-ledger JSONL lines into a committed perf-trajectory file.
+
+Each bench invocation with --ledger-out appends one RunLedger JSON line
+per run (see src/obs/ledger.h).  This script groups those lines by run
+key and folds them into a trajectory JSON file (BENCH_table3.json /
+BENCH_fig5.json at the repo root) as one entry per git commit:
+
+    {
+      "schema": 1,
+      "bench": "table3_cifar_scalability",
+      "entries": [
+        {"sha": "...", "date": "YYYY-MM-DD",
+         "ledgers": {"w8/DGS": {...}, "w8/ASGD": {...}}},
+        ...
+      ]
+    }
+
+Entries are append-only and ordered oldest-first; re-recording under the
+same sha replaces that sha's entry in place (so iterating locally before
+committing does not grow the file).  scripts/check_bench.py --trajectory
+gates fresh ledgers against the *last* entry.
+
+Usage:
+    bench_table3_cifar_scalability --ledger-out ledger.jsonl ...
+    python3 scripts/record_trajectory.py ledger.jsonl BENCH_table3.json \
+        [--sha auto] [--date auto] [--bench table3_cifar_scalability]
+
+Exit status: 0 = recorded, 2 = malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+SCHEMA = 1
+
+
+def die(msg: str) -> None:
+    print(f"record_trajectory: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_ledgers(path: str, bench_filter: str | None):
+    """Return (bench, {run: ledger}) from a --ledger-out JSONL file.
+
+    Later lines win for a repeated run key, so re-running a bench into
+    the same file records the freshest numbers.
+    """
+    benches = set()
+    ledgers = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as err:
+                    die(f"{path}:{lineno}: invalid JSON ({err})")
+                if not isinstance(entry, dict) or "run" not in entry:
+                    die(f"{path}:{lineno}: not a ledger object (no 'run')")
+                if entry.get("schema") != SCHEMA:
+                    die(f"{path}:{lineno}: ledger schema "
+                        f"{entry.get('schema')!r} != {SCHEMA}")
+                if bench_filter and entry.get("bench") != bench_filter:
+                    continue
+                benches.add(entry.get("bench", ""))
+                ledgers[entry["run"]] = entry
+    except OSError as err:
+        die(f"cannot read '{path}': {err}")
+    if not ledgers:
+        die(f"no ledger lines in '{path}'"
+            + (f" for bench '{bench_filter}'" if bench_filter else ""))
+    if len(benches) > 1:
+        die(f"'{path}' mixes benches {sorted(benches)}; "
+            "pass --bench to select one")
+    return benches.pop(), ledgers
+
+
+def git_head_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError) as err:
+        die(f"cannot resolve git HEAD (pass --sha explicitly): {err}")
+        raise AssertionError  # unreachable
+
+
+def load_trajectory(path: str, bench: str):
+    if not os.path.exists(path):
+        return {"schema": SCHEMA, "bench": bench, "entries": []}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        die(f"cannot read trajectory '{path}': {err}")
+    if doc.get("schema") != SCHEMA:
+        die(f"'{path}' has schema {doc.get('schema')!r}, expected {SCHEMA}")
+    if doc.get("bench") != bench:
+        die(f"'{path}' records bench {doc.get('bench')!r}, ledger is for "
+            f"{bench!r}")
+    if not isinstance(doc.get("entries"), list):
+        die(f"'{path}' has no entries array")
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("ledger", help="--ledger-out JSONL file from a bench")
+    parser.add_argument("trajectory",
+                        help="committed trajectory JSON to update "
+                             "(created if absent)")
+    parser.add_argument("--bench", default=None,
+                        help="only fold ledger lines from this bench family")
+    parser.add_argument("--sha", default="auto",
+                        help="commit sha for the entry (default: git HEAD)")
+    parser.add_argument("--date", default="auto",
+                        help="entry date, YYYY-MM-DD (default: today)")
+    args = parser.parse_args(argv)
+
+    bench, ledgers = load_ledgers(args.ledger, args.bench)
+    sha = git_head_sha() if args.sha == "auto" else args.sha
+    date = (datetime.date.today().isoformat()
+            if args.date == "auto" else args.date)
+
+    doc = load_trajectory(args.trajectory, bench)
+    entry = {"sha": sha, "date": date, "ledgers": ledgers}
+    replaced = False
+    for i, existing in enumerate(doc["entries"]):
+        if existing.get("sha") == sha:
+            doc["entries"][i] = entry
+            replaced = True
+            break
+    if not replaced:
+        doc["entries"].append(entry)
+
+    with open(args.trajectory, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+    verb = "replaced" if replaced else "appended"
+    print(f"record_trajectory: {verb} entry {sha[:12]} ({date}) with "
+          f"{len(ledgers)} run(s) in {args.trajectory} "
+          f"[{len(doc['entries'])} entries total]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

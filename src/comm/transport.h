@@ -29,6 +29,7 @@
 #include "comm/network.h"
 #include "comm/stats.h"
 #include "obs/metrics.h"
+#include "obs/phase.h"
 #include "obs/trace.h"
 
 namespace dgs::comm {
@@ -101,12 +102,17 @@ class ThreadTransport final : public Transport {
   /// transport records blocking-time histograms: "transport.send_block_us"
   /// (worker blocked in send_push under backpressure), "transport
   /// .recv_wait_us" (server idle waiting for a push) and
-  /// "transport.reply_wait_us" (worker waiting for its reply).
+  /// "transport.reply_wait_us" (worker waiting for its reply). When
+  /// `phases` is non-null (not owned), send blocking and reply waits are
+  /// additionally attributed to Phase::kWire for the calling worker — the
+  /// transport time the worker observes (see obs/phase.h). Server-side
+  /// recv_wait (idle) is deliberately NOT kWire: no worker is waiting on it.
   explicit ThreadTransport(std::size_t num_workers,
                            std::size_t inbox_capacity = 0,
                            obs::MetricsRegistry* metrics = nullptr,
-                           SendRetryPolicy retry = {})
-      : server_inbox_(inbox_capacity), retry_(retry) {
+                           SendRetryPolicy retry = {},
+                           obs::PhaseProfiler* phases = nullptr)
+      : server_inbox_(inbox_capacity), retry_(retry), phases_(phases) {
     bind_metrics(metrics);
     worker_inbox_.reserve(num_workers);
     for (std::size_t k = 0; k < num_workers; ++k)
@@ -132,8 +138,9 @@ class ThreadTransport final : public Transport {
   bool send_push(Message msg) {
     DGS_TRACE_SCOPE("send_push", "transport");
     const std::size_t bytes = msg.wire_size();
-    const double begin =
-        send_block_us_ != nullptr ? obs::Tracer::now_us() : 0.0;
+    const std::int32_t worker_id = msg.worker_id;  // captured before the move
+    const bool timed = send_block_us_ != nullptr || phases_ != nullptr;
+    const double begin = timed ? obs::Tracer::now_us() : 0.0;
     bool sent = false;
     if (retry_.attempts > 0) {
       auto backoff = retry_.initial_backoff;
@@ -152,8 +159,13 @@ class ThreadTransport final : public Transport {
       }
     }
     if (!sent && !server_inbox_.send(std::move(msg))) return false;
-    if (send_block_us_ != nullptr)
-      send_block_us_->record(obs::Tracer::now_us() - begin);
+    if (timed) {
+      const double blocked_us = obs::Tracer::now_us() - begin;
+      if (send_block_us_ != nullptr) send_block_us_->record(blocked_us);
+      if (phases_ != nullptr && worker_id >= 0)
+        phases_->add(static_cast<std::size_t>(worker_id), obs::Phase::kWire,
+                     blocked_us);
+    }
     account_up(bytes);
     return true;
   }
@@ -181,11 +193,15 @@ class ThreadTransport final : public Transport {
   /// Worker side: next reply (kModelDiff or kShutdown), nullopt when closed.
   std::optional<Message> receive_reply(std::size_t worker) {
     DGS_TRACE_SCOPE("wait_reply", "transport");
-    const double begin =
-        reply_wait_us_ != nullptr ? obs::Tracer::now_us() : 0.0;
+    const bool timed = reply_wait_us_ != nullptr || phases_ != nullptr;
+    const double begin = timed ? obs::Tracer::now_us() : 0.0;
     auto msg = worker_inbox_.at(worker)->receive();
-    if (reply_wait_us_ != nullptr)
-      reply_wait_us_->record(obs::Tracer::now_us() - begin);
+    if (timed) {
+      const double waited_us = obs::Tracer::now_us() - begin;
+      if (reply_wait_us_ != nullptr) reply_wait_us_->record(waited_us);
+      if (phases_ != nullptr)
+        phases_->add(worker, obs::Phase::kWire, waited_us);
+    }
     return msg;
   }
 
@@ -196,12 +212,16 @@ class ThreadTransport final : public Transport {
   ChannelStatus receive_reply_for(std::size_t worker, Message& out,
                                   std::chrono::microseconds timeout) {
     DGS_TRACE_SCOPE("wait_reply", "transport");
-    const double begin =
-        reply_wait_us_ != nullptr ? obs::Tracer::now_us() : 0.0;
+    const bool timed = reply_wait_us_ != nullptr || phases_ != nullptr;
+    const double begin = timed ? obs::Tracer::now_us() : 0.0;
     const ChannelStatus status =
         worker_inbox_.at(worker)->receive_for(out, timeout);
-    if (reply_wait_us_ != nullptr && status == ChannelStatus::kOk)
-      reply_wait_us_->record(obs::Tracer::now_us() - begin);
+    if (timed && status == ChannelStatus::kOk) {
+      const double waited_us = obs::Tracer::now_us() - begin;
+      if (reply_wait_us_ != nullptr) reply_wait_us_->record(waited_us);
+      if (phases_ != nullptr)
+        phases_->add(worker, obs::Phase::kWire, waited_us);
+    }
     return status;
   }
 
@@ -236,6 +256,7 @@ class ThreadTransport final : public Transport {
   obs::Histogram* recv_wait_us_ = nullptr;
   obs::Histogram* reply_wait_us_ = nullptr;
   obs::Counter* send_retries_ = nullptr;
+  obs::PhaseProfiler* phases_ = nullptr;  ///< Optional, not owned.
 };
 
 /// Modeled-time transport for the DES and synchronous engines. send_*
@@ -248,10 +269,16 @@ class SimTransport final : public Transport {
   /// records "transport.sim.link_wait_ms": the *modeled* milliseconds each
   /// transfer queued behind earlier ones on the shared NIC (both
   /// directions) — the DES analogue of the thread transport's blocking
-  /// histograms.
+  /// histograms. When `phases` is non-null (not owned), the real
+  /// (wall-clock) cost of each send_push call is attributed to
+  /// Phase::kWire for the sending worker: in a modeled-time engine the
+  /// wire itself is simulated, so the worker's observed transport time is
+  /// just this bookkeeping. send_reply is deliberately NOT attributed —
+  /// it runs in server event context, outside any worker step sample.
   explicit SimTransport(NetworkModel network,
-                        obs::MetricsRegistry* metrics = nullptr)
-      : network_(network) {
+                        obs::MetricsRegistry* metrics = nullptr,
+                        obs::PhaseProfiler* phases = nullptr)
+      : network_(network), phases_(phases) {
     bind_metrics(metrics);
     if (metrics != nullptr)
       link_wait_ms_ = &metrics->histogram(
@@ -260,10 +287,17 @@ class SimTransport final : public Transport {
 
   /// Worker -> server: occupies the shared ingress link, returns arrival.
   double send_push(double now, const Message& msg) {
+    const bool timed = phases_ != nullptr && msg.worker_id >= 0;
+    const double begin = timed ? obs::Tracer::now_us() : 0.0;
     account_up(msg.wire_size());
     record_link_wait(up_, now);
-    return up_.begin(now, network_.serialization_seconds(msg.wire_size())) +
-           network_.latency_s;
+    const double arrival =
+        up_.begin(now, network_.serialization_seconds(msg.wire_size())) +
+        network_.latency_s;
+    if (timed)
+      phases_->add(static_cast<std::size_t>(msg.worker_id), obs::Phase::kWire,
+                   obs::Tracer::now_us() - begin);
+    return arrival;
   }
 
   /// Server -> worker: occupies the shared egress link, returns arrival.
@@ -299,6 +333,7 @@ class SimTransport final : public Transport {
   SharedLink up_;    ///< All pushes share the server NIC (ingress).
   SharedLink down_;  ///< All replies share the server NIC (egress).
   obs::Histogram* link_wait_ms_ = nullptr;  ///< See obs/; optional.
+  obs::PhaseProfiler* phases_ = nullptr;    ///< Optional, not owned.
 };
 
 }  // namespace dgs::comm

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/method.h"
 #include "obs/trace.h"
 
 namespace dgs::core {
@@ -46,10 +47,12 @@ EngineContext::EngineContext(const char* engine_name,
                              std::shared_ptr<const data::Dataset> train,
                              std::shared_ptr<const data::Dataset> test,
                              const TrainConfig& config)
-    : spec_(spec),
+    : engine_name_(engine_name),
+      spec_(spec),
       config_(config),
       train_(std::move(train)),
       test_(std::move(test)),
+      phases_(config.num_workers),
       theta0_(config.warm_start.empty()
                   ? initial_parameters(spec, config.seed)
                   : config.warm_start),
@@ -66,9 +69,11 @@ EngineContext::EngineContext(const char* engine_name,
   }
 
   workers_.reserve(config_.num_workers);
-  for (std::size_t k = 0; k < config_.num_workers; ++k)
+  for (std::size_t k = 0; k < config_.num_workers; ++k) {
     workers_.push_back(
         std::make_unique<Worker>(k, spec, train_, config_, theta0_));
+    workers_.back()->bind_profiler(&phases_);
+  }
 
   // Compute-time jitter streams, one fork per worker (deterministic).
   util::Rng root(config_.seed ^ 0xD15C0DE5ULL);
@@ -93,6 +98,7 @@ ParameterServer EngineContext::make_server() {
   options.down_compress = config_.compression.down_compress;
   options.lease_timeout_s = config_.fault.lease_timeout_s;
   options.metrics = &metrics_;
+  options.phases = &phases_;
   return ParameterServer(layer_sizes_, theta0_, options);
 }
 
@@ -100,6 +106,7 @@ Worker& EngineContext::revive_worker(std::size_t k,
                                      const std::vector<float>& theta_flat) {
   workers_.at(k) =
       std::make_unique<Worker>(k, spec_, train_, config_, theta_flat);
+  workers_[k]->bind_profiler(&phases_);
   return *workers_[k];
 }
 
@@ -188,8 +195,96 @@ void EngineContext::finalize(RunResult& result, EpochTracker& epochs,
   result.reply_encode_us_hist =
       result.metrics.summary_of("server.reply.encode_us");
   result.push_bytes_hist = result.metrics.summary_of("server.push.bytes");
+  result.push_decode_us_hist =
+      result.metrics.summary_of("server.push.decode_us");
 
   result.wall_seconds = wall_.seconds();
+
+  // Phase attribution + run ledger (DESIGN.md §15). The engine filled
+  // bytes/steps/samples/densities before calling finalize, so everything the
+  // ledger needs is already on `result`; bench_common stamps run/bench.
+  result.phases = phases_.breakdown();
+  obs::RunLedger& ledger = result.ledger;
+  ledger.engine = engine_name_;
+  ledger.method = method_name(config_.method);
+  ledger.workers = config_.num_workers;
+  ledger.batch_size = config_.batch_size;
+  ledger.epochs_configured = config_.epochs;
+  ledger.epochs_completed = epochs.completed();
+  ledger.final_test_accuracy = result.final_test_accuracy;
+  ledger.final_train_loss = result.final_train_loss;
+  ledger.sim_seconds = result.sim_seconds;
+  ledger.wall_seconds = result.wall_seconds;
+  if (epochs.completed() > 0) {
+    const auto completed = static_cast<double>(epochs.completed());
+    ledger.epoch_sim_seconds = result.sim_seconds / completed;
+    ledger.epoch_wall_seconds = result.wall_seconds / completed;
+  }
+  ledger.server_steps = result.server_steps;
+  ledger.samples = result.samples_processed;
+  ledger.bytes_up = result.bytes.upward_bytes;
+  ledger.bytes_down = result.bytes.downward_bytes;
+  // Upward elements shipped = mean push density * pushes * dense model size
+  // (exact: the mean is sum-of-densities / pushes and every push shares the
+  // same dense denominator). Downward elements come straight off the server.
+  std::size_t total_numel = 0;
+  for (std::size_t size : layer_sizes_) total_numel += size;
+  const double up_elements = result.mean_upward_density *
+                             static_cast<double>(result.bytes.upward_messages) *
+                             static_cast<double>(total_numel);
+  if (up_elements > 0.0)
+    ledger.up_bytes_per_element =
+        static_cast<double>(result.bytes.upward_bytes) / up_elements;
+  if (result.reply_elements > 0)
+    ledger.down_bytes_per_element =
+        static_cast<double>(result.bytes.downward_bytes) /
+        static_cast<double>(result.reply_elements);
+  ledger.staleness.count = result.staleness_hist.count;
+  ledger.staleness.mean = result.staleness_hist.mean;
+  ledger.staleness.p50 = result.staleness_hist.p50;
+  ledger.staleness.p95 = result.staleness_hist.p95;
+  ledger.staleness.max = result.staleness_hist.max;
+  ledger.faults_injected = result.faults_injected;
+  ledger.leases_reclaimed = result.leases_reclaimed;
+  ledger.worker_rejoins = result.worker_rejoins;
+
+  const obs::HistogramSummary step_summary =
+      obs::summarize(result.phases.step_us_hist);
+  ledger.warm_steps = step_summary.count;
+  ledger.step_us_mean = step_summary.mean;
+  ledger.step_us_p50 = step_summary.p50;
+  ledger.step_us_p95 = step_summary.p95;
+  ledger.step_us_p99 = result.phases.step_us_hist.quantile(0.99);
+  ledger.attributed_fraction = result.phases.attributed_fraction();
+  ledger.phases.clear();
+  ledger.phases.reserve(obs::kNumPhases);
+  for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+    obs::RunLedger::PhaseEntry entry;
+    entry.name = obs::phase_name(static_cast<obs::Phase>(i));
+    entry.total_us = result.phases.phases[i].total_us;
+    entry.count = result.phases.phases[i].count;
+    ledger.phases.push_back(std::move(entry));
+  }
+
+  // Time-to-accuracy milestones: first curve point reaching frac * final
+  // accuracy, in engine time (sim seconds for the modeled engines, wall for
+  // the thread engine — the same axis the curve itself uses).
+  ledger.milestones.clear();
+  for (double frac : {0.5, 0.8, 0.9}) {
+    obs::RunLedger::Milestone milestone;
+    milestone.frac = frac;
+    const double target = frac * result.final_test_accuracy;
+    for (const EpochPoint& point : result.curve) {
+      if (point.test_accuracy >= target) {
+        milestone.reached = true;
+        milestone.epoch = point.epoch;
+        milestone.time_s = point.sim_seconds;
+        milestone.accuracy = point.test_accuracy;
+        break;
+      }
+    }
+    ledger.milestones.push_back(milestone);
+  }
 }
 
 }  // namespace dgs::core

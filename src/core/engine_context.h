@@ -20,6 +20,7 @@
 #include "core/worker.h"
 #include "data/dataset.h"
 #include "nn/model.h"
+#include "obs/phase.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -76,6 +77,13 @@ class EngineContext {
   /// transports and engines record into it; finalize() snapshots it into
   /// RunResult::metrics and the histogram summaries.
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// This run's phase-attribution profiler (see obs/phase.h). Bound to
+  /// every Worker at construction (and re-bound on revive); engines pass it
+  /// to their transport and server, and call record_step per completed
+  /// worker step. finalize() folds its breakdown into RunResult::phases and
+  /// the ledger.
+  [[nodiscard]] obs::PhaseProfiler& phases() noexcept { return phases_; }
 
   // ---- schedule / budget ---------------------------------------------------
   [[nodiscard]] std::size_t train_size() const noexcept { return train_size_; }
@@ -160,11 +168,13 @@ class EngineContext {
                 double terminal_loss, bool always_append);
 
  private:
-  nn::ModelSpec spec_;  ///< Kept for revive_worker.
+  const char* engine_name_;  ///< Static engine name (for the ledger).
+  nn::ModelSpec spec_;       ///< Kept for revive_worker.
   TrainConfig config_;
   std::shared_ptr<const data::Dataset> train_;
   std::shared_ptr<const data::Dataset> test_;
   obs::MetricsRegistry metrics_;
+  obs::PhaseProfiler phases_;
   util::Stopwatch wall_;
   std::vector<float> theta0_;
   std::vector<std::size_t> layer_sizes_;

@@ -74,7 +74,8 @@ RunResult SimEngine::run() {
   const std::size_t intra_op = effective_threads_per_worker(config_);
   util::IntraOpBudgetScope intra_op_scope(intra_op);
   ParameterServer server = context.make_server();
-  comm::SimTransport transport(config_.network, &context.metrics());
+  comm::SimTransport transport(config_.network, &context.metrics(),
+                               &context.phases());
 
   // Fault plumbing (see comm/fault.h). plan == nullptr keeps every path on
   // the legacy single-delivery schedule: the decorator passes through, no
@@ -101,6 +102,12 @@ RunResult SimEngine::run() {
     push_event(context.compute_seconds(k), EventKind::kComputeDone, k);
 
   std::vector<SimWorkerState> state(config_.num_workers);
+
+  // Phase attribution (obs/phase.h): a DES worker step spans two events —
+  // kComputeDone (compute + pack + send) and the matching kReplyArrived
+  // (decode + apply). The compute half is parked here until the reply
+  // closes the step; interrupted steps (crash, resync) just discard it.
+  std::vector<double> step_partial_us(config_.num_workers, 0.0);
 
   // --- main loop ------------------------------------------------------------
   RunResult result;
@@ -135,32 +142,38 @@ RunResult SimEngine::run() {
           ws.killed_once = true;
           ws.alive = false;
           plan->count_kill();
+          step_partial_us[event.worker] = 0.0;  // in-progress step is lost
           push_event(now + config_.fault.rejoin_delay_s,
                      EventKind::kWorkerWake, event.worker);
           break;
         }
         const std::size_t schedule_epoch =
             static_cast<std::size_t>(samples_at_server / context.train_size());
-        IterationResult iter = w.compute_and_pack(
-            static_cast<float>(config_.lr_at_epoch(schedule_epoch)),
-            schedule_epoch);
-        epochs.add_loss(iter.loss);
-        up_density_sum += iter.update_density;
-        iter.push.seq = ++ws.next_seq;
-        ws.awaiting_seq = iter.push.seq;
-        ws.attempts = 0;
-        if (retry_armed) {
-          ws.last_push = iter.push;
-          comm::Message deadline;
-          deadline.seq = iter.push.seq;
-          push_event(now + config_.fault.retransmit_timeout_s,
-                     EventKind::kRetryTimeout, event.worker,
-                     std::move(deadline));
+        const double step_begin = obs::Tracer::now_us();
+        {
+          DGS_TRACE_SCOPE("compute", "worker");
+          IterationResult iter = w.compute_and_pack(
+              static_cast<float>(config_.lr_at_epoch(schedule_epoch)),
+              schedule_epoch);
+          epochs.add_loss(iter.loss);
+          up_density_sum += iter.update_density;
+          iter.push.seq = ++ws.next_seq;
+          ws.awaiting_seq = iter.push.seq;
+          ws.attempts = 0;
+          if (retry_armed) {
+            ws.last_push = iter.push;
+            comm::Message deadline;
+            deadline.seq = iter.push.seq;
+            push_event(now + config_.fault.retransmit_timeout_s,
+                       EventKind::kRetryTimeout, event.worker,
+                       std::move(deadline));
+          }
+          deliver(faulty.send_push(now, iter.push), EventKind::kPushArrived,
+                  event.worker, iter.push);
+          samples_at_server += iter.batch;  // accounted on compute completion
+          samples_scheduled += iter.batch;
         }
-        deliver(faulty.send_push(now, iter.push), EventKind::kPushArrived,
-                event.worker, iter.push);
-        samples_at_server += iter.batch;  // accounted on compute completion
-        samples_scheduled += iter.batch;
+        step_partial_us[event.worker] += obs::Tracer::now_us() - step_begin;
         break;
       }
       case EventKind::kPushArrived: {
@@ -193,6 +206,7 @@ RunResult SimEngine::run() {
                                 flatten_dense_payload(event.msg.payload));
           ws.alive = true;
           ws.awaiting_seq = 0;
+          step_partial_us[event.worker] = 0.0;  // resync, not a normal step
           if (samples_scheduled < context.sample_budget())
             push_event(now + context.compute_seconds(event.worker),
                        EventKind::kComputeDone, event.worker);
@@ -201,7 +215,17 @@ RunResult SimEngine::run() {
         if (!ws.alive) break;  // reply outran the crash; worker is gone
         if (event.msg.seq != ws.awaiting_seq) break;  // stale or duplicate
         ws.awaiting_seq = 0;
-        context.worker(event.worker).apply_model_diff(event.msg);
+        {
+          const double apply_begin = obs::Tracer::now_us();
+          {
+            DGS_TRACE_SCOPE("apply_diff", "worker");
+            context.worker(event.worker).apply_model_diff(event.msg);
+          }
+          context.phases().record_step(
+              event.worker, step_partial_us[event.worker] +
+                                (obs::Tracer::now_us() - apply_begin));
+          step_partial_us[event.worker] = 0.0;
+        }
         if (samples_scheduled < context.sample_budget())
           push_event(now + context.compute_seconds(event.worker),
                      EventKind::kComputeDone, event.worker);

@@ -31,7 +31,8 @@ RunResult SyncEngine::run() {
   // on exit); results are bitwise identical for any value.
   const std::size_t intra_op = effective_threads_per_worker(config_);
   util::IntraOpBudgetScope intra_op_scope(intra_op);
-  comm::SimTransport transport(config_.network, &context.metrics());
+  comm::SimTransport transport(config_.network, &context.metrics(),
+                               &context.phases());
   auto epochs = context.make_epoch_tracker(/*eval_final_epoch=*/false);
 
   // Global model as theta0 + layered accumulation (mirrors the PS, but the
@@ -57,6 +58,12 @@ RunResult SyncEngine::run() {
   double now = 0.0;
   std::uint64_t samples = 0;
 
+  // Phase attribution (obs/phase.h): a synchronous step is this round's
+  // compute+send (per worker) plus the model install after the broadcast;
+  // the server-side averaging is excluded, mirroring how the async engines
+  // keep server work out of the worker-path identity.
+  std::vector<double> step_us(context.num_workers(), 0.0);
+
   while (samples < sample_budget) {
     // 1. All workers compute on the identical global model; the barrier
     //    waits for the slowest upload.
@@ -65,14 +72,20 @@ RunResult SyncEngine::run() {
         static_cast<std::size_t>(samples / context.train_size());
     for (std::size_t k = 0; k < context.num_workers(); ++k) {
       Worker& worker = context.worker(k);
-      IterationResult iter = worker.compute_and_pack(
-          static_cast<float>(config_.lr_at_epoch(schedule_epoch)),
-          schedule_epoch);
-      epochs.add_loss(iter.loss);
-      samples += iter.batch;
-      const double compute_done = now + context.compute_seconds(k);
-      round_end = std::max(round_end, transport.send_push(compute_done,
-                                                          iter.push));
+      const double step_begin = obs::Tracer::now_us();
+      IterationResult iter;
+      {
+        DGS_TRACE_SCOPE("compute", "worker");
+        iter = worker.compute_and_pack(
+            static_cast<float>(config_.lr_at_epoch(schedule_epoch)),
+            schedule_epoch);
+        epochs.add_loss(iter.loss);
+        samples += iter.batch;
+        const double compute_done = now + context.compute_seconds(k);
+        round_end = std::max(round_end, transport.send_push(compute_done,
+                                                            iter.push));
+      }
+      step_us[k] = obs::Tracer::now_us() - step_begin;
       // 2. Server accumulates the average update: M -= (1/N) g_k.
       apply_update_payload(iter.push.payload, accumulated, -inv_n);
     }
@@ -86,7 +99,16 @@ RunResult SyncEngine::run() {
       broadcast_end = std::max(
           broadcast_end, transport.send_reply_bytes(round_end,
                                                     broadcast_bytes));
-      context.worker(k).set_model(theta);
+      const double apply_begin = obs::Tracer::now_us();
+      {
+        DGS_TRACE_SCOPE("apply_diff", "worker");
+        context.worker(k).set_model(theta);
+      }
+      // The broadcast install is the SSGD analogue of decode+apply; it is
+      // not routed through Worker::apply_model_diff, so charge it manually.
+      const double apply_us = obs::Tracer::now_us() - apply_begin;
+      context.phases().add(k, obs::Phase::kDecodeApply, apply_us);
+      context.phases().record_step(k, step_us[k] + apply_us);
     }
     now = broadcast_end;
     ++result.server_steps;

@@ -52,7 +52,8 @@ RunResult ThreadEngine::run() {
   if (config_.fault.enabled()) send_retry.attempts = 4;
   comm::ThreadTransport transport(config_.num_workers,
                                   config_.server_inbox_capacity,
-                                  &context.metrics(), send_retry);
+                                  &context.metrics(), send_retry,
+                                  &context.phases());
 
   // Fault plumbing (see comm/fault.h): a null plan makes the decorator a
   // passthrough and keeps every loop below on its legacy blocking path.
@@ -168,8 +169,14 @@ RunResult ThreadEngine::run() {
                                        flatten_dense_payload(reply->payload));
             continue;
           }
-          DGS_TRACE_SCOPE("apply_diff", "worker");
-          w->apply_model_diff(*reply);
+          {
+            DGS_TRACE_SCOPE("apply_diff", "worker");
+            w->apply_model_diff(*reply);
+          }
+          // One full step closed: compute + send + reply wait + apply,
+          // everything since the budget claim (obs/phase.h attribution).
+          context.phases().record_step(k,
+                                       obs::Tracer::now_us() - compute_begin);
           continue;
         }
 
@@ -216,8 +223,12 @@ RunResult ThreadEngine::run() {
                 break;
               }
               if (reply.seq != push.seq) break;  // stale/duplicate reply
-              DGS_TRACE_SCOPE("apply_diff", "worker");
-              w->apply_model_diff(reply);
+              {
+                DGS_TRACE_SCOPE("apply_diff", "worker");
+                w->apply_model_diff(reply);
+              }
+              context.phases().record_step(
+                  k, obs::Tracer::now_us() - compute_begin);
               resolved = true;
               break;
             }

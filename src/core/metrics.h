@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "comm/stats.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/phase.h"
 
 namespace dgs::core {
 
@@ -86,6 +88,9 @@ struct RunResult {
   obs::HistogramSummary reply_bytes_per_element_hist;
   obs::HistogramSummary reply_encode_us_hist;
   obs::HistogramSummary push_bytes_hist;
+  /// Upward codec cost: server-side decode+validate time per push, the
+  /// mirror of reply_encode_us_hist.
+  obs::HistogramSummary push_decode_us_hist;
   /// Total reply elements (nnz) shipped downward over the run — the
   /// denominator behind mean_downward_density.
   std::uint64_t reply_elements = 0;
@@ -93,6 +98,15 @@ struct RunResult {
   /// Full snapshot of every counter/gauge/histogram the run recorded;
   /// exportable via MetricsSnapshot::write_jsonl / write_csv.
   obs::MetricsSnapshot metrics;
+
+  /// Per-worker phase-attribution breakdown (warm steps only; see
+  /// obs/phase.h). Empty-ish when the profiler was compiled out.
+  obs::PhaseBreakdown phases;
+
+  /// Versioned run record for the committed perf trajectory (see
+  /// obs/ledger.h). The engine fills every field except run/bench, which
+  /// the bench harness stamps before export.
+  obs::RunLedger ledger;
 
   /// Training throughput in samples per simulated second.
   [[nodiscard]] double samples_per_second() const noexcept {

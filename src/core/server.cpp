@@ -68,7 +68,7 @@ ParameterServer::ParameterServer(std::vector<std::size_t> layer_sizes,
                                      static_cast<std::ptrdiff_t>(first),
                                  layer_sizes_.begin() +
                                      static_cast<std::ptrdiff_t>(end)),
-        options_.num_workers, options_.metrics));
+        options_.num_workers, options_.metrics, options_.phases));
   }
 
   if (options_.metrics != nullptr) {
@@ -190,6 +190,8 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
   std::vector<const DecodedLayer*> by_layer(layer_sizes_.size(), nullptr);
   {
     DGS_TRACE_SCOPE("decode+validate", "server");
+    obs::PhaseTimer apply_timer(options_.phases, worker,
+                                obs::Phase::kServerApply);
     const bool timed = instruments_.push_decode_us != nullptr;
     const double decode_begin = timed ? obs::Tracer::now_us() : 0.0;
     decoded = decode_update(push.payload);
@@ -251,6 +253,8 @@ comm::Message ParameterServer::handle_push(const comm::Message& push,
 
   {
     DGS_TRACE_SCOPE("encode_reply", "server");
+    obs::PhaseTimer encode_timer(options_.phases, worker,
+                                 obs::Phase::kReplyEncode);
     const bool timed = instruments_.reply_encode_us != nullptr;
     const double encode_begin = timed ? obs::Tracer::now_us() : 0.0;
     reply.payload = encode_reply_payload(g, sparse_nnz);

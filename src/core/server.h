@@ -33,6 +33,7 @@
 #include "core/layered.h"
 #include "core/server_shard.h"
 #include "obs/metrics.h"
+#include "obs/phase.h"
 #include "sparse/codec.h"
 
 namespace dgs::core {
@@ -61,6 +62,11 @@ struct ServerOptions {
   /// reply bytes, and the shards record lock wait/hold times. Null keeps
   /// the hot path free of any accounting beyond the existing atomics.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional phase profiler (not owned; see obs/phase.h). When set,
+  /// handle_push attributes decode+apply time to Phase::kServerApply and
+  /// reply build+encode time to Phase::kReplyEncode, charged to the pushing
+  /// worker. Null skips all phase accounting.
+  obs::PhaseProfiler* phases = nullptr;
 };
 
 class ParameterServer {

@@ -11,8 +11,9 @@ namespace dgs::core {
 ServerShard::ServerShard(std::size_t index, std::size_t first_layer,
                          std::vector<std::size_t> sizes,
                          std::size_t num_workers,
-                         obs::MetricsRegistry* metrics)
-    : first_layer_(first_layer), m_(make_layered(sizes)) {
+                         obs::MetricsRegistry* metrics,
+                         obs::PhaseProfiler* phases)
+    : first_layer_(first_layer), m_(make_layered(sizes)), phases_(phases) {
   for (std::size_t s : sizes) numel_ += s;
   v_.reserve(num_workers);
   for (std::size_t k = 0; k < num_workers; ++k)
@@ -50,6 +51,16 @@ ServerShard::ReplySegment ServerShard::apply_and_reply(
   if (timed) lock_wait_us_->record(hold_begin - wait_begin);
   DGS_TRACE_SCOPE_TRACK("apply+reply", "shard", trace_track_);
   LayeredVec& vk = v_[worker];
+#if DGS_TRACE_COMPILED
+  // Phase attribution: split each layer's critical-section time at the
+  // apply-to-M / build-reply boundary, accumulated locally and charged to
+  // the pushing worker once at the end (two profiler calls per push, not
+  // per layer). No trace spans here: the shard-track span above already
+  // covers this region, and phase spans must nest on the *caller's* track.
+  double apply_us = 0.0;
+  double reply_us = 0.0;
+  double phase_mark = phases_ != nullptr ? obs::Tracer::now_us() : 0.0;
+#endif
   for (std::size_t j = 0; j < m_.size(); ++j) {
     const std::size_t global = first_layer_ + j;
     auto& ml = m_[j];
@@ -64,6 +75,13 @@ ServerShard::ReplySegment ServerShard::apply_and_reply(
                    {ml.data(), ml.size()});
       }
     }
+#if DGS_TRACE_COMPILED
+    if (phases_ != nullptr) {
+      const double now = obs::Tracer::now_us();
+      apply_us += now - phase_mark;
+      phase_mark = now;
+    }
+#endif
 
     // G = M - v_k for this layer (Eq. 3 / 6a), staged in the shard-owned
     // diff_ buffer (capacity reused across pushes).
@@ -95,7 +113,20 @@ ServerShard::ReplySegment ServerShard::apply_and_reply(
     // v_{k,t+1} = v_{k,prev} + G (Eq. 6b): add exactly what is being sent.
     sparse::scatter_add(chunk, 1.0f, {vk[j].data(), vk[j].size()});
     reply.layers.push_back(std::move(chunk));
+#if DGS_TRACE_COMPILED
+    if (phases_ != nullptr) {
+      const double now = obs::Tracer::now_us();
+      reply_us += now - phase_mark;
+      phase_mark = now;
+    }
+#endif
   }
+#if DGS_TRACE_COMPILED
+  if (phases_ != nullptr) {
+    phases_->add(worker, obs::Phase::kServerApply, apply_us);
+    phases_->add(worker, obs::Phase::kReplyEncode, reply_us);
+  }
+#endif
   if (timed) lock_hold_us_->record(obs::Tracer::now_us() - hold_begin);
   return reply;
 }

@@ -20,6 +20,7 @@
 #include "core/layered.h"
 #include "core/payload.h"
 #include "obs/metrics.h"
+#include "obs/phase.h"
 #include "sparse/coo.h"
 #include "sparse/select.h"
 
@@ -46,10 +47,14 @@ class ServerShard {
   /// When `metrics` is non-null the shard records lock wait / hold time
   /// histograms ("server.shard.lock_wait_us" / "lock_hold_us"), and its
   /// critical section shows up as a span on a "shard/<index>" trace track
-  /// when tracing is enabled at construction.
+  /// when tracing is enabled at construction. When `phases` is non-null,
+  /// apply_and_reply splits its critical section into apply-to-M time
+  /// (Phase::kServerApply) and reply-build time (Phase::kReplyEncode),
+  /// charged to the pushing worker.
   ServerShard(std::size_t index, std::size_t first_layer,
               std::vector<std::size_t> sizes, std::size_t num_workers,
-              obs::MetricsRegistry* metrics = nullptr);
+              obs::MetricsRegistry* metrics = nullptr,
+              obs::PhaseProfiler* phases = nullptr);
 
   struct ReplySegment {
     /// Reply chunks for this shard's layers, in ascending global layer
@@ -112,6 +117,7 @@ class ServerShard {
   // Observability (see obs/): optional, resolved once at construction.
   obs::Histogram* lock_wait_us_ = nullptr;
   obs::Histogram* lock_hold_us_ = nullptr;
+  obs::PhaseProfiler* phases_ = nullptr;  ///< Optional, not owned.
   std::uint32_t trace_track_ = 0;  ///< Virtual "shard/N" track (0 = none).
 };
 

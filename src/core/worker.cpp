@@ -32,6 +32,11 @@ Worker::Worker(std::size_t id, const nn::ModelSpec& spec,
 IterationResult Worker::compute_and_pack(float lr,
                                          std::size_t schedule_epoch) {
   IterationResult result;
+  // Phase attribution (obs/phase.h): batch fill + forward + backward are
+  // the compute phase; the method's step() is sparsify+select; wire
+  // encoding (plus buffer recycling, part of the same steady-state loop)
+  // is encode. The timers tile this function with no gaps.
+  obs::PhaseTimer fwd_timer(profiler_, id_, obs::Phase::kForwardBackward);
   result.epoch = sampler_.next_batch(batch_indices_);
   result.batch = batch_indices_.size();
   data_->fill_batch(batch_indices_, batch_features_.data(), batch_labels_.data());
@@ -44,13 +49,17 @@ IterationResult Worker::compute_and_pack(float lr,
   nn::LossResult loss = nn::softmax_cross_entropy(logits, batch_labels_);
   (void)model_->backward(loss.grad);
   result.loss = loss.loss;
+  fwd_timer.stop();
 
   // Method-specific transformation of the gradient into g_{k,t}.
+  obs::PhaseTimer select_timer(profiler_, id_, obs::Phase::kSparsifySelect);
   GradViews views;
   views.reserve(params_.size());
   for (nn::Parameter* p : params_) views.push_back(p->grad.flat());
   sparse::SparseUpdate update = algorithm_->step(views, lr, schedule_epoch);
+  select_timer.stop();
 
+  obs::PhaseTimer encode_timer(profiler_, id_, obs::Phase::kEncode);
   result.push.kind = comm::MessageKind::kGradientPush;
   result.push.worker_id = static_cast<std::int32_t>(id_);
   result.push.worker_step = step_;
@@ -61,6 +70,7 @@ IterationResult Worker::compute_and_pack(float lr,
   // steady-state step -> encode -> recycle loop then reuses all selection
   // and chunk capacity instead of reallocating it every iteration.
   algorithm_->recycle(std::move(update));
+  encode_timer.stop();
   ++step_;
   return result;
 }
@@ -68,6 +78,7 @@ IterationResult Worker::compute_and_pack(float lr,
 void Worker::apply_model_diff(const comm::Message& reply) {
   if (reply.kind != comm::MessageKind::kModelDiff)
     throw std::invalid_argument("worker: expected model diff");
+  obs::PhaseTimer decode_timer(profiler_, id_, obs::Phase::kDecodeApply);
   known_server_step_ = reply.server_step;
 
   // theta_{k} += G (Eq. 4/5; SGD() in Algorithm 1/3 applies the decoded

@@ -13,6 +13,7 @@
 #include "data/dataset.h"
 #include "data/sampler.h"
 #include "nn/model.h"
+#include "obs/phase.h"
 
 namespace dgs::core {
 
@@ -79,6 +80,15 @@ class Worker {
     nn::param_scatter_values(theta_flat, params_);
   }
 
+  /// Attach the run's phase-attribution profiler (see obs/phase.h): the
+  /// worker then times forward/backward, sparsify+select, encode and
+  /// decode+apply per step. Null (the default, and what direct unit-test
+  /// construction gets) keeps every timer a no-op. Not owned; must outlive
+  /// the worker.
+  void bind_profiler(obs::PhaseProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+
  private:
   std::size_t id_;
   nn::ModelSpec spec_;
@@ -96,6 +106,7 @@ class Worker {
 
   std::uint64_t step_ = 0;
   std::uint64_t known_server_step_ = 0;
+  obs::PhaseProfiler* profiler_ = nullptr;  ///< Optional, not owned.
 };
 
 }  // namespace dgs::core

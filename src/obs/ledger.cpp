@@ -1,0 +1,423 @@
+#include "obs/ledger.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace dgs::obs {
+
+namespace {
+
+// ---- JSON writing -----------------------------------------------------------
+
+/// Shortest round-trip double; NaN/inf (not JSON) clamp to 0 / +-1e308,
+/// matching MetricsSnapshot::write_jsonl.
+std::string jnum(double v) {
+  if (std::isnan(v)) v = 0.0;
+  if (std::isinf(v)) v = v > 0 ? 1e308 : -1e308;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// ---- JSON parsing -----------------------------------------------------------
+// Minimal recursive-descent parser for the subset to_json emits (objects,
+// arrays, strings, numbers, booleans, null). No external JSON dependency is
+// available in this repo, and the ledger round-trip test needs real parsing
+// rather than substring matching.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it != object.end() ? &it->second : nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return at_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_])) != 0)
+      ++at_;
+  }
+
+  bool consume(char c) {
+    if (at_ < text_.size() && text_[at_] == c) {
+      ++at_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (at_ >= text_.size()) return false;
+    switch (text_[at_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->string);
+      }
+      case 't':
+        if (text_.compare(at_, 4, "true") == 0) {
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = true;
+          at_ += 4;
+          return true;
+        }
+        return false;
+      case 'f':
+        if (text_.compare(at_, 5, "false") == 0) {
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = false;
+          at_ += 5;
+          return true;
+        }
+        return false;
+      case 'n':
+        if (text_.compare(at_, 4, "null") == 0) {
+          out->kind = JsonValue::Kind::kNull;
+          at_ += 4;
+          return true;
+        }
+        return false;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->array.push_back(std::move(value));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (at_ < text_.size()) {
+      const char c = text_[at_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (at_ >= text_.size()) return false;
+      const char esc = text_[at_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (at_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[at_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          // to_json only escapes control characters this way; decode the
+          // single-byte range and reject anything wider.
+          if (code > 0xFF) return false;
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = at_;
+    if (at_ < text_.size() && (text_[at_] == '-' || text_[at_] == '+')) ++at_;
+    while (at_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[at_])) != 0 ||
+            text_[at_] == '.' || text_[at_] == 'e' || text_[at_] == 'E' ||
+            text_[at_] == '+' || text_[at_] == '-'))
+      ++at_;
+    if (at_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    char* end = nullptr;
+    const std::string token = text_.substr(start, at_ - start);
+    out->number = std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  const std::string& text_;
+  std::size_t at_ = 0;
+};
+
+// ---- extraction helpers -----------------------------------------------------
+// Absent key -> keep the default (schema-forward-compatible); present key
+// with the wrong type -> hard failure.
+
+bool get_num(const JsonValue& obj, const std::string& key, double* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (v->kind != JsonValue::Kind::kNumber) return false;
+  *out = v->number;
+  return true;
+}
+
+bool get_u64(const JsonValue& obj, const std::string& key,
+             std::uint64_t* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (v->kind != JsonValue::Kind::kNumber || v->number < 0) return false;
+  *out = static_cast<std::uint64_t>(v->number);
+  return true;
+}
+
+bool get_str(const JsonValue& obj, const std::string& key, std::string* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (v->kind != JsonValue::Kind::kString) return false;
+  *out = v->string;
+  return true;
+}
+
+bool get_bool(const JsonValue& obj, const std::string& key, bool* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (v->kind != JsonValue::Kind::kBool) return false;
+  *out = v->boolean;
+  return true;
+}
+
+}  // namespace
+
+std::string RunLedger::to_json() const {
+  std::string out = "{";
+  out += "\"schema\":" + std::to_string(schema);
+  out += ",\"run\":" + jstr(run);
+  out += ",\"bench\":" + jstr(bench);
+  out += ",\"engine\":" + jstr(engine);
+  out += ",\"method\":" + jstr(method);
+  out += ",\"workers\":" + std::to_string(workers);
+  out += ",\"batch_size\":" + std::to_string(batch_size);
+  out += ",\"epochs_configured\":" + std::to_string(epochs_configured);
+  out += ",\"epochs_completed\":" + std::to_string(epochs_completed);
+  out += ",\"final_test_accuracy\":" + jnum(final_test_accuracy);
+  out += ",\"final_train_loss\":" + jnum(final_train_loss);
+  out += ",\"sim_seconds\":" + jnum(sim_seconds);
+  out += ",\"wall_seconds\":" + jnum(wall_seconds);
+  out += ",\"epoch_sim_seconds\":" + jnum(epoch_sim_seconds);
+  out += ",\"epoch_wall_seconds\":" + jnum(epoch_wall_seconds);
+  out += ",\"server_steps\":" + std::to_string(server_steps);
+  out += ",\"samples\":" + std::to_string(samples);
+  out += ",\"bytes_up\":" + std::to_string(bytes_up);
+  out += ",\"bytes_down\":" + std::to_string(bytes_down);
+  out += ",\"up_bytes_per_element\":" + jnum(up_bytes_per_element);
+  out += ",\"down_bytes_per_element\":" + jnum(down_bytes_per_element);
+  out += ",\"staleness\":{\"count\":" + std::to_string(staleness.count) +
+         ",\"mean\":" + jnum(staleness.mean) + ",\"p50\":" +
+         jnum(staleness.p50) + ",\"p95\":" + jnum(staleness.p95) +
+         ",\"max\":" + jnum(staleness.max) + "}";
+  out += ",\"faults_injected\":" + std::to_string(faults_injected);
+  out += ",\"leases_reclaimed\":" + std::to_string(leases_reclaimed);
+  out += ",\"worker_rejoins\":" + std::to_string(worker_rejoins);
+  out += ",\"warm_steps\":" + std::to_string(warm_steps);
+  out += ",\"step_us\":{\"mean\":" + jnum(step_us_mean) + ",\"p50\":" +
+         jnum(step_us_p50) + ",\"p95\":" + jnum(step_us_p95) + ",\"p99\":" +
+         jnum(step_us_p99) + "}";
+  out += ",\"attributed_fraction\":" + jnum(attributed_fraction);
+  out += ",\"phases\":[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"name\":" + jstr(phases[i].name) + ",\"total_us\":" +
+           jnum(phases[i].total_us) + ",\"count\":" +
+           std::to_string(phases[i].count) + "}";
+  }
+  out += "],\"milestones\":[";
+  for (std::size_t i = 0; i < milestones.size(); ++i) {
+    const Milestone& m = milestones[i];
+    if (i != 0) out += ',';
+    out += "{\"frac\":" + jnum(m.frac) + ",\"reached\":" +
+           (m.reached ? "true" : "false") + ",\"epoch\":" +
+           std::to_string(m.epoch) + ",\"time_s\":" + jnum(m.time_s) +
+           ",\"accuracy\":" + jnum(m.accuracy) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool RunLedger::from_json(const std::string& json, RunLedger* out) {
+  JsonValue root;
+  if (!JsonParser(json).parse(&root) ||
+      root.kind != JsonValue::Kind::kObject)
+    return false;
+
+  RunLedger ledger;
+  double schema_num = static_cast<double>(kSchemaVersion);
+  if (!get_num(root, "schema", &schema_num)) return false;
+  ledger.schema = static_cast<int>(schema_num);
+
+  bool ok = get_str(root, "run", &ledger.run) &&
+            get_str(root, "bench", &ledger.bench) &&
+            get_str(root, "engine", &ledger.engine) &&
+            get_str(root, "method", &ledger.method) &&
+            get_u64(root, "workers", &ledger.workers) &&
+            get_u64(root, "batch_size", &ledger.batch_size) &&
+            get_u64(root, "epochs_configured", &ledger.epochs_configured) &&
+            get_u64(root, "epochs_completed", &ledger.epochs_completed) &&
+            get_num(root, "final_test_accuracy",
+                    &ledger.final_test_accuracy) &&
+            get_num(root, "final_train_loss", &ledger.final_train_loss) &&
+            get_num(root, "sim_seconds", &ledger.sim_seconds) &&
+            get_num(root, "wall_seconds", &ledger.wall_seconds) &&
+            get_num(root, "epoch_sim_seconds", &ledger.epoch_sim_seconds) &&
+            get_num(root, "epoch_wall_seconds", &ledger.epoch_wall_seconds) &&
+            get_u64(root, "server_steps", &ledger.server_steps) &&
+            get_u64(root, "samples", &ledger.samples) &&
+            get_u64(root, "bytes_up", &ledger.bytes_up) &&
+            get_u64(root, "bytes_down", &ledger.bytes_down) &&
+            get_num(root, "up_bytes_per_element",
+                    &ledger.up_bytes_per_element) &&
+            get_num(root, "down_bytes_per_element",
+                    &ledger.down_bytes_per_element) &&
+            get_u64(root, "faults_injected", &ledger.faults_injected) &&
+            get_u64(root, "leases_reclaimed", &ledger.leases_reclaimed) &&
+            get_u64(root, "worker_rejoins", &ledger.worker_rejoins) &&
+            get_u64(root, "warm_steps", &ledger.warm_steps) &&
+            get_num(root, "attributed_fraction", &ledger.attributed_fraction);
+  if (!ok) return false;
+
+  if (const JsonValue* s = root.find("staleness")) {
+    if (s->kind != JsonValue::Kind::kObject) return false;
+    if (!get_u64(*s, "count", &ledger.staleness.count) ||
+        !get_num(*s, "mean", &ledger.staleness.mean) ||
+        !get_num(*s, "p50", &ledger.staleness.p50) ||
+        !get_num(*s, "p95", &ledger.staleness.p95) ||
+        !get_num(*s, "max", &ledger.staleness.max))
+      return false;
+  }
+
+  if (const JsonValue* s = root.find("step_us")) {
+    if (s->kind != JsonValue::Kind::kObject) return false;
+    if (!get_num(*s, "mean", &ledger.step_us_mean) ||
+        !get_num(*s, "p50", &ledger.step_us_p50) ||
+        !get_num(*s, "p95", &ledger.step_us_p95) ||
+        !get_num(*s, "p99", &ledger.step_us_p99))
+      return false;
+  }
+
+  if (const JsonValue* arr = root.find("phases")) {
+    if (arr->kind != JsonValue::Kind::kArray) return false;
+    for (const JsonValue& entry : arr->array) {
+      if (entry.kind != JsonValue::Kind::kObject) return false;
+      PhaseEntry phase;
+      if (!get_str(entry, "name", &phase.name) ||
+          !get_num(entry, "total_us", &phase.total_us) ||
+          !get_u64(entry, "count", &phase.count))
+        return false;
+      ledger.phases.push_back(std::move(phase));
+    }
+  }
+
+  if (const JsonValue* arr = root.find("milestones")) {
+    if (arr->kind != JsonValue::Kind::kArray) return false;
+    for (const JsonValue& entry : arr->array) {
+      if (entry.kind != JsonValue::Kind::kObject) return false;
+      Milestone m;
+      if (!get_num(entry, "frac", &m.frac) ||
+          !get_bool(entry, "reached", &m.reached) ||
+          !get_u64(entry, "epoch", &m.epoch) ||
+          !get_num(entry, "time_s", &m.time_s) ||
+          !get_num(entry, "accuracy", &m.accuracy))
+        return false;
+      ledger.milestones.push_back(m);
+    }
+  }
+
+  *out = std::move(ledger);
+  return true;
+}
+
+}  // namespace dgs::obs

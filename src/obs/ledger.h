@@ -1,0 +1,110 @@
+// RunLedger: one versioned JSON record per bench run — the committed
+// perf-trajectory unit (DESIGN.md §15).
+//
+// A ledger distills a RunResult into the numbers the paper's evaluation
+// actually argues about: time-to-accuracy milestones (Figs. 2-5), warm
+// step-time quantiles and epoch time (Tables 3-4), bytes per element in
+// both directions (Fig. 6), staleness and fault counts, and the phase
+// breakdown from obs/phase.h. EngineContext::finalize assembles it on
+// RunResult::ledger; bench_common's --ledger-out stamps the run/bench keys
+// and appends one JSON line per run; scripts/record_trajectory.py folds
+// those lines into the committed BENCH_*.json files keyed by git sha, and
+// scripts/check_bench.py --trajectory gates new runs against the last
+// committed entry.
+//
+// Schema stability: the field set below IS the schema. Bump kSchemaVersion
+// on any breaking rename/retype; additions are backwards-compatible
+// (from_json ignores unknown keys, absent keys keep their defaults). The
+// cross-engine schema-stability test in tests/test_obs.cpp pins the key
+// set, so accidental drift fails fast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dgs::obs {
+
+struct RunLedger {
+  static constexpr int kSchemaVersion = 1;
+
+  int schema = kSchemaVersion;
+  std::string run;     ///< Series key within a bench (e.g. "w8/DGS").
+  std::string bench;   ///< Bench binary family (e.g. "table3_cifar_scalability").
+  std::string engine;  ///< "SimEngine" | "ThreadEngine" | "SyncEngine".
+  std::string method;  ///< Training method name (e.g. "DGS", "ASGD").
+
+  std::uint64_t workers = 0;
+  std::uint64_t batch_size = 0;
+  std::uint64_t epochs_configured = 0;
+  std::uint64_t epochs_completed = 0;
+
+  double final_test_accuracy = 0.0;
+  double final_train_loss = 0.0;
+  double sim_seconds = 0.0;   ///< Modeled time (== wall for thread runs).
+  double wall_seconds = 0.0;  ///< Real execution time of the run.
+  double epoch_sim_seconds = 0.0;   ///< sim_seconds / epochs_completed.
+  double epoch_wall_seconds = 0.0;  ///< wall_seconds / epochs_completed.
+
+  std::uint64_t server_steps = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  /// Payload bytes per shipped element in each direction (the Fig. 5/6
+  /// bandwidth metric); 0 when the run shipped no elements that way.
+  double up_bytes_per_element = 0.0;
+  double down_bytes_per_element = 0.0;
+
+  struct Staleness {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double max = 0.0;
+  };
+  Staleness staleness;
+
+  std::uint64_t faults_injected = 0;
+  std::uint64_t leases_reclaimed = 0;
+  std::uint64_t worker_rejoins = 0;
+
+  /// Warm step-time distribution and attribution from the phase profiler
+  /// (obs/phase.h); all zero when the build compiled the profiler out.
+  std::uint64_t warm_steps = 0;
+  double step_us_mean = 0.0;
+  double step_us_p50 = 0.0;
+  double step_us_p95 = 0.0;
+  double step_us_p99 = 0.0;
+  double attributed_fraction = 0.0;
+
+  struct PhaseEntry {
+    std::string name;  ///< obs::phase_name() string, stable across PRs.
+    double total_us = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::vector<PhaseEntry> phases;
+
+  /// Time-to-accuracy milestones: the first learning-curve point whose test
+  /// accuracy reaches frac * final accuracy (fracs 0.5 / 0.8 / 0.9).
+  /// `reached` is false when no curve point got there (e.g. curve recording
+  /// off); epoch/time_s/accuracy are then zero.
+  struct Milestone {
+    double frac = 0.0;
+    bool reached = false;
+    std::uint64_t epoch = 0;
+    double time_s = 0.0;  ///< Engine time of the milestone curve point.
+    double accuracy = 0.0;
+  };
+  std::vector<Milestone> milestones;
+
+  /// Single-line JSON object (no trailing newline), append-friendly for
+  /// JSONL ledger files.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parse a to_json() line back. Unknown keys are ignored; absent keys
+  /// keep their defaults. Returns false (leaving *out unspecified) on
+  /// malformed JSON or wrong value types for known keys.
+  static bool from_json(const std::string& json, RunLedger* out);
+};
+
+}  // namespace dgs::obs

@@ -204,7 +204,8 @@ void MetricsSnapshot::write_jsonl(std::ostream& os,
        << ",\"mean\":" << jnum(hist.mean())
        << ",\"p50\":" << jnum(hist.quantile(0.50))
        << ",\"p95\":" << jnum(hist.quantile(0.95))
-       << ",\"p99\":" << jnum(hist.quantile(0.99)) << ",\"bounds\":[";
+       << ",\"p99\":" << jnum(hist.quantile(0.99))
+       << ",\"overflow\":" << hist.overflow() << ",\"bounds\":[";
     for (std::size_t i = 0; i < hist.bounds.size(); ++i)
       os << (i ? "," : "") << jnum(hist.bounds[i]);
     os << "],\"counts\":[";
@@ -215,15 +216,16 @@ void MetricsSnapshot::write_jsonl(std::ostream& os,
 }
 
 void MetricsSnapshot::write_csv(std::ostream& os, bool header) const {
-  if (header) os << "name,type,value,count,mean,p50,p95,max\n";
+  if (header) os << "name,type,value,count,mean,p50,p95,max,overflow\n";
   for (const auto& [name, value] : counters)
-    os << name << ",counter," << value << ",,,,,\n";
+    os << name << ",counter," << value << ",,,,,,\n";
   for (const auto& [name, value] : gauges)
-    os << name << ",gauge," << jnum(value) << ",,,,,\n";
+    os << name << ",gauge," << jnum(value) << ",,,,,,\n";
   for (const auto& [name, hist] : histograms)
     os << name << ",histogram," << jnum(hist.sum) << "," << hist.count << ","
        << jnum(hist.mean()) << "," << jnum(hist.quantile(0.50)) << ","
-       << jnum(hist.quantile(0.95)) << "," << jnum(hist.max) << "\n";
+       << jnum(hist.quantile(0.95)) << "," << jnum(hist.max) << ","
+       << hist.overflow() << "\n";
 }
 
 bool MetricsSnapshot::append_jsonl(const std::string& path,

@@ -100,6 +100,12 @@ struct HistogramSnapshot {
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
   }
   [[nodiscard]] double quantile(double q) const noexcept;
+  /// Samples above the last bound. Exported separately in JSONL/CSV so a
+  /// saturated top bucket (e.g. pathological staleness under chaos) is
+  /// distinguishable from an empty one.
+  [[nodiscard]] std::uint64_t overflow() const noexcept {
+    return counts.empty() ? 0 : counts.back();
+  }
 };
 
 /// Fixed-bucket histogram. Bucket i holds values in (bounds[i-1], bounds[i]]

@@ -1,0 +1,83 @@
+#include "obs/phase.h"
+
+namespace dgs::obs {
+
+namespace {
+constexpr const char* kPhaseNames[kNumPhases] = {
+    "fwd_bwd",      "sparsify_select", "encode",      "wire",
+    "server_apply", "reply_encode",    "decode_apply"};
+constexpr const char* kPhaseSpanNames[kNumPhases] = {
+    "phase/fwd_bwd",      "phase/sparsify_select", "phase/encode",
+    "phase/wire",         "phase/server_apply",    "phase/reply_encode",
+    "phase/decode_apply"};
+
+// The worker-path phases that tile a worker's step (see the attribution
+// identity in phase.h); kServerApply/kReplyEncode overlap kWire and are
+// deliberately excluded.
+constexpr Phase kWorkerPathPhases[] = {
+    Phase::kForwardBackward, Phase::kSparsifySelect, Phase::kEncode,
+    Phase::kWire, Phase::kDecodeApply};
+}  // namespace
+
+const char* phase_name(Phase phase) noexcept {
+  return kPhaseNames[static_cast<std::size_t>(phase)];
+}
+
+const char* phase_span_name(Phase phase) noexcept {
+  return kPhaseSpanNames[static_cast<std::size_t>(phase)];
+}
+
+double PhaseBreakdown::attributed_fraction() const noexcept {
+  double step_us = 0.0;
+  double attributed_us = 0.0;
+  for (const WorkerRow& row : workers) {
+    step_us += row.step_us;
+    for (Phase phase : kWorkerPathPhases)
+      attributed_us += row.phase_us[static_cast<std::size_t>(phase)];
+  }
+  return step_us > 0.0 ? attributed_us / step_us : 0.0;
+}
+
+#if DGS_TRACE_COMPILED
+
+PhaseProfiler::PhaseProfiler(std::size_t num_workers, std::size_t warmup_steps)
+    : slots_(num_workers),
+      warmup_(warmup_steps),
+      // 1us..~537s in x2 steps: covers sub-ms sim steps through multi-second
+      // full-batch thread steps without quantile starvation at either end.
+      step_us_(exponential_bounds(1.0, 2.0, 30)) {}
+
+PhaseBreakdown PhaseProfiler::breakdown() const {
+  PhaseBreakdown out;
+  out.workers.resize(slots_.size());
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    const WorkerSlot& slot = slots_[w];
+    PhaseBreakdown::WorkerRow& row = out.workers[w];
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      const double us =
+          static_cast<double>(slot.phase_ns[p].load(std::memory_order_relaxed)) *
+          1e-3;
+      const std::uint64_t n = slot.phase_count[p].load(std::memory_order_relaxed);
+      row.phase_us[p] = us;
+      out.phases[p].total_us += us;
+      out.phases[p].count += n;
+    }
+    row.step_us =
+        static_cast<double>(slot.step_ns.load(std::memory_order_relaxed)) * 1e-3;
+    row.steps = slot.warm_steps.load(std::memory_order_relaxed);
+    const std::uint64_t all_steps = slot.steps.load(std::memory_order_relaxed);
+    out.warmup_steps_skipped += all_steps - row.steps;
+  }
+  out.step_us_hist = step_us_.snapshot();
+  return out;
+}
+
+#else  // !DGS_TRACE_COMPILED
+
+PhaseProfiler::PhaseProfiler(std::size_t, std::size_t) {}
+
+PhaseBreakdown PhaseProfiler::breakdown() const { return {}; }
+
+#endif
+
+}  // namespace dgs::obs

@@ -1,0 +1,224 @@
+// Phase-attribution profiler: low-overhead per-step accumulators that answer
+// "where did the step go" without reading a Chrome trace.
+//
+// The training pipeline is split into seven phases (DESIGN.md §15):
+//
+//   worker side   kForwardBackward  batch fill + forward + backward
+//                 kSparsifySelect   gradient -> g_{k,t} (select/compact)
+//                 kEncode           wire-encode of the push payload
+//                 kWire             transport time the worker observes
+//                                   (send block + reply wait; modeled-time
+//                                   transports record their bookkeeping cost)
+//                 kDecodeApply      reply decode + theta_k += G
+//   server side   kServerApply      push decode/validate + apply to M
+//                 kReplyEncode      G = M - v_k build, lossy transform and
+//                                   reply wire-encode
+//
+// Accumulation is per (worker, phase): one relaxed atomic nanosecond total
+// and count each, cache-line padded per worker so the recording threads
+// (worker k's thread, and whichever server-pool thread is handling worker
+// k's push — serialized by the one-in-flight-push-per-worker protocol
+// invariant) never false-share. Server-side phases are attributed to the
+// *pushing* worker.
+//
+// Warm-up: the first `warmup_steps` steps of each worker are excluded from
+// every accumulator (cold caches, lazy allocation and first-touch page
+// faults would otherwise dominate short runs), so phase totals, the step
+// histogram and the attribution identity below all describe the same warm
+// steady state.
+//
+// Attribution identity: the five worker-side phases tile the worker's step
+// path in every engine, so per worker
+//
+//   fwd_bwd + sparsify_select + encode + wire + decode_apply  ~=  step time
+//
+// within the glue the timers do not cover (budget claim, tally updates,
+// message header bookkeeping). PhaseBreakdown::attributed_fraction() reports
+// the ratio; the bench gate requires >= 0.95. The server-side phases overlap
+// the worker's kWire wait (the worker blocks while the server works), so
+// they are reported separately and never summed into the identity.
+//
+// Clock: all timestamps come from Tracer::now_us() — the same
+// std::chrono::steady_clock behind the Chrome tracer and util::Stopwatch —
+// so phase totals, step times and trace spans are directly comparable.
+//
+// Compile gate: the profiler shares the DGS_TRACE gate (CMake option
+// DGS_TRACE, default ON). With DGS_TRACE=OFF, PhaseTimer is an empty type,
+// PhaseProfiler holds no state and allocates nothing, and every record call
+// is a no-op — pinned by sizeof/static and operator-new-counter checks in
+// tests/test_obs.cpp. At runtime, a null PhaseProfiler* makes PhaseTimer
+// skip even the clock read.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dgs::obs {
+
+enum class Phase : std::uint8_t {
+  kForwardBackward = 0,
+  kSparsifySelect,
+  kEncode,
+  kWire,
+  kServerApply,
+  kReplyEncode,
+  kDecodeApply,
+};
+
+inline constexpr std::size_t kNumPhases = 7;
+
+/// Stable short name ("fwd_bwd", "wire", ...) used by the ledger JSON and
+/// the per-phase trace span names.
+[[nodiscard]] const char* phase_name(Phase phase) noexcept;
+/// Static "phase/<name>" string for trace spans (outlives the tracer).
+[[nodiscard]] const char* phase_span_name(Phase phase) noexcept;
+
+/// Aggregated snapshot of a PhaseProfiler (all figures warm-only).
+struct PhaseBreakdown {
+  struct PhaseTotal {
+    double total_us = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct WorkerRow {
+    std::array<double, kNumPhases> phase_us{};
+    double step_us = 0.0;      ///< Sum of warm step times.
+    std::uint64_t steps = 0;   ///< Warm steps recorded.
+  };
+
+  std::array<PhaseTotal, kNumPhases> phases{};  ///< Summed over workers.
+  std::vector<WorkerRow> workers;
+  HistogramSnapshot step_us_hist;  ///< Warm step-time distribution (us).
+  std::uint64_t warmup_steps_skipped = 0;
+
+  /// Worker-path phase time over recorded step time (see the attribution
+  /// identity above); 0 when no warm step was recorded.
+  [[nodiscard]] double attributed_fraction() const noexcept;
+};
+
+class PhaseProfiler {
+ public:
+  static constexpr std::size_t kDefaultWarmupSteps = 5;
+
+  explicit PhaseProfiler(std::size_t num_workers,
+                         std::size_t warmup_steps = kDefaultWarmupSteps);
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+#if DGS_TRACE_COMPILED
+  /// Accumulate `us` microseconds of `phase` for `worker`. Dropped while the
+  /// worker is still inside its warm-up window. Lock- and allocation-free.
+  void add(std::size_t worker, Phase phase, double us) noexcept {
+    WorkerSlot& slot = slots_[worker];
+    if (slot.steps.load(std::memory_order_relaxed) < warmup_) return;
+    const auto phase_index = static_cast<std::size_t>(phase);
+    slot.phase_ns[phase_index].fetch_add(to_ns(us), std::memory_order_relaxed);
+    slot.phase_count[phase_index].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Record one completed step of `worker` taking `us` microseconds. The
+  /// first warmup_steps calls per worker only advance the warm-up counter.
+  void record_step(std::size_t worker, double us) noexcept {
+    WorkerSlot& slot = slots_[worker];
+    if (slot.steps.fetch_add(1, std::memory_order_relaxed) < warmup_) return;
+    slot.step_ns.fetch_add(to_ns(us), std::memory_order_relaxed);
+    slot.warm_steps.fetch_add(1, std::memory_order_relaxed);
+    step_us_.record(us);
+  }
+
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return slots_.size();
+  }
+#else
+  void add(std::size_t, Phase, double) noexcept {}
+  void record_step(std::size_t, double) noexcept {}
+  [[nodiscard]] std::size_t num_workers() const noexcept { return 0; }
+#endif
+
+  /// Same steady clock as the tracer and util::Stopwatch, so attribution
+  /// sums are directly comparable with every other timing in the repo.
+  [[nodiscard]] static double now_us() noexcept { return Tracer::now_us(); }
+
+  [[nodiscard]] PhaseBreakdown breakdown() const;
+
+#if DGS_TRACE_COMPILED
+ private:
+  [[nodiscard]] static std::int64_t to_ns(double us) noexcept {
+    return static_cast<std::int64_t>(us * 1e3 + 0.5);
+  }
+
+  /// One writer at a time per cell (see the header comment); padded so
+  /// adjacent workers' cells never share a cache line.
+  struct alignas(64) WorkerSlot {
+    std::array<std::atomic<std::int64_t>, kNumPhases> phase_ns{};
+    std::array<std::atomic<std::uint64_t>, kNumPhases> phase_count{};
+    std::atomic<std::uint64_t> steps{0};      ///< All steps seen (warm-up gate).
+    std::atomic<std::int64_t> step_ns{0};     ///< Warm step-time total.
+    std::atomic<std::uint64_t> warm_steps{0};
+  };
+
+  std::vector<WorkerSlot> slots_;
+  std::size_t warmup_;
+  Histogram step_us_;
+#endif
+};
+
+/// RAII phase timer: accumulates into the profiler and, when the tracer is
+/// recording, emits a "phase/<name>" span on the calling thread's track (so
+/// check_trace.py can verify phases nest inside their step/handler spans).
+/// A null profiler makes construction and stop() free — not even a clock
+/// read. With DGS_TRACE=OFF the whole type is an empty shell.
+class PhaseTimer {
+ public:
+#if DGS_TRACE_COMPILED
+  PhaseTimer(PhaseProfiler* profiler, std::size_t worker,
+             Phase phase) noexcept {
+    if (profiler != nullptr) {
+      profiler_ = profiler;
+      worker_ = worker;
+      phase_ = phase;
+      begin_us_ = Tracer::now_us();
+    }
+  }
+  ~PhaseTimer() { stop(); }
+
+  /// End the phase early (idempotent; the destructor is then a no-op).
+  void stop() noexcept {
+    if (profiler_ == nullptr) return;
+    const double end_us = Tracer::now_us();
+    profiler_->add(worker_, phase_, end_us - begin_us_);
+    Tracer& tracer = Tracer::instance();
+    if (tracer.enabled())
+      tracer.record_complete(phase_span_name(phase_), "phase", begin_us_,
+                             end_us - begin_us_);
+    profiler_ = nullptr;
+  }
+#else
+  PhaseTimer(PhaseProfiler*, std::size_t, Phase) noexcept {}
+  void stop() noexcept {}
+#endif
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+#if DGS_TRACE_COMPILED
+ private:
+  PhaseProfiler* profiler_ = nullptr;
+  std::size_t worker_ = 0;
+  Phase phase_ = Phase::kForwardBackward;
+  double begin_us_ = 0.0;
+#endif
+};
+
+#if !DGS_TRACE_COMPILED
+static_assert(sizeof(PhaseTimer) == 1,
+              "PhaseTimer must be an empty shell with DGS_TRACE=OFF");
+static_assert(sizeof(PhaseProfiler) == 1,
+              "PhaseProfiler must hold no state with DGS_TRACE=OFF");
+#endif
+
+}  // namespace dgs::obs

@@ -18,7 +18,12 @@ class Stopwatch {
   [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
 
  private:
+  // Timing audit (DESIGN.md §15): every wall measurement in the repo —
+  // this stopwatch, obs::Tracer::now_us() and the phase profiler built on
+  // it — reads the same monotonic clock, so durations are mutually
+  // comparable and immune to wall-clock adjustments.
   using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady, "Stopwatch requires a monotonic clock");
   clock::time_point start_;
 };
 
