@@ -114,6 +114,8 @@ core::TrainConfig resolve(const Task& task, const RunSpec& run) {
   config.record_curve = run.record_curve;
   config.trace = run.trace;
   config.fault = run.fault;
+  if (run.transport != "sim")
+    config.transport = core::parse_transport_kind(run.transport);
   config.compression.secondary = run.secondary_compression;
   config.compression.secondary_ratio_percent = run.secondary_ratio;
   config.compression.down_compress = run.down_compress;
@@ -135,6 +137,8 @@ core::RunResult run_one(const Task& task, const data::SyntheticDataset& data,
                         const RunSpec& run) {
   const core::TrainConfig config = resolve(task, run);
   const nn::ModelSpec spec = model_of(task, data);
+  if (run.transport != "sim")
+    return core::ProcessEngine(spec, data.train, data.test, config).run();
   return core::SimEngine(spec, data.train, data.test, config).run();
 }
 
@@ -171,8 +175,17 @@ bool parse_harness_options(util::Flags& flags, HarnessOptions& options) {
   const std::string down = flags.str(
       "down-compress", "auto",
       "downward reply codec: auto|coo|dense|q8|q4|sbc (DESIGN.md §14)");
+  options.transport = flags.str(
+      "transport", "sim",
+      "execution engine: sim (deterministic DES) | thread | uds | tcp "
+      "(wire-only ProcessEngine; uds/tcp fork real worker processes and "
+      "run wall-clock, ignoring the DES network model)");
   const bool help = flags.finish();
-  if (!help) options.down_compress = core::parse_down_compress(down);
+  if (!help) {
+    options.down_compress = core::parse_down_compress(down);
+    if (options.transport != "sim")
+      (void)core::parse_transport_kind(options.transport);  // validate early
+  }
   return help;
 }
 

@@ -71,6 +71,12 @@ struct RunSpec {
                                      ///< layers (paper's Fig. 5/6 setting).
   comm::FaultConfig fault;  ///< Fault injection (see comm/fault.h); default
                             ///< disabled. Filled from the --fault-* flags.
+  /// Execution engine: "sim" (default) runs the deterministic DES engine;
+  /// "thread" | "uds" | "tcp" run the wire-only ProcessEngine over that
+  /// transport instead — "uds"/"tcp" fork every worker as a real OS
+  /// process. Socket runs are wall-clock: the DES network/compute model is
+  /// ignored. Copy from HarnessOptions::transport (--transport).
+  std::string transport = "sim";
   std::size_t threads_per_worker = 0;  ///< Intra-op kernel threads per worker
                                        ///< (see core/config.h); 0 = keep the
                                        ///< task default (serial).
@@ -106,6 +112,10 @@ struct HarnessOptions {
   /// Downward reply codec from --down-compress (auto|coo|dense|q8|q4|sbc).
   /// Copy into RunSpec::down_compress.
   core::DownCompress down_compress = core::DownCompress::kAuto;
+  /// Engine/transport from --transport (sim|thread|uds|tcp). Copy into
+  /// RunSpec::transport; anything but "sim" routes run_one through the
+  /// out-of-process ProcessEngine (core/engine_process.h).
+  std::string transport = "sim";
 
   [[nodiscard]] double epoch_scale() const noexcept { return full ? 1.0 : 0.25; }
   /// Runs should enable the event tracer (set RunSpec::trace from this).

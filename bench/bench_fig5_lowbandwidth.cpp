@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
     run_spec.secondary_ratio = ratio;
     run_spec.down_compress = down;
     run_spec.min_sparsify = 0;  // sparsify every layer, as in the paper
+    run_spec.transport = options.transport;
     return benchkit::run_one(task, data, run_spec);
   };
 

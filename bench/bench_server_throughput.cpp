@@ -12,14 +12,27 @@
 // With one shard every push serializes on a single mutex, so threads cannot
 // help; with multiple shards the per-layer work pipelines and dense-payload
 // throughput should scale with the thread count.
+//
+// --transport=uds|tcp replaces the in-process replay with a cross-process
+// one: every pusher is a forked OS process streaming framed pushes through
+// a real socket (comm/socket_transport.h) while the parent serves replies —
+// the end-to-end wire path of the ProcessEngine, measured in pushes/s and
+// MB/s. --gate-out emits the measured series as JSON for
+// scripts/check_bench.py --server (message conservation is the hard gate;
+// throughput is band-checked against the committed baseline).
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "comm/process.h"
+#include "comm/socket_transport.h"
 #include "comm/transport.h"
 #include "core/server.h"
 #include "obs/metrics.h"
@@ -168,6 +181,81 @@ void observed_run(const std::vector<Message>& pushes_per_worker,
   }
 }
 
+/// One cross-process replay: `workers` forked sender processes stream
+/// `iters` pushes each through a socket while this process serves
+/// handle_push + reply. Returns the measured series for the gate JSON.
+struct SocketSeries {
+  std::string name;
+  double pushes_per_s = 0.0;
+  double mb_per_s = 0.0;        ///< Both directions, payload + frame headers.
+  std::size_t messages = 0;     ///< Pushes the server actually serviced.
+  std::size_t expected = 0;     ///< workers * iters (conservation gate).
+};
+
+SocketSeries socket_replay(const std::string& name,
+                           const std::vector<Message>& pushes_per_worker,
+                           std::size_t workers, std::size_t iters, bool tcp) {
+  const comm::SocketAddress address =
+      tcp ? comm::SocketAddress::tcp("127.0.0.1", 0)
+          : comm::SocketAddress::uds("/tmp/dgs_bench_" +
+                                     std::to_string(::getpid()) + "_" + name +
+                                     ".sock");
+  comm::SocketServerTransport transport(address, workers);
+
+  // Fork all senders before start() spawns the event-loop thread, so no
+  // thread ever crosses a fork (same discipline as the ProcessEngine).
+  std::vector<comm::ProcessHandle> children;
+  children.reserve(workers);
+  for (std::size_t k = 0; k < workers; ++k)
+    children.push_back(comm::ProcessHandle::spawn([&, k]() -> int {
+      comm::SocketClientTransport client(transport.bound_address(),
+                                         static_cast<std::int32_t>(k));
+      Message push = pushes_per_worker[k];
+      for (std::size_t i = 0; i < iters; ++i) {
+        push.seq = i + 1;
+        if (!client.send_push(push)) return 1;
+        Message reply;
+        if (!client.receive_reply(reply)) return 1;
+        if (reply.kind == MessageKind::kShutdown) return 1;
+      }
+      return 0;
+    }));
+  transport.start();
+
+  std::size_t total = 0;
+  for (std::size_t s : kSizes) total += s;
+  core::ParameterServer server(kSizes, std::vector<float>(total, 0.0f),
+                               {.num_workers = workers});
+
+  SocketSeries series;
+  series.name = name;
+  series.expected = workers * iters;
+  const auto start = std::chrono::steady_clock::now();
+  while (series.messages < series.expected) {
+    auto push = transport.receive_push();
+    if (!push) break;
+    Message reply = server.handle_push(*push);
+    const auto worker = static_cast<std::size_t>(reply.worker_id);
+    (void)transport.send_reply(worker, std::move(reply));
+    ++series.messages;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const auto bytes = transport.bytes();
+  transport.shutdown();
+  int status = 0;
+  for (auto& child : children) status |= child.wait();
+  if (status != 0)
+    std::fprintf(stderr, "warning: a %s sender exited nonzero\n", name.c_str());
+
+  series.pushes_per_s = static_cast<double>(series.messages) / seconds;
+  series.mb_per_s = static_cast<double>(bytes.upward_bytes +
+                                        bytes.downward_bytes) /
+                    1e6 / seconds;
+  return series;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -183,7 +271,26 @@ int main(int argc, char** argv) {
       "metrics-out", "", "append the observed run's metrics as JSONL");
   const std::string trace_out = flags.str(
       "trace-out", "", "write Chrome trace JSON of the observed run");
+  const std::string transport = flags.str(
+      "transport", "thread",
+      "replay topology: thread (in-process) | uds | tcp (forked sender "
+      "processes over a real socket)");
+  const std::string gate_out = flags.str(
+      "gate-out", "",
+      "write the socket replay series as JSON for check_bench.py --server "
+      "(requires --transport=uds|tcp)");
+  const auto socket_workers = static_cast<std::size_t>(flags.i64(
+      "workers", 4, "sender process count for --transport=uds|tcp"));
   if (flags.finish()) return 0;
+  if (transport != "thread" && transport != "uds" && transport != "tcp") {
+    std::fprintf(stderr, "unknown --transport '%s' (thread|uds|tcp)\n",
+                 transport.c_str());
+    return 2;
+  }
+  if (!gate_out.empty() && transport == "thread") {
+    std::fprintf(stderr, "--gate-out requires --transport=uds|tcp\n");
+    return 2;
+  }
 
   const std::size_t max_threads = static_cast<std::size_t>(
       *std::max_element(thread_list.begin(), thread_list.end()));
@@ -195,6 +302,58 @@ int main(int argc, char** argv) {
     sparse_pushes.push_back(
         make_sparse_push(static_cast<int>(k), rng, density));
     dense_pushes.push_back(make_dense_push(static_cast<int>(k), rng));
+  }
+
+  if (transport != "thread") {
+    // Cross-process replay: one series per payload class, every sender a
+    // real forked OS process on the other end of a socket.
+    const bool tcp = transport == "tcp";
+    std::vector<Message> socket_sparse, socket_dense;
+    util::Rng socket_rng(17);
+    for (std::size_t k = 0; k < socket_workers; ++k) {
+      socket_sparse.push_back(
+          make_sparse_push(static_cast<int>(k), socket_rng, density));
+      socket_dense.push_back(make_dense_push(static_cast<int>(k), socket_rng));
+    }
+    std::printf("== server push throughput over %s (%zu sender processes, "
+                "%zu pushes each) ==\n\n",
+                transport.c_str(), socket_workers, iters);
+    const SocketSeries sparse_series =
+        socket_replay("sparse", socket_sparse, socket_workers, iters, tcp);
+    const SocketSeries dense_series =
+        socket_replay("dense", socket_dense, socket_workers, iters, tcp);
+    util::Table socket_table(
+        {"Payload", "Workers", "Pushes/s", "MB/s", "Messages"});
+    for (const SocketSeries* series : {&sparse_series, &dense_series})
+      socket_table.add_row(
+          {series->name, std::to_string(socket_workers),
+           util::Table::num(series->pushes_per_s, 0),
+           util::Table::num(series->mb_per_s, 1),
+           std::to_string(series->messages) + "/" +
+               std::to_string(series->expected)});
+    socket_table.print(std::cout);
+    if (!gate_out.empty()) {
+      std::ofstream out(gate_out);
+      char buffer[256];
+      out << "{\"bench\": \"server_throughput\", \"transport\": \""
+          << transport << "\", \"workers\": " << socket_workers
+          << ", \"iters\": " << iters << ", \"series\": [";
+      bool first = true;
+      for (const SocketSeries* series : {&sparse_series, &dense_series}) {
+        std::snprintf(buffer, sizeof(buffer),
+                      "%s{\"name\": \"%s\", \"pushes_per_s\": %.1f, "
+                      "\"mb_per_s\": %.2f, \"messages\": %zu, "
+                      "\"expected_messages\": %zu}",
+                      first ? "" : ", ", series->name.c_str(),
+                      series->pushes_per_s, series->mb_per_s, series->messages,
+                      series->expected);
+        out << buffer;
+        first = false;
+      }
+      out << "]}\n";
+      std::fprintf(stderr, "gate JSON written to %s\n", gate_out.c_str());
+    }
+    return 0;
   }
 
   std::size_t total = 0;

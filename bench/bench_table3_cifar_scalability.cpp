@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   baseline.workers = 1;
   baseline.record_curve = false;
   baseline.trace = options.trace();
+  baseline.transport = options.transport;
   const auto msgd_result = benchkit::run_one(task, data, baseline);
   const double msgd = msgd_result.final_test_accuracy;
   benchkit::export_metrics(options, msgd_result, "w1/MSGD");
@@ -85,6 +86,7 @@ int main(int argc, char** argv) {
       spec.workers = static_cast<std::size_t>(w);
       spec.record_curve = false;
       spec.trace = options.trace();
+      spec.transport = options.transport;
       const auto result = benchkit::run_one(task, data, spec);
       double paper_top1 = 0.0;
       for (const auto& e : kPaper)
@@ -125,6 +127,7 @@ int main(int argc, char** argv) {
       spec.workers = 32;
       spec.momentum = m;
       spec.record_curve = false;
+      spec.transport = options.transport;
       const auto result = benchkit::run_one(task, data, spec);
       mom.add_row({util::Table::num(m, 1),
                    util::Table::pct(100.0 * result.final_test_accuracy, 2, false),

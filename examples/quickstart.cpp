@@ -38,6 +38,11 @@ int main(int argc, char** argv) {
   const bool flags_bn = flags.boolean("bn", true, "use BatchNorm in the model");
   const std::string flags_ckpt =
       flags.str("checkpoint", "", "path to save the final model (optional)");
+  const std::string transport = flags.str(
+      "transport", "sim",
+      "sim (deterministic DES) | thread | uds | tcp -- uds/tcp fork every "
+      "worker as a real OS process talking to the server over a socket "
+      "(wall-clock; the simulated network/straggler model is ignored)");
   if (flags.finish()) return 0;
 
   // 1. Data: a deterministic synthetic stand-in for CIFAR-10.
@@ -79,8 +84,16 @@ int main(int argc, char** argv) {
               core::method_name(config.method), config.num_workers,
               config.epochs, ratio);
 
-  // 4. Run (deterministic discrete-event engine).
-  core::TrainingSession session(spec, data.train, data.test, config);
+  // 4. Run: the deterministic discrete-event engine by default, or the
+  // wire-only ProcessEngine (DESIGN.md §16) when --transport is given --
+  // with uds/tcp the workers are real forked processes and every gradient
+  // crosses a real socket.
+  core::EngineKind engine = core::EngineKind::kSimulated;
+  if (transport != "sim") {
+    config.transport = core::parse_transport_kind(transport);
+    engine = core::EngineKind::kProcess;
+  }
+  core::TrainingSession session(spec, data.train, data.test, config, engine);
   const core::RunResult result = session.run();
 
   // 5. Report.
@@ -102,7 +115,9 @@ int main(int argc, char** argv) {
   std::printf("downward bytes        : %.2f MB in %llu msgs\n",
               result.bytes.downward_bytes / 1e6,
               static_cast<unsigned long long>(result.bytes.downward_messages));
-  std::printf("simulated time        : %.2f s  (%.0f samples/s)\n",
+  std::printf("%s : %.2f s  (%.0f samples/s)\n",
+              transport == "sim" ? "simulated time       "
+                                 : "wall-clock time      ",
               result.sim_seconds, result.samples_per_second());
 
   // 6. Checkpoint the trained model so it can be reloaded and served.

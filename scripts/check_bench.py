@@ -17,6 +17,19 @@ same run key in the trajectory's *last* entry:
 * run keys present on only one side are reported, never fatal -- the
   trajectory survives bench roster changes.
 
+With ``--server`` the input is instead the ``--gate-out`` JSON written
+by ``bench_server_throughput --transport=uds|tcp`` (the cross-process
+socket replay) and the gate checks, per payload series:
+
+* message conservation (hard, machine-independent): every push the
+  sender processes emitted must have been serviced and replied to --
+  ``messages == expected_messages``;
+* throughput sanity (hard): ``pushes_per_s`` must be positive and
+  finite;
+* with ``--baseline``, per-series pushes/s are band-checked against the
+  committed ``bench/baselines/server_throughput.json`` (advisory unless
+  ``--enforce-baseline``: absolute socket throughput is machine-bound).
+
 With ``--fig5`` the input is instead the ``--gate-out`` JSON written by
 bench_fig5_lowbandwidth, and the gate checks the dual-way codec
 acceptance criteria (DESIGN.md §14) -- all in-run, machine-independent:
@@ -235,6 +248,67 @@ def check_fig5_baseline(series, baseline, tolerance):
     return drifted
 
 
+def load_server_series(path):
+    """Return {series name: series dict} from a bench_server_throughput
+    --gate-out JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        series = {s["name"]: s for s in doc["series"]}
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        print(f"check_bench: cannot read '{path}': {err}", file=sys.stderr)
+        sys.exit(2)
+    if not series:
+        print(f"check_bench: no series in '{path}'", file=sys.stderr)
+        sys.exit(2)
+    return series
+
+
+def check_server(series):
+    """Enforce the socket-replay gates; returns failure count. Message
+    conservation is exact: a lost push or reply over the socket path is a
+    transport bug, not noise."""
+    failures = 0
+    for name in sorted(series):
+        s = series[name]
+        got = s.get("messages", 0)
+        want = s.get("expected_messages", 0)
+        rate = s.get("pushes_per_s", 0.0)
+        ok = got == want and want > 0
+        print(f"{'ok  ' if ok else 'FAIL'}  {name}: {got}/{want} messages "
+              f"serviced, {rate:.0f} pushes/s")
+        if not ok:
+            failures += 1
+        if not rate > 0:
+            print(f"FAIL  {name}: non-positive throughput {rate}")
+            failures += 1
+    return failures
+
+
+def check_server_baseline(series, baseline, tolerance):
+    """Band-check per-series pushes/s against the committed baseline;
+    returns regressions as (name, current, baseline, delta fraction)."""
+    regressions = []
+    shared = sorted(set(series) & set(baseline))
+    if not shared:
+        print("warn  baseline shares no series names with results")
+        return regressions
+    for name in shared:
+        cur = series[name].get("pushes_per_s", 0.0)
+        base = baseline[name].get("pushes_per_s", 0.0)
+        if base <= 0:
+            continue
+        delta = 1.0 - cur / base
+        if delta > tolerance:
+            regressions.append((name, cur, base, delta))
+    print(f"baseline: {len(shared)} series compared, "
+          f"{len(regressions)} slower than the -{tolerance:.0%} band")
+    for name, cur, base, delta in regressions:
+        print(f"  slow  {name}: {cur:.0f} pushes/s vs {base:.0f} pushes/s "
+              f"(-{delta:.1%})")
+    return regressions
+
+
 def load_ledger_lines(path):
     """Return {run key: ledger dict} from a --ledger-out JSONL file; later
     lines win for a repeated key."""
@@ -353,6 +427,10 @@ def main(argv=None):
     parser.add_argument("--baseline",
                         help="committed baseline JSON to band-check against "
                              "(required with --trajectory)")
+    parser.add_argument("--server", action="store_true",
+                        help="gate the socket-replay series from "
+                             "bench_server_throughput --gate-out instead of "
+                             "micro-kernel times")
     parser.add_argument("--fig5", action="store_true",
                         help="gate the dual-way codec metrics from "
                              "bench_fig5_lowbandwidth --gate-out instead of "
@@ -391,6 +469,14 @@ def main(argv=None):
         sha, baseline = load_trajectory_tail(args.baseline)
         failures = check_trajectory(fresh, sha, baseline,
                                     args.max_step_regression)
+    elif args.server:
+        series = load_server_series(args.results)
+        failures = check_server(series)
+        if args.baseline:
+            regressions = check_server_baseline(
+                series, load_server_series(args.baseline), args.tolerance)
+            if regressions and args.enforce_baseline:
+                failures += len(regressions)
     elif args.fig5:
         series = load_fig5_series(args.results)
         failures = check_fig5(series, args.min_sbc_ratio,

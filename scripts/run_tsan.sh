@@ -7,9 +7,16 @@
 # the channel layer, the sharded parameter server under concurrent pushes,
 # the ThreadEngine server pool end to end, the observability layer (metrics
 # striping and the trace ring buffers) — built with DGS_TRACE=ON so the
-# tracer's record/export paths are exercised under TSan too — and the chaos
+# tracer's record/export paths are exercised under TSan too — the chaos
 # suite, whose fault-injected ThreadEngine run exercises the retransmit,
-# lease reclaim and crash/rejoin paths under racing threads.
+# lease reclaim and crash/rejoin paths under racing threads, and the socket
+# transport (event loop, framing, the epoll server + client channels).
+#
+# Fork-based tests are excluded under TSan: the ProcessEngine's uds/tcp
+# modes and the ProcessChaos suite fork real worker processes, and TSan's
+# runtime does not support multi-threaded children after fork. Their
+# thread-transport twins (ProcessEngine.ThreadTransport*, SocketExchange)
+# keep the shared protocol code covered.
 #
 # Usage: scripts/run_tsan.sh [extra ctest/gtest filter]
 set -euo pipefail
@@ -20,13 +27,23 @@ build="$repo/build-tsan"
 cmake --preset tsan -S "$repo" -DDGS_TRACE=ON >/dev/null
 cmake --build "$build" -j"$(nproc)" \
   --target test_util --target test_comm --target test_concurrency \
-  --target test_engines --target test_obs --target test_chaos
+  --target test_engines --target test_obs --target test_socket \
+  --target test_chaos
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 status=0
-for t in test_util test_comm test_concurrency test_engines test_obs test_chaos; do
+for t in test_util test_comm test_concurrency test_engines test_obs \
+         test_socket test_chaos; do
   echo "== TSan: $t =="
-  "$build/tests/$t" "${@}" || status=$?
+  filter=""
+  case "$t" in
+    test_socket)
+      # Exclude the fork-based engine runs; keep framing/sockets/threads.
+      filter="--gtest_filter=-ProcessEngine.UdsWorkersAreRealProcesses:ProcessEngine.TcpWorkersAreRealProcesses:ProcessEngine.FinalModelIsTransportInvariant" ;;
+    test_chaos)
+      filter="--gtest_filter=-ProcessChaos.*" ;;
+  esac
+  "$build/tests/$t" $filter "${@}" || status=$?
   [ "$status" -ne 0 ] && break
 done
 

@@ -57,9 +57,21 @@ class Channel {
   /// queue stays full. A close while blocked is reported as kClosed rather
   /// than being conflated with the timeout.
   ChannelStatus send_for(T value, std::chrono::microseconds timeout) {
+    return send_until(std::move(value),
+                      std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// Absolute-deadline send. The deadline is a steady_clock time point by
+  /// signature, so callers cannot hand in a wall clock that jumps under
+  /// them (NTP step, suspend/resume) — a hazard that only became real once
+  /// deadlines started racing actual socket I/O instead of in-process
+  /// handoffs. Spurious and EINTR-adjacent wakeups re-wait toward the same
+  /// fixed deadline instead of restarting the full timeout.
+  ChannelStatus send_until(T value,
+                           std::chrono::steady_clock::time_point deadline) {
     {
       std::unique_lock lock(mutex_);
-      const bool ready = not_full_.wait_for(lock, timeout, [&] {
+      const bool ready = not_full_.wait_until(lock, deadline, [&] {
         return closed_ || capacity_ == 0 || queue_.size() < capacity_;
       });
       if (closed_) return ChannelStatus::kClosed;
@@ -102,10 +114,16 @@ class Channel {
   /// drained (queued values are still delivered after close, matching
   /// receive()).
   ChannelStatus receive_for(T& out, std::chrono::microseconds timeout) {
+    return receive_until(out, std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// Absolute-deadline receive (see send_until for the clock rationale).
+  ChannelStatus receive_until(T& out,
+                              std::chrono::steady_clock::time_point deadline) {
     {
       std::unique_lock lock(mutex_);
-      const bool ready = not_empty_.wait_for(
-          lock, timeout, [&] { return !queue_.empty() || closed_; });
+      const bool ready = not_empty_.wait_until(
+          lock, deadline, [&] { return !queue_.empty() || closed_; });
       if (queue_.empty()) {
         return closed_ ? ChannelStatus::kClosed : ChannelStatus::kTimedOut;
       }

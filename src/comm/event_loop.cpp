@@ -1,0 +1,129 @@
+#include "comm/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dgs::comm {
+
+namespace {
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  ::epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
+  handlers_[fd] = std::make_shared<FdCallback>(std::move(callback));
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    handlers_.erase(fd);
+    throw_errno("epoll_ctl(add)");
+  }
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0)
+    throw_errno("epoll_ctl(mod)");
+}
+
+void EventLoop::remove_fd(int fd) {
+  // The fd may already be closed by the caller; ignore ENOENT/EBADF so
+  // teardown paths can be sloppy about ordering.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard lock(post_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) still wakes the loop; EINTR retries.
+  while (::write(wake_fd_, &one, sizeof(one)) < 0 && errno == EINTR) {
+  }
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard lock(post_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::run() {
+  stop_requested_ = false;
+  constexpr int kMaxEvents = 64;
+  ::epoll_event events[kMaxEvents];
+  while (!stop_requested_) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n && !stop_requested_; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t counter = 0;
+        while (::read(wake_fd_, &counter, sizeof(counter)) < 0 &&
+               errno == EINTR) {
+        }
+        drain_posted();
+        continue;
+      }
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;  // removed earlier in this batch
+      auto handler = it->second;            // keep alive across the call
+      (*handler)(events[i].events);
+    }
+  }
+  // Run tasks posted between the final wake and stop() so posters are not
+  // left holding promises that never resolve.
+  drain_posted();
+}
+
+void EventLoop::stop() {
+  post([this] { stop_requested_ = true; });
+}
+
+}  // namespace dgs::comm

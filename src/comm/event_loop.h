@@ -1,0 +1,68 @@
+// Minimal epoll event loop for the socket transport.
+//
+// One loop thread owns the epoll instance; fd callbacks run on that thread.
+// Cross-thread interaction happens through post(): an eventfd wakes the
+// loop, which drains a mutex-guarded task queue. That is the only
+// synchronization the transport needs — per-connection state (frame
+// decoders, write queues) is touched exclusively from the loop thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dgs::comm {
+
+/// Callback invoked with the ready epoll event mask (EPOLLIN/EPOLLOUT/...).
+using FdCallback = std::function<void(std::uint32_t events)>;
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` for `events` (EPOLLIN etc.). The callback runs on the
+  /// loop thread. The loop does not own the fd — unregister + close it
+  /// yourself (from the loop thread or before run() starts).
+  void add_fd(int fd, std::uint32_t events, FdCallback callback);
+
+  /// Change the interest mask of a registered fd (e.g. arm/disarm EPOLLOUT
+  /// as a write queue fills and drains).
+  void modify_fd(int fd, std::uint32_t events);
+
+  /// Unregister an fd. Safe to call from inside a callback, including the
+  /// fd's own callback (removal is deferred past the dispatch in flight).
+  void remove_fd(int fd);
+
+  /// Queue `task` to run on the loop thread and wake the loop. Safe from
+  /// any thread; the only cross-thread entry point.
+  void post(std::function<void()> task);
+
+  /// Run until stop(). Call from exactly one thread.
+  void run();
+
+  /// Ask run() to return once the current dispatch batch finishes. Safe
+  /// from any thread (and from signal-free contexts only — it writes the
+  /// eventfd).
+  void stop();
+
+ private:
+  void wake();
+  void drain_posted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  // shared_ptr so a callback that removes its own fd (or another fd ready
+  // in the same batch) cannot free a handler the dispatcher still holds.
+  std::unordered_map<int, std::shared_ptr<FdCallback>> handlers_;
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_requested_ = false;  // loop thread only
+};
+
+}  // namespace dgs::comm

@@ -1,0 +1,252 @@
+// Length-prefixed wire framing for the socket transport.
+//
+// Every Message crosses a socket as one frame: a fixed 64-byte header
+// followed by the codec payload verbatim. The header carries exactly the
+// Message metadata the engines already exchange in-process (kind, worker,
+// steps, seq/attempt dedup keys) plus the piggyback block out-of-process
+// workers need (loss/density tallies, the server's epoch for the LR
+// schedule) and a steady_clock send timestamp so the receiver can measure
+// one-way wire latency (CLOCK_MONOTONIC is system-wide on Linux, so the
+// stamp is comparable across processes on one machine).
+//
+// kFrameHeaderBytes == comm::kMessageHeaderBytes by design: the fixed
+// per-message overhead the DES network model has charged since the seed is
+// the real frame header, byte for byte, so modeled and measured byte
+// accounting agree on the constant term.
+//
+// Layout (little-endian, no implicit struct padding — every field is
+// memcpy'd at an explicit offset):
+//
+//   off  size  field
+//     0     4  magic 'DGSF'
+//     4     1  version (kFrameVersion)
+//     5     1  kind (MessageKind)
+//     6     2  reserved (0)
+//     8     4  worker_id (i32)
+//    12     4  attempt (u32)
+//    16     8  worker_step (u64)
+//    24     8  server_step (u64)
+//    32     8  seq (u64)
+//    40     8  send_ns (u64, steady_clock at send; 0 = unstamped)
+//    48     4  epoch (u32)
+//    52     4  loss (f32)
+//    56     4  density (f32)
+//    60     4  payload_len (u32, <= sparse::kMaxWirePayloadBytes)
+//
+// The payload is never copied on the way out: write_frame()-style senders
+// put the header and the Message's own payload buffer into one
+// sendmsg(iovec[2]) call (see socket_transport.h). On the way in,
+// FrameDecoder reads payload bytes straight into the destination
+// Message::payload — zero intermediate buffering in either direction.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "comm/message.h"
+#include "sparse/codec.h"
+
+namespace dgs::comm {
+
+inline constexpr std::uint32_t kFrameMagic = 0x44475346;  // 'DGSF'
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 64;
+static_assert(kFrameHeaderBytes == kMessageHeaderBytes,
+              "the modeled per-message charge must equal the real frame "
+              "header, or modeled and measured byte accounting diverge");
+
+/// Corrupt or malformed frame stream. Deliberately distinct from the codec
+/// decode errors: a FramingError means the *stream* is unrecoverable (the
+/// connection must be dropped), while a payload decode error is scoped to
+/// one message.
+class FramingError : public std::runtime_error {
+ public:
+  explicit FramingError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+template <typename T>
+void put(std::uint8_t* base, std::size_t offset, T value) noexcept {
+  std::memcpy(base + offset, &value, sizeof(T));
+}
+template <typename T>
+[[nodiscard]] T get(const std::uint8_t* base, std::size_t offset) noexcept {
+  T value;
+  std::memcpy(&value, base + offset, sizeof(T));
+  return value;
+}
+}  // namespace detail
+
+/// Serialize a Message's metadata into `out[kFrameHeaderBytes]`. `send_ns`
+/// is the sender's steady_clock stamp (0 to skip latency measurement).
+inline void encode_frame_header(const Message& msg, std::uint64_t send_ns,
+                                std::uint8_t* out) noexcept {
+  using detail::put;
+  put<std::uint32_t>(out, 0, kFrameMagic);
+  put<std::uint8_t>(out, 4, kFrameVersion);
+  put<std::uint8_t>(out, 5, static_cast<std::uint8_t>(msg.kind));
+  put<std::uint16_t>(out, 6, 0);
+  put<std::int32_t>(out, 8, msg.worker_id);
+  put<std::uint32_t>(out, 12, msg.attempt);
+  put<std::uint64_t>(out, 16, msg.worker_step);
+  put<std::uint64_t>(out, 24, msg.server_step);
+  put<std::uint64_t>(out, 32, msg.seq);
+  put<std::uint64_t>(out, 40, send_ns);
+  put<std::uint32_t>(out, 48, msg.epoch);
+  put<float>(out, 52, msg.loss);
+  put<float>(out, 56, msg.density);
+  put<std::uint32_t>(out, 60,
+                     static_cast<std::uint32_t>(msg.payload.size()));
+}
+
+/// Parsed header: the Message metadata plus the payload length still to be
+/// read and the sender's clock stamp.
+struct FrameHeader {
+  Message meta;  ///< All fields but payload (left empty).
+  std::uint64_t send_ns = 0;
+  std::uint32_t payload_len = 0;
+};
+
+/// Parse and validate `kFrameHeaderBytes` of header. Throws FramingError on
+/// a bad magic/version, an unknown message kind, or a payload length above
+/// sparse::kMaxWirePayloadBytes (the huge-size rejection: a bit-flipped
+/// length must never make the receiver allocate unboundedly).
+inline FrameHeader decode_frame_header(const std::uint8_t* in) {
+  using detail::get;
+  if (get<std::uint32_t>(in, 0) != kFrameMagic)
+    throw FramingError("frame: bad magic");
+  if (get<std::uint8_t>(in, 4) != kFrameVersion)
+    throw FramingError("frame: unsupported version " +
+                       std::to_string(get<std::uint8_t>(in, 4)));
+  const auto kind = get<std::uint8_t>(in, 5);
+  if (kind > static_cast<std::uint8_t>(MessageKind::kFullModel))
+    throw FramingError("frame: unknown message kind " + std::to_string(kind));
+  FrameHeader header;
+  header.meta.kind = static_cast<MessageKind>(kind);
+  header.meta.worker_id = get<std::int32_t>(in, 8);
+  header.meta.attempt = get<std::uint32_t>(in, 12);
+  header.meta.worker_step = get<std::uint64_t>(in, 16);
+  header.meta.server_step = get<std::uint64_t>(in, 24);
+  header.meta.seq = get<std::uint64_t>(in, 32);
+  header.send_ns = get<std::uint64_t>(in, 40);
+  header.meta.epoch = get<std::uint32_t>(in, 48);
+  header.meta.loss = get<float>(in, 52);
+  header.meta.density = get<float>(in, 56);
+  header.payload_len = get<std::uint32_t>(in, 60);
+  if (header.payload_len > sparse::kMaxWirePayloadBytes)
+    throw FramingError("frame: payload length " +
+                       std::to_string(header.payload_len) +
+                       " exceeds the wire cap");
+  return header;
+}
+
+/// Incremental frame reassembler. Bytes arrive in arbitrary chunks (socket
+/// reads split frames wherever the kernel pleases); the decoder reassembles
+/// them into Messages whose content is byte-identical to a whole-frame
+/// decode, for every registered payload format (pinned by the framing
+/// property tests).
+///
+/// Two feeding styles:
+///   * zero-copy: ask for `writable()` (the next gap to fill — inside the
+///     header scratch or directly inside the under-construction
+///     Message::payload), read() into it, then `commit(n)`. No intermediate
+///     buffer exists anywhere on the receive path.
+///   * convenience: `feed(span)` memcpy's through the same state machine
+///     (used by tests and by callers that already own a buffer).
+///
+/// Completed messages queue in arrival order behind `next()`. A
+/// FramingError thrown by commit()/feed() poisons the stream: the
+/// connection owning this decoder must be dropped.
+class FrameDecoder {
+ public:
+  /// Largest span writable() will offer while reading a header; payload
+  /// reads are bounded by the declared payload length instead.
+  [[nodiscard]] std::span<std::uint8_t> writable() {
+    if (in_payload_)
+      return {current_.payload.data() + filled_,
+              current_.payload.size() - filled_};
+    return {header_ + filled_, kFrameHeaderBytes - filled_};
+  }
+
+  /// Account `n` bytes just written into writable(). Throws FramingError
+  /// when a completed header fails validation.
+  void commit(std::size_t n) {
+    filled_ += n;
+    if (!in_payload_) {
+      if (filled_ < kFrameHeaderBytes) return;
+      FrameHeader header = decode_frame_header(header_);
+      current_ = std::move(header.meta);
+      send_ns_ = header.send_ns;
+      current_.payload.resize(header.payload_len);
+      filled_ = 0;
+      in_payload_ = true;
+    }
+    if (filled_ == current_.payload.size()) {
+      ready_.emplace_back(std::move(current_), send_ns_);
+      current_ = Message{};
+      filled_ = 0;
+      in_payload_ = false;
+    }
+  }
+
+  /// Convenience chunk feed (memcpy into the writable() gaps).
+  void feed(std::span<const std::uint8_t> bytes) {
+    while (!bytes.empty()) {
+      auto gap = writable();
+      const std::size_t n = gap.size() < bytes.size() ? gap.size()
+                                                      : bytes.size();
+      if (n == 0) {
+        // Zero-length payload frame: commit(0) completes it and reopens
+        // a header gap.
+        commit(0);
+        continue;
+      }
+      std::memcpy(gap.data(), bytes.data(), n);
+      commit(n);
+      bytes = bytes.subspan(n);
+    }
+    // A frame whose final byte just arrived (or a zero-payload frame) is
+    // completed by the commit above; an empty-payload frame whose header
+    // filled exactly needs one more zero-commit.
+    if (filled_ == 0 && in_payload_ && current_.payload.empty()) commit(0);
+  }
+
+  /// Pop the next completed message (arrival order). `send_ns_out`, when
+  /// non-null, receives the sender's clock stamp.
+  [[nodiscard]] bool next(Message& out, std::uint64_t* send_ns_out = nullptr) {
+    if (ready_.empty()) return false;
+    out = std::move(ready_.front().first);
+    if (send_ns_out != nullptr) *send_ns_out = ready_.front().second;
+    ready_.pop_front();
+    return true;
+  }
+
+  /// Bytes of the frame under construction consumed so far (diagnostics).
+  [[nodiscard]] std::size_t partial_bytes() const noexcept {
+    return filled_ + (in_payload_ ? kFrameHeaderBytes : 0);
+  }
+  [[nodiscard]] bool mid_frame() const noexcept {
+    return filled_ != 0 || in_payload_;
+  }
+
+ private:
+  std::uint8_t header_[kFrameHeaderBytes] = {};
+  Message current_;
+  std::uint64_t send_ns_ = 0;
+  std::size_t filled_ = 0;
+  bool in_payload_ = false;
+  std::deque<std::pair<Message, std::uint64_t>> ready_;
+};
+
+/// Exact wire size of a message as framed (header + payload). Matches
+/// Message::wire_size() because kFrameHeaderBytes == kMessageHeaderBytes.
+[[nodiscard]] inline std::size_t framed_size(const Message& msg) noexcept {
+  return kFrameHeaderBytes + msg.payload.size();
+}
+
+}  // namespace dgs::comm

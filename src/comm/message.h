@@ -36,6 +36,15 @@ struct Message {
   /// Retransmission counter: 0 for the original send, +1 per resend. Folded
   /// into the fault-classification key so a retransmit rolls a fresh die.
   std::uint32_t attempt = 0;
+  /// Piggyback block. In-process engines read these tallies straight off the
+  /// Worker; out-of-process workers must ship them in the frame header
+  /// instead, so the server can aggregate loss/density and drive the epoch
+  /// schedule without a shared address space. Pushes carry loss/density;
+  /// replies carry the server's current epoch (for the worker-side LR
+  /// schedule).
+  float loss = 0.0F;
+  float density = 0.0F;
+  std::uint32_t epoch = 0;
   sparse::Bytes payload;
 
   [[nodiscard]] std::size_t wire_size() const noexcept {

@@ -1,0 +1,79 @@
+#include "comm/process.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dgs::comm {
+
+ProcessHandle::ProcessHandle(ProcessHandle&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      reaped_(std::exchange(other.reaped_, true)),
+      status_(std::exchange(other.status_, -1)) {}
+
+ProcessHandle& ProcessHandle::operator=(ProcessHandle&& other) noexcept {
+  if (this != &other) {
+    wait();
+    pid_ = std::exchange(other.pid_, -1);
+    reaped_ = std::exchange(other.reaped_, true);
+    status_ = std::exchange(other.status_, -1);
+  }
+  return *this;
+}
+
+ProcessHandle::~ProcessHandle() { wait(); }
+
+ProcessHandle ProcessHandle::spawn(const std::function<int()>& body) {
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    int code = 1;
+    try {
+      code = body();
+    } catch (...) {
+      code = 70;  // EX_SOFTWARE-ish: uncaught exception in the child
+    }
+    ::_exit(code);
+  }
+  ProcessHandle handle;
+  handle.pid_ = pid;
+  handle.reaped_ = false;
+  return handle;
+}
+
+bool ProcessHandle::alive() {
+  if (reaped_) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == 0) return true;
+  if (r == pid_) {
+    status_ = status;
+    reaped_ = true;
+  }
+  return false;
+}
+
+void ProcessHandle::signal(int signum) const {
+  if (!reaped_ && pid_ > 0) (void)::kill(pid_, signum);
+}
+
+int ProcessHandle::wait() {
+  if (reaped_) return status_;
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r == pid_) status_ = status;
+  reaped_ = true;
+  return status_;
+}
+
+}  // namespace dgs::comm

@@ -1,0 +1,59 @@
+// Fork-based worker-process launcher.
+//
+// The multi-process engine builds the full training context (datasets,
+// model, workers) in the parent and then forks: each child inherits a
+// copy-on-write snapshot of that memory, runs one function, and _exit()s.
+// No exec — the child IS the parent program, just scoped to one worker's
+// loop. Two rules make this safe:
+//
+//   1. All forks happen while the parent is single-threaded (the socket
+//      server's epoll thread starts only after the last fork; see
+//      SocketServerTransport::start()). Forking a multithreaded process
+//      clones only the calling thread, leaving any lock held by another
+//      thread locked forever in the child.
+//   2. The child calls _exit(), not exit(): no atexit handlers, no static
+//      destructors — those belong to the parent's lifetime.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+
+namespace dgs::comm {
+
+/// Handle to one forked child.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+  ProcessHandle(const ProcessHandle&) = delete;
+  ProcessHandle& operator=(const ProcessHandle&) = delete;
+  ProcessHandle(ProcessHandle&& other) noexcept;
+  ProcessHandle& operator=(ProcessHandle&& other) noexcept;
+  /// Reaps (blocking) if the child was never waited on, so a dropped
+  /// handle cannot leak a zombie.
+  ~ProcessHandle();
+
+  /// Fork and run `body` in the child; its return value becomes the
+  /// child's exit status. Throws std::runtime_error if fork fails.
+  static ProcessHandle spawn(const std::function<int()>& body);
+
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+
+  /// True while the child has not yet been reaped and is still running
+  /// (WNOHANG probe; reaps if it just exited).
+  [[nodiscard]] bool alive();
+
+  /// Send `signum` (e.g. SIGKILL for the chaos tests). No-op once reaped.
+  void signal(int signum) const;
+
+  /// Blocking reap. Returns the raw wait(2) status (-1 if already reaped
+  /// or never started). Idempotent.
+  int wait();
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = true;
+  int status_ = -1;
+};
+
+}  // namespace dgs::comm

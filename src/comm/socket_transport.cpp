@@ -1,0 +1,507 @@
+#include "comm/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dgs::comm {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Fill a sockaddr for `address`. Returns the usable length.
+socklen_t make_sockaddr(const SocketAddress& address,
+                        ::sockaddr_storage& storage) {
+  std::memset(&storage, 0, sizeof(storage));
+  if (address.family == SocketAddress::Family::kTcp) {
+    auto* in = reinterpret_cast<::sockaddr_in*>(&storage);
+    in->sin_family = AF_INET;
+    in->sin_port = htons(address.port);
+    if (::inet_pton(AF_INET, address.host.c_str(), &in->sin_addr) != 1)
+      throw std::runtime_error("socket: bad IPv4 host " + address.host);
+    return sizeof(::sockaddr_in);
+  }
+  auto* un = reinterpret_cast<::sockaddr_un*>(&storage);
+  un->sun_family = AF_UNIX;
+  if (address.path.size() >= sizeof(un->sun_path))
+    throw std::runtime_error("socket: UDS path too long: " + address.path);
+  std::memcpy(un->sun_path, address.path.c_str(), address.path.size() + 1);
+  return static_cast<socklen_t>(offsetof(::sockaddr_un, sun_path) +
+                                address.path.size() + 1);
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketServerTransport
+
+SocketServerTransport::SocketServerTransport(const SocketAddress& address,
+                                             std::size_t num_workers,
+                                             obs::MetricsRegistry* metrics)
+    : bound_(address), inbox_(/*capacity=*/0) {
+  (void)num_workers;
+  bind_metrics(metrics);
+  if (metrics != nullptr) {
+    auto bounds = obs::exponential_bounds(0.5, 2.0, 23);
+    push_wire_us_ =
+        &metrics->histogram("transport.socket.push_wire_us", bounds);
+    reply_write_us_ = &metrics->histogram("transport.socket.reply_write_us",
+                                          std::move(bounds));
+    accepts_ = &metrics->counter("transport.socket.accepts");
+    disconnects_ = &metrics->counter("transport.socket.disconnects");
+  }
+
+  const int domain =
+      address.family == SocketAddress::Family::kTcp ? AF_INET : AF_UNIX;
+  listen_fd_ =
+      ::socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket(listen)");
+  if (address.family == SocketAddress::Family::kTcp) {
+    const int one = 1;
+    (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+  } else {
+    (void)::unlink(address.path.c_str());  // stale path from a crashed run
+  }
+  ::sockaddr_storage storage;
+  const socklen_t len = make_sockaddr(address, storage);
+  if (::bind(listen_fd_, reinterpret_cast<::sockaddr*>(&storage), len) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("listen");
+  }
+  if (address.family == SocketAddress::Family::kTcp && address.port == 0) {
+    ::sockaddr_in resolved{};
+    socklen_t rlen = sizeof(resolved);
+    if (::getsockname(listen_fd_, reinterpret_cast<::sockaddr*>(&resolved),
+                      &rlen) != 0)
+      throw_errno("getsockname");
+    bound_.port = ntohs(resolved.sin_port);
+  }
+}
+
+SocketServerTransport::~SocketServerTransport() {
+  shutdown();  // also closes every connection fd
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (bound_.family == SocketAddress::Family::kUds)
+    (void)::unlink(bound_.path.c_str());
+}
+
+void SocketServerTransport::start() {
+  if (started_) return;
+  started_ = true;
+  loop_.add_fd(listen_fd_, EPOLLIN,
+               [this](std::uint32_t events) { loop_accept(events); });
+  loop_thread_ = std::thread([this] { loop_.run(); });
+}
+
+void SocketServerTransport::loop_accept(std::uint32_t /*events*/) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: accepted everything pending
+    }
+    if (bound_.family == SocketAddress::Family::kTcp) set_tcp_nodelay(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_[fd] = std::move(conn);
+    // Look the connection up by fd at every step: loop_flush can close it
+    // (freeing the Connection), so a raw pointer captured once would
+    // dangle before loop_readable runs. On EPOLLHUP the peer is gone but
+    // its final frames may still sit in the receive buffer — drain reads
+    // until read() itself reports EOF instead of dropping them.
+    loop_.add_fd(fd, EPOLLIN, [this, fd](std::uint32_t ev) {
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) return;
+      if ((ev & EPOLLERR) != 0) {
+        loop_close(it->second.get());
+        return;
+      }
+      if ((ev & EPOLLOUT) != 0) {
+        loop_flush(it->second.get());
+        it = connections_.find(fd);
+        if (it == connections_.end()) return;  // flush hit a dead peer
+      }
+      if ((ev & (EPOLLIN | EPOLLHUP)) != 0) loop_readable(it->second.get());
+    });
+    if (accepts_ != nullptr) accepts_->add();
+  }
+}
+
+void SocketServerTransport::loop_readable(Connection* conn) {
+  for (;;) {
+    auto gap = conn->decoder.writable();
+    const ssize_t n = ::read(conn->fd, gap.data(), gap.size());
+    if (n == 0) {  // peer gone (clean close or kill -9)
+      loop_close(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      loop_close(conn);
+      return;
+    }
+    try {
+      conn->decoder.commit(static_cast<std::size_t>(n));
+    } catch (const FramingError&) {
+      // Corrupt stream: the connection is unrecoverable. Drop it; the
+      // lease machinery reclaims the worker slot.
+      loop_close(conn);
+      return;
+    }
+    Message msg;
+    std::uint64_t send_ns = 0;
+    while (conn->decoder.next(msg, &send_ns)) {
+      if (conn->worker_id < 0 && msg.worker_id >= 0) {
+        // First frame identifies the worker. A rejoining process simply
+        // replaces the (dead) mapping for its id.
+        conn->worker_id = msg.worker_id;
+        by_worker_[msg.worker_id] = conn;
+        connected_.fetch_add(1, std::memory_order_release);
+      }
+      if (push_wire_us_ != nullptr && send_ns != 0) {
+        const std::uint64_t now = steady_now_ns();
+        if (now > send_ns)
+          push_wire_us_->record(static_cast<double>(now - send_ns) * 1e-3);
+      }
+      account_up(framed_size(msg));
+      (void)inbox_.send(std::move(msg));
+      msg = Message{};
+    }
+  }
+}
+
+void SocketServerTransport::loop_flush(Connection* conn) {
+  while (!conn->write_queue.empty()) {
+    // Vectored batch: up to 8 queued frames (header + payload each) in one
+    // sendmsg. The head frame honors its partial-write offset.
+    constexpr std::size_t kMaxFrames = 8;
+    ::iovec iov[kMaxFrames * 2];
+    std::size_t iovs = 0;
+    std::size_t frames = 0;
+    for (const OutFrame& frame : conn->write_queue) {
+      if (frames == kMaxFrames) break;
+      std::size_t skip = frames == 0 ? frame.offset : 0;
+      if (skip < kFrameHeaderBytes) {
+        iov[iovs].iov_base =
+            const_cast<std::uint8_t*>(frame.header) + skip;
+        iov[iovs].iov_len = kFrameHeaderBytes - skip;
+        ++iovs;
+        skip = 0;
+      } else {
+        skip -= kFrameHeaderBytes;
+      }
+      if (frame.payload.size() > skip) {
+        iov[iovs].iov_base =
+            const_cast<std::uint8_t*>(frame.payload.data()) + skip;
+        iov[iovs].iov_len = frame.payload.size() - skip;
+        ++iovs;
+      }
+      ++frames;
+    }
+    ::msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = iovs;
+    const ssize_t n = ::sendmsg(conn->fd, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->epollout_armed) {
+          conn->epollout_armed = true;
+          loop_.modify_fd(conn->fd, EPOLLIN | EPOLLOUT);
+        }
+        return;
+      }
+      loop_close(conn);  // EPIPE/ECONNRESET: peer died mid-reply
+      return;
+    }
+    std::size_t written = static_cast<std::size_t>(n);
+    while (written > 0 && !conn->write_queue.empty()) {
+      OutFrame& head = conn->write_queue.front();
+      const std::size_t total = kFrameHeaderBytes + head.payload.size();
+      const std::size_t remaining = total - head.offset;
+      if (written >= remaining) {
+        written -= remaining;
+        if (reply_write_us_ != nullptr)
+          reply_write_us_->record(
+              static_cast<double>(steady_now_ns() - head.enqueue_ns) * 1e-3);
+        conn->write_queue.pop_front();
+      } else {
+        head.offset += written;
+        written = 0;
+      }
+    }
+  }
+  if (conn->epollout_armed) {
+    conn->epollout_armed = false;
+    loop_.modify_fd(conn->fd, EPOLLIN);
+  }
+}
+
+void SocketServerTransport::loop_close(Connection* conn) {
+  loop_.remove_fd(conn->fd);
+  ::close(conn->fd);
+  if (conn->worker_id >= 0) {
+    auto it = by_worker_.find(conn->worker_id);
+    if (it != by_worker_.end() && it->second == conn) {
+      by_worker_.erase(it);
+      connected_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+  if (disconnects_ != nullptr) disconnects_->add();
+  connections_.erase(conn->fd);  // destroys *conn — must be the last touch
+}
+
+std::optional<Message> SocketServerTransport::receive_push() {
+  return inbox_.receive();
+}
+
+ChannelStatus SocketServerTransport::receive_push_for(
+    Message& out, std::chrono::microseconds timeout) {
+  return inbox_.receive_for(out, timeout);
+}
+
+void SocketServerTransport::enqueue_reply(std::int32_t worker, Message msg) {
+  auto it = by_worker_.find(worker);
+  if (it == by_worker_.end()) return;  // equivalent to a dropped reply
+  Connection* conn = it->second;
+  conn->write_queue.emplace_back();
+  OutFrame& frame = conn->write_queue.back();
+  frame.enqueue_ns = steady_now_ns();
+  encode_frame_header(msg, frame.enqueue_ns, frame.header);
+  frame.payload = std::move(msg.payload);
+  loop_flush(conn);
+}
+
+bool SocketServerTransport::send_reply(std::size_t worker, Message msg) {
+  if (shut_down_.load(std::memory_order_acquire)) return false;
+  const std::size_t bytes = framed_size(msg);
+  const auto id = static_cast<std::int32_t>(worker);
+  loop_.post([this, id, m = std::move(msg)]() mutable {
+    enqueue_reply(id, std::move(m));
+  });
+  // A worker that died between the caller's check and the loop's map
+  // lookup makes this an overcount of at most one reply — identical to a
+  // reply dropped by the wire, which the recovery machinery tolerates.
+  account_down(bytes);
+  return true;
+}
+
+void SocketServerTransport::shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  if (started_) {
+    loop_.post([this] {
+      // Snapshot the identified workers first: enqueue_reply can flush
+      // synchronously, and a flush that hits a dead peer erases from
+      // connections_ — iterating the live map here would be UB.
+      std::vector<std::int32_t> workers;
+      workers.reserve(connections_.size());
+      for (auto& [fd, conn] : connections_) {
+        (void)fd;
+        if (conn->worker_id >= 0) workers.push_back(conn->worker_id);
+      }
+      for (const std::int32_t worker : workers) {
+        Message stop;
+        stop.kind = MessageKind::kShutdown;
+        stop.worker_id = worker;
+        enqueue_reply(worker, std::move(stop));
+      }
+    });
+    // The stop task runs after the broadcast task; loopback buffers make
+    // the 64-byte kShutdown flush synchronous in practice, and a worker
+    // that misses it sees EOF when the fds close — same outcome.
+    loop_.stop();
+    if (loop_thread_.joinable()) loop_thread_.join();
+  }
+  // The loop thread is gone: tear connection state down from here. Closing
+  // the fds is what guarantees a blocked worker process wakes up (EOF) even
+  // if its kShutdown frame never flushed -- the parent reaps children right
+  // after shutdown(), before the destructor runs.
+  for (auto& [fd, conn] : connections_) {
+    (void)conn;
+    ::close(fd);
+  }
+  connections_.clear();
+  by_worker_.clear();
+  connected_.store(0, std::memory_order_relaxed);
+  inbox_.close();
+}
+
+// ---------------------------------------------------------------------------
+// SocketClientTransport
+
+SocketClientTransport::SocketClientTransport(
+    const SocketAddress& server, std::int32_t worker_id,
+    std::chrono::milliseconds connect_timeout)
+    : worker_id_(worker_id) {
+  const auto deadline = std::chrono::steady_clock::now() + connect_timeout;
+  ::sockaddr_storage storage;
+  const socklen_t len = make_sockaddr(server, storage);
+  const int domain =
+      server.family == SocketAddress::Family::kTcp ? AF_INET : AF_UNIX;
+  for (;;) {
+    fd_ = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw_errno("socket(client)");
+    if (::connect(fd_, reinterpret_cast<::sockaddr*>(&storage), len) == 0)
+      break;
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    // The server listens before any worker is forked, so refusal here is
+    // a transient race (rejoin vs accept backlog) — retry until deadline.
+    if (err != ECONNREFUSED && err != ENOENT && err != EINTR &&
+        err != EAGAIN)
+      throw std::runtime_error(std::string("connect: ") +
+                               std::strerror(err));
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw std::runtime_error("connect: timed out");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (server.family == SocketAddress::Family::kTcp) set_tcp_nodelay(fd_);
+}
+
+SocketClientTransport::~SocketClientTransport() { close(); }
+
+void SocketClientTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketClientTransport::send_push(const Message& msg) {
+  if (fd_ < 0) return false;
+  std::uint8_t header[kFrameHeaderBytes];
+  encode_frame_header(msg, steady_now_ns(), header);
+  // Stamp this client's identity over whatever the caller left in the
+  // header copy (the first frame on a connection is how the server learns
+  // which worker is on the other end).
+  std::memcpy(header + 8, &worker_id_, sizeof(worker_id_));
+
+  ::iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = kFrameHeaderBytes;
+  iov[1].iov_base = const_cast<std::uint8_t*>(msg.payload.data());
+  iov[1].iov_len = msg.payload.size();
+  std::size_t skip = 0;
+  const std::size_t total = kFrameHeaderBytes + msg.payload.size();
+  while (skip < total) {
+    ::msghdr mh{};
+    ::iovec pending[2];
+    std::size_t iovs = 0;
+    std::size_t off = skip;
+    for (const auto& part : iov) {
+      if (off >= part.iov_len) {
+        off -= part.iov_len;
+        continue;
+      }
+      pending[iovs].iov_base = static_cast<std::uint8_t*>(part.iov_base) + off;
+      pending[iovs].iov_len = part.iov_len - off;
+      ++iovs;
+      off = 0;
+    }
+    mh.msg_iov = pending;
+    mh.msg_iovlen = iovs;
+    const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();  // EPIPE/ECONNRESET: server gone
+      return false;
+    }
+    skip += static_cast<std::size_t>(n);
+  }
+  account_up(total);
+  return true;
+}
+
+ChannelStatus SocketClientTransport::read_one(
+    Message& out,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  for (;;) {
+    if (decoder_.next(out)) {
+      account_down(framed_size(out));
+      return ChannelStatus::kOk;
+    }
+    if (fd_ < 0) return ChannelStatus::kClosed;
+    if (deadline.has_value()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= *deadline) return ChannelStatus::kTimedOut;
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(*deadline -
+                                                                now);
+      ::pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(
+          &pfd, 1,
+          static_cast<int>(remaining.count()) + 1 /* round up */);
+      if (pr < 0) {
+        if (errno == EINTR) continue;  // re-poll toward the same deadline
+        close();
+        return ChannelStatus::kClosed;
+      }
+      if (pr == 0) return ChannelStatus::kTimedOut;
+    }
+    auto gap = decoder_.writable();
+    const ssize_t n = ::read(fd_, gap.data(), gap.size());
+    if (n == 0) {
+      close();
+      return ChannelStatus::kClosed;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      close();
+      return ChannelStatus::kClosed;
+    }
+    try {
+      decoder_.commit(static_cast<std::size_t>(n));
+    } catch (const FramingError&) {
+      close();
+      return ChannelStatus::kClosed;
+    }
+  }
+}
+
+bool SocketClientTransport::receive_reply(Message& out) {
+  return read_one(out, std::nullopt) == ChannelStatus::kOk;
+}
+
+ChannelStatus SocketClientTransport::receive_reply_for(
+    Message& out, std::chrono::microseconds timeout) {
+  return read_one(out, std::chrono::steady_clock::now() + timeout);
+}
+
+}  // namespace dgs::comm

@@ -1,0 +1,211 @@
+// Real out-of-process transport: TCP / Unix-domain sockets behind the
+// same Transport seam the in-process engines use.
+//
+// Topology matches ThreadTransport's star: one server, N workers. The
+// server side runs an epoll event loop (comm/event_loop.h) on a single
+// loop thread; every worker connection gets a FrameDecoder that reads
+// payload bytes straight into the destination Message (zero-copy receive)
+// and an outbound write queue flushed with vectored sendmsg calls that put
+// the 64-byte frame header and the codec payload buffer on the wire in one
+// syscall (zero-copy send — the payload bytes the codec produced via
+// encode_into are the bytes handed to the kernel). Completed pushes land
+// in a thread-safe inbox Channel, so the engine-facing API is the familiar
+// receive_push()/send_reply() pair.
+//
+// The client side is deliberately dumb and blocking: a worker process
+// alternates compute with exactly one in-flight push, so a synchronous
+// sendmsg/poll pair with EINTR- and partial-transfer-safe loops is both
+// simpler and faster than a second event loop per worker.
+//
+// Fork discipline: constructing a SocketServerTransport binds and listens
+// but starts NO threads — fork all worker processes first, then call
+// start(). This keeps every fork() in a single-threaded parent, the only
+// regime where fork without exec is safe.
+//
+// Failure semantics: a dead peer (kill -9) surfaces as EOF/ECONNRESET on
+// the loop thread; the connection is closed and unmapped, and recovery is
+// left to the layers above (worker leases reclaim the slot, a rejoining
+// process simply connects again and identifies itself with its first
+// frame). Writes use MSG_NOSIGNAL so a death between poll and write is an
+// EPIPE, not a process-killing SIGPIPE.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/event_loop.h"
+#include "comm/framing.h"
+#include "comm/message.h"
+#include "comm/transport.h"
+#include "obs/metrics.h"
+
+namespace dgs::comm {
+
+/// Where a socket transport listens/connects.
+struct SocketAddress {
+  enum class Family : std::uint8_t { kTcp, kUds };
+  Family family = Family::kUds;
+  std::string host = "127.0.0.1";  ///< TCP only (dotted quad, no DNS).
+  std::uint16_t port = 0;          ///< TCP only; 0 = kernel-assigned.
+  std::string path;                ///< UDS only (unlinked on teardown).
+
+  static SocketAddress tcp(std::string host, std::uint16_t port) {
+    SocketAddress a;
+    a.family = Family::kTcp;
+    a.host = std::move(host);
+    a.port = port;
+    return a;
+  }
+  static SocketAddress uds(std::string path) {
+    SocketAddress a;
+    a.family = Family::kUds;
+    a.path = std::move(path);
+    return a;
+  }
+};
+
+/// Server half: accepts worker connections, decodes pushes into an inbox,
+/// writes replies addressed by worker id.
+class SocketServerTransport final : public Transport {
+ public:
+  /// Binds and listens immediately (so the address — including a
+  /// kernel-assigned TCP port — is final before any child is forked), but
+  /// starts no threads until start(). `metrics`/`phases` optional, not
+  /// owned.
+  explicit SocketServerTransport(const SocketAddress& address,
+                                 std::size_t num_workers,
+                                 obs::MetricsRegistry* metrics = nullptr);
+  ~SocketServerTransport() override;
+
+  /// Spawn the epoll loop thread. Call after all forks.
+  void start();
+
+  /// The listening address with any kernel-assigned TCP port resolved.
+  [[nodiscard]] const SocketAddress& bound_address() const noexcept {
+    return bound_;
+  }
+
+  /// Next decoded worker->server message (push or rejoin request), in
+  /// arrival order across all connections. Blocks; nullopt once shutdown
+  /// drained the inbox.
+  std::optional<Message> receive_push();
+
+  /// Timed variant, so a serving loop can interleave lease sweeps with
+  /// receives even when the wire is quiet.
+  ChannelStatus receive_push_for(Message& out,
+                                 std::chrono::microseconds timeout);
+
+  /// Queue a reply to worker `worker` and flush as far as the socket
+  /// allows (EPOLLOUT drains the rest). A reply addressed to a worker with
+  /// no live connection is silently dropped on the loop thread — exactly a
+  /// dropped reply, which the retransmit/lease machinery recovers from.
+  /// Returns false only after shutdown.
+  bool send_reply(std::size_t worker, Message msg);
+
+  /// Broadcast kShutdown to every live connection, close the inbox, stop
+  /// and join the loop. Idempotent.
+  void shutdown();
+
+  /// Live connections that have identified a worker id (a rejoining
+  /// process counts again once its first frame arrives).
+  [[nodiscard]] std::size_t connected_workers() const noexcept {
+    return connected_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct OutFrame {
+    std::uint8_t header[kFrameHeaderBytes];
+    sparse::Bytes payload;
+    std::size_t offset = 0;  ///< Bytes of (header+payload) already written.
+    std::uint64_t enqueue_ns = 0;  ///< For the reply_write_us histogram.
+  };
+  struct Connection {
+    int fd = -1;
+    std::int32_t worker_id = -1;  ///< Learned from the first frame.
+    FrameDecoder decoder;
+    std::deque<OutFrame> write_queue;
+    bool epollout_armed = false;
+  };
+
+  void loop_accept(std::uint32_t events);
+  void loop_readable(Connection* conn);
+  void loop_flush(Connection* conn);
+  void loop_close(Connection* conn);
+  void enqueue_reply(std::int32_t worker, Message msg);
+
+  SocketAddress bound_;
+  int listen_fd_ = -1;
+  EventLoop loop_;
+  std::thread loop_thread_;
+  bool started_ = false;
+  std::atomic<bool> shut_down_{false};
+  Channel<Message> inbox_;
+  std::atomic<std::size_t> connected_{0};
+
+  // Loop-thread-only state.
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::unordered_map<std::int32_t, Connection*> by_worker_;
+
+  // Measured (not modeled) wire observability; optional.
+  obs::Histogram* push_wire_us_ = nullptr;   ///< sender stamp -> decode.
+  obs::Histogram* reply_write_us_ = nullptr; ///< enqueue -> kernel accepted.
+  obs::Counter* accepts_ = nullptr;
+  obs::Counter* disconnects_ = nullptr;
+};
+
+/// Worker half: one blocking connection to the server.
+class SocketClientTransport final : public Transport {
+ public:
+  /// Connects immediately, retrying with backoff until `connect_timeout`
+  /// (a rejoining worker may race the server's accept loop). Throws
+  /// std::runtime_error if the server never answers.
+  explicit SocketClientTransport(
+      const SocketAddress& server, std::int32_t worker_id,
+      std::chrono::milliseconds connect_timeout =
+          std::chrono::milliseconds(5000));
+  ~SocketClientTransport() override;
+
+  /// Frame and send any worker->server message (push or rejoin request).
+  /// Stamps msg.worker_id with this client's id and the frame header with
+  /// a steady_clock send time. Blocking, EINTR- and partial-write-safe.
+  /// False once the connection is gone.
+  bool send_push(const Message& msg);
+
+  /// Blocking receive of the next server->worker message. False on EOF.
+  bool receive_reply(Message& out);
+
+  /// Timed receive against an absolute steady_clock deadline computed
+  /// once — EINTR or partial frames re-poll toward the same deadline, so
+  /// a signal storm cannot extend the wait (the retransmit path depends
+  /// on this bound being real).
+  ChannelStatus receive_reply_for(Message& out,
+                                  std::chrono::microseconds timeout);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] std::int32_t worker_id() const noexcept { return worker_id_; }
+
+  /// Close the connection (idempotent).
+  void close();
+
+ private:
+  /// Pull bytes until the decoder completes one message or the deadline
+  /// passes (nullopt deadline = block forever).
+  ChannelStatus read_one(
+      Message& out,
+      std::optional<std::chrono::steady_clock::time_point> deadline);
+
+  int fd_ = -1;
+  std::int32_t worker_id_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace dgs::comm

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "comm/fault.h"
@@ -62,6 +64,34 @@ struct ComputeModel {
     return worker < worker_speed.size() ? worker_speed[worker] : 1.0;
   }
 };
+
+/// How ProcessEngine moves bytes between workers and the server (see
+/// core/engine_process.h). kThread keeps everything in-process over
+/// comm::Channel queues; kUds/kTcp fork the workers into real OS processes
+/// talking to the server over a socket (comm/socket_transport.h).
+enum class TransportKind : std::uint8_t {
+  kThread,  ///< In-process, Channel-backed (no sockets, no forks).
+  kUds,     ///< Unix-domain socket, forked worker processes.
+  kTcp,     ///< TCP over loopback (with TCP_NODELAY), forked workers.
+};
+
+[[nodiscard]] constexpr const char* transport_name(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kUds: return "uds";
+    case TransportKind::kTcp: return "tcp";
+    case TransportKind::kThread: break;
+  }
+  return "thread";
+}
+
+/// Parse "thread" | "uds" | "tcp". Throws std::invalid_argument.
+[[nodiscard]] inline TransportKind parse_transport_kind(const std::string& text) {
+  if (text == "thread") return TransportKind::kThread;
+  if (text == "uds") return TransportKind::kUds;
+  if (text == "tcp") return TransportKind::kTcp;
+  throw std::invalid_argument("unknown transport '" + text +
+                              "' (expected thread|uds|tcp)");
+}
 
 struct TrainConfig {
   Method method = Method::kDGS;
@@ -124,6 +154,17 @@ struct TrainConfig {
   /// worker kill with rejoin, server-side worker leases and the worker
   /// retransmit policy. Default-constructed = disabled, zero overhead.
   comm::FaultConfig fault;
+
+  /// ProcessEngine only (see core/engine_process.h): wire between workers
+  /// and server. kUds/kTcp run each worker as a forked OS process.
+  TransportKind transport = TransportKind::kThread;
+  /// ProcessEngine only: serve pushes in strict worker round-robin order
+  /// (single service thread, per-worker pending queues) so the trained
+  /// model is bit-identical across thread/uds/tcp transports. Fault-free
+  /// runs only — validated against the fault config.
+  bool deterministic_service = false;
+  /// kUds only: socket path; empty picks a unique path under /tmp.
+  std::string uds_path;
 
   /// Learning rate in effect during the given (0-based) global epoch.
   [[nodiscard]] double lr_at_epoch(std::size_t epoch) const noexcept {

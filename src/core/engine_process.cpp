@@ -1,0 +1,656 @@
+#include "core/engine_process.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "comm/fault.h"
+#include "comm/process.h"
+#include "comm/socket_transport.h"
+#include "comm/transport.h"
+#include "core/engine_context.h"
+#include "core/payload.h"
+#include "util/logging.h"
+#include "util/parallel_for.h"
+
+namespace dgs::core {
+
+namespace {
+
+[[nodiscard]] std::chrono::microseconds to_us(double seconds) {
+  return std::chrono::microseconds(
+      static_cast<std::chrono::microseconds::rep>(seconds * 1e6));
+}
+
+// ---- transport adapters ----------------------------------------------------
+// The worker loop and the server loop are written once against these two
+// interfaces; the `thread` transport binds them to comm::Channel queues and
+// the `uds`/`tcp` transports to real sockets. Everything protocol-level
+// (seq, retransmits, piggybacked loss/epoch, rejoin) is identical across
+// the three — deliberately, so the cross-transport determinism pin compares
+// byte paths and nothing else.
+
+class ClientLink {
+ public:
+  virtual ~ClientLink() = default;
+  virtual bool send(comm::Message msg) = 0;
+  virtual bool receive(comm::Message& out) = 0;
+  virtual comm::ChannelStatus receive_for(comm::Message& out,
+                                          std::chrono::microseconds timeout) = 0;
+};
+
+class ThreadClientLink final : public ClientLink {
+ public:
+  ThreadClientLink(comm::ThreadTransport& transport, std::size_t worker)
+      : transport_(transport), worker_(worker) {}
+  bool send(comm::Message msg) override {
+    return transport_.send_push(std::move(msg));
+  }
+  bool receive(comm::Message& out) override {
+    auto reply = transport_.receive_reply(worker_);
+    if (!reply) return false;
+    out = std::move(*reply);
+    return true;
+  }
+  comm::ChannelStatus receive_for(comm::Message& out,
+                                  std::chrono::microseconds timeout) override {
+    return transport_.receive_reply_for(worker_, out, timeout);
+  }
+
+ private:
+  comm::ThreadTransport& transport_;
+  std::size_t worker_;
+};
+
+class SocketClientLink final : public ClientLink {
+ public:
+  explicit SocketClientLink(comm::SocketClientTransport& client)
+      : client_(client) {}
+  bool send(comm::Message msg) override { return client_.send_push(msg); }
+  bool receive(comm::Message& out) override {
+    return client_.receive_reply(out);
+  }
+  comm::ChannelStatus receive_for(comm::Message& out,
+                                  std::chrono::microseconds timeout) override {
+    return client_.receive_reply_for(out, timeout);
+  }
+
+ private:
+  comm::SocketClientTransport& client_;
+};
+
+class ServerLink {
+ public:
+  virtual ~ServerLink() = default;
+  virtual std::optional<comm::Message> receive_push() = 0;
+  virtual bool send_reply(std::size_t worker, comm::Message msg) = 0;
+  virtual void shutdown() = 0;
+  [[nodiscard]] virtual comm::ByteCounter bytes() const = 0;
+};
+
+class ThreadServerLink final : public ServerLink {
+ public:
+  explicit ThreadServerLink(comm::ThreadTransport& transport)
+      : transport_(transport) {}
+  std::optional<comm::Message> receive_push() override {
+    return transport_.receive_push();
+  }
+  bool send_reply(std::size_t worker, comm::Message msg) override {
+    return transport_.send_reply(worker, std::move(msg));
+  }
+  void shutdown() override { transport_.shutdown(); }
+  [[nodiscard]] comm::ByteCounter bytes() const override {
+    return transport_.bytes();
+  }
+
+ private:
+  comm::ThreadTransport& transport_;
+};
+
+class SocketServerLink final : public ServerLink {
+ public:
+  explicit SocketServerLink(comm::SocketServerTransport& transport)
+      : transport_(transport) {}
+  std::optional<comm::Message> receive_push() override {
+    return transport_.receive_push();
+  }
+  bool send_reply(std::size_t worker, comm::Message msg) override {
+    return transport_.send_reply(worker, std::move(msg));
+  }
+  void shutdown() override { transport_.shutdown(); }
+  [[nodiscard]] comm::ByteCounter bytes() const override {
+    return transport_.bytes();
+  }
+
+ private:
+  comm::SocketServerTransport& transport_;
+};
+
+// ---- push-direction fault injection ---------------------------------------
+// In socket mode the classification runs inside the worker *process*; the
+// decisions are a pure hash of (direction, worker, seq, attempt) under the
+// shared seed, so child and parent agree about which messages were doomed
+// without exchanging a word. (Child-side fault counters die with the child;
+// the parent-visible fault.* metrics count reply-direction injections and
+// kills, both classified in the parent.)
+bool send_with_faults(ClientLink& link, comm::FaultPlan* plan,
+                      std::size_t worker, comm::Message msg) {
+  if (plan == nullptr || !plan->config().faults_on_pushes ||
+      comm::is_control_message(msg))
+    return link.send(std::move(msg));
+  const auto action = plan->classify(comm::FaultDirection::kPush, worker,
+                                     msg.seq, msg.attempt);
+  switch (action) {
+    case comm::FaultAction::kDrop:
+      return true;  // vanished on the wire; the reply timeout heals it
+    case comm::FaultAction::kDuplicate: {
+      comm::Message copy = msg;
+      if (!link.send(std::move(copy))) return false;
+      return link.send(std::move(msg));
+    }
+    case comm::FaultAction::kDelay:
+    case comm::FaultAction::kReorder:
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          plan->hold_seconds(action, worker, msg.seq, msg.attempt)));
+      return link.send(std::move(msg));
+    case comm::FaultAction::kDeliver:
+      break;
+  }
+  return link.send(std::move(msg));
+}
+
+// ---- the worker loop -------------------------------------------------------
+// Runs on a std::thread (kThread) or as the body of a forked child
+// (kUds/kTcp). All coordination arrives over the link: the LR schedule
+// epoch rides on replies, kShutdown (or a closed connection) ends the run,
+// and a kFullModel reply at any point warm-restarts the local replica.
+void run_worker_loop(EngineContext& context, const TrainConfig& config,
+                     std::size_t k, std::size_t intra_op, bool rejoin_first,
+                     ClientLink& link, comm::FaultPlan* plan) {
+  util::set_intra_op_threads(intra_op);
+  Worker* w = &context.worker(k);
+  std::uint64_t next_seq = 0;
+  std::uint32_t epoch = 0;
+
+  const auto install_full_model = [&](const comm::Message& reply) {
+    w = &context.revive_worker(k, flatten_dense_payload(reply.payload));
+    // reply.seq is the server's dedup watermark: resume above it (a fresh
+    // process would otherwise push seq 1, 2, ... into the duplicate filter).
+    next_seq = std::max(next_seq, reply.seq);
+    epoch = reply.epoch;
+  };
+
+  // Crash/partition recovery: wait out the downtime, re-register, install
+  // the warm-start snapshot. False when the run is over instead.
+  const auto rejoin = [&]() -> bool {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config.fault.rejoin_delay_s));
+    comm::Message request;
+    request.kind = comm::MessageKind::kRejoinRequest;
+    request.worker_id = static_cast<std::int32_t>(k);
+    request.seq = next_seq;
+    if (!link.send(std::move(request))) return false;
+    while (true) {
+      comm::Message reply;
+      if (!link.receive(reply) || reply.kind == comm::MessageKind::kShutdown)
+        return false;
+      if (reply.kind == comm::MessageKind::kFullModel) {
+        install_full_model(reply);
+        DGS_LOG(kInfo) << "worker " << k << " rejoined at server step "
+                       << reply.server_step;
+        return true;
+      }
+      // Stale diff addressed to the pre-crash incarnation: discard.
+    }
+  };
+
+  if (rejoin_first && !rejoin()) return;
+
+  const bool retry_armed = plan != nullptr && config.fault.message_faults();
+
+  while (true) {
+    IterationResult iter = w->compute_and_pack(
+        static_cast<float>(config.lr_at_epoch(epoch)), epoch);
+    comm::Message push = std::move(iter.push);
+    push.seq = ++next_seq;
+    push.loss = static_cast<float>(iter.loss);
+    push.density = static_cast<float>(iter.update_density);
+
+    if (!retry_armed) {
+      if (!link.send(std::move(push))) return;
+      comm::Message reply;
+      if (!link.receive(reply) || reply.kind == comm::MessageKind::kShutdown)
+        return;
+      if (reply.kind == comm::MessageKind::kFullModel) {
+        install_full_model(reply);
+        continue;
+      }
+      w->apply_model_diff(reply);
+      epoch = reply.epoch;
+      continue;
+    }
+
+    // Lossy wire: wait with a deadline; a silent deadline retransmits the
+    // same push (same seq, next attempt), and after max_retransmits the
+    // worker declares itself partitioned and rejoins.
+    comm::Message inflight = push;
+    if (!send_with_faults(link, plan, k, std::move(push))) return;
+    std::uint32_t attempt = 0;
+    bool resolved = false;
+    while (!resolved) {
+      comm::Message reply;
+      const auto status =
+          link.receive_for(reply, to_us(config.fault.retransmit_timeout_s));
+      switch (status) {
+        case comm::ChannelStatus::kClosed:
+          return;
+        case comm::ChannelStatus::kTimedOut: {
+          if (attempt >= config.fault.max_retransmits) {
+            DGS_LOG(kWarn) << "worker " << k << " gave up on push seq "
+                           << inflight.seq << " after " << attempt
+                           << " retransmits; rejoining";
+            if (!rejoin()) return;
+            resolved = true;  // push abandoned; rejoin resynced us
+            break;
+          }
+          ++attempt;
+          plan->count_retransmit();
+          inflight.attempt = attempt;
+          if (!send_with_faults(link, plan, k, comm::Message(inflight)))
+            return;
+          break;
+        }
+        case comm::ChannelStatus::kOk: {
+          if (reply.kind == comm::MessageKind::kShutdown) return;
+          if (reply.kind == comm::MessageKind::kFullModel) {
+            install_full_model(reply);
+            resolved = true;
+            break;
+          }
+          if (reply.seq != inflight.seq) break;  // stale/duplicate reply
+          w->apply_model_diff(reply);
+          epoch = reply.epoch;
+          resolved = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+[[nodiscard]] std::string default_uds_path() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "/tmp/dgs_engine_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+}  // namespace
+
+ProcessEngine::ProcessEngine(nn::ModelSpec spec,
+                             std::shared_ptr<const data::Dataset> train,
+                             std::shared_ptr<const data::Dataset> test,
+                             TrainConfig config)
+    : spec_(std::move(spec)),
+      train_(std::move(train)),
+      test_(std::move(test)),
+      config_(std::move(config)) {
+  validate_engine_config("ProcessEngine", config_);
+  if (config_.deterministic_service && config_.fault.enabled())
+    throw std::invalid_argument(
+        "ProcessEngine: deterministic_service requires a fault-free config "
+        "(strict round-robin service cannot tolerate lost turns)");
+  if (config_.fault.kill_worker >= 0 &&
+      config_.transport == TransportKind::kThread)
+    throw std::invalid_argument(
+        "ProcessEngine: a scheduled kill needs a process transport "
+        "(uds/tcp) — there is no process to SIGKILL in thread mode");
+}
+
+RunResult ProcessEngine::run() {
+  if (used_) throw std::logic_error("ProcessEngine::run: already run");
+  used_ = true;
+
+  EngineContext context("ProcessEngine", spec_, train_, test_, config_);
+  ParameterServer server = context.make_server();
+  const std::size_t intra_op = effective_threads_per_worker(config_);
+  const std::size_t num_workers = config_.num_workers;
+
+  std::unique_ptr<comm::FaultPlan> plan;
+  if (config_.fault.enabled())
+    plan =
+        std::make_unique<comm::FaultPlan>(config_.fault, &context.metrics());
+
+  const std::uint64_t sample_budget = context.sample_budget();
+  const std::size_t train_size = context.train_size();
+  std::atomic<std::uint64_t> samples_at_server{0};
+  std::atomic<bool> kill_fired{false};
+
+  RunResult result;
+  auto epochs = context.make_epoch_tracker(/*eval_final_epoch=*/false);
+  std::mutex epoch_mutex;  // guards `epochs` + result.curve
+  std::mutex merge_mutex;  // guards result.staleness
+  const auto server_model = [&server] { return server.global_model_flat(); };
+
+  // ---- server-side message processing (shared by both service modes) ------
+  // `kill_hook` is non-null only in socket mode with a scheduled kill: it
+  // SIGKILLs the worker's process and wakes the standby.
+  std::function<void(std::size_t)> kill_hook;
+
+  // The serve loop is parameterized over the link at the call sites below.
+  const auto make_process_one = [&](ServerLink& link) {
+    return [&, &link = link](comm::Message& push,
+                             StalenessStats& stripe) -> bool {
+      const double now = context.wall_seconds();
+      const auto worker = static_cast<std::size_t>(push.worker_id);
+
+      const auto deliver_reply = [&](comm::Message reply) {
+        if (plan == nullptr || !config_.fault.faults_on_replies ||
+            comm::is_control_message(reply)) {
+          (void)link.send_reply(worker, std::move(reply));
+          return;
+        }
+        const auto action = plan->classify(comm::FaultDirection::kReply,
+                                           worker, reply.seq, reply.attempt);
+        switch (action) {
+          case comm::FaultAction::kDrop:
+            return;  // worker's reply timeout retransmits; dedup resends G
+          case comm::FaultAction::kDuplicate: {
+            comm::Message copy = reply;
+            (void)link.send_reply(worker, std::move(copy));
+            (void)link.send_reply(worker, std::move(reply));
+            return;
+          }
+          case comm::FaultAction::kDelay:
+          case comm::FaultAction::kReorder:
+            // Held in the sending thread, like FaultyThreadTransport: a
+            // slow link back-pressures its sender.
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                plan->hold_seconds(action, worker, reply.seq,
+                                   reply.attempt)));
+            [[fallthrough]];
+          case comm::FaultAction::kDeliver:
+            (void)link.send_reply(worker, std::move(reply));
+            return;
+        }
+      };
+
+      if (push.kind == comm::MessageKind::kRejoinRequest) {
+        comm::Message reply = server.handle_rejoin(push, now);
+        reply.epoch = static_cast<std::uint32_t>(
+            samples_at_server.load(std::memory_order_relaxed) / train_size);
+        deliver_reply(std::move(reply));
+        return true;
+      }
+
+      // Scheduled kill: fires once, on the victim's push at the configured
+      // local step — a literal SIGKILL while the worker blocks on this
+      // push's reply, i.e. mid-push. The push dies with the process (the
+      // in-process engines lose that step's gradient the same way).
+      if (kill_hook != nullptr && plan != nullptr &&
+          !kill_fired.load(std::memory_order_acquire) &&
+          plan->wants_kill(worker, push.worker_step)) {
+        kill_fired.store(true, std::memory_order_release);
+        plan->count_kill();
+        DGS_LOG(kWarn) << "killing worker process " << worker
+                       << " at local step " << push.worker_step;
+        kill_hook(worker);
+        return true;
+      }
+
+      if (config_.fault.lease_timeout_s > 0.0)
+        server.reclaim_expired_leases(now);
+
+      std::uint64_t staleness = 0;
+      bool duplicate = false;
+      comm::Message reply = server.handle_push(push, &staleness, &duplicate);
+      server.touch_lease(worker, now);
+
+      std::uint64_t total;
+      if (duplicate) {
+        total = samples_at_server.load(std::memory_order_relaxed);
+      } else {
+        total = samples_at_server.fetch_add(config_.batch_size,
+                                            std::memory_order_relaxed) +
+                config_.batch_size;
+        // Piggybacked tallies: the loss/density the worker measured ride on
+        // the push (workers may live in another process). One in-flight
+        // push per worker + seq dedup serialize writes to each tally.
+        EngineContext::WorkerTally& tally = context.tally(worker);
+        tally.loss_sum += push.loss;
+        ++tally.loss_count;
+        tally.samples += config_.batch_size;
+        tally.update_density_sum += push.density;
+      }
+      reply.epoch = static_cast<std::uint32_t>(total / train_size);
+      deliver_reply(std::move(reply));
+      if (duplicate) return true;  // retransmit or dup copy: no new samples
+
+      stripe.record(staleness);
+      {
+        std::lock_guard lock(epoch_mutex);
+        epochs.add_loss(push.loss);
+        epochs.advance(result, total, context.wall_seconds(), server_model);
+      }
+      if (total >= sample_budget) {
+        link.shutdown();
+        return false;
+      }
+      return true;
+    };
+  };
+
+  // Inbox-order service (mirrors ThreadEngine's pool).
+  const auto serve_pool = [&](ServerLink& link, std::size_t pool_size) {
+    auto process_one = make_process_one(link);
+    auto serve = [&] {
+      StalenessStats stripe;
+      while (true) {
+        auto push = link.receive_push();
+        if (!push) break;
+        if (!process_one(*push, stripe)) break;
+      }
+      std::lock_guard lock(merge_mutex);
+      result.staleness.merge(stripe);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size > 0 ? pool_size - 1 : 0);
+    for (std::size_t t = 1; t < pool_size; ++t) pool.emplace_back(serve);
+    serve();  // this thread is pool member 0
+    for (auto& t : pool) t.join();
+  };
+
+  // Strict round-robin service: one thread, per-worker pending queues,
+  // worker k served only on turn k. With a fault-free wire and one
+  // in-flight push per worker this fixes the exact global order pushes are
+  // applied in — the trained model becomes a pure function of (config,
+  // seed), independent of transport. Control messages are handled on
+  // arrival (they do not consume a turn).
+  const auto serve_round_robin = [&](ServerLink& link) {
+    auto process_one = make_process_one(link);
+    StalenessStats stripe;
+    std::vector<std::deque<comm::Message>> pending(num_workers);
+    std::size_t turn = 0;
+    bool running = true;
+    while (running) {
+      while (running && pending[turn].empty()) {
+        auto push = link.receive_push();
+        if (!push) {
+          running = false;
+          break;
+        }
+        const auto w = static_cast<std::size_t>(push->worker_id);
+        if (push->kind != comm::MessageKind::kGradientPush ||
+            w >= num_workers) {
+          if (!process_one(*push, stripe)) running = false;
+          continue;
+        }
+        pending[w].push_back(std::move(*push));
+      }
+      if (!running) break;
+      comm::Message push = std::move(pending[turn].front());
+      pending[turn].pop_front();
+      if (!process_one(push, stripe)) break;
+      turn = (turn + 1) % num_workers;
+    }
+    std::lock_guard lock(merge_mutex);
+    result.staleness.merge(stripe);
+  };
+
+  const std::size_t pool_size =
+      config_.deterministic_service
+          ? 1
+          : (config_.server_threads > 0 ? config_.server_threads : 1);
+
+  comm::ByteCounter wire_bytes;
+
+  if (config_.transport == TransportKind::kThread) {
+    // ---- in-process: worker std::threads over Channel queues ---------------
+    comm::SendRetryPolicy send_retry;
+    if (config_.fault.enabled()) send_retry.attempts = 4;
+    comm::ThreadTransport transport(num_workers, config_.server_inbox_capacity,
+                                    &context.metrics(), send_retry,
+                                    &context.phases());
+    ThreadServerLink slink(transport);
+
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers);
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      workers.emplace_back([&, k] {
+        ThreadClientLink link(transport, k);
+        run_worker_loop(context, config_, k, intra_op,
+                        /*rejoin_first=*/false, link, plan.get());
+      });
+    }
+    if (config_.deterministic_service)
+      serve_round_robin(slink);
+    else
+      serve_pool(slink, pool_size);
+    transport.shutdown();  // idempotent; releases any worker still blocked
+    for (auto& t : workers) t.join();
+    wire_bytes = slink.bytes();
+  } else {
+    // ---- out-of-process: forked children over sockets ----------------------
+    comm::SocketAddress address =
+        config_.transport == TransportKind::kUds
+            ? comm::SocketAddress::uds(config_.uds_path.empty()
+                                           ? default_uds_path()
+                                           : config_.uds_path)
+            : comm::SocketAddress::tcp("127.0.0.1", 0);
+    comm::SocketServerTransport transport(address, num_workers,
+                                          &context.metrics());
+    const comm::SocketAddress bound = transport.bound_address();
+
+    // Fork everything BEFORE the epoll thread (or any service thread)
+    // exists: fork() in a multithreaded process is only safe with exec,
+    // which we deliberately avoid so children inherit the built context.
+    std::vector<comm::ProcessHandle> children;
+    children.reserve(num_workers);
+    for (std::size_t k = 0; k < num_workers; ++k) {
+      children.push_back(comm::ProcessHandle::spawn([&, k]() -> int {
+        comm::SocketClientTransport client(bound,
+                                           static_cast<std::int32_t>(k));
+        SocketClientLink link(client);
+        std::unique_ptr<comm::FaultPlan> child_plan;
+        if (config_.fault.enabled())
+          child_plan = std::make_unique<comm::FaultPlan>(config_.fault);
+        run_worker_loop(context, config_, k, intra_op,
+                        /*rejoin_first=*/false, link, child_plan.get());
+        return 0;
+      }));
+    }
+
+    // Standby for the scheduled kill: forked now (single-threaded parent),
+    // woken by a pipe byte after the SIGKILL, replaces the victim via the
+    // rejoin protocol. EOF on the pipe (run ended, no kill) = exit quietly.
+    int kill_pipe[2] = {-1, -1};
+    std::optional<comm::ProcessHandle> standby;
+    if (plan != nullptr && config_.fault.kill_worker >= 0) {
+      if (::pipe2(kill_pipe, O_CLOEXEC) != 0)
+        throw std::runtime_error(std::string("pipe2: ") +
+                                 std::strerror(errno));
+      const auto victim =
+          static_cast<std::size_t>(config_.fault.kill_worker);
+      standby = comm::ProcessHandle::spawn([&, victim]() -> int {
+        ::close(kill_pipe[1]);
+        char byte = 0;
+        ssize_t n;
+        do {
+          n = ::read(kill_pipe[0], &byte, 1);
+        } while (n < 0 && errno == EINTR);
+        ::close(kill_pipe[0]);
+        if (n <= 0) return 0;  // run finished without the kill
+        comm::SocketClientTransport client(
+            bound, static_cast<std::int32_t>(victim));
+        SocketClientLink link(client);
+        std::unique_ptr<comm::FaultPlan> child_plan =
+            std::make_unique<comm::FaultPlan>(config_.fault);
+        run_worker_loop(context, config_, victim, intra_op,
+                        /*rejoin_first=*/true, link, child_plan.get());
+        return 0;
+      });
+      ::close(kill_pipe[0]);
+      kill_pipe[0] = -1;
+      kill_hook = [&children, &kill_pipe](std::size_t worker) {
+        children[worker].signal(SIGKILL);
+        (void)children[worker].wait();  // reap; kernel closes its socket
+        const char go = 'k';
+        ssize_t n;
+        do {
+          n = ::write(kill_pipe[1], &go, 1);
+        } while (n < 0 && errno == EINTR);
+      };
+    }
+
+    transport.start();  // all forks done; threads may exist from here on
+    SocketServerLink slink(transport);
+    if (config_.deterministic_service)
+      serve_round_robin(slink);
+    else
+      serve_pool(slink, pool_size);
+    transport.shutdown();  // closes every worker fd: children see EOF
+    for (auto& child : children) (void)child.wait();
+    if (kill_pipe[1] >= 0) ::close(kill_pipe[1]);  // EOF wakes unused standby
+    if (standby.has_value()) (void)standby->wait();
+    wire_bytes = slink.bytes();
+  }
+
+  // ---- final metrics --------------------------------------------------------
+  result.bytes = wire_bytes;
+  result.samples_processed = context.total_tally_samples();
+  if (result.bytes.upward_messages > 0) {
+    double density_sum = 0.0;
+    for (std::size_t k = 0; k < num_workers; ++k)
+      density_sum += context.tally(k).update_density_sum;
+    result.mean_upward_density =
+        density_sum / static_cast<double>(result.bytes.upward_messages);
+  }
+  if (server.total_reply_dense() > 0)
+    result.mean_downward_density =
+        static_cast<double>(server.total_reply_nnz()) /
+        static_cast<double>(server.total_reply_dense());
+  result.reply_elements = server.total_reply_nnz();
+  result.server_steps = server.step();
+  result.server_state_bytes = server.state_bytes();
+  result.threads_per_worker = intra_op;
+  context.finalize(result, epochs, server.global_model_flat(),
+                   context.wall_seconds(), context.mean_tally_loss(),
+                   /*always_append=*/true);
+  result.sim_seconds = result.wall_seconds;
+  return result;
+}
+
+}  // namespace dgs::core

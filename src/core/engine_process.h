@@ -1,0 +1,55 @@
+// Multi-process training engine: workers as real OS processes over a
+// socket transport (or as threads over the same protocol, for apples-to-
+// apples comparison and the cross-transport determinism pin).
+//
+// Where ThreadEngine shares memory between workers and server (atomic
+// sample claims, a shared epoch atomic, in-place tallies), ProcessEngine
+// shares NOTHING at runtime: every coordination signal crosses the wire.
+//   * budget   — the server counts accepted samples and broadcasts
+//                kShutdown when the budget is spent (workers never see a
+//                claim counter);
+//   * epoch    — piggybacked on every reply (Message::epoch), driving the
+//                worker-side LR/warmup schedule;
+//   * loss and update density — piggybacked on every push, aggregated
+//                into the per-worker tallies server-side.
+// The kThread transport runs this same wire-only protocol over Channel
+// queues, so the only difference between `thread`, `uds` and `tcp` runs is
+// the byte path — which is what makes the determinism pin meaningful.
+//
+// Process model (kUds/kTcp): the parent builds the full EngineContext,
+// binds the listening socket, then forks one child per worker (plus one
+// standby if a kill is scheduled) while still single-threaded; children
+// inherit a copy-on-write snapshot of the model/dataset and run the worker
+// loop against a blocking SocketClientTransport. Only after the last fork
+// does the parent start the epoll thread and its server pool. A scheduled
+// fault kill is a literal SIGKILL of the worker's process; the pre-forked
+// standby then wakes, waits out the rejoin delay, connects, and resumes
+// that worker from a kFullModel snapshot (see DESIGN.md §16).
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace dgs::core {
+
+class ProcessEngine {
+ public:
+  ProcessEngine(nn::ModelSpec spec, std::shared_ptr<const data::Dataset> train,
+                std::shared_ptr<const data::Dataset> test, TrainConfig config);
+
+  /// Run to completion. One-shot, like the other engines.
+  [[nodiscard]] RunResult run();
+
+ private:
+  nn::ModelSpec spec_;
+  std::shared_ptr<const data::Dataset> train_;
+  std::shared_ptr<const data::Dataset> test_;
+  TrainConfig config_;
+  bool used_ = false;
+};
+
+}  // namespace dgs::core

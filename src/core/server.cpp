@@ -1,5 +1,6 @@
 #include "core/server.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -353,7 +354,13 @@ comm::Message ParameterServer::handle_rejoin(const comm::Message& request,
   rejoins_.fetch_add(1, std::memory_order_relaxed);
   if (instruments_.rejoins != nullptr) instruments_.rejoins->add();
   comm::Message reply = build_full_model_reply(worker);
-  reply.seq = request.seq;
+  // The reply's seq is the dedup floor the rejoined worker must resume
+  // above. An in-process revive keeps its monotonic counter (request.seq
+  // already past the watermark); a rejoined *process* starts from scratch
+  // and needs the server's watermark, or its fresh 1,2,3... pushes would
+  // all dedup as duplicates.
+  reply.seq =
+      std::max(request.seq, last_seq_[worker].load(std::memory_order_acquire));
   touch_lease(worker, now);
   return reply;
 }

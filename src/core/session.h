@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/config.h"
+#include "core/engine_process.h"
 #include "core/engine_sim.h"
 #include "core/engine_sync.h"
 #include "core/engine_thread.h"
@@ -23,6 +24,8 @@ enum class EngineKind : std::uint8_t {
   kSimulated,    ///< Deterministic discrete-event simulation (default).
   kThreaded,     ///< Real std::thread asynchrony, wall-clock timing.
   kSynchronous,  ///< Barrier-per-round SSGD (see engine_sync.h).
+  kProcess,      ///< Wire-only protocol; workers as threads or real OS
+                 ///< processes per TrainConfig::transport (engine_process.h).
 };
 
 class TrainingSession {
@@ -41,6 +44,8 @@ class TrainingSession {
       return ThreadEngine(spec_, train_, test_, config_).run();
     if (engine_ == EngineKind::kSynchronous)
       return SyncEngine(spec_, train_, test_, config_).run();
+    if (engine_ == EngineKind::kProcess)
+      return ProcessEngine(spec_, train_, test_, config_).run();
     return SimEngine(spec_, train_, test_, config_).run();
   }
 

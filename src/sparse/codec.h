@@ -26,6 +26,13 @@ using Bytes = std::vector<std::uint8_t>;
 inline constexpr std::uint32_t kSparseMagic = 0x44475353;  // 'DGSS'
 inline constexpr std::uint32_t kDenseMagic = 0x44475344;   // 'DGSD'
 
+/// Upper bound on a single encoded payload crossing a transport (1 GiB).
+/// Generous — a dense float snapshot of a 250M-parameter model fits — but
+/// finite, so a corrupted length field in a socket frame header can never
+/// make a receiver allocate unboundedly (comm/framing.h rejects anything
+/// larger before touching the allocator).
+inline constexpr std::size_t kMaxWirePayloadBytes = std::size_t{1} << 30;
+
 /// Exact encoded size in bytes of a sparse update.
 [[nodiscard]] std::size_t encoded_size(const SparseUpdate& update) noexcept;
 

@@ -30,6 +30,7 @@ class Writer {
 
  private:
   void raw(const void* p, std::size_t n) {
+    if (n == 0) return;  // empty span => p may be null
     const auto* b = static_cast<const std::uint8_t*>(p);
     out_.insert(out_.end(), b, b + n);
   }
@@ -79,6 +80,7 @@ class Reader {
  private:
   void raw(void* p, std::size_t n) {
     if (n > remaining()) throw std::runtime_error("codec: truncated payload");
+    if (n == 0) return;  // empty destination span => p may be null
     std::memcpy(p, in_.data() + pos_, n);
     pos_ += n;
   }

@@ -411,4 +411,123 @@ TEST(ChaosRun, ThreadEngineSurvivesChaos) {
   EXPECT_FALSE(r.final_model.empty());
 }
 
+// ------------------------------------------- cross-process chaos (sockets)
+
+// Real OS processes over a Unix socket. The scheduled kill here is a
+// literal SIGKILL of the worker's process mid-push: no destructors, no
+// flushes — the frame it was mid-way through dies in the socket buffer.
+// The server must (a) survive the torn stream, (b) reclaim the dead
+// worker's lease, and (c) warm-start the pre-forked standby process via a
+// kFullModel resync, all observed from the parent.
+TEST(ProcessChaos, UdsKillDashNineReclaimsLeaseAndRejoins) {
+  const auto data = tiny_data(83);
+  // A wider hidden layer slows each iteration enough that the run
+  // comfortably outlasts the rejoin downtime (real wall-clock recovery
+  // needs a run measured in hundreds of pushes, not tens).
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {64},
+                                       data.train->num_classes());
+  auto config = tiny_config(3);
+  config.batch_size = 16;
+  config.epochs = 32;
+  config.record_curve = false;
+  config.transport = core::TransportKind::kUds;
+  config.fault.seed = 41;
+  config.fault.kill_worker = 1;
+  config.fault.kill_at_step = 2;
+  // Lease shorter than the rejoin downtime: the reclaim must be observed
+  // before the standby re-registers. Survivors push every ~0.1ms, so the
+  // expired lease is noticed well inside the downtime window, and the
+  // ~70ms run dwarfs the 10ms downtime so the rejoin lands long before
+  // the sample budget runs out.
+  config.fault.lease_timeout_s = 4e-3;
+  config.fault.rejoin_delay_s = 10e-3;
+  config.fault.retransmit_timeout_s = 20e-3;
+
+  const auto r = core::ProcessEngine(spec, data.train, data.test, config).run();
+  EXPECT_GE(r.worker_rejoins, 1u);     // the standby process re-registered
+  EXPECT_GE(r.leases_reclaimed, 1u);   // v_k was reset while it was dead
+  EXPECT_GE(r.samples_processed, 32ull * data.train->size());
+  EXPECT_GT(r.final_test_accuracy, 0.3);
+  EXPECT_FALSE(r.final_model.empty());
+}
+
+// Reply-direction drops over a real socket: the worker's retransmit
+// deadline (a real steady_clock timeout now, not a channel convention)
+// must heal every lost reply. Gradient conservation shows up as exact
+// sample accounting: a retransmitted push is deduped by seq, never applied
+// twice, so accepted samples stay in the fault-free band.
+TEST(ProcessChaos, UdsReplyDropsHealByRetransmit) {
+  const auto data = tiny_data(89);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {16},
+                                       data.train->num_classes());
+  auto config = tiny_config(2);
+  config.batch_size = 16;
+  config.epochs = 3;
+  config.record_curve = false;
+  config.transport = core::TransportKind::kUds;
+  config.fault.seed = 43;
+  config.fault.drop_pct = 10.0;
+  config.fault.faults_on_pushes = false;  // reply direction only
+  config.fault.retransmit_timeout_s = 15e-3;
+
+  const auto r = core::ProcessEngine(spec, data.train, data.test, config).run();
+  EXPECT_GT(r.faults_injected, 0u);  // parent-side reply classifications
+  const std::uint64_t budget = 3ull * data.train->size();
+  EXPECT_GE(r.samples_processed, budget);
+  // Dedup means duplicates add no samples: the overshoot is bounded by one
+  // in-flight push per worker.
+  EXPECT_LE(r.samples_processed,
+            budget + config.num_workers * config.batch_size);
+  EXPECT_GT(r.final_test_accuracy, 0.3);
+}
+
+// Push-direction drops: classified inside the worker *process* from the
+// same pure-hash schedule, healed by the same retransmit path.
+TEST(ProcessChaos, UdsPushDropsHealByRetransmit) {
+  const auto data = tiny_data(97);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {16},
+                                       data.train->num_classes());
+  auto config = tiny_config(2);
+  config.batch_size = 16;
+  config.epochs = 3;
+  config.record_curve = false;
+  config.transport = core::TransportKind::kUds;
+  config.fault.seed = 47;
+  config.fault.drop_pct = 10.0;
+  config.fault.faults_on_replies = false;  // push direction only
+  config.fault.retransmit_timeout_s = 15e-3;
+
+  const auto r = core::ProcessEngine(spec, data.train, data.test, config).run();
+  const std::uint64_t budget = 3ull * data.train->size();
+  EXPECT_GE(r.samples_processed, budget);
+  EXPECT_LE(r.samples_processed,
+            budget + config.num_workers * config.batch_size);
+  EXPECT_GT(r.final_test_accuracy, 0.3);
+}
+
+// The headline chaos schedule end-to-end over TCP: drops both ways plus
+// the kill, against real processes on loopback.
+TEST(ProcessChaos, TcpSurvivesDropsPlusKill) {
+  const auto data = tiny_data(101);
+  const auto spec = nn::ModelSpec::mlp(data.train->feature_dim(), {64},
+                                       data.train->num_classes());
+  auto config = tiny_config(3);
+  config.batch_size = 16;
+  config.epochs = 12;
+  config.record_curve = false;
+  config.transport = core::TransportKind::kTcp;
+  config.fault.seed = 53;
+  config.fault.drop_pct = 5.0;
+  config.fault.kill_worker = 2;
+  config.fault.kill_at_step = 2;
+  config.fault.lease_timeout_s = 4e-3;
+  config.fault.rejoin_delay_s = 10e-3;
+  config.fault.retransmit_timeout_s = 20e-3;
+
+  const auto r = core::ProcessEngine(spec, data.train, data.test, config).run();
+  EXPECT_GE(r.worker_rejoins, 1u);
+  EXPECT_GE(r.samples_processed, 12ull * data.train->size());
+  EXPECT_GT(r.final_test_accuracy, 0.3);
+}
+
 }  // namespace

@@ -8,6 +8,7 @@
 #include <iterator>
 #include <vector>
 
+#include "comm/framing.h"
 #include "core/payload.h"
 #include "sparse/codec.h"
 #include "sparse/compressor.h"
@@ -243,6 +244,99 @@ TEST(Fuzz, MutatedLossyPayloadsKeepDecoderInvariants) {
         }
       } catch (const std::exception&) {
       }
+    }
+  }
+}
+
+
+// ------------------------------------------------------------ wire framing
+
+/// Frame a message exactly as the socket transport would: 64-byte header
+/// followed by the payload verbatim.
+std::vector<std::uint8_t> frame_bytes(const comm::Message& msg) {
+  std::vector<std::uint8_t> out(comm::framed_size(msg));
+  comm::encode_frame_header(msg, /*send_ns=*/0, out.data());
+  std::memcpy(out.data() + comm::kFrameHeaderBytes, msg.payload.data(),
+              msg.payload.size());
+  return out;
+}
+
+TEST(Fuzz, RandomByteStreamsNeverCrashFrameDecoder) {
+  // Arbitrary bytes in arbitrary chunk sizes: the decoder must either
+  // surface messages or throw FramingError — never crash, hang, or
+  // allocate past the wire cap. A FramingError poisons the stream, so a
+  // fresh decoder replaces the poisoned one (exactly what the transport
+  // does by dropping the connection).
+  util::Rng rng(0xF029);
+  comm::FrameDecoder decoder;
+  std::size_t poisoned = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::vector<std::uint8_t> bytes(1 + rng.below(96));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    try {
+      decoder.feed(bytes);
+      comm::Message msg;
+      while (decoder.next(msg)) {
+        ASSERT_LE(msg.payload.size(), sparse::kMaxWirePayloadBytes);
+      }
+    } catch (const comm::FramingError&) {
+      decoder = comm::FrameDecoder{};
+      ++poisoned;
+    }
+  }
+  // Random bytes essentially never spell the 'DGSF' magic, so nearly every
+  // header completion must have poisoned the stream at least once.
+  EXPECT_GT(poisoned, 0u);
+}
+
+TEST(Fuzz, MutatedFrameHeadersNeverCrashOrOverAllocate) {
+  // Start from a valid frame and flip random bits anywhere in it. The
+  // decoder either rejects the header (FramingError) or produces exactly
+  // one message whose payload length matches the (possibly mutated, but
+  // cap-checked) declared length.
+  util::Rng rng(0xF02A);
+  comm::Message msg;
+  msg.kind = comm::MessageKind::kGradientPush;
+  msg.worker_id = 2;
+  msg.seq = 41;
+  msg.payload.resize(256);
+  for (auto& b : msg.payload) b = static_cast<std::uint8_t>(rng.below(256));
+  const auto valid = frame_bytes(msg);
+
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto mutated = valid;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f)
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    comm::FrameDecoder decoder;
+    try {
+      decoder.feed(mutated);
+      comm::Message got;
+      while (decoder.next(got))
+        ASSERT_LE(got.payload.size(), sparse::kMaxWirePayloadBytes);
+    } catch (const comm::FramingError&) {
+    }
+  }
+}
+
+TEST(Fuzz, TruncatedFrameStreamNeverFabricatesAMessage) {
+  // Every strict prefix of a valid frame must leave the decoder mid-frame
+  // with nothing in the ready queue — a half-received message must never
+  // be surfaced.
+  comm::Message msg;
+  msg.kind = comm::MessageKind::kModelDiff;
+  msg.worker_id = 1;
+  msg.seq = 9;
+  msg.payload.assign(73, std::uint8_t{0xAB});
+  const auto valid = frame_bytes(msg);
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    comm::FrameDecoder decoder;
+    decoder.feed({valid.data(), len});
+    comm::Message got;
+    EXPECT_FALSE(decoder.next(got)) << "prefix length " << len;
+    if (len > 0) {
+      EXPECT_TRUE(decoder.mid_frame()) << "prefix length " << len;
     }
   }
 }

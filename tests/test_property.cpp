@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "comm/fault.h"
+#include "comm/framing.h"
 #include "core/layered.h"
 #include "core/optimizer.h"
 #include "core/server.h"
@@ -17,6 +18,7 @@
 #include "core/worker.h"
 #include "data/synthetic.h"
 #include "sparse/codec.h"
+#include "sparse/compressor.h"
 #include "sparse/topk.h"
 #include "util/rng.h"
 
@@ -24,6 +26,143 @@ namespace {
 
 using namespace dgs;
 using core::Method;
+
+
+// ----------------------------------- framing reassembly across every codec
+
+// A frame split at arbitrary byte boundaries must reassemble into a Message
+// byte-identical to a whole-frame decode, for every registered payload
+// format. This is the property the socket transport's correctness rests on:
+// the kernel splits reads wherever it pleases, and the payload that comes
+// out of FrameDecoder must be the exact bytes the codec encoder produced.
+class FramingReassemblySweep : public ::testing::TestWithParam<sparse::Codec> {
+};
+
+TEST_P(FramingReassemblySweep, SplitFeedMatchesWholeDecodeByteForByte) {
+  const sparse::Codec codec = GetParam();
+  util::Rng rng(0xFA11 + static_cast<std::uint64_t>(codec));
+
+  // A realistic two-layer update, transform()ed so the payload carries
+  // exactly what the decoder reconstructs.
+  sparse::SparseUpdate update;
+  for (std::uint32_t layer = 0; layer < 2; ++layer) {
+    sparse::LayerChunk chunk;
+    chunk.layer = layer;
+    chunk.dense_size = 384;
+    for (std::uint32_t i = 0; i < chunk.dense_size; i += 1 + rng.below(9)) {
+      chunk.idx.push_back(i);
+      chunk.val.push_back(static_cast<float>(rng.normal(0, 1)));
+    }
+    update.layers.push_back(std::move(chunk));
+  }
+  // The ternary stages only pack — they require values already quantized
+  // to +/- one scale per layer (the worker algorithm does that in
+  // production), so pre-quantize here.
+  if (codec == sparse::Codec::kTernary ||
+      codec == sparse::Codec::kSparseTernary)
+    for (auto& chunk : update.layers)
+      for (auto& v : chunk.val) v = v < 0 ? -0.5f : 0.5f;
+  const auto& stage = sparse::compressor_for(codec);
+  for (auto& chunk : update.layers) stage.transform(chunk);
+
+  comm::Message msg;
+  msg.kind = comm::MessageKind::kGradientPush;
+  msg.worker_id = 3;
+  msg.seq = 17;
+  msg.attempt = 1;
+  msg.worker_step = 5;
+  msg.server_step = 11;
+  msg.epoch = 2;
+  msg.loss = 0.625f;
+  msg.density = 0.25f;
+  msg.payload = stage.encode(update);
+
+  std::vector<std::uint8_t> wire(comm::framed_size(msg));
+  comm::encode_frame_header(msg, /*send_ns=*/12345, wire.data());
+  std::memcpy(wire.data() + comm::kFrameHeaderBytes, msg.payload.data(),
+              msg.payload.size());
+
+  // Reference: whole-buffer decode.
+  comm::Message whole;
+  std::uint64_t whole_ns = 0;
+  {
+    comm::FrameDecoder decoder;
+    decoder.feed(wire);
+    ASSERT_TRUE(decoder.next(whole, &whole_ns));
+  }
+  ASSERT_EQ(whole.payload, msg.payload);
+  ASSERT_EQ(whole_ns, 12345u);
+
+  auto check_identical = [&](const comm::Message& got, std::uint64_t ns) {
+    ASSERT_EQ(got.kind, msg.kind);
+    ASSERT_EQ(got.worker_id, msg.worker_id);
+    ASSERT_EQ(got.seq, msg.seq);
+    ASSERT_EQ(got.attempt, msg.attempt);
+    ASSERT_EQ(got.worker_step, msg.worker_step);
+    ASSERT_EQ(got.server_step, msg.server_step);
+    ASSERT_EQ(got.epoch, msg.epoch);
+    ASSERT_EQ(got.loss, msg.loss);
+    ASSERT_EQ(got.density, msg.density);
+    ASSERT_EQ(got.payload, msg.payload);
+    ASSERT_EQ(ns, 12345u);
+    // And the payload still decodes to the same per-layer segments.
+    const auto segments = sparse::decode_any(got.payload);
+    const auto reference = sparse::decode_any(msg.payload);
+    ASSERT_EQ(segments.size(), reference.size());
+  };
+
+  // Fixed chunk sizes that straddle the header boundary, then random
+  // chunkings across multiple back-to-back copies of the frame.
+  for (const std::size_t chunk_size :
+       {std::size_t{1}, std::size_t{3}, std::size_t{13},
+        comm::kFrameHeaderBytes - 1, comm::kFrameHeaderBytes,
+        comm::kFrameHeaderBytes + 1, wire.size() - 1}) {
+    comm::FrameDecoder decoder;
+    for (std::size_t off = 0; off < wire.size(); off += chunk_size) {
+      const std::size_t n = std::min(chunk_size, wire.size() - off);
+      decoder.feed({wire.data() + off, n});
+    }
+    comm::Message got;
+    std::uint64_t ns = 0;
+    ASSERT_TRUE(decoder.next(got, &ns)) << "chunk size " << chunk_size;
+    check_identical(got, ns);
+    ASSERT_FALSE(decoder.next(got));
+  }
+
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<std::uint8_t> stream;
+    const int copies = 3;
+    for (int c = 0; c < copies; ++c)
+      stream.insert(stream.end(), wire.begin(), wire.end());
+    comm::FrameDecoder decoder;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng.below(97), stream.size() - off);
+      decoder.feed({stream.data() + off, n});
+      off += n;
+    }
+    for (int c = 0; c < copies; ++c) {
+      comm::Message got;
+      std::uint64_t ns = 0;
+      ASSERT_TRUE(decoder.next(got, &ns)) << "copy " << c;
+      check_identical(got, ns);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, FramingReassemblySweep,
+    ::testing::Values(sparse::Codec::kCoo, sparse::Codec::kDense,
+                      sparse::Codec::kTernary, sparse::Codec::kSparseTernary,
+                      sparse::Codec::kQcoo8, sparse::Codec::kQcoo4,
+                      sparse::Codec::kSbc),
+    [](const auto& info) {
+      std::string name = sparse::codec_name(info.param);
+      for (auto& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
 
 // --------------------------------------------------------- top-k ratio sweep
 
