@@ -31,9 +31,10 @@ int main(int argc, char** argv) {
   const auto data = benchkit::load(task);
 
   const Method methods[] = {Method::kASGD, Method::kGDAsync, Method::kDGCAsync,
-                            Method::kDGS};
+                            Method::kDGS, Method::kDGSAdaptive};
 
-  util::Table table({axis, "ASGD", "GD-async", "DGC-async", "DGS"});
+  util::Table table(
+      {axis, "ASGD", "GD-async", "DGC-async", "DGS", "DGS-Adaptive"});
   auto run_row = [&](const std::string& label, auto mutate) {
     std::vector<std::string> row{label};
     for (Method m : methods) {

@@ -4,8 +4,17 @@
 // Prints our measured accuracy next to the paper's reported numbers. The
 // absolute values differ (synthetic tasks, shorter horizon); the claim under
 // test is the ORDERING: MSGD >= DGS > DGC-async > {GD-async, ASGD}.
+//
+// The DGS-Adaptive row (not in the paper) is this repo's runtime per-layer
+// sparsity controller (core/adaptive.h). --gate-out additionally runs the
+// adaptive-vs-fixed comparison at an aggressive keep-ratio (--gate-ratio)
+// and emits the accuracy/bytes series scripts/check_bench.py --table2 gates
+// in CI: adaptive must hold accuracy within 0.5 pt of fixed-R DGS at <=
+// 1.05x its bytes per element.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
 #include "util/table.h"
@@ -17,15 +26,20 @@ namespace {
 
 struct PaperRow {
   Method method;
-  double cifar;     // paper top-1 %
-  double imagenet;  // paper top-1 %
+  double cifar;     // paper top-1 %; <0 = not in the paper
+  double imagenet;  // paper top-1 %; <0 = not in the paper
 };
 
 constexpr PaperRow kPaper[] = {
     {Method::kMSGD, 93.08, 69.40},    {Method::kASGD, 90.74, 66.68},
     {Method::kGDAsync, 92.01, 66.26}, {Method::kDGCAsync, 92.64, 68.37},
-    {Method::kDGS, 92.91, 69.00},
+    {Method::kDGS, 92.91, 69.00},     {Method::kDGSAdaptive, -1.0, -1.0},
 };
+
+/// Upward payload bytes per shipped element (the COO cost the gate bounds).
+double up_bytes_per_element(const core::RunResult& result) {
+  return result.ledger.up_bytes_per_element;
+}
 
 }  // namespace
 
@@ -36,6 +50,13 @@ int main(int argc, char** argv) {
       flags.i64("workers", 4, "asynchronous worker count"));
   const bool skip_imagenet =
       flags.boolean("cifar-only", false, "skip the (slower) ImageNet half");
+  const std::string only_method = flags.str(
+      "method", "", "run only this method (e.g. dgs-adaptive); empty = all");
+  const std::string gate_out = flags.str(
+      "gate-out", "",
+      "write adaptive-vs-fixed gate metrics JSON here (empty = off)");
+  const double gate_ratio = flags.f64(
+      "gate-ratio", 2.0, "aggressive keep-ratio %% for the --gate-out runs");
   if (benchkit::parse_harness_options(flags, options)) return 0;
 
   util::Table table({"Dataset", "Training Method", "Workers", "Paper Top-1",
@@ -45,6 +66,9 @@ int main(int argc, char** argv) {
                        bool imagenet_column) {
     const auto data = benchkit::load(task);
     for (const PaperRow& row : kPaper) {
+      if (!only_method.empty() &&
+          core::parse_method(only_method) != row.method)
+        continue;
       benchkit::RunSpec spec;
       spec.method = row.method;
       spec.workers = workers;
@@ -54,17 +78,21 @@ int main(int argc, char** argv) {
       const double paper = imagenet_column ? row.imagenet : row.cifar;
       table.add_row({dataset, core::method_name(row.method),
                      std::to_string(row.method == Method::kMSGD ? 1 : workers),
-                     util::Table::pct(paper, 2, false),
+                     paper < 0.0 ? "--" : util::Table::pct(paper, 2, false),
                      util::Table::pct(100.0 * result.final_test_accuracy, 2,
                                       false)});
+      benchkit::export_ledger(options, result,
+                              std::string(dataset) + "/" +
+                                  core::method_name(row.method),
+                              "table2_accuracy");
       std::fprintf(stderr, "%s/%s done\n", dataset,
                    core::method_name(row.method));
     }
   };
 
-  run_block(benchkit::make_cifar_task(options.epoch_scale(),
-                                      options.seed ? options.seed : 42),
-            "Cifar10", false);
+  const benchkit::Task cifar = benchkit::make_cifar_task(
+      options.epoch_scale(), options.seed ? options.seed : 42);
+  run_block(cifar, "Cifar10", false);
   if (!skip_imagenet)
     run_block(benchkit::make_imagenet_task(options.epoch_scale(),
                                            options.seed ? options.seed : 1337),
@@ -75,5 +103,63 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   const std::string csv = benchkit::csv_path(options, "table2_accuracy");
   if (!csv.empty()) table.write_csv(csv);
+
+  if (gate_out.empty()) return 0;
+
+  // ---- adaptive-vs-fixed CI gate (check_bench.py --table2) ----------------
+  // Both runs share the task, seed and the aggressive keep-ratio; the only
+  // difference is the controller. Equal ratio means equal per-push budget,
+  // so the bytes bound checks the budget invariant end to end and the
+  // accuracy bound checks that reallocating it doesn't hurt convergence.
+  struct GateRun {
+    const char* name;
+    Method method;
+    core::RunResult result;
+  };
+  GateRun gate_runs[] = {
+      {"DGS", Method::kDGS, {}},
+      {"DGS-Adaptive", Method::kDGSAdaptive, {}},
+  };
+  const auto cifar_data = benchkit::load(cifar);
+  for (GateRun& g : gate_runs) {
+    benchkit::RunSpec spec;
+    spec.method = g.method;
+    spec.workers = workers;
+    spec.ratio = gate_ratio;
+    spec.record_curve = false;
+    g.result = benchkit::run_one(cifar, cifar_data, spec);
+    std::fprintf(stderr, "gate/%s done: acc %.4f, %.3f B/elt\n", g.name,
+                 g.result.final_test_accuracy,
+                 up_bytes_per_element(g.result));
+  }
+
+  std::ofstream out(gate_out);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", gate_out.c_str());
+    return 1;
+  }
+  out << "{\n  \"series\": [\n";
+  for (std::size_t i = 0; i < 2; ++i) {
+    const GateRun& g = gate_runs[i];
+    const auto pushes = g.result.bytes.upward_messages;
+    out << "    {\"name\": \"" << g.name << "\""
+        << ", \"ratio_percent\": " << gate_ratio
+        << ", \"final_test_accuracy\": " << g.result.final_test_accuracy
+        << ", \"bytes_up\": " << g.result.bytes.upward_bytes
+        << ", \"pushes\": " << pushes
+        << ", \"up_bytes_per_push\": "
+        << (pushes > 0
+                ? static_cast<double>(g.result.bytes.upward_bytes) /
+                      static_cast<double>(pushes)
+                : 0.0)
+        << ", \"up_bytes_per_element\": " << up_bytes_per_element(g.result)
+        << ", \"mean_update_density\": " << g.result.mean_upward_density
+        << ", \"adaptive_decisions\": " << g.result.ledger.adaptive.decisions
+        << ", \"adaptive_mean_ratio_percent\": "
+        << g.result.ledger.adaptive.mean_ratio_percent << "}"
+        << (i + 1 < 2 ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "gate metrics -> %s\n", gate_out.c_str());
   return 0;
 }

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   for (std::int64_t w : worker_list) {
     if (w <= 1) continue;
     for (Method method : {Method::kASGD, Method::kGDAsync, Method::kDGCAsync,
-                          Method::kDGS}) {
+                          Method::kDGS, Method::kDGSAdaptive}) {
       benchkit::RunSpec spec;
       spec.method = method;
       spec.workers = static_cast<std::size_t>(w);
@@ -93,9 +93,13 @@ int main(int argc, char** argv) {
         if (e.workers == static_cast<std::size_t>(w) && e.method == method)
           paper_top1 = e.top1;
       const double ours = 100.0 * result.final_test_accuracy;
+      // Methods outside the paper's roster (DGS-Adaptive) have no paper
+      // columns.
       table.add_row({std::to_string(w), core::method_name(method),
-                     util::Table::pct(paper_top1, 2, false),
-                     util::Table::pct(paper_top1 - 93.08, 2),
+                     paper_top1 > 0.0 ? util::Table::pct(paper_top1, 2, false)
+                                      : "--",
+                     paper_top1 > 0.0 ? util::Table::pct(paper_top1 - 93.08, 2)
+                                      : "--",
                      util::Table::pct(ours, 2, false),
                      util::Table::pct(ours - 100.0 * msgd, 2),
                      util::Table::num(result.staleness_hist.p95, 1)});

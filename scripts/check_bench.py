@@ -30,6 +30,24 @@ socket replay) and the gate checks, per payload series:
   committed ``bench/baselines/server_throughput.json`` (advisory unless
   ``--enforce-baseline``: absolute socket throughput is machine-bound).
 
+With ``--table2`` the input is instead the ``--gate-out`` JSON written
+by ``bench_table2_accuracy --gate-out`` (the adaptive-vs-fixed run pair
+at the aggressive ``--gate-ratio``) and the gate checks, all in-run and
+machine-independent:
+
+* the adaptive controller must actually run (``adaptive_decisions`` > 0
+  on the DGS-Adaptive series, 0 on fixed-R DGS);
+* accuracy: DGS-Adaptive's final test accuracy must stay within
+  ``--max-adaptive-drop`` (default 0.005 = 0.5 pt) of fixed-R DGS;
+* bytes: DGS-Adaptive's upward bytes/element must be at most
+  ``--max-bytes-ratio`` (default 1.05) times fixed-R DGS's -- the
+  controller reallocates the keep budget, it may not grow it;
+* with ``--baseline``, per-series accuracy and bytes/element are
+  band-checked against the committed
+  ``bench/baselines/table2_adaptive.json`` (advisory unless
+  ``--enforce-baseline``: the run is seeded but the horizon is short,
+  so accuracy wobbles more than bytes do).
+
 With ``--fig5`` the input is instead the ``--gate-out`` JSON written by
 bench_fig5_lowbandwidth, and the gate checks the dual-way codec
 acceptance criteria (DESIGN.md §14) -- all in-run, machine-independent:
@@ -248,6 +266,92 @@ def check_fig5_baseline(series, baseline, tolerance):
     return drifted
 
 
+def load_table2_series(path):
+    """Return {series name: series dict} from a bench_table2_accuracy
+    --gate-out JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        series = {s["name"]: s for s in doc["series"]}
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        print(f"check_bench: cannot read '{path}': {err}", file=sys.stderr)
+        sys.exit(2)
+    if not series:
+        print(f"check_bench: no series in '{path}'", file=sys.stderr)
+        sys.exit(2)
+    return series
+
+
+def check_table2(series, max_adaptive_drop, max_bytes_ratio):
+    """Enforce the adaptive-vs-fixed sparsity gates on one table2 gate run;
+    returns failure count. Both runs share the task, seed and keep-ratio,
+    so every bound is within-run and holds on any machine."""
+    failures = 0
+    required = {"DGS", "DGS-Adaptive"}
+    missing = sorted(required - set(series))
+    if missing:
+        print(f"FAIL  table2 series missing from results: "
+              f"{', '.join(missing)}")
+        return 1
+
+    fixed = series["DGS"]
+    adaptive = series["DGS-Adaptive"]
+    for name in sorted(required):
+        s = series[name]
+        print(f"      {name}: accuracy {s['final_test_accuracy']:.4f}, "
+              f"{s['up_bytes_per_element']:.3f} B/elt, "
+              f"{s['adaptive_decisions']} controller decisions")
+
+    def gate(label, ok):
+        nonlocal failures
+        print(f"{'ok  ' if ok else 'FAIL'}  {label}")
+        if not ok:
+            failures += 1
+
+    gate(f"controller ran on DGS-Adaptive: "
+         f"{adaptive['adaptive_decisions']} decisions (required > 0)",
+         adaptive["adaptive_decisions"] > 0)
+    gate(f"controller silent on fixed-R DGS: "
+         f"{fixed['adaptive_decisions']} decisions (required == 0)",
+         fixed["adaptive_decisions"] == 0)
+
+    drop = fixed["final_test_accuracy"] - adaptive["final_test_accuracy"]
+    gate(f"adaptive accuracy drop vs fixed-R DGS: {drop:+.4f} "
+         f"(allowed <= {max_adaptive_drop:.3f})", drop <= max_adaptive_drop)
+
+    fixed_bpe = fixed["up_bytes_per_element"]
+    ratio = (adaptive["up_bytes_per_element"] / fixed_bpe
+             if fixed_bpe > 0 else float("inf"))
+    gate(f"adaptive bytes/element vs fixed-R DGS: {ratio:.3f}x "
+         f"(allowed <= {max_bytes_ratio:.2f}x)", ratio <= max_bytes_ratio)
+    return failures
+
+
+def check_table2_baseline(series, baseline, tolerance):
+    """Band-check per-series accuracy and bytes/element against the
+    committed baseline; returns drifted metrics as (label, current,
+    baseline, delta fraction)."""
+    drifted = []
+    shared = sorted(set(series) & set(baseline))
+    if not shared:
+        print("warn  baseline shares no series names with results")
+        return drifted
+    for name in shared:
+        for key in ("final_test_accuracy", "up_bytes_per_element"):
+            cur = series[name].get(key, 0.0)
+            base = baseline[name].get(key, 0.0)
+            if base <= 0:
+                continue
+            delta = cur / base - 1.0
+            if abs(delta) > tolerance:
+                drifted.append((f"{name}.{key}", cur, base, delta))
+    print(f"baseline: {len(shared)} series compared, "
+          f"{len(drifted)} metric(s) outside the +/-{tolerance:.0%} band")
+    for label, cur, base, delta in drifted:
+        print(f"  drift  {label}: {cur:.4f} vs {base:.4f} ({delta:+.1%})")
+    return drifted
+
+
 def load_server_series(path):
     """Return {series name: series dict} from a bench_server_throughput
     --gate-out JSON file."""
@@ -431,6 +535,10 @@ def main(argv=None):
                         help="gate the socket-replay series from "
                              "bench_server_throughput --gate-out instead of "
                              "micro-kernel times")
+    parser.add_argument("--table2", action="store_true",
+                        help="gate the adaptive-vs-fixed sparsity metrics "
+                             "from bench_table2_accuracy --gate-out instead "
+                             "of micro-kernel times")
     parser.add_argument("--fig5", action="store_true",
                         help="gate the dual-way codec metrics from "
                              "bench_fig5_lowbandwidth --gate-out instead of "
@@ -449,6 +557,14 @@ def main(argv=None):
     parser.add_argument("--min-sbc-ratio", type=float, default=4.0,
                         help="[--fig5] required COO/SBC bytes-per-element "
                              "ratio (default: %(default)s)")
+    parser.add_argument("--max-adaptive-drop", type=float, default=0.005,
+                        help="[--table2] allowed final-accuracy drop of "
+                             "DGS-Adaptive vs fixed-R DGS "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-bytes-ratio", type=float, default=1.05,
+                        help="[--table2] allowed adaptive/fixed upward "
+                             "bytes-per-element ratio "
+                             "(default: %(default)s)")
     parser.add_argument("--max-accuracy-drop", type=float, default=0.02,
                         help="[--fig5] allowed final-accuracy drop of a "
                              "compressed series vs plain DGS "
@@ -477,6 +593,15 @@ def main(argv=None):
                 series, load_server_series(args.baseline), args.tolerance)
             if regressions and args.enforce_baseline:
                 failures += len(regressions)
+    elif args.table2:
+        series = load_table2_series(args.results)
+        failures = check_table2(series, args.max_adaptive_drop,
+                                args.max_bytes_ratio)
+        if args.baseline:
+            drifted = check_table2_baseline(
+                series, load_table2_series(args.baseline), args.tolerance)
+            if drifted and args.enforce_baseline:
+                failures += len(drifted)
     elif args.fig5:
         series = load_fig5_series(args.results)
         failures = check_fig5(series, args.min_sbc_ratio,

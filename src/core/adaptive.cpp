@@ -1,0 +1,335 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/topk.h"
+#include "util/math_kernels.h"
+
+namespace dgs::core {
+
+namespace {
+
+/// EMA update with the newest observation weighted `alpha`; the first
+/// observation initializes the state directly so early decisions aren't
+/// biased toward a zero prior.
+double ema(double state, double value, double alpha, bool seeded) noexcept {
+  return seeded ? (1.0 - alpha) * state + alpha * value : value;
+}
+
+}  // namespace
+
+SparsityController::SparsityController(
+    const std::vector<std::size_t>& layer_sizes,
+    const CompressionConfig& compression)
+    : sizes_(layer_sizes),
+      adaptive_(layer_sizes.size(), false),
+      floor_(layer_sizes.size(), 0),
+      cap_(layer_sizes.size(), 0),
+      keep_(layer_sizes.size(), 0),
+      candidate_(layer_sizes.size(), 0),
+      weights_(layer_sizes.size(), 0.0),
+      mass_ema_(layer_sizes.size(), 0.0) {
+  const AdaptiveConfig& knobs = compression.adaptive;
+  base_ratio_ = compression.ratio_percent;
+  // The floor may never exceed the base ratio: floors are per-layer lower
+  // bounds inside a budget of keep_count(n, base) per layer, so a floor
+  // above base would make the budget infeasible by construction.
+  min_ratio_ = std::min(knobs.min_ratio_percent, base_ratio_);
+  if (!(min_ratio_ > 0.0)) min_ratio_ = 0.0;
+  max_ratio_ = knobs.max_ratio_percent > 0.0
+                   ? std::max(knobs.max_ratio_percent, base_ratio_)
+                   : std::min(100.0, 4.0 * base_ratio_);
+  interval_ = std::max<std::size_t>(1, knobs.interval_steps);
+  hysteresis_ = std::max(0.0, knobs.hysteresis);
+  alpha_ = std::clamp(knobs.ema_alpha, 1e-3, 1.0);
+  staleness_scale_ = std::max(1e-9, knobs.staleness_scale);
+  density_weight_ = std::clamp(knobs.density_weight, 0.0, 1.0);
+
+  for (std::size_t l = 0; l < sizes_.size(); ++l) {
+    const std::size_t n = sizes_[l];
+    if (n == 0 || n < compression.min_sparsify_size) {
+      keep_[l] = n;  // exempt: ships dense, outside the adaptive budget
+      continue;
+    }
+    adaptive_[l] = true;
+    adaptive_layers_.push_back(l);
+    adaptive_numel_ += n;
+    floor_[l] = sparse::keep_count(n, min_ratio_);
+    cap_[l] = sparse::keep_count(n, max_ratio_);
+    keep_[l] = sparse::keep_count(n, base_ratio_);
+    budget_ += keep_[l];
+  }
+}
+
+double SparsityController::ratio_percent(std::size_t layer) const noexcept {
+  if (!adaptive_[layer] || sizes_[layer] == 0) return 100.0;
+  return 100.0 * static_cast<double>(keep_[layer]) /
+         static_cast<double>(sizes_[layer]);
+}
+
+double SparsityController::mean_ratio_percent() const noexcept {
+  if (adaptive_numel_ == 0) return 0.0;
+  std::uint64_t kept = 0;
+  for (std::size_t l : adaptive_layers_) kept += keep_[l];
+  return 100.0 * static_cast<double>(kept) /
+         static_cast<double>(adaptive_numel_);
+}
+
+void SparsityController::observe_push(std::span<const double> layer_mass) {
+  for (std::size_t l : adaptive_layers_) {
+    const double mass = l < layer_mass.size() ? layer_mass[l] : 0.0;
+    mass_ema_[l] = ema(mass_ema_[l], std::isfinite(mass) ? mass : 0.0, alpha_,
+                       observed_mass_);
+  }
+  observed_mass_ = true;
+  ++pushes_;
+  if (pushes_ % interval_ == 0) decide();
+}
+
+void SparsityController::observe_reply(double staleness,
+                                       double reply_density) {
+  if (!std::isfinite(staleness) || staleness < 0.0) staleness = 0.0;
+  reply_density = std::clamp(
+      std::isfinite(reply_density) ? reply_density : 0.0, 0.0, 1.0);
+  const bool seeded = replies_seen_;
+  staleness_ema_ = ema(staleness_ema_, staleness, alpha_, seeded);
+  density_ema_ = ema(density_ema_, reply_density, alpha_, seeded);
+  replies_seen_ = true;
+}
+
+void SparsityController::waterfill(const std::vector<std::size_t>& layers,
+                                   std::uint64_t budget) {
+  // Iterative proportional allocation with per-layer [floor, cap] clamps:
+  // violated layers are pinned at their bound, removed, and the rest split
+  // the remaining budget by weight. Terminates in <= |layers| rounds.
+  std::vector<std::size_t> free = layers;
+  std::vector<double> desired(sizes_.size(), 0.0);
+  auto remaining = static_cast<std::int64_t>(budget);
+  for (std::size_t round = 0; round <= layers.size() && !free.empty();
+       ++round) {
+    double wsum = 0.0;
+    for (std::size_t l : free) wsum += weights_[l];
+    const double share = remaining > 0 ? static_cast<double>(remaining) : 0.0;
+    for (std::size_t l : free)
+      desired[l] = wsum > 0.0
+                       ? share * (weights_[l] / wsum)
+                       : share / static_cast<double>(free.size());
+    std::vector<std::size_t> next;
+    bool clamped = false;
+    for (std::size_t l : free) {
+      if (desired[l] < static_cast<double>(floor_[l])) {
+        candidate_[l] = floor_[l];
+        remaining -= static_cast<std::int64_t>(floor_[l]);
+        clamped = true;
+      } else if (desired[l] > static_cast<double>(cap_[l])) {
+        candidate_[l] = cap_[l];
+        remaining -= static_cast<std::int64_t>(cap_[l]);
+        clamped = true;
+      } else {
+        next.push_back(l);
+      }
+    }
+    free.swap(next);
+    if (!clamped) break;
+  }
+  // Integerize the survivors by largest remainder, spending the exact
+  // integer budget left (ties break toward the lower layer index).
+  std::int64_t leftover = remaining;
+  for (std::size_t l : free) {
+    const auto k = static_cast<std::size_t>(
+        std::max(desired[l], static_cast<double>(floor_[l])));
+    candidate_[l] = std::min(k, cap_[l]);
+    leftover -= static_cast<std::int64_t>(candidate_[l]);
+  }
+  while (leftover > 0) {
+    std::size_t best = sizes_.size();
+    double best_frac = -1.0;
+    for (std::size_t l : free) {
+      if (candidate_[l] >= cap_[l]) continue;
+      const double frac = desired[l] - static_cast<double>(candidate_[l]);
+      if (frac > best_frac) {
+        best_frac = frac;
+        best = l;
+      }
+    }
+    if (best == sizes_.size()) break;  // everything at cap
+    ++candidate_[best];
+    --leftover;
+  }
+  // Hard budget enforcement: whatever rounding or clamping did above, the
+  // committed total over `layers` never exceeds `budget` (floors permitting;
+  // callers guarantee sum(floors) <= budget). Shrink the largest
+  // above-floor allocation first; deterministic tie-break on lower index.
+  std::uint64_t total = 0;
+  for (std::size_t l : layers) total += candidate_[l];
+  while (total > budget) {
+    std::size_t best = sizes_.size();
+    std::size_t best_margin = 0;
+    for (std::size_t l : layers) {
+      const std::size_t margin = candidate_[l] - floor_[l];
+      if (margin > best_margin) {
+        best_margin = margin;
+        best = l;
+      }
+    }
+    if (best == sizes_.size()) break;  // all at floor
+    const std::uint64_t cut =
+        std::min<std::uint64_t>(best_margin, total - budget);
+    candidate_[best] -= cut;
+    total -= cut;
+  }
+}
+
+void SparsityController::decide() {
+  if (adaptive_layers_.empty()) return;
+
+  // Adaptivity in [0, 1]: 1 = pure mass-proportional allocation, 0 = the
+  // uniform fixed-R baseline. High observed staleness or near-dense replies
+  // mean the local view lags the server, where skewed allocations are the
+  // least safe (Deng et al.): blend back toward uniform.
+  const double stale_damp =
+      staleness_scale_ / (staleness_scale_ + staleness_ema_);
+  const double adaptivity =
+      stale_damp * (1.0 - density_weight_ * density_ema_);
+
+  double mass_total = 0.0;
+  for (std::size_t l : adaptive_layers_) mass_total += mass_ema_[l];
+  for (std::size_t l : adaptive_layers_) {
+    const double size_share = static_cast<double>(sizes_[l]) /
+                              static_cast<double>(adaptive_numel_);
+    const double mass_share =
+        mass_total > 0.0 ? mass_ema_[l] / mass_total : size_share;
+    weights_[l] = adaptivity * mass_share + (1.0 - adaptivity) * size_share;
+  }
+  waterfill(adaptive_layers_, budget_);
+
+  if (decisions_ > 0 && hysteresis_ > 0.0) {
+    // Hysteresis: hold any layer whose candidate is within the dead-band of
+    // its committed value, then re-fill only the moving layers with the
+    // budget the held ones leave. Mixing old and new allocations naively
+    // could overshoot the budget; re-filling the movers cannot.
+    std::vector<std::size_t> moving;
+    std::uint64_t held = 0;
+    std::uint64_t moving_floors = 0;
+    for (std::size_t l : adaptive_layers_) {
+      const auto committed = static_cast<double>(keep_[l]);
+      const auto cand = static_cast<double>(candidate_[l]);
+      if (std::fabs(cand - committed) <= hysteresis_ * committed) {
+        candidate_[l] = keep_[l];
+        held += keep_[l];
+      } else {
+        moving.push_back(l);
+        moving_floors += floor_[l];
+      }
+    }
+    // Degenerate case: the held layers alone leave less budget than the
+    // movers' floors need — drop the holds and take the full candidate.
+    if (!moving.empty() && held + moving_floors <= budget_)
+      waterfill(moving, budget_ - held);
+    else if (!moving.empty())
+      waterfill(adaptive_layers_, budget_);
+  }
+
+  for (std::size_t l : adaptive_layers_) keep_[l] = candidate_[l];
+  ++decisions_;
+
+  if ((decisions_ - 1) % trajectory_stride_ == 0) {
+    TrajectoryPoint point;
+    point.step = pushes_;
+    point.ratios.reserve(sizes_.size());
+    for (std::size_t l = 0; l < sizes_.size(); ++l)
+      point.ratios.push_back(ratio_percent(l));
+    trajectory_.push_back(std::move(point));
+    if (trajectory_.size() > kMaxTrajectoryPoints) {
+      // Deterministic decimation: keep every other point and double the
+      // recording stride, preserving the schedule's shape with bounded
+      // memory on arbitrarily long runs.
+      std::vector<TrajectoryPoint> kept;
+      kept.reserve(trajectory_.size() / 2 + 1);
+      for (std::size_t i = 0; i < trajectory_.size(); i += 2)
+        kept.push_back(std::move(trajectory_[i]));
+      trajectory_.swap(kept);
+      trajectory_stride_ *= 2;
+    }
+  }
+}
+
+// --------------------------------------------------------- AdaptiveSAMomentum
+
+AdaptiveSAMomentum::AdaptiveSAMomentum(
+    const std::vector<std::size_t>& layer_sizes, CompressionConfig compression,
+    float momentum)
+    : WorkerAlgorithm(Method::kDGSAdaptive),
+      compression_(compression),
+      m_(momentum),
+      u_(make_layered(layer_sizes)),
+      controller_(layer_sizes, compression),
+      mass_(layer_sizes.size(), 0.0) {
+  if (!(momentum > 0.0f && momentum < 1.0f))
+    throw std::invalid_argument("AdaptiveSAMomentum requires 0 < m < 1");
+}
+
+sparse::SparseUpdate AdaptiveSAMomentum::step(const GradViews& grads, float lr,
+                                              std::size_t epoch) {
+  if (grads.size() != u_.size())
+    throw std::invalid_argument("optimizer: layer count mismatch");
+  sparse::SparseUpdate update = workspace_.acquire_update(grads.size());
+  const float rescale = 1.0f / m_;
+
+  // Velocity update plus the controller's mass signal in the same sweep:
+  // L1 mass of the post-momentum velocity is exactly the magnitude pool the
+  // top-k selection draws from, so allocation follows where the budget buys
+  // the most retained update mass.
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    if (grads[j].size() != u_[j].size())
+      throw std::invalid_argument("optimizer: layer size mismatch");
+    auto& u = u_[j];
+    util::axpby(lr, grads[j], m_, {u.data(), u.size()});
+    double mass = 0.0;
+    if (controller_.is_adaptive(j)) {
+      const float* __restrict v = u.data();
+      for (std::size_t i = 0; i < u.size(); ++i)
+        mass += std::fabs(static_cast<double>(v[i]));
+    }
+    mass_[j] = mass;
+  }
+  controller_.observe_push(mass_);
+
+  // During sparsity warmup the uniform schedule is deliberately lax; the
+  // controller keeps observing but the warmup ratio wins (it is always
+  // >= base, so this is the conservative choice).
+  const bool warmup =
+      compression_.ratio_at_epoch(epoch) > compression_.ratio_percent;
+
+  for (std::size_t j = 0; j < grads.size(); ++j) {
+    auto& u = u_[j];
+    std::span<float> us{u.data(), u.size()};
+    if (warmup || !controller_.is_adaptive(j)) {
+      workspace_.sparsify_rescale(static_cast<std::uint32_t>(j), us,
+                                  compression_.layer_ratio(u.size(), epoch),
+                                  rescale, update.layers[j]);
+    } else {
+      workspace_.sparsify_rescale_k(static_cast<std::uint32_t>(j), us,
+                                    controller_.keep(j), rescale,
+                                    update.layers[j]);
+    }
+  }
+  return update;
+}
+
+std::size_t AdaptiveSAMomentum::state_bytes() const noexcept {
+  // Velocity plus the controller's per-layer bookkeeping (keeps, bounds,
+  // EMA mass) — the adaptive method's honest §5.6.2 footprint.
+  return layered_numel(u_) * sizeof(float) +
+         mass_.size() * sizeof(double) +
+         controller_.num_layers() *
+             (3 * sizeof(std::size_t) + 2 * sizeof(double));
+}
+
+void AdaptiveSAMomentum::observe_reply(const ReplyObservation& obs) noexcept {
+  controller_.observe_reply(obs.staleness, obs.reply_density);
+}
+
+}  // namespace dgs::core

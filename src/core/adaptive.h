@@ -1,0 +1,175 @@
+// Runtime per-layer sparsity control (DESIGN.md §17).
+//
+// The paper fixes the keep-ratio R globally; its own Table 2 shows accuracy
+// degrading as R gets aggressive. The literature recovers that accuracy at
+// the same byte budget by spending the budget where the gradient mass is:
+// layer-wise adaptive sparsification with a convergence-safe floor (Shi et
+// al., "Layer-wise Adaptive Gradient Sparsification") and staleness-aware
+// conservatism (Deng et al., arXiv:2112.04088). `SparsityController`
+// implements both on top of the signals the obs layer already measures —
+// per-layer update mass, downward reply density, and push staleness — and
+// `AdaptiveSAMomentum` (Method::kDGSAdaptive) feeds its per-layer keep
+// counts into the PR-4 SparsifyWorkspace select.
+//
+// Determinism contract: the controller is a pure function of its observed
+// state. observe_push/observe_reply streams are produced by the worker's own
+// deterministic step/reply sequence, decisions happen at a fixed push
+// cadence, and every arithmetic path is a fixed-order double computation —
+// no RNG, no wall clock. Engines therefore keep exactly the reproducibility
+// they had: the DES engine is bit-identical run-to-run, and the ratio
+// schedule it produces is part of that guarantee (pinned in
+// tests/test_adaptive.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/layered.h"
+#include "core/optimizer.h"
+
+namespace dgs::core {
+
+/// Picks an integer keep count k_l per layer every `interval_steps` pushes,
+/// subject to the invariants (property-tested):
+///   * floor:  k_l >= keep_count(n_l, min_ratio_percent) for every adaptive
+///     layer (layers below min_sparsify_size stay dense and are exempt);
+///   * budget: sum of k_l over adaptive layers <= keep_budget(), the total
+///     fixed-R DGS would send at base ratio_percent — adaptivity never costs
+///     wire bytes;
+///   * hysteresis: a layer's k only moves when the candidate differs from
+///     the committed value by more than `hysteresis` relative, so the
+///     schedule doesn't thrash between near-equal allocations.
+class SparsityController {
+ public:
+  /// One committed decision: the push count it fired at and the per-layer
+  /// keep-ratios (percent; exempt layers report 100). Trajectories are
+  /// decimated deterministically to <= kMaxTrajectoryPoints by doubling the
+  /// recording stride, so long runs stay bounded without losing shape.
+  struct TrajectoryPoint {
+    std::uint64_t step = 0;
+    std::vector<double> ratios;
+  };
+  static constexpr std::size_t kMaxTrajectoryPoints = 64;
+
+  SparsityController(const std::vector<std::size_t>& layer_sizes,
+                     const CompressionConfig& compression);
+
+  /// Per-push observation of this worker's own update stream: `layer_mass`
+  /// is the L1 mass of the post-momentum velocity per layer (the quantity
+  /// top-k actually selects over). Runs the decision cadence: every
+  /// `interval_steps` calls the allocation is re-decided.
+  void observe_push(std::span<const double> layer_mass);
+
+  /// Per-reply observation: `staleness` is how many server steps the reply
+  /// advanced past prev(k) (the worker-side mirror of the
+  /// server.push.staleness histogram), `reply_density` the decoded reply's
+  /// nnz over the dense model size (mirror of server.reply.density). High
+  /// values of either damp adaptivity toward the uniform fixed-R baseline.
+  void observe_reply(double staleness, double reply_density);
+
+  /// Committed keep count for one layer (n_l for exempt layers).
+  [[nodiscard]] std::size_t keep(std::size_t layer) const noexcept {
+    return keep_[layer];
+  }
+  /// Committed keep-ratio for one layer, percent (100 for exempt layers).
+  [[nodiscard]] double ratio_percent(std::size_t layer) const noexcept;
+  /// True when the layer participates in adaptive allocation.
+  [[nodiscard]] bool is_adaptive(std::size_t layer) const noexcept {
+    return adaptive_[layer];
+  }
+
+  /// Global per-push keep budget over adaptive layers: what fixed-R DGS
+  /// sends at the base ratio.
+  [[nodiscard]] std::uint64_t keep_budget() const noexcept { return budget_; }
+  [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
+  [[nodiscard]] std::uint64_t pushes_observed() const noexcept {
+    return pushes_;
+  }
+  [[nodiscard]] double base_ratio_percent() const noexcept {
+    return base_ratio_;
+  }
+  [[nodiscard]] double min_ratio_percent() const noexcept {
+    return min_ratio_;
+  }
+  /// Budget-weighted mean committed ratio over adaptive layers, percent.
+  [[nodiscard]] double mean_ratio_percent() const noexcept;
+  [[nodiscard]] const std::vector<TrajectoryPoint>& trajectory()
+      const noexcept {
+    return trajectory_;
+  }
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return sizes_.size();
+  }
+
+ private:
+  void decide();
+  /// Largest-remainder waterfill of `budget` keeps over the layers in
+  /// `layers` proportional to weights_, clamped per layer to
+  /// [floor_[l], cap_[l]]. Writes candidate_[l]; deterministic.
+  void waterfill(const std::vector<std::size_t>& layers, std::uint64_t budget);
+
+  std::vector<std::size_t> sizes_;
+  std::vector<bool> adaptive_;          ///< n_l >= min_sparsify_size.
+  std::vector<std::size_t> adaptive_layers_;  ///< Indices, ascending.
+  std::vector<std::size_t> floor_;      ///< keep_count(n_l, min_ratio).
+  std::vector<std::size_t> cap_;        ///< keep_count(n_l, max_ratio).
+  std::vector<std::size_t> keep_;       ///< Committed allocation.
+  std::vector<std::size_t> candidate_;  ///< decide() scratch.
+  std::vector<double> weights_;         ///< decide() scratch.
+  std::vector<double> mass_ema_;        ///< Per-layer velocity-mass EMA.
+
+  double base_ratio_ = 0.0;
+  double min_ratio_ = 0.0;
+  double max_ratio_ = 0.0;
+  std::size_t interval_ = 1;
+  double hysteresis_ = 0.0;
+  double alpha_ = 0.25;            ///< EMA weight of the newest observation.
+  double staleness_scale_ = 8.0;   ///< Staleness EMA that halves adaptivity.
+  double density_weight_ = 0.5;    ///< Reply-density damping strength.
+
+  std::uint64_t budget_ = 0;       ///< Sum of keep_count(n_l, base) adaptive.
+  std::size_t adaptive_numel_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t decisions_ = 0;
+  double staleness_ema_ = 0.0;
+  double density_ema_ = 0.0;
+  bool observed_mass_ = false;     ///< Any observe_push seen since start.
+  bool replies_seen_ = false;      ///< Any observe_reply seen since start.
+
+  std::vector<TrajectoryPoint> trajectory_;
+  std::uint64_t trajectory_stride_ = 1;
+};
+
+/// DGS with SAMomentum and controller-driven per-layer keep counts
+/// (Method::kDGSAdaptive). Identical to SAMomentum — single velocity
+/// buffer, sent entries stay resident, unsent entries rescale by 1/m —
+/// except that the top-k threshold per layer comes from the controller's
+/// allocation instead of the uniform ratio. During DGC-style warmup epochs
+/// the uniform warmup schedule wins (convergence-safe), and the controller
+/// only observes.
+class AdaptiveSAMomentum final : public WorkerAlgorithm {
+ public:
+  AdaptiveSAMomentum(const std::vector<std::size_t>& layer_sizes,
+                     CompressionConfig compression, float momentum);
+  sparse::SparseUpdate step(const GradViews& grads, float lr,
+                            std::size_t epoch) override;
+  [[nodiscard]] std::size_t state_bytes() const noexcept override;
+  void observe_reply(const ReplyObservation& obs) noexcept override;
+  [[nodiscard]] const SparsityController* sparsity_controller()
+      const noexcept override {
+    return &controller_;
+  }
+
+  [[nodiscard]] const LayeredVec& velocity() const noexcept { return u_; }
+
+ private:
+  CompressionConfig compression_;
+  float m_;
+  LayeredVec u_;
+  SparsityController controller_;
+  std::vector<double> mass_;  ///< Per-step |u| mass scratch, one per layer.
+};
+
+}  // namespace dgs::core

@@ -12,6 +12,29 @@
 
 namespace dgs::core {
 
+/// Knobs for the runtime per-layer sparsity controller (core/adaptive.h,
+/// Method::kDGSAdaptive). All defaults are safe: the controller always
+/// spends at most the fixed-R byte budget and never drops a layer below the
+/// convergence floor, so these only shape *where* the budget goes.
+struct AdaptiveConfig {
+  /// Convergence-safe floor R_min: no adaptive layer's ratio goes below
+  /// this (clamped to <= ratio_percent at construction).
+  double min_ratio_percent = 0.25;
+  /// Per-layer ratio ceiling; <= 0 picks min(100, 4 * ratio_percent).
+  double max_ratio_percent = 0.0;
+  /// Pushes between allocation decisions.
+  std::size_t interval_steps = 8;
+  /// Relative dead-band: a layer's keep count only moves when the candidate
+  /// differs from the committed value by more than this fraction.
+  double hysteresis = 0.10;
+  /// EMA weight of the newest mass/staleness/density observation.
+  double ema_alpha = 0.25;
+  /// Staleness EMA (in server steps) at which adaptivity is halved.
+  double staleness_scale = 8.0;
+  /// How strongly near-dense replies damp adaptivity, in [0, 1].
+  double density_weight = 0.5;
+};
+
 /// Sparsification knobs. `ratio_percent` is R in the paper's notation:
 /// R = 1 keeps the top 1% of magnitudes per layer (99% sparsity).
 struct CompressionConfig {
@@ -34,6 +57,9 @@ struct CompressionConfig {
   /// *before* charging it to v_k, so bookkeeping matches the wire exactly
   /// (Eq. 6b) and the quantization error stays in M - v_k.
   DownCompress down_compress = DownCompress::kAuto;
+  /// Runtime per-layer controller knobs, consumed only by
+  /// Method::kDGSAdaptive (core/adaptive.h).
+  AdaptiveConfig adaptive;
 
   /// Keep-ratio in effect during the given worker epoch.
   [[nodiscard]] double ratio_at_epoch(std::size_t epoch) const noexcept {

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/adaptive.h"
 #include "core/method.h"
 #include "obs/trace.h"
 
@@ -177,6 +178,22 @@ void EngineContext::finalize(RunResult& result, EpochTracker& epochs,
     result.worker_state_bytes =
         std::max(result.worker_state_bytes, worker->optimizer_state_bytes());
 
+  // Adaptive-controller export (Method::kDGSAdaptive): fold every committed
+  // per-layer ratio from every worker's trajectory into one histogram plus a
+  // decision counter, *before* the snapshot below captures the registry.
+  // Forked-process transports leave parent-side workers unstepped, so their
+  // controllers report zero decisions and this records nothing.
+  for (const auto& worker : workers_) {
+    const SparsityController* controller = worker->sparsity_controller();
+    if (controller == nullptr || controller->decisions() == 0) continue;
+    metrics_.counter("worker.adaptive.decisions").add(controller->decisions());
+    obs::Histogram& ratio_hist = metrics_.histogram(
+        "worker.adaptive.ratio_percent", obs::linear_bounds(2.0, 2.0, 50));
+    for (const auto& point : controller->trajectory())
+      for (std::size_t l = 0; l < point.ratios.size(); ++l)
+        if (controller->is_adaptive(l)) ratio_hist.record(point.ratios[l]);
+  }
+
   // Observability tail: snapshot this run's registry into the result and
   // lift the headline distributions into fixed summary slots (see
   // core/metrics.h). Engines that never touched an instrument (e.g. SSGD
@@ -197,6 +214,8 @@ void EngineContext::finalize(RunResult& result, EpochTracker& epochs,
   result.push_bytes_hist = result.metrics.summary_of("server.push.bytes");
   result.push_decode_us_hist =
       result.metrics.summary_of("server.push.decode_us");
+  result.adaptive_ratio_hist =
+      result.metrics.summary_of("worker.adaptive.ratio_percent");
 
   result.wall_seconds = wall_.seconds();
 
@@ -284,6 +303,29 @@ void EngineContext::finalize(RunResult& result, EpochTracker& epochs,
       }
     }
     ledger.milestones.push_back(milestone);
+  }
+
+  // Adaptive-controller ledger block (schema v2): summary over all workers,
+  // trajectory from the first worker that made decisions (worker schedules
+  // only differ through their observed streams; one representative schedule
+  // is what the trajectory plot wants). Stays all-defaults for non-adaptive
+  // methods and for forked-process transports.
+  for (const auto& worker : workers_) {
+    const SparsityController* controller = worker->sparsity_controller();
+    if (controller == nullptr || controller->decisions() == 0) continue;
+    ledger.adaptive.decisions += controller->decisions();
+    if (ledger.adaptive.trajectory.empty()) {
+      ledger.adaptive.base_ratio_percent = controller->base_ratio_percent();
+      ledger.adaptive.min_ratio_percent = controller->min_ratio_percent();
+      ledger.adaptive.mean_ratio_percent = controller->mean_ratio_percent();
+      ledger.adaptive.keep_budget = controller->keep_budget();
+      for (const auto& point : controller->trajectory()) {
+        obs::RunLedger::Adaptive::Point p;
+        p.step = point.step;
+        p.ratios = point.ratios;
+        ledger.adaptive.trajectory.push_back(std::move(p));
+      }
+    }
   }
 }
 

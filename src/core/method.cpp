@@ -17,6 +17,8 @@ const MethodTraits& method_traits(Method method) noexcept {
       {"RandomDrop-async", "random coordinate dropping", "N", false, false},
       {"DGS+Tern", "dual-way top-k + ternary values", "SAMomentum", false,
        false},
+      {"DGS-Adaptive", "adaptive per-layer dual-way top-k", "SAMomentum",
+       false, false},
   };
   return kTraits[static_cast<std::size_t>(method)];
 }
@@ -33,13 +35,15 @@ Method parse_method(const std::string& text) {
   if (t == "terngrad" || t == "tern") return Method::kTernGrad;
   if (t == "randomdrop" || t == "rdrop") return Method::kRandomDrop;
   if (t == "dgs+tern" || t == "dgstern") return Method::kDgsTernary;
+  if (t == "dgs-adaptive" || t == "dgsadaptive" || t == "adaptive")
+    return Method::kDGSAdaptive;
   throw std::invalid_argument("unknown method: " + text);
 }
 
 bool method_sparsifies(Method method) noexcept {
   return method == Method::kGDAsync || method == Method::kDGCAsync ||
          method == Method::kDGS || method == Method::kRandomDrop ||
-         method == Method::kDgsTernary;
+         method == Method::kDgsTernary || method == Method::kDGSAdaptive;
 }
 
 const char* down_compress_name(DownCompress mode) noexcept {

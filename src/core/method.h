@@ -20,6 +20,9 @@ enum class Method : std::uint8_t {
   kTernGrad,    ///< TernGrad-async: ternary-quantized dense gradients.
   kRandomDrop,  ///< Random coordinate dropping (unbiased 1/p rescaling).
   kDgsTernary,  ///< DGS + ternary quantization of the sent sparse values.
+  kDGSAdaptive,  ///< DGS with the runtime per-layer sparsity controller
+                 ///< (core/adaptive.h): per-layer keep counts reallocated
+                 ///< from observed mass/staleness/density at fixed bytes.
 };
 
 /// Technique matrix exactly as laid out in Table 5 of the paper.

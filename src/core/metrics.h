@@ -91,6 +91,10 @@ struct RunResult {
   /// Upward codec cost: server-side decode+validate time per push, the
   /// mirror of reply_encode_us_hist.
   obs::HistogramSummary push_decode_us_hist;
+  /// Committed per-layer keep-ratios (percent) across every adaptive
+  /// controller decision of the run (Method::kDGSAdaptive, core/adaptive.h);
+  /// zero-count for every other method.
+  obs::HistogramSummary adaptive_ratio_hist;
   /// Total reply elements (nnz) shipped downward over the run — the
   /// denominator behind mean_downward_density.
   std::uint64_t reply_elements = 0;

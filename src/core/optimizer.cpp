@@ -1,5 +1,6 @@
 #include "core/optimizer.h"
 
+#include "core/adaptive.h"
 #include "core/optimizer_ext.h"
 
 #include <cmath>
@@ -227,6 +228,9 @@ std::unique_ptr<WorkerAlgorithm> make_worker_algorithm(
     case Method::kDgsTernary:
       return std::make_unique<DgsTernary>(layer_sizes, config.compression,
                                           momentum, rng_seed);
+    case Method::kDGSAdaptive:
+      return std::make_unique<AdaptiveSAMomentum>(layer_sizes,
+                                                  config.compression, momentum);
   }
   throw std::logic_error("make_worker_algorithm: unknown method");
 }

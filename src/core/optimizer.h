@@ -25,6 +25,17 @@ namespace dgs::core {
 /// Per-layer gradient views handed to the algorithm each iteration.
 using GradViews = std::vector<std::span<const float>>;
 
+class SparsityController;
+
+/// What the worker learned from one server reply, offered to algorithms
+/// that adapt to the training dynamics (core/adaptive.h). `staleness` is
+/// how many server steps the reply advanced past the worker's previous
+/// view; `reply_density` is the decoded reply nnz over the model size.
+struct ReplyObservation {
+  double staleness = 0.0;
+  double reply_density = 0.0;
+};
+
 class WorkerAlgorithm {
  public:
   virtual ~WorkerAlgorithm() = default;
@@ -61,6 +72,19 @@ class WorkerAlgorithm {
   /// recycling it is always safe — the pool just re-warms.
   void recycle(sparse::SparseUpdate&& update) noexcept {
     workspace_.recycle(std::move(update));
+  }
+
+  /// Feedback from the downward direction: the worker calls this once per
+  /// applied server reply. Default is a no-op; Method::kDGSAdaptive routes
+  /// it into its SparsityController.
+  virtual void observe_reply(const ReplyObservation& /*obs*/) noexcept {}
+
+  /// The runtime sparsity controller, when this algorithm has one
+  /// (Method::kDGSAdaptive); nullptr otherwise. Exposed so engines can
+  /// export the committed ratio schedule into metrics and the run ledger.
+  [[nodiscard]] virtual const SparsityController* sparsity_controller()
+      const noexcept {
+    return nullptr;
   }
 
   [[nodiscard]] Method method() const noexcept { return method_; }

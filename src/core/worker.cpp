@@ -25,6 +25,7 @@ Worker::Worker(std::size_t id, const nn::ModelSpec& spec,
                                      config.seed * 0x2545F491ULL + id * 31 + 17);
   batch_features_.resize(config.batch_size * data_->feature_dim());
   batch_labels_.resize(config.batch_size);
+  for (std::size_t n : nn::param_layer_sizes(params_)) model_numel_ += n;
   if (data_->feature_dim() != spec.feature_dim())
     throw std::invalid_argument("worker: dataset/model feature dim mismatch");
 }
@@ -79,7 +80,14 @@ void Worker::apply_model_diff(const comm::Message& reply) {
   if (reply.kind != comm::MessageKind::kModelDiff)
     throw std::invalid_argument("worker: expected model diff");
   obs::PhaseTimer decode_timer(profiler_, id_, obs::Phase::kDecodeApply);
+  // Staleness from the worker's own vantage point: how many server steps
+  // this reply advanced past prev(k). Computed before prev(k) moves.
+  const std::uint64_t staleness =
+      reply.server_step > known_server_step_
+          ? reply.server_step - known_server_step_
+          : 0;
   known_server_step_ = reply.server_step;
+  std::size_t reply_nnz = 0;
 
   // theta_{k} += G (Eq. 4/5; SGD() in Algorithm 1/3 applies the decoded
   // difference directly — the learning rate is already inside G).
@@ -92,23 +100,31 @@ void Worker::apply_model_diff(const comm::Message& reply) {
         throw std::runtime_error("worker: reply layer out of range");
       auto values = params_[chunk.layer]->value.flat();
       sparse::scatter_add(chunk, 1.0f, values);
+      reply_nnz += chunk.nnz();
     }
-    return;
-  }
-  // Everything else — dense, quantized COO, SBC — dispatches through the
-  // versioned wire-format registry.
-  for (const DecodedLayer& segment : decode_update(reply.payload)) {
-    if (segment.layer() >= params_.size())
-      throw std::runtime_error("worker: reply layer out of range");
-    auto values = params_[segment.layer()]->value.flat();
-    if (segment.dense_size() != values.size())
-      throw std::runtime_error("worker: reply layer shape mismatch");
-    if (segment.sparse) {
-      sparse::scatter_add(segment.chunk, 1.0f, values);
-    } else {
-      util::axpy(1.0f, {segment.dense.data(), segment.dense.size()}, values);
+  } else {
+    // Everything else — dense, quantized COO, SBC — dispatches through the
+    // versioned wire-format registry.
+    for (const DecodedLayer& segment : decode_update(reply.payload)) {
+      if (segment.layer() >= params_.size())
+        throw std::runtime_error("worker: reply layer out of range");
+      auto values = params_[segment.layer()]->value.flat();
+      if (segment.dense_size() != values.size())
+        throw std::runtime_error("worker: reply layer shape mismatch");
+      if (segment.sparse) {
+        sparse::scatter_add(segment.chunk, 1.0f, values);
+        reply_nnz += segment.chunk.nnz();
+      } else {
+        util::axpy(1.0f, {segment.dense.data(), segment.dense.size()}, values);
+        reply_nnz += segment.dense.size();
+      }
     }
   }
+  algorithm_->observe_reply(
+      {static_cast<double>(staleness),
+       model_numel_ > 0 ? static_cast<double>(reply_nnz) /
+                              static_cast<double>(model_numel_)
+                        : 0.0});
 }
 
 }  // namespace dgs::core

@@ -69,6 +69,14 @@ class Worker {
     return algorithm_->state_bytes();
   }
 
+  /// The algorithm's runtime sparsity controller (Method::kDGSAdaptive),
+  /// or nullptr. Engines use this to export the committed ratio schedule
+  /// into metrics and the run ledger.
+  [[nodiscard]] const SparsityController* sparsity_controller()
+      const noexcept {
+    return algorithm_->sparsity_controller();
+  }
+
   /// Local model parameters, flattened (tests verify Eq. 5 with this).
   [[nodiscard]] std::vector<float> model_flat() const {
     return nn::param_gather_values(params_);
@@ -106,6 +114,7 @@ class Worker {
 
   std::uint64_t step_ = 0;
   std::uint64_t known_server_step_ = 0;
+  std::size_t model_numel_ = 0;  ///< Dense model size, for reply density.
   obs::PhaseProfiler* profiler_ = nullptr;  ///< Optional, not owned.
 };
 

@@ -324,7 +324,23 @@ std::string RunLedger::to_json() const {
            std::to_string(m.epoch) + ",\"time_s\":" + jnum(m.time_s) +
            ",\"accuracy\":" + jnum(m.accuracy) + "}";
   }
-  out += "]}";
+  out += "],\"adaptive\":{\"decisions\":" + std::to_string(adaptive.decisions) +
+         ",\"base_ratio_percent\":" + jnum(adaptive.base_ratio_percent) +
+         ",\"min_ratio_percent\":" + jnum(adaptive.min_ratio_percent) +
+         ",\"mean_ratio_percent\":" + jnum(adaptive.mean_ratio_percent) +
+         ",\"keep_budget\":" + std::to_string(adaptive.keep_budget) +
+         ",\"trajectory\":[";
+  for (std::size_t i = 0; i < adaptive.trajectory.size(); ++i) {
+    const Adaptive::Point& p = adaptive.trajectory[i];
+    if (i != 0) out += ',';
+    out += "{\"step\":" + std::to_string(p.step) + ",\"ratios\":[";
+    for (std::size_t j = 0; j < p.ratios.size(); ++j) {
+      if (j != 0) out += ',';
+      out += jnum(p.ratios[j]);
+    }
+    out += "]}";
+  }
+  out += "]}}";
   return out;
 }
 
@@ -413,6 +429,35 @@ bool RunLedger::from_json(const std::string& json, RunLedger* out) {
           !get_num(entry, "accuracy", &m.accuracy))
         return false;
       ledger.milestones.push_back(m);
+    }
+  }
+
+  if (const JsonValue* a = root.find("adaptive")) {
+    if (a->kind != JsonValue::Kind::kObject) return false;
+    if (!get_u64(*a, "decisions", &ledger.adaptive.decisions) ||
+        !get_num(*a, "base_ratio_percent",
+                 &ledger.adaptive.base_ratio_percent) ||
+        !get_num(*a, "min_ratio_percent",
+                 &ledger.adaptive.min_ratio_percent) ||
+        !get_num(*a, "mean_ratio_percent",
+                 &ledger.adaptive.mean_ratio_percent) ||
+        !get_u64(*a, "keep_budget", &ledger.adaptive.keep_budget))
+      return false;
+    if (const JsonValue* arr = a->find("trajectory")) {
+      if (arr->kind != JsonValue::Kind::kArray) return false;
+      for (const JsonValue& entry : arr->array) {
+        if (entry.kind != JsonValue::Kind::kObject) return false;
+        Adaptive::Point p;
+        if (!get_u64(entry, "step", &p.step)) return false;
+        if (const JsonValue* ratios = entry.find("ratios")) {
+          if (ratios->kind != JsonValue::Kind::kArray) return false;
+          for (const JsonValue& r : ratios->array) {
+            if (r.kind != JsonValue::Kind::kNumber) return false;
+            p.ratios.push_back(r.number);
+          }
+        }
+        ledger.adaptive.trajectory.push_back(std::move(p));
+      }
     }
   }
 

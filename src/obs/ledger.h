@@ -26,7 +26,10 @@
 namespace dgs::obs {
 
 struct RunLedger {
-  static constexpr int kSchemaVersion = 1;
+  // v2: added the `adaptive` block (runtime sparsity-controller summary and
+  // per-layer ratio trajectory, core/adaptive.h). Additive — v1 lines parse
+  // with the block at its defaults.
+  static constexpr int kSchemaVersion = 2;
 
   int schema = kSchemaVersion;
   std::string run;     ///< Series key within a bench (e.g. "w8/DGS").
@@ -96,6 +99,26 @@ struct RunLedger {
     double accuracy = 0.0;
   };
   std::vector<Milestone> milestones;
+
+  /// Runtime per-layer sparsity controller summary (Method::kDGSAdaptive,
+  /// core/adaptive.h). All-defaults for non-adaptive runs. The trajectory
+  /// is worker 0's committed schedule: `step` is the worker push count the
+  /// decision fired at, `ratios` the per-layer keep-ratios in percent.
+  /// Empty when the run's workers live in forked processes (uds/tcp
+  /// transports) — the parent cannot see their controller state.
+  struct Adaptive {
+    std::uint64_t decisions = 0;
+    double base_ratio_percent = 0.0;
+    double min_ratio_percent = 0.0;
+    double mean_ratio_percent = 0.0;
+    std::uint64_t keep_budget = 0;
+    struct Point {
+      std::uint64_t step = 0;
+      std::vector<double> ratios;
+    };
+    std::vector<Point> trajectory;
+  };
+  Adaptive adaptive;
 
   /// Single-line JSON object (no trailing newline), append-friendly for
   /// JSONL ledger files.

@@ -104,9 +104,15 @@ SparsifyWorkspace::RankedKey SparsifyWorkspace::ranked_key_radix(
 
 SelectResult SparsifyWorkspace::select(std::span<const float> values,
                                        double ratio_percent) {
+  if (values.empty()) return {};
+  return select_k(values, keep_count(values.size(), ratio_percent));
+}
+
+SelectResult SparsifyWorkspace::select_k(std::span<const float> values,
+                                         std::size_t k) {
   SelectResult sel;
   if (values.empty()) return sel;
-  const std::size_t k = keep_count(values.size(), ratio_percent);
+  k = std::clamp<std::size_t>(k, 1, values.size());
   if (k == values.size()) {
     // Keep-everything fast path (R >= 100, or clamping on tiny layers):
     // the compaction kernels emit every nonzero entry at key 0, so no

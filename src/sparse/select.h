@@ -90,6 +90,15 @@ class SparsifyWorkspace {
   [[nodiscard]] SelectResult select(std::span<const float> values,
                                     double ratio_percent);
 
+  /// Threshold selection for keeping exactly the top `k` magnitudes (k
+  /// clamped to [1, n]; empty input returns the default result). This is
+  /// select() with the ratio -> keep_count conversion skipped, for callers
+  /// that already hold an integer allocation (the adaptive controller,
+  /// core/adaptive.h) — round-tripping k through a percentage would not
+  /// survive keep_count's ceil.
+  [[nodiscard]] SelectResult select_k(std::span<const float> values,
+                                      std::size_t k);
+
   /// DGC-style sampled threshold-key estimate for very large layers:
   /// O(sample_size), never scans the full input. Exact selection is used
   /// when it is at least as trustworthy as sampling: n < 4 * sample_size
@@ -143,6 +152,11 @@ class SparsifyWorkspace {
   void sparsify_rescale(std::uint32_t layer, std::span<float> values,
                         double ratio_percent, float factor, LayerChunk& out) {
     compact_rescale(layer, values, select(values, ratio_percent), factor, out);
+  }
+  /// sparsify_rescale with an exact integer keep count (see select_k).
+  void sparsify_rescale_k(std::uint32_t layer, std::span<float> values,
+                          std::size_t k, float factor, LayerChunk& out) {
+    compact_rescale(layer, values, select_k(values, k), factor, out);
   }
 
   // ---- update pooling -----------------------------------------------------

@@ -1,0 +1,327 @@
+// Runtime sparsity controller tests (core/adaptive.h, DESIGN.md §17):
+// floor/budget invariants under seeded synthetic observation streams,
+// bit-identical decision schedules for identical streams, hysteresis hold
+// behavior, staleness/density damping toward the uniform allocation, the
+// end-to-end Method::kDGSAdaptive path on every engine (with the Sim
+// engine's run-to-run determinism extended to the ratio trajectory), and
+// the exact-k select kernel the controller feeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/session.h"
+#include "data/synthetic.h"
+#include "sparse/select.h"
+#include "sparse/topk.h"
+#include "util/rng.h"
+
+namespace dgs {
+namespace {
+
+core::CompressionConfig adaptive_compression(double base_ratio = 2.0) {
+  core::CompressionConfig compression;
+  compression.ratio_percent = base_ratio;
+  compression.min_sparsify_size = 256;
+  compression.adaptive.interval_steps = 4;
+  return compression;
+}
+
+/// Deterministic synthetic mass stream: layer masses drift smoothly with a
+/// seeded per-layer scale, so repeated runs see identical observations.
+std::vector<double> synthetic_mass(const std::vector<std::size_t>& sizes,
+                                   util::Rng& rng, std::uint64_t t) {
+  std::vector<double> mass(sizes.size(), 0.0);
+  for (std::size_t l = 0; l < sizes.size(); ++l) {
+    const double scale = 0.5 + rng.uniform();
+    const double phase = static_cast<double>((t + 1) * (l + 1));
+    mass[l] = static_cast<double>(sizes[l]) * scale *
+              (1.0 + 0.5 * std::sin(phase * 0.1));
+  }
+  return mass;
+}
+
+TEST(SparsityController, FloorAndBudgetInvariantsHoldOnEveryDecision) {
+  const std::vector<std::size_t> sizes = {4096, 1024, 128, 2048, 512};
+  const core::CompressionConfig compression = adaptive_compression(2.0);
+  core::SparsityController controller(sizes, compression);
+
+  // Budget = what fixed-R DGS sends per push over the adaptive layers
+  // (layer 2 is below min_sparsify_size and exempt).
+  std::uint64_t expected_budget = 0;
+  for (std::size_t l : {0, 1, 3, 4})
+    expected_budget += sparse::keep_count(sizes[l], 2.0);
+  EXPECT_EQ(controller.keep_budget(), expected_budget);
+  EXPECT_FALSE(controller.is_adaptive(2));
+  EXPECT_EQ(controller.keep(2), sizes[2]);
+  EXPECT_DOUBLE_EQ(controller.ratio_percent(2), 100.0);
+
+  util::Rng rng(1234);
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    controller.observe_push(synthetic_mass(sizes, rng, t));
+    if (t % 3 == 0)
+      controller.observe_reply(/*staleness=*/rng.uniform() * 6.0,
+                               /*reply_density=*/rng.uniform());
+    // Invariants after every push, not just after decisions.
+    std::uint64_t total = 0;
+    for (std::size_t l = 0; l < sizes.size(); ++l) {
+      if (!controller.is_adaptive(l)) continue;
+      EXPECT_GE(controller.keep(l),
+                sparse::keep_count(sizes[l], controller.min_ratio_percent()))
+          << "layer " << l << " below floor at push " << t;
+      EXPECT_LE(controller.keep(l), sizes[l]);
+      total += controller.keep(l);
+    }
+    EXPECT_LE(total, controller.keep_budget()) << "over budget at push " << t;
+  }
+  EXPECT_EQ(controller.decisions(), 200u / 4u);
+  EXPECT_GT(controller.trajectory().size(), 0u);
+  EXPECT_LE(controller.trajectory().size(),
+            core::SparsityController::kMaxTrajectoryPoints);
+}
+
+TEST(SparsityController, IdenticalStreamsGiveBitIdenticalSchedules) {
+  const std::vector<std::size_t> sizes = {4096, 1024, 2048, 512, 300};
+  const core::CompressionConfig compression = adaptive_compression(2.0);
+  core::SparsityController a(sizes, compression);
+  core::SparsityController b(sizes, compression);
+
+  util::Rng rng_a(99), rng_b(99);
+  for (std::uint64_t t = 0; t < 120; ++t) {
+    a.observe_push(synthetic_mass(sizes, rng_a, t));
+    b.observe_push(synthetic_mass(sizes, rng_b, t));
+    if (t % 5 == 1) {
+      a.observe_reply(2.5, 0.4);
+      b.observe_reply(2.5, 0.4);
+    }
+    for (std::size_t l = 0; l < sizes.size(); ++l)
+      ASSERT_EQ(a.keep(l), b.keep(l)) << "push " << t << " layer " << l;
+  }
+  ASSERT_EQ(a.trajectory().size(), b.trajectory().size());
+  for (std::size_t i = 0; i < a.trajectory().size(); ++i) {
+    EXPECT_EQ(a.trajectory()[i].step, b.trajectory()[i].step);
+    ASSERT_EQ(a.trajectory()[i].ratios.size(), b.trajectory()[i].ratios.size());
+    for (std::size_t l = 0; l < a.trajectory()[i].ratios.size(); ++l)
+      EXPECT_EQ(a.trajectory()[i].ratios[l], b.trajectory()[i].ratios[l]);
+  }
+}
+
+TEST(SparsityController, HysteresisHoldsNearEqualAllocations) {
+  const std::vector<std::size_t> sizes = {4096, 4096, 4096};
+  core::CompressionConfig compression = adaptive_compression(2.0);
+  compression.adaptive.hysteresis = 0.25;
+  compression.adaptive.interval_steps = 1;
+  core::SparsityController controller(sizes, compression);
+
+  // A steady stream commits one allocation...
+  const std::vector<double> steady = {3.0, 2.0, 1.0};
+  for (int t = 0; t < 32; ++t) controller.observe_push(steady);
+  std::vector<std::size_t> committed;
+  for (std::size_t l = 0; l < sizes.size(); ++l)
+    committed.push_back(controller.keep(l));
+
+  // ...and small mass wobbles inside the dead-band leave it untouched.
+  for (int t = 0; t < 16; ++t) {
+    const double eps = (t % 2 == 0) ? 1.02 : 0.98;
+    const std::vector<double> wobble = {3.0 * eps, 2.0 / eps, 1.0 * eps};
+    controller.observe_push(wobble);
+    for (std::size_t l = 0; l < sizes.size(); ++l)
+      EXPECT_EQ(controller.keep(l), committed[l]) << "wobble " << t;
+  }
+
+  // A persistent large shift does move the allocation.
+  const std::vector<double> shifted = {1.0, 2.0, 12.0};
+  for (int t = 0; t < 64; ++t) controller.observe_push(shifted);
+  EXPECT_GT(controller.keep(2), committed[2]);
+}
+
+TEST(SparsityController, StalenessAndDensityDampTowardUniform) {
+  const std::vector<std::size_t> sizes = {4096, 4096};
+  core::CompressionConfig compression = adaptive_compression(2.0);
+  compression.adaptive.hysteresis = 0.0;
+  compression.adaptive.interval_steps = 1;
+  const std::vector<double> skewed = {10.0, 1.0};
+
+  // Fresh replies, sparse: allocation follows the mass skew.
+  core::SparsityController fresh(sizes, compression);
+  for (int t = 0; t < 64; ++t) {
+    fresh.observe_reply(0.0, 0.01);
+    fresh.observe_push(skewed);
+  }
+  // Very stale, near-dense replies: allocation stays close to uniform.
+  core::SparsityController stale(sizes, compression);
+  for (int t = 0; t < 64; ++t) {
+    stale.observe_reply(200.0, 1.0);
+    stale.observe_push(skewed);
+  }
+  const auto uniform = sparse::keep_count(sizes[0], 2.0);
+  EXPECT_GT(fresh.keep(0) - uniform, stale.keep(0) - uniform);
+  EXPECT_LE(stale.keep(0), uniform + uniform / 2);
+}
+
+TEST(SparsityController, MinRatioFloorIsClampedToBaseRatio) {
+  std::vector<std::size_t> sizes = {4096, 2048};
+  core::CompressionConfig compression = adaptive_compression(1.0);
+  compression.adaptive.min_ratio_percent = 5.0;  // above base: clamp to base
+  core::SparsityController controller(sizes, compression);
+  EXPECT_DOUBLE_EQ(controller.min_ratio_percent(), 1.0);
+  std::uint64_t floors = 0;
+  for (std::size_t l = 0; l < sizes.size(); ++l)
+    floors += sparse::keep_count(sizes[l], controller.min_ratio_percent());
+  EXPECT_LE(floors, controller.keep_budget());
+}
+
+// ---- exact-k selection ------------------------------------------------------
+
+TEST(SelectK, MatchesRatioSelectAndHonorsExactCounts) {
+  sparse::SparsifyWorkspace ws;
+  util::Rng rng(7);
+  std::vector<float> values(5000);
+  for (auto& v : values) v = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  const std::span<const float> view{values.data(), values.size()};
+
+  // select_k(keep_count(n, R)) == select(R) for any ratio.
+  for (double ratio : {0.5, 2.0, 10.0, 100.0}) {
+    const auto by_ratio = ws.select(view, ratio);
+    const auto by_k =
+        ws.select_k(view, sparse::keep_count(values.size(), ratio));
+    EXPECT_EQ(by_ratio.key, by_k.key) << ratio;
+    EXPECT_EQ(by_ratio.kept, by_k.kept) << ratio;
+  }
+  // Exact counts that no percentage round-trips to (e.g. k = 777).
+  for (std::size_t k : {std::size_t{1}, std::size_t{777}, std::size_t{4999}}) {
+    const auto sel = ws.select_k(view, k);
+    EXPECT_EQ(sel.kept, k);
+    sparse::LayerChunk out;
+    std::vector<float> scratch = values;
+    ws.compact_copy(0, {scratch.data(), scratch.size()}, sel, out);
+    EXPECT_EQ(out.nnz(), k);
+  }
+  // k clamps: 0 -> 1, > n -> keep-everything semantics.
+  EXPECT_EQ(ws.select_k(view, 0).kept, 1u);
+  EXPECT_EQ(ws.select_k(view, values.size() + 5).key, 0u);
+  EXPECT_EQ(ws.select_k({}, 3).kept, 0u);
+}
+
+// ---- end-to-end -------------------------------------------------------------
+
+core::TrainConfig small_adaptive_config() {
+  core::TrainConfig config;
+  config.method = core::Method::kDGSAdaptive;
+  config.num_workers = 2;
+  config.batch_size = 16;
+  config.epochs = 2;
+  config.lr = 0.02;
+  config.seed = 71;
+  config.compression.ratio_percent = 5.0;
+  config.compression.min_sparsify_size = 64;
+  config.compression.adaptive.interval_steps = 2;
+  return config;
+}
+
+data::SyntheticDataset small_data() {
+  data::SyntheticSpec spec = data::SyntheticSpec::synth_cifar(31);
+  spec.num_train = 256;
+  spec.num_test = 128;
+  return data::make_synthetic(spec);
+}
+
+void check_adaptive_run(const core::RunResult& result) {
+  EXPECT_GT(result.final_test_accuracy, 0.0);
+  EXPECT_GT(result.ledger.adaptive.decisions, 0u);
+  EXPECT_GT(result.ledger.adaptive.keep_budget, 0u);
+  EXPECT_DOUBLE_EQ(result.ledger.adaptive.base_ratio_percent, 5.0);
+  EXPECT_FALSE(result.ledger.adaptive.trajectory.empty());
+  EXPECT_GT(result.adaptive_ratio_hist.count, 0u);
+  // Every committed trajectory ratio respects the floor.
+  for (const auto& point : result.ledger.adaptive.trajectory)
+    for (double r : point.ratios) {
+      EXPECT_GE(r, result.ledger.adaptive.min_ratio_percent - 1e-9);
+      EXPECT_LE(r, 100.0 + 1e-9);
+    }
+}
+
+TEST(AdaptiveEndToEnd, RunsOnSimThreadAndSyncEngines) {
+  const auto data = small_data();
+  const nn::ModelSpec spec = nn::ModelSpec::mlp(
+      data.train->feature_dim(), {32}, data.train->num_classes());
+  const core::TrainConfig config = small_adaptive_config();
+
+  const auto sim = core::SimEngine(spec, data.train, data.test, config).run();
+  const auto thread =
+      core::ThreadEngine(spec, data.train, data.test, config).run();
+  const auto sync =
+      core::SyncEngine(spec, data.train, data.test, config).run();
+  check_adaptive_run(sim);
+  check_adaptive_run(thread);
+  check_adaptive_run(sync);
+  EXPECT_EQ(sim.ledger.method, "DGS-Adaptive");
+}
+
+TEST(AdaptiveEndToEnd, RunsOnProcessEngineThreadTransport) {
+  const auto data = small_data();
+  const nn::ModelSpec spec = nn::ModelSpec::mlp(
+      data.train->feature_dim(), {32}, data.train->num_classes());
+  core::TrainConfig config = small_adaptive_config();
+  config.transport = core::TransportKind::kThread;
+  config.deterministic_service = true;
+
+  const auto result =
+      core::ProcessEngine(spec, data.train, data.test, config).run();
+  check_adaptive_run(result);
+}
+
+TEST(AdaptiveEndToEnd, SimEngineIsDeterministicIncludingTrajectory) {
+  const auto data = small_data();
+  const nn::ModelSpec spec = nn::ModelSpec::mlp(
+      data.train->feature_dim(), {32}, data.train->num_classes());
+  const core::TrainConfig config = small_adaptive_config();
+
+  const auto a = core::SimEngine(spec, data.train, data.test, config).run();
+  const auto b = core::SimEngine(spec, data.train, data.test, config).run();
+  ASSERT_EQ(a.final_model.size(), b.final_model.size());
+  for (std::size_t i = 0; i < a.final_model.size(); ++i)
+    ASSERT_EQ(a.final_model[i], b.final_model[i]) << "param " << i;
+
+  ASSERT_EQ(a.ledger.adaptive.trajectory.size(),
+            b.ledger.adaptive.trajectory.size());
+  for (std::size_t i = 0; i < a.ledger.adaptive.trajectory.size(); ++i) {
+    EXPECT_EQ(a.ledger.adaptive.trajectory[i].step,
+              b.ledger.adaptive.trajectory[i].step);
+    EXPECT_EQ(a.ledger.adaptive.trajectory[i].ratios,
+              b.ledger.adaptive.trajectory[i].ratios);
+  }
+  // The ratio schedule survives a ledger JSON round-trip bit-exactly
+  // (to_json emits shortest round-trip doubles).
+  obs::RunLedger back;
+  ASSERT_TRUE(obs::RunLedger::from_json(a.ledger.to_json(), &back));
+  ASSERT_EQ(back.adaptive.trajectory.size(),
+            a.ledger.adaptive.trajectory.size());
+  for (std::size_t i = 0; i < back.adaptive.trajectory.size(); ++i)
+    EXPECT_EQ(back.adaptive.trajectory[i].ratios,
+              a.ledger.adaptive.trajectory[i].ratios);
+}
+
+TEST(AdaptiveEndToEnd, MatchesFixedDgsBytesBudget) {
+  const auto data = small_data();
+  const nn::ModelSpec spec = nn::ModelSpec::mlp(
+      data.train->feature_dim(), {32}, data.train->num_classes());
+  core::TrainConfig config = small_adaptive_config();
+
+  const auto adaptive =
+      core::SimEngine(spec, data.train, data.test, config).run();
+  config.method = core::Method::kDGS;
+  const auto fixed = core::SimEngine(spec, data.train, data.test, config).run();
+
+  // Same pushes, same budget: the adaptive run never ships more upward
+  // bytes than fixed-R DGS (the budget invariant, end to end). Allow the
+  // tiny slack of one COO entry per layer per push for rounding.
+  ASSERT_GT(fixed.bytes.upward_bytes, 0u);
+  EXPECT_LE(adaptive.bytes.upward_bytes,
+            fixed.bytes.upward_bytes + fixed.bytes.upward_messages * 8 * 4);
+}
+
+}  // namespace
+}  // namespace dgs

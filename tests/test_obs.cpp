@@ -683,6 +683,13 @@ obs::RunLedger sample_ledger() {
   ledger.milestones.push_back({0.5, true, 1, 3.5, 0.47});
   ledger.milestones.push_back({0.8, true, 4, 14.0, 0.74});
   ledger.milestones.push_back({0.9, false, 0, 0.0, 0.0});
+  ledger.adaptive.decisions = 24;
+  ledger.adaptive.base_ratio_percent = 2.0;
+  ledger.adaptive.min_ratio_percent = 0.25;
+  ledger.adaptive.mean_ratio_percent = 2.0;
+  ledger.adaptive.keep_budget = 1536;
+  ledger.adaptive.trajectory.push_back({8, {2.0, 2.0, 100.0}});
+  ledger.adaptive.trajectory.push_back({16, {3.5, 0.5, 100.0}});
   return ledger;
 }
 
@@ -739,6 +746,21 @@ TEST(RunLedger, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(back.milestones[1].epoch, 4u);
   EXPECT_DOUBLE_EQ(back.milestones[1].time_s, 14.0);
   EXPECT_FALSE(back.milestones[2].reached);
+  EXPECT_EQ(back.adaptive.decisions, ledger.adaptive.decisions);
+  EXPECT_DOUBLE_EQ(back.adaptive.base_ratio_percent,
+                   ledger.adaptive.base_ratio_percent);
+  EXPECT_DOUBLE_EQ(back.adaptive.min_ratio_percent,
+                   ledger.adaptive.min_ratio_percent);
+  EXPECT_DOUBLE_EQ(back.adaptive.mean_ratio_percent,
+                   ledger.adaptive.mean_ratio_percent);
+  EXPECT_EQ(back.adaptive.keep_budget, ledger.adaptive.keep_budget);
+  ASSERT_EQ(back.adaptive.trajectory.size(), 2u);
+  EXPECT_EQ(back.adaptive.trajectory[0].step, 8u);
+  EXPECT_EQ(back.adaptive.trajectory[1].step, 16u);
+  ASSERT_EQ(back.adaptive.trajectory[1].ratios.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.adaptive.trajectory[1].ratios[0], 3.5);
+  EXPECT_DOUBLE_EQ(back.adaptive.trajectory[1].ratios[1], 0.5);
+  EXPECT_DOUBLE_EQ(back.adaptive.trajectory[1].ratios[2], 100.0);
 }
 
 TEST(RunLedger, FromJsonIsForwardCompatibleAndRejectsMalformed) {
@@ -749,6 +771,14 @@ TEST(RunLedger, FromJsonIsForwardCompatibleAndRejectsMalformed) {
   EXPECT_EQ(ledger.run, "x");
   EXPECT_EQ(ledger.workers, 0u);
 
+  // A v1 line (no "adaptive" block) parses, keeping the block at defaults.
+  obs::RunLedger v1;
+  ASSERT_TRUE(obs::RunLedger::from_json(
+      R"({"schema":1,"run":"old","workers":4})", &v1));
+  EXPECT_EQ(v1.schema, 1);
+  EXPECT_EQ(v1.adaptive.decisions, 0u);
+  EXPECT_TRUE(v1.adaptive.trajectory.empty());
+
   // Malformed JSON and wrong types for known keys are hard failures.
   for (const char* bad : {
            "{\"schema\":1",                 // truncated
@@ -756,6 +786,8 @@ TEST(RunLedger, FromJsonIsForwardCompatibleAndRejectsMalformed) {
            "{\"workers\":\"eight\"}",       // wrong type
            "{\"staleness\":[1]}",           // wrong nested type
            "{\"milestones\":[{\"frac\":\"a\"}]}",
+           "{\"adaptive\":[1]}",            // wrong nested type
+           "{\"adaptive\":{\"trajectory\":[{\"ratios\":[\"x\"]}]}}",
        })
     EXPECT_FALSE(obs::RunLedger::from_json(bad, &ledger)) << bad;
 }
@@ -834,7 +866,7 @@ TEST(RunLedger, SchemaIsStableAcrossEngines) {
   }
 
   // The serialized key set — the schema — is identical across engines and
-  // matches the pinned v1 field list. Extending the ledger must update
+  // matches the pinned v2 field list. Extending the ledger must update
   // this list (and, for renames/retypes, bump kSchemaVersion).
   const std::vector<std::string> expected = {
       "schema",          "run",           "bench",
@@ -847,6 +879,7 @@ TEST(RunLedger, SchemaIsStableAcrossEngines) {
       "staleness",       "faults_injected", "leases_reclaimed",
       "worker_rejoins",  "warm_steps",    "step_us",
       "attributed_fraction", "phases",    "milestones",
+      "adaptive",
   };
   EXPECT_EQ(top_level_keys(sim.ledger.to_json()), expected);
   EXPECT_EQ(top_level_keys(thread.ledger.to_json()),
