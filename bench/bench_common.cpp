@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 #include "obs/ledger.h"
 #include "obs/trace.h"
+#include "util/simd.h"
 
 namespace dgs::benchkit {
 
@@ -180,11 +182,27 @@ bool parse_harness_options(util::Flags& flags, HarnessOptions& options) {
       "execution engine: sim (deterministic DES) | thread | uds | tcp "
       "(wire-only ProcessEngine; uds/tcp fork real worker processes and "
       "run wall-clock, ignoring the DES network model)");
+  const std::string force_isa = flags.str(
+      "force-isa", "",
+      "pin the SIMD kernel dispatch path: scalar|avx2|avx512 (clamped to "
+      "host support; same vocabulary as the DGS_FORCE_ISA environment "
+      "variable, util/simd.h). Empty = DGS_FORCE_ISA or auto-detect. The "
+      "resolved path lands in the run ledger as simd_isa.");
   const bool help = flags.finish();
   if (!help) {
     options.down_compress = core::parse_down_compress(down);
     if (options.transport != "sim")
       (void)core::parse_transport_kind(options.transport);  // validate early
+    if (!force_isa.empty()) {
+      util::Isa isa;
+      if (!util::parse_isa(force_isa, &isa))
+        throw std::invalid_argument(
+            "--force-isa: expected scalar|avx2|avx512, got '" + force_isa +
+            "'");
+      // Install now (before any kernel runs); set_forced_isa clamps to
+      // host support with a warning and logs the resolved path.
+      (void)util::set_forced_isa(isa);
+    }
   }
   return help;
 }

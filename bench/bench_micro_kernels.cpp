@@ -15,6 +15,7 @@
 #include "tensor/tensor.h"
 #include "util/math_kernels.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -250,11 +251,34 @@ void BM_GemmPacked(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * m * k * n));
+  // Label = the dispatched ISA path: check_bench.py keys the SIMD-dispatch
+  // gate on it (the gate is skipped when this run could only go scalar).
+  state.SetLabel(util::isa_name(util::active_isa()));
 }
 BENCHMARK(BM_GemmPacked)
     ->Args({64, 576, 1024})
     ->Args({128, 1152, 256})
     ->Args({256, 2304, 64});
+
+// The PR 5 autovectorized micro-kernel, pinned via ForcedIsaScope: the
+// in-run denominator for the SIMD-dispatch gate (dispatched BM_GemmPacked
+// must beat this by >= 1.3x at the gate shape on AVX2-capable hosts).
+void BM_GemmPackedScalarIsa(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  const auto a = random_values(m * k, 7);
+  const auto b = random_values(k * n, 8);
+  std::vector<float> c(m * n);
+  util::ForcedIsaScope forced(util::Isa::kScalar);
+  for (auto _ : state) {
+    util::gemm(m, k, n, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * k * n));
+}
+BENCHMARK(BM_GemmPackedScalarIsa)->Args({64, 576, 1024});
 
 // The scalar double-accumulation oracle from util/gemm.h: the in-run
 // denominator of the packed-vs-reference gate ratio.

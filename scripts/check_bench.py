@@ -62,7 +62,7 @@ acceptance criteria (DESIGN.md §14) -- all in-run, machine-independent:
   the committed baseline (advisory unless ``--enforce-baseline``; the
   simulation is deterministic, so drift means the codec changed).
 
-Without ``--fig5``, two checks, in order of authority:
+Without ``--fig5``, four checks, in order of authority:
 
 1. **In-run speedup ratio** (machine-independent, always enforced):
    the fused sparsify kernel must beat the pre-kernel-layer reference
@@ -72,7 +72,17 @@ Without ``--fig5``, two checks, in order of authority:
    share the run, this holds on any machine and is the check CI fails
    on.
 
-2. **Tolerance band vs. a committed baseline** (optional, advisory by
+2. **SIMD dispatch gate** (machine-independent, enforced when it can
+   fire): the runtime-dispatched GEMM (``BM_GemmPacked/64/576/1024``,
+   labelled with the ISA path it took) must beat the same kernel pinned
+   to the scalar path in the same run
+   (``BM_GemmPackedScalarIsa/64/576/1024``) by at least
+   ``--min-dispatch-speedup`` (default 1.3). Skipped -- with a note --
+   when the run itself went scalar (non-x86 host, TSan leg, or
+   ``DGS_FORCE_ISA=scalar``): there the two benchmarks measure the same
+   code path and the ratio is meaningless.
+
+3. **Tolerance band vs. a committed baseline** (optional, advisory by
    default): with ``--baseline``, every benchmark present in both files
    is compared and flagged when slower than baseline by more than
    ``--tolerance`` (default 0.35, i.e. +35%). Absolute times are only
@@ -80,6 +90,15 @@ Without ``--fig5``, two checks, in order of authority:
    fails the gate only under ``--enforce-baseline``; otherwise it
    prints the regressions and exits 0 (CI uploads both JSONs as
    artifacts for offline comparison instead).
+
+4. **Codec throughput band** (with ``--baseline``, advisory by
+   default): every ``BM_StageEncode``/``BM_StageDecode`` series present
+   in both files is band-checked on its reported bytes_per_second
+   (MB/s), flagging drops beyond ``--tolerance``. This is the wire
+   codec's MB/s budget -- the time band in check 3 already covers it
+   indirectly, but throughput is what DESIGN.md §14 budgets against, so
+   it is reported in those units. Fails only under
+   ``--enforce-baseline``.
 
 Usage:
     bench_micro_kernels --benchmark_out=results.json \
@@ -108,10 +127,20 @@ GATE_PAIRS = [
     ("BM_GemmReference/64/576/1024", "BM_GemmPacked/64/576/1024", 2.5),
 ]
 
+# The SIMD dispatch gate (check 2 in the module docstring): the dispatched
+# GEMM vs the same kernel pinned to the scalar path via ForcedIsaScope, at
+# the ResNet-18-on-CIFAR conv shape. BM_GemmPacked's label records which
+# ISA the run actually dispatched to; "scalar" skips the gate.
+SIMD_GATE_DISPATCHED = "BM_GemmPacked/64/576/1024"
+SIMD_GATE_SCALAR = "BM_GemmPackedScalarIsa/64/576/1024"
 
-def load_times(path):
-    """Return {benchmark name: real_time in ns} for a google-benchmark JSON
-    file, keeping only plain iteration entries (no aggregates)."""
+
+def load_entries(path):
+    """Return {benchmark name: entry dict} for a google-benchmark JSON
+    file, keeping only plain iteration entries (no aggregates). Each
+    entry keeps ``real_time`` normalised to nanoseconds plus, when the
+    benchmark reported them, ``label`` (BM_GemmPacked records the
+    dispatched ISA path there) and ``bytes_per_second``."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -120,7 +149,7 @@ def load_times(path):
         print(f"check_bench: cannot read '{path}': {err}", file=sys.stderr)
         sys.exit(2)
 
-    times = {}
+    entries = {}
     for entry in benchmarks:
         if entry.get("run_type", "iteration") != "iteration":
             continue
@@ -136,28 +165,32 @@ def load_times(path):
             print(f"check_bench: unknown time unit '{unit}' for {name}",
                   file=sys.stderr)
             sys.exit(2)
-        times[name] = time * scale
-    if not times:
+        entries[name] = {
+            "real_time": time * scale,
+            "label": entry.get("label", ""),
+            "bytes_per_second": entry.get("bytes_per_second"),
+        }
+    if not entries:
         print(f"check_bench: no benchmark entries in '{path}'",
               file=sys.stderr)
         sys.exit(2)
-    return times
+    return entries
 
 
-def check_speedup(times, min_speedup):
+def check_speedup(entries, min_speedup):
     """Enforce the in-run candidate-vs-reference ratios; returns failure
     count. Pairs with an explicit min_ratio use it; the rest use
     --min-speedup."""
     failures = 0
     for reference, candidate, min_ratio in GATE_PAIRS:
         required = min_speedup if min_ratio is None else min_ratio
-        if reference not in times or candidate not in times:
-            missing = [n for n in (reference, candidate) if n not in times]
+        if reference not in entries or candidate not in entries:
+            missing = [n for n in (reference, candidate) if n not in entries]
             print(f"FAIL  gate pair missing from results: {', '.join(missing)}"
                   f" (run without --benchmark_filter, or include them)")
             failures += 1
             continue
-        ratio = times[reference] / times[candidate]
+        ratio = entries[reference]["real_time"] / entries[candidate]["real_time"]
         verdict = "ok  " if ratio >= required else "FAIL"
         print(f"{verdict}  {candidate}: {ratio:.2f}x vs {reference}"
               f" (required >= {required:.2f}x)")
@@ -166,23 +199,77 @@ def check_speedup(times, min_speedup):
     return failures
 
 
-def check_baseline(times, baseline, tolerance):
-    """Compare shared benchmarks against the baseline; returns regressions
-    as a list of (name, current ns, baseline ns, delta fraction)."""
+def check_simd_dispatch(entries, min_ratio):
+    """Enforce the dispatched-vs-scalar GEMM ratio at the gate shape;
+    returns failure count. Both sides run in the same process, so the
+    ratio is machine-independent; it is only skipped when the dispatched
+    run itself resolved to the scalar path (non-x86, TSan leg, or
+    DGS_FORCE_ISA=scalar), where both names time identical code."""
+    dispatched = entries.get(SIMD_GATE_DISPATCHED)
+    scalar = entries.get(SIMD_GATE_SCALAR)
+    if dispatched is None or scalar is None:
+        missing = [n for n, e in ((SIMD_GATE_DISPATCHED, dispatched),
+                                  (SIMD_GATE_SCALAR, scalar)) if e is None]
+        print(f"FAIL  SIMD dispatch gate pair missing from results: "
+              f"{', '.join(missing)}")
+        return 1
+    isa = dispatched.get("label", "")
+    if isa == "scalar":
+        print(f"skip  SIMD dispatch gate: run resolved to the scalar path "
+              f"(no SIMD ISA available or forced off)")
+        return 0
+    ratio = scalar["real_time"] / dispatched["real_time"]
+    ok = ratio >= min_ratio
+    print(f"{'ok  ' if ok else 'FAIL'}  {SIMD_GATE_DISPATCHED} [{isa}]: "
+          f"{ratio:.2f}x vs forced-scalar (required >= {min_ratio:.2f}x)")
+    return 0 if ok else 1
+
+
+def check_baseline(entries, baseline, tolerance):
+    """Compare shared benchmarks' times against the baseline; returns
+    regressions as a list of (name, current ns, baseline ns, delta
+    fraction)."""
     regressions = []
-    shared = sorted(set(times) & set(baseline))
+    shared = sorted(set(entries) & set(baseline))
     if not shared:
         print("warn  baseline shares no benchmark names with results")
         return regressions
     for name in shared:
-        delta = times[name] / baseline[name] - 1.0
+        delta = entries[name]["real_time"] / baseline[name]["real_time"] - 1.0
         if delta > tolerance:
-            regressions.append((name, times[name], baseline[name], delta))
+            regressions.append((name, entries[name]["real_time"],
+                                baseline[name]["real_time"], delta))
     print(f"baseline: {len(shared)} benchmarks compared, "
           f"{len(regressions)} over the +{tolerance:.0%} band")
     for name, cur, base, delta in regressions:
         print(f"  slow  {name}: {cur / 1e6:.3f} ms vs {base / 1e6:.3f} ms "
               f"({delta:+.1%})")
+    return regressions
+
+
+def check_codec_throughput(entries, baseline, tolerance):
+    """Band-check codec stage throughput (bytes_per_second on the
+    BM_StageEncode/BM_StageDecode series) against the baseline; returns
+    regressions as (name, current MB/s, baseline MB/s, drop fraction)."""
+    regressions = []
+    shared = sorted(
+        name for name in set(entries) & set(baseline)
+        if name.startswith(("BM_StageEncode", "BM_StageDecode")))
+    compared = 0
+    for name in shared:
+        cur = entries[name].get("bytes_per_second")
+        base = baseline[name].get("bytes_per_second")
+        if not cur or not base:
+            continue
+        compared += 1
+        drop = 1.0 - cur / base
+        if drop > tolerance:
+            regressions.append((name, cur / 1e6, base / 1e6, drop))
+    print(f"codec: {compared} stage series compared, "
+          f"{len(regressions)} slower than the -{tolerance:.0%} MB/s band")
+    for name, cur, base, drop in regressions:
+        print(f"  slow  {name}: {cur:.0f} MB/s vs {base:.0f} MB/s "
+              f"(-{drop:.1%})")
     return regressions
 
 
@@ -554,6 +641,10 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required in-run fused/reference ratio "
                              "(default: %(default)s)")
+    parser.add_argument("--min-dispatch-speedup", type=float, default=1.3,
+                        help="required in-run dispatched-vs-forced-scalar "
+                             "GEMM ratio; skipped when the run itself went "
+                             "scalar (default: %(default)s)")
     parser.add_argument("--min-sbc-ratio", type=float, default=4.0,
                         help="[--fig5] required COO/SBC bytes-per-element "
                              "ratio (default: %(default)s)")
@@ -612,11 +703,15 @@ def main(argv=None):
             if drifted and args.enforce_baseline:
                 failures += len(drifted)
     else:
-        times = load_times(args.results)
-        failures = check_speedup(times, args.min_speedup)
+        entries = load_entries(args.results)
+        failures = check_speedup(entries, args.min_speedup)
+        failures += check_simd_dispatch(entries, args.min_dispatch_speedup)
         if args.baseline:
-            regressions = check_baseline(times, load_times(args.baseline),
+            base_entries = load_entries(args.baseline)
+            regressions = check_baseline(entries, base_entries,
                                          args.tolerance)
+            regressions += check_codec_throughput(entries, base_entries,
+                                                  args.tolerance)
             if regressions and args.enforce_baseline:
                 failures += len(regressions)
 

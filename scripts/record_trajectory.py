@@ -66,9 +66,14 @@ def load_ledgers(path: str, bench_filter: str | None):
                     die(f"{path}:{lineno}: invalid JSON ({err})")
                 if not isinstance(entry, dict) or "run" not in entry:
                     die(f"{path}:{lineno}: not a ledger object (no 'run')")
-                if entry.get("schema") != SCHEMA:
+                # Ledger lines carry their own schema (obs/ledger.h), which
+                # advances independently of this file's SCHEMA and is
+                # additive across versions: accept any recognizable integer
+                # version instead of pinning one (v2 added `adaptive` and
+                # later `simd_isa`; v1 lines still parse).
+                if not isinstance(entry.get("schema"), int) or entry["schema"] < 1:
                     die(f"{path}:{lineno}: ledger schema "
-                        f"{entry.get('schema')!r} != {SCHEMA}")
+                        f"{entry.get('schema')!r} is not a version >= 1")
                 if bench_filter and entry.get("bench") != bench_filter:
                     continue
                 benches.add(entry.get("bench", ""))

@@ -4,6 +4,8 @@
 # Covers the pieces with real cross-thread interaction: the intra-op
 # ParallelFor pool and the packed GEMM's threaded row partitioning
 # (test_util, including the bitwise-determinism sweep over thread counts),
+# the SIMD dispatch layer and the ParallelFor-packed GEMM panels
+# (test_simd: per-ISA forcing races, threaded pack/compute determinism),
 # the channel layer, the sharded parameter server under concurrent pushes,
 # the ThreadEngine server pool end to end, the observability layer (metrics
 # striping and the trace ring buffers) — built with DGS_TRACE=ON so the
@@ -26,14 +28,19 @@ build="$repo/build-tsan"
 
 cmake --preset tsan -S "$repo" -DDGS_TRACE=ON >/dev/null
 cmake --build "$build" -j"$(nproc)" \
-  --target test_util --target test_comm --target test_concurrency \
-  --target test_engines --target test_obs --target test_socket \
-  --target test_chaos
+  --target test_util --target test_simd --target test_comm \
+  --target test_concurrency --target test_engines --target test_obs \
+  --target test_socket --target test_chaos
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+# Engine/server tests run on the scalar dispatch path under TSan: the
+# intrinsic kernels are correctness-covered by test_simd (which iterates
+# every supported ISA itself via ForcedIsaScope, overriding this), and the
+# scalar path instruments fastest, keeping the suite inside CI timeouts.
+export DGS_FORCE_ISA=scalar
 status=0
-for t in test_util test_comm test_concurrency test_engines test_obs \
-         test_socket test_chaos; do
+for t in test_util test_simd test_comm test_concurrency test_engines \
+         test_obs test_socket test_chaos; do
   echo "== TSan: $t =="
   filter=""
   case "$t" in

@@ -9,6 +9,7 @@
 #include "core/adaptive.h"
 #include "core/method.h"
 #include "obs/trace.h"
+#include "util/simd.h"
 
 namespace dgs::core {
 
@@ -226,6 +227,7 @@ void EngineContext::finalize(RunResult& result, EpochTracker& epochs,
   obs::RunLedger& ledger = result.ledger;
   ledger.engine = engine_name_;
   ledger.method = method_name(config_.method);
+  ledger.simd_isa = util::isa_name(util::active_isa());
   ledger.workers = config_.num_workers;
   ledger.batch_size = config_.batch_size;
   ledger.epochs_configured = config_.epochs;

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "util/gemm.h"
+
 namespace dgs::nn {
 
 /// Scratch for the im2col convolution path: the unfolded input columns
@@ -36,6 +38,15 @@ class ConvWorkspace {
   /// Bytes of scratch currently resident (memory-usage accounting, tests).
   [[nodiscard]] std::size_t scratch_bytes() const noexcept {
     return (columns_.capacity() + grad_columns_.capacity()) * sizeof(float);
+  }
+
+  /// Bytes of the *calling thread's* pooled GEMM pack scratch — the other
+  /// workspace every layer GEMM sizes (ceil(n/kGemmNR) panels of
+  /// min(k, kGemmKC) x kGemmNR floats, shared by the parallel pack lanes).
+  /// Thread-local and shared across all layers driven by that thread, so
+  /// report it once per thread, not once per layer, when summing.
+  [[nodiscard]] static std::size_t thread_pack_scratch_bytes() noexcept {
+    return util::gemm_scratch_bytes();
   }
 
  private:

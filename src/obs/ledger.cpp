@@ -280,6 +280,7 @@ std::string RunLedger::to_json() const {
   out += ",\"bench\":" + jstr(bench);
   out += ",\"engine\":" + jstr(engine);
   out += ",\"method\":" + jstr(method);
+  out += ",\"simd_isa\":" + jstr(simd_isa);
   out += ",\"workers\":" + std::to_string(workers);
   out += ",\"batch_size\":" + std::to_string(batch_size);
   out += ",\"epochs_configured\":" + std::to_string(epochs_configured);
@@ -359,6 +360,7 @@ bool RunLedger::from_json(const std::string& json, RunLedger* out) {
             get_str(root, "bench", &ledger.bench) &&
             get_str(root, "engine", &ledger.engine) &&
             get_str(root, "method", &ledger.method) &&
+            get_str(root, "simd_isa", &ledger.simd_isa) &&
             get_u64(root, "workers", &ledger.workers) &&
             get_u64(root, "batch_size", &ledger.batch_size) &&
             get_u64(root, "epochs_configured", &ledger.epochs_configured) &&

@@ -28,7 +28,9 @@ namespace dgs::obs {
 struct RunLedger {
   // v2: added the `adaptive` block (runtime sparsity-controller summary and
   // per-layer ratio trajectory, core/adaptive.h). Additive — v1 lines parse
-  // with the block at its defaults.
+  // with the block at its defaults. The `simd_isa` field is a later v2
+  // addition under the same rules: absent keys keep their defaults, so
+  // older lines parse with it empty.
   static constexpr int kSchemaVersion = 2;
 
   int schema = kSchemaVersion;
@@ -36,6 +38,11 @@ struct RunLedger {
   std::string bench;   ///< Bench binary family (e.g. "table3_cifar_scalability").
   std::string engine;  ///< "SimEngine" | "ThreadEngine" | "SyncEngine".
   std::string method;  ///< Training method name (e.g. "DGS", "ASGD").
+  /// SIMD dispatch path the run's kernels used ("scalar" | "avx2" |
+  /// "avx512", util/simd.h); empty on lines recorded before the field
+  /// existed. Committed trajectory entries carry this so a step-time
+  /// change can be attributed to (or disambiguated from) an ISA change.
+  std::string simd_isa;
 
   std::uint64_t workers = 0;
   std::uint64_t batch_size = 0;

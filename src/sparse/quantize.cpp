@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sparse/coo.h"
+#include "util/math_kernels.h"
 
 namespace dgs::sparse {
 
@@ -35,10 +36,9 @@ TernaryLayer ternary_quantize(std::uint32_t layer, std::span<const float> values
   out.layer = layer;
   out.dense_size = static_cast<std::uint32_t>(values.size());
   // Scale over the *finite* magnitudes only: a NaN (or inf) entry must not
-  // poison s for the whole layer, and `max` would silently skip NaN anyway.
-  float scale = 0.0f;
-  for (float v : values)
-    if (std::isfinite(v)) scale = std::max(scale, std::fabs(v));
+  // poison s for the whole layer. max_abs_finite is the dispatched exact
+  // integer-key maximum — identical to the old isfinite/max scan.
+  const float scale = util::max_abs_finite(values);
   out.scale = scale;
   out.packed.assign((values.size() + 3) / 4, 0);
   if (scale == 0.0f) return out;  // no finite magnitude: layer ships zero
@@ -251,8 +251,9 @@ void encode_sparse_ternary_into(const SparseUpdate& update,
   put_u32(kSparseTernaryMagic);
   put_u32(static_cast<std::uint32_t>(update.layers.size()));
   for (const auto& chunk : update.layers) {
-    float scale = 0.0f;
-    for (float v : chunk.val) scale = std::max(scale, std::fabs(v));
+    // util::amax has exactly this loop's semantics (NaN skipped via the
+    // std::max operand order, inf included) behind the ISA dispatch.
+    const float scale = util::amax(chunk.val);
     put_u32(chunk.layer);
     put_u32(chunk.dense_size);
     put_u32(static_cast<std::uint32_t>(chunk.nnz()));
@@ -339,9 +340,7 @@ LayerChunk ternary_quantize_chunk(const LayerChunk& chunk, util::Rng& rng) {
   LayerChunk out;
   out.layer = chunk.layer;
   out.dense_size = chunk.dense_size;
-  float scale = 0.0f;
-  for (float v : chunk.val)
-    if (std::isfinite(v)) scale = std::max(scale, std::fabs(v));
+  const float scale = util::max_abs_finite(chunk.val);
   if (scale == 0.0f) return out;  // no finite magnitude: nothing ships
   for (std::size_t i = 0; i < chunk.nnz(); ++i) {
     const float v = chunk.val[i];

@@ -5,7 +5,13 @@
 #include <cstring>
 #include <functional>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DGS_X86 1
+#endif
+
 #include "sparse/topk.h"
+#include "util/simd.h"
 
 namespace dgs::sparse {
 
@@ -17,6 +23,197 @@ namespace {
 constexpr std::size_t kBuckets = 1u << 16;
 constexpr std::uint32_t kHiShift = 16;
 constexpr std::uint32_t kLoMask = 0xffffu;
+
+// ---- dispatched magnitude-key kernels (util/simd.h, DESIGN.md §18) ---------
+// magnitude_key is pure integer work (bits & 0x7fffffff clamped to the inf
+// key), so every SIMD variant is exact and byte-identical to the scalar
+// path by construction. Keys are <= 0x7f800000, i.e. non-negative as
+// signed int32, so the signed epi32 min/compare instructions are valid.
+// Three kernel families:
+//   * keys_fill: bulk key computation (ranked_key_small's scratch fill);
+//   * hist_hi16: the radix pass-1 histogram — keys are computed 8/16-wide
+//     and spilled to a small stack buffer, the bucket increments stay
+//     scalar (a gather/scatter histogram would race its own lanes);
+//   * count_ge / count_zeros: compare + movemask popcount.
+
+void keys_fill_scalar(const float* __restrict vp, std::uint32_t* __restrict kp,
+                      std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) kp[i] = magnitude_key(vp[i]);
+}
+
+void hist_hi16_scalar(const float* __restrict vp, std::size_t n,
+                      std::uint32_t* __restrict hist) noexcept {
+  for (std::size_t i = 0; i < n; ++i) ++hist[magnitude_key(vp[i]) >> kHiShift];
+}
+
+std::size_t count_ge_scalar(const float* __restrict vp, std::size_t n,
+                            std::uint32_t key) noexcept {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += magnitude_key(vp[i]) >= key;
+  return count;
+}
+
+std::size_t count_zeros_scalar(const float* __restrict vp,
+                               std::size_t n) noexcept {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += magnitude_key(vp[i]) == 0;
+  return count;
+}
+
+#ifdef DGS_X86
+
+__attribute__((target("avx2"))) inline __m256i keys8_avx2(
+    const float* p) noexcept {
+  const __m256i mag = _mm256_set1_epi32(0x7fffffff);
+  const __m256i inf = _mm256_set1_epi32(0x7f800000);
+  const __m256i k = _mm256_and_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)), mag);
+  return _mm256_min_epi32(k, inf);  // NaN clamps to the inf key
+}
+
+__attribute__((target("avx2"))) void keys_fill_avx2(
+    const float* __restrict vp, std::uint32_t* __restrict kp,
+    std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(kp + i), keys8_avx2(vp + i));
+  for (; i < n; ++i) kp[i] = magnitude_key(vp[i]);
+}
+
+__attribute__((target("avx2"))) void hist_hi16_avx2(
+    const float* __restrict vp, std::size_t n,
+    std::uint32_t* __restrict hist) noexcept {
+  alignas(32) std::uint32_t buf[16];
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(buf),
+                       _mm256_srli_epi32(keys8_avx2(vp + i), 16));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(buf + 8),
+                       _mm256_srli_epi32(keys8_avx2(vp + i + 8), 16));
+    for (std::size_t u = 0; u < 16; ++u) ++hist[buf[u]];
+  }
+  for (; i < n; ++i) ++hist[magnitude_key(vp[i]) >> kHiShift];
+}
+
+__attribute__((target("avx2,popcnt"))) std::size_t count_ge_avx2(
+    const float* __restrict vp, std::size_t n, std::uint32_t key) noexcept {
+  // key - 1 as signed turns >= key into > key-1; key == 0 gives -1, which
+  // every (non-negative) key exceeds — matching the count-all contract.
+  const __m256i thr = _mm256_set1_epi32(static_cast<int>(key) - 1);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i ge = _mm256_cmpgt_epi32(keys8_avx2(vp + i), thr);
+    count += static_cast<unsigned>(__builtin_popcount(static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(ge)))));
+  }
+  for (; i < n; ++i) count += magnitude_key(vp[i]) >= key;
+  return count;
+}
+
+__attribute__((target("avx2,popcnt"))) std::size_t count_zeros_avx2(
+    const float* __restrict vp, std::size_t n) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i eq = _mm256_cmpeq_epi32(keys8_avx2(vp + i), zero);
+    count += static_cast<unsigned>(__builtin_popcount(static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)))));
+  }
+  for (; i < n; ++i) count += magnitude_key(vp[i]) == 0;
+  return count;
+}
+
+__attribute__((target("avx512f"))) inline __m512i keys16_avx512(
+    const float* p) noexcept {
+  const __m512i mag = _mm512_set1_epi32(0x7fffffff);
+  const __m512i inf = _mm512_set1_epi32(0x7f800000);
+  const __m512i k = _mm512_and_si512(
+      _mm512_loadu_si512(reinterpret_cast<const void*>(p)), mag);
+  return _mm512_min_epi32(k, inf);
+}
+
+__attribute__((target("avx512f"))) void keys_fill_avx512(
+    const float* __restrict vp, std::uint32_t* __restrict kp,
+    std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_si512(reinterpret_cast<void*>(kp + i), keys16_avx512(vp + i));
+  for (; i < n; ++i) kp[i] = magnitude_key(vp[i]);
+}
+
+__attribute__((target("avx512f"))) void hist_hi16_avx512(
+    const float* __restrict vp, std::size_t n,
+    std::uint32_t* __restrict hist) noexcept {
+  alignas(64) std::uint32_t buf[32];
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    _mm512_store_si512(reinterpret_cast<void*>(buf),
+                       _mm512_srli_epi32(keys16_avx512(vp + i), 16));
+    _mm512_store_si512(reinterpret_cast<void*>(buf + 16),
+                       _mm512_srli_epi32(keys16_avx512(vp + i + 16), 16));
+    for (std::size_t u = 0; u < 32; ++u) ++hist[buf[u]];
+  }
+  for (; i < n; ++i) ++hist[magnitude_key(vp[i]) >> kHiShift];
+}
+
+__attribute__((target("avx512f,popcnt"))) std::size_t count_ge_avx512(
+    const float* __restrict vp, std::size_t n, std::uint32_t key) noexcept {
+  const __m512i thr = _mm512_set1_epi32(static_cast<int>(key) - 1);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __mmask16 ge = _mm512_cmpgt_epi32_mask(keys16_avx512(vp + i), thr);
+    count += static_cast<unsigned>(
+        __builtin_popcount(static_cast<unsigned>(ge)));
+  }
+  for (; i < n; ++i) count += magnitude_key(vp[i]) >= key;
+  return count;
+}
+
+__attribute__((target("avx512f,popcnt"))) std::size_t count_zeros_avx512(
+    const float* __restrict vp, std::size_t n) noexcept {
+  const __m512i zero = _mm512_setzero_si512();
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __mmask16 eq = _mm512_cmpeq_epi32_mask(keys16_avx512(vp + i), zero);
+    count += static_cast<unsigned>(
+        __builtin_popcount(static_cast<unsigned>(eq)));
+  }
+  for (; i < n; ++i) count += magnitude_key(vp[i]) == 0;
+  return count;
+}
+
+#endif  // DGS_X86
+
+using KeysFillFn = void (*)(const float*, std::uint32_t*, std::size_t) noexcept;
+using HistFn = void (*)(const float*, std::size_t, std::uint32_t*) noexcept;
+using CountKeyFn = std::size_t (*)(const float*, std::size_t,
+                                   std::uint32_t) noexcept;
+using CountFn = std::size_t (*)(const float*, std::size_t) noexcept;
+
+#ifdef DGS_X86
+constexpr KeysFillFn kKeysFill[util::kNumIsas] = {
+    keys_fill_scalar, keys_fill_avx2, keys_fill_avx512};
+constexpr HistFn kHistHi16[util::kNumIsas] = {hist_hi16_scalar, hist_hi16_avx2,
+                                              hist_hi16_avx512};
+constexpr CountKeyFn kCountGe[util::kNumIsas] = {
+    count_ge_scalar, count_ge_avx2, count_ge_avx512};
+constexpr CountFn kCountZeros[util::kNumIsas] = {
+    count_zeros_scalar, count_zeros_avx2, count_zeros_avx512};
+#else
+constexpr KeysFillFn kKeysFill[util::kNumIsas] = {
+    keys_fill_scalar, keys_fill_scalar, keys_fill_scalar};
+constexpr HistFn kHistHi16[util::kNumIsas] = {hist_hi16_scalar,
+                                              hist_hi16_scalar,
+                                              hist_hi16_scalar};
+constexpr CountKeyFn kCountGe[util::kNumIsas] = {
+    count_ge_scalar, count_ge_scalar, count_ge_scalar};
+constexpr CountFn kCountZeros[util::kNumIsas] = {
+    count_zeros_scalar, count_zeros_scalar, count_zeros_scalar};
+#endif
 
 }  // namespace
 
@@ -40,7 +237,7 @@ SparsifyWorkspace::RankedKey SparsifyWorkspace::ranked_key_small(
   const float* __restrict vp = values.data();
   std::uint32_t* __restrict kp = keys_.data();
   const std::size_t n = values.size();
-  for (std::size_t i = 0; i < n; ++i) kp[i] = magnitude_key(vp[i]);
+  kKeysFill[util::isa_index(util::active_isa())](vp, kp, n);
   std::nth_element(keys_.begin(),
                    keys_.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    keys_.end(), std::greater<std::uint32_t>());
@@ -62,7 +259,7 @@ SparsifyWorkspace::RankedKey SparsifyWorkspace::ranked_key_radix(
 
   // Pass 1: rank the high 16 bits of the magnitude key.
   std::memset(hist, 0, kBuckets * sizeof(std::uint32_t));
-  for (std::size_t i = 0; i < n; ++i) ++hist[magnitude_key(vp[i]) >> kHiShift];
+  kHistHi16[util::isa_index(util::active_isa())](vp, n, hist);
   std::size_t cumulative = 0;
   std::size_t hi = kBuckets - 1;
   for (;; --hi) {
@@ -234,7 +431,7 @@ bool SparsifyWorkspace::gather_radix(std::span<const float> values,
 
   // Pass 1: rank the high 16 bits (identical to ranked_key_radix).
   std::memset(hist, 0, kBuckets * sizeof(std::uint32_t));
-  for (std::size_t i = 0; i < n; ++i) ++hist[magnitude_key(vp[i]) >> kHiShift];
+  kHistHi16[util::isa_index(util::active_isa())](vp, n, hist);
   std::size_t cumulative = 0;
   std::size_t hi = kBuckets - 1;
   for (;; --hi) {
@@ -387,19 +584,13 @@ std::size_t SparsifyWorkspace::scratch_bytes() const noexcept {
 
 std::size_t count_ge_key(std::span<const float> values,
                          std::uint32_t key) noexcept {
-  const float* __restrict vp = values.data();
-  const std::size_t n = values.size();
-  std::size_t count = 0;
-  for (std::size_t i = 0; i < n; ++i) count += magnitude_key(vp[i]) >= key;
-  return count;
+  return kCountGe[util::isa_index(util::active_isa())](values.data(),
+                                                       values.size(), key);
 }
 
 std::size_t count_zeros(std::span<const float> values) noexcept {
-  const float* __restrict vp = values.data();
-  const std::size_t n = values.size();
-  std::size_t count = 0;
-  for (std::size_t i = 0; i < n; ++i) count += magnitude_key(vp[i]) == 0;
-  return count;
+  return kCountZeros[util::isa_index(util::active_isa())](values.data(),
+                                                          values.size());
 }
 
 }  // namespace dgs::sparse

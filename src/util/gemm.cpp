@@ -1,15 +1,28 @@
 // Packed GEMM implementation. See gemm.h for the layout, blocking and
-// determinism contract. Like math_kernels.cpp this TU is pinned to -O3:
-// the micro-kernel's constant-trip accumulator loops rely on the
-// auto-vectorizer, which gcc's -O2 cost model declines.
+// determinism contract, and DESIGN.md §18 for the runtime ISA dispatch.
+//
+// Three micro-kernels share the packed-panel layout and the entry-point
+// code: the scalar (autovectorized, SSE2-on-baseline) kernel is the PR 5
+// code and stays the DGS_FORCE_ISA=scalar / TSan / reproducibility path;
+// the AVX2+FMA and AVX-512F kernels are explicit-intrinsic register
+// tiles selected at runtime through a function-pointer table indexed by
+// util::active_isa(). The intrinsic functions carry per-function target
+// attributes, so this TU still compiles for baseline x86-64 and the
+// unsupported instructions are unreachable on lesser hosts.
 #include "util/gemm.h"
 
 #include <algorithm>
 #include <cstring>
 #include <vector>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DGS_X86 1
+#endif
+
 #include "util/math_kernels.h"
 #include "util/parallel_for.h"
+#include "util/simd.h"
 
 namespace dgs::util {
 
@@ -35,15 +48,20 @@ PackScratch& pack_scratch() {
   return scratch;
 }
 
-// Pack B rows [p0, p0 + kc) into NR-wide panels: panel jp holds columns
-// [jp*kNR, jp*kNR + kNR) in layout bp[jp*kc*kNR + p*kNR + u], zero-padded
-// past n so the micro-kernel never needs a column tail path. BTrans reads
-// B stored [n x k] (absorbing the `_bt` transpose into the pack).
+// Pack B rows [p0, p0 + kc) of panels [jp_begin, jp_end) into NR-wide
+// panels: panel jp holds columns [jp*kNR, jp*kNR + kNR) in layout
+// bp[jp*kc*kNR + p*kNR + u], zero-padded past n so the micro-kernel never
+// needs a column tail path. BTrans reads B stored [n x k] (absorbing the
+// `_bt` transpose into the pack). Each panel is written by exactly one
+// caller, so any panel partition produces bit-identical scratch — this is
+// what lets gemm_impl fan the pack out over ParallelFor for large n
+// without touching the determinism contract (the pack is pure data
+// movement; float values are copied, never combined).
 template <bool BTrans>
-void pack_b(std::size_t kc, std::size_t n, std::size_t k, std::size_t p0,
+void pack_b(std::size_t jp_begin, std::size_t jp_end, std::size_t kc,
+            std::size_t n, std::size_t k, std::size_t p0,
             const float* __restrict b, float* __restrict bp) noexcept {
-  const std::size_t panels = (n + kNR - 1) / kNR;
-  for (std::size_t jp = 0; jp < panels; ++jp) {
+  for (std::size_t jp = jp_begin; jp < jp_end; ++jp) {
     const std::size_t j0 = jp * kNR;
     const std::size_t nr = std::min(kNR, n - j0);
     float* __restrict dst = bp + jp * kc * kNR;
@@ -63,20 +81,23 @@ void pack_b(std::size_t kc, std::size_t n, std::size_t k, std::size_t p0,
   }
 }
 
+// ---- scalar micro-kernel (the PR 5 autovectorized path) --------------------
 // Row-at-a-time kernel over one packed panel. A is read in place through
 // (row_stride, p_stride): (k, 1) for row-major A, (1, m) for the
 // transposed-A layout, where ap already points at element (i0, p0). Each
 // row carries two kNR-wide local accumulators fed by even and odd p — the
-// constant-trip u-loops vectorize into two independent FMA chains and the
+// constant-trip u-loops vectorize into two independent chains and the
 // 2*kNR floats fill the sixteen XMM registers, while `#pragma GCC unroll 1`
 // on the p-loop stops gcc from re-vectorizing across the reduction with
-// shuffles (which is ~4x slower). The even/odd split and the final
-// l0 + l1 sum are part of the fixed per-element reduction order the
-// determinism contract documents in gemm.h.
-void micro_kernel(std::size_t mr, std::size_t kc, const float* __restrict ap,
-                  std::size_t row_stride, std::size_t p_stride,
-                  const float* __restrict bp,
-                  float* __restrict acc) noexcept {
+// shuffles (which is ~4x slower; the intrinsic kernels below fix their
+// schedule explicitly and need no such pragma). The even/odd split and the
+// final l0 + l1 sum are part of this path's fixed per-element reduction
+// order (see gemm.h: the order is fixed per ISA path, and bitwise
+// determinism across thread counts holds within each path).
+void micro_kernel_scalar(std::size_t mr, std::size_t kc,
+                         const float* __restrict ap, std::size_t row_stride,
+                         std::size_t p_stride, const float* __restrict bp,
+                         float* __restrict acc) noexcept {
   for (std::size_t r = 0; r < mr; ++r) {
     float l0[kNR] = {}, l1[kNR] = {};
     std::size_t p = 0;
@@ -99,15 +120,203 @@ void micro_kernel(std::size_t mr, std::size_t kc, const float* __restrict ap,
   }
 }
 
+#ifdef DGS_X86
+
+// ---- AVX2+FMA micro-kernel -------------------------------------------------
+// Register tile: 2 rows x kNR(=32) columns = 8 ymm accumulators, one FMA
+// chain per output element (p ascending), plus 4 ymm panel loads shared
+// across both rows and 2 broadcasts — 14 of the 16 ymm registers. Eight
+// independent chains cover the FMA latency-throughput product (~10 on
+// current cores) well enough while halving panel loads vs row-at-a-time.
+// Per-element reduction order: single chain over p ascending; tail rows
+// use the identical per-element sequence, so results do not depend on how
+// rows group into blocks (and therefore not on the thread partition).
+__attribute__((target("avx2,fma"))) void micro_kernel_avx2(
+    std::size_t mr, std::size_t kc, const float* __restrict ap,
+    std::size_t row_stride, std::size_t p_stride, const float* __restrict bp,
+    float* __restrict acc) noexcept {
+  static_assert(kNR == 32, "AVX2 kernel is shaped for kNR == 32");
+  std::size_t r = 0;
+  for (; r + 2 <= mr; r += 2) {
+    const float* __restrict a0 = ap + r * row_stride;
+    const float* __restrict a1 = ap + (r + 1) * row_stride;
+    __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+    __m256 c02 = _mm256_setzero_ps(), c03 = _mm256_setzero_ps();
+    __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+    __m256 c12 = _mm256_setzero_ps(), c13 = _mm256_setzero_ps();
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* __restrict bq = bp + p * kNR;
+      const __m256 b0 = _mm256_loadu_ps(bq);
+      const __m256 b1 = _mm256_loadu_ps(bq + 8);
+      const __m256 b2 = _mm256_loadu_ps(bq + 16);
+      const __m256 b3 = _mm256_loadu_ps(bq + 24);
+      const __m256 va0 = _mm256_broadcast_ss(a0 + p * p_stride);
+      c00 = _mm256_fmadd_ps(va0, b0, c00);
+      c01 = _mm256_fmadd_ps(va0, b1, c01);
+      c02 = _mm256_fmadd_ps(va0, b2, c02);
+      c03 = _mm256_fmadd_ps(va0, b3, c03);
+      const __m256 va1 = _mm256_broadcast_ss(a1 + p * p_stride);
+      c10 = _mm256_fmadd_ps(va1, b0, c10);
+      c11 = _mm256_fmadd_ps(va1, b1, c11);
+      c12 = _mm256_fmadd_ps(va1, b2, c12);
+      c13 = _mm256_fmadd_ps(va1, b3, c13);
+    }
+    float* __restrict arow0 = acc + r * kNR;
+    float* __restrict arow1 = acc + (r + 1) * kNR;
+    _mm256_storeu_ps(arow0, _mm256_add_ps(_mm256_loadu_ps(arow0), c00));
+    _mm256_storeu_ps(arow0 + 8, _mm256_add_ps(_mm256_loadu_ps(arow0 + 8), c01));
+    _mm256_storeu_ps(arow0 + 16,
+                     _mm256_add_ps(_mm256_loadu_ps(arow0 + 16), c02));
+    _mm256_storeu_ps(arow0 + 24,
+                     _mm256_add_ps(_mm256_loadu_ps(arow0 + 24), c03));
+    _mm256_storeu_ps(arow1, _mm256_add_ps(_mm256_loadu_ps(arow1), c10));
+    _mm256_storeu_ps(arow1 + 8, _mm256_add_ps(_mm256_loadu_ps(arow1 + 8), c11));
+    _mm256_storeu_ps(arow1 + 16,
+                     _mm256_add_ps(_mm256_loadu_ps(arow1 + 16), c12));
+    _mm256_storeu_ps(arow1 + 24,
+                     _mm256_add_ps(_mm256_loadu_ps(arow1 + 24), c13));
+  }
+  if (r < mr) {  // odd tail row: same per-element chain, 4 accumulators
+    const float* __restrict a0 = ap + r * row_stride;
+    __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+    __m256 c02 = _mm256_setzero_ps(), c03 = _mm256_setzero_ps();
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* __restrict bq = bp + p * kNR;
+      const __m256 va0 = _mm256_broadcast_ss(a0 + p * p_stride);
+      c00 = _mm256_fmadd_ps(va0, _mm256_loadu_ps(bq), c00);
+      c01 = _mm256_fmadd_ps(va0, _mm256_loadu_ps(bq + 8), c01);
+      c02 = _mm256_fmadd_ps(va0, _mm256_loadu_ps(bq + 16), c02);
+      c03 = _mm256_fmadd_ps(va0, _mm256_loadu_ps(bq + 24), c03);
+    }
+    float* __restrict arow = acc + r * kNR;
+    _mm256_storeu_ps(arow, _mm256_add_ps(_mm256_loadu_ps(arow), c00));
+    _mm256_storeu_ps(arow + 8, _mm256_add_ps(_mm256_loadu_ps(arow + 8), c01));
+    _mm256_storeu_ps(arow + 16,
+                     _mm256_add_ps(_mm256_loadu_ps(arow + 16), c02));
+    _mm256_storeu_ps(arow + 24,
+                     _mm256_add_ps(_mm256_loadu_ps(arow + 24), c03));
+  }
+}
+
+// ---- AVX-512F micro-kernel -------------------------------------------------
+// Register tile: 4 rows x kNR(=32) columns with the scalar path's even/odd
+// p split = 16 zmm accumulators (2x16 lanes per row per parity), 4 panel
+// loads shared across all rows and broadcast scalars — comfortably inside
+// the 32 zmm registers, with 16 independent FMA chains. Per-element
+// reduction order: even and odd p accumulate separately (both ascending),
+// summed even+odd at writeback — the same shape as the scalar path but
+// with FMA, so the path is deterministic in itself and oracle-bounded
+// against the others. Tail rows reuse the identical per-element sequence.
+__attribute__((target("avx512f"))) void micro_kernel_avx512(
+    std::size_t mr, std::size_t kc, const float* __restrict ap,
+    std::size_t row_stride, std::size_t p_stride, const float* __restrict bp,
+    float* __restrict acc) noexcept {
+  static_assert(kNR == 32, "AVX-512 kernel is shaped for kNR == 32");
+  std::size_t r = 0;
+  for (; r + 4 <= mr; r += 4) {
+    __m512 ce[8], co[8];  // [row*2 + half]: even-p / odd-p accumulators
+    for (int i = 0; i < 8; ++i) ce[i] = co[i] = _mm512_setzero_ps();
+    std::size_t p = 0;
+    for (; p + 2 <= kc; p += 2) {
+      const float* __restrict b0 = bp + p * kNR;
+      const float* __restrict b1 = b0 + kNR;
+      const __m512 b0lo = _mm512_loadu_ps(b0);
+      const __m512 b0hi = _mm512_loadu_ps(b0 + 16);
+      const __m512 b1lo = _mm512_loadu_ps(b1);
+      const __m512 b1hi = _mm512_loadu_ps(b1 + 16);
+      for (int row = 0; row < 4; ++row) {
+        const float* __restrict ar =
+            ap + (r + static_cast<std::size_t>(row)) * row_stride;
+        const __m512 ae = _mm512_set1_ps(ar[p * p_stride]);
+        const __m512 ao = _mm512_set1_ps(ar[(p + 1) * p_stride]);
+        ce[row * 2] = _mm512_fmadd_ps(ae, b0lo, ce[row * 2]);
+        ce[row * 2 + 1] = _mm512_fmadd_ps(ae, b0hi, ce[row * 2 + 1]);
+        co[row * 2] = _mm512_fmadd_ps(ao, b1lo, co[row * 2]);
+        co[row * 2 + 1] = _mm512_fmadd_ps(ao, b1hi, co[row * 2 + 1]);
+      }
+    }
+    if (p < kc) {
+      const float* __restrict b0 = bp + p * kNR;
+      const __m512 b0lo = _mm512_loadu_ps(b0);
+      const __m512 b0hi = _mm512_loadu_ps(b0 + 16);
+      for (int row = 0; row < 4; ++row) {
+        const float* __restrict ar =
+            ap + (r + static_cast<std::size_t>(row)) * row_stride;
+        const __m512 ae = _mm512_set1_ps(ar[p * p_stride]);
+        ce[row * 2] = _mm512_fmadd_ps(ae, b0lo, ce[row * 2]);
+        ce[row * 2 + 1] = _mm512_fmadd_ps(ae, b0hi, ce[row * 2 + 1]);
+      }
+    }
+    for (int row = 0; row < 4; ++row) {
+      float* __restrict arow =
+          acc + (r + static_cast<std::size_t>(row)) * kNR;
+      const __m512 lo = _mm512_add_ps(ce[row * 2], co[row * 2]);
+      const __m512 hi = _mm512_add_ps(ce[row * 2 + 1], co[row * 2 + 1]);
+      _mm512_storeu_ps(arow, _mm512_add_ps(_mm512_loadu_ps(arow), lo));
+      _mm512_storeu_ps(arow + 16,
+                       _mm512_add_ps(_mm512_loadu_ps(arow + 16), hi));
+    }
+  }
+  for (; r < mr; ++r) {  // tail rows: identical per-element chain shape
+    const float* __restrict ar = ap + r * row_stride;
+    __m512 celo = _mm512_setzero_ps(), cehi = _mm512_setzero_ps();
+    __m512 colo = _mm512_setzero_ps(), cohi = _mm512_setzero_ps();
+    std::size_t p = 0;
+    for (; p + 2 <= kc; p += 2) {
+      const float* __restrict b0 = bp + p * kNR;
+      const float* __restrict b1 = b0 + kNR;
+      const __m512 ae = _mm512_set1_ps(ar[p * p_stride]);
+      const __m512 ao = _mm512_set1_ps(ar[(p + 1) * p_stride]);
+      celo = _mm512_fmadd_ps(ae, _mm512_loadu_ps(b0), celo);
+      cehi = _mm512_fmadd_ps(ae, _mm512_loadu_ps(b0 + 16), cehi);
+      colo = _mm512_fmadd_ps(ao, _mm512_loadu_ps(b1), colo);
+      cohi = _mm512_fmadd_ps(ao, _mm512_loadu_ps(b1 + 16), cohi);
+    }
+    if (p < kc) {
+      const float* __restrict b0 = bp + p * kNR;
+      const __m512 ae = _mm512_set1_ps(ar[p * p_stride]);
+      celo = _mm512_fmadd_ps(ae, _mm512_loadu_ps(b0), celo);
+      cehi = _mm512_fmadd_ps(ae, _mm512_loadu_ps(b0 + 16), cehi);
+    }
+    float* __restrict arow = acc + r * kNR;
+    const __m512 lo = _mm512_add_ps(celo, colo);
+    const __m512 hi = _mm512_add_ps(cehi, cohi);
+    _mm512_storeu_ps(arow, _mm512_add_ps(_mm512_loadu_ps(arow), lo));
+    _mm512_storeu_ps(arow + 16,
+                     _mm512_add_ps(_mm512_loadu_ps(arow + 16), hi));
+  }
+}
+
+#endif  // DGS_X86
+
+// Function-pointer kernel table, indexed by isa_index(). Static and
+// constexpr: dispatch allocates nothing and resolution is one relaxed
+// atomic load + an indexed call.
+using MicroKernelFn = void (*)(std::size_t, std::size_t, const float*,
+                               std::size_t, std::size_t, const float*,
+                               float*) noexcept;
+constexpr MicroKernelFn kMicroKernels[kNumIsas] = {
+    micro_kernel_scalar,
+#ifdef DGS_X86
+    micro_kernel_avx2,
+    micro_kernel_avx512,
+#else
+    micro_kernel_scalar,
+    micro_kernel_scalar,
+#endif
+};
+
 // Compute C rows [i_begin, i_end) against the packed k-block at [p0, kc).
 // Each row's reduction is self-contained in the kernel, so any row
-// partition yields bit-identical results; ParallelFor's kMR-aligned slices
-// just keep each lane reusing the packed panel across a full row block.
+// partition yields bit-identical results within one ISA path; ParallelFor's
+// kMR-aligned slices just keep each lane reusing the packed panel across a
+// full row block.
 template <bool ATrans>
 void compute_rows(std::size_t i_begin, std::size_t i_end, std::size_t m,
                   std::size_t k, std::size_t n, std::size_t p0,
                   std::size_t kc, const float* __restrict a,
                   const float* __restrict bp, float* __restrict c) noexcept {
+  const MicroKernelFn kernel = kMicroKernels[isa_index(active_isa())];
   const std::size_t row_stride = ATrans ? 1 : k;
   const std::size_t p_stride = ATrans ? m : 1;
   const std::size_t panels = (n + kNR - 1) / kNR;
@@ -119,7 +328,7 @@ void compute_rows(std::size_t i_begin, std::size_t i_end, std::size_t m,
       const std::size_t nr = std::min(kNR, n - j0);
       float acc[kMR * kNR] = {};
       const float* panel = bp + jp * kc * kNR;
-      micro_kernel(mr, kc, ap, row_stride, p_stride, panel, acc);
+      kernel(mr, kc, ap, row_stride, p_stride, panel, acc);
       // Block partial -> C. The zero-padded panel columns (u >= nr) are
       // computed but discarded; valid lanes are untouched by the padding.
       for (std::size_t r = 0; r < mr; ++r) {
@@ -135,6 +344,12 @@ void compute_rows(std::size_t i_begin, std::size_t i_end, std::size_t m,
   }
 }
 
+// Packing a k-block fans out over panels once the block is large enough
+// to amortize the fork/join (the big Linear/im2col shapes: the gate shape
+// packs 1 MiB per k-block). Below the cutoff the pack stays serial — the
+// pool wakeup costs more than the copy.
+constexpr std::size_t kParallelPackMinFloats = 1u << 16;
+
 template <bool ATrans, bool BTrans>
 void gemm_impl(std::size_t m, std::size_t k, std::size_t n, const float* a,
                const float* b, float* c, bool accumulate) noexcept {
@@ -147,7 +362,14 @@ void gemm_impl(std::size_t m, std::size_t k, std::size_t n, const float* a,
 
   for (std::size_t p0 = 0; p0 < k; p0 += kKC) {
     const std::size_t kc = std::min(kKC, k - p0);
-    pack_b<BTrans>(kc, n, k, p0, b, bp);
+    if (pool != nullptr && panels > 1 &&
+        panels * kc * kNR >= kParallelPackMinFloats) {
+      pool->run(panels, 1, [&](std::size_t begin, std::size_t end) {
+        pack_b<BTrans>(begin, end, kc, n, k, p0, b, bp);
+      });
+    } else {
+      pack_b<BTrans>(0, panels, kc, n, k, p0, b, bp);
+    }
     if (pool != nullptr && m > kMR) {
       pool->run(m, kMR, [&](std::size_t begin, std::size_t end) {
         compute_rows<ATrans>(begin, end, m, k, n, p0, kc, a, bp, c);

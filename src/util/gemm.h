@@ -8,22 +8,33 @@
 //     pooled thread-local scratch buffer (panel-major layout
 //     `bp[panel*kc*kNR + p*kNR + u]`, zero-padded to kNR), so the inner
 //     kernel streams B contiguously regardless of the source layout —
-//     packing is also where the `_bt` transpose is absorbed.
-//   * The inner kernel computes one C row at a time against a kNR-wide
-//     panel, carrying two kNR-wide local accumulators (even/odd p) so the
-//     `__restrict` constant-trip update loops auto-vectorize into two
-//     independent FMA chains at -O3; A is read in place (contiguous per-p
-//     for the `_at` layout, stride-k otherwise).
+//     packing is also where the `_bt` transpose is absorbed. For large
+//     k-blocks the pack itself fans out over the ParallelFor pool, one or
+//     more whole panels per lane; packing is pure data movement (values
+//     copied, never combined), so any panel partition is bit-identical.
+//   * The inner micro-kernel dispatches on the runtime ISA (util/simd.h):
+//     the scalar path computes one C row at a time with two kNR-wide
+//     even/odd-p accumulators that auto-vectorize at -O3; the AVX2+FMA
+//     path is an explicit 2-row x kNR intrinsic register tile (8 ymm
+//     accumulators, single fmadd chain per element); the AVX-512F path is
+//     a 4-row x kNR tile with the even/odd p split (16 zmm accumulators).
+//     A is read in place (contiguous per-p for the `_at` layout, stride-k
+//     otherwise). Tail rows reuse the same per-element operation sequence
+//     as full row blocks on every path.
 //   * k is blocked at kKC so the active B panel stays cache-resident.
 //
 // Parallelism and determinism: when the calling thread's intra-op budget
 // (util::set_intra_op_threads) exceeds 1, rows of C are partitioned across
 // a persistent ParallelFor pool in kMR-aligned static slices. Every output
-// element is reduced by exactly one lane in the fixed serial order
-// (k-blocks ascending; within a block even and odd p indices accumulate
-// into two register lanes that are summed even+odd, then the block partial
-// is added to C), so the result is bitwise identical to single-threaded
-// execution for any thread count and any row partition.
+// element is reduced by exactly one lane in a fixed serial order
+// (k-blocks ascending; within a block a per-element accumulation order
+// that depends only on the active ISA path, never on the row partition),
+// so the result is bitwise identical to single-threaded execution for any
+// thread count and any row/panel partition *within one ISA path*. Across
+// ISA paths GEMM results are oracle-bounded, not byte-identical: the
+// intrinsic paths use fused multiply-add and different chain counts, which
+// round differently. Pin DGS_FORCE_ISA (or util::set_forced_isa) when
+// cross-machine bit reproducibility matters.
 //
 // Accumulation policy: float throughout (see math_kernels.h).
 //

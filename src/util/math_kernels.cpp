@@ -1,41 +1,54 @@
 #include "util/math_kernels.h"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DGS_X86 1
+#endif
+
+#include "util/simd.h"
 
 namespace dgs::util {
 
 namespace {
 
-// The streaming kernels below process fixed-width blocks with a
-// constant-trip inner loop. The restrict-qualified pointers plus the
-// constant trip count let the compiler fully unroll and vectorize the
-// block body; the scalar tail handles the last n % kBlock elements.
-// gcc 12's -O2 cost model ("very-cheap") declines most of these loops,
-// so CMake compiles this TU at -O3, where -fopt-info-vec reports all
-// block bodies vectorized; bench_micro_kernels guards the result.
+// The streaming kernels dispatch through util/simd.h: the scalar variants
+// below are the baseline (autovectorized) path and the byte-identity
+// reference; the AVX2 / AVX-512F variants are explicit-intrinsic rewrites
+// of the *same* per-element arithmetic. Byte-identity across paths is by
+// construction:
+//   - axpy/axpby/scale are element-wise mul + add. The intrinsic paths
+//     deliberately use separate vmulps/vaddps, never FMA — the baseline
+//     path has no FMA to contract into, and fusing would change rounding.
+//   - amax uses max(vabs, acc) with the accumulator as the *second*
+//     operand: x86 maxps returns the second operand when either input is
+//     NaN, which reproduces std::max(best, fabs(v))'s NaN-skip exactly;
+//     max over non-NaN floats is associative+commutative with results
+//     drawn from the input set, so lane order does not matter.
+//   - max_abs_finite is an integer maximum over magnitude keys — exact in
+//     any order.
+// The scalar variants keep the fixed-width kBlock shape: the constant-trip
+// inner loop is what gcc 12 -O3 (this TU is pinned to -O3, see
+// util/CMakeLists.txt) fully unrolls and vectorizes to SSE2.
 constexpr std::size_t kBlock = 16;
 
-}  // namespace
+// ---- scalar (baseline) paths ----------------------------------------------
 
-void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
-  assert(x.size() == y.size());
-  const float* __restrict xp = x.data();
-  float* __restrict yp = y.data();
-  const std::size_t n = x.size();
+void axpy_scalar(float alpha, const float* __restrict xp, float* __restrict yp,
+                 std::size_t n) noexcept {
   std::size_t i = 0;
   for (; i + kBlock <= n; i += kBlock)
     for (std::size_t u = 0; u < kBlock; ++u) yp[i + u] += alpha * xp[i + u];
   for (; i < n; ++i) yp[i] += alpha * xp[i];
 }
 
-void axpby(float alpha, std::span<const float> x, float beta,
-           std::span<float> y) noexcept {
-  assert(x.size() == y.size());
-  const float* __restrict xp = x.data();
-  float* __restrict yp = y.data();
-  const std::size_t n = x.size();
+void axpby_scalar(float alpha, const float* __restrict xp, float beta,
+                  float* __restrict yp, std::size_t n) noexcept {
   std::size_t i = 0;
   for (; i + kBlock <= n; i += kBlock)
     for (std::size_t u = 0; u < kBlock; ++u)
@@ -43,13 +56,262 @@ void axpby(float alpha, std::span<const float> x, float beta,
   for (; i < n; ++i) yp[i] = alpha * xp[i] + beta * yp[i];
 }
 
-void scale(float alpha, std::span<float> x) noexcept {
-  float* __restrict xp = x.data();
-  const std::size_t n = x.size();
+void scale_scalar(float alpha, float* __restrict xp, std::size_t n) noexcept {
   std::size_t i = 0;
   for (; i + kBlock <= n; i += kBlock)
     for (std::size_t u = 0; u < kBlock; ++u) xp[i + u] *= alpha;
   for (; i < n; ++i) xp[i] *= alpha;
+}
+
+float amax_scalar(const float* __restrict xp, std::size_t n) noexcept {
+  float best = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) best = std::max(best, std::fabs(xp[i]));
+  return best;
+}
+
+constexpr std::uint32_t kMagMask = 0x7fffffffu;
+constexpr std::uint32_t kInfKey = 0x7f800000u;
+
+float max_abs_finite_scalar(const float* __restrict xp,
+                            std::size_t n) noexcept {
+  std::uint32_t best = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t key = std::bit_cast<std::uint32_t>(xp[i]) & kMagMask;
+    if (key < kInfKey && key > best) best = key;
+  }
+  return std::bit_cast<float>(best);
+}
+
+#ifdef DGS_X86
+
+// ---- AVX2 paths ------------------------------------------------------------
+
+__attribute__((target("avx2"))) void axpy_avx2(float alpha,
+                                               const float* __restrict xp,
+                                               float* __restrict yp,
+                                               std::size_t n) noexcept {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    for (std::size_t u = 0; u < 32; u += 8) {
+      const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(xp + i + u));
+      _mm256_storeu_ps(yp + i + u,
+                       _mm256_add_ps(_mm256_loadu_ps(yp + i + u), prod));
+    }
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(xp + i));
+    _mm256_storeu_ps(yp + i, _mm256_add_ps(_mm256_loadu_ps(yp + i), prod));
+  }
+  for (; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+__attribute__((target("avx2"))) void axpby_avx2(float alpha,
+                                                const float* __restrict xp,
+                                                float beta,
+                                                float* __restrict yp,
+                                                std::size_t n) noexcept {
+  const __m256 va = _mm256_set1_ps(alpha);
+  const __m256 vb = _mm256_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 ax = _mm256_mul_ps(va, _mm256_loadu_ps(xp + i));
+    const __m256 by = _mm256_mul_ps(vb, _mm256_loadu_ps(yp + i));
+    _mm256_storeu_ps(yp + i, _mm256_add_ps(ax, by));
+  }
+  for (; i < n; ++i) yp[i] = alpha * xp[i] + beta * yp[i];
+}
+
+__attribute__((target("avx2"))) void scale_avx2(float alpha,
+                                                float* __restrict xp,
+                                                std::size_t n) noexcept {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(xp + i, _mm256_mul_ps(_mm256_loadu_ps(xp + i), va));
+  for (; i < n; ++i) xp[i] *= alpha;
+}
+
+__attribute__((target("avx2"))) float amax_avx2(const float* __restrict xp,
+                                                std::size_t n) noexcept {
+  const __m256 absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vabs = _mm256_and_ps(_mm256_loadu_ps(xp + i), absmask);
+    // NaN lane in vabs -> maxps returns acc's lane: std::max's NaN-skip.
+    acc = _mm256_max_ps(vabs, acc);
+  }
+  const __m128 h = _mm_max_ps(_mm256_castps256_ps128(acc),
+                              _mm256_extractf128_ps(acc, 1));
+  __m128 m = _mm_max_ps(h, _mm_movehl_ps(h, h));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  float best = _mm_cvtss_f32(m);
+  for (; i < n; ++i) best = std::max(best, std::fabs(xp[i]));
+  return best;
+}
+
+__attribute__((target("avx2"))) float max_abs_finite_avx2(
+    const float* __restrict xp, std::size_t n) noexcept {
+  const __m256i magmask = _mm256_set1_epi32(0x7fffffff);
+  const __m256i inf = _mm256_set1_epi32(0x7f800000);
+  __m256i best = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i key = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xp + i)), magmask);
+    // Keys are <= 0x7fffffff, i.e. non-negative as signed int32, so the
+    // signed compare/max are exact. Non-finite keys (>= inf) drop to 0.
+    key = _mm256_and_si256(key, _mm256_cmpgt_epi32(inf, key));
+    best = _mm256_max_epi32(key, best);
+  }
+  const __m128i h = _mm_max_epi32(_mm256_castsi256_si128(best),
+                                  _mm256_extracti128_si256(best, 1));
+  __m128i m = _mm_max_epi32(h, _mm_shuffle_epi32(h, _MM_SHUFFLE(1, 0, 3, 2)));
+  m = _mm_max_epi32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(2, 3, 0, 1)));
+  std::uint32_t bestk = static_cast<std::uint32_t>(_mm_cvtsi128_si32(m));
+  for (; i < n; ++i) {
+    const std::uint32_t key = std::bit_cast<std::uint32_t>(xp[i]) & kMagMask;
+    if (key < kInfKey && key > bestk) bestk = key;
+  }
+  return std::bit_cast<float>(bestk);
+}
+
+// ---- AVX-512F paths --------------------------------------------------------
+
+__attribute__((target("avx512f"))) void axpy_avx512(float alpha,
+                                                    const float* __restrict xp,
+                                                    float* __restrict yp,
+                                                    std::size_t n) noexcept {
+  const __m512 va = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    for (std::size_t u = 0; u < 64; u += 16) {
+      const __m512 prod = _mm512_mul_ps(va, _mm512_loadu_ps(xp + i + u));
+      _mm512_storeu_ps(yp + i + u,
+                       _mm512_add_ps(_mm512_loadu_ps(yp + i + u), prod));
+    }
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m512 prod = _mm512_mul_ps(va, _mm512_loadu_ps(xp + i));
+    _mm512_storeu_ps(yp + i, _mm512_add_ps(_mm512_loadu_ps(yp + i), prod));
+  }
+  for (; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+__attribute__((target("avx512f"))) void axpby_avx512(
+    float alpha, const float* __restrict xp, float beta, float* __restrict yp,
+    std::size_t n) noexcept {
+  const __m512 va = _mm512_set1_ps(alpha);
+  const __m512 vb = _mm512_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 ax = _mm512_mul_ps(va, _mm512_loadu_ps(xp + i));
+    const __m512 by = _mm512_mul_ps(vb, _mm512_loadu_ps(yp + i));
+    _mm512_storeu_ps(yp + i, _mm512_add_ps(ax, by));
+  }
+  for (; i < n; ++i) yp[i] = alpha * xp[i] + beta * yp[i];
+}
+
+__attribute__((target("avx512f"))) void scale_avx512(float alpha,
+                                                     float* __restrict xp,
+                                                     std::size_t n) noexcept {
+  const __m512 va = _mm512_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(xp + i, _mm512_mul_ps(_mm512_loadu_ps(xp + i), va));
+  for (; i < n; ++i) xp[i] *= alpha;
+}
+
+__attribute__((target("avx512f"))) float amax_avx512(
+    const float* __restrict xp, std::size_t n) noexcept {
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // _mm512_abs_ps is the sign-bit clear (AVX-512F; _mm512_and_ps is DQ).
+    const __m512 vabs = _mm512_abs_ps(_mm512_loadu_ps(xp + i));
+    acc = _mm512_max_ps(vabs, acc);  // NaN lane -> acc lane survives
+  }
+  float best = _mm512_reduce_max_ps(acc);
+  for (; i < n; ++i) best = std::max(best, std::fabs(xp[i]));
+  return best;
+}
+
+__attribute__((target("avx512f"))) float max_abs_finite_avx512(
+    const float* __restrict xp, std::size_t n) noexcept {
+  const __m512i magmask = _mm512_set1_epi32(0x7fffffff);
+  const __m512i inf = _mm512_set1_epi32(0x7f800000);
+  __m512i best = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i key = _mm512_and_si512(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(xp + i)), magmask);
+    const __mmask16 finite = _mm512_cmplt_epi32_mask(key, inf);
+    best = _mm512_mask_max_epi32(best, finite, key, best);
+  }
+  std::uint32_t bestk =
+      static_cast<std::uint32_t>(_mm512_reduce_max_epi32(best));
+  for (; i < n; ++i) {
+    const std::uint32_t key = std::bit_cast<std::uint32_t>(xp[i]) & kMagMask;
+    if (key < kInfKey && key > bestk) bestk = key;
+  }
+  return std::bit_cast<float>(bestk);
+}
+
+#endif  // DGS_X86
+
+// ---- dispatch tables -------------------------------------------------------
+// constexpr function-pointer tables indexed by isa_index(active_isa()):
+// dispatch is one relaxed atomic load + an indexed call and allocates
+// nothing (tests/test_simd.cpp counts operator new at steady state).
+
+using AxpyFn = void (*)(float, const float*, float*, std::size_t) noexcept;
+using AxpbyFn = void (*)(float, const float*, float, float*,
+                         std::size_t) noexcept;
+using ScaleFn = void (*)(float, float*, std::size_t) noexcept;
+using ReduceFn = float (*)(const float*, std::size_t) noexcept;
+
+#ifdef DGS_X86
+constexpr AxpyFn kAxpy[kNumIsas] = {axpy_scalar, axpy_avx2, axpy_avx512};
+constexpr AxpbyFn kAxpby[kNumIsas] = {axpby_scalar, axpby_avx2, axpby_avx512};
+constexpr ScaleFn kScale[kNumIsas] = {scale_scalar, scale_avx2, scale_avx512};
+constexpr ReduceFn kAmax[kNumIsas] = {amax_scalar, amax_avx2, amax_avx512};
+constexpr ReduceFn kMaxAbsFinite[kNumIsas] = {
+    max_abs_finite_scalar, max_abs_finite_avx2, max_abs_finite_avx512};
+#else
+constexpr AxpyFn kAxpy[kNumIsas] = {axpy_scalar, axpy_scalar, axpy_scalar};
+constexpr AxpbyFn kAxpby[kNumIsas] = {axpby_scalar, axpby_scalar,
+                                      axpby_scalar};
+constexpr ScaleFn kScale[kNumIsas] = {scale_scalar, scale_scalar,
+                                      scale_scalar};
+constexpr ReduceFn kAmax[kNumIsas] = {amax_scalar, amax_scalar, amax_scalar};
+constexpr ReduceFn kMaxAbsFinite[kNumIsas] = {
+    max_abs_finite_scalar, max_abs_finite_scalar, max_abs_finite_scalar};
+#endif
+
+}  // namespace
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  kAxpy[isa_index(active_isa())](alpha, x.data(), y.data(), x.size());
+}
+
+void axpby(float alpha, std::span<const float> x, float beta,
+           std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  kAxpby[isa_index(active_isa())](alpha, x.data(), beta, y.data(), x.size());
+}
+
+void scale(float alpha, std::span<float> x) noexcept {
+  kScale[isa_index(active_isa())](alpha, x.data(), x.size());
+}
+
+float amax(std::span<const float> x) noexcept {
+  return kAmax[isa_index(active_isa())](x.data(), x.size());
+}
+
+float max_abs_finite(std::span<const float> x) noexcept {
+  return kMaxAbsFinite[isa_index(active_isa())](x.data(), x.size());
 }
 
 void copy(std::span<const float> src, std::span<float> dst) noexcept {
@@ -85,12 +347,6 @@ double asum(std::span<const float> x) noexcept {
   double acc = 0.0;
   for (float v : x) acc += std::fabs(v);
   return acc;
-}
-
-float amax(std::span<const float> x) noexcept {
-  float best = 0.0f;
-  for (float v : x) best = std::max(best, std::fabs(v));
-  return best;
 }
 
 void add(std::span<const float> x, std::span<const float> y,

@@ -2,10 +2,13 @@
 //
 // These are the hot loops of the whole system: every optimizer step, every
 // sparsification pass and every matmul bottoms out here. The streaming
-// kernels (axpy/axpby/scale) are restrict-qualified, fixed-width-blocked
-// loops whose constant-trip bodies the compiler fully unrolls and
-// vectorizes; no external BLAS dependency is assumed. The bench gate
-// (scripts/check_bench.py over bench_micro_kernels) keeps them honest.
+// kernels (axpy/axpby/scale/amax) dispatch at runtime through the
+// util/simd.h ISA table: a baseline autovectorized path plus explicit
+// AVX2 / AVX-512F intrinsic paths, all byte-identical by construction
+// (element-wise mul+add, never FMA, and NaN-skipping max with the scalar
+// operand order — see DESIGN.md §18). No external BLAS dependency is
+// assumed. The bench gate (scripts/check_bench.py over
+// bench_micro_kernels) keeps them honest.
 #pragma once
 
 #include <cstddef>
@@ -44,8 +47,16 @@ void fill(float value, std::span<float> x) noexcept;
 /// sum_i |x[i]|, accumulated in double.
 [[nodiscard]] double asum(std::span<const float> x) noexcept;
 
-/// max_i |x[i]|; 0 for empty input.
+/// max_i |x[i]|; 0 for empty input. NaN elements are skipped (std::max
+/// second-operand order); infinities propagate.
 [[nodiscard]] float amax(std::span<const float> x) noexcept;
+
+/// max_i |x[i]| over *finite* elements only (NaN and +-inf skipped);
+/// 0 when no finite element exists. Computed as an integer maximum over
+/// magnitude keys (bits & 0x7fffffff), so it is exact, order-free and
+/// byte-identical across ISA paths and thread partitions. This is the
+/// quantizer scale scan (sparse/quantize.cpp).
+[[nodiscard]] float max_abs_finite(std::span<const float> x) noexcept;
 
 /// Elementwise z = x + y (z may alias x or y).
 void add(std::span<const float> x, std::span<const float> y,

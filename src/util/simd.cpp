@@ -1,0 +1,111 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace dgs::util {
+
+namespace {
+
+// __builtin_cpu_supports reads cpuid through the compiler runtime; it is
+// cheap but not free, so both detection and resolution are cached.
+Isa detect_best_isa() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return Isa::kAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return Isa::kAvx2;
+#endif
+  return Isa::kScalar;
+}
+
+// Resolved active ISA + a "resolved yet" flag. Plain atomics (no
+// std::once_flag: its libstdc++ implementation can allocate on some
+// paths, and active_isa() must stay allocation-free for the steady-state
+// kernel dispatch). The resolve race is benign: both threads compute the
+// same value from the same environment.
+std::atomic<int> g_active{-1};
+
+Isa clamp_to_host(Isa requested, const char* origin) noexcept {
+  if (isa_supported(requested)) return requested;
+  const Isa best = best_supported_isa();
+  DGS_LOG(kWarn) << "simd: " << origin << " requested " << isa_name(requested)
+                 << " but host only supports " << isa_name(best)
+                 << "; clamping";
+  return best;
+}
+
+Isa resolve() noexcept {
+  Isa resolved = best_supported_isa();
+  const char* origin = "auto";
+  if (const char* env = std::getenv("DGS_FORCE_ISA");
+      env != nullptr && *env != '\0') {
+    Isa forced;
+    if (parse_isa(env, &forced)) {
+      resolved = clamp_to_host(forced, "DGS_FORCE_ISA");
+      origin = "DGS_FORCE_ISA";
+    } else {
+      DGS_LOG(kWarn) << "simd: DGS_FORCE_ISA='" << env
+                     << "' is not scalar|avx2|avx512; ignoring";
+    }
+  }
+  DGS_LOG(kInfo) << "simd: dispatch resolved to " << isa_name(resolved)
+                 << " (host supports " << isa_name(best_supported_isa())
+                 << ", source: " << origin << ")";
+  return resolved;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "scalar";
+}
+
+bool parse_isa(std::string_view name, Isa* out) noexcept {
+  if (name == "scalar") {
+    *out = Isa::kScalar;
+  } else if (name == "avx2") {
+    *out = Isa::kAvx2;
+  } else if (name == "avx512") {
+    *out = Isa::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Isa best_supported_isa() noexcept {
+  static const Isa best = detect_best_isa();
+  return best;
+}
+
+bool isa_supported(Isa isa) noexcept {
+  return isa_index(isa) <= isa_index(best_supported_isa());
+}
+
+Isa active_isa() noexcept {
+  int current = g_active.load(std::memory_order_relaxed);
+  if (current < 0) {
+    current = isa_index(resolve());
+    int expected = -1;
+    // First resolver wins; a concurrent set_forced_isa() is not clobbered.
+    g_active.compare_exchange_strong(expected, current,
+                                     std::memory_order_relaxed);
+    current = g_active.load(std::memory_order_relaxed);
+  }
+  return static_cast<Isa>(current);
+}
+
+Isa set_forced_isa(Isa isa) noexcept {
+  const Isa installed = clamp_to_host(isa, "set_forced_isa");
+  g_active.store(isa_index(installed), std::memory_order_relaxed);
+  return installed;
+}
+
+}  // namespace dgs::util

@@ -1,0 +1,95 @@
+// Runtime ISA dispatch for the compute kernels (DESIGN.md §18).
+//
+// The repo builds for baseline x86-64 (no -march flags), so the
+// autovectorized kernels bottom out at SSE2. This layer detects what the
+// host actually supports — AVX2+FMA and AVX-512F — once at startup and
+// resolves every dispatched kernel family (packed GEMM micro-kernel, the
+// streaming axpy/axpby/scale/amax kernels, the radix-select magnitude-key
+// passes, the quantizer scale scan) through a per-TU function-pointer
+// table indexed by the active Isa. The intrinsic kernels themselves are
+// ordinary functions carrying per-function target attributes
+// (`__attribute__((target("avx2,fma")))`), so no TU is compiled with a
+// raised -march and an unsupported instruction can never leak into code
+// reachable on a lesser machine.
+//
+// Forcing a path: the DGS_FORCE_ISA environment variable (scalar | avx2 |
+// avx512), the --force-isa bench flag (bench_common), or
+// set_forced_isa()/ForcedIsaScope in tests pin the active ISA — clamped
+// to what the host supports, never above it. Forcing exists for
+// per-ISA equivalence tests, TSan runs (scalar instruments fastest) and
+// cross-machine reproducibility of GEMM results (float reduction order
+// is fixed *within* an ISA path; across paths GEMM is oracle-bounded,
+// while every non-GEMM dispatched kernel is byte-identical by
+// construction — element-wise IEEE ops or exact integer work only).
+//
+// The resolved ISA is reported once via DGS_LOG(kInfo) and recorded in
+// the run ledger (`simd_isa`, obs/ledger.h) so committed trajectory
+// entries say which path produced them.
+#pragma once
+
+#include <string_view>
+
+namespace dgs::util {
+
+/// Dispatchable instruction-set tiers, in strictly increasing order of
+/// capability. Used as the index into every kernel table, so the values
+/// are dense and start at 0.
+enum class Isa : int {
+  kScalar = 0,  ///< Baseline x86-64 (SSE2 autovectorization only).
+  kAvx2 = 1,    ///< AVX2 + FMA intrinsic kernels.
+  kAvx512 = 2,  ///< AVX-512F intrinsic kernels.
+};
+
+inline constexpr int kNumIsas = 3;
+
+/// Dense table index for an Isa.
+[[nodiscard]] constexpr int isa_index(Isa isa) noexcept {
+  return static_cast<int>(isa);
+}
+
+/// Stable lowercase name ("scalar" | "avx2" | "avx512"); also the ledger
+/// and DGS_FORCE_ISA vocabulary.
+[[nodiscard]] const char* isa_name(Isa isa) noexcept;
+
+/// Parse an isa_name() string (case-sensitive). Returns false and leaves
+/// *out untouched on anything else.
+[[nodiscard]] bool parse_isa(std::string_view name, Isa* out) noexcept;
+
+/// Highest tier the host CPU supports (cpuid, cached after first call).
+/// kAvx2 requires AVX2 and FMA; kAvx512 additionally AVX-512F.
+[[nodiscard]] Isa best_supported_isa() noexcept;
+
+/// True when the host can execute `isa`'s kernels.
+[[nodiscard]] bool isa_supported(Isa isa) noexcept;
+
+/// The ISA every dispatched kernel table uses right now. Resolved once on
+/// first use: DGS_FORCE_ISA if set (clamped to host support, with a
+/// warning when clamped), else best_supported_isa(); the resolution is
+/// logged at info level. A single relaxed atomic load afterwards — safe
+/// and allocation-free on any hot path.
+[[nodiscard]] Isa active_isa() noexcept;
+
+/// Pin the active ISA at runtime (tests, the --force-isa bench flag).
+/// Requests above host support are clamped to best_supported_isa() with a
+/// warning. Returns the ISA actually installed. Not thread-safe against
+/// concurrently running kernels — call between runs, like the intra-op
+/// budget.
+Isa set_forced_isa(Isa isa) noexcept;
+
+/// RAII pin: forces `isa` for the scope, restores the previous active ISA
+/// on destruction. The per-ISA equivalence tests iterate supported tiers
+/// with this.
+class ForcedIsaScope {
+ public:
+  explicit ForcedIsaScope(Isa isa) noexcept : previous_(active_isa()) {
+    set_forced_isa(isa);
+  }
+  ~ForcedIsaScope() { set_forced_isa(previous_); }
+  ForcedIsaScope(const ForcedIsaScope&) = delete;
+  ForcedIsaScope& operator=(const ForcedIsaScope&) = delete;
+
+ private:
+  Isa previous_;
+};
+
+}  // namespace dgs::util

@@ -870,7 +870,8 @@ TEST(RunLedger, SchemaIsStableAcrossEngines) {
   // this list (and, for renames/retypes, bump kSchemaVersion).
   const std::vector<std::string> expected = {
       "schema",          "run",           "bench",
-      "engine",          "method",        "workers",
+      "engine",          "method",        "simd_isa",
+      "workers",
       "batch_size",      "epochs_configured", "epochs_completed",
       "final_test_accuracy", "final_train_loss", "sim_seconds",
       "wall_seconds",    "epoch_sim_seconds", "epoch_wall_seconds",

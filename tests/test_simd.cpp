@@ -1,0 +1,502 @@
+// Tests for the runtime SIMD dispatch layer (util/simd.h, DESIGN.md §18):
+// ISA parsing/forcing semantics, the byte-identity contract of every
+// non-GEMM dispatched kernel across ISA paths, the oracle bound on the
+// per-ISA GEMM micro-kernels, bitwise determinism of the (parallel-packed)
+// GEMM across thread budgets on every path, and an allocation-counter
+// proof that table dispatch itself never touches the heap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "sparse/quantize.h"
+#include "sparse/select.h"
+#include "util/gemm.h"
+#include "util/math_kernels.h"
+#include "util/parallel_for.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every operator new in this binary bumps it.
+// Used by the DispatchAllocationFree test to prove warmed-up dispatched
+// kernels never allocate. Same idiom as tests/test_select.cpp.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace dgs;
+using util::Isa;
+
+/// Every ISA tier the host can actually run, scalar first. All per-ISA
+/// tests iterate this, so on a machine without AVX they still pass by
+/// exercising the scalar path alone (the contract is then vacuous but the
+/// harness stays green — CI's forced-scalar leg relies on that).
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> isas;
+  for (int i = 0; i < util::kNumIsas; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (util::isa_supported(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+/// Mixed-magnitude values with the documented edge cases folded in: NaN,
+/// both infinities, both zeros, denormals, and tiny/huge magnitudes, so
+/// byte-identity is checked exactly where the float policies bite.
+std::vector<float> edge_values(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform(-2.0f, 2.0f);
+  const float specials[] = {
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      0.0f,
+      -0.0f,
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::max(),
+      -std::numeric_limits<float>::min(),
+      1e-30f,
+  };
+  const std::size_t kNumSpecials = sizeof(specials) / sizeof(specials[0]);
+  for (std::size_t i = 0; i < n && i < 4 * kNumSpecials; ++i) {
+    // Scatter, don't cluster: hit vector bodies and scalar tails alike.
+    const std::size_t at = (i * 97 + 13) % n;
+    v[at] = specials[i % kNumSpecials];
+  }
+  return v;
+}
+
+std::vector<float> finite_values(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform(-2.0f, 2.0f);
+  return v;
+}
+
+bool bytes_equal(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// Lengths chosen to cover every code shape in the dispatched kernels:
+// empty, scalar-only tails, exactly one vector width, the wide-unrolled
+// body, and a large size with a ragged tail on every path.
+constexpr std::size_t kLengths[] = {0, 1, 3, 7, 8, 15, 16, 31, 32, 33,
+                                    63, 64, 65, 100, 1000, 4097};
+
+// ------------------------------------------------------- ISA plumbing
+
+TEST(SimdDispatch, ParseAndNameRoundTrip) {
+  for (int i = 0; i < util::kNumIsas; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    Isa parsed = Isa::kAvx512;
+    ASSERT_TRUE(util::parse_isa(util::isa_name(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  Isa out = Isa::kScalar;
+  EXPECT_FALSE(util::parse_isa("", &out));
+  EXPECT_FALSE(util::parse_isa("AVX2", &out));  // case-sensitive vocabulary
+  EXPECT_FALSE(util::parse_isa("sse2", &out));
+  EXPECT_FALSE(util::parse_isa("avx512vl", &out));
+  EXPECT_EQ(out, Isa::kScalar);  // untouched on failure
+}
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndOrderingHolds) {
+  EXPECT_TRUE(util::isa_supported(Isa::kScalar));
+  const Isa best = util::best_supported_isa();
+  for (int i = 0; i <= util::isa_index(best); ++i)
+    EXPECT_TRUE(util::isa_supported(static_cast<Isa>(i)))
+        << "tiers below best_supported_isa() must all be runnable";
+}
+
+TEST(SimdDispatch, ForcedIsaScopeRestoresAndClampsToHost) {
+  const Isa before = util::active_isa();
+  {
+    util::ForcedIsaScope forced(Isa::kScalar);
+    EXPECT_EQ(util::active_isa(), Isa::kScalar);
+    // Asking for more than the host has clamps to the best real tier.
+    const Isa installed = util::set_forced_isa(Isa::kAvx512);
+    EXPECT_EQ(installed, util::isa_supported(Isa::kAvx512)
+                             ? Isa::kAvx512
+                             : util::best_supported_isa());
+    EXPECT_EQ(util::active_isa(), installed);
+  }
+  EXPECT_EQ(util::active_isa(), before);
+}
+
+// ------------------------------------- streaming kernel byte-identity
+
+/// Runs `kernel` under every supported ISA and memcmps the result
+/// against the scalar path's output (also produced via dispatch, pinned
+/// by ForcedIsaScope). `kernel` must be deterministic given its inputs.
+template <typename MakeResult>
+void expect_byte_identical_across_isas(const char* what, MakeResult&& make) {
+  std::vector<float> baseline;
+  {
+    util::ForcedIsaScope forced(Isa::kScalar);
+    baseline = make();
+  }
+  for (Isa isa : supported_isas()) {
+    util::ForcedIsaScope forced(isa);
+    const std::vector<float> got = make();
+    EXPECT_TRUE(bytes_equal(got, baseline))
+        << what << " differs from scalar on " << util::isa_name(isa);
+  }
+}
+
+TEST(SimdKernels, AxpyByteIdenticalAcrossIsas) {
+  for (std::size_t n : kLengths) {
+    const auto x = edge_values(n, 11 + n);
+    const auto y0 = edge_values(n, 23 + n);
+    expect_byte_identical_across_isas("axpy", [&] {
+      std::vector<float> y = y0;
+      util::axpy(1.7f, x, y);
+      return y;
+    });
+  }
+}
+
+TEST(SimdKernels, AxpbyByteIdenticalAcrossIsas) {
+  for (std::size_t n : kLengths) {
+    const auto x = edge_values(n, 31 + n);
+    const auto y0 = edge_values(n, 43 + n);
+    expect_byte_identical_across_isas("axpby", [&] {
+      std::vector<float> y = y0;
+      util::axpby(0.05f, x, 0.7f, y);
+      return y;
+    });
+  }
+}
+
+TEST(SimdKernels, ScaleByteIdenticalAcrossIsas) {
+  for (std::size_t n : kLengths) {
+    const auto x0 = edge_values(n, 53 + n);
+    expect_byte_identical_across_isas("scale", [&] {
+      std::vector<float> x = x0;
+      util::scale(0.999f, x);
+      return x;
+    });
+  }
+}
+
+TEST(SimdKernels, AmaxByteIdenticalAcrossIsas) {
+  for (std::size_t n : kLengths) {
+    const auto x = edge_values(n, 61 + n);
+    expect_byte_identical_across_isas("amax", [&] {
+      return std::vector<float>{util::amax(x)};
+    });
+  }
+}
+
+TEST(SimdKernels, AmaxSkipsNanPropagatesInf) {
+  // Policy pinned in math_kernels.h: NaN skipped on every path, inf wins.
+  std::vector<float> v(40, 0.25f);
+  v[3] = std::numeric_limits<float>::quiet_NaN();
+  v[21] = -3.0f;
+  for (Isa isa : supported_isas()) {
+    util::ForcedIsaScope forced(isa);
+    EXPECT_EQ(util::amax(v), 3.0f) << util::isa_name(isa);
+  }
+  v[38] = -std::numeric_limits<float>::infinity();
+  for (Isa isa : supported_isas()) {
+    util::ForcedIsaScope forced(isa);
+    EXPECT_TRUE(std::isinf(util::amax(v))) << util::isa_name(isa);
+  }
+}
+
+TEST(SimdKernels, MaxAbsFiniteByteIdenticalAcrossIsas) {
+  for (std::size_t n : kLengths) {
+    const auto x = edge_values(n, 71 + n);
+    expect_byte_identical_across_isas("max_abs_finite", [&] {
+      return std::vector<float>{util::max_abs_finite(x)};
+    });
+  }
+}
+
+TEST(SimdKernels, MaxAbsFiniteIgnoresNonFinite) {
+  std::vector<float> v(33, 0.5f);
+  v[0] = std::numeric_limits<float>::infinity();
+  v[16] = std::numeric_limits<float>::quiet_NaN();
+  v[32] = -1.25f;
+  for (Isa isa : supported_isas()) {
+    util::ForcedIsaScope forced(isa);
+    EXPECT_EQ(util::max_abs_finite(v), 1.25f) << util::isa_name(isa);
+  }
+  const std::vector<float> none_finite = {
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity()};
+  for (Isa isa : supported_isas()) {
+    util::ForcedIsaScope forced(isa);
+    EXPECT_EQ(util::max_abs_finite(none_finite), 0.0f) << util::isa_name(isa);
+  }
+}
+
+// --------------------------------------- select/quantize byte-identity
+
+TEST(SimdSelect, CountKernelsByteIdenticalAcrossIsas) {
+  for (std::size_t n : kLengths) {
+    auto v = edge_values(n, 83 + n);
+    for (std::size_t i = 0; i < n; i += 5) v[i] = 0.0f;  // real zeros too
+    const std::uint32_t keys[] = {0u, sparse::magnitude_key(0.5f),
+                                  sparse::magnitude_key(1e-30f), 0x7f800000u};
+    std::vector<std::size_t> baseline;
+    {
+      util::ForcedIsaScope forced(Isa::kScalar);
+      for (std::uint32_t key : keys)
+        baseline.push_back(sparse::count_ge_key(v, key));
+      baseline.push_back(sparse::count_zeros(v));
+    }
+    // count_ge_key(v, 0) counts everything, zeros included (pinned
+    // contract) — worth asserting once outside the cross-ISA memcmp.
+    if (n > 0) EXPECT_EQ(baseline[0], n);
+    for (Isa isa : supported_isas()) {
+      util::ForcedIsaScope forced(isa);
+      std::size_t at = 0;
+      for (std::uint32_t key : keys)
+        EXPECT_EQ(sparse::count_ge_key(v, key), baseline[at++])
+            << "count_ge_key on " << util::isa_name(isa) << " n=" << n;
+      EXPECT_EQ(sparse::count_zeros(v), baseline[at])
+          << "count_zeros on " << util::isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdSelect, SparsifyByteIdenticalAcrossIsas) {
+  // Below and above kRadixCutoff: the nth_element path dispatches the key
+  // fill, the radix path dispatches the histogram passes.
+  const std::size_t sizes[] = {257, 5000, sparse::SparsifyWorkspace::kRadixCutoff + 1,
+                               100000};
+  for (std::size_t n : sizes) {
+    const auto values = edge_values(n, 97 + n);
+    sparse::LayerChunk baseline;
+    std::vector<float> residual_baseline;
+    {
+      util::ForcedIsaScope forced(Isa::kScalar);
+      sparse::SparsifyWorkspace ws;
+      std::vector<float> residual = values;
+      ws.sparsify_zero(7, residual, 2.0, baseline);
+      residual_baseline = residual;
+    }
+    for (Isa isa : supported_isas()) {
+      util::ForcedIsaScope forced(isa);
+      sparse::SparsifyWorkspace ws;
+      sparse::LayerChunk chunk;
+      std::vector<float> residual = values;
+      ws.sparsify_zero(7, residual, 2.0, chunk);
+      EXPECT_EQ(chunk.idx, baseline.idx)
+          << "kept indices differ on " << util::isa_name(isa) << " n=" << n;
+      EXPECT_TRUE(bytes_equal(chunk.val, baseline.val))
+          << "kept values differ on " << util::isa_name(isa) << " n=" << n;
+      EXPECT_TRUE(bytes_equal(residual, residual_baseline))
+          << "residual differs on " << util::isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdSelect, KthKeyByteIdenticalAcrossIsas) {
+  const std::size_t sizes[] = {300, 50000};
+  for (std::size_t n : sizes) {
+    const auto values = edge_values(n, 113 + n);
+    for (std::size_t k : {std::size_t{1}, n / 7 + 1, n}) {
+      std::uint32_t baseline;
+      {
+        util::ForcedIsaScope forced(Isa::kScalar);
+        sparse::SparsifyWorkspace ws;
+        baseline = ws.kth_key(values, k);
+      }
+      for (Isa isa : supported_isas()) {
+        util::ForcedIsaScope forced(isa);
+        sparse::SparsifyWorkspace ws;
+        EXPECT_EQ(ws.kth_key(values, k), baseline)
+            << util::isa_name(isa) << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimdQuantize, TernaryByteIdenticalAcrossIsas) {
+  // The dispatched piece is the max_abs_finite scale scan; the Bernoulli
+  // draws consume the (seeded) Rng in element order on every path, so the
+  // whole wire payload must be byte-identical across ISAs.
+  for (std::size_t n : {std::size_t{37}, std::size_t{4096}}) {
+    auto values = edge_values(n, 127 + n);
+    sparse::TernaryLayer baseline;
+    {
+      util::ForcedIsaScope forced(Isa::kScalar);
+      util::Rng rng(5);
+      baseline = sparse::ternary_quantize(3, values, rng);
+    }
+    for (Isa isa : supported_isas()) {
+      util::ForcedIsaScope forced(isa);
+      util::Rng rng(5);
+      const sparse::TernaryLayer got = sparse::ternary_quantize(3, values, rng);
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(got.scale),
+                std::bit_cast<std::uint32_t>(baseline.scale))
+          << util::isa_name(isa) << " n=" << n;
+      EXPECT_EQ(got.packed, baseline.packed)
+          << util::isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+// ----------------------------------------------- GEMM oracle + threads
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+/// Per-element error bound vs the double-accumulation oracle (same bound
+/// as tests/test_util.cpp): 16 * eps * sqrt(k) * sum_p |a_ip * b_pj|.
+void expect_oracle_bounded(const GemmShape& s, std::span<const float> a,
+                           std::span<const float> b,
+                           std::span<const float> got,
+                           std::span<const float> want, const char* what) {
+  const float eps = std::numeric_limits<float>::epsilon();
+  const float scale = 16.0f * eps * std::sqrt(static_cast<float>(s.k));
+  for (std::size_t i = 0; i < s.m; ++i) {
+    for (std::size_t j = 0; j < s.n; ++j) {
+      double mag = 0.0;
+      for (std::size_t p = 0; p < s.k; ++p)
+        mag += std::abs(static_cast<double>(a[i * s.k + p]) * b[p * s.n + j]);
+      const float tol = scale * static_cast<float>(mag) +
+                        4 * std::numeric_limits<float>::denorm_min();
+      ASSERT_NEAR(got[i * s.n + j], want[i * s.n + j], tol)
+          << what << " (" << s.m << "x" << s.k << "x" << s.n << ") at ("
+          << i << "," << j << ")";
+    }
+  }
+}
+
+constexpr GemmShape kGemmShapes[] = {
+    {64, 576, 96},  // conv-like, multiple full row blocks and panels
+    {17, 300, 23},  // ragged everything: tail rows, partial panel, two kc
+    {3, 5, 7},      // smaller than one register tile on every path
+    {1, 257, 1},    // single output element, k crosses one kc boundary
+};
+
+TEST(SimdGemm, AllVariantsOracleBoundedOnEveryIsa) {
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = finite_values(s.m * s.k, 1000 + s.m);
+    const auto b = finite_values(s.k * s.n, 2000 + s.n);
+    std::vector<float> want(s.m * s.n), got(s.m * s.n);
+
+    for (Isa isa : supported_isas()) {
+      util::ForcedIsaScope forced(isa);
+
+      util::reference::gemm(s.m, s.k, s.n, a.data(), b.data(), want.data(),
+                            false);
+      util::gemm(s.m, s.k, s.n, a.data(), b.data(), got.data(), false);
+      expect_oracle_bounded(s, a, b, got, want, util::isa_name(isa));
+
+      // A^T layout: reuse `a` as the [k x m] operand.
+      const auto at = finite_values(s.k * s.m, 3000 + s.k);
+      util::reference::gemm_at(s.m, s.k, s.n, at.data(), b.data(),
+                               want.data(), false);
+      util::gemm_at(s.m, s.k, s.n, at.data(), b.data(), got.data(), false);
+      expect_oracle_bounded(s, a, b, got, want, util::isa_name(isa));
+
+      // B^T layout plus accumulate=true in the same check.
+      const auto bt = finite_values(s.n * s.k, 4000 + s.k);
+      const auto c0 = finite_values(s.m * s.n, 5000 + s.m);
+      want = c0;
+      util::reference::gemm_bt(s.m, s.k, s.n, a.data(), bt.data(),
+                               want.data(), true);
+      got = c0;
+      util::gemm_bt(s.m, s.k, s.n, a.data(), bt.data(), got.data(), true);
+      expect_oracle_bounded(s, a, b, got, want, util::isa_name(isa));
+    }
+  }
+}
+
+TEST(SimdGemm, BitwiseDeterministicAcrossThreadBudgetsPerIsa) {
+  // The determinism contract (gemm.h): within one ISA path the result is
+  // bitwise identical for any intra-op budget and any row/panel
+  // partition. The second shape's n (4096 columns = 128 panels) crosses
+  // the parallel-pack threshold, so the ParallelFor-packed panels are
+  // covered, not just the row partition.
+  const GemmShape shapes[] = {{17, 300, 23}, {8, 300, 4096}};
+  for (const GemmShape& s : shapes) {
+    const auto a = finite_values(s.m * s.k, 6000 + s.n);
+    const auto b = finite_values(s.k * s.n, 7000 + s.n);
+    for (Isa isa : supported_isas()) {
+      util::ForcedIsaScope forced(isa);
+      std::vector<float> single(s.m * s.n);
+      {
+        util::IntraOpBudgetScope budget(1);
+        util::gemm(s.m, s.k, s.n, a.data(), b.data(), single.data(), false);
+      }
+      for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        util::IntraOpBudgetScope budget(threads);
+        std::vector<float> threaded(s.m * s.n);
+        util::gemm(s.m, s.k, s.n, a.data(), b.data(), threaded.data(), false);
+        EXPECT_TRUE(bytes_equal(threaded, single))
+            << util::isa_name(isa) << " " << threads << " threads ("
+            << s.m << "x" << s.k << "x" << s.n << ")";
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ dispatch allocations
+
+TEST(SimdDispatch, DispatchedKernelsAllocationFreeWhenWarm) {
+  // Table dispatch is a load + indirect call; after the first resolution
+  // (and warmed scratch) none of the dispatched entry points may allocate.
+  std::vector<float> x = finite_values(4096, 17);
+  std::vector<float> y = finite_values(4096, 19);
+  const std::uint32_t key = sparse::magnitude_key(0.5f);
+
+  (void)util::active_isa();  // resolve before counting
+  util::axpy(0.5f, x, y);
+  (void)util::amax(x);
+  (void)util::max_abs_finite(x);
+  (void)sparse::count_ge_key(x, key);
+  (void)sparse::count_zeros(x);
+
+  const std::uint64_t before =
+      g_allocation_count.load(std::memory_order_relaxed);
+  for (int round = 0; round < 8; ++round) {
+    util::axpy(0.5f, x, y);
+    util::axpby(0.1f, x, 0.9f, y);
+    util::scale(1.001f, y);
+    (void)util::amax(x);
+    (void)util::max_abs_finite(x);
+    (void)sparse::count_ge_key(x, key);
+    (void)sparse::count_zeros(x);
+    (void)util::active_isa();
+  }
+  const std::uint64_t after =
+      g_allocation_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "dispatched kernels allocated on the warm path";
+}
+
+}  // namespace
